@@ -1,0 +1,22 @@
+//! Criterion bench for E5: OO1 depth-7 traversal through the XNF cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xnf_bench::experiments::cache_exp::traverse_cache;
+use xnf_fixtures::{build_oo1_db, Oo1Config, OO1_CO};
+
+fn bench(c: &mut Criterion) {
+    let db = build_oo1_db(Oo1Config { parts: 10_000, ..Default::default() });
+    let co = db.fetch_co(OO1_CO).unwrap();
+    let ws = &co.workspace;
+    let n = ws.component("part").unwrap().len() as u32;
+    let mut start = 0u32;
+    c.bench_function("oo1_traversal_depth7", |b| {
+        b.iter(|| {
+            start = (start + 7919) % n;
+            traverse_cache(ws, start, 7)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

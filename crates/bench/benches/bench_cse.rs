@@ -1,0 +1,30 @@
+//! Criterion bench for E3 (Figs. 5/6): eight separate component queries vs
+//! one shared-CSE XNF query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xnf_bench::COMPONENT_QUERIES;
+use xnf_fixtures::{build_paper_db, PaperScale, DEPS_ARC};
+
+fn bench(c: &mut Criterion) {
+    let db = build_paper_db(PaperScale { departments: 50, ..Default::default() });
+    let mut g = c.benchmark_group("fig56_derivation");
+    g.bench_function("sql_8_queries", |b| {
+        b.iter(|| {
+            let mut rows = 0;
+            for (_, sql) in COMPONENT_QUERIES {
+                rows += db.query(sql).unwrap().table().rows.len();
+            }
+            rows
+        })
+    });
+    g.bench_function("xnf_single_query", |b| {
+        b.iter(|| {
+            let r = db.query(DEPS_ARC).unwrap();
+            r.streams.iter().map(|s| s.rows.len()).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

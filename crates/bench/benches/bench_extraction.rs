@@ -1,0 +1,40 @@
+//! Criterion bench for E4: navigational vs set-oriented CO extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xnf_core::{navigational_extract, FetchStrategy, NavLevel, Server, TransportStats};
+use xnf_fixtures::{build_paper_db, PaperScale, DEPS_ARC};
+
+fn bench(c: &mut Criterion) {
+    let db = build_paper_db(PaperScale { departments: 25, ..Default::default() });
+    let server = Server::new(db);
+    let mut g = c.benchmark_group("extraction");
+    g.sample_size(20);
+    g.bench_function("navigational_query_per_parent", |b| {
+        b.iter(|| {
+            let mut stats = TransportStats::default();
+            navigational_extract(
+                &server,
+                &mut stats,
+                "SELECT dno, dname, loc FROM DEPT WHERE loc = 'ARC'",
+                &[NavLevel {
+                    query_prefix: "SELECT eno, ename, edno, sal FROM EMP WHERE edno =".into(),
+                    parent_key_col: 0,
+                }],
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("set_oriented_whole_co", |b| {
+        b.iter(|| {
+            let mut stats = TransportStats::default();
+            let r = server
+                .fetch(DEPS_ARC, FetchStrategy::WholeCo { max_bytes: 256 * 1024 }, &mut stats)
+                .unwrap();
+            r.streams.iter().map(|s| s.rows.len()).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for E2 (Fig. 3): naive correlated-subquery execution vs
+//! the E-to-F rewritten semijoin.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xnf_bench::experiments::fig3::{rebuild_with, FIG3_QUERY};
+use xnf_core::{DbConfig, RewriteOptions};
+use xnf_fixtures::PaperScale;
+
+fn bench(c: &mut Criterion) {
+    let scale = PaperScale {
+        departments: 40,
+        arc_fraction: 0.1,
+        employees_per_dept: 25,
+        projects_per_dept: 1,
+        skills: 10,
+        skills_per_employee: 0,
+        skills_per_project: 0,
+        ..Default::default()
+    };
+    let fast = rebuild_with(scale, DbConfig::default());
+    let naive = rebuild_with(
+        scale,
+        DbConfig { rewrite: RewriteOptions { e_to_f: false, simplify: true }, ..Default::default() },
+    );
+    let mut g = c.benchmark_group("fig3_exists");
+    g.bench_function("rewritten_semijoin", |b| {
+        b.iter(|| fast.query(FIG3_QUERY).unwrap().table().rows.len())
+    });
+    g.bench_function("naive_subquery", |b| {
+        b.iter(|| naive.query(FIG3_QUERY).unwrap().table().rows.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

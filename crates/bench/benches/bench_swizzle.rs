@@ -1,0 +1,30 @@
+//! Criterion bench for E8: swizzled pointers vs unswizzled connection scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xnf_fixtures::{build_oo1_db, Oo1Config, OO1_CO};
+
+fn bench(c: &mut Criterion) {
+    let db = build_oo1_db(Oo1Config { parts: 5_000, ..Default::default() });
+    let co = db.fetch_co(OO1_CO).unwrap();
+    let ws = &co.workspace;
+    let n = ws.component("part").unwrap().len() as u32;
+    let mut g = c.benchmark_group("navigation");
+    let mut i = 0u32;
+    g.bench_function("swizzled_pointers", |b| {
+        b.iter(|| {
+            i = (i + 2654435761u32.wrapping_mul(1)) % n;
+            ws.children("conn", i).unwrap().count()
+        })
+    });
+    let mut j = 0u32;
+    g.bench_function("unswizzled_scan", |b| {
+        b.iter(|| {
+            j = (j + 2654435761u32.wrapping_mul(1)) % n;
+            ws.children_unswizzled("conn", j).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! The numbered experiments (E2–E10). E1 lives in [`crate::table1`].
+
+pub mod cache_exp;
+pub mod extraction;
+pub mod fig3;
+pub mod fig56;
+pub mod pipeline;
+pub mod recursion_exp;
+pub mod shipping;
+pub mod swizzle;
+pub mod updates;
+
+/// Format a milliseconds value compactly.
+pub fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Speedup (a over b).
+pub fn speedup(slow: std::time::Duration, fast: std::time::Duration) -> f64 {
+    slow.as_secs_f64() / fast.as_secs_f64().max(1e-12)
+}

@@ -1,0 +1,97 @@
+//! E9 — recursive composite objects (Sect. 2): bill-of-materials fixpoint
+//! scaling in the size of the part graph.
+
+use std::time::{Duration, Instant};
+
+use xnf_core::Database;
+use xnf_storage::{Tuple, Value};
+
+/// Build a layered BOM: `layers` levels of `width` parts; every part uses
+/// two parts of the next layer (a DAG with sharing).
+pub fn build_bom(layers: usize, width: usize) -> Database {
+    let db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE PARTS (pid INT NOT NULL, pname VARCHAR(20));
+         CREATE TABLE BOM (parent INT, child INT);",
+    )
+    .unwrap();
+    let parts = db.catalog().table("PARTS").unwrap();
+    let bom = db.catalog().table("BOM").unwrap();
+    let id = |layer: usize, i: usize| (layer * width + i) as i64;
+    for layer in 0..layers {
+        for i in 0..width {
+            parts
+                .insert(&Tuple::new(vec![
+                    Value::Int(id(layer, i)),
+                    Value::Str(format!("p{layer}_{i}")),
+                ]))
+                .unwrap();
+            if layer + 1 < layers {
+                for d in 0..2usize {
+                    bom.insert(&Tuple::new(vec![
+                        Value::Int(id(layer, i)),
+                        Value::Int(id(layer + 1, (i + d) % width)),
+                    ]))
+                    .unwrap();
+                }
+            }
+        }
+    }
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+pub const BOM_CO: &str = "\
+OUT OF ROOT asm AS (SELECT * FROM PARTS WHERE pid = 0),
+       part AS PARTS,
+       top_uses AS (RELATE asm VIA uses, part USING BOM b
+                    WHERE asm.pid = b.parent AND b.child = part.pid),
+       sub_uses AS (RELATE part VIA uses, part USING BOM b2
+                    WHERE part.pid = b2.parent AND b2.child = uses.pid)
+TAKE *";
+
+#[derive(Debug, Clone)]
+pub struct RecursionPoint {
+    pub layers: usize,
+    pub width: usize,
+    pub reached_parts: usize,
+    pub edges: usize,
+    pub time: Duration,
+}
+
+pub fn run_recursion(points: &[(usize, usize)]) -> Vec<RecursionPoint> {
+    let mut out = Vec::new();
+    for &(layers, width) in points {
+        let db = build_bom(layers, width);
+        let t0 = Instant::now();
+        let r = db.query(BOM_CO).unwrap();
+        let time = t0.elapsed();
+        let reached = r.stream("part").unwrap().rows.len();
+        let edges = r.stream("sub_uses").unwrap().rows.len();
+        out.push(RecursionPoint { layers, width, reached_parts: reached, edges, time });
+    }
+    out
+}
+
+pub fn render_recursion(points: &[RecursionPoint]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "Recursive CO — BOM closure by semi-naive fixpoint");
+    let _ = writeln!(
+        s,
+        "{:>8} {:>7} {:>10} {:>8} {:>10}",
+        "layers", "width", "reached", "edges", "ms"
+    );
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{:>8} {:>7} {:>10} {:>8} {:>10.2}",
+            p.layers,
+            p.width,
+            p.reached_parts,
+            p.edges,
+            super::ms(p.time)
+        );
+    }
+    s
+}

@@ -1,0 +1,13 @@
+//! # xnf-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation; see
+//! EXPERIMENTS.md at the repository root for the experiment index and the
+//! paper-vs-measured record. The `experiments` binary runs each experiment
+//! and prints paper-style tables.
+
+pub mod census;
+pub mod experiments;
+pub mod table1;
+
+pub use census::{census_plan, census_qep, op_signatures, OpCensus, QepCensus};
+pub use table1::{render_table1, run_table1, Table1, COMPONENT_QUERIES, PAPER_TABLE1};

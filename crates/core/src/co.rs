@@ -1,0 +1,61 @@
+//! `CoCache`: the client-side composite object — workspace + updatability
+//! metadata + the query it came from (Fig. 7's picture in one type).
+
+use xnf_sql::{parse_statement, Statement, ViewBody, XnfQuery};
+use xnf_storage::ViewKind;
+
+use crate::cache::Workspace;
+use crate::db::Database;
+use crate::error::{Result, XnfError};
+use crate::writeback::{derive_co_schema, write_back, CoSchema};
+
+/// A cached composite object with write-back support.
+pub struct CoCache {
+    pub workspace: Workspace,
+    pub schema: CoSchema,
+    /// The originating XNF query (for re-fetch).
+    pub query: XnfQuery,
+}
+
+impl CoCache {
+    /// Push pending workspace changes back to the database (atomically).
+    /// Returns the number of base-table operations performed.
+    pub fn save(&mut self, db: &Database) -> Result<usize> {
+        write_back(db, &mut self.workspace, &self.schema)
+    }
+
+    /// Drop local state and re-extract the CO from the database.
+    pub fn refresh(&mut self, db: &Database) -> Result<()> {
+        let result = db.run_xnf(&self.query)?;
+        self.workspace = Workspace::from_result(&result)?;
+        Ok(())
+    }
+}
+
+impl Database {
+    /// Evaluate an XNF query (text, `OUT OF ... TAKE ...`) or a stored XNF
+    /// view (by name) and load the result into a client-side CO cache.
+    pub fn fetch_co(&self, query_or_view: &str) -> Result<CoCache> {
+        let text = if self.catalog().view(query_or_view).is_some() {
+            let view = self.catalog().view(query_or_view).unwrap();
+            if view.kind != ViewKind::Xnf {
+                return Err(XnfError::Api(format!(
+                    "'{query_or_view}' is a relational view, not a CO view"
+                )));
+            }
+            view.text
+        } else {
+            query_or_view.to_string()
+        };
+        let stmt = parse_statement(&text)?;
+        let query = match stmt {
+            Statement::Xnf(q) => q,
+            Statement::CreateView { body: ViewBody::Xnf(q), .. } => q,
+            _ => return Err(XnfError::Api("fetch_co expects an OUT OF query or XNF view".into())),
+        };
+        let result = self.run_xnf(&query)?;
+        let workspace = Workspace::from_result(&result)?;
+        let schema = derive_co_schema(self, &query)?;
+        Ok(CoCache { workspace, schema, query })
+    }
+}

@@ -1,0 +1,560 @@
+//! The `Database` facade: the paper's integrated DBMS handling "both the
+//! tabular as well as the CO data" (Sect. 3) behind one SQL/XNF interface.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use xnf_exec::{eval, execute_qep, OuterCtx, QueryResult};
+use xnf_plan::{plan_query, PhysExpr, PlanOptions, Qep};
+use xnf_qgm::{build_select_query, build_xnf_query, Qgm};
+use xnf_rewrite::{rewrite, RewriteOptions};
+use xnf_sql::{
+    parse_statement, parse_statements, ColumnDef, Expr, Select, Statement, TypeName, ViewBody,
+    XnfQuery,
+};
+use xnf_storage::{
+    BufferPool, Catalog, Column, DataType, DiskManager, Schema, Transaction, Tuple, Value,
+    ViewKind,
+};
+
+use crate::error::{Result, XnfError};
+
+/// Configuration for a database instance.
+#[derive(Debug, Clone, Copy)]
+pub struct DbConfig {
+    /// Buffer pool capacity in pages.
+    pub buffer_pages: usize,
+    /// Rewrite options applied at compile time.
+    pub rewrite: RewriteOptions,
+    /// Planner options.
+    pub plan: PlanOptions,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            buffer_pages: 1024,
+            rewrite: RewriteOptions::default(),
+            plan: PlanOptions::default(),
+        }
+    }
+}
+
+/// Result of [`Database::execute`].
+#[derive(Debug, Clone)]
+pub enum ExecOutcome {
+    /// DDL executed.
+    Done,
+    /// Rows affected by DML.
+    Affected(usize),
+    /// A query result (SQL table or XNF CO streams).
+    Rows(QueryResult),
+}
+
+impl ExecOutcome {
+    pub fn rows(self) -> QueryResult {
+        match self {
+            ExecOutcome::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    pub fn affected(&self) -> usize {
+        match self {
+            ExecOutcome::Affected(n) => *n,
+            _ => 0,
+        }
+    }
+}
+
+/// An embedded XNF database instance.
+pub struct Database {
+    catalog: Arc<Catalog>,
+    config: DbConfig,
+    /// Active explicit transaction, if any.
+    txn: Mutex<Option<Transaction>>,
+}
+
+impl Database {
+    /// Create an in-memory database.
+    pub fn new() -> Self {
+        Self::with_config(DbConfig::default())
+    }
+
+    pub fn with_config(config: DbConfig) -> Self {
+        let disk = Arc::new(DiskManager::new());
+        let pool = Arc::new(BufferPool::new(disk, config.buffer_pages));
+        Database { catalog: Arc::new(Catalog::new(pool)), config, txn: Mutex::new(None) }
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn config(&self) -> DbConfig {
+        self.config
+    }
+
+    // -- transactions -----------------------------------------------------
+
+    /// Begin an explicit transaction (single active transaction model).
+    pub fn begin(&self) -> Result<()> {
+        let mut txn = self.txn.lock();
+        if txn.is_some() {
+            return Err(XnfError::Api("a transaction is already active".to_string()));
+        }
+        *txn = Some(Transaction::begin());
+        Ok(())
+    }
+
+    pub fn commit(&self) -> Result<()> {
+        match self.txn.lock().take() {
+            Some(t) => {
+                t.commit();
+                Ok(())
+            }
+            None => Err(XnfError::Api("no active transaction".to_string())),
+        }
+    }
+
+    pub fn rollback(&self) -> Result<()> {
+        match self.txn.lock().take() {
+            Some(t) => {
+                t.abort().map_err(XnfError::from)?;
+                Ok(())
+            }
+            None => Err(XnfError::Api("no active transaction".to_string())),
+        }
+    }
+
+    pub fn in_transaction(&self) -> bool {
+        self.txn.lock().is_some()
+    }
+
+    /// Log operations performed directly against tables (write-back path)
+    /// into the active transaction, if any.
+    pub(crate) fn log_insert(&self, table: &Arc<xnf_storage::Table>, rid: xnf_storage::Rid) {
+        if let Some(t) = self.txn.lock().as_mut() {
+            t.log_insert(table, rid);
+        }
+    }
+
+    pub(crate) fn log_update(
+        &self,
+        table: &Arc<xnf_storage::Table>,
+        rid: xnf_storage::Rid,
+        old: Tuple,
+    ) {
+        if let Some(t) = self.txn.lock().as_mut() {
+            t.log_update(table, rid, old);
+        }
+    }
+
+    pub(crate) fn log_delete(&self, table: &Arc<xnf_storage::Table>, old: Tuple) {
+        if let Some(t) = self.txn.lock().as_mut() {
+            t.log_delete(table, old);
+        }
+    }
+
+    // -- statement execution ----------------------------------------------
+
+    /// Execute one statement (SQL or XNF).
+    pub fn execute(&self, text: &str) -> Result<ExecOutcome> {
+        let stmt = parse_statement(text)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute a batch of semicolon-separated statements; returns the last
+    /// outcome.
+    pub fn execute_batch(&self, text: &str) -> Result<ExecOutcome> {
+        let stmts = parse_statements(text)?;
+        let mut last = ExecOutcome::Done;
+        for s in &stmts {
+            last = self.execute_stmt(s)?;
+        }
+        Ok(last)
+    }
+
+    pub fn execute_stmt(&self, stmt: &Statement) -> Result<ExecOutcome> {
+        match stmt {
+            Statement::Select(s) => Ok(ExecOutcome::Rows(self.run_select(s)?)),
+            Statement::Xnf(q) => Ok(ExecOutcome::Rows(self.run_xnf(q)?)),
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(columns.iter().map(column_def).collect());
+                self.catalog.create_table(name, schema)?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::CreateIndex { name, table, columns, unique } => {
+                let t = self.catalog.table(table)?;
+                let mut ords = Vec::with_capacity(columns.len());
+                for c in columns {
+                    ords.push(t.column_index(c)?);
+                }
+                t.create_index(name, ords, *unique)?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::CreateView { name, body } => {
+                let (kind, text) = match body {
+                    ViewBody::Select(s) => {
+                        // Validate by building.
+                        build_select_query(&self.catalog, s)?;
+                        (ViewKind::Sql, s.to_string())
+                    }
+                    ViewBody::Xnf(q) => {
+                        build_xnf_query(&self.catalog, q)?;
+                        (ViewKind::Xnf, q.to_string())
+                    }
+                };
+                self.catalog.create_view(name, kind, &text)?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::DropTable { name } => {
+                self.catalog.drop_table(name)?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::DropView { name } => {
+                self.catalog.drop_view(name)?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::Analyze { table } => {
+                match table {
+                    Some(t) => {
+                        self.catalog.table(t)?.analyze()?;
+                    }
+                    None => {
+                        for name in self.catalog.table_names() {
+                            self.catalog.table(&name)?.analyze()?;
+                        }
+                    }
+                }
+                Ok(ExecOutcome::Done)
+            }
+            Statement::Insert { table, columns, rows } => {
+                Ok(ExecOutcome::Affected(self.run_insert(table, columns, rows)?))
+            }
+            Statement::Update { table, sets, where_clause } => {
+                Ok(ExecOutcome::Affected(self.run_update(table, sets, where_clause.as_ref())?))
+            }
+            Statement::Delete { table, where_clause } => {
+                Ok(ExecOutcome::Affected(self.run_delete(table, where_clause.as_ref())?))
+            }
+        }
+    }
+
+    /// Like [`Database::query`] but delivering XNF output streams in
+    /// parallel (one thread per node/connection stream) after the shared
+    /// component derivations are materialised — the parallel-extraction
+    /// option the paper lists as the natural extension for set-oriented CO
+    /// queries (Sect. 6).
+    pub fn query_parallel(&self, text: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(text)?;
+        let mut qgm = match &stmt {
+            Statement::Select(s) => build_select_query(&self.catalog, s)?,
+            Statement::Xnf(q) => build_xnf_query(&self.catalog, q)?,
+            _ => return Err(XnfError::Api("query_parallel expects SELECT or OUT OF".to_string())),
+        };
+        match rewrite(&mut qgm, self.config.rewrite) {
+            Ok(_) => {}
+            Err(xnf_rewrite::RewriteError::RecursiveCo) => {
+                if let Statement::Xnf(q) = &stmt {
+                    return crate::recursion::evaluate_recursive(self, q);
+                }
+                unreachable!("RecursiveCo from a non-XNF statement");
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let qep = plan_query(&self.catalog, &qgm, self.config.plan)?;
+        Ok(xnf_exec::execute_qep_parallel(&self.catalog, &qep)?)
+    }
+
+    /// Run a SELECT and return its single stream.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        match parse_statement(sql)? {
+            Statement::Select(s) => self.run_select(&s),
+            Statement::Xnf(q) => self.run_xnf(&q),
+            _ => Err(XnfError::Api("query() expects SELECT or OUT OF".to_string())),
+        }
+    }
+
+    /// Compile a SELECT or XNF query down to a QEP without running it.
+    pub fn compile(&self, text: &str) -> Result<Qep> {
+        let (qgm, _) = self.compile_to_qgm(text)?;
+        Ok(plan_query(&self.catalog, &qgm, self.config.plan)?)
+    }
+
+    /// Compile to rewritten QGM (exposed for experiments: op counting,
+    /// EXPLAIN, figure dumps).
+    pub fn compile_to_qgm(&self, text: &str) -> Result<(Qgm, xnf_rewrite::RewriteReport)> {
+        let stmt = parse_statement(text)?;
+        let mut qgm = match &stmt {
+            Statement::Select(s) => build_select_query(&self.catalog, s)?,
+            Statement::Xnf(q) => build_xnf_query(&self.catalog, q)?,
+            _ => return Err(XnfError::Api("compile() expects SELECT or OUT OF".to_string())),
+        };
+        let report = rewrite(&mut qgm, self.config.rewrite)?;
+        Ok((qgm, report))
+    }
+
+    /// EXPLAIN: the physical plan as text.
+    pub fn explain(&self, text: &str) -> Result<String> {
+        Ok(self.compile(text)?.explain())
+    }
+
+    pub(crate) fn run_select(&self, s: &Select) -> Result<QueryResult> {
+        let mut qgm = build_select_query(&self.catalog, s)?;
+        rewrite(&mut qgm, self.config.rewrite)?;
+        let qep = plan_query(&self.catalog, &qgm, self.config.plan)?;
+        Ok(execute_qep(&self.catalog, &qep)?)
+    }
+
+    pub(crate) fn run_xnf(&self, q: &XnfQuery) -> Result<QueryResult> {
+        let mut qgm = build_xnf_query(&self.catalog, q)?;
+        match rewrite(&mut qgm, self.config.rewrite) {
+            Ok(_) => {}
+            Err(xnf_rewrite::RewriteError::RecursiveCo) => {
+                // Cyclic schema graph: fixpoint evaluation path (Sect. 2).
+                return crate::recursion::evaluate_recursive(self, q);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let qep = plan_query(&self.catalog, &qgm, self.config.plan)?;
+        Ok(execute_qep(&self.catalog, &qep)?)
+    }
+
+    // -- DML ---------------------------------------------------------------
+
+    fn run_insert(&self, table: &str, columns: &[String], rows: &[Vec<Expr>]) -> Result<usize> {
+        let t = self.catalog.table(table)?;
+        let schema = &t.schema;
+        // Column list → target ordinals.
+        let targets: Vec<usize> = if columns.is_empty() {
+            (0..schema.len()).collect()
+        } else {
+            let mut v = Vec::with_capacity(columns.len());
+            for c in columns {
+                v.push(t.column_index(c)?);
+            }
+            v
+        };
+        let mut txn = self.txn.lock();
+        let mut n = 0;
+        for row in rows {
+            if row.len() != targets.len() {
+                return Err(XnfError::Api(format!(
+                    "INSERT row has {} values for {} columns",
+                    row.len(),
+                    targets.len()
+                )));
+            }
+            let mut values = vec![Value::Null; schema.len()];
+            for (expr, &ord) in row.iter().zip(&targets) {
+                let pe = const_expr(expr)?;
+                values[ord] = coerce(eval(&pe, &[], &OuterCtx::new(), &[])?, schema.column(ord).ty);
+            }
+            let tuple = Tuple::new(values);
+            let rid = t.insert(&tuple)?;
+            if let Some(txn) = txn.as_mut() {
+                txn.log_insert(&t, rid);
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn run_update(
+        &self,
+        table: &str,
+        sets: &[(String, Expr)],
+        where_clause: Option<&Expr>,
+    ) -> Result<usize> {
+        let t = self.catalog.table(table)?;
+        let filter = match where_clause {
+            Some(w) => Some(table_expr(&t.schema, &t.name, w)?),
+            None => None,
+        };
+        let set_exprs: Vec<(usize, PhysExpr)> = sets
+            .iter()
+            .map(|(c, e)| Ok((t.column_index(c)?, table_expr(&t.schema, &t.name, e)?)))
+            .collect::<Result<_>>()?;
+
+        // Collect matching RIDs first (stable against in-place mutation).
+        let mut matches = Vec::new();
+        t.for_each(|rid, tuple| {
+            matches.push((rid, tuple));
+            Ok(true)
+        })?;
+        let outer = OuterCtx::new();
+        let mut txn = self.txn.lock();
+        let mut n = 0;
+        for (rid, tuple) in matches {
+            if let Some(f) = &filter {
+                if !xnf_exec::truthy(&eval(f, &tuple.values, &outer, &[])?) {
+                    continue;
+                }
+            }
+            let mut new_vals = tuple.values.clone();
+            for (ord, e) in &set_exprs {
+                new_vals[*ord] = coerce(eval(e, &tuple.values, &outer, &[])?, t.schema.column(*ord).ty);
+            }
+            let (old, new_rid) = t.update(rid, &Tuple::new(new_vals))?;
+            if let Some(txn) = txn.as_mut() {
+                txn.log_update(&t, new_rid, old);
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn run_delete(&self, table: &str, where_clause: Option<&Expr>) -> Result<usize> {
+        let t = self.catalog.table(table)?;
+        let filter = match where_clause {
+            Some(w) => Some(table_expr(&t.schema, &t.name, w)?),
+            None => None,
+        };
+        let mut matches = Vec::new();
+        t.for_each(|rid, tuple| {
+            matches.push((rid, tuple));
+            Ok(true)
+        })?;
+        let outer = OuterCtx::new();
+        let mut txn = self.txn.lock();
+        let mut n = 0;
+        for (rid, tuple) in matches {
+            if let Some(f) = &filter {
+                if !xnf_exec::truthy(&eval(f, &tuple.values, &outer, &[])?) {
+                    continue;
+                }
+            }
+            let old = t.delete(rid)?;
+            if let Some(txn) = txn.as_mut() {
+                txn.log_delete(&t, old);
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn column_def(c: &ColumnDef) -> Column {
+    let ty = match c.ty {
+        TypeName::Int => DataType::Int,
+        TypeName::Double => DataType::Double,
+        TypeName::Varchar => DataType::Str,
+        TypeName::Boolean => DataType::Bool,
+    };
+    if c.not_null {
+        Column::not_null(&c.name, ty)
+    } else {
+        Column::new(&c.name, ty)
+    }
+}
+
+/// Coerce ints into double columns (the only implicit widening we allow).
+fn coerce(v: Value, ty: DataType) -> Value {
+    match (&v, ty) {
+        (Value::Int(i), DataType::Double) => Value::Double(*i as f64),
+        _ => v,
+    }
+}
+
+/// Lower a constant AST expression (no column references) to a PhysExpr.
+pub(crate) fn const_expr(e: &Expr) -> Result<PhysExpr> {
+    lower_expr(e, &mut |q, name| {
+        Err(XnfError::Api(format!(
+            "column reference '{}{name}' not allowed here",
+            q.map(|s| format!("{s}.")).unwrap_or_default()
+        )))
+    })
+}
+
+/// Lower an AST expression over one table's row (UPDATE/DELETE filters).
+pub(crate) fn table_expr(schema: &Schema, table: &str, e: &Expr) -> Result<PhysExpr> {
+    lower_expr(e, &mut |q, name| {
+        if let Some(qn) = q {
+            if !qn.eq_ignore_ascii_case(table) {
+                return Err(XnfError::Api(format!("unknown table qualifier '{qn}'")));
+            }
+        }
+        schema
+            .index_of(name)
+            .map(PhysExpr::Col)
+            .ok_or_else(|| XnfError::Api(format!("unknown column '{name}' in '{table}'")))
+    })
+}
+
+/// Lower an AST expression with a custom column resolver (used by the
+/// recursive-CO evaluator).
+pub(crate) fn lower_expr_with(
+    e: &Expr,
+    col: &mut impl FnMut(Option<&str>, &str) -> Result<PhysExpr>,
+) -> Result<PhysExpr> {
+    lower_expr(e, col)
+}
+
+fn lower_expr(
+    e: &Expr,
+    col: &mut impl FnMut(Option<&str>, &str) -> Result<PhysExpr>,
+) -> Result<PhysExpr> {
+    Ok(match e {
+        Expr::Literal(l) => PhysExpr::Literal(xnf_qgm::literal_value(l)),
+        Expr::Column { qualifier, name } => col(qualifier.as_deref(), name)?,
+        Expr::Unary { op, expr } => {
+            PhysExpr::Unary { op: *op, expr: Box::new(lower_expr(expr, col)?) }
+        }
+        Expr::Binary { left, op, right } => PhysExpr::Binary {
+            left: Box::new(lower_expr(left, col)?),
+            op: *op,
+            right: Box::new(lower_expr(right, col)?),
+        },
+        Expr::IsNull { expr, negated } => {
+            PhysExpr::IsNull { expr: Box::new(lower_expr(expr, col)?), negated: *negated }
+        }
+        Expr::Like { expr, pattern, negated } => PhysExpr::Like {
+            expr: Box::new(lower_expr(expr, col)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => {
+            let x = lower_expr(expr, col)?;
+            let both = PhysExpr::Binary {
+                left: Box::new(PhysExpr::Binary {
+                    left: Box::new(x.clone()),
+                    op: xnf_sql::BinOp::GtEq,
+                    right: Box::new(lower_expr(low, col)?),
+                }),
+                op: xnf_sql::BinOp::And,
+                right: Box::new(PhysExpr::Binary {
+                    left: Box::new(x),
+                    op: xnf_sql::BinOp::LtEq,
+                    right: Box::new(lower_expr(high, col)?),
+                }),
+            };
+            if *negated {
+                PhysExpr::Unary { op: xnf_sql::UnaryOp::Not, expr: Box::new(both) }
+            } else {
+                both
+            }
+        }
+        Expr::InList { expr, list, negated } => PhysExpr::InList {
+            expr: Box::new(lower_expr(expr, col)?),
+            list: list.iter().map(|x| lower_expr(x, col)).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Func { func, args } => PhysExpr::Func {
+            func: *func,
+            args: args.iter().map(|x| lower_expr(x, col)).collect::<Result<_>>()?,
+        },
+        other => {
+            return Err(XnfError::Api(format!(
+                "expression '{other}' not allowed in this context"
+            )))
+        }
+    })
+}

@@ -1,0 +1,72 @@
+//! Unified error type for the XNF core API.
+
+use std::fmt;
+
+use xnf_plan::PlanError;
+use xnf_qgm::QgmError;
+use xnf_rewrite::RewriteError;
+use xnf_sql::ParseError;
+use xnf_storage::StorageError;
+
+/// Any error the XNF database can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XnfError {
+    Parse(ParseError),
+    Semantic(QgmError),
+    Rewrite(RewriteError),
+    Plan(PlanError),
+    Exec(xnf_exec::ExecError),
+    Storage(StorageError),
+    /// API misuse or unsupported operations (e.g. updating a non-updatable
+    /// view component).
+    Api(String),
+}
+
+impl fmt::Display for XnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XnfError::Parse(e) => write!(f, "{e}"),
+            XnfError::Semantic(e) => write!(f, "{e}"),
+            XnfError::Rewrite(e) => write!(f, "{e}"),
+            XnfError::Plan(e) => write!(f, "{e}"),
+            XnfError::Exec(e) => write!(f, "{e}"),
+            XnfError::Storage(e) => write!(f, "{e}"),
+            XnfError::Api(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for XnfError {}
+
+impl From<ParseError> for XnfError {
+    fn from(e: ParseError) -> Self {
+        XnfError::Parse(e)
+    }
+}
+impl From<QgmError> for XnfError {
+    fn from(e: QgmError) -> Self {
+        XnfError::Semantic(e)
+    }
+}
+impl From<RewriteError> for XnfError {
+    fn from(e: RewriteError) -> Self {
+        XnfError::Rewrite(e)
+    }
+}
+impl From<PlanError> for XnfError {
+    fn from(e: PlanError) -> Self {
+        XnfError::Plan(e)
+    }
+}
+impl From<xnf_exec::ExecError> for XnfError {
+    fn from(e: xnf_exec::ExecError) -> Self {
+        XnfError::Exec(e)
+    }
+}
+impl From<StorageError> for XnfError {
+    fn from(e: StorageError) -> Self {
+        XnfError::Storage(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, XnfError>;

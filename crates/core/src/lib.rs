@@ -1,0 +1,76 @@
+//! # xnf-core — composite-object views over relational data
+//!
+//! The public API of the reproduction of Pirahesh, Mitschang, Südkamp &
+//! Lindsay, *Composite-Object Views in Relational DBMS: An Implementation
+//! Perspective* (Information Systems 19(1), 1994):
+//!
+//! - [`Database`] — an embedded Starburst-style RDBMS with the XNF
+//!   extension: SQL and `OUT OF … TAKE …` composite-object queries share
+//!   one compilation pipeline (parser → QGM → rewrite → plan → QES);
+//! - [`Workspace`] / [`CoCache`] — the client-side XNF cache: heterogeneous
+//!   CO streams swizzled into pointer-linked components with independent
+//!   and dependent cursors, path expressions, updates + write-back, and
+//!   disk persistence for long transactions;
+//! - [`client_server`] — the workstation/server shipping simulation used by
+//!   the evaluation (crossings, bytes, exposure; page vs object vs query
+//!   shipping);
+//! - [`recursion`] — fixpoint evaluation for recursive COs.
+//!
+//! ```
+//! use xnf_core::Database;
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE DEPT (dno INT, dname VARCHAR(20), loc VARCHAR(10))").unwrap();
+//! db.execute("CREATE TABLE EMP (eno INT, ename VARCHAR(20), edno INT)").unwrap();
+//! db.execute("INSERT INTO DEPT VALUES (1, 'tools', 'ARC'), (2, 'apps', 'HDC')").unwrap();
+//! db.execute("INSERT INTO EMP VALUES (10, 'mia', 1), (11, 'ben', 2)").unwrap();
+//!
+//! let co = db
+//!     .fetch_co(
+//!         "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+//!                 xemp AS EMP,
+//!                 employment AS (RELATE xdept VIA EMPLOYS, xemp
+//!                                WHERE xdept.dno = xemp.edno)
+//!          TAKE *",
+//!     )
+//!     .unwrap();
+//! let dept = co.workspace.independent("xdept").unwrap().next().unwrap();
+//! let employees: Vec<String> = dept
+//!     .children("employment")
+//!     .unwrap()
+//!     .map(|e| e.get("ename").unwrap().to_string())
+//!     .collect();
+//! assert_eq!(employees, vec!["'mia'"]);
+//! ```
+
+pub mod cache;
+pub mod client_server;
+pub mod co;
+pub mod db;
+pub mod error;
+pub mod persist;
+pub mod recursion;
+pub mod writeback;
+
+pub use cache::{
+    Change, Component, DependentCursor, IndependentCursor, Relationship, TupleId, TupleRef,
+    Workspace,
+};
+pub use client_server::{
+    navigational_extract, simulate_shipping, FetchStrategy, NavLevel, Server, ShippingPolicy,
+    ShippingReport, TransportCost, TransportStats,
+};
+pub use co::CoCache;
+pub use db::{Database, DbConfig, ExecOutcome};
+pub use error::{Result, XnfError};
+pub use persist::{load_from_file, load_workspace, save_to_file, save_workspace};
+pub use writeback::{derive_co_schema, write_back, BaseMap, CoSchema, CompMeta, RelMeta};
+
+// Re-export the lower layers for power users and the bench harness.
+pub use xnf_exec::{ExecStats, QueryResult, StreamResult};
+pub use xnf_plan::{PlanOptions, Qep};
+pub use xnf_rewrite::{RewriteOptions, RewriteReport};
+pub use xnf_storage::{DataType, Value};
+
+#[cfg(test)]
+mod core_tests;

@@ -1,0 +1,175 @@
+//! Cache persistence (Sect. 5: "for long transactions, XNF allows the cache
+//! to be stored on disk and retrieved later, thereby protecting the cache
+//! from client machine's failure").
+//!
+//! A small versioned binary format reusing the storage layer's value codec.
+//! Pending (unsynced) changes are not persisted: callers either write back
+//! or accept losing local edits, matching the paper's workspace model.
+
+use std::io::{Read, Write};
+
+use xnf_storage::tuple::{decode_values, encode_values};
+
+use crate::cache::{Component, Relationship, TupleId, Workspace};
+use crate::error::{Result, XnfError};
+
+const MAGIC: &[u8; 4] = b"XNF1";
+
+fn io_err(e: std::io::Error) -> XnfError {
+    XnfError::Api(format!("cache persistence I/O error: {e}"))
+}
+
+fn corrupt(msg: &str) -> XnfError {
+    XnfError::Api(format!("corrupt cache image: {msg}"))
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes()).map_err(io_err)
+}
+
+fn read_exact(r: &mut impl Read, n: usize) -> Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf).map_err(io_err)?;
+    Ok(buf)
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let b = read_exact(r, 4)?;
+    Ok(u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn read_str(r: &mut impl Read) -> Result<String> {
+    let n = read_u32(r)? as usize;
+    let b = read_exact(r, n)?;
+    String::from_utf8(b).map_err(|_| corrupt("invalid utf-8"))
+}
+
+/// Serialize a workspace to a writer.
+pub fn save_workspace(ws: &Workspace, w: &mut impl Write) -> Result<()> {
+    w.write_all(MAGIC).map_err(io_err)?;
+    write_u32(w, ws.components.len() as u32)?;
+    for c in &ws.components {
+        write_str(w, &c.name)?;
+        write_u32(w, c.columns.len() as u32)?;
+        for col in &c.columns {
+            write_str(w, col)?;
+        }
+        write_u32(w, c.rows.len() as u32)?;
+        let mut buf = Vec::new();
+        for (i, row) in c.rows.iter().enumerate() {
+            buf.clear();
+            encode_values(row, &mut buf);
+            write_u32(w, buf.len() as u32)?;
+            w.write_all(&buf).map_err(io_err)?;
+            w.write_all(&[u8::from(c.is_deleted(i as TupleId))]).map_err(io_err)?;
+        }
+    }
+    write_u32(w, ws.relationships.len() as u32)?;
+    for r in &ws.relationships {
+        write_str(w, &r.name)?;
+        write_str(w, &r.role)?;
+        write_u32(w, r.parent as u32)?;
+        write_u32(w, r.children.len() as u32)?;
+        for &c in &r.children {
+            write_u32(w, c as u32)?;
+        }
+        write_u32(w, r.connections.len() as u32)?;
+        for conn in &r.connections {
+            for &id in conn {
+                write_u32(w, id)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a workspace; adjacency pointers are re-swizzled on load.
+pub fn load_workspace(r: &mut impl Read) -> Result<Workspace> {
+    let magic = read_exact(r, 4)?;
+    if magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let mut ws = Workspace::default();
+    let ncomp = read_u32(r)? as usize;
+    for ci in 0..ncomp {
+        let name = read_str(r)?;
+        let ncols = read_u32(r)? as usize;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            columns.push(read_str(r)?);
+        }
+        let nrows = read_u32(r)? as usize;
+        let mut rows = Vec::with_capacity(nrows);
+        let mut deleted = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let len = read_u32(r)? as usize;
+            let bytes = read_exact(r, len)?;
+            let (values, rest) = decode_values(&bytes).map_err(XnfError::from)?;
+            if !rest.is_empty() {
+                return Err(corrupt("trailing bytes in row"));
+            }
+            rows.push(values);
+            let flag = read_exact(r, 1)?;
+            deleted.push(flag[0] != 0);
+        }
+        ws.comp_by_name.insert(name.to_ascii_lowercase(), ci);
+        let base_len = rows.len();
+        ws.components.push(Component { name, columns, rows, deleted, base_len });
+    }
+    let nrel = read_u32(r)? as usize;
+    for ri in 0..nrel {
+        let name = read_str(r)?;
+        let role = read_str(r)?;
+        let parent = read_u32(r)? as usize;
+        let nchildren = read_u32(r)? as usize;
+        let mut children = Vec::with_capacity(nchildren);
+        for _ in 0..nchildren {
+            children.push(read_u32(r)? as usize);
+        }
+        if parent >= ws.components.len() || children.iter().any(|&c| c >= ws.components.len()) {
+            return Err(corrupt("relationship references missing component"));
+        }
+        let nconn = read_u32(r)? as usize;
+        let mut connections = Vec::with_capacity(nconn);
+        for _ in 0..nconn {
+            let mut conn = Vec::with_capacity(1 + nchildren);
+            for _ in 0..1 + nchildren {
+                conn.push(read_u32(r)?);
+            }
+            connections.push(conn);
+        }
+        ws.rel_by_name.insert(name.to_ascii_lowercase(), ri);
+        let mut rel = Relationship {
+            name,
+            role,
+            parent,
+            children,
+            connections,
+            forward: Vec::new(),
+            backward: Vec::new(),
+        };
+        crate::cache::reswizzle(&mut rel, &ws.components)?;
+        ws.relationships.push(rel);
+    }
+    Ok(ws)
+}
+
+/// Save a workspace to a file.
+pub fn save_to_file(ws: &Workspace, path: &std::path::Path) -> Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path).map_err(io_err)?);
+    save_workspace(ws, &mut f)?;
+    f.flush().map_err(io_err)
+}
+
+/// Load a workspace from a file.
+pub fn load_from_file(path: &std::path::Path) -> Result<Workspace> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path).map_err(io_err)?);
+    load_workspace(&mut f)
+}
+
+

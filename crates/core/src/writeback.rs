@@ -1,0 +1,503 @@
+//! Updatability analysis and write-back (Sect. 2 "CO update operators").
+//!
+//! Node updates are view updates: a component defined by a *simple* view
+//! (selection/projection of one base table) maps its changes straight back
+//! to that table. Relationships defined "based on simple foreign keys or
+//! connect tables" support connect/disconnect by updating the foreign key
+//! or inserting/deleting mapping-table rows. Richer definitions (joins,
+//! aggregation, arbitrary predicates) are readable but not updatable —
+//! precisely the paper's rule.
+//!
+//! Identification of base rows uses optimistic match-by-value over all
+//! mapped columns (the cache has no RIDs); a vanished base row surfaces as
+//! a conflict error and aborts the write-back transaction.
+
+use std::collections::HashMap;
+
+use xnf_sql::{
+    parse_statement, BinOp, Expr, SelectItem, Statement, TableRef, ViewBody, XnfDef, XnfQuery,
+    XnfRelationship,
+};
+use xnf_storage::{Tuple, Value, ViewKind};
+
+use crate::cache::{Change, TupleId, Workspace};
+use crate::db::Database;
+use crate::error::{Result, XnfError};
+
+/// How a component maps back to base data.
+#[derive(Debug, Clone)]
+pub struct CompMeta {
+    pub name: String,
+    /// `Some` iff the component is a simple (updatable) view.
+    pub base: Option<BaseMap>,
+}
+
+/// Mapping of an updatable component onto its base table.
+#[derive(Debug, Clone)]
+pub struct BaseMap {
+    pub table: String,
+    /// For each cache column: the base-table column ordinal.
+    pub columns: Vec<usize>,
+}
+
+/// How a relationship maps back to base data.
+#[derive(Debug, Clone)]
+pub enum RelMeta {
+    /// Predicate `parent.key = child.fk`: connect/disconnect update the
+    /// child's foreign-key column.
+    ForeignKey {
+        name: String,
+        /// Cache column of the parent holding the key value.
+        parent_col: usize,
+        /// Cache column of the child holding the FK (must be base-mapped).
+        child_col: usize,
+    },
+    /// `USING m WHERE parent.a = m.x AND m.y = child.b`: connect inserts a
+    /// mapping row, disconnect deletes it.
+    ConnectTable {
+        name: String,
+        table: String,
+        parent_col: usize,
+        child_col: usize,
+        /// Mapping-table column ordinals for the parent/child sides.
+        m_parent_col: usize,
+        m_child_col: usize,
+    },
+    /// Anything richer: readable, not updatable.
+    General { name: String },
+}
+
+impl RelMeta {
+    pub fn name(&self) -> &str {
+        match self {
+            RelMeta::ForeignKey { name, .. }
+            | RelMeta::ConnectTable { name, .. }
+            | RelMeta::General { name } => name,
+        }
+    }
+}
+
+/// Updatability metadata for a cached CO.
+#[derive(Debug, Clone, Default)]
+pub struct CoSchema {
+    pub components: Vec<CompMeta>,
+    pub relationships: Vec<RelMeta>,
+}
+
+impl CoSchema {
+    pub fn component(&self, name: &str) -> Option<&CompMeta> {
+        self.components.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn relationship(&self, name: &str) -> Option<&RelMeta> {
+        self.relationships.iter().find(|r| r.name().eq_ignore_ascii_case(name))
+    }
+}
+
+/// Derive updatability metadata from an XNF query against a database's
+/// catalog, inlining referenced XNF views.
+pub fn derive_co_schema(db: &Database, q: &XnfQuery) -> Result<CoSchema> {
+    let mut schema = CoSchema::default();
+    let mut defs = Vec::new();
+    flatten_defs(db, &q.defs, &mut defs, 0)?;
+    let mut comp_by_name: HashMap<String, usize> = HashMap::new();
+    for def in &defs {
+        match def {
+            XnfDef::Table { name, select, .. } => {
+                let base = analyze_simple_view(db, select);
+                comp_by_name.insert(name.to_ascii_lowercase(), schema.components.len());
+                schema.components.push(CompMeta { name: name.clone(), base });
+            }
+            XnfDef::Relationship(rel) => {
+                schema.relationships.push(analyze_relationship(db, rel, &schema, &comp_by_name));
+            }
+            XnfDef::ViewRef { .. } => unreachable!("flattened"),
+        }
+    }
+    Ok(schema)
+}
+
+pub(crate) fn flatten_defs(
+    db: &Database,
+    defs: &[XnfDef],
+    out: &mut Vec<XnfDef>,
+    depth: u32,
+) -> Result<()> {
+    if depth > 16 {
+        return Err(XnfError::Api("XNF view inlining too deep".to_string()));
+    }
+    for def in defs {
+        match def {
+            XnfDef::ViewRef { name } => {
+                let view = db
+                    .catalog()
+                    .view(name)
+                    .ok_or_else(|| XnfError::Api(format!("unknown XNF view '{name}'")))?;
+                if view.kind != ViewKind::Xnf {
+                    return Err(XnfError::Api(format!("'{name}' is not an XNF view")));
+                }
+                let stmt = parse_statement(&view.text)?;
+                let inner = match stmt {
+                    Statement::Xnf(q) => q,
+                    Statement::CreateView { body: ViewBody::Xnf(q), .. } => q,
+                    _ => return Err(XnfError::Api(format!("view '{name}' is not an OUT OF query"))),
+                };
+                flatten_defs(db, &inner.defs, out, depth + 1)?;
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    Ok(())
+}
+
+/// A component is updatable iff it is `SELECT [*|cols] FROM one_base_table
+/// [WHERE ...]` with no joins, grouping, distinct or unions.
+fn analyze_simple_view(db: &Database, select: &xnf_sql::Select) -> Option<BaseMap> {
+    if select.from.len() != 1
+        || !select.joins.is_empty()
+        || !select.group_by.is_empty()
+        || select.having.is_some()
+        || !select.unions.is_empty()
+        || select.distinct
+    {
+        return None;
+    }
+    let TableRef::Named { name, .. } = &select.from[0] else {
+        return None;
+    };
+    let table = db.catalog().table(name).ok()?;
+    let mut columns = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                columns.extend(0..table.schema.len());
+            }
+            SelectItem::Expr { expr: Expr::Column { name: c, .. }, .. } => {
+                columns.push(table.schema.index_of(c)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(BaseMap { table: table.name.clone(), columns })
+}
+
+/// Classify a relationship as FK-based, connect-table-based or general.
+fn analyze_relationship(
+    db: &Database,
+    rel: &XnfRelationship,
+    schema: &CoSchema,
+    comp_by_name: &HashMap<String, usize>,
+) -> RelMeta {
+    let general = RelMeta::General { name: rel.name.clone() };
+    if rel.children.len() != 1 {
+        return general;
+    }
+    let child = &rel.children[0];
+    let conjuncts = rel.predicate.conjuncts();
+
+    // Column resolver: qualifier must be parent/child/using-alias.
+    let side_of = |e: &Expr| -> Option<(char, String)> {
+        if let Expr::Column { qualifier: Some(q), name } = e {
+            if q.eq_ignore_ascii_case(&rel.parent) {
+                return Some(('p', name.clone()));
+            }
+            if q.eq_ignore_ascii_case(child) {
+                return Some(('c', name.clone()));
+            }
+            if rel
+                .using
+                .first()
+                .map(|(t, a)| {
+                    q.eq_ignore_ascii_case(a.as_deref().unwrap_or(t))
+                })
+                .unwrap_or(false)
+            {
+                return Some(('m', name.clone()));
+            }
+        }
+        None
+    };
+    let eq_sides = |e: &Expr| -> Option<((char, String), (char, String))> {
+        if let Expr::Binary { left, op: BinOp::Eq, right } = e {
+            Some((side_of(left)?, side_of(right)?))
+        } else {
+            None
+        }
+    };
+
+    // Cache column index lookup via the component's base map or columns.
+    let comp_col = |comp: &str, col: &str| -> Option<usize> {
+        let idx = comp_by_name.get(&comp.to_ascii_lowercase())?;
+        let meta = &schema.components[*idx];
+        // Columns of the cache are the select list; with a base map the
+        // positions align with `columns`. Resolve through the base table.
+        let base = meta.base.as_ref()?;
+        let table = db.catalog().table(&base.table).ok()?;
+        let base_ord = table.schema.index_of(col)?;
+        base.columns.iter().position(|&b| b == base_ord)
+    };
+
+    if rel.using.is_empty() && conjuncts.len() == 1 {
+        // FK pattern: parent.key = child.fk (either side order).
+        if let Some((a, b)) = eq_sides(conjuncts[0]) {
+            let (p, c) = match (a.0, b.0) {
+                ('p', 'c') => (a.1, b.1),
+                ('c', 'p') => (b.1, a.1),
+                _ => return general,
+            };
+            if let (Some(pc), Some(cc)) = (comp_col(&rel.parent, &p), comp_col(child, &c)) {
+                return RelMeta::ForeignKey { name: rel.name.clone(), parent_col: pc, child_col: cc };
+            }
+        }
+        return general;
+    }
+    if rel.using.len() == 1 && conjuncts.len() == 2 {
+        // Connect-table pattern: parent.a = m.x AND m.y = child.b.
+        let (m_table, _) = &rel.using[0];
+        let Some(table) = db.catalog().table(m_table).ok() else {
+            return general;
+        };
+        let mut parent_side: Option<(String, String)> = None; // (parent col, m col)
+        let mut child_side: Option<(String, String)> = None;
+        for cj in &conjuncts {
+            if let Some((a, b)) = eq_sides(cj) {
+                match (a.0, b.0) {
+                    ('p', 'm') => parent_side = Some((a.1, b.1)),
+                    ('m', 'p') => parent_side = Some((b.1, a.1)),
+                    ('c', 'm') => child_side = Some((a.1, b.1)),
+                    ('m', 'c') => child_side = Some((b.1, a.1)),
+                    _ => return general,
+                }
+            } else {
+                return general;
+            }
+        }
+        if let (Some((pcol, mx)), Some((ccol, my))) = (parent_side, child_side) {
+            if let (Some(pc), Some(cc), Some(mp), Some(mc)) = (
+                comp_col(&rel.parent, &pcol),
+                comp_col(child, &ccol),
+                table.schema.index_of(&mx),
+                table.schema.index_of(&my),
+            ) {
+                return RelMeta::ConnectTable {
+                    name: rel.name.clone(),
+                    table: table.name.clone(),
+                    parent_col: pc,
+                    child_col: cc,
+                    m_parent_col: mp,
+                    m_child_col: mc,
+                };
+            }
+        }
+    }
+    general
+}
+
+/// Apply the workspace's pending changes back to the database, atomically.
+/// Returns the number of base-table operations performed.
+pub fn write_back(db: &Database, ws: &mut Workspace, schema: &CoSchema) -> Result<usize> {
+    let changes = ws.take_changes();
+    let own_txn = !db.in_transaction();
+    if own_txn {
+        db.begin()?;
+    }
+    let result = apply_changes(db, ws, schema, &changes);
+    match result {
+        Ok(n) => {
+            if own_txn {
+                db.commit()?;
+            }
+            Ok(n)
+        }
+        Err(e) => {
+            if own_txn {
+                db.rollback()?;
+            }
+            // Restore the log so the caller may retry.
+            ws.changes = changes;
+            Err(e)
+        }
+    }
+}
+
+fn apply_changes(
+    db: &Database,
+    ws: &Workspace,
+    schema: &CoSchema,
+    changes: &[Change],
+) -> Result<usize> {
+    let mut ops = 0;
+    for change in changes {
+        match change {
+            Change::Update { comp, id: _, old, new } => {
+                let meta = &schema.components[*comp];
+                let base = updatable(meta)?;
+                update_base_row(db, base, old, new)?;
+                ops += 1;
+            }
+            Change::Insert { comp, id } => {
+                let meta = &schema.components[*comp];
+                let base = updatable(meta)?;
+                let row = ws.components[*comp].row(*id);
+                insert_base_row(db, base, row)?;
+                ops += 1;
+            }
+            Change::Delete { comp, id: _, old } => {
+                let meta = &schema.components[*comp];
+                let base = updatable(meta)?;
+                delete_base_row(db, base, old)?;
+                ops += 1;
+            }
+            Change::Connect { rel, conn } => {
+                apply_connect(db, ws, schema, *rel, conn, true)?;
+                ops += 1;
+            }
+            Change::Disconnect { rel, conn } => {
+                apply_connect(db, ws, schema, *rel, conn, false)?;
+                ops += 1;
+            }
+        }
+    }
+    Ok(ops)
+}
+
+fn updatable(meta: &CompMeta) -> Result<&BaseMap> {
+    meta.base.as_ref().ok_or_else(|| {
+        XnfError::Api(format!(
+            "component '{}' is not updatable (not a simple single-table view)",
+            meta.name
+        ))
+    })
+}
+
+/// Find the base RID whose mapped columns equal the cached row.
+fn find_base_rid(db: &Database, base: &BaseMap, row: &[Value]) -> Result<xnf_storage::Rid> {
+    find_base_rid_masked(db, base, row, &[])
+}
+
+/// Like [`find_base_rid`] but ignoring the cache columns in `skip` — used
+/// by FK connect/disconnect, where the cached FK value is stale by design
+/// (the cache records re-wiring in the adjacency, not in the row image).
+fn find_base_rid_masked(
+    db: &Database,
+    base: &BaseMap,
+    row: &[Value],
+    skip: &[usize],
+) -> Result<xnf_storage::Rid> {
+    let t = db.catalog().table(&base.table)?;
+    let mut found = None;
+    t.for_each(|rid, tuple| {
+        let matches = base
+            .columns
+            .iter()
+            .zip(row)
+            .enumerate()
+            .all(|(i, (&b, v))| skip.contains(&i) || tuple.values[b].total_cmp(v).is_eq());
+        if matches {
+            found = Some(rid);
+            Ok(false)
+        } else {
+            Ok(true)
+        }
+    })?;
+    found.ok_or_else(|| {
+        XnfError::Api(format!(
+            "write-back conflict: no row in '{}' matches the cached image",
+            base.table
+        ))
+    })
+}
+
+fn update_base_row(db: &Database, base: &BaseMap, old: &[Value], new: &[Value]) -> Result<()> {
+    let rid = find_base_rid(db, base, old)?;
+    let t = db.catalog().table(&base.table)?;
+    let mut tuple = t.get(rid)?;
+    for (&b, v) in base.columns.iter().zip(new) {
+        tuple.values[b] = v.clone();
+    }
+    let (old_tuple, new_rid) = t.update(rid, &tuple)?;
+    db.log_update(&t, new_rid, old_tuple);
+    Ok(())
+}
+
+fn insert_base_row(db: &Database, base: &BaseMap, row: &[Value]) -> Result<()> {
+    let t = db.catalog().table(&base.table)?;
+    let mut values = vec![Value::Null; t.schema.len()];
+    for (&b, v) in base.columns.iter().zip(row) {
+        values[b] = v.clone();
+    }
+    let rid = t.insert(&Tuple::new(values))?;
+    db.log_insert(&t, rid);
+    Ok(())
+}
+
+fn delete_base_row(db: &Database, base: &BaseMap, row: &[Value]) -> Result<()> {
+    let rid = find_base_rid(db, base, row)?;
+    let t = db.catalog().table(&base.table)?;
+    let old = t.delete(rid)?;
+    db.log_delete(&t, old);
+    Ok(())
+}
+
+fn apply_connect(
+    db: &Database,
+    ws: &Workspace,
+    schema: &CoSchema,
+    rel: usize,
+    conn: &[TupleId],
+    connect: bool,
+) -> Result<()> {
+    let meta = &schema.relationships[rel];
+    let r = &ws.relationships[rel];
+    let parent_row = ws.components[r.parent].row(conn[0]);
+    let child_row = ws.components[r.children[0]].row(conn[1]);
+    match meta {
+        RelMeta::ForeignKey { parent_col, child_col, .. } => {
+            // Update the child's FK column to the parent key (or NULL). The
+            // cached FK value may be stale (a preceding disconnect already
+            // rewrote it in the base), so match ignoring the FK column.
+            let child_meta = &schema.components[r.children[0]];
+            let base = updatable(child_meta)?;
+            let rid = find_base_rid_masked(db, base, child_row, &[*child_col])?;
+            let t = db.catalog().table(&base.table)?;
+            let mut tuple = t.get(rid)?;
+            tuple.values[base.columns[*child_col]] =
+                if connect { parent_row[*parent_col].clone() } else { Value::Null };
+            let (old_tuple, new_rid) = t.update(rid, &tuple)?;
+            db.log_update(&t, new_rid, old_tuple);
+            Ok(())
+        }
+        RelMeta::ConnectTable { table, parent_col, child_col, m_parent_col, m_child_col, .. } => {
+            let t = db.catalog().table(table)?;
+            if connect {
+                let mut values = vec![Value::Null; t.schema.len()];
+                values[*m_parent_col] = parent_row[*parent_col].clone();
+                values[*m_child_col] = child_row[*child_col].clone();
+                let rid = t.insert(&Tuple::new(values))?;
+                db.log_insert(&t, rid);
+            } else {
+                // Delete one matching mapping row.
+                let mut target = None;
+                t.for_each(|rid, tuple| {
+                    if tuple.values[*m_parent_col].total_cmp(&parent_row[*parent_col]).is_eq()
+                        && tuple.values[*m_child_col].total_cmp(&child_row[*child_col]).is_eq()
+                    {
+                        target = Some(rid);
+                        Ok(false)
+                    } else {
+                        Ok(true)
+                    }
+                })?;
+                let rid = target.ok_or_else(|| {
+                    XnfError::Api(format!("write-back conflict: mapping row missing in '{table}'"))
+                })?;
+                let old = t.delete(rid)?;
+                db.log_delete(&t, old);
+            }
+            Ok(())
+        }
+        RelMeta::General { name } => Err(XnfError::Api(format!(
+            "relationship '{name}' is not updatable (neither FK- nor connect-table-based)"
+        ))),
+    }
+}

@@ -1,0 +1,119 @@
+//! The execution engine: materialises shared subplans ("table queues") and
+//! delivers the output streams of a QEP.
+
+use std::sync::Arc;
+
+use xnf_plan::{Qep, QepOutput};
+use xnf_qgm::OutputKind;
+use xnf_storage::Catalog;
+
+use crate::error::Result;
+use crate::eval::Row;
+use crate::ops::{build_operator, drain, ExecStats, Runtime};
+
+/// One delivered output stream.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    pub name: String,
+    pub kind: OutputKind,
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+/// The complete result of a QEP: all output streams, in delivery order.
+/// For a plain SQL query there is exactly one stream; for an XNF query the
+/// streams form the heterogeneous CO result (node streams + connection
+/// streams, Sect. 5.0).
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub streams: Vec<StreamResult>,
+    pub stats: ExecStats,
+}
+
+impl QueryResult {
+    /// The single relational result (panics if this is a CO result).
+    pub fn table(&self) -> &StreamResult {
+        assert_eq!(self.streams.len(), 1, "expected a single relational stream");
+        &self.streams[0]
+    }
+
+    /// Find a stream by name.
+    pub fn stream(&self, name: &str) -> Option<&StreamResult> {
+        self.streams.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Execute a QEP against a catalog.
+pub fn execute_qep(catalog: &Catalog, qep: &Qep) -> Result<QueryResult> {
+    let mut rt = Runtime::new(catalog);
+    // Materialise shared subplans in id order (ids are topologically
+    // sorted: a shared plan only references lower ids).
+    for plan in &qep.shared {
+        let mut op = build_operator(plan);
+        let rows = drain(op.as_mut(), &mut rt)?;
+        rt.shared.push(Arc::new(rows));
+    }
+    let mut streams = Vec::with_capacity(qep.outputs.len());
+    for out in &qep.outputs {
+        streams.push(run_output(&mut rt, out)?);
+    }
+    let stats = rt.stats;
+    Ok(QueryResult { streams, stats })
+}
+
+fn run_output(rt: &mut Runtime<'_>, out: &QepOutput) -> Result<StreamResult> {
+    let mut op = build_operator(&out.plan);
+    let rows = drain(op.as_mut(), rt)?;
+    rt.stats.rows_emitted += rows.len() as u64;
+    Ok(StreamResult {
+        name: out.name.clone(),
+        kind: out.kind.clone(),
+        columns: out.columns.clone(),
+        rows,
+    })
+}
+
+/// Execute a QEP delivering the output streams **in parallel** (one thread
+/// per stream), after sequentially materialising the shared subplans they
+/// all read. This is the parallelism opportunity the paper calls out for
+/// set-oriented CO extraction (Sect. 5.1 / Sect. 6 "parallelism technology
+/// … become[s] automatically available to XNF"): the heterogeneous output
+/// streams are independent once the common subexpressions exist.
+pub fn execute_qep_parallel(catalog: &Catalog, qep: &Qep) -> Result<QueryResult> {
+    let mut rt = Runtime::new(catalog);
+    for plan in &qep.shared {
+        let mut op = build_operator(plan);
+        let rows = drain(op.as_mut(), &mut rt)?;
+        rt.shared.push(Arc::new(rows));
+    }
+    let shared = rt.shared.clone();
+    let base_stats = rt.stats;
+
+    let joined: Vec<Result<(StreamResult, ExecStats)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = qep
+            .outputs
+            .iter()
+            .map(|out| {
+                let shared = shared.clone();
+                scope.spawn(move |_| {
+                    let mut rt = Runtime::new(catalog);
+                    rt.shared = shared;
+                    run_output(&mut rt, out).map(|sr| (sr, rt.stats))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stream thread panicked")).collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut streams = Vec::with_capacity(joined.len());
+    let mut stats = base_stats;
+    for r in joined {
+        let (sr, s) = r?;
+        stats.rows_scanned += s.rows_scanned;
+        stats.subquery_invocations += s.subquery_invocations;
+        stats.rows_emitted += s.rows_emitted;
+        streams.push(sr);
+    }
+    Ok(QueryResult { streams, stats })
+}

@@ -1,0 +1,39 @@
+//! Execution errors.
+
+use std::fmt;
+
+use xnf_storage::StorageError;
+
+/// Errors raised at query runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Type error during expression evaluation.
+    Type(String),
+    /// Arithmetic fault (division by zero, overflow).
+    Arithmetic(&'static str),
+    /// Missing correlation binding (planner bug).
+    MissingBinding(String),
+    /// Storage failure.
+    Storage(StorageError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Type(m) => write!(f, "type error: {m}"),
+            ExecError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            ExecError::MissingBinding(m) => write!(f, "missing outer binding: {m}"),
+            ExecError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, ExecError>;

@@ -1,0 +1,382 @@
+//! Physical expression evaluation with SQL three-valued logic.
+
+use std::collections::HashMap;
+
+use xnf_plan::PhysExpr;
+use xnf_qgm::QunId;
+use xnf_sql::{BinOp, ScalarFunc, UnaryOp};
+use xnf_storage::Value;
+
+use crate::error::{ExecError, Result};
+
+/// A runtime row.
+pub type Row = Vec<Value>;
+
+/// Correlation bindings: outer quantifier → its current row.
+pub type OuterCtx = HashMap<QunId, Row>;
+
+/// Evaluate `expr` against `row` (and `outer` correlation bindings).
+/// `aggs` resolves [`PhysExpr::AggRef`] slots inside aggregate output
+/// expressions; pass `&[]` elsewhere.
+pub fn eval(expr: &PhysExpr, row: &[Value], outer: &OuterCtx, aggs: &[Value]) -> Result<Value> {
+    Ok(match expr {
+        PhysExpr::Literal(v) => v.clone(),
+        PhysExpr::Col(i) => row
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| ExecError::Type(format!("row has no slot #{i} (width {})", row.len())))?,
+        PhysExpr::Outer { qun, col } => {
+            let r = outer
+                .get(qun)
+                .ok_or_else(|| ExecError::MissingBinding(format!("q{qun}")))?;
+            r.get(*col)
+                .cloned()
+                .ok_or_else(|| ExecError::Type(format!("outer q{qun} has no column {col}")))?
+        }
+        PhysExpr::AggRef(i) => aggs
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| ExecError::Type(format!("no aggregate slot {i}")))?,
+        PhysExpr::Unary { op, expr } => {
+            let v = eval(expr, row, outer, aggs)?;
+            match op {
+                UnaryOp::Neg => match v {
+                    Value::Null => Value::Null,
+                    Value::Int(i) => {
+                        Value::Int(i.checked_neg().ok_or(ExecError::Arithmetic("negate overflow"))?)
+                    }
+                    Value::Double(d) => Value::Double(-d),
+                    other => {
+                        return Err(ExecError::Type(format!("cannot negate {}", other.type_name())))
+                    }
+                },
+                UnaryOp::Not => match v {
+                    Value::Null => Value::Null,
+                    Value::Bool(b) => Value::Bool(!b),
+                    other => {
+                        return Err(ExecError::Type(format!("NOT of {}", other.type_name())))
+                    }
+                },
+            }
+        }
+        PhysExpr::Binary { left, op, right } => {
+            // Short-circuiting three-valued AND/OR.
+            if *op == BinOp::And || *op == BinOp::Or {
+                return eval_logical(*op, left, right, row, outer, aggs);
+            }
+            let l = eval(left, row, outer, aggs)?;
+            let r = eval(right, row, outer, aggs)?;
+            eval_binary(*op, l, r)?
+        }
+        PhysExpr::IsNull { expr, negated } => {
+            let v = eval(expr, row, outer, aggs)?;
+            Value::Bool(v.is_null() != *negated)
+        }
+        PhysExpr::Like { expr, pattern, negated } => {
+            let v = eval(expr, row, outer, aggs)?;
+            match v {
+                Value::Null => Value::Null,
+                Value::Str(s) => Value::Bool(like_match(&s, pattern) != *negated),
+                other => {
+                    return Err(ExecError::Type(format!("LIKE on {}", other.type_name())))
+                }
+            }
+        }
+        PhysExpr::InList { expr, list, negated } => {
+            let v = eval(expr, row, outer, aggs)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            let mut found = false;
+            for e in list {
+                let x = eval(e, row, outer, aggs)?;
+                match v.sql_eq(&x) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if found {
+                Value::Bool(!*negated)
+            } else if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(*negated)
+            }
+        }
+        PhysExpr::Func { func, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, row, outer, aggs)?);
+            }
+            eval_func(*func, &vals)?
+        }
+    })
+}
+
+fn eval_logical(
+    op: BinOp,
+    left: &PhysExpr,
+    right: &PhysExpr,
+    row: &[Value],
+    outer: &OuterCtx,
+    aggs: &[Value],
+) -> Result<Value> {
+    let l = eval(left, row, outer, aggs)?;
+    let l = to_tri(l)?;
+    match (op, l) {
+        (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+        (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+        _ => {}
+    }
+    let r = to_tri(eval(right, row, outer, aggs)?)?;
+    Ok(match op {
+        BinOp::And => match (l, r) {
+            (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+            (Some(true), Some(true)) => Value::Bool(true),
+            _ => Value::Null,
+        },
+        BinOp::Or => match (l, r) {
+            (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+            (Some(false), Some(false)) => Value::Bool(false),
+            _ => Value::Null,
+        },
+        _ => unreachable!(),
+    })
+}
+
+fn to_tri(v: Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(b)),
+        other => Err(ExecError::Type(format!("boolean expected, got {}", other.type_name()))),
+    }
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            let ord = match l.sql_cmp(&r) {
+                None => return Ok(Value::Null),
+                Some(o) => o,
+            };
+            let b = match op {
+                Eq => ord.is_eq(),
+                NotEq => !ord.is_eq(),
+                Lt => ord.is_lt(),
+                LtEq => ord.is_le(),
+                Gt => ord.is_gt(),
+                GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div | Mod => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            match (&l, &r) {
+                (Value::Int(a), Value::Int(b)) => {
+                    let a = *a;
+                    let b = *b;
+                    let v = match op {
+                        Add => a.checked_add(b),
+                        Sub => a.checked_sub(b),
+                        Mul => a.checked_mul(b),
+                        Div => {
+                            if b == 0 {
+                                return Err(ExecError::Arithmetic("division by zero"));
+                            }
+                            a.checked_div(b)
+                        }
+                        Mod => {
+                            if b == 0 {
+                                return Err(ExecError::Arithmetic("modulo by zero"));
+                            }
+                            a.checked_rem(b)
+                        }
+                        _ => unreachable!(),
+                    };
+                    Ok(Value::Int(v.ok_or(ExecError::Arithmetic("integer overflow"))?))
+                }
+                _ => {
+                    let a = l.as_double().map_err(|_| {
+                        ExecError::Type(format!("arithmetic on {}", l.type_name()))
+                    })?;
+                    let b = r.as_double().map_err(|_| {
+                        ExecError::Type(format!("arithmetic on {}", r.type_name()))
+                    })?;
+                    let v = match op {
+                        Add => a + b,
+                        Sub => a - b,
+                        Mul => a * b,
+                        Div => {
+                            if b == 0.0 {
+                                return Err(ExecError::Arithmetic("division by zero"));
+                            }
+                            a / b
+                        }
+                        Mod => a % b,
+                        _ => unreachable!(),
+                    };
+                    Ok(Value::Double(v))
+                }
+            }
+        }
+        And | Or => unreachable!("handled by eval_logical"),
+    }
+}
+
+fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
+    let arg = |i: usize| -> Result<&Value> {
+        args.get(i).ok_or_else(|| ExecError::Type(format!("{func} needs argument {i}")))
+    };
+    let v = arg(0)?;
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    Ok(match func {
+        ScalarFunc::Abs => match v {
+            Value::Int(i) => Value::Int(i.checked_abs().ok_or(ExecError::Arithmetic("abs overflow"))?),
+            Value::Double(d) => Value::Double(d.abs()),
+            other => return Err(ExecError::Type(format!("ABS of {}", other.type_name()))),
+        },
+        ScalarFunc::Upper => Value::Str(v.as_str().map_err(ExecError::from)?.to_uppercase()),
+        ScalarFunc::Lower => Value::Str(v.as_str().map_err(ExecError::from)?.to_lowercase()),
+        ScalarFunc::Length => Value::Int(v.as_str().map_err(ExecError::from)?.chars().count() as i64),
+    })
+}
+
+/// Does a predicate value count as a match? (TRUE only; NULL = UNKNOWN.)
+pub fn truthy(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+/// Evaluate a conjunction of predicates; short-circuits on a non-match.
+pub fn passes(preds: &[PhysExpr], row: &[Value], outer: &OuterCtx) -> Result<bool> {
+    for p in preds {
+        if !truthy(&eval(p, row, outer, &[])?) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// SQL LIKE matcher: `%` = any sequence, `_` = any single character.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => s.is_empty(),
+            Some(('%', rest)) => {
+                // Try all split points (including empty).
+                (0..=s.len()).any(|i| rec(&s[i..], rest))
+            }
+            Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
+            Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: impl Into<Value>) -> PhysExpr {
+        PhysExpr::Literal(v.into())
+    }
+
+    fn b(l: PhysExpr, op: BinOp, r: PhysExpr) -> PhysExpr {
+        PhysExpr::Binary { left: Box::new(l), op, right: Box::new(r) }
+    }
+
+    fn ev(e: &PhysExpr) -> Value {
+        eval(e, &[], &OuterCtx::new(), &[]).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_promotion() {
+        assert_eq!(ev(&b(lit(2i64), BinOp::Add, lit(3i64))), Value::Int(5));
+        assert_eq!(ev(&b(lit(2i64), BinOp::Mul, lit(2.5f64))), Value::Double(5.0));
+        assert_eq!(ev(&b(lit(7i64), BinOp::Div, lit(2i64))), Value::Int(3));
+        assert!(eval(&b(lit(1i64), BinOp::Div, lit(0i64)), &[], &OuterCtx::new(), &[]).is_err());
+    }
+
+    #[test]
+    fn null_propagation() {
+        let null = PhysExpr::Literal(Value::Null);
+        assert_eq!(ev(&b(null.clone(), BinOp::Add, lit(1i64))), Value::Null);
+        assert_eq!(ev(&b(null.clone(), BinOp::Eq, lit(1i64))), Value::Null);
+        // Kleene logic.
+        assert_eq!(ev(&b(null.clone(), BinOp::And, lit(false))), Value::Bool(false));
+        assert_eq!(ev(&b(null.clone(), BinOp::And, lit(true))), Value::Null);
+        assert_eq!(ev(&b(null.clone(), BinOp::Or, lit(true))), Value::Bool(true));
+        assert_eq!(ev(&b(null, BinOp::Or, lit(false))), Value::Null);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ev(&b(lit("a"), BinOp::Lt, lit("b"))), Value::Bool(true));
+        assert_eq!(ev(&b(lit(2i64), BinOp::GtEq, lit(2.0f64))), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("ARC", "ARC"));
+        assert!(like_match("ARCADE", "ARC%"));
+        assert!(like_match("xARCx", "%ARC%"));
+        assert!(like_match("AxC", "A_C"));
+        assert!(!like_match("AxxC", "A_C"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", "a_"));
+    }
+
+    #[test]
+    fn in_list_three_valued() {
+        let e = PhysExpr::InList {
+            expr: Box::new(lit(1i64)),
+            list: vec![lit(2i64), PhysExpr::Literal(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(ev(&e), Value::Null, "no match but NULL present = UNKNOWN");
+        let e = PhysExpr::InList {
+            expr: Box::new(lit(2i64)),
+            list: vec![lit(2i64), PhysExpr::Literal(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(ev(&e), Value::Bool(true));
+    }
+
+    #[test]
+    fn outer_references() {
+        let mut outer = OuterCtx::new();
+        outer.insert(7, vec![Value::Int(42)]);
+        let e = PhysExpr::Outer { qun: 7, col: 0 };
+        assert_eq!(eval(&e, &[], &outer, &[]).unwrap(), Value::Int(42));
+        let missing = PhysExpr::Outer { qun: 8, col: 0 };
+        assert!(matches!(eval(&missing, &[], &outer, &[]), Err(ExecError::MissingBinding(_))));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(
+            ev(&PhysExpr::Func { func: ScalarFunc::Upper, args: vec![lit("arc")] }),
+            Value::Str("ARC".into())
+        );
+        assert_eq!(
+            ev(&PhysExpr::Func { func: ScalarFunc::Length, args: vec![lit("héllo")] }),
+            Value::Int(5)
+        );
+        assert_eq!(
+            ev(&PhysExpr::Func { func: ScalarFunc::Abs, args: vec![lit(-3i64)] }),
+            Value::Int(3)
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! # xnf-exec — the Query Evaluation System (QES)
+//!
+//! Demand-driven, pipelined interpretation of query evaluation plans
+//! (Sect. 3.1 "table queue evaluation"): each operator interprets one QEP
+//! node, pulling tuples from its input streams. Shared subplans are
+//! materialised once and scanned by all consumers; correlated subqueries
+//! (the naive pre-rewrite strategy) re-instantiate their subplan per outer
+//! tuple.
+
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod ops;
+
+pub use engine::{execute_qep, execute_qep_parallel, QueryResult, StreamResult};
+pub use error::{ExecError, Result};
+pub use eval::{eval, like_match, passes, truthy, OuterCtx, Row};
+pub use ops::{build_operator, drain, ExecStats, Operator, Runtime};
+
+#[cfg(test)]
+mod exec_tests;

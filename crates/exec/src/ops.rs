@@ -1,0 +1,819 @@
+//! Volcano-style operators: each interprets one QEP node, pulling rows from
+//! its inputs on demand ("table queue evaluation", Sect. 3.1).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use xnf_plan::{AggSpec, PhysExpr, PhysPlan};
+use xnf_sql::AggFunc;
+use xnf_storage::{Catalog, Value};
+
+use crate::error::{ExecError, Result};
+use crate::eval::{eval, passes, truthy, OuterCtx, Row};
+
+/// Execution statistics (per engine run).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows produced by scans (base, index and shared).
+    pub rows_scanned: u64,
+    /// Correlated subquery instantiations (the naive path's cost driver).
+    pub subquery_invocations: u64,
+    /// Rows emitted by all output streams.
+    pub rows_emitted: u64,
+}
+
+/// Shared runtime state threaded through the operator tree.
+pub struct Runtime<'a> {
+    pub catalog: &'a Catalog,
+    /// Materialised shared subplans (by [`xnf_plan::SharedId`]).
+    pub shared: Vec<Arc<Vec<Row>>>,
+    /// Correlation bindings for `Outer` references.
+    pub outer: OuterCtx,
+    pub stats: ExecStats,
+}
+
+impl<'a> Runtime<'a> {
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Runtime { catalog, shared: Vec::new(), outer: OuterCtx::new(), stats: ExecStats::default() }
+    }
+}
+
+/// A demand-driven operator.
+pub trait Operator {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>>;
+}
+
+/// Instantiate the operator tree for a plan.
+pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
+    match plan {
+        PhysPlan::Values { rows } => Box::new(ValuesOp { rows: rows.clone(), idx: 0 }),
+        PhysPlan::SeqScan { table, filter } => Box::new(SeqScanOp {
+            table: table.clone(),
+            filter: filter.clone(),
+            buf: None,
+            idx: 0,
+        }),
+        PhysPlan::IndexEq { table, index, key, filter } => Box::new(IndexEqOp {
+            table: table.clone(),
+            index: index.clone(),
+            key: key.clone(),
+            filter: filter.clone(),
+            buf: None,
+            idx: 0,
+        }),
+        PhysPlan::SharedScan { id } => Box::new(SharedScanOp { id: *id, idx: 0 }),
+        PhysPlan::Filter { input, preds } => {
+            Box::new(FilterOp { input: build_operator(input), preds: preds.clone() })
+        }
+        PhysPlan::Project { input, exprs } => {
+            Box::new(ProjectOp { input: build_operator(input), exprs: exprs.clone() })
+        }
+        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual } => {
+            Box::new(HashJoinOp {
+                left: build_operator(left),
+                right: build_operator(right),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                residual: residual.clone(),
+                table: None,
+                current: None,
+            })
+        }
+        PhysPlan::NlJoin { left, right, preds } => Box::new(NlJoinOp {
+            left: build_operator(left),
+            right: build_operator(right),
+            preds: preds.clone(),
+            right_buf: None,
+            current: None,
+        }),
+        PhysPlan::HashSemiJoin { outer, inner, outer_keys, inner_keys, residual, anti } => {
+            Box::new(HashSemiJoinOp {
+                outer: build_operator(outer),
+                inner: build_operator(inner),
+                outer_keys: outer_keys.clone(),
+                inner_keys: inner_keys.clone(),
+                residual: residual.clone(),
+                anti: *anti,
+                table: None,
+            })
+        }
+        PhysPlan::NlSemiJoin { outer, inner, preds, anti } => Box::new(NlSemiJoinOp {
+            outer: build_operator(outer),
+            inner: build_operator(inner),
+            preds: preds.clone(),
+            anti: *anti,
+            inner_buf: None,
+        }),
+        PhysPlan::SubqueryFilter { input, subplan, bindings, anti } => {
+            Box::new(SubqueryFilterOp {
+                input: build_operator(input),
+                subplan: (**subplan).clone(),
+                bindings: bindings.clone(),
+                anti: *anti,
+            })
+        }
+        PhysPlan::HashAggregate { input, group, aggs, having, output } => {
+            Box::new(HashAggregateOp {
+                input: build_operator(input),
+                group: group.clone(),
+                aggs: aggs.clone(),
+                having: having.clone(),
+                output: output.clone(),
+                results: None,
+                idx: 0,
+            })
+        }
+        PhysPlan::HashDistinct { input } => {
+            Box::new(HashDistinctOp { input: build_operator(input), seen: HashSet::new() })
+        }
+        PhysPlan::UnionAll { inputs } => Box::new(UnionAllOp {
+            inputs: inputs.iter().map(|p| build_operator(p)).collect(),
+            idx: 0,
+        }),
+        PhysPlan::Sort { input, specs } => Box::new(SortOp {
+            input: build_operator(input),
+            specs: specs.clone(),
+            buf: None,
+            idx: 0,
+        }),
+        PhysPlan::Limit { input, n } => {
+            Box::new(LimitOp { input: build_operator(input), n: *n, taken: 0 })
+        }
+    }
+}
+
+/// Drain an operator into a vector.
+pub fn drain(op: &mut dyn Operator, rt: &mut Runtime<'_>) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(row) = op.next(rt)? {
+        out.push(row);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+
+struct ValuesOp {
+    rows: Vec<Vec<PhysExpr>>,
+    idx: usize,
+}
+
+impl Operator for ValuesOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        if self.idx >= self.rows.len() {
+            return Ok(None);
+        }
+        let exprs = &self.rows[self.idx];
+        self.idx += 1;
+        let mut row = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            row.push(eval(e, &[], &rt.outer, &[])?);
+        }
+        Ok(Some(row))
+    }
+}
+
+struct SeqScanOp {
+    table: String,
+    filter: Vec<PhysExpr>,
+    buf: Option<Vec<Row>>,
+    idx: usize,
+}
+
+impl Operator for SeqScanOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        if self.buf.is_none() {
+            let t = rt.catalog.table(&self.table)?;
+            let mut raw = Vec::new();
+            t.for_each(|_, tuple| {
+                raw.push(tuple.values);
+                Ok(true)
+            })?;
+            rt.stats.rows_scanned += raw.len() as u64;
+            let mut rows = Vec::with_capacity(raw.len());
+            for row in raw {
+                if passes(&self.filter, &row, &rt.outer)? {
+                    rows.push(row);
+                }
+            }
+            self.buf = Some(rows);
+        }
+        let buf = self.buf.as_ref().unwrap();
+        if self.idx >= buf.len() {
+            return Ok(None);
+        }
+        let row = buf[self.idx].clone();
+        self.idx += 1;
+        Ok(Some(row))
+    }
+}
+
+struct IndexEqOp {
+    table: String,
+    index: String,
+    key: Vec<PhysExpr>,
+    filter: Vec<PhysExpr>,
+    buf: Option<Vec<Row>>,
+    idx: usize,
+}
+
+impl Operator for IndexEqOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        if self.buf.is_none() {
+            let t = rt.catalog.table(&self.table)?;
+            let mut key = Vec::with_capacity(self.key.len());
+            for e in &self.key {
+                key.push(eval(e, &[], &rt.outer, &[])?);
+            }
+            let rids = t.index_lookup(&self.index, &key)?;
+            let mut rows = Vec::with_capacity(rids.len());
+            for rid in rids {
+                let row = t.get(rid)?.values;
+                rt.stats.rows_scanned += 1;
+                if passes(&self.filter, &row, &rt.outer)? {
+                    rows.push(row);
+                }
+            }
+            self.buf = Some(rows);
+        }
+        let buf = self.buf.as_ref().unwrap();
+        if self.idx >= buf.len() {
+            return Ok(None);
+        }
+        let row = buf[self.idx].clone();
+        self.idx += 1;
+        Ok(Some(row))
+    }
+}
+
+struct SharedScanOp {
+    id: usize,
+    idx: usize,
+}
+
+impl Operator for SharedScanOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        let rows = rt
+            .shared
+            .get(self.id)
+            .ok_or_else(|| ExecError::Type(format!("shared result cse{} missing", self.id)))?;
+        if self.idx >= rows.len() {
+            return Ok(None);
+        }
+        // Emit [rowid, cols...].
+        let mut row = Vec::with_capacity(rows[self.idx].len() + 1);
+        row.push(Value::Int(self.idx as i64));
+        row.extend(rows[self.idx].iter().cloned());
+        self.idx += 1;
+        rt.stats.rows_scanned += 1;
+        Ok(Some(row))
+    }
+}
+
+struct FilterOp {
+    input: Box<dyn Operator>,
+    preds: Vec<PhysExpr>,
+}
+
+impl Operator for FilterOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next(rt)? {
+            if passes(&self.preds, &row, &rt.outer)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct ProjectOp {
+    input: Box<dyn Operator>,
+    exprs: Vec<PhysExpr>,
+}
+
+impl Operator for ProjectOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        match self.input.next(rt)? {
+            None => Ok(None),
+            Some(row) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(eval(e, &row, &rt.outer, &[])?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// Join keys with SQL semantics: any NULL key never matches.
+fn key_of(exprs: &[PhysExpr], row: &[Value], outer: &OuterCtx) -> Result<Option<Vec<Value>>> {
+    let mut key = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let v = eval(e, row, outer, &[])?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        key.push(v);
+    }
+    Ok(Some(key))
+}
+
+struct HashJoinOp {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    left_keys: Vec<PhysExpr>,
+    right_keys: Vec<PhysExpr>,
+    residual: Vec<PhysExpr>,
+    /// Build side (right input), keyed.
+    table: Option<HashMap<Vec<Value>, Vec<Row>>>,
+    /// Current probe row and the remaining matches.
+    current: Option<(Row, Vec<Row>, usize)>,
+}
+
+impl Operator for HashJoinOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        if self.table.is_none() {
+            let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+            while let Some(row) = self.right.next(rt)? {
+                if let Some(key) = key_of(&self.right_keys, &row, &rt.outer)? {
+                    table.entry(key).or_default().push(row);
+                }
+            }
+            self.table = Some(table);
+        }
+        loop {
+            if let Some((lrow, matches, idx)) = &mut self.current {
+                while *idx < matches.len() {
+                    let rrow = &matches[*idx];
+                    *idx += 1;
+                    let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+                    combined.extend(lrow.iter().cloned());
+                    combined.extend(rrow.iter().cloned());
+                    if passes(&self.residual, &combined, &rt.outer)? {
+                        return Ok(Some(combined));
+                    }
+                }
+                self.current = None;
+            }
+            match self.left.next(rt)? {
+                None => return Ok(None),
+                Some(lrow) => {
+                    let table = self.table.as_ref().unwrap();
+                    if let Some(key) = key_of(&self.left_keys, &lrow, &rt.outer)? {
+                        if let Some(matches) = table.get(&key) {
+                            self.current = Some((lrow, matches.clone(), 0));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct NlJoinOp {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    preds: Vec<PhysExpr>,
+    right_buf: Option<Vec<Row>>,
+    current: Option<(Row, usize)>,
+}
+
+impl Operator for NlJoinOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        if self.right_buf.is_none() {
+            self.right_buf = Some(drain(self.right.as_mut(), rt)?);
+        }
+        loop {
+            if let Some((lrow, idx)) = &mut self.current {
+                let right = self.right_buf.as_ref().unwrap();
+                while *idx < right.len() {
+                    let rrow = &right[*idx];
+                    *idx += 1;
+                    let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+                    combined.extend(lrow.iter().cloned());
+                    combined.extend(rrow.iter().cloned());
+                    if passes(&self.preds, &combined, &rt.outer)? {
+                        return Ok(Some(combined));
+                    }
+                }
+                self.current = None;
+            }
+            match self.left.next(rt)? {
+                None => return Ok(None),
+                Some(lrow) => self.current = Some((lrow, 0)),
+            }
+        }
+    }
+}
+
+struct HashSemiJoinOp {
+    outer: Box<dyn Operator>,
+    inner: Box<dyn Operator>,
+    outer_keys: Vec<PhysExpr>,
+    inner_keys: Vec<PhysExpr>,
+    residual: Vec<PhysExpr>,
+    anti: bool,
+    table: Option<HashMap<Vec<Value>, Vec<Row>>>,
+}
+
+impl Operator for HashSemiJoinOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        if self.table.is_none() {
+            let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+            while let Some(row) = self.inner.next(rt)? {
+                if let Some(key) = key_of(&self.inner_keys, &row, &rt.outer)? {
+                    // Residual-free semijoins only need key presence.
+                    if self.residual.is_empty() {
+                        table.entry(key).or_default();
+                    } else {
+                        table.entry(key).or_default().push(row);
+                    }
+                }
+            }
+            self.table = Some(table);
+        }
+        'outer: while let Some(orow) = self.outer.next(rt)? {
+            let table = self.table.as_ref().unwrap();
+            let matched = match key_of(&self.outer_keys, &orow, &rt.outer)? {
+                None => false,
+                Some(key) => match table.get(&key) {
+                    None => false,
+                    Some(rows) if self.residual.is_empty() => {
+                        let _ = rows;
+                        true
+                    }
+                    Some(rows) => {
+                        let mut hit = false;
+                        for irow in rows {
+                            let mut combined = Vec::with_capacity(orow.len() + irow.len());
+                            combined.extend(orow.iter().cloned());
+                            combined.extend(irow.iter().cloned());
+                            if passes(&self.residual, &combined, &rt.outer)? {
+                                hit = true;
+                                break;
+                            }
+                        }
+                        hit
+                    }
+                },
+            };
+            if matched != self.anti {
+                return Ok(Some(orow));
+            }
+            continue 'outer;
+        }
+        Ok(None)
+    }
+}
+
+struct NlSemiJoinOp {
+    outer: Box<dyn Operator>,
+    inner: Box<dyn Operator>,
+    preds: Vec<PhysExpr>,
+    anti: bool,
+    inner_buf: Option<Vec<Row>>,
+}
+
+impl Operator for NlSemiJoinOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        if self.inner_buf.is_none() {
+            self.inner_buf = Some(drain(self.inner.as_mut(), rt)?);
+        }
+        while let Some(orow) = self.outer.next(rt)? {
+            let inner = self.inner_buf.as_ref().unwrap();
+            let mut matched = false;
+            for irow in inner {
+                let mut combined = Vec::with_capacity(orow.len() + irow.len());
+                combined.extend(orow.iter().cloned());
+                combined.extend(irow.iter().cloned());
+                if passes(&self.preds, &combined, &rt.outer)? {
+                    matched = true;
+                    break;
+                }
+            }
+            if matched != self.anti {
+                return Ok(Some(orow));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct SubqueryFilterOp {
+    input: Box<dyn Operator>,
+    subplan: PhysPlan,
+    bindings: Vec<(usize, usize, usize)>,
+    anti: bool,
+}
+
+impl Operator for SubqueryFilterOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next(rt)? {
+            // Bind the outer quantifiers, remembering shadowed entries.
+            let mut saved: Vec<(usize, Option<Row>)> = Vec::with_capacity(self.bindings.len());
+            for (qun, offset, width) in &self.bindings {
+                let slice = row[*offset..*offset + *width].to_vec();
+                saved.push((*qun, rt.outer.insert(*qun, slice)));
+            }
+            rt.stats.subquery_invocations += 1;
+            let mut sub = build_operator(&self.subplan);
+            let has_row = sub.next(rt)?.is_some();
+            // Restore bindings.
+            for (qun, old) in saved {
+                match old {
+                    Some(v) => {
+                        rt.outer.insert(qun, v);
+                    }
+                    None => {
+                        rt.outer.remove(&qun);
+                    }
+                }
+            }
+            if has_row != self.anti {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Aggregate accumulator.
+enum Acc {
+    Count(i64),
+    Sum { ints: i64, doubles: f64, any_double: bool, seen: bool },
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum { ints: 0, doubles: 0.0, any_double: false, seen: false },
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            Acc::Count(n) => {
+                // COUNT(*) passes None-as-row-marker via Some(non-null);
+                // COUNT(expr) skips NULLs (handled by caller passing None).
+                if v.is_some() {
+                    *n += 1;
+                }
+            }
+            Acc::Sum { ints, doubles, any_double, seen } => {
+                if let Some(v) = v {
+                    *seen = true;
+                    match v {
+                        Value::Int(i) => *ints += *i,
+                        Value::Double(d) => {
+                            *doubles += *d;
+                            *any_double = true;
+                        }
+                        other => {
+                            return Err(ExecError::Type(format!("SUM of {}", other.type_name())))
+                        }
+                    }
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(v) = v {
+                    *sum += v.as_double().map_err(ExecError::from)?;
+                    *n += 1;
+                }
+            }
+            Acc::Min(m) => {
+                if let Some(v) = v {
+                    if m.as_ref().map(|cur| v < cur).unwrap_or(true) {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+            Acc::Max(m) => {
+                if let Some(v) = v {
+                    if m.as_ref().map(|cur| v > cur).unwrap_or(true) {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(*n),
+            Acc::Sum { ints, doubles, any_double, seen } => {
+                if !*seen {
+                    Value::Null
+                } else if *any_double {
+                    Value::Double(*doubles + *ints as f64)
+                } else {
+                    Value::Int(*ints)
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(*sum / *n as f64)
+                }
+            }
+            Acc::Min(m) | Acc::Max(m) => m.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+struct GroupState {
+    accs: Vec<Acc>,
+    distinct_seen: Vec<Option<HashSet<Value>>>,
+}
+
+struct HashAggregateOp {
+    input: Box<dyn Operator>,
+    group: Vec<PhysExpr>,
+    aggs: Vec<AggSpec>,
+    having: Vec<PhysExpr>,
+    output: Vec<PhysExpr>,
+    results: Option<Vec<Row>>,
+    idx: usize,
+}
+
+impl Operator for HashAggregateOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        if self.results.is_none() {
+            let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
+            let mut saw_input = false;
+            while let Some(row) = self.input.next(rt)? {
+                saw_input = true;
+                let mut key = Vec::with_capacity(self.group.len());
+                for g in &self.group {
+                    key.push(eval(g, &row, &rt.outer, &[])?);
+                }
+                let state = groups.entry(key).or_insert_with(|| GroupState {
+                    accs: self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
+                    distinct_seen: self
+                        .aggs
+                        .iter()
+                        .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                        .collect(),
+                });
+                for (i, spec) in self.aggs.iter().enumerate() {
+                    let arg_val = match &spec.arg {
+                        None => Some(Value::Bool(true)), // COUNT(*): every row
+                        Some(e) => {
+                            let v = eval(e, &row, &rt.outer, &[])?;
+                            if v.is_null() {
+                                None
+                            } else {
+                                Some(v)
+                            }
+                        }
+                    };
+                    let Some(v) = arg_val else { continue };
+                    if let Some(seen) = &mut state.distinct_seen[i] {
+                        if !seen.insert(v.clone()) {
+                            continue;
+                        }
+                    }
+                    state.accs[i].update(Some(&v))?;
+                }
+            }
+            // Grand total for empty input with no GROUP BY: one row of
+            // "empty" aggregates (COUNT = 0, SUM = NULL, ...).
+            if groups.is_empty() && self.group.is_empty() && !saw_input {
+                groups.insert(
+                    Vec::new(),
+                    GroupState {
+                        accs: self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
+                        distinct_seen: vec![None; self.aggs.len()],
+                    },
+                );
+            }
+            let mut rows = Vec::with_capacity(groups.len());
+            for (key, state) in groups {
+                let agg_vals: Vec<Value> = state.accs.iter().map(|a| a.finish()).collect();
+                // HAVING over [group values] with agg slots.
+                let mut ok = true;
+                for h in &self.having {
+                    if !truthy(&eval(h, &key, &rt.outer, &agg_vals)?) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let mut out = Vec::with_capacity(self.output.len());
+                for e in &self.output {
+                    out.push(eval(e, &key, &rt.outer, &agg_vals)?);
+                }
+                rows.push(out);
+            }
+            // Deterministic order for tests: sort rows by value.
+            rows.sort();
+            self.results = Some(rows);
+        }
+        let rows = self.results.as_ref().unwrap();
+        if self.idx >= rows.len() {
+            return Ok(None);
+        }
+        let row = rows[self.idx].clone();
+        self.idx += 1;
+        Ok(Some(row))
+    }
+}
+
+struct HashDistinctOp {
+    input: Box<dyn Operator>,
+    seen: HashSet<Vec<Value>>,
+}
+
+impl Operator for HashDistinctOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next(rt)? {
+            if self.seen.insert(row.clone()) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct UnionAllOp {
+    inputs: Vec<Box<dyn Operator>>,
+    idx: usize,
+}
+
+impl Operator for UnionAllOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        while self.idx < self.inputs.len() {
+            if let Some(row) = self.inputs[self.idx].next(rt)? {
+                return Ok(Some(row));
+            }
+            self.idx += 1;
+        }
+        Ok(None)
+    }
+}
+
+struct SortOp {
+    input: Box<dyn Operator>,
+    specs: Vec<xnf_plan::SortSpec>,
+    buf: Option<Vec<Row>>,
+    idx: usize,
+}
+
+impl Operator for SortOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        if self.buf.is_none() {
+            let mut rows = drain(self.input.as_mut(), rt)?;
+            let specs = self.specs.clone();
+            rows.sort_by(|a, b| {
+                for s in &specs {
+                    let ord = a[s.col].total_cmp(&b[s.col]);
+                    let ord = if s.desc { ord.reverse() } else { ord };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            self.buf = Some(rows);
+        }
+        let buf = self.buf.as_ref().unwrap();
+        if self.idx >= buf.len() {
+            return Ok(None);
+        }
+        let row = buf[self.idx].clone();
+        self.idx += 1;
+        Ok(Some(row))
+    }
+}
+
+struct LimitOp {
+    input: Box<dyn Operator>,
+    n: u64,
+    taken: u64,
+}
+
+impl Operator for LimitOp {
+    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+        if self.taken >= self.n {
+            return Ok(None);
+        }
+        match self.input.next(rt)? {
+            None => Ok(None),
+            Some(row) => {
+                self.taken += 1;
+                Ok(Some(row))
+            }
+        }
+    }
+}

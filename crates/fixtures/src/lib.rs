@@ -1,0 +1,16 @@
+//! # xnf-fixtures — workload generators for tests, examples and benchmarks
+//!
+//! - [`paper`]: the Fig. 1 DEPT/EMP/PROJ/SKILLS schema at arbitrary scale
+//!   factors (the paper's running example, grown to measurable sizes);
+//! - [`oo1`]: a Cattell OO1-style parts database (N parts, 3 connections
+//!   each, locality of references) for the cache-traversal experiment of
+//!   Sect. 5.2;
+//! - [`random`]: small random tables for property-based testing.
+
+pub mod oo1;
+pub mod paper;
+pub mod random;
+
+pub use oo1::{build_oo1_db, Oo1Config, OO1_CO};
+pub use paper::{build_paper_db, deps_arc_query, PaperScale, DEPS_ARC};
+pub use random::{random_table, RandomTableConfig};

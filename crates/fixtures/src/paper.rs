@@ -1,0 +1,216 @@
+//! The paper's Fig. 1 schema (DEPT, EMP, PROJ, SKILLS plus the EMPSKILLS /
+//! PROJSKILLS mapping tables) generated at configurable scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xnf_core::Database;
+use xnf_storage::{Tuple, Value};
+
+/// Scale knobs for the generated database.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperScale {
+    pub departments: usize,
+    /// Fraction of departments located at 'ARC' (the query's selectivity).
+    pub arc_fraction: f64,
+    pub employees_per_dept: usize,
+    pub projects_per_dept: usize,
+    pub skills: usize,
+    pub skills_per_employee: usize,
+    pub skills_per_project: usize,
+    pub seed: u64,
+}
+
+impl Default for PaperScale {
+    fn default() -> Self {
+        PaperScale {
+            departments: 50,
+            arc_fraction: 0.2,
+            employees_per_dept: 20,
+            projects_per_dept: 5,
+            skills: 200,
+            skills_per_employee: 3,
+            skills_per_project: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// The deps_ARC XNF query of Fig. 1.
+pub const DEPS_ARC: &str = "\
+OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+       xemp AS EMP,
+       xproj AS PROJ,
+       xskills AS SKILLS,
+       employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno),
+       ownership AS (RELATE xdept VIA HAS, xproj WHERE xdept.dno = xproj.pdno),
+       empproperty AS (RELATE xemp VIA POSSESSES, xskills USING EMPSKILLS es
+                       WHERE xemp.eno = es.eseno AND es.essno = xskills.sno),
+       projproperty AS (RELATE xproj VIA NEEDS, xskills USING PROJSKILLS ps
+                        WHERE xproj.pno = ps.pspno AND ps.pssno = xskills.sno)
+TAKE *";
+
+/// The deps_ARC query text (callers may want to tweak the location).
+pub fn deps_arc_query(loc: &str) -> String {
+    DEPS_ARC.replace("'ARC'", &format!("'{loc}'"))
+}
+
+const LOCATIONS: &[&str] = &["HDC", "YKT", "SJC", "ALM"];
+
+/// Build the paper schema at the given scale; statistics are analyzed and
+/// indexes on the join columns are created.
+pub fn build_paper_db(scale: PaperScale) -> Database {
+    let db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE DEPT (dno INT NOT NULL, dname VARCHAR(30), loc VARCHAR(10));
+         CREATE TABLE EMP (eno INT NOT NULL, ename VARCHAR(30), edno INT, sal DOUBLE);
+         CREATE TABLE PROJ (pno INT NOT NULL, pname VARCHAR(30), pdno INT);
+         CREATE TABLE SKILLS (sno INT NOT NULL, sname VARCHAR(30));
+         CREATE TABLE EMPSKILLS (eseno INT, essno INT);
+         CREATE TABLE PROJSKILLS (pspno INT, pssno INT);",
+    )
+    .expect("schema");
+
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let cat = db.catalog();
+    let dept = cat.table("DEPT").unwrap();
+    let emp = cat.table("EMP").unwrap();
+    let proj = cat.table("PROJ").unwrap();
+    let skills = cat.table("SKILLS").unwrap();
+    let es = cat.table("EMPSKILLS").unwrap();
+    let ps = cat.table("PROJSKILLS").unwrap();
+
+    let n_arc = ((scale.departments as f64) * scale.arc_fraction).round() as usize;
+    for d in 0..scale.departments {
+        let loc = if d < n_arc {
+            "ARC".to_string()
+        } else {
+            LOCATIONS[rng.gen_range(0..LOCATIONS.len())].to_string()
+        };
+        dept.insert(&Tuple::new(vec![
+            Value::Int(d as i64),
+            Value::Str(format!("dept-{d}")),
+            Value::Str(loc),
+        ]))
+        .unwrap();
+    }
+    let mut eno = 0i64;
+    for d in 0..scale.departments {
+        for _ in 0..scale.employees_per_dept {
+            emp.insert(&Tuple::new(vec![
+                Value::Int(eno),
+                Value::Str(format!("emp-{eno}")),
+                Value::Int(d as i64),
+                Value::Double(rng.gen_range(40.0..160.0)),
+            ]))
+            .unwrap();
+            for _ in 0..scale.skills_per_employee {
+                es.insert(&Tuple::new(vec![
+                    Value::Int(eno),
+                    Value::Int(rng.gen_range(0..scale.skills as i64)),
+                ]))
+                .unwrap();
+            }
+            eno += 1;
+        }
+    }
+    let mut pno = 0i64;
+    for d in 0..scale.departments {
+        for _ in 0..scale.projects_per_dept {
+            proj.insert(&Tuple::new(vec![
+                Value::Int(pno),
+                Value::Str(format!("proj-{pno}")),
+                Value::Int(d as i64),
+            ]))
+            .unwrap();
+            for _ in 0..scale.skills_per_project {
+                ps.insert(&Tuple::new(vec![
+                    Value::Int(pno),
+                    Value::Int(rng.gen_range(0..scale.skills as i64)),
+                ]))
+                .unwrap();
+            }
+            pno += 1;
+        }
+    }
+    for s in 0..scale.skills {
+        skills
+            .insert(&Tuple::new(vec![Value::Int(s as i64), Value::Str(format!("skill-{s}"))]))
+            .unwrap();
+    }
+
+    db.execute_batch(
+        "CREATE UNIQUE INDEX dept_pk ON DEPT (dno);
+         CREATE UNIQUE INDEX emp_pk ON EMP (eno);
+         CREATE INDEX emp_dno ON EMP (edno);
+         CREATE INDEX proj_dno ON PROJ (pdno);
+         CREATE INDEX es_eno ON EMPSKILLS (eseno);
+         CREATE INDEX ps_pno ON PROJSKILLS (pspno);
+         ANALYZE;",
+    )
+    .expect("indexes");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_consistent_cardinalities() {
+        let scale = PaperScale {
+            departments: 10,
+            arc_fraction: 0.3,
+            employees_per_dept: 4,
+            projects_per_dept: 2,
+            skills: 20,
+            skills_per_employee: 2,
+            skills_per_project: 1,
+            seed: 7,
+        };
+        let db = build_paper_db(scale);
+        let count = |sql: &str| -> i64 {
+            db.query(sql).unwrap().table().rows[0][0].as_int().unwrap()
+        };
+        assert_eq!(count("SELECT COUNT(*) FROM DEPT"), 10);
+        assert_eq!(count("SELECT COUNT(*) FROM DEPT WHERE loc = 'ARC'"), 3);
+        assert_eq!(count("SELECT COUNT(*) FROM EMP"), 40);
+        assert_eq!(count("SELECT COUNT(*) FROM PROJ"), 20);
+        assert_eq!(count("SELECT COUNT(*) FROM EMPSKILLS"), 80);
+    }
+
+    #[test]
+    fn deps_arc_runs_at_scale() {
+        let db = build_paper_db(PaperScale {
+            departments: 20,
+            employees_per_dept: 5,
+            ..Default::default()
+        });
+        let co = db.fetch_co(DEPS_ARC).unwrap();
+        let n_arc = db
+            .query("SELECT COUNT(*) FROM DEPT WHERE loc = 'ARC'")
+            .unwrap()
+            .table()
+            .rows[0][0]
+            .as_int()
+            .unwrap() as usize;
+        assert_eq!(co.workspace.component("xdept").unwrap().len(), n_arc);
+        assert_eq!(co.workspace.component("xemp").unwrap().len(), n_arc * 5);
+        // Every cached employee's edno refers to an ARC department.
+        let ws = &co.workspace;
+        for e in ws.independent("xemp").unwrap() {
+            assert_eq!(e.parents("employment").unwrap().count(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = build_paper_db(PaperScale::default());
+        let b = build_paper_db(PaperScale::default());
+        let q = "SELECT SUM(eno) FROM EMP";
+        assert_eq!(
+            a.query(q).unwrap().table().rows[0][0],
+            b.query(q).unwrap().table().rows[0][0]
+        );
+    }
+}

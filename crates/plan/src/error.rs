@@ -1,0 +1,36 @@
+//! Planning errors.
+
+use std::fmt;
+
+use xnf_storage::StorageError;
+
+/// Errors raised during plan optimization / refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A structural invariant of the lowered QGM was violated.
+    Corrupt(String),
+    /// Construct not supported by the physical algebra.
+    Unsupported(String),
+    /// Catalog lookup failed.
+    Storage(StorageError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Corrupt(m) => write!(f, "planner invariant violated: {m}"),
+            PlanError::Unsupported(m) => write!(f, "unsupported in planner: {m}"),
+            PlanError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<StorageError> for PlanError {
+    fn from(e: StorageError) -> Self {
+        PlanError::Storage(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, PlanError>;

@@ -1,0 +1,18 @@
+//! # xnf-plan — plan optimization and refinement
+//!
+//! Lowers rewritten (NF) QGM graphs into executable physical plans
+//! ([`physical::Qep`]): shared-subexpression materialisation ("table
+//! queues"), access-path selection, DP join ordering, hash (semi)joins,
+//! aggregate lowering, and the tuple-at-a-time correlated-subquery operator
+//! kept for the naive baseline of Fig. 3.
+
+pub mod error;
+pub mod physical;
+pub mod planner;
+
+pub use error::{PlanError, Result};
+pub use physical::{AggSpec, PhysExpr, PhysPlan, Qep, QepOutput, SharedId, SortSpec};
+pub use planner::{plan_query, PlanOptions};
+
+#[cfg(test)]
+mod planner_tests;

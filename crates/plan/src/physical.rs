@@ -1,0 +1,356 @@
+//! Physical plans and physical expressions.
+//!
+//! A physical expression references *slots* of the current row (and, for
+//! correlated subqueries, columns of outer rows through a binding context).
+//! A physical plan is a tree of Volcano-style operators; shared
+//! subexpressions ("table queues" in Starburst terminology) appear as
+//! [`PhysPlan::SharedScan`] nodes referring to a materialised result that
+//! the execution engine computes once. Shared scans expose the tuple's
+//! position as a leading *rowid* column — the system-generated identifier
+//! that CO connection streams project (Sect. 5.0 of the paper).
+
+use std::fmt;
+
+use xnf_qgm::QunId;
+use xnf_sql::{AggFunc, BinOp, ScalarFunc, UnaryOp};
+use xnf_storage::Value;
+
+/// Identifier of a shared (materialised) subplan.
+pub type SharedId = usize;
+
+/// A physical scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysExpr {
+    Literal(Value),
+    /// Slot in the operator's current row.
+    Col(usize),
+    /// Correlated reference resolved from the outer-binding context.
+    Outer { qun: QunId, col: usize },
+    Unary { op: UnaryOp, expr: Box<PhysExpr> },
+    Binary { left: Box<PhysExpr>, op: BinOp, right: Box<PhysExpr> },
+    IsNull { expr: Box<PhysExpr>, negated: bool },
+    Like { expr: Box<PhysExpr>, pattern: String, negated: bool },
+    InList { expr: Box<PhysExpr>, list: Vec<PhysExpr>, negated: bool },
+    Func { func: ScalarFunc, args: Vec<PhysExpr> },
+    /// Reference to an aggregate result slot (inside HashAggregate output
+    /// expressions only).
+    AggRef(usize),
+}
+
+impl PhysExpr {
+    pub fn col(i: usize) -> PhysExpr {
+        PhysExpr::Col(i)
+    }
+}
+
+impl fmt::Display for PhysExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysExpr::Literal(v) => write!(f, "{v}"),
+            PhysExpr::Col(i) => write!(f, "#{i}"),
+            PhysExpr::Outer { qun, col } => write!(f, "outer(q{qun}.c{col})"),
+            PhysExpr::Unary { op: UnaryOp::Neg, expr } => write!(f, "-{expr}"),
+            PhysExpr::Unary { op: UnaryOp::Not, expr } => write!(f, "NOT({expr})"),
+            PhysExpr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            PhysExpr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            PhysExpr::Like { expr, pattern, negated } => {
+                write!(f, "{expr} {}LIKE '{pattern}'", if *negated { "NOT " } else { "" })
+            }
+            PhysExpr::InList { expr, list, negated } => {
+                let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
+                write!(f, "{expr} {}IN ({})", if *negated { "NOT " } else { "" }, items.join(","))
+            }
+            PhysExpr::Func { func, args } => {
+                let items: Vec<String> = args.iter().map(|e| e.to_string()).collect();
+                write!(f, "{func}({})", items.join(","))
+            }
+            PhysExpr::AggRef(i) => write!(f, "agg#{i}"),
+        }
+    }
+}
+
+/// Aggregate computation spec for [`PhysPlan::HashAggregate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// Argument expression over the input row; `None` = COUNT(*).
+    pub arg: Option<PhysExpr>,
+    pub distinct: bool,
+}
+
+/// Sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortSpec {
+    pub col: usize,
+    pub desc: bool,
+}
+
+/// Physical operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysPlan {
+    /// Constant relation (used for FROM-less selects).
+    Values { rows: Vec<Vec<PhysExpr>> },
+    /// Full scan of a base table with a residual filter.
+    SeqScan { table: String, filter: Vec<PhysExpr> },
+    /// Equality index lookup: `key` expressions must be uncorrelated
+    /// constants at plan time (literal-only); residual filter applies after.
+    IndexEq { table: String, index: String, key: Vec<PhysExpr>, filter: Vec<PhysExpr> },
+    /// Scan of a materialised shared subplan. Emits `[rowid, cols...]`.
+    SharedScan { id: SharedId },
+    Filter { input: Box<PhysPlan>, preds: Vec<PhysExpr> },
+    Project { input: Box<PhysPlan>, exprs: Vec<PhysExpr> },
+    /// Hash equi-join; output row = left ++ right.
+    HashJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        left_keys: Vec<PhysExpr>,
+        right_keys: Vec<PhysExpr>,
+        /// Residual predicates over the combined row.
+        residual: Vec<PhysExpr>,
+    },
+    /// Nested-loops join with an arbitrary predicate over the combined row.
+    NlJoin { left: Box<PhysPlan>, right: Box<PhysPlan>, preds: Vec<PhysExpr> },
+    /// Hash semijoin / antijoin: emits outer rows with (no) inner match.
+    HashSemiJoin {
+        outer: Box<PhysPlan>,
+        inner: Box<PhysPlan>,
+        outer_keys: Vec<PhysExpr>,
+        /// Keys over the inner row.
+        inner_keys: Vec<PhysExpr>,
+        /// Residual over outer ++ inner (must hold for a match).
+        residual: Vec<PhysExpr>,
+        anti: bool,
+    },
+    /// Nested-loops semijoin for non-equi conditions.
+    NlSemiJoin { outer: Box<PhysPlan>, inner: Box<PhysPlan>, preds: Vec<PhysExpr>, anti: bool },
+    /// Tuple-at-a-time correlated subquery evaluation: for every input row,
+    /// execute `subplan` with the row's leg values bound in the context; the
+    /// row passes if the subplan yields (anti: does not yield) a row.
+    /// This is the *naive* strategy of Sect. 3.2 that E-to-F replaces.
+    SubqueryFilter {
+        input: Box<PhysPlan>,
+        subplan: Box<PhysPlan>,
+        /// `(qun, offset, width)`: which slice of the input row binds which
+        /// outer quantifier for the subplan's `Outer` references.
+        bindings: Vec<(QunId, usize, usize)>,
+        anti: bool,
+    },
+    /// Hash aggregation. Output row = group values ++ aggregate results,
+    /// then `output` expressions produce the head (AggRef(i) = agg slot i);
+    /// `having` filters on the same basis.
+    HashAggregate {
+        input: Box<PhysPlan>,
+        group: Vec<PhysExpr>,
+        aggs: Vec<AggSpec>,
+        having: Vec<PhysExpr>,
+        output: Vec<PhysExpr>,
+    },
+    HashDistinct { input: Box<PhysPlan> },
+    /// Concatenation of inputs (UNION ALL); wrap in HashDistinct for UNION.
+    UnionAll { inputs: Vec<PhysPlan> },
+    Sort { input: Box<PhysPlan>, specs: Vec<SortSpec> },
+    Limit { input: Box<PhysPlan>, n: u64 },
+}
+
+impl PhysPlan {
+    /// Pretty EXPLAIN output.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(0, &mut s);
+        s
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysPlan::Values { rows } => {
+                let _ = writeln!(out, "{pad}Values({} rows)", rows.len());
+            }
+            PhysPlan::SeqScan { table, filter } => {
+                let _ = writeln!(out, "{pad}SeqScan({table}) filter={}", fmt_preds(filter));
+            }
+            PhysPlan::IndexEq { table, index, key, filter } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexEq({table}.{index}) key={} filter={}",
+                    fmt_exprs(key),
+                    fmt_preds(filter)
+                );
+            }
+            PhysPlan::SharedScan { id } => {
+                let _ = writeln!(out, "{pad}SharedScan(cse{id})");
+            }
+            PhysPlan::Filter { input, preds } => {
+                let _ = writeln!(out, "{pad}Filter {}", fmt_preds(preds));
+                input.explain_into(depth + 1, out);
+            }
+            PhysPlan::Project { input, exprs } => {
+                let _ = writeln!(out, "{pad}Project {}", fmt_exprs(exprs));
+                input.explain_into(depth + 1, out);
+            }
+            PhysPlan::HashJoin { left, right, left_keys, right_keys, residual } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashJoin l={} r={} residual={}",
+                    fmt_exprs(left_keys),
+                    fmt_exprs(right_keys),
+                    fmt_preds(residual)
+                );
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysPlan::NlJoin { left, right, preds } => {
+                let _ = writeln!(out, "{pad}NlJoin {}", fmt_preds(preds));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysPlan::HashSemiJoin { outer, inner, outer_keys, inner_keys, residual, anti } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Hash{}Join o={} i={} residual={}",
+                    if *anti { "Anti" } else { "Semi" },
+                    fmt_exprs(outer_keys),
+                    fmt_exprs(inner_keys),
+                    fmt_preds(residual)
+                );
+                outer.explain_into(depth + 1, out);
+                inner.explain_into(depth + 1, out);
+            }
+            PhysPlan::NlSemiJoin { outer, inner, preds, anti } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}Nl{}Join {}",
+                    if *anti { "Anti" } else { "Semi" },
+                    fmt_preds(preds)
+                );
+                outer.explain_into(depth + 1, out);
+                inner.explain_into(depth + 1, out);
+            }
+            PhysPlan::SubqueryFilter { input, subplan, anti, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}SubqueryFilter{} (tuple-at-a-time)",
+                    if *anti { " NOT" } else { "" }
+                );
+                input.explain_into(depth + 1, out);
+                subplan.explain_into(depth + 1, out);
+            }
+            PhysPlan::HashAggregate { input, group, aggs, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashAggregate group={} aggs={}",
+                    fmt_exprs(group),
+                    aggs.len()
+                );
+                input.explain_into(depth + 1, out);
+            }
+            PhysPlan::HashDistinct { input } => {
+                let _ = writeln!(out, "{pad}HashDistinct");
+                input.explain_into(depth + 1, out);
+            }
+            PhysPlan::UnionAll { inputs } => {
+                let _ = writeln!(out, "{pad}UnionAll({})", inputs.len());
+                for i in inputs {
+                    i.explain_into(depth + 1, out);
+                }
+            }
+            PhysPlan::Sort { input, specs } => {
+                let keys: Vec<String> = specs
+                    .iter()
+                    .map(|s| format!("#{}{}", s.col, if s.desc { " DESC" } else { "" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort {}", keys.join(", "));
+                input.explain_into(depth + 1, out);
+            }
+            PhysPlan::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}Limit {n}");
+                input.explain_into(depth + 1, out);
+            }
+        }
+    }
+
+    /// Count operator nodes of a given kind name (used by experiments).
+    pub fn count_ops(&self, pred: &mut impl FnMut(&PhysPlan) -> bool) -> usize {
+        let mut n = if pred(self) { 1 } else { 0 };
+        match self {
+            PhysPlan::Values { .. }
+            | PhysPlan::SeqScan { .. }
+            | PhysPlan::IndexEq { .. }
+            | PhysPlan::SharedScan { .. } => {}
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::HashDistinct { input }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::Limit { input, .. }
+            | PhysPlan::HashAggregate { input, .. } => n += input.count_ops(pred),
+            PhysPlan::HashJoin { left, right, .. } | PhysPlan::NlJoin { left, right, .. } => {
+                n += left.count_ops(pred) + right.count_ops(pred);
+            }
+            PhysPlan::HashSemiJoin { outer, inner, .. }
+            | PhysPlan::NlSemiJoin { outer, inner, .. } => {
+                n += outer.count_ops(pred) + inner.count_ops(pred);
+            }
+            PhysPlan::SubqueryFilter { input, subplan, .. } => {
+                n += input.count_ops(pred) + subplan.count_ops(pred);
+            }
+            PhysPlan::UnionAll { inputs } => {
+                for i in inputs {
+                    n += i.count_ops(pred);
+                }
+            }
+        }
+        n
+    }
+}
+
+fn fmt_exprs(es: &[PhysExpr]) -> String {
+    let v: Vec<String> = es.iter().map(|e| e.to_string()).collect();
+    format!("[{}]", v.join(", "))
+}
+
+fn fmt_preds(es: &[PhysExpr]) -> String {
+    if es.is_empty() {
+        "[]".to_string()
+    } else {
+        fmt_exprs(es)
+    }
+}
+
+/// A complete executable query: shared subplans (in dependency order — a
+/// shared plan may reference lower-numbered shared ids only) plus the output
+/// streams.
+#[derive(Debug, Clone)]
+pub struct Qep {
+    /// Materialised common subexpressions ("table queues").
+    pub shared: Vec<PhysPlan>,
+    /// Output streams in delivery order, with their descriptors.
+    pub outputs: Vec<QepOutput>,
+}
+
+/// One output stream of a QEP.
+#[derive(Debug, Clone)]
+pub struct QepOutput {
+    pub name: String,
+    pub kind: xnf_qgm::OutputKind,
+    pub plan: PhysPlan,
+    /// Column names of the stream.
+    pub columns: Vec<String>,
+}
+
+impl Qep {
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        for (i, p) in self.shared.iter().enumerate() {
+            s.push_str(&format!("shared cse{i}:\n"));
+            s.push_str(&p.explain());
+        }
+        for o in &self.outputs {
+            s.push_str(&format!("output '{}' ({:?}):\n", o.name, o.kind));
+            s.push_str(&o.plan.explain());
+        }
+        s
+    }
+}

@@ -1,0 +1,175 @@
+//! Planner tests: plan shapes for the paper's queries.
+
+use std::sync::Arc;
+
+use xnf_qgm::{build_select_query, build_xnf_query};
+use xnf_rewrite::{rewrite, RewriteOptions};
+use xnf_sql::{parse_select, parse_xnf};
+use xnf_storage::{BufferPool, Catalog, DataType, DiskManager, Schema};
+
+use crate::physical::PhysPlan;
+use crate::planner::{plan_query, PlanOptions};
+
+fn paper_catalog() -> Catalog {
+    let cat = Catalog::new(Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 256)));
+    cat.create_table(
+        "DEPT",
+        Schema::from_pairs(&[("dno", DataType::Int), ("dname", DataType::Str), ("loc", DataType::Str)]),
+    )
+    .unwrap();
+    cat.create_table(
+        "EMP",
+        Schema::from_pairs(&[
+            ("eno", DataType::Int),
+            ("ename", DataType::Str),
+            ("edno", DataType::Int),
+            ("sal", DataType::Double),
+        ]),
+    )
+    .unwrap();
+    cat.create_table("SKILLS", Schema::from_pairs(&[("sno", DataType::Int), ("sname", DataType::Str)]))
+        .unwrap();
+    cat.create_table(
+        "EMPSKILLS",
+        Schema::from_pairs(&[("eseno", DataType::Int), ("essno", DataType::Int)]),
+    )
+    .unwrap();
+    cat
+}
+
+fn plan_sql(cat: &Catalog, sql: &str, opts: PlanOptions) -> crate::physical::Qep {
+    let q = parse_select(sql).unwrap();
+    let mut g = build_select_query(cat, &q).unwrap();
+    rewrite(&mut g, RewriteOptions::default()).unwrap();
+    plan_query(cat, &g, opts).unwrap()
+}
+
+#[test]
+fn simple_scan_plan() {
+    let cat = paper_catalog();
+    let qep = plan_sql(&cat, "SELECT ename FROM EMP WHERE sal > 100", PlanOptions::default());
+    assert_eq!(qep.outputs.len(), 1);
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("SeqScan(EMP)"), "{explain}");
+    assert!(explain.contains("Project"), "{explain}");
+    // Filter is pushed into the scan.
+    assert!(explain.contains("filter=[(#3 > 100)]"), "{explain}");
+}
+
+#[test]
+fn exists_plans_as_hash_semijoin() {
+    let cat = paper_catalog();
+    let qep = plan_sql(
+        &cat,
+        "SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE d.loc = 'ARC' AND d.dno = e.edno)",
+        PlanOptions::default(),
+    );
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("HashSemiJoin"), "{explain}");
+    assert!(!explain.contains("SubqueryFilter"), "{explain}");
+}
+
+#[test]
+fn naive_mode_plans_subquery_filter() {
+    let cat = paper_catalog();
+    let q = parse_select(
+        "SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE d.loc = 'ARC' AND d.dno = e.edno)",
+    )
+    .unwrap();
+    let mut g = build_select_query(&cat, &q).unwrap();
+    rewrite(&mut g, RewriteOptions { e_to_f: false, simplify: true }).unwrap();
+    let qep = plan_query(&cat, &g, PlanOptions::default()).unwrap();
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("SubqueryFilter"), "{explain}");
+}
+
+#[test]
+fn index_access_path_selected() {
+    let cat = paper_catalog();
+    let t = cat.table("DEPT").unwrap();
+    t.create_index("dept_loc", vec![2], false).unwrap();
+    let qep = plan_sql(&cat, "SELECT * FROM DEPT WHERE loc = 'ARC'", PlanOptions::default());
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("IndexEq(DEPT.dept_loc)"), "{explain}");
+
+    // With indexes disabled, back to a scan.
+    let qep = plan_sql(
+        &cat,
+        "SELECT * FROM DEPT WHERE loc = 'ARC'",
+        PlanOptions { use_indexes: false, ..Default::default() },
+    );
+    assert!(qep.outputs[0].plan.explain().contains("SeqScan(DEPT)"));
+}
+
+#[test]
+fn join_plans_as_hash_join() {
+    let cat = paper_catalog();
+    let qep = plan_sql(
+        &cat,
+        "SELECT e.ename, d.dname FROM EMP e, DEPT d WHERE e.edno = d.dno AND d.loc = 'ARC'",
+        PlanOptions::default(),
+    );
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("HashJoin"), "{explain}");
+}
+
+#[test]
+fn xnf_plan_materialises_shared_components() {
+    let cat = paper_catalog();
+    let q = parse_xnf(
+        "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+                xemp AS EMP,
+                employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
+         TAKE *",
+    )
+    .unwrap();
+    let mut g = build_xnf_query(&cat, &q).unwrap();
+    rewrite(&mut g, RewriteOptions::default()).unwrap();
+    let qep = plan_query(&cat, &g, PlanOptions::default()).unwrap();
+
+    // Both components are shared (outputs + connection reference them).
+    assert!(qep.shared.len() >= 2, "{}", qep.explain());
+    assert_eq!(qep.outputs.len(), 3);
+    // The connection plan scans both shared results.
+    let conn = qep.outputs.iter().find(|o| o.name == "employment").unwrap();
+    let shared_scans = conn.plan.count_ops(&mut |p| matches!(p, PhysPlan::SharedScan { .. }));
+    assert_eq!(shared_scans, 2, "{}", conn.plan.explain());
+}
+
+#[test]
+fn group_by_plan_shape() {
+    let cat = paper_catalog();
+    let qep = plan_sql(
+        &cat,
+        "SELECT edno, COUNT(*) AS n, AVG(sal) FROM EMP GROUP BY edno HAVING COUNT(*) > 2",
+        PlanOptions::default(),
+    );
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("HashAggregate"), "{explain}");
+}
+
+#[test]
+fn order_by_and_limit_wrap_table_output() {
+    let cat = paper_catalog();
+    let qep = plan_sql(
+        &cat,
+        "SELECT ename, sal FROM EMP ORDER BY sal DESC LIMIT 3",
+        PlanOptions::default(),
+    );
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("Limit 3"), "{explain}");
+    assert!(explain.contains("Sort #1 DESC"), "{explain}");
+}
+
+#[test]
+fn union_plan_dedupes() {
+    let cat = paper_catalog();
+    let qep = plan_sql(
+        &cat,
+        "SELECT eno FROM EMP UNION SELECT sno FROM SKILLS",
+        PlanOptions::default(),
+    );
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("UnionAll(2)"), "{explain}");
+    assert!(explain.contains("HashDistinct"), "{explain}");
+}

@@ -1,0 +1,428 @@
+//! Tests for the SQL and XNF semantic builders, using the paper's schema.
+
+use std::sync::Arc;
+
+use xnf_sql::{parse_select, parse_xnf};
+use xnf_storage::{BufferPool, Catalog, DataType, DiskManager, Schema};
+
+use crate::builder::build_select_query;
+use crate::display;
+use crate::error::QgmError;
+use crate::graph::{BoxKind, OutputKind, QunKind, XnfComponentKind};
+use crate::xnf_builder::{build_xnf_query, schema_graph_has_cycle};
+
+/// Catalog with the paper's DEPT/EMP/PROJ/SKILLS schema (Fig. 1).
+pub fn paper_catalog() -> Catalog {
+    let cat = Catalog::new(Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 256)));
+    cat.create_table(
+        "DEPT",
+        Schema::from_pairs(&[
+            ("dno", DataType::Int),
+            ("dname", DataType::Str),
+            ("loc", DataType::Str),
+        ]),
+    )
+    .unwrap();
+    cat.create_table(
+        "EMP",
+        Schema::from_pairs(&[
+            ("eno", DataType::Int),
+            ("ename", DataType::Str),
+            ("edno", DataType::Int),
+            ("sal", DataType::Double),
+        ]),
+    )
+    .unwrap();
+    cat.create_table(
+        "PROJ",
+        Schema::from_pairs(&[
+            ("pno", DataType::Int),
+            ("pname", DataType::Str),
+            ("pdno", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    cat.create_table(
+        "SKILLS",
+        Schema::from_pairs(&[("sno", DataType::Int), ("sname", DataType::Str)]),
+    )
+    .unwrap();
+    cat.create_table(
+        "EMPSKILLS",
+        Schema::from_pairs(&[("eseno", DataType::Int), ("essno", DataType::Int)]),
+    )
+    .unwrap();
+    cat.create_table(
+        "PROJSKILLS",
+        Schema::from_pairs(&[("pspno", DataType::Int), ("pssno", DataType::Int)]),
+    )
+    .unwrap();
+    cat
+}
+
+/// The deps_ARC XNF query body (Fig. 1) without the CREATE VIEW wrapper.
+pub const DEPS_ARC_QUERY: &str = "\
+OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+       xemp AS EMP,
+       xproj AS PROJ,
+       xskills AS SKILLS,
+       employment AS (RELATE xdept VIA EMPLOYS, xemp
+                      WHERE xdept.dno = xemp.edno),
+       ownership AS (RELATE xdept VIA HAS, xproj
+                     WHERE xdept.dno = xproj.pdno),
+       empproperty AS (RELATE xemp VIA POSSESSES, xskills
+                       USING EMPSKILLS es
+                       WHERE xemp.eno = es.eseno AND es.essno = xskills.sno),
+       projproperty AS (RELATE xproj VIA NEEDS, xskills
+                        USING PROJSKILLS ps
+                        WHERE xproj.pno = ps.pspno AND ps.pssno = xskills.sno)
+TAKE *";
+
+#[test]
+fn builds_simple_select() {
+    let cat = paper_catalog();
+    let q = parse_select("SELECT ename, sal FROM EMP WHERE sal > 100").unwrap();
+    let g = build_select_query(&cat, &q).unwrap();
+    g.check().unwrap();
+    assert_eq!(g.count_kind("Select"), 1);
+    assert_eq!(g.count_kind("BaseTable"), 1);
+    assert_eq!(g.outputs.len(), 1);
+    assert_eq!(g.outputs[0].kind, OutputKind::Table);
+    let body = g.quns[g.outputs[0].qun].ranges_over;
+    assert_eq!(g.boxed(body).head.len(), 2);
+    assert_eq!(g.boxed(body).head[0].name, "ename");
+}
+
+#[test]
+fn exists_subquery_becomes_e_quantifier() {
+    let cat = paper_catalog();
+    let q = parse_select(
+        "SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE d.loc = 'ARC' AND d.dno = e.edno)",
+    )
+    .unwrap();
+    let g = build_select_query(&cat, &q).unwrap();
+    g.check().unwrap();
+    // The outer select box owns an F qun (EMP) and an E qun (subquery box).
+    let body = g.quns[g.outputs[0].qun].ranges_over;
+    let kinds: Vec<QunKind> = g.boxed(body).quns.iter().map(|&q| g.quns[q].kind).collect();
+    assert_eq!(kinds, vec![QunKind::Foreach, QunKind::Existential]);
+    // The correlation predicate lives inside the subquery box and references
+    // the outer quantifier (Fig. 3a).
+    let sub = g.quns[g.boxed(body).quns[1]].ranges_over;
+    let outer_emp = g.boxed(body).quns[0];
+    let referenced: Vec<_> = g.boxed(sub).preds.iter().flat_map(|p| p.quns()).collect();
+    assert!(referenced.contains(&outer_emp), "correlated predicate must reference outer qun");
+}
+
+#[test]
+fn not_exists_becomes_anti() {
+    let cat = paper_catalog();
+    let q = parse_select(
+        "SELECT * FROM DEPT d WHERE NOT EXISTS (SELECT 1 FROM EMP e WHERE e.edno = d.dno)",
+    )
+    .unwrap();
+    let g = build_select_query(&cat, &q).unwrap();
+    let body = g.quns[g.outputs[0].qun].ranges_over;
+    let kinds: Vec<QunKind> = g.boxed(body).quns.iter().map(|&q| g.quns[q].kind).collect();
+    assert_eq!(kinds, vec![QunKind::Foreach, QunKind::Anti]);
+}
+
+#[test]
+fn in_subquery_pushes_membership_predicate() {
+    let cat = paper_catalog();
+    let q = parse_select(
+        "SELECT ename FROM EMP WHERE edno IN (SELECT dno FROM DEPT WHERE loc = 'ARC')",
+    )
+    .unwrap();
+    let g = build_select_query(&cat, &q).unwrap();
+    let body = g.quns[g.outputs[0].qun].ranges_over;
+    let sub = g.quns[g.boxed(body).quns[1]].ranges_over;
+    // Subquery box now has two predicates: loc='ARC' and dno = emp.edno.
+    assert_eq!(g.boxed(sub).preds.len(), 2);
+}
+
+#[test]
+fn or_of_exists_splits_into_union() {
+    let cat = paper_catalog();
+    let q = parse_select(
+        "SELECT s.sno, s.sname FROM SKILLS s WHERE
+           EXISTS (SELECT 1 FROM EMPSKILLS es WHERE es.essno = s.sno)
+           OR EXISTS (SELECT 1 FROM PROJSKILLS ps WHERE ps.pssno = s.sno)",
+    )
+    .unwrap();
+    let g = build_select_query(&cat, &q).unwrap();
+    g.check().unwrap();
+    assert_eq!(g.count_kind("Union"), 1, "OR of EXISTS must produce a UNION:\n{}", display::render(&g));
+}
+
+#[test]
+fn group_by_builds_groupby_box() {
+    let cat = paper_catalog();
+    let q = parse_select(
+        "SELECT edno, COUNT(*) AS n, AVG(sal) FROM EMP GROUP BY edno HAVING COUNT(*) > 2",
+    )
+    .unwrap();
+    let g = build_select_query(&cat, &q).unwrap();
+    assert_eq!(g.count_kind("GroupBy"), 1);
+    let body = g.quns[g.outputs[0].qun].ranges_over;
+    assert!(matches!(g.boxed(body).kind, BoxKind::GroupBy(_)));
+    assert_eq!(g.boxed(body).head.len(), 3);
+    assert_eq!(g.boxed(body).preds.len(), 1, "HAVING predicate on the GroupBy box");
+}
+
+#[test]
+fn non_grouped_item_rejected() {
+    let cat = paper_catalog();
+    let q = parse_select("SELECT ename, COUNT(*) FROM EMP GROUP BY edno").unwrap();
+    let err = build_select_query(&cat, &q).unwrap_err();
+    assert!(matches!(err, QgmError::Unsupported(_)));
+}
+
+#[test]
+fn base_table_boxes_are_shared() {
+    let cat = paper_catalog();
+    // EMP appears twice: both quantifiers must range over one box.
+    let q = parse_select(
+        "SELECT a.eno FROM EMP a, EMP b WHERE a.eno = b.eno",
+    )
+    .unwrap();
+    let g = build_select_query(&cat, &q).unwrap();
+    assert_eq!(g.count_kind("BaseTable"), 1);
+}
+
+#[test]
+fn unknown_names_error() {
+    let cat = paper_catalog();
+    let q = parse_select("SELECT * FROM NOPE").unwrap();
+    assert!(matches!(build_select_query(&cat, &q), Err(QgmError::UnknownTable(_))));
+    let q = parse_select("SELECT nope FROM EMP").unwrap();
+    assert!(matches!(build_select_query(&cat, &q), Err(QgmError::UnknownColumn(_))));
+    let q = parse_select("SELECT dno FROM EMP e, PROJ p WHERE e.edno = p.pdno").unwrap();
+    assert!(build_select_query(&cat, &q).is_err(), "dno exists in neither");
+    // Ambiguity: sno exists in SKILLS only; edno/pdno don't collide. Use
+    // two EMP bindings to force ambiguity on eno.
+    let q = parse_select("SELECT eno FROM EMP a, EMP b").unwrap();
+    assert!(matches!(build_select_query(&cat, &q), Err(QgmError::AmbiguousColumn(_))));
+}
+
+#[test]
+fn order_by_resolution() {
+    let cat = paper_catalog();
+    let q = parse_select("SELECT ename, sal FROM EMP ORDER BY sal DESC, 1").unwrap();
+    let g = build_select_query(&cat, &q).unwrap();
+    assert_eq!(g.order_by.len(), 2);
+    assert_eq!((g.order_by[0].col, g.order_by[0].desc), (1, true));
+    assert_eq!((g.order_by[1].col, g.order_by[1].desc), (0, false));
+    let q = parse_select("SELECT ename FROM EMP ORDER BY sal").unwrap();
+    assert!(build_select_query(&cat, &q).is_err(), "ORDER BY must use select-list columns");
+}
+
+// ---------------------------------------------------------------------------
+// XNF builder
+// ---------------------------------------------------------------------------
+
+#[test]
+fn builds_deps_arc_xnf_qgm() {
+    let cat = paper_catalog();
+    let q = parse_xnf(DEPS_ARC_QUERY).unwrap();
+    let g = build_xnf_query(&cat, &q).unwrap();
+    g.check().unwrap();
+    assert_eq!(g.count_kind("XNF"), 1);
+
+    let xnf = g
+        .boxes
+        .iter()
+        .find_map(|b| match &b.kind {
+            BoxKind::Xnf(x) => Some(x),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(xnf.components.len(), 8);
+
+    // xdept is the only root (every other node is some relationship's child).
+    let roots: Vec<&str> = xnf
+        .components
+        .iter()
+        .filter(|c| matches!(c.kind, XnfComponentKind::Node { root: true, .. }))
+        .map(|c| c.name.as_str())
+        .collect();
+    assert_eq!(roots, vec!["xdept"]);
+
+    // All non-roots are marked reachable ('R' in Fig. 4).
+    for c in &xnf.components {
+        if let XnfComponentKind::Node { root: false, reachable } = c.kind {
+            assert!(reachable, "{} should carry the R marker", c.name);
+        }
+        assert!(c.taken, "TAKE * takes every component");
+    }
+
+    // The dump mentions every component label (Fig. 4 reproduction).
+    let dump = display::render(&g);
+    for name in
+        ["xdept", "xemp", "xproj", "xskills", "employment", "ownership", "empproperty", "projproperty"]
+    {
+        assert!(dump.contains(name), "dump missing {name}:\n{dump}");
+    }
+}
+
+#[test]
+fn take_projection_and_partner_validation() {
+    let cat = paper_catalog();
+    let q = parse_xnf(
+        "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+                xemp AS EMP,
+                employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
+         TAKE xdept(dno), employment, xemp(eno, ename)",
+    )
+    .unwrap();
+    let g = build_xnf_query(&cat, &q).unwrap();
+    let xnf = g
+        .boxes
+        .iter()
+        .find_map(|b| match &b.kind {
+            BoxKind::Xnf(x) => Some(x),
+            _ => None,
+        })
+        .unwrap();
+    let xdept = xnf.components.iter().find(|c| c.name == "xdept").unwrap();
+    assert_eq!(xdept.projection, Some(vec![0]));
+
+    // Taking a relationship without its partner is an error.
+    let q = parse_xnf(
+        "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+                xemp AS EMP,
+                employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
+         TAKE xdept, employment",
+    )
+    .unwrap();
+    assert!(matches!(build_xnf_query(&cat, &q), Err(QgmError::Xnf(_))));
+}
+
+#[test]
+fn restriction_attaches_to_component() {
+    let cat = paper_catalog();
+    let q = parse_xnf(
+        "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+                xemp AS EMP,
+                employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
+         TAKE * WHERE xemp.sal > 100",
+    )
+    .unwrap();
+    let g = build_xnf_query(&cat, &q).unwrap();
+    let xnf = g
+        .boxes
+        .iter()
+        .find_map(|b| match &b.kind {
+            BoxKind::Xnf(x) => Some(x),
+            _ => None,
+        })
+        .unwrap();
+    let xemp = xnf.components.iter().find(|c| c.name == "xemp").unwrap();
+    assert_eq!(g.boxed(xemp.body).preds.len(), 1);
+
+    // A restriction spanning two components is rejected.
+    let q = parse_xnf(
+        "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+                xemp AS EMP,
+                employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
+         TAKE * WHERE xemp.sal > xdept.dno",
+    )
+    .unwrap();
+    assert!(matches!(build_xnf_query(&cat, &q), Err(QgmError::Xnf(_))));
+}
+
+#[test]
+fn unreachable_component_rejected() {
+    let cat = paper_catalog();
+    // Without an explicit ROOT, nodes with no incoming relationship become
+    // roots automatically — so this query is legal with two anchors.
+    let q = parse_xnf(
+        "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+                xemp AS EMP,
+                xproj AS PROJ,
+                employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
+         TAKE *",
+    )
+    .unwrap();
+    let g = build_xnf_query(&cat, &q).unwrap();
+    let xnf = g
+        .boxes
+        .iter()
+        .find_map(|b| match &b.kind {
+            BoxKind::Xnf(x) => Some(x),
+            _ => None,
+        })
+        .unwrap();
+    let roots: Vec<&str> = xnf
+        .components
+        .iter()
+        .filter(|c| matches!(c.kind, XnfComponentKind::Node { root: true, .. }))
+        .map(|c| c.name.as_str())
+        .collect();
+    assert_eq!(roots, vec!["xdept", "xproj"]);
+
+    // With an explicit ROOT, xproj is neither root nor any relationship's
+    // child: it could never be reachable, which is a semantic error.
+    let q = parse_xnf(
+        "OUT OF ROOT xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+                xemp AS EMP,
+                xproj AS PROJ,
+                employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
+         TAKE *",
+    )
+    .unwrap();
+    let err = build_xnf_query(&cat, &q).unwrap_err();
+    assert!(matches!(err, QgmError::Xnf(m) if m.contains("xproj")));
+}
+
+#[test]
+fn self_relationship_marks_cycle() {
+    let cat = paper_catalog();
+    cat.create_table(
+        "PARTS",
+        Schema::from_pairs(&[("pid", DataType::Int), ("pname", DataType::Str)]),
+    )
+    .unwrap();
+    cat.create_table(
+        "BOM",
+        Schema::from_pairs(&[("parent", DataType::Int), ("child", DataType::Int)]),
+    )
+    .unwrap();
+    let q = parse_xnf(
+        "OUT OF ROOT part AS (SELECT * FROM PARTS WHERE pid = 1),
+                uses AS (RELATE part VIA sub, part USING BOM b
+                         WHERE part.pid = b.parent AND b.child = sub.pid)
+         TAKE *",
+    )
+    .unwrap();
+    let g = build_xnf_query(&cat, &q).unwrap();
+    let xnf = g
+        .boxes
+        .iter()
+        .find_map(|b| match &b.kind {
+            BoxKind::Xnf(x) => Some(x),
+            _ => None,
+        })
+        .unwrap();
+    assert!(schema_graph_has_cycle(xnf));
+
+    // The deps_ARC graph is acyclic.
+    let q = parse_xnf(DEPS_ARC_QUERY).unwrap();
+    let g = build_xnf_query(&cat, &q).unwrap();
+    let xnf = g
+        .boxes
+        .iter()
+        .find_map(|b| match &b.kind {
+            BoxKind::Xnf(x) => Some(x),
+            _ => None,
+        })
+        .unwrap();
+    assert!(!schema_graph_has_cycle(xnf));
+}
+
+#[test]
+fn duplicate_component_rejected() {
+    let cat = paper_catalog();
+    let q = parse_xnf("OUT OF a AS DEPT, a AS EMP TAKE *").unwrap();
+    assert!(matches!(build_xnf_query(&cat, &q), Err(QgmError::Xnf(_))));
+}

@@ -1,0 +1,126 @@
+//! ASCII rendering of QGM graphs.
+//!
+//! The experiments use these dumps to reproduce the *structural* figures of
+//! the paper (Fig. 3 initial/rewritten graphs, Fig. 4 XNF QGM, Fig. 5
+//! reachability rewrite): each box is printed with its head, quantifiers
+//! (with F/E/S/A kinds, as in the figures) and predicates.
+
+use std::fmt::Write as _;
+
+use crate::graph::{BoxKind, Qgm, XnfComponentKind};
+
+/// Render the whole graph, reachable boxes first (in topological-ish id
+/// order), one block per box.
+pub fn render(qgm: &Qgm) -> String {
+    let mut out = String::new();
+    let reachable = qgm.reachable_boxes();
+    for b in &qgm.boxes {
+        if !reachable[b.id] {
+            continue;
+        }
+        render_box(qgm, b.id, &mut out);
+    }
+    out
+}
+
+/// Render a single box.
+pub fn render_box(qgm: &Qgm, id: usize, out: &mut String) {
+    let b = &qgm.boxes[id];
+    let kind = match &b.kind {
+        BoxKind::BaseTable { table, .. } => format!("BaseTable({table})"),
+        BoxKind::Select(s) => {
+            if s.distinct {
+                "Select DISTINCT".to_string()
+            } else {
+                "Select".to_string()
+            }
+        }
+        BoxKind::GroupBy(_) => "GroupBy".to_string(),
+        BoxKind::Union(u) => {
+            if u.all {
+                "UnionAll".to_string()
+            } else {
+                "Union".to_string()
+            }
+        }
+        BoxKind::Xnf(_) => "XNF".to_string(),
+        BoxKind::Top => "Top".to_string(),
+    };
+    let _ = writeln!(out, "box {} '{}' [{}]", b.id, b.label, kind);
+    if !b.head.is_empty() {
+        let cols: Vec<String> =
+            b.head.iter().map(|h| format!("{}={}", h.name, h.expr)).collect();
+        let _ = writeln!(out, "  head: {}", cols.join(", "));
+    }
+    for &q in &b.quns {
+        let qq = &qgm.quns[q];
+        let _ = writeln!(
+            out,
+            "  qun q{} ({}) '{}' over box {} '{}'",
+            q,
+            qq.kind.letter(),
+            qq.name,
+            qq.ranges_over,
+            qgm.boxes[qq.ranges_over].label
+        );
+    }
+    for p in &b.preds {
+        let _ = writeln!(out, "  pred: {p}");
+    }
+    if let BoxKind::Xnf(x) = &b.kind {
+        for c in &x.components {
+            match &c.kind {
+                XnfComponentKind::Node { root, reachable } => {
+                    let _ = writeln!(
+                        out,
+                        "  component node '{}' body=box {}{}{}{}",
+                        c.name,
+                        c.body,
+                        if *root { " ROOT" } else { "" },
+                        if *reachable { " R" } else { "" },
+                        if c.taken { " TAKEN" } else { "" },
+                    );
+                }
+                XnfComponentKind::Relationship { parent, role, children } => {
+                    let _ = writeln!(
+                        out,
+                        "  component rel '{}' {} -{}-> {} body=box {}{}",
+                        c.name,
+                        parent,
+                        role,
+                        children.join(","),
+                        c.body,
+                        if c.taken { " TAKEN" } else { "" },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One-line summary used in logs: box and quantifier counts by kind.
+pub fn summary(qgm: &Qgm) -> String {
+    let reachable = qgm.reachable_boxes();
+    let mut sel = 0;
+    let mut base = 0;
+    let mut group = 0;
+    let mut union = 0;
+    let mut xnf = 0;
+    for b in &qgm.boxes {
+        if !reachable[b.id] {
+            continue;
+        }
+        match b.kind {
+            BoxKind::Select(_) => sel += 1,
+            BoxKind::BaseTable { .. } => base += 1,
+            BoxKind::GroupBy(_) => group += 1,
+            BoxKind::Union(_) => union += 1,
+            BoxKind::Xnf(_) => xnf += 1,
+            BoxKind::Top => {}
+        }
+    }
+    format!(
+        "select={sel} base={base} groupby={group} union={union} xnf={xnf} quns={}",
+        qgm.quns.len()
+    )
+}

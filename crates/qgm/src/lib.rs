@@ -1,0 +1,32 @@
+//! # xnf-qgm — the Query Graph Model and its semantic builders
+//!
+//! QGM is the internal representation Starburst compiles queries into
+//! (Sect. 3.2 of the paper); this crate provides:
+//!
+//! - [`graph`]: boxes (Select / BaseTable / GroupBy / Union / Top and the
+//!   paper's **XNF operator**), quantifiers with F/E/Semi/Anti kinds, heads
+//!   and predicates;
+//! - [`expr`]: resolved scalar expressions over quantifier columns;
+//! - [`builder`]: SQL semantic routines (AST → NF QGM), with view expansion,
+//!   correlation, EXISTS/IN quantifier construction and OR-to-UNION;
+//! - [`xnf_builder`]: the XNF semantic routines (phases 0–3 of Sect. 4.1);
+//! - [`display`]: ASCII dumps used to reproduce the paper's QGM figures.
+
+pub mod builder;
+pub mod display;
+pub mod error;
+pub mod expr;
+pub mod graph;
+pub mod xnf_builder;
+
+pub use builder::{attach_top, build_select_query, literal_value, Builder, Scope};
+pub use error::{QgmError, Result};
+pub use expr::{QunId, ScalarExpr};
+pub use graph::{
+    BoxId, BoxKind, GroupByBox, HeadColumn, OrderSpec, OutputDesc, OutputKind, Qgm, QgmBox,
+    Quantifier, QunKind, SelectBox, UnionBox, XnfBox, XnfComponent, XnfComponentKind, ROWID_COL,
+};
+pub use xnf_builder::{build_xnf_query, schema_graph_has_cycle};
+
+#[cfg(test)]
+mod builder_tests;

@@ -1,0 +1,120 @@
+//! The shared rule engine (Sect. 4.4).
+//!
+//! The paper's implementation keeps *two* rewrite components — one for XNF
+//! semantics, one for NF — but both use the same transformation technique
+//! (rule-based rewriting), the same rule representation and the same rule
+//! engine. This module is that engine: a set of [`Rule`]s applied to a QGM
+//! graph until fixpoint, with per-rule firing counts reported.
+
+use xnf_qgm::Qgm;
+
+use crate::error::Result;
+
+/// A rewrite rule: tries to transform the graph once; reports whether it
+/// changed anything.
+pub trait Rule {
+    fn name(&self) -> &'static str;
+    /// Attempt one application anywhere in the graph.
+    fn apply(&self, qgm: &mut Qgm) -> Result<bool>;
+}
+
+/// Outcome of an engine run.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteReport {
+    /// `(rule name, firings)` in rule order.
+    pub firings: Vec<(String, u64)>,
+    pub passes: u64,
+}
+
+impl RewriteReport {
+    pub fn fired(&self, rule: &str) -> u64 {
+        self.firings.iter().find(|(n, _)| n == rule).map(|(_, c)| *c).unwrap_or(0)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.firings.iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// A rule set executed to fixpoint.
+pub struct RuleEngine {
+    rules: Vec<Box<dyn Rule>>,
+    max_passes: u64,
+}
+
+impl RuleEngine {
+    pub fn new(rules: Vec<Box<dyn Rule>>) -> Self {
+        RuleEngine { rules, max_passes: 10_000 }
+    }
+
+    /// Apply all rules round-robin until none fires (or the pass budget is
+    /// exhausted, which indicates a non-confluent rule set — reported via
+    /// the pass count rather than an error so callers can assert on it).
+    pub fn run(&self, qgm: &mut Qgm) -> Result<RewriteReport> {
+        let mut report = RewriteReport {
+            firings: self.rules.iter().map(|r| (r.name().to_string(), 0)).collect(),
+            passes: 0,
+        };
+        loop {
+            report.passes += 1;
+            let mut changed = false;
+            for (i, rule) in self.rules.iter().enumerate() {
+                while rule.apply(qgm)? {
+                    report.firings[i].1 += 1;
+                    changed = true;
+                    if report.firings[i].1 + report.passes > self.max_passes {
+                        return Ok(report);
+                    }
+                }
+            }
+            if !changed || report.passes >= self.max_passes {
+                return Ok(report);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xnf_qgm::{BoxKind, SelectBox};
+
+    /// A rule that renames at most `n` boxes, one per application.
+    struct RenameOnce;
+
+    impl Rule for RenameOnce {
+        fn name(&self) -> &'static str {
+            "rename_once"
+        }
+        fn apply(&self, qgm: &mut Qgm) -> Result<bool> {
+            for b in &mut qgm.boxes {
+                if b.label.starts_with("old") {
+                    b.label = format!("new{}", &b.label[3..]);
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+    }
+
+    #[test]
+    fn engine_runs_to_fixpoint_and_counts() {
+        let mut g = Qgm::new();
+        for i in 0..3 {
+            g.add_box(BoxKind::Select(SelectBox::default()), format!("old{i}"));
+        }
+        let engine = RuleEngine::new(vec![Box::new(RenameOnce)]);
+        let report = engine.run(&mut g).unwrap();
+        assert_eq!(report.fired("rename_once"), 3);
+        assert!(g.boxes.iter().all(|b| b.label.starts_with("new")));
+    }
+
+    #[test]
+    fn empty_rule_set_terminates() {
+        let mut g = Qgm::new();
+        let engine = RuleEngine::new(vec![]);
+        let report = engine.run(&mut g).unwrap();
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.passes, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # xnf-rewrite — rule-based query rewrite (NF + XNF semantic rewrite)
+//!
+//! Reproduces the paper's two-component rewrite architecture (Sect. 4.4):
+//! a shared [`engine`] runs both the **XNF semantic rewrite** (lowering the
+//! XNF operator to NF QGM with reachability semijoins and shared component
+//! derivations — Sect. 4.2) and the **NF rules** (E-to-F quantifier
+//! conversion, SELECT merge, predicate pushdown, unused-box removal —
+//! Sect. 3.2 / Fig. 3).
+
+pub mod engine;
+pub mod error;
+pub mod rules_nf;
+pub mod xnf_lowering;
+
+pub use engine::{RewriteReport, Rule, RuleEngine};
+pub use error::{Result, RewriteError};
+pub use rules_nf::{
+    nf_rules, nf_rules_no_etof, xnf_cleanup_rules, ConstantFolding, EToF, PredicatePushdown,
+    RemoveUnusedBoxes, SelectMerge,
+};
+pub use xnf_lowering::xnf_semantic_rewrite;
+
+use xnf_qgm::Qgm;
+
+/// Rewrite options.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteOptions {
+    /// Apply the E-to-F (existential subquery → semijoin) conversion.
+    /// Disabling this reproduces the naive execution strategy of Fig. 3.
+    pub e_to_f: bool,
+    /// Apply SELECT merge and predicate pushdown.
+    pub simplify: bool,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions { e_to_f: true, simplify: true }
+    }
+}
+
+/// Full rewrite pipeline: XNF semantic rewrite (when an XNF operator is
+/// present), then NF rules to fixpoint.
+pub fn rewrite(qgm: &mut Qgm, options: RewriteOptions) -> Result<RewriteReport> {
+    xnf_semantic_rewrite(qgm)?;
+    let rules = match (options.e_to_f, options.simplify) {
+        (true, true) => nf_rules(),
+        (false, true) => nf_rules_no_etof(),
+        (true, false) => vec![Box::new(EToF) as Box<dyn Rule>, Box::new(RemoveUnusedBoxes)],
+        (false, false) => vec![Box::new(RemoveUnusedBoxes) as Box<dyn Rule>],
+    };
+    let engine = RuleEngine::new(rules);
+    engine.run(qgm)
+}
+
+#[cfg(test)]
+mod rewrite_tests;

@@ -1,0 +1,449 @@
+//! NF (relational) rewrite rules.
+//!
+//! The three rules the paper leans on (Sect. 3.2, Fig. 3, [39]):
+//!
+//! - [`EToF`] — *E-to-F quantifier conversion*: an existential subquery
+//!   quantifier becomes a set-oriented `Semi` quantifier, turning per-tuple
+//!   subquery evaluation into a semijoin (Fig. 3a → 3b). Disabling this rule
+//!   is what the Fig. 3 experiment uses as the naive baseline.
+//! - [`SelectMerge`] — merges a single-reference Select box into its
+//!   consumer (Fig. 3b → 3c), enabling join-order optimization across the
+//!   former box boundary.
+//! - [`PredicatePushdown`] — moves single-quantifier predicates into the box
+//!   the quantifier ranges over, so scans see their filters.
+//!
+//! Plus the clean-up rule [`RemoveUnusedBoxes`] (Sect. 4.4) shared with the
+//! XNF rewrite component.
+
+use xnf_qgm::{BoxId, BoxKind, Qgm, QunId, QunKind, ScalarExpr, ROWID_COL};
+
+use crate::engine::Rule;
+use crate::error::Result;
+
+/// Replace every reference to `qun`'s columns, everywhere in the graph,
+/// using the head expressions in `head_map` (indexable by column ordinal).
+fn substitute_qun_globally(qgm: &mut Qgm, qun: QunId, head_map: &[ScalarExpr]) {
+    let rewrite = |e: &ScalarExpr| {
+        e.map_cols(&mut |q, c| {
+            if q == qun {
+                head_map[c].clone()
+            } else {
+                ScalarExpr::Col { qun: q, col: c }
+            }
+        })
+    };
+    for b in &mut qgm.boxes {
+        for h in &mut b.head {
+            h.expr = rewrite(&h.expr);
+        }
+        for p in &mut b.preds {
+            *p = rewrite(p);
+        }
+        if let BoxKind::GroupBy(g) = &mut b.kind {
+            for e in &mut g.group_by {
+                *e = rewrite(e);
+            }
+        }
+    }
+}
+
+/// Is `Col{qun, ROWID_COL}` referenced anywhere? (Such quantifiers feed CO
+/// connection streams and must not be merged away.)
+fn rowid_observed(qgm: &Qgm, qun: QunId) -> bool {
+    let check = |e: &ScalarExpr| -> bool {
+        let mut found = false;
+        let _ = e.map_cols(&mut |q, c| {
+            if q == qun && c == ROWID_COL {
+                found = true;
+            }
+            ScalarExpr::Col { qun: q, col: c }
+        });
+        found
+    };
+    qgm.boxes.iter().any(|b| {
+        b.head.iter().any(|h| check(&h.expr))
+            || b.preds.iter().any(check)
+            || match &b.kind {
+                BoxKind::GroupBy(g) => g.group_by.iter().any(check),
+                _ => false,
+            }
+    })
+}
+
+/// E-to-F quantifier conversion (existential subquery → semijoin).
+pub struct EToF;
+
+impl Rule for EToF {
+    fn name(&self) -> &'static str {
+        "e_to_f"
+    }
+
+    fn apply(&self, qgm: &mut Qgm) -> Result<bool> {
+        let reachable = qgm.reachable_boxes();
+        for b in &qgm.boxes {
+            if !reachable[b.id] {
+                continue;
+            }
+            for &q in &b.quns {
+                if qgm.quns[q].kind == QunKind::Existential {
+                    let qid = q;
+                    qgm.quns[qid].kind = QunKind::Semi;
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Merge a Select box that is referenced exactly once into its consumer.
+pub struct SelectMerge;
+
+impl SelectMerge {
+    /// Find a `(consumer, qun, inner)` merge candidate.
+    fn candidate(qgm: &Qgm) -> Option<(BoxId, QunId, BoxId)> {
+        let reachable = qgm.reachable_boxes();
+        let refs = qgm.ref_counts();
+        for b in &qgm.boxes {
+            if !reachable[b.id] || !b.is_select() {
+                continue;
+            }
+            for &q in &b.quns {
+                let qk = qgm.quns[q].kind;
+                if qk != QunKind::Foreach && qk != QunKind::Semi {
+                    continue;
+                }
+                let inner = qgm.quns[q].ranges_over;
+                let ib = qgm.boxed(inner);
+                if !ib.is_select() || refs[inner] != 1 {
+                    continue;
+                }
+                // A DISTINCT inner box can only merge under a Semi consumer
+                // (semijoins ignore duplicate inner rows).
+                let inner_distinct = ib.as_select().map(|s| s.distinct).unwrap_or(false);
+                if inner_distinct && qk != QunKind::Semi {
+                    continue;
+                }
+                // When merging under Foreach, the inner box must not contain
+                // Semi/E/Anti groups that would change meaning? They keep
+                // their joint semantics inside the consumer, so they are
+                // fine. Only rowid observation blocks the merge.
+                if rowid_observed(qgm, q) {
+                    continue;
+                }
+                // Inner head must be pure column/literal expressions when the
+                // consumer references them under aggregation? Aggregates sit
+                // in GroupBy boxes (never Select), so plain substitution is
+                // sound here.
+                return Some((b.id, q, inner));
+            }
+        }
+        None
+    }
+}
+
+impl Rule for SelectMerge {
+    fn name(&self) -> &'static str {
+        "select_merge"
+    }
+
+    fn apply(&self, qgm: &mut Qgm) -> Result<bool> {
+        let Some((outer, q, inner)) = Self::candidate(qgm) else {
+            return Ok(false);
+        };
+        let merged_as_semi = qgm.quns[q].kind == QunKind::Semi;
+
+        // 1. Substitute inner head expressions for references to q.
+        let head_map: Vec<ScalarExpr> =
+            qgm.boxed(inner).head.iter().map(|h| h.expr.clone()).collect();
+        substitute_qun_globally(qgm, q, &head_map);
+
+        // 2. Move inner quantifiers into the outer box, replacing q in
+        //    place (keeps join-order hints stable). Under a Semi consumer
+        //    every transferred F/Semi quantifier becomes Semi (the whole
+        //    inner binding is existential).
+        let inner_quns: Vec<QunId> = qgm.boxed(inner).quns.clone();
+        let pos = qgm.boxes[outer].quns.iter().position(|&x| x == q).expect("qun in owner");
+        qgm.boxes[outer].quns.remove(pos);
+        for (i, iq) in inner_quns.iter().enumerate() {
+            qgm.boxes[outer].quns.insert(pos + i, *iq);
+            if merged_as_semi {
+                let k = qgm.quns[*iq].kind;
+                if k == QunKind::Foreach {
+                    qgm.quns[*iq].kind = QunKind::Semi;
+                }
+            }
+        }
+        qgm.boxes[inner].quns.clear();
+
+        // 3. Move inner predicates up.
+        let inner_preds = std::mem::take(&mut qgm.boxes[inner].preds);
+        qgm.boxes[outer].preds.extend(inner_preds);
+
+        // The inner box is now unreferenced; RemoveUnusedBoxes reclaims it.
+        Ok(true)
+    }
+}
+
+/// Push single-quantifier predicates into the (solely referenced) Select box
+/// the quantifier ranges over.
+pub struct PredicatePushdown;
+
+impl Rule for PredicatePushdown {
+    fn name(&self) -> &'static str {
+        "predicate_pushdown"
+    }
+
+    fn apply(&self, qgm: &mut Qgm) -> Result<bool> {
+        let reachable = qgm.reachable_boxes();
+        let refs = qgm.ref_counts();
+        let mut target: Option<(BoxId, usize, QunId, BoxId)> = None;
+        'outer: for b in &qgm.boxes {
+            if !reachable[b.id] || !b.is_select() {
+                continue;
+            }
+            for (pi, p) in b.preds.iter().enumerate() {
+                let quns = p.quns();
+                if quns.len() != 1 {
+                    continue;
+                }
+                let q = quns[0];
+                if !b.quns.contains(&q) {
+                    continue; // correlated predicate, owned elsewhere
+                }
+                let inner = qgm.quns[q].ranges_over;
+                let ib = qgm.boxed(inner);
+                if !ib.is_select() || refs[inner] != 1 {
+                    continue;
+                }
+                // ROWID references cannot be mapped through a head.
+                let mut has_rowid = false;
+                let _ = p.map_cols(&mut |qq, c| {
+                    if c == ROWID_COL {
+                        has_rowid = true;
+                    }
+                    ScalarExpr::Col { qun: qq, col: c }
+                });
+                if has_rowid {
+                    continue;
+                }
+                target = Some((b.id, pi, q, inner));
+                break 'outer;
+            }
+        }
+        let Some((outer, pi, q, inner)) = target else {
+            return Ok(false);
+        };
+        let pred = qgm.boxes[outer].preds.remove(pi);
+        let head_map: Vec<ScalarExpr> =
+            qgm.boxed(inner).head.iter().map(|h| h.expr.clone()).collect();
+        let pushed = pred.map_cols(&mut |qq, c| {
+            if qq == q {
+                head_map[c].clone()
+            } else {
+                ScalarExpr::Col { qun: qq, col: c }
+            }
+        });
+        qgm.boxes[inner].preds.push(pushed);
+        Ok(true)
+    }
+}
+
+/// Remove boxes unreachable from Top (clean-up; shared with XNF rewrite).
+pub struct RemoveUnusedBoxes;
+
+impl Rule for RemoveUnusedBoxes {
+    fn name(&self) -> &'static str {
+        "remove_unused_boxes"
+    }
+
+    fn apply(&self, qgm: &mut Qgm) -> Result<bool> {
+        let before = qgm.boxes.len();
+        let reachable = qgm.reachable_boxes();
+        if reachable.iter().all(|&r| r) {
+            return Ok(false);
+        }
+        qgm.compact();
+        Ok(qgm.boxes.len() < before)
+    }
+}
+
+/// The standard NF rule set, in the order the paper motivates: convert
+/// existentials, merge boxes, push predicates, clean up.
+pub fn nf_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(ConstantFolding),
+        Box::new(EToF),
+        Box::new(SelectMerge),
+        Box::new(PredicatePushdown),
+        Box::new(RemoveUnusedBoxes),
+    ]
+}
+
+/// NF rules *without* E-to-F: the naive baseline for the Fig. 3 experiment
+/// (existential subqueries stay tuple-at-a-time).
+pub fn nf_rules_no_etof() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(ConstantFolding),
+        Box::new(SelectMerge),
+        Box::new(PredicatePushdown),
+        Box::new(RemoveUnusedBoxes),
+    ]
+}
+
+/// The NF simplification subset made available to the XNF rewrite component
+/// (Sect. 4.4: "removal of unused boxes, box merge, and other clean-up").
+pub fn xnf_cleanup_rules() -> Vec<Box<dyn Rule>> {
+    vec![Box::new(SelectMerge), Box::new(RemoveUnusedBoxes)]
+}
+
+/// Constant folding + trivial predicate elimination: literal-only
+/// subexpressions are evaluated at rewrite time; predicates that fold to
+/// TRUE are dropped. (Starburst's rewrite had a family of such clean-up
+/// rules; this keeps EXPLAIN output and op counts honest when queries carry
+/// tautologies like `1 = 1`.)
+pub struct ConstantFolding;
+
+fn fold(e: &ScalarExpr) -> ScalarExpr {
+    use xnf_qgm::ScalarExpr as S;
+    use xnf_sql::{BinOp, UnaryOp};
+    use xnf_storage::Value;
+    match e {
+        S::Binary { left, op, right } => {
+            let l = fold(left);
+            let r = fold(right);
+            if let (S::Literal(a), S::Literal(b)) = (&l, &r) {
+                let folded = match op {
+                    BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                        match a.sql_cmp(b) {
+                            None => Some(Value::Null),
+                            Some(ord) => Some(Value::Bool(match op {
+                                BinOp::Eq => ord.is_eq(),
+                                BinOp::NotEq => !ord.is_eq(),
+                                BinOp::Lt => ord.is_lt(),
+                                BinOp::LtEq => ord.is_le(),
+                                BinOp::Gt => ord.is_gt(),
+                                BinOp::GtEq => ord.is_ge(),
+                                _ => unreachable!(),
+                            })),
+                        }
+                    }
+                    BinOp::And => match (a, b) {
+                        (Value::Bool(false), _) | (_, Value::Bool(false)) => {
+                            Some(Value::Bool(false))
+                        }
+                        (Value::Bool(true), Value::Bool(true)) => Some(Value::Bool(true)),
+                        _ => None,
+                    },
+                    BinOp::Or => match (a, b) {
+                        (Value::Bool(true), _) | (_, Value::Bool(true)) => Some(Value::Bool(true)),
+                        (Value::Bool(false), Value::Bool(false)) => Some(Value::Bool(false)),
+                        _ => None,
+                    },
+                    // Arithmetic folding: integers only (floats keep their
+                    // runtime semantics; overflow aborts folding).
+                    BinOp::Add | BinOp::Sub | BinOp::Mul => match (a, b) {
+                        (Value::Int(x), Value::Int(y)) => {
+                            let v = match op {
+                                BinOp::Add => x.checked_add(*y),
+                                BinOp::Sub => x.checked_sub(*y),
+                                BinOp::Mul => x.checked_mul(*y),
+                                _ => unreachable!(),
+                            };
+                            v.map(Value::Int)
+                        }
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                if let Some(v) = folded {
+                    return S::Literal(v);
+                }
+            }
+            // Short-circuit simplifications with one literal side.
+            if *op == BinOp::And {
+                if matches!(l, S::Literal(Value::Bool(true))) {
+                    return r;
+                }
+                if matches!(r, S::Literal(Value::Bool(true))) {
+                    return l;
+                }
+            }
+            if *op == BinOp::Or {
+                if matches!(l, S::Literal(Value::Bool(false))) {
+                    return r;
+                }
+                if matches!(r, S::Literal(Value::Bool(false))) {
+                    return l;
+                }
+            }
+            S::Binary { left: Box::new(l), op: *op, right: Box::new(r) }
+        }
+        S::Unary { op: UnaryOp::Not, expr } => {
+            let inner = fold(expr);
+            if let S::Literal(Value::Bool(b)) = inner {
+                return S::Literal(Value::Bool(!b));
+            }
+            S::Unary { op: UnaryOp::Not, expr: Box::new(inner) }
+        }
+        S::Unary { op, expr } => S::Unary { op: *op, expr: Box::new(fold(expr)) },
+        S::IsNull { expr, negated } => {
+            let inner = fold(expr);
+            if let S::Literal(v) = &inner {
+                return S::Literal(Value::Bool(v.is_null() != *negated));
+            }
+            S::IsNull { expr: Box::new(inner), negated: *negated }
+        }
+        S::Like { expr, pattern, negated } => {
+            S::Like { expr: Box::new(fold(expr)), pattern: pattern.clone(), negated: *negated }
+        }
+        S::InList { expr, list, negated } => S::InList {
+            expr: Box::new(fold(expr)),
+            list: list.iter().map(fold).collect(),
+            negated: *negated,
+        },
+        S::Func { func, args } => S::Func { func: *func, args: args.iter().map(fold).collect() },
+        S::Agg { func, arg, distinct } => S::Agg {
+            func: *func,
+            arg: arg.as_ref().map(|a| Box::new(fold(a))),
+            distinct: *distinct,
+        },
+        S::Literal(_) | S::Col { .. } => e.clone(),
+    }
+}
+
+impl Rule for ConstantFolding {
+    fn name(&self) -> &'static str {
+        "constant_folding"
+    }
+
+    fn apply(&self, qgm: &mut Qgm) -> Result<bool> {
+        use xnf_qgm::ScalarExpr as S;
+        use xnf_storage::Value;
+        let mut changed = false;
+        for b in &mut qgm.boxes {
+            for h in &mut b.head {
+                let folded = fold(&h.expr);
+                if folded.signature() != h.expr.signature() {
+                    h.expr = folded;
+                    changed = true;
+                }
+            }
+            let before = b.preds.len();
+            let mut new_preds = Vec::with_capacity(before);
+            for p in &b.preds {
+                let folded = fold(p);
+                if matches!(folded, S::Literal(Value::Bool(true))) {
+                    changed = true;
+                    continue; // tautology: drop
+                }
+                if folded.signature() != p.signature() {
+                    changed = true;
+                }
+                new_preds.push(folded);
+            }
+            b.preds = new_preds;
+        }
+        Ok(changed)
+    }
+}

@@ -1,0 +1,278 @@
+//! Hand-written lexer for the SQL/XNF dialect.
+
+use crate::error::{ParseError, Result};
+use crate::token::{Token, TokenKind};
+
+/// Tokenize an input string. Comments (`-- …` to end of line) and whitespace
+/// are skipped. Returns tokens ending with a single [`TokenKind::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    Lexer { chars: input.chars().collect(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, line, col });
+                return Ok(out);
+            };
+            let kind = match c {
+                ',' => self.single(TokenKind::Comma),
+                '.' => {
+                    // A dot directly followed by a digit begins a float only
+                    // after another number; standalone `.5` is not supported —
+                    // qualified names dominate in this dialect.
+                    self.single(TokenKind::Dot)
+                }
+                '(' => self.single(TokenKind::LParen),
+                ')' => self.single(TokenKind::RParen),
+                '*' => self.single(TokenKind::Star),
+                '+' => self.single(TokenKind::Plus),
+                '-' => self.single(TokenKind::Minus),
+                '/' => self.single(TokenKind::Slash),
+                '%' => self.single(TokenKind::Percent),
+                ';' => self.single(TokenKind::Semicolon),
+                '=' => self.single(TokenKind::Eq),
+                '<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('=') => {
+                            self.bump();
+                            TokenKind::LtEq
+                        }
+                        Some('>') => {
+                            self.bump();
+                            TokenKind::NotEq
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::GtEq
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::NotEq
+                    } else {
+                        return Err(ParseError::new("expected '=' after '!'", line, col));
+                    }
+                }
+                '\'' => self.string(line, col)?,
+                c if c.is_ascii_digit() => self.number(line, col)?,
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                other => {
+                    return Err(ParseError::new(format!("unexpected character '{other}'"), line, col))
+                }
+            };
+            out.push(Token { kind, line, col });
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('-') if self.peek2() == Some('-') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn string(&mut self, line: u32, col: u32) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(ParseError::new("unterminated string literal", line, col)),
+                Some('\'') => {
+                    // '' is an escaped quote.
+                    if self.peek() == Some('\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(TokenKind::Str(s));
+                    }
+                }
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) -> Result<TokenKind> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: only if '.' is followed by a digit (so `t.c`
+        // style qualified names never collide with numbers).
+        if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            s.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let f: f64 = s
+                .parse()
+                .map_err(|_| ParseError::new(format!("invalid float '{s}'"), line, col))?;
+            return Ok(TokenKind::Float(f));
+        }
+        let i: i64 =
+            s.parse().map_err(|_| ParseError::new(format!("invalid integer '{s}'"), line, col))?;
+        Ok(TokenKind::Int(i))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT * FROM emp WHERE a <= 10"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("emp".into()),
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::LtEq,
+                TokenKind::Int(10),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names_vs_floats() {
+        assert_eq!(
+            kinds("t.c 1.5 2.x"),
+            vec![
+                TokenKind::Ident("t".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("c".into()),
+                TokenKind::Float(1.5),
+                TokenKind::Int(2),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'AR''C'"), vec![TokenKind::Str("AR'C".into()), TokenKind::Eof]);
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn comments_and_newlines() {
+        let toks = lex("SELECT -- comment\n 1").unwrap();
+        assert_eq!(toks[1].kind, TokenKind::Int(1));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = lex("a @ b").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 3));
+    }
+}

@@ -1,0 +1,25 @@
+//! # xnf-sql — SQL + XNF front end (Starburst "CORONA" parser analog)
+//!
+//! A hand-written lexer and recursive-descent parser for:
+//!
+//! - a practical SQL subset (SELECT with joins/EXISTS/IN/GROUP BY/HAVING/
+//!   ORDER BY/UNION, INSERT/UPDATE/DELETE, CREATE TABLE/INDEX/VIEW, ANALYZE);
+//! - the **XNF composite-object constructor** of the paper:
+//!   `OUT OF <component tables, RELATE relationships> TAKE <projection>`,
+//!   including the `VIA` role clause, `USING` mapping tables, the base-table
+//!   shortcut (`xemp AS EMP`), `TAKE *` vs item projection, inlining of
+//!   existing XNF views by name, and an explicit `ROOT` marker for recursive
+//!   COs.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::*;
+pub use error::{ParseError, Result};
+pub use parser::{parse_expr, parse_select, parse_statement, parse_statements, parse_xnf};
+
+#[cfg(test)]
+mod parser_tests;

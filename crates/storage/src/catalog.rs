@@ -1,0 +1,493 @@
+//! Catalog: tables (heap + indexes + statistics) and view definitions.
+//!
+//! [`Table`] bundles a heap file with its secondary indexes and keeps them
+//! consistent across inserts, deletes and (possibly relocating) updates.
+//! [`Catalog`] names tables and views; view *text* is stored here (the
+//! front-end re-parses it), mirroring how Starburst kept view definitions in
+//! catalog relations.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::heap::HeapFile;
+use crate::index::{BTreeIndex, Key};
+use crate::schema::Schema;
+use crate::stats::{StatsBuilder, TableStats};
+use crate::tuple::{Rid, Tuple};
+use crate::value::Value;
+
+/// Numeric table identifier.
+pub type TableId = u32;
+
+/// Definition of a secondary index.
+#[derive(Debug, Clone)]
+pub struct IndexDef {
+    pub name: String,
+    /// Ordinals of the indexed columns in the table schema.
+    pub columns: Vec<usize>,
+    pub unique: bool,
+}
+
+struct IndexEntry {
+    def: IndexDef,
+    tree: BTreeIndex,
+}
+
+/// A stored table: schema + heap + indexes + stats.
+pub struct Table {
+    pub id: TableId,
+    pub name: String,
+    pub schema: Schema,
+    heap: HeapFile,
+    indexes: Mutex<Vec<IndexEntry>>,
+    stats: RwLock<TableStats>,
+}
+
+impl Table {
+    fn new(id: TableId, name: String, schema: Schema, pool: Arc<BufferPool>) -> Self {
+        Table {
+            id,
+            name,
+            schema,
+            heap: HeapFile::create(pool),
+            indexes: Mutex::new(Vec::new()),
+            stats: RwLock::new(TableStats::default()),
+        }
+    }
+
+    fn key_of(def: &IndexDef, tuple: &Tuple) -> Key {
+        def.columns.iter().map(|&c| tuple.values[c].clone()).collect()
+    }
+
+    /// Insert a tuple, maintaining all indexes. On a unique violation the
+    /// heap insert and any partial index inserts are rolled back.
+    pub fn insert(&self, tuple: &Tuple) -> Result<Rid> {
+        self.schema.validate(&tuple.values)?;
+        let rid = self.heap.insert(tuple)?;
+        let mut indexes = self.indexes.lock();
+        for i in 0..indexes.len() {
+            let key = Self::key_of(&indexes[i].def, tuple);
+            if let Err(e) = indexes[i].tree.insert(key, rid) {
+                // Roll back: remove entries added so far and the heap tuple.
+                for entry in indexes.iter_mut().take(i) {
+                    let key = Self::key_of(&entry.def, tuple);
+                    entry.tree.delete(&key, rid);
+                }
+                drop(indexes);
+                let _ = self.heap.delete(rid);
+                return Err(e);
+            }
+        }
+        Ok(rid)
+    }
+
+    /// Delete by RID, maintaining indexes. Returns the removed tuple.
+    pub fn delete(&self, rid: Rid) -> Result<Tuple> {
+        let old = self.heap.delete(rid)?;
+        let mut indexes = self.indexes.lock();
+        for entry in indexes.iter_mut() {
+            let key = Self::key_of(&entry.def, &old);
+            entry.tree.delete(&key, rid);
+        }
+        Ok(old)
+    }
+
+    /// Update by RID; relocation and key changes re-point indexes.
+    /// Returns `(old_tuple, new_rid)`.
+    pub fn update(&self, rid: Rid, new: &Tuple) -> Result<(Tuple, Rid)> {
+        self.schema.validate(&new.values)?;
+        let (old, new_rid) = self.heap.update(rid, new)?;
+        let mut indexes = self.indexes.lock();
+        for entry in indexes.iter_mut() {
+            let old_key = Self::key_of(&entry.def, &old);
+            let new_key = Self::key_of(&entry.def, new);
+            if old_key != new_key || rid != new_rid {
+                entry.tree.delete(&old_key, rid);
+                // Unique violations on update surface to the caller; the heap
+                // already holds the new image, so restore it on failure.
+                if let Err(e) = entry.tree.insert(new_key, new_rid) {
+                    drop(indexes);
+                    let _ = self.heap.update(new_rid, &old);
+                    return Err(e);
+                }
+            }
+        }
+        Ok((old, new_rid))
+    }
+
+    /// Fetch one tuple.
+    pub fn get(&self, rid: Rid) -> Result<Tuple> {
+        self.heap.get(rid)
+    }
+
+    /// Full scan; see [`HeapFile::for_each`].
+    pub fn for_each(&self, f: impl FnMut(Rid, Tuple) -> Result<bool>) -> Result<()> {
+        self.heap.for_each(f)
+    }
+
+    pub fn scan_all(&self) -> Result<Vec<(Rid, Tuple)>> {
+        self.heap.scan_all()
+    }
+
+    pub fn row_count(&self) -> Result<usize> {
+        self.heap.count()
+    }
+
+    pub fn page_count(&self) -> usize {
+        self.heap.page_count()
+    }
+
+    /// Add a secondary index over `columns`, building it from current data.
+    pub fn create_index(&self, name: &str, columns: Vec<usize>, unique: bool) -> Result<()> {
+        let mut indexes = self.indexes.lock();
+        if indexes.iter().any(|e| e.def.name.eq_ignore_ascii_case(name)) {
+            return Err(StorageError::DuplicateIndex(name.to_string()));
+        }
+        let def = IndexDef { name: name.to_string(), columns, unique };
+        let mut tree = BTreeIndex::new(unique);
+        self.heap.for_each(|rid, t| {
+            tree.insert(Table::key_of(&def, &t), rid)?;
+            Ok(true)
+        })?;
+        indexes.push(IndexEntry { def, tree });
+        Ok(())
+    }
+
+    /// Names and definitions of all indexes.
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.indexes.lock().iter().map(|e| e.def.clone()).collect()
+    }
+
+    /// Find an index whose column list starts with exactly `columns` (we use
+    /// exact-prefix match; the planner only asks for full-key equality).
+    pub fn find_index(&self, columns: &[usize]) -> Option<IndexDef> {
+        self.indexes
+            .lock()
+            .iter()
+            .find(|e| e.def.columns.len() == columns.len() && e.def.columns == columns)
+            .map(|e| e.def.clone())
+    }
+
+    /// Point lookup through the named index.
+    pub fn index_lookup(&self, index_name: &str, key: &Key) -> Result<Vec<Rid>> {
+        let indexes = self.indexes.lock();
+        let entry = indexes
+            .iter()
+            .find(|e| e.def.name.eq_ignore_ascii_case(index_name))
+            .ok_or_else(|| StorageError::UnknownIndex(index_name.to_string()))?;
+        Ok(entry.tree.get(key))
+    }
+
+    /// Range scan through the named index.
+    pub fn index_range(
+        &self,
+        index_name: &str,
+        lo: std::ops::Bound<&Key>,
+        hi: std::ops::Bound<&Key>,
+    ) -> Result<Vec<(Key, Rid)>> {
+        let indexes = self.indexes.lock();
+        let entry = indexes
+            .iter()
+            .find(|e| e.def.name.eq_ignore_ascii_case(index_name))
+            .ok_or_else(|| StorageError::UnknownIndex(index_name.to_string()))?;
+        Ok(entry.tree.range(lo, hi))
+    }
+
+    /// Recompute statistics with a full scan.
+    pub fn analyze(&self) -> Result<TableStats> {
+        let mut b = StatsBuilder::new(self.schema.len());
+        self.heap.for_each(|_, t| {
+            b.observe(&t.values);
+            Ok(true)
+        })?;
+        let stats = b.finish(self.heap.page_count() as u64);
+        *self.stats.write() = stats.clone();
+        Ok(stats)
+    }
+
+    /// Current (possibly stale) statistics.
+    pub fn stats(&self) -> TableStats {
+        self.stats.read().clone()
+    }
+
+    /// Ordinal of a named column, with a table-aware error.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.schema.resolve(&self.name, name)
+    }
+
+    /// Convenience: fetch all tuples whose `col = value` using an index when
+    /// one exists, else a scan (used by write-back and tests, not the planner).
+    pub fn find_by_value(&self, col: usize, value: &Value) -> Result<Vec<(Rid, Tuple)>> {
+        if let Some(def) = self.find_index(&[col]) {
+            let rids = self.index_lookup(&def.name, &vec![value.clone()])?;
+            let mut out = Vec::with_capacity(rids.len());
+            for rid in rids {
+                out.push((rid, self.get(rid)?));
+            }
+            return Ok(out);
+        }
+        let mut out = Vec::new();
+        self.for_each(|rid, t| {
+            if t.values[col].sql_eq(value) == Some(true) {
+                out.push((rid, t));
+            }
+            Ok(true)
+        })?;
+        Ok(out)
+    }
+}
+
+/// Kind of a stored view definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewKind {
+    /// Plain relational (SQL) view.
+    Sql,
+    /// Composite-object (XNF) view.
+    Xnf,
+}
+
+/// A stored view: name + definition text.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    pub name: String,
+    pub kind: ViewKind,
+    pub text: String,
+}
+
+/// The catalog of a database instance.
+pub struct Catalog {
+    pool: Arc<BufferPool>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    views: RwLock<HashMap<String, ViewDef>>,
+    next_id: Mutex<TableId>,
+}
+
+impl Catalog {
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        Catalog {
+            pool,
+            tables: RwLock::new(HashMap::new()),
+            views: RwLock::new(HashMap::new()),
+            next_id: Mutex::new(0),
+        }
+    }
+
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    fn norm(name: &str) -> String {
+        name.to_ascii_uppercase()
+    }
+
+    /// Create a table. Fails on duplicate names (tables and views share a
+    /// namespace).
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<Table>> {
+        let key = Self::norm(name);
+        if self.views.read().contains_key(&key) {
+            return Err(StorageError::DuplicateTable(name.to_string()));
+        }
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(StorageError::DuplicateTable(name.to_string()));
+        }
+        let mut next = self.next_id.lock();
+        let id = *next;
+        *next += 1;
+        let t = Arc::new(Table::new(id, name.to_string(), schema, Arc::clone(&self.pool)));
+        tables.insert(key, Arc::clone(&t));
+        Ok(t)
+    }
+
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(&Self::norm(name))
+            .map(|_| ())
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(&Self::norm(name))
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&Self::norm(name))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> =
+            self.tables.read().values().map(|t| t.name.clone()).collect();
+        v.sort();
+        v
+    }
+
+    /// Register a view definition (text is re-parsed by the front end).
+    pub fn create_view(&self, name: &str, kind: ViewKind, text: &str) -> Result<()> {
+        let key = Self::norm(name);
+        if self.tables.read().contains_key(&key) {
+            return Err(StorageError::DuplicateTable(name.to_string()));
+        }
+        let mut views = self.views.write();
+        if views.contains_key(&key) {
+            return Err(StorageError::DuplicateTable(name.to_string()));
+        }
+        views.insert(
+            key,
+            ViewDef { name: name.to_string(), kind, text: text.to_string() },
+        );
+        Ok(())
+    }
+
+    pub fn view(&self, name: &str) -> Option<ViewDef> {
+        self.views.read().get(&Self::norm(name)).cloned()
+    }
+
+    pub fn drop_view(&self, name: &str) -> Result<()> {
+        self.views
+            .write()
+            .remove(&Self::norm(name))
+            .map(|_| ())
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    pub fn view_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.views.read().values().map(|d| d.name.clone()).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+    use crate::value::DataType;
+
+    fn catalog() -> Catalog {
+        let disk = Arc::new(DiskManager::new());
+        Catalog::new(Arc::new(BufferPool::new(disk, 64)))
+    }
+
+    fn emp_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("eno", DataType::Int),
+            ("ename", DataType::Str),
+            ("edno", DataType::Int),
+        ])
+    }
+
+    fn emp(i: i64, dno: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i), Value::Str(format!("e{i}")), Value::Int(dno)])
+    }
+
+    #[test]
+    fn create_and_lookup_tables() {
+        let c = catalog();
+        c.create_table("EMP", emp_schema()).unwrap();
+        assert!(c.table("emp").is_ok(), "names are case-insensitive");
+        assert!(matches!(
+            c.create_table("emp", emp_schema()),
+            Err(StorageError::DuplicateTable(_))
+        ));
+        assert!(matches!(c.table("DEPT"), Err(StorageError::UnknownTable(_))));
+        c.drop_table("EMP").unwrap();
+        assert!(!c.has_table("EMP"));
+    }
+
+    #[test]
+    fn index_maintenance_on_insert_delete_update() {
+        let c = catalog();
+        let t = c.create_table("EMP", emp_schema()).unwrap();
+        t.create_index("emp_eno", vec![0], true).unwrap();
+        t.create_index("emp_edno", vec![2], false).unwrap();
+
+        let mut rids = vec![];
+        for i in 0..50 {
+            rids.push(t.insert(&emp(i, i % 5)).unwrap());
+        }
+        // Point lookup via unique index.
+        assert_eq!(t.index_lookup("emp_eno", &vec![Value::Int(7)]).unwrap(), vec![rids[7]]);
+        // Posting list via non-unique index.
+        assert_eq!(t.index_lookup("emp_edno", &vec![Value::Int(3)]).unwrap().len(), 10);
+
+        // Delete maintains both.
+        t.delete(rids[7]).unwrap();
+        assert!(t.index_lookup("emp_eno", &vec![Value::Int(7)]).unwrap().is_empty());
+        assert_eq!(t.index_lookup("emp_edno", &vec![Value::Int(2)]).unwrap().len(), 9);
+
+        // Update that changes a key re-points the index.
+        let (_, nrid) = t.update(rids[8], &emp(8, 99)).unwrap();
+        assert_eq!(t.index_lookup("emp_edno", &vec![Value::Int(99)]).unwrap(), vec![nrid]);
+    }
+
+    #[test]
+    fn unique_violation_rolls_back_heap_insert() {
+        let c = catalog();
+        let t = c.create_table("EMP", emp_schema()).unwrap();
+        t.create_index("emp_eno", vec![0], true).unwrap();
+        t.insert(&emp(1, 1)).unwrap();
+        let before = t.row_count().unwrap();
+        assert!(t.insert(&emp(1, 2)).is_err());
+        assert_eq!(t.row_count().unwrap(), before, "heap unchanged after failed insert");
+    }
+
+    #[test]
+    fn index_built_over_existing_data() {
+        let c = catalog();
+        let t = c.create_table("EMP", emp_schema()).unwrap();
+        for i in 0..20 {
+            t.insert(&emp(i, i % 2)).unwrap();
+        }
+        t.create_index("emp_edno", vec![2], false).unwrap();
+        assert_eq!(t.index_lookup("emp_edno", &vec![Value::Int(0)]).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn views_share_namespace_with_tables() {
+        let c = catalog();
+        c.create_table("EMP", emp_schema()).unwrap();
+        assert!(c.create_view("EMP", ViewKind::Sql, "SELECT 1").is_err());
+        c.create_view("V", ViewKind::Xnf, "OUT OF ... TAKE *").unwrap();
+        assert!(c.create_table("v", emp_schema()).is_err());
+        assert_eq!(c.view("v").unwrap().kind, ViewKind::Xnf);
+        c.drop_view("V").unwrap();
+        assert!(c.view("V").is_none());
+    }
+
+    #[test]
+    fn analyze_populates_stats() {
+        let c = catalog();
+        let t = c.create_table("EMP", emp_schema()).unwrap();
+        for i in 0..100 {
+            t.insert(&emp(i, i % 4)).unwrap();
+        }
+        let s = t.analyze().unwrap();
+        assert_eq!(s.row_count, 100);
+        assert_eq!(s.columns[2].distinct, 4);
+        assert_eq!(t.stats().row_count, 100);
+    }
+
+    #[test]
+    fn find_by_value_with_and_without_index() {
+        let c = catalog();
+        let t = c.create_table("EMP", emp_schema()).unwrap();
+        for i in 0..30 {
+            t.insert(&emp(i, i % 3)).unwrap();
+        }
+        let no_index = t.find_by_value(2, &Value::Int(1)).unwrap();
+        t.create_index("emp_edno", vec![2], false).unwrap();
+        let mut with_index = t.find_by_value(2, &Value::Int(1)).unwrap();
+        with_index.sort_by_key(|(rid, _)| *rid);
+        let mut expect = no_index;
+        expect.sort_by_key(|(rid, _)| *rid);
+        assert_eq!(with_index, expect);
+    }
+}

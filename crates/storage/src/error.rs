@@ -1,0 +1,66 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id was out of range for the disk file.
+    PageOutOfRange(u64),
+    /// A record id pointed at a missing or deleted slot.
+    InvalidRid { page: u64, slot: u16 },
+    /// A tuple was too large to fit in a page.
+    TupleTooLarge(usize),
+    /// The buffer pool had no evictable frame (all pinned).
+    BufferPoolExhausted,
+    /// Catalog name collisions / lookups.
+    DuplicateTable(String),
+    DuplicateIndex(String),
+    UnknownTable(String),
+    UnknownIndex(String),
+    UnknownColumn { table: String, column: String },
+    /// Value/type mismatch while encoding or evaluating.
+    TypeMismatch { expected: &'static str, got: &'static str },
+    /// Arity mismatch between a tuple and its schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// Corrupt on-page or serialized data.
+    Corrupt(&'static str),
+    /// Violation of a uniqueness constraint on an index.
+    UniqueViolation(String),
+    /// Transaction misuse (e.g. commit without begin).
+    TxnState(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageOutOfRange(p) => write!(f, "page {p} out of range"),
+            StorageError::InvalidRid { page, slot } => {
+                write!(f, "invalid rid ({page},{slot})")
+            }
+            StorageError::TupleTooLarge(n) => write!(f, "tuple of {n} bytes exceeds page capacity"),
+            StorageError::BufferPoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            StorageError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
+            StorageError::DuplicateIndex(i) => write!(f, "index '{i}' already exists"),
+            StorageError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            StorageError::UnknownIndex(i) => write!(f, "unknown index '{i}'"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            StorageError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: schema has {expected} columns, tuple has {got}")
+            }
+            StorageError::Corrupt(what) => write!(f, "corrupt data: {what}"),
+            StorageError::UniqueViolation(k) => write!(f, "unique constraint violated for key {k}"),
+            StorageError::TxnState(s) => write!(f, "transaction state error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,41 @@
+//! # xnf-storage — the storage substrate (Starburst "CORE" analog)
+//!
+//! This crate provides the relational storage engine underneath the XNF
+//! composite-object layer, reproducing the substrate that the paper's system
+//! inherits from Starburst:
+//!
+//! - [`value`] / [`schema`] / [`tuple`]: typed values, schemas, row codec;
+//! - [`page`]: 8 KiB slotted pages;
+//! - [`disk`]: a simulated disk manager with exact I/O accounting;
+//! - [`buffer`]: an LRU buffer pool;
+//! - [`heap`]: RID-addressed heap files;
+//! - [`index`]: B+-tree secondary indexes (composite keys, range scans);
+//! - [`catalog`]: tables with maintained indexes + view definitions;
+//! - [`stats`]: ANALYZE-style statistics for the cost-based planner;
+//! - [`txn`]: undo-log transactions.
+
+pub mod buffer;
+pub mod catalog;
+pub mod disk;
+pub mod error;
+pub mod heap;
+pub mod index;
+pub mod page;
+pub mod schema;
+pub mod stats;
+pub mod tuple;
+pub mod txn;
+pub mod value;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use catalog::{Catalog, IndexDef, Table, TableId, ViewDef, ViewKind};
+pub use disk::{DiskManager, DiskStats, PageId};
+pub use error::{Result, StorageError};
+pub use heap::HeapFile;
+pub use index::BTreeIndex;
+pub use page::{Page, PAGE_SIZE};
+pub use schema::{Column, Schema};
+pub use stats::{ColumnStats, StatsBuilder, TableStats};
+pub use tuple::{Rid, Tuple};
+pub use txn::{Transaction, TxnState};
+pub use value::{DataType, Value};

@@ -1,0 +1,329 @@
+//! Slotted pages: the unit of disk transfer and buffering.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0..2    slot_count: u16
+//! 2..4    free_space_offset: u16   (end of the record area, grows downward)
+//! 4..     slot directory: slot_count entries of (offset: u16, len: u16)
+//! ...     free space
+//! ...     record data (packed from the end of the page toward the front)
+//! ```
+//!
+//! A slot with `offset == TOMBSTONE` is deleted; slots are never reused for a
+//! different tuple (RIDs stay stable), but their record space is reclaimed by
+//! [`Page::compact`].
+
+use crate::error::{Result, StorageError};
+
+/// Page size in bytes. 8 KiB, the classic DB page size.
+pub const PAGE_SIZE: usize = 8192;
+const HEADER: usize = 4;
+const SLOT_ENTRY: usize = 4;
+const TOMBSTONE: u16 = u16::MAX;
+
+/// A fixed-size slotted page.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page.
+    pub fn new() -> Self {
+        let mut p = Page { data: Box::new([0u8; PAGE_SIZE]) };
+        p.set_slot_count(0);
+        p.set_free_offset(PAGE_SIZE as u16);
+        p
+    }
+
+    /// Wrap raw bytes read from disk.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(StorageError::Corrupt("page has wrong size"));
+        }
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        data.copy_from_slice(bytes);
+        Ok(Page { data })
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data[..]
+    }
+
+    fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.data[at], self.data[at + 1]])
+    }
+
+    fn write_u16(&mut self, at: usize, v: u16) {
+        self.data[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn slot_count(&self) -> u16 {
+        self.read_u16(0)
+    }
+
+    fn set_slot_count(&mut self, v: u16) {
+        self.write_u16(0, v);
+    }
+
+    fn free_offset(&self) -> u16 {
+        self.read_u16(2)
+    }
+
+    fn set_free_offset(&mut self, v: u16) {
+        self.write_u16(2, v);
+    }
+
+    fn slot(&self, idx: u16) -> (u16, u16) {
+        let at = HEADER + idx as usize * SLOT_ENTRY;
+        (self.read_u16(at), self.read_u16(at + 2))
+    }
+
+    fn set_slot(&mut self, idx: u16, offset: u16, len: u16) {
+        let at = HEADER + idx as usize * SLOT_ENTRY;
+        self.write_u16(at, offset);
+        self.write_u16(at + 2, len);
+    }
+
+    /// Bytes available for a new record (including its slot entry).
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() as usize * SLOT_ENTRY;
+        (self.free_offset() as usize).saturating_sub(dir_end)
+    }
+
+    /// Maximum record payload a fresh page can hold.
+    pub fn max_record_size() -> usize {
+        PAGE_SIZE - HEADER - SLOT_ENTRY
+    }
+
+    /// Can a record of `len` bytes be inserted without compaction?
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len + SLOT_ENTRY
+    }
+
+    /// Count of live (non-deleted) records.
+    pub fn live_records(&self) -> usize {
+        (0..self.slot_count()).filter(|&i| self.slot(i).0 != TOMBSTONE).count()
+    }
+
+    /// Insert a record, returning its slot number.
+    pub fn insert(&mut self, record: &[u8]) -> Result<u16> {
+        if record.len() > Self::max_record_size() {
+            return Err(StorageError::TupleTooLarge(record.len()));
+        }
+        if !self.fits(record.len()) {
+            return Err(StorageError::TupleTooLarge(record.len()));
+        }
+        let slot = self.slot_count();
+        let new_free = self.free_offset() as usize - record.len();
+        self.data[new_free..new_free + record.len()].copy_from_slice(record);
+        self.set_free_offset(new_free as u16);
+        self.set_slot(slot, new_free as u16, record.len() as u16);
+        self.set_slot_count(slot + 1);
+        Ok(slot)
+    }
+
+    /// Read a record by slot.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if off == TOMBSTONE {
+            return None;
+        }
+        Some(&self.data[off as usize..off as usize + len as usize])
+    }
+
+    /// Delete a record (tombstones the slot). Returns whether it was live.
+    pub fn delete(&mut self, slot: u16) -> bool {
+        if slot >= self.slot_count() {
+            return false;
+        }
+        let (off, _) = self.slot(slot);
+        if off == TOMBSTONE {
+            return false;
+        }
+        self.set_slot(slot, TOMBSTONE, 0);
+        true
+    }
+
+    /// Update a record in place if the new payload fits in the old space or
+    /// in current free space (after tombstoning the old copy). Returns
+    /// `true` on success; `false` means the caller must relocate the tuple.
+    pub fn update(&mut self, slot: u16, record: &[u8]) -> Result<bool> {
+        if slot >= self.slot_count() {
+            return Err(StorageError::InvalidRid { page: 0, slot });
+        }
+        let (off, len) = self.slot(slot);
+        if off == TOMBSTONE {
+            return Err(StorageError::InvalidRid { page: 0, slot });
+        }
+        if record.len() <= len as usize {
+            // Shrinking or same-size: overwrite in place.
+            let start = off as usize;
+            self.data[start..start + record.len()].copy_from_slice(record);
+            self.set_slot(slot, off, record.len() as u16);
+            return Ok(true);
+        }
+        // Try to place the longer record in free space, reusing the slot.
+        if self.free_space() >= record.len() {
+            let new_free = self.free_offset() as usize - record.len();
+            self.data[new_free..new_free + record.len()].copy_from_slice(record);
+            self.set_free_offset(new_free as u16);
+            self.set_slot(slot, new_free as u16, record.len() as u16);
+            return Ok(true);
+        }
+        // Compact and retry once: reclaims space of deleted/moved records.
+        self.compact();
+        let (off, len) = self.slot(slot);
+        debug_assert_ne!(off, TOMBSTONE);
+        if record.len() <= len as usize || self.free_space() >= record.len() {
+            return self.update(slot, record);
+        }
+        Ok(false)
+    }
+
+    /// Reclaim dead record space by repacking live records at the page end.
+    /// Slot numbers (and therefore RIDs) are preserved.
+    pub fn compact(&mut self) {
+        let count = self.slot_count();
+        let mut live: Vec<(u16, Vec<u8>)> = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let (off, len) = self.slot(i);
+            if off != TOMBSTONE {
+                live.push((i, self.data[off as usize..(off + len) as usize].to_vec()));
+            }
+        }
+        let mut free = PAGE_SIZE;
+        for (slot, rec) in live {
+            free -= rec.len();
+            self.data[free..free + rec.len()].copy_from_slice(&rec);
+            self.set_slot(slot, free as u16, rec.len() as u16);
+        }
+        self.set_free_offset(free as u16);
+    }
+
+    /// Iterate over `(slot, record)` pairs of live records.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |i| self.get(i).map(|r| (i, r)))
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("slots", &self.slot_count())
+            .field("live", &self.live_records())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a).unwrap(), b"hello");
+        assert_eq!(p.get(b).unwrap(), b"world!");
+        assert_eq!(p.live_records(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut p = Page::new();
+        let a = p.insert(b"abc").unwrap();
+        assert!(p.delete(a));
+        assert!(!p.delete(a), "double delete is a no-op");
+        assert!(p.get(a).is_none());
+        assert_eq!(p.live_records(), 0);
+    }
+
+    #[test]
+    fn fill_page_until_full() {
+        let mut p = Page::new();
+        let rec = [7u8; 100];
+        let mut n = 0;
+        while p.fits(rec.len()) {
+            p.insert(&rec).unwrap();
+            n += 1;
+        }
+        assert!(n >= 70, "8K page should hold at least 70 x 104B records, got {n}");
+        assert!(p.insert(&rec).is_err());
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut p = Page::new();
+        let s = p.insert(b"aaaa").unwrap();
+        assert!(p.update(s, b"bb").unwrap());
+        assert_eq!(p.get(s).unwrap(), b"bb");
+        assert!(p.update(s, b"cccccccc").unwrap());
+        assert_eq!(p.get(s).unwrap(), b"cccccccc");
+    }
+
+    #[test]
+    fn compact_reclaims_space() {
+        let mut p = Page::new();
+        let rec = [1u8; 512];
+        let mut slots = vec![];
+        while p.fits(rec.len()) {
+            slots.push(p.insert(&rec).unwrap());
+        }
+        // Delete every other record, then compaction should allow reinsert.
+        for s in slots.iter().step_by(2) {
+            p.delete(*s);
+        }
+        assert!(!p.fits(2048));
+        p.compact();
+        assert!(p.fits(2048));
+        // Surviving records intact.
+        for s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(p.get(*s).unwrap(), &rec[..]);
+        }
+    }
+
+    #[test]
+    fn update_triggers_compaction_when_fragmented() {
+        let mut p = Page::new();
+        let filler = vec![0u8; 3000];
+        let a = p.insert(&filler).unwrap();
+        let b = p.insert(&filler).unwrap();
+        let c = p.insert(b"tiny").unwrap();
+        p.delete(a);
+        p.delete(b);
+        // Free space is fragmented behind the live "tiny" record; growing it
+        // to 6000 bytes requires compaction.
+        assert!(p.update(c, &vec![9u8; 6000]).unwrap());
+        assert_eq!(p.get(c).unwrap().len(), 6000);
+    }
+
+    #[test]
+    fn page_roundtrips_through_bytes() {
+        let mut p = Page::new();
+        p.insert(b"persist me").unwrap();
+        let q = Page::from_bytes(p.as_bytes()).unwrap();
+        assert_eq!(q.get(0).unwrap(), b"persist me");
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut p = Page::new();
+        assert!(matches!(
+            p.insert(&vec![0u8; PAGE_SIZE]),
+            Err(StorageError::TupleTooLarge(_))
+        ));
+    }
+}

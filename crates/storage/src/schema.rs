@@ -1,0 +1,163 @@
+//! Table schemas: ordered, named, typed columns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, StorageError};
+use crate::value::{DataType, Value};
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+    pub nullable: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Column { name: name.into(), ty, nullable: true }
+    }
+
+    pub fn not_null(name: impl Into<String>, ty: DataType) -> Self {
+        Column { name: name.into(), ty, nullable: false }
+    }
+}
+
+/// An ordered list of columns describing a stored or derived table.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Build a schema from `(name, type)` pairs, all nullable.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema { columns: pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect() }
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Case-insensitive lookup of a column ordinal by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`Schema::index_of`] but producing a catalog error mentioning
+    /// `table` on failure.
+    pub fn resolve(&self, table: &str, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| StorageError::UnknownColumn {
+            table: table.to_string(),
+            column: name.to_string(),
+        })
+    }
+
+    /// Validate a tuple against this schema: arity, type conformance and
+    /// NOT NULL constraints.
+    pub fn validate(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.columns.len(),
+                got: values.len(),
+            });
+        }
+        for (v, c) in values.iter().zip(&self.columns) {
+            if v.is_null() {
+                if !c.nullable {
+                    return Err(StorageError::TypeMismatch {
+                        expected: "non-null value",
+                        got: "NULL",
+                    });
+                }
+                continue;
+            }
+            if !v.conforms_to(c.ty) {
+                return Err(StorageError::TypeMismatch {
+                    expected: match c.ty {
+                        DataType::Int => "INT",
+                        DataType::Double => "DOUBLE",
+                        DataType::Str => "VARCHAR",
+                        DataType::Bool => "BOOLEAN",
+                    },
+                    got: v.type_name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate two schemas (used for join outputs).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = Vec::with_capacity(self.len() + other.len());
+        columns.extend_from_slice(&self.columns);
+        columns.extend_from_slice(&other.columns);
+        Schema { columns }
+    }
+
+    /// Project a subset of columns by ordinal.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema { columns: indices.iter().map(|&i| self.columns[i].clone()).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::not_null("eno", DataType::Int),
+            Column::new("name", DataType::Str),
+            Column::new("salary", DataType::Double),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("ENO"), Some(0));
+        assert_eq!(s.index_of("Name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn validate_checks_arity_and_types() {
+        let s = sample();
+        assert!(s.validate(&[Value::Int(1), Value::Str("a".into()), Value::Double(1.0)]).is_ok());
+        // Int widens into Double column.
+        assert!(s.validate(&[Value::Int(1), Value::Null, Value::Int(3)]).is_ok());
+        assert!(s.validate(&[Value::Int(1), Value::Str("a".into())]).is_err());
+        assert!(s
+            .validate(&[Value::Str("x".into()), Value::Null, Value::Null])
+            .is_err());
+        // NOT NULL column rejects NULL.
+        assert!(s.validate(&[Value::Null, Value::Null, Value::Null]).is_err());
+    }
+
+    #[test]
+    fn join_and_project() {
+        let s = sample();
+        let j = s.join(&sample());
+        assert_eq!(j.len(), 6);
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.column(0).name, "salary");
+        assert_eq!(p.column(1).name, "eno");
+    }
+}

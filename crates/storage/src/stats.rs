@@ -1,0 +1,158 @@
+//! Table statistics for the cost-based optimizer.
+//!
+//! `ANALYZE` computes row counts, per-column distinct-value counts and
+//! min/max, which the planner uses for selectivity and join-cardinality
+//! estimation (Selinger-style).
+
+use std::collections::HashSet;
+
+use crate::value::Value;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub distinct: u64,
+    /// Number of NULLs.
+    pub nulls: u64,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    pub row_count: u64,
+    pub pages: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Selectivity estimate for an equality predicate `col = const`:
+    /// `1 / distinct` (the classic uniform assumption).
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        match self.columns.get(col) {
+            Some(c) if c.distinct > 0 => 1.0 / c.distinct as f64,
+            _ => 0.1,
+        }
+    }
+
+    /// Selectivity estimate for a range predicate. Uses min/max
+    /// interpolation for numeric columns, 1/3 otherwise (System R default).
+    pub fn range_selectivity(&self, col: usize, lo: Option<&Value>, hi: Option<&Value>) -> f64 {
+        let c = match self.columns.get(col) {
+            Some(c) => c,
+            None => return 1.0 / 3.0,
+        };
+        let (min, max) = match (&c.min, &c.max) {
+            (Some(Value::Int(a)), Some(Value::Int(b))) => (*a as f64, *b as f64),
+            (Some(Value::Double(a)), Some(Value::Double(b))) => (*a, *b),
+            _ => return 1.0 / 3.0,
+        };
+        if max <= min {
+            return 1.0;
+        }
+        let lo_v = lo.and_then(|v| v.as_double().ok()).unwrap_or(min);
+        let hi_v = hi.and_then(|v| v.as_double().ok()).unwrap_or(max);
+        ((hi_v - lo_v) / (max - min)).clamp(0.0, 1.0)
+    }
+}
+
+/// Incremental statistics builder consuming tuples during ANALYZE.
+pub struct StatsBuilder {
+    row_count: u64,
+    distinct: Vec<HashSet<Value>>,
+    nulls: Vec<u64>,
+    min: Vec<Option<Value>>,
+    max: Vec<Option<Value>>,
+}
+
+impl StatsBuilder {
+    pub fn new(num_columns: usize) -> Self {
+        StatsBuilder {
+            row_count: 0,
+            distinct: (0..num_columns).map(|_| HashSet::new()).collect(),
+            nulls: vec![0; num_columns],
+            min: vec![None; num_columns],
+            max: vec![None; num_columns],
+        }
+    }
+
+    pub fn observe(&mut self, values: &[Value]) {
+        self.row_count += 1;
+        for (i, v) in values.iter().enumerate().take(self.distinct.len()) {
+            if v.is_null() {
+                self.nulls[i] += 1;
+                continue;
+            }
+            self.distinct[i].insert(v.clone());
+            match &self.min[i] {
+                Some(m) if v >= m => {}
+                _ => self.min[i] = Some(v.clone()),
+            }
+            match &self.max[i] {
+                Some(m) if v <= m => {}
+                _ => self.max[i] = Some(v.clone()),
+            }
+        }
+    }
+
+    pub fn finish(self, pages: u64) -> TableStats {
+        TableStats {
+            row_count: self.row_count,
+            pages,
+            columns: self
+                .distinct
+                .into_iter()
+                .zip(self.nulls)
+                .zip(self.min.into_iter().zip(self.max))
+                .map(|((d, n), (mn, mx))| ColumnStats {
+                    distinct: d.len() as u64,
+                    nulls: n,
+                    min: mn,
+                    max: mx,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_counts_distincts_and_extremes() {
+        let mut b = StatsBuilder::new(2);
+        for i in 0..100 {
+            b.observe(&[Value::Int(i % 10), if i % 4 == 0 { Value::Null } else { Value::Str("x".into()) }]);
+        }
+        let s = b.finish(3);
+        assert_eq!(s.row_count, 100);
+        assert_eq!(s.pages, 3);
+        assert_eq!(s.columns[0].distinct, 10);
+        assert_eq!(s.columns[0].min, Some(Value::Int(0)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(9)));
+        assert_eq!(s.columns[1].nulls, 25);
+        assert_eq!(s.columns[1].distinct, 1);
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        let mut b = StatsBuilder::new(1);
+        for i in 0..100 {
+            b.observe(&[Value::Int(i)]);
+        }
+        let s = b.finish(1);
+        assert!((s.eq_selectivity(0) - 0.01).abs() < 1e-9);
+        let sel = s.range_selectivity(0, Some(&Value::Int(0)), Some(&Value::Int(49)));
+        assert!(sel > 0.4 && sel < 0.6, "got {sel}");
+    }
+
+    #[test]
+    fn default_selectivities_without_stats() {
+        let s = TableStats::default();
+        assert_eq!(s.eq_selectivity(0), 0.1);
+        assert_eq!(s.range_selectivity(0, None, None), 1.0 / 3.0);
+    }
+}

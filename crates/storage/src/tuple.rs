@@ -1,0 +1,220 @@
+//! Tuples (rows) and their binary on-page encoding.
+//!
+//! The codec is a simple self-describing format: a one-byte tag per value
+//! followed by a fixed or length-prefixed payload. It is compact enough for
+//! realistic page-occupancy experiments and fully round-trips every [`Value`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, StorageError};
+use crate::value::Value;
+
+/// Record id: physical address of a stored tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rid {
+    pub page: u64,
+    pub slot: u16,
+}
+
+impl Rid {
+    pub fn new(page: u64, slot: u16) -> Self {
+        Rid { page, slot }
+    }
+}
+
+/// A row of values. `Tuple` is deliberately a thin wrapper over `Vec<Value>`
+/// so the executor can treat rows as slices.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Tuple {
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Approximate byte footprint (used by the shipping simulation).
+    pub fn byte_size(&self) -> usize {
+        self.values.iter().map(Value::byte_size).sum()
+    }
+
+    /// Encode this tuple to bytes, appending to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        encode_values(&self.values, out);
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_size() + self.len() + 2);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a tuple previously produced by [`Tuple::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Tuple> {
+        let (values, rest) = decode_values(bytes)?;
+        if !rest.is_empty() {
+            return Err(StorageError::Corrupt("trailing bytes after tuple"));
+        }
+        Ok(Tuple::new(values))
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_DOUBLE: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BOOL_FALSE: u8 = 4;
+const TAG_BOOL_TRUE: u8 = 5;
+
+/// Encode a slice of values: u16 count, then tagged payloads.
+pub fn encode_values(values: &[Value], out: &mut Vec<u8>) {
+    debug_assert!(values.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(values.len() as u16).to_le_bytes());
+    for v in values {
+        match v {
+            Value::Null => out.push(TAG_NULL),
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Double(d) => {
+                out.push(TAG_DOUBLE);
+                out.extend_from_slice(&d.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(false) => out.push(TAG_BOOL_FALSE),
+            Value::Bool(true) => out.push(TAG_BOOL_TRUE),
+        }
+    }
+}
+
+/// Decode values; returns the values and the remaining bytes.
+pub fn decode_values(bytes: &[u8]) -> Result<(Vec<Value>, &[u8])> {
+    let corrupt = || StorageError::Corrupt("truncated tuple");
+    if bytes.len() < 2 {
+        return Err(corrupt());
+    }
+    let count = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+    let mut rest = &bytes[2..];
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (tag, r) = rest.split_first().ok_or_else(corrupt)?;
+        rest = r;
+        let v = match *tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => {
+                if rest.len() < 8 {
+                    return Err(corrupt());
+                }
+                let (b, r) = rest.split_at(8);
+                rest = r;
+                Value::Int(i64::from_le_bytes(b.try_into().unwrap()))
+            }
+            TAG_DOUBLE => {
+                if rest.len() < 8 {
+                    return Err(corrupt());
+                }
+                let (b, r) = rest.split_at(8);
+                rest = r;
+                Value::Double(f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+            }
+            TAG_STR => {
+                if rest.len() < 4 {
+                    return Err(corrupt());
+                }
+                let (lb, r) = rest.split_at(4);
+                let len = u32::from_le_bytes(lb.try_into().unwrap()) as usize;
+                if r.len() < len {
+                    return Err(corrupt());
+                }
+                let (sb, r2) = r.split_at(len);
+                rest = r2;
+                let s = std::str::from_utf8(sb)
+                    .map_err(|_| StorageError::Corrupt("invalid utf-8 in string value"))?;
+                Value::Str(s.to_string())
+            }
+            TAG_BOOL_FALSE => Value::Bool(false),
+            TAG_BOOL_TRUE => Value::Bool(true),
+            _ => return Err(StorageError::Corrupt("unknown value tag")),
+        };
+        values.push(v);
+    }
+    Ok((values, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(t: &Tuple) {
+        let enc = t.encode();
+        let dec = Tuple::decode(&enc).unwrap();
+        assert_eq!(t, &dec);
+    }
+
+    #[test]
+    fn codec_roundtrips_all_types() {
+        roundtrip(&Tuple::new(vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Double(3.5),
+            Value::Str("hello, wörld".into()),
+            Value::Bool(true),
+            Value::Bool(false),
+        ]));
+        roundtrip(&Tuple::new(vec![]));
+        roundtrip(&Tuple::new(vec![Value::Str(String::new())]));
+    }
+
+    #[test]
+    fn codec_rejects_truncation() {
+        let t = Tuple::new(vec![Value::Int(7), Value::Str("abc".into())]);
+        let enc = t.encode();
+        for cut in 0..enc.len() {
+            assert!(Tuple::decode(&enc[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn codec_rejects_trailing_garbage() {
+        let mut enc = Tuple::new(vec![Value::Int(7)]).encode();
+        enc.push(0xAB);
+        assert!(Tuple::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn nan_and_negative_zero_roundtrip() {
+        roundtrip(&Tuple::new(vec![Value::Double(f64::NAN)]));
+        roundtrip(&Tuple::new(vec![Value::Double(-0.0)]));
+    }
+}

@@ -1,0 +1,186 @@
+//! Lightweight transactions: undo logging over table operations.
+//!
+//! The paper leaves "transaction, recovery, and storage management …
+//! totally unchanged" (Sect. 6); we provide the standard substrate the XNF
+//! layer relies on — atomic multi-statement units with rollback — via an
+//! in-memory undo log. Durability is out of scope (the disk itself is
+//! simulated), isolation is via the storage layer's internal locking
+//! (single-writer style), which matches the era's workstation/server usage.
+
+use std::sync::Arc;
+
+use crate::catalog::Table;
+use crate::error::Result;
+use crate::tuple::{Rid, Tuple};
+
+/// One logical undo record.
+enum Undo {
+    /// Undo an insert by deleting the inserted tuple.
+    Insert { table: Arc<Table>, rid: Rid },
+    /// Undo a delete by re-inserting the old tuple (RID may change; XNF
+    /// caches re-extract after abort, so RID stability is not required).
+    Delete { table: Arc<Table>, old: Tuple },
+    /// Undo an update by writing the old image back.
+    Update { table: Arc<Table>, rid: Rid, old: Tuple },
+}
+
+/// States of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// An explicit transaction. Obtain one with [`Transaction::begin`], record
+/// every mutation through the `log_*` methods (the database facade does this
+/// for you), then [`commit`](Transaction::commit) or
+/// [`abort`](Transaction::abort).
+pub struct Transaction {
+    undo: Vec<Undo>,
+    state: TxnState,
+}
+
+impl Transaction {
+    pub fn begin() -> Self {
+        Transaction { undo: Vec::new(), state: TxnState::Active }
+    }
+
+    pub fn state(&self) -> TxnState {
+        self.state
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.state == TxnState::Active
+    }
+
+    /// Number of logged operations.
+    pub fn len(&self) -> usize {
+        self.undo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.undo.is_empty()
+    }
+
+    pub fn log_insert(&mut self, table: &Arc<Table>, rid: Rid) {
+        debug_assert!(self.is_active());
+        self.undo.push(Undo::Insert { table: Arc::clone(table), rid });
+    }
+
+    pub fn log_delete(&mut self, table: &Arc<Table>, old: Tuple) {
+        debug_assert!(self.is_active());
+        self.undo.push(Undo::Delete { table: Arc::clone(table), old });
+    }
+
+    pub fn log_update(&mut self, table: &Arc<Table>, rid: Rid, old: Tuple) {
+        debug_assert!(self.is_active());
+        self.undo.push(Undo::Update { table: Arc::clone(table), rid, old });
+    }
+
+    /// Make all changes permanent (drops the undo log).
+    pub fn commit(mut self) -> TxnState {
+        self.undo.clear();
+        self.state = TxnState::Committed;
+        self.state
+    }
+
+    /// Roll back all logged changes, newest first.
+    pub fn abort(mut self) -> Result<TxnState> {
+        while let Some(u) = self.undo.pop() {
+            match u {
+                Undo::Insert { table, rid } => {
+                    table.delete(rid)?;
+                }
+                Undo::Delete { table, old } => {
+                    table.insert(&old)?;
+                }
+                Undo::Update { table, rid, old } => {
+                    table.update(rid, &old)?;
+                }
+            }
+        }
+        self.state = TxnState::Aborted;
+        Ok(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::catalog::Catalog;
+    use crate::disk::DiskManager;
+    use crate::schema::Schema;
+    use crate::value::{DataType, Value};
+
+    fn setup() -> (Catalog, Arc<Table>) {
+        let c = Catalog::new(Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 32)));
+        let t = c
+            .create_table("T", Schema::from_pairs(&[("id", DataType::Int), ("v", DataType::Str)]))
+            .unwrap();
+        (c, t)
+    }
+
+    fn row(i: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i), Value::Str(format!("v{i}"))])
+    }
+
+    #[test]
+    fn abort_undoes_insert() {
+        let (_c, t) = setup();
+        let mut txn = Transaction::begin();
+        let rid = t.insert(&row(1)).unwrap();
+        txn.log_insert(&t, rid);
+        txn.abort().unwrap();
+        assert_eq!(t.row_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn abort_undoes_delete_and_update() {
+        let (_c, t) = setup();
+        let rid1 = t.insert(&row(1)).unwrap();
+        let rid2 = t.insert(&row(2)).unwrap();
+
+        let mut txn = Transaction::begin();
+        let old = t.delete(rid1).unwrap();
+        txn.log_delete(&t, old);
+        let (old, nrid) = t.update(rid2, &row(99)).unwrap();
+        txn.log_update(&t, nrid, old);
+        txn.abort().unwrap();
+
+        let mut vals: Vec<i64> = t
+            .scan_all()
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t.values[0].as_int().unwrap())
+            .collect();
+        vals.sort();
+        assert_eq!(vals, vec![1, 2]);
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let (_c, t) = setup();
+        let mut txn = Transaction::begin();
+        let rid = t.insert(&row(1)).unwrap();
+        txn.log_insert(&t, rid);
+        assert_eq!(txn.commit(), TxnState::Committed);
+        assert_eq!(t.row_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn abort_replays_in_reverse_order() {
+        let (_c, t) = setup();
+        let mut txn = Transaction::begin();
+        let rid = t.insert(&row(1)).unwrap();
+        txn.log_insert(&t, rid);
+        // Update the same tuple twice inside the transaction.
+        let (old, rid) = t.update(rid, &row(2)).unwrap();
+        txn.log_update(&t, rid, old);
+        let (old, rid) = t.update(rid, &row(3)).unwrap();
+        txn.log_update(&t, rid, old);
+        txn.abort().unwrap();
+        assert_eq!(t.row_count().unwrap(), 0, "insert rolled back last");
+    }
+}

@@ -1,0 +1,155 @@
+//! An interactive XNF shell: type SQL or `OUT OF … TAKE …` statements
+//! terminated by `;`. Dot-commands: `.help`, `.tables`, `.views`,
+//! `.schema TABLE`, `.explain QUERY;`, `.co QUERY;` (fetch into a cache and
+//! print the instance graphs), `.quit`.
+//!
+//! Run with: `cargo run --bin xnf_shell`
+
+use std::io::{BufRead, Write};
+
+use composite_views::{Database, ExecOutcome, QueryResult};
+
+fn main() {
+    let db = Database::new();
+    println!("xnf shell — composite-object views over relational data");
+    println!("type .help for commands; statements end with ';'\n");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    print_prompt(buffer.is_empty());
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !dot_command(&db, trimmed) {
+                break;
+            }
+            print_prompt(true);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if trimmed.ends_with(';') {
+            let stmt = buffer.trim().trim_end_matches(';').to_string();
+            buffer.clear();
+            run_statement(&db, &stmt);
+        }
+        print_prompt(buffer.is_empty());
+    }
+}
+
+fn print_prompt(fresh: bool) {
+    print!("{}", if fresh { "xnf> " } else { "  -> " });
+    let _ = std::io::stdout().flush();
+}
+
+/// Returns false when the shell should exit.
+fn dot_command(db: &Database, cmd: &str) -> bool {
+    let mut parts = cmd.splitn(2, ' ');
+    match parts.next().unwrap_or("") {
+        ".quit" | ".exit" => return false,
+        ".help" => {
+            println!(
+                ".tables            list tables\n\
+                 .views             list views\n\
+                 .schema TABLE      show a table's columns\n\
+                 .explain QUERY;    show the physical plan\n\
+                 .co QUERY;         fetch a CO and print its instance graphs\n\
+                 .quit              leave"
+            );
+        }
+        ".tables" => {
+            for t in db.catalog().table_names() {
+                println!("{t}");
+            }
+        }
+        ".views" => {
+            for v in db.catalog().view_names() {
+                println!("{v}");
+            }
+        }
+        ".schema" => match parts.next() {
+            Some(name) => match db.catalog().table(name.trim()) {
+                Ok(t) => {
+                    for c in t.schema.columns() {
+                        println!(
+                            "{} {}{}",
+                            c.name,
+                            c.ty,
+                            if c.nullable { "" } else { " NOT NULL" }
+                        );
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: .schema TABLE"),
+        },
+        ".explain" => match parts.next() {
+            Some(q) => match db.explain(q.trim().trim_end_matches(';')) {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: .explain QUERY;"),
+        },
+        ".co" => match parts.next() {
+            Some(q) => match db.fetch_co(q.trim().trim_end_matches(';')) {
+                Ok(co) => print!("{}", co.workspace.to_text()),
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: .co QUERY;"),
+        },
+        other => println!("unknown command '{other}' (try .help)"),
+    }
+    true
+}
+
+fn run_statement(db: &Database, stmt: &str) {
+    if stmt.is_empty() {
+        return;
+    }
+    match db.execute(stmt) {
+        Ok(ExecOutcome::Done) => println!("ok"),
+        Ok(ExecOutcome::Affected(n)) => println!("{n} row(s) affected"),
+        Ok(ExecOutcome::Rows(result)) => print_result(&result),
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+fn print_result(result: &QueryResult) {
+    for stream in &result.streams {
+        if result.streams.len() > 1 {
+            println!("-- {} ({:?}) --", stream.name, stream.kind);
+        }
+        // Column widths.
+        let mut widths: Vec<usize> = stream.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = stream
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let header: Vec<String> = stream
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("{}", header.join(" | "));
+        println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        for row in &rendered {
+            let cells: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+            println!("{}", cells.join(" | "));
+        }
+        println!("({} row(s))", stream.rows.len());
+    }
+}
