@@ -6,7 +6,10 @@ use xnf_bench::COMPONENT_QUERIES;
 use xnf_fixtures::{build_paper_db, PaperScale, DEPS_ARC};
 
 fn bench(c: &mut Criterion) {
-    let db = build_paper_db(PaperScale { departments: 50, ..Default::default() });
+    let db = build_paper_db(PaperScale {
+        departments: 50,
+        ..Default::default()
+    });
     let mut g = c.benchmark_group("fig56_derivation");
     g.bench_function("sql_8_queries", |b| {
         b.iter(|| {

@@ -5,7 +5,10 @@ use xnf_core::{navigational_extract, FetchStrategy, NavLevel, Server, TransportS
 use xnf_fixtures::{build_paper_db, PaperScale, DEPS_ARC};
 
 fn bench(c: &mut Criterion) {
-    let db = build_paper_db(PaperScale { departments: 25, ..Default::default() });
+    let db = build_paper_db(PaperScale {
+        departments: 25,
+        ..Default::default()
+    });
     let server = Server::new(db);
     let mut g = c.benchmark_group("extraction");
     g.sample_size(20);
@@ -28,7 +31,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut stats = TransportStats::default();
             let r = server
-                .fetch(DEPS_ARC, FetchStrategy::WholeCo { max_bytes: 256 * 1024 }, &mut stats)
+                .fetch(
+                    DEPS_ARC,
+                    FetchStrategy::WholeCo {
+                        max_bytes: 256 * 1024,
+                    },
+                    &mut stats,
+                )
                 .unwrap();
             r.streams.iter().map(|s| s.rows.len()).sum::<usize>()
         })

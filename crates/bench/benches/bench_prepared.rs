@@ -1,0 +1,73 @@
+//! Prepared-statement bench: one-shot `query()` (full parse → QGM → rewrite
+//! → plan pipeline per call) vs a prepared `execute()` over the shared plan
+//! cache, for 1k repeated parameterized point queries — the prepare-once/
+//! execute-many speedup recorded in the perf trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xnf_fixtures::{build_paper_db, PaperScale};
+use xnf_storage::Value;
+
+fn bench(c: &mut Criterion) {
+    let db = build_paper_db(PaperScale {
+        departments: 50,
+        ..Default::default()
+    });
+    db.execute("CREATE INDEX emp_eno ON EMP (eno)").unwrap();
+    let eno_count = 50 * PaperScale::default().employees_per_dept as i64;
+
+    c.bench_function("point_query_one_shot_x1000", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for i in 0..1000i64 {
+                let eno = i % eno_count;
+                let r = db
+                    .query(&format!("SELECT * FROM EMP WHERE eno = {eno}"))
+                    .unwrap();
+                rows += r.table().rows.len();
+            }
+            rows
+        })
+    });
+
+    c.bench_function("point_query_prepared_x1000", |b| {
+        let session = db.session();
+        let mut prepared = session.prepare("SELECT * FROM EMP WHERE eno = ?").unwrap();
+        b.iter(|| {
+            let mut rows = 0usize;
+            for i in 0..1000i64 {
+                let eno = i % eno_count;
+                prepared.bind(&[Value::Int(eno)]).unwrap();
+                let r = prepared.query().unwrap();
+                rows += r.table().rows.len();
+            }
+            rows
+        })
+    });
+
+    c.bench_function("co_query_prepared_x100", |b| {
+        let session = db.session();
+        let mut prepared = session
+            .prepare(
+                "OUT OF xdept AS (SELECT * FROM DEPT),
+                        xemp AS EMP,
+                        employment AS (RELATE xdept VIA EMPLOYS, xemp
+                                       WHERE xdept.dno = xemp.edno)
+                 TAKE * WHERE xdept.loc = ?",
+            )
+            .unwrap();
+        b.iter(|| {
+            let mut rows = 0usize;
+            for loc in ["ARC", "HDC"] {
+                for _ in 0..50 {
+                    prepared.bind(&[Value::Str(loc.to_string())]).unwrap();
+                    let r = prepared.query().unwrap();
+                    rows += r.streams.iter().map(|s| s.rows.len()).sum::<usize>();
+                }
+            }
+            rows
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

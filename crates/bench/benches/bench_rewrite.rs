@@ -20,7 +20,13 @@ fn bench(c: &mut Criterion) {
     let fast = rebuild_with(scale, DbConfig::default());
     let naive = rebuild_with(
         scale,
-        DbConfig { rewrite: RewriteOptions { e_to_f: false, simplify: true }, ..Default::default() },
+        DbConfig {
+            rewrite: RewriteOptions {
+                e_to_f: false,
+                simplify: true,
+            },
+            ..Default::default()
+        },
     );
     let mut g = c.benchmark_group("fig3_exists");
     g.bench_function("rewritten_semijoin", |b| {

@@ -4,7 +4,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use xnf_fixtures::{build_oo1_db, Oo1Config, OO1_CO};
 
 fn bench(c: &mut Criterion) {
-    let db = build_oo1_db(Oo1Config { parts: 5_000, ..Default::default() });
+    let db = build_oo1_db(Oo1Config {
+        parts: 5_000,
+        ..Default::default()
+    });
     let co = db.fetch_co(OO1_CO).unwrap();
     let ws = &co.workspace;
     let n = ws.component("part").unwrap().len() as u32;

@@ -27,7 +27,10 @@ impl OpCensus {
 impl std::ops::Add for OpCensus {
     type Output = OpCensus;
     fn add(self, o: OpCensus) -> OpCensus {
-        OpCensus { selections: self.selections + o.selections, joins: self.joins + o.joins }
+        OpCensus {
+            selections: self.selections + o.selections,
+            joins: self.joins + o.joins,
+        }
     }
 }
 
@@ -137,7 +140,10 @@ mod tests {
 
     #[test]
     fn census_counts_scan_filters_and_joins() {
-        let db = build_paper_db(PaperScale { departments: 5, ..Default::default() });
+        let db = build_paper_db(PaperScale {
+            departments: 5,
+            ..Default::default()
+        });
         let qep = db
             .compile("SELECT e.ename FROM EMP e, DEPT d WHERE e.edno = d.dno AND d.loc = 'ARC'")
             .unwrap();
@@ -148,7 +154,10 @@ mod tests {
 
     #[test]
     fn signatures_detect_shared_subtrees() {
-        let db = build_paper_db(PaperScale { departments: 5, ..Default::default() });
+        let db = build_paper_db(PaperScale {
+            departments: 5,
+            ..Default::default()
+        });
         let q1 = db.compile("SELECT * FROM DEPT WHERE loc = 'ARC'").unwrap();
         let q2 = db.compile("SELECT * FROM DEPT WHERE loc = 'ARC'").unwrap();
         let mut s1 = Vec::new();

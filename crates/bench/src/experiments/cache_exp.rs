@@ -35,9 +35,8 @@ pub fn traverse_server(db: &Database, start: i64, depth: u32) -> u64 {
         if depth == 0 {
             return;
         }
-        let q = format!(
-            "SELECT p.id FROM OO1PARTS p, OO1CONN c WHERE c.src = {id} AND c.dst = p.id"
-        );
+        let q =
+            format!("SELECT p.id FROM OO1PARTS p, OO1CONN c WHERE c.src = {id} AND c.dst = p.id");
         let children = db.query(&q).unwrap();
         for row in &children.table().rows {
             rec(db, row[0].as_int().unwrap(), depth - 1, touched);
@@ -62,7 +61,10 @@ pub struct CachePoint {
 }
 
 pub fn run_cache(parts: usize, traversals: usize, depth: u32) -> CachePoint {
-    let db = build_oo1_db(Oo1Config { parts, ..Default::default() });
+    let db = build_oo1_db(Oo1Config {
+        parts,
+        ..Default::default()
+    });
     let co: CoCache = db.fetch_co(OO1_CO).unwrap();
     let ws = &co.workspace;
     let n = ws.component("part").unwrap().len() as u32;
@@ -77,7 +79,7 @@ pub fn run_cache(parts: usize, traversals: usize, depth: u32) -> CachePoint {
     let cache_time = t0.elapsed();
 
     // Server-side navigation (fewer traversals; it is much slower).
-    let server_traversals = traversals.min(3).max(1);
+    let server_traversals = traversals.clamp(1, 3);
     let t0 = Instant::now();
     let mut server_tuples = 0;
     for i in 0..server_traversals {
@@ -102,7 +104,11 @@ pub fn run_cache(parts: usize, traversals: usize, depth: u32) -> CachePoint {
 pub fn render_cache(p: &CachePoint) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let _ = writeln!(s, "Sect. 5.2 — OO1-style traversal (depth {}, {} parts)", p.depth, p.parts);
+    let _ = writeln!(
+        s,
+        "Sect. 5.2 — OO1-style traversal (depth {}, {} parts)",
+        p.depth, p.parts
+    );
     let _ = writeln!(
         s,
         "  XNF cache:  {:>10} tuples in {:>9.2} ms = {:>12.0} tuples/s",
@@ -120,7 +126,11 @@ pub fn render_cache(p: &CachePoint) -> String {
     let _ = writeln!(
         s,
         "  paper: >100,000 tuples/s in the pre-loaded cache (1993 hardware) — measured {}",
-        if p.cache_tuples_per_sec > 100_000.0 { "PASS (far exceeded)" } else { "FAIL" }
+        if p.cache_tuples_per_sec > 100_000.0 {
+            "PASS (far exceeded)"
+        } else {
+            "FAIL"
+        }
     );
     s
 }

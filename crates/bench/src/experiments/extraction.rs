@@ -28,7 +28,10 @@ pub fn run_extraction(dept_counts: &[usize]) -> Vec<ExtractionPoint> {
     let cost = TransportCost::default();
     let mut out = Vec::new();
     for &d in dept_counts {
-        let scale = PaperScale { departments: d, ..Default::default() };
+        let scale = PaperScale {
+            departments: d,
+            ..Default::default()
+        };
         let db = build_paper_db(scale);
         let server = Server::new(db);
 
@@ -42,15 +45,13 @@ pub fn run_extraction(dept_counts: &[usize]) -> Vec<ExtractionPoint> {
             "SELECT dno, dname, loc FROM DEPT WHERE loc = 'ARC'",
             &[
                 NavLevel {
-                    query_prefix: "SELECT eno, ename, edno, sal FROM EMP WHERE edno ="
-                        .to_string(),
+                    query_prefix: "SELECT eno, ename, edno, sal FROM EMP WHERE edno =".to_string(),
                     parent_key_col: 0,
                 },
                 NavLevel {
-                    query_prefix:
-                        "SELECT s.sno, s.sname, es.eseno FROM SKILLS s, EMPSKILLS es \
+                    query_prefix: "SELECT s.sno, s.sname, es.eseno FROM SKILLS s, EMPSKILLS es \
                          WHERE es.essno = s.sno AND es.eseno = "
-                            .to_string(),
+                        .to_string(),
                     parent_key_col: 0,
                 },
             ],
@@ -62,7 +63,13 @@ pub fn run_extraction(dept_counts: &[usize]) -> Vec<ExtractionPoint> {
         let mut co_stats = TransportStats::default();
         let t0 = Instant::now();
         let result = server
-            .fetch(DEPS_ARC, FetchStrategy::WholeCo { max_bytes: 256 * 1024 }, &mut co_stats)
+            .fetch(
+                DEPS_ARC,
+                FetchStrategy::WholeCo {
+                    max_bytes: 256 * 1024,
+                },
+                &mut co_stats,
+            )
             .unwrap();
         let co_time = t0.elapsed();
         let extracted: usize = result.streams.iter().map(|s| s.rows.len()).sum();
@@ -96,7 +103,16 @@ pub fn render_extraction(points: &[ExtractionPoint]) -> String {
     let _ = writeln!(
         s,
         "{:>6} {:>8} {:>10} {:>9} {:>12} {:>9} {:>9} {:>12} {:>10} {:>10}",
-        "depts", "emps", "nav ms", "nav msgs", "nav sim ms", "CO ms", "CO msgs", "CO sim ms", "wall spd", "sim spd"
+        "depts",
+        "emps",
+        "nav ms",
+        "nav msgs",
+        "nav sim ms",
+        "CO ms",
+        "CO msgs",
+        "CO sim ms",
+        "wall spd",
+        "sim spd"
     );
     for p in points {
         let _ = writeln!(

@@ -71,7 +71,10 @@ pub fn run_fig3(emp_counts: &[usize]) -> Vec<Fig3Point> {
         let naive_db = rebuild_with(
             scale,
             DbConfig {
-                rewrite: RewriteOptions { e_to_f: false, simplify: true },
+                rewrite: RewriteOptions {
+                    e_to_f: false,
+                    simplify: true,
+                },
                 plan: PlanOptions::default(),
                 ..Default::default()
             },
@@ -85,7 +88,11 @@ pub fn run_fig3(emp_counts: &[usize]) -> Vec<Fig3Point> {
         let slow = naive_db.query(FIG3_QUERY).unwrap();
         let naive = t0.elapsed();
 
-        assert_eq!(fast.table().rows.len(), slow.table().rows.len(), "rewrite must not change results");
+        assert_eq!(
+            fast.table().rows.len(),
+            slow.table().rows.len(),
+            "rewrite must not change results"
+        );
         out.push(Fig3Point {
             employees: n,
             naive,
@@ -111,7 +118,8 @@ pub fn rebuild_with(scale: PaperScale, cfg: DbConfig) -> Database {
         })
         .unwrap();
         for idx in t.index_defs() {
-            nt.create_index(&idx.name, idx.columns.clone(), idx.unique).unwrap();
+            nt.create_index(&idx.name, idx.columns.clone(), idx.unique)
+                .unwrap();
         }
         nt.analyze().unwrap();
     }
@@ -141,6 +149,9 @@ pub fn render_fig3(points: &[Fig3Point]) -> String {
             p.speedup
         );
     }
-    let _ = writeln!(s, "(paper/[39]: orders of magnitude improvement from the rewrite)");
+    let _ = writeln!(
+        s,
+        "(paper/[39]: orders of magnitude improvement from the rewrite)"
+    );
     s
 }

@@ -27,7 +27,10 @@ pub struct Fig56Point {
 pub fn run_fig56(dept_counts: &[usize]) -> Vec<Fig56Point> {
     let mut out = Vec::new();
     for &d in dept_counts {
-        let scale = PaperScale { departments: d, ..Default::default() };
+        let scale = PaperScale {
+            departments: d,
+            ..Default::default()
+        };
         let db = super::fig3::rebuild_with(scale, DbConfig::default());
 
         // Eight separate queries.
@@ -49,7 +52,10 @@ pub fn run_fig56(dept_counts: &[usize]) -> Vec<Fig56Point> {
         let no_cse_db = super::fig3::rebuild_with(
             scale,
             DbConfig {
-                plan: PlanOptions { share_common_subexpressions: false, ..Default::default() },
+                plan: PlanOptions {
+                    share_common_subexpressions: false,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
@@ -107,12 +113,18 @@ pub fn render_fig56(points: &[Fig56Point]) -> String {
 pub fn verify_equivalence(db: &Database) {
     let co = db.query(DEPS_ARC).unwrap();
     for (name, sql) in COMPONENT_QUERIES {
-        let Some(stream) = co.stream(name) else { continue };
+        let Some(stream) = co.stream(name) else {
+            continue;
+        };
         let direct = db.query(sql).unwrap();
         // Compare on the first column (component key).
         let mut a: Vec<String> = stream.rows.iter().map(|r| r[0].to_string()).collect();
-        let mut b: Vec<String> =
-            direct.table().rows.iter().map(|r| r[0].to_string()).collect();
+        let mut b: Vec<String> = direct
+            .table()
+            .rows
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect();
         a.sort();
         b.sort();
         if matches!(

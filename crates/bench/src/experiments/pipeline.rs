@@ -20,7 +20,10 @@ pub struct PipelinePoint {
 }
 
 pub fn run_pipeline(departments: usize) -> PipelinePoint {
-    let db = build_paper_db(PaperScale { departments, ..Default::default() });
+    let db = build_paper_db(PaperScale {
+        departments,
+        ..Default::default()
+    });
 
     // Extract: run the XNF query (server side).
     let t0 = Instant::now();
@@ -78,9 +81,21 @@ pub fn render_pipeline(p: &PipelinePoint) -> String {
         "Fig. 7 — pipeline for {} departments ({} tuples, {} connections):",
         p.departments, p.tuples, p.connections
     );
-    let _ = writeln!(s, "  extract (server query):   {:>9.2} ms", super::ms(p.extract));
-    let _ = writeln!(s, "  convert + swizzle:        {:>9.2} ms", super::ms(p.swizzle));
-    let _ = writeln!(s, "  navigate (full walk):     {:>9.2} ms", super::ms(p.navigate));
+    let _ = writeln!(
+        s,
+        "  extract (server query):   {:>9.2} ms",
+        super::ms(p.extract)
+    );
+    let _ = writeln!(
+        s,
+        "  convert + swizzle:        {:>9.2} ms",
+        super::ms(p.swizzle)
+    );
+    let _ = writeln!(
+        s,
+        "  navigate (full walk):     {:>9.2} ms",
+        super::ms(p.navigate)
+    );
     let _ = writeln!(
         s,
         "  cache save / load:        {:>9.2} / {:.2} ms ({} byte image)",

@@ -68,7 +68,13 @@ pub fn run_recursion(points: &[(usize, usize)]) -> Vec<RecursionPoint> {
         let time = t0.elapsed();
         let reached = r.stream("part").unwrap().rows.len();
         let edges = r.stream("sub_uses").unwrap().rows.len();
-        out.push(RecursionPoint { layers, width, reached_parts: reached, edges, time });
+        out.push(RecursionPoint {
+            layers,
+            width,
+            reached_parts: reached,
+            edges,
+            time,
+        });
     }
     out
 }

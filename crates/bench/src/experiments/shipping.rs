@@ -18,7 +18,10 @@ pub struct ShippingRow {
 }
 
 pub fn run_shipping(departments: usize) -> Vec<ShippingRow> {
-    let db = build_paper_db(PaperScale { departments, ..Default::default() });
+    let db = build_paper_db(PaperScale {
+        departments,
+        ..Default::default()
+    });
     let table = db.catalog().table("EMP").unwrap();
     // Request: employees of ARC departments (edno < #ARC by generator
     // construction), projected to (eno, ename).
@@ -59,7 +62,9 @@ pub fn run_shipping(departments: usize) -> Vec<ShippingRow> {
                 &table,
                 &rids,
                 &cols,
-                ShippingPolicy::QueryShipping { block_bytes: 32 * 1024 },
+                ShippingPolicy::QueryShipping {
+                    block_bytes: 32 * 1024,
+                },
             )
             .unwrap(),
         },

@@ -20,7 +20,10 @@ pub struct SwizzlePoint {
 }
 
 pub fn run_swizzle(parts: usize, lookups: usize) -> SwizzlePoint {
-    let db = build_oo1_db(Oo1Config { parts, ..Default::default() });
+    let db = build_oo1_db(Oo1Config {
+        parts,
+        ..Default::default()
+    });
     let co = db.fetch_co(OO1_CO).unwrap();
     let ws: &Workspace = &co.workspace;
     let n = ws.component("part").unwrap().len() as u32;
@@ -65,8 +68,16 @@ pub fn render_swizzle(p: &SwizzlePoint) -> String {
         "Swizzling ablation — {} parent→children navigations over {} parts:",
         p.lookups, p.parts
     );
-    let _ = writeln!(s, "  swizzled pointers:   {:>9.3} ms", super::ms(p.swizzled));
-    let _ = writeln!(s, "  unswizzled scan:     {:>9.3} ms", super::ms(p.unswizzled));
+    let _ = writeln!(
+        s,
+        "  swizzled pointers:   {:>9.3} ms",
+        super::ms(p.swizzled)
+    );
+    let _ = writeln!(
+        s,
+        "  unswizzled scan:     {:>9.3} ms",
+        super::ms(p.unswizzled)
+    );
     let _ = writeln!(s, "  swizzling speedup:   {:>8.0}x", p.speedup);
     s
 }

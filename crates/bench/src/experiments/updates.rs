@@ -16,12 +16,20 @@ pub struct UpdatePoint {
 }
 
 pub fn run_updates(departments: usize) -> UpdatePoint {
-    let scale = PaperScale { departments, ..Default::default() };
+    let scale = PaperScale {
+        departments,
+        ..Default::default()
+    };
 
     // Cache-side: update every cached employee's salary, then save once.
     let db = build_paper_db(scale);
     let mut co = db.fetch_co(DEPS_ARC).unwrap();
-    let ids: Vec<u32> = co.workspace.independent("xemp").unwrap().map(|t| t.id()).collect();
+    let ids: Vec<u32> = co
+        .workspace
+        .independent("xemp")
+        .unwrap()
+        .map(|t| t.id())
+        .collect();
     let t0 = Instant::now();
     for &id in &ids {
         let old = co.workspace.component("xemp").unwrap().row(id)[3].clone();
@@ -49,8 +57,15 @@ pub fn run_updates(departments: usize) -> UpdatePoint {
             .iter()
             .map(|r| r[0].as_int().unwrap())
             .collect();
-        let list = arc.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", ");
-        db2.execute(&format!("UPDATE EMP SET sal = sal + 1.0 WHERE edno IN ({list})")).unwrap()
+        let list = arc
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        db2.execute(&format!(
+            "UPDATE EMP SET sal = sal + 1.0 WHERE edno IN ({list})"
+        ))
+        .unwrap()
     });
     let direct_time = t0.elapsed();
 
@@ -74,8 +89,12 @@ pub fn run_updates(departments: usize) -> UpdatePoint {
     };
     let t0 = Instant::now();
     for (old_parent, emp, new_parent) in &moves {
-        co3.workspace.disconnect("employment", &[*old_parent, *emp]).unwrap();
-        co3.workspace.connect("employment", &[*new_parent, *emp]).unwrap();
+        co3.workspace
+            .disconnect("employment", &[*old_parent, *emp])
+            .unwrap();
+        co3.workspace
+            .connect("employment", &[*new_parent, *emp])
+            .unwrap();
     }
     co3.save(&db3).unwrap();
     let connect_time = t0.elapsed();

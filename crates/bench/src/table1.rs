@@ -112,7 +112,10 @@ pub fn run_table1(db: &Database) -> Table1 {
         let census = census_plan(&qep.outputs[0].plan);
         op_signatures(&qep.outputs[0].plan, &mut all_sigs);
         total += census.total();
-        rows.push(Table1Row { component: name.to_string(), sql_ops: census });
+        rows.push(Table1Row {
+            component: name.to_string(),
+            sql_ops: census,
+        });
     }
     let distinct: HashSet<&String> = all_sigs.iter().collect();
 
@@ -131,8 +134,15 @@ pub fn run_table1(db: &Database) -> Table1 {
 pub fn render_table1(t: &Table1) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let _ = writeln!(s, "Table 1 — SQL vs XNF derivation (ops = selections + joins)");
-    let _ = writeln!(s, "{:<14} {:>10} {:>12} {:>10} {:>12}", "component", "SQL(meas)", "SQL(paper)", "XNF(paper)", "");
+    let _ = writeln!(
+        s,
+        "Table 1 — SQL vs XNF derivation (ops = selections + joins)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<14} {:>10} {:>12} {:>10} {:>12}",
+        "component", "SQL(meas)", "SQL(paper)", "XNF(paper)", ""
+    );
     let mut paper_sql = 0;
     let mut paper_xnf = 0;
     for (row, (pname, psql, _prep, pxnf)) in t.rows.iter().zip(PAPER_TABLE1) {
@@ -152,10 +162,7 @@ pub fn render_table1(t: &Table1) -> String {
     let _ = writeln!(
         s,
         "{:<14} {:>10} {:>12} {:>10}   (paper: 23 / 7)",
-        "total",
-        t.sql_total,
-        paper_sql,
-        paper_xnf
+        "total", t.sql_total, paper_sql, paper_xnf
     );
     let _ = writeln!(
         s,

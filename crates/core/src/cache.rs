@@ -54,7 +54,9 @@ impl Component {
     }
 
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
     }
 }
 
@@ -94,11 +96,29 @@ pub struct Workspace {
 /// One logged client-side change (for write-back).
 #[derive(Debug, Clone)]
 pub enum Change {
-    Update { comp: usize, id: TupleId, old: Row, new: Row },
-    Insert { comp: usize, id: TupleId },
-    Delete { comp: usize, id: TupleId, old: Row },
-    Connect { rel: usize, conn: Vec<TupleId> },
-    Disconnect { rel: usize, conn: Vec<TupleId> },
+    Update {
+        comp: usize,
+        id: TupleId,
+        old: Row,
+        new: Row,
+    },
+    Insert {
+        comp: usize,
+        id: TupleId,
+    },
+    Delete {
+        comp: usize,
+        id: TupleId,
+        old: Row,
+    },
+    Connect {
+        rel: usize,
+        conn: Vec<TupleId>,
+    },
+    Disconnect {
+        rel: usize,
+        conn: Vec<TupleId>,
+    },
 }
 
 impl Workspace {
@@ -126,7 +146,13 @@ impl Workspace {
         }
         // Pass 2: relationships (requires components in place).
         for s in &result.streams {
-            if let OutputKind::Connection { relationship, parent, children, role } = &s.kind {
+            if let OutputKind::Connection {
+                relationship,
+                parent,
+                children,
+                role,
+            } = &s.kind
+            {
                 let parent_idx = *ws
                     .comp_by_name
                     .get(&parent.to_ascii_lowercase())
@@ -151,7 +177,8 @@ impl Workspace {
                     })
                     .collect::<Result<_>>()?;
                 let idx = ws.relationships.len();
-                ws.rel_by_name.insert(relationship.to_ascii_lowercase(), idx);
+                ws.rel_by_name
+                    .insert(relationship.to_ascii_lowercase(), idx);
                 let mut rel = Relationship {
                     name: relationship.clone(),
                     role: role.clone(),
@@ -213,7 +240,11 @@ impl Workspace {
     /// Independent cursor over a component's live tuples.
     pub fn independent(&self, component: &str) -> Result<IndependentCursor<'_>> {
         let comp = self.component_index(component)?;
-        Ok(IndependentCursor { ws: self, comp, pos: 0 })
+        Ok(IndependentCursor {
+            ws: self,
+            comp,
+            pos: 0,
+        })
     }
 
     /// Dependent cursor: children of `parent_id` along `relationship`
@@ -243,7 +274,12 @@ impl Workspace {
             .and_then(|f| f.get(parent_id as usize))
             .map(|v| v.as_slice())
             .unwrap_or(&[]);
-        Ok(DependentCursor { ws: self, comp: r.children[slot], ids, pos: 0 })
+        Ok(DependentCursor {
+            ws: self,
+            comp: r.children[slot],
+            ids,
+            pos: 0,
+        })
     }
 
     /// Dependent cursor in the reverse direction: parents of a child tuple.
@@ -265,12 +301,21 @@ impl Workspace {
             .and_then(|b| b.get(child_id as usize))
             .map(|v| v.as_slice())
             .unwrap_or(&[]);
-        Ok(DependentCursor { ws: self, comp: r.parent, ids, pos: 0 })
+        Ok(DependentCursor {
+            ws: self,
+            comp: r.parent,
+            ids,
+            pos: 0,
+        })
     }
 
     /// Unswizzled child lookup: scans the connection table instead of
     /// following pointers. Exists for the swizzling ablation (E8).
-    pub fn children_unswizzled(&self, relationship: &str, parent_id: TupleId) -> Result<Vec<TupleId>> {
+    pub fn children_unswizzled(
+        &self,
+        relationship: &str,
+        parent_id: TupleId,
+    ) -> Result<Vec<TupleId>> {
         let rel = self.relationship_index(relationship)?;
         let r = &self.relationships[rel];
         Ok(r.connections
@@ -286,7 +331,7 @@ impl Workspace {
     /// target ids reachable from the (live) source tuples.
     pub fn path(&self, path: &str) -> Result<Vec<TupleId>> {
         let segments: Vec<&str> = path.split('.').map(str::trim).collect();
-        if segments.len() < 3 || segments.len() % 2 == 0 {
+        if segments.len() < 3 || segments.len().is_multiple_of(2) {
             return Err(XnfError::Api(
                 "path must alternate component.relationship.component...".to_string(),
             ));
@@ -313,9 +358,11 @@ impl Workspace {
                     .children
                     .iter()
                     .position(|&c| c == target_idx)
-                    .ok_or_else(|| XnfError::Api(format!(
-                        "'{target_name}' is not a child of relationship '{rel_name}'"
-                    )))?;
+                    .ok_or_else(|| {
+                        XnfError::Api(format!(
+                            "'{target_name}' is not a child of relationship '{rel_name}'"
+                        ))
+                    })?;
                 (&r.forward[slot], r.children[slot])
             } else if r.children.contains(&current_comp) && r.parent == target_idx {
                 let slot = r.children.iter().position(|&c| c == current_comp).unwrap();
@@ -362,7 +409,9 @@ impl Workspace {
             .ok_or_else(|| XnfError::Api(format!("no column '{column}' in '{component}'")))?;
         let c = &mut self.components[comp];
         if id as usize >= c.rows.len() || c.deleted[id as usize] {
-            return Err(XnfError::Api(format!("tuple {id} of '{component}' does not exist")));
+            return Err(XnfError::Api(format!(
+                "tuple {id} of '{component}' does not exist"
+            )));
         }
         let old = c.rows[id as usize].clone();
         c.rows[id as usize][col] = value;
@@ -407,7 +456,9 @@ impl Workspace {
         let comp = self.component_index(component)?;
         let c = &mut self.components[comp];
         if id as usize >= c.rows.len() || c.deleted[id as usize] {
-            return Err(XnfError::Api(format!("tuple {id} of '{component}' does not exist")));
+            return Err(XnfError::Api(format!(
+                "tuple {id} of '{component}' does not exist"
+            )));
         }
         c.deleted[id as usize] = true;
         let old = c.rows[id as usize].clone();
@@ -468,7 +519,10 @@ impl Workspace {
     pub fn disconnect(&mut self, relationship: &str, conn: &[TupleId]) -> Result<()> {
         let rel = self.relationship_index(relationship)?;
         self.remove_connection(rel, conn)?;
-        self.changes.push(Change::Disconnect { rel, conn: conn.to_vec() });
+        self.changes.push(Change::Disconnect {
+            rel,
+            conn: conn.to_vec(),
+        });
         Ok(())
     }
 
@@ -516,14 +570,20 @@ fn grow_to<T: Default + Clone>(v: &mut Vec<T>, len: usize) {
 pub(crate) fn reswizzle(rel: &mut Relationship, components: &[Component]) -> Result<()> {
     for conn in &rel.connections {
         if conn.len() != 1 + rel.children.len() {
-            return Err(XnfError::Api("corrupt cache image: connection arity".to_string()));
+            return Err(XnfError::Api(
+                "corrupt cache image: connection arity".to_string(),
+            ));
         }
         if conn[0] as usize >= components[rel.parent].rows.len() {
-            return Err(XnfError::Api("corrupt cache image: parent id out of range".to_string()));
+            return Err(XnfError::Api(
+                "corrupt cache image: parent id out of range".to_string(),
+            ));
         }
         for (slot, &c) in rel.children.iter().enumerate() {
             if conn[slot + 1] as usize >= components[c].rows.len() {
-                return Err(XnfError::Api("corrupt cache image: child id out of range".to_string()));
+                return Err(XnfError::Api(
+                    "corrupt cache image: child id out of range".to_string(),
+                ));
             }
         }
     }
@@ -569,7 +629,11 @@ impl<'w> Iterator for IndependentCursor<'w> {
             let id = self.pos as TupleId;
             self.pos += 1;
             if !c.deleted[id as usize] {
-                return Some(TupleRef { ws: self.ws, comp: self.comp, id });
+                return Some(TupleRef {
+                    ws: self.ws,
+                    comp: self.comp,
+                    id,
+                });
             }
         }
         None
@@ -592,7 +656,11 @@ impl<'w> Iterator for DependentCursor<'w> {
             let id = self.ids[self.pos];
             self.pos += 1;
             if !self.ws.components[self.comp].deleted[id as usize] {
-                return Some(TupleRef { ws: self.ws, comp: self.comp, id });
+                return Some(TupleRef {
+                    ws: self.ws,
+                    comp: self.comp,
+                    id,
+                });
             }
         }
         None
@@ -636,6 +704,36 @@ impl<'w> TupleRef<'w> {
         Ok(&c.rows[self.id as usize][col])
     }
 
+    /// String column by name, without the `'…'` quoting that
+    /// `Value as Display` adds (callers should never have to match quoted
+    /// strings).
+    pub fn get_str(&self, column: &str) -> Result<&'w str> {
+        self.get(column)?
+            .as_str()
+            .map_err(|e| self.type_err(column, e))
+    }
+
+    /// Integer column by name (Int, or a Double with no fractional part).
+    pub fn get_int(&self, column: &str) -> Result<i64> {
+        self.get(column)?
+            .as_int()
+            .map_err(|e| self.type_err(column, e))
+    }
+
+    /// Float column by name (Double, coercing from Int).
+    pub fn get_f64(&self, column: &str) -> Result<f64> {
+        self.get(column)?
+            .as_double()
+            .map_err(|e| self.type_err(column, e))
+    }
+
+    fn type_err(&self, column: &str, e: xnf_storage::StorageError) -> XnfError {
+        XnfError::Api(format!(
+            "column '{column}' of '{}': {e}",
+            self.ws.components[self.comp].name
+        ))
+    }
+
     /// Children along a relationship (dependent cursor shortcut).
     pub fn children(&self, relationship: &str) -> Result<DependentCursor<'w>> {
         self.ws.children(relationship, self.id)
@@ -668,7 +766,9 @@ impl Workspace {
                                 let _ = writeln!(
                                     s,
                                     "      -{}-> {}[{}]",
-                                    r.role, self.components[child].name, cid.id()
+                                    r.role,
+                                    self.components[child].name,
+                                    cid.id()
                                 );
                             }
                         }
@@ -750,7 +850,10 @@ mod render_tests {
                         role: "links".into(),
                     },
                     columns: vec!["a_id".into(), "b_id".into()],
-                    rows: vec![vec![Value::Int(0), Value::Int(0)], vec![Value::Int(1), Value::Int(0)]],
+                    rows: vec![
+                        vec![Value::Int(0), Value::Int(0)],
+                        vec![Value::Int(1), Value::Int(0)],
+                    ],
                 },
             ],
             stats: ExecStats::default(),

@@ -36,7 +36,10 @@ pub struct TransportCost {
 impl Default for TransportCost {
     fn default() -> Self {
         // A 1993-vintage IPC/LAN: ~0.5 ms per crossing, ~10 MB/s transfer.
-        TransportCost { latency_us_per_message: 500.0, ns_per_byte: 100.0 }
+        TransportCost {
+            latency_us_per_message: 500.0,
+            ns_per_byte: 100.0,
+        }
     }
 }
 
@@ -157,7 +160,11 @@ pub struct ShippingReport {
 
 impl ShippingReport {
     pub fn simulated_ms(&self, cost: TransportCost) -> f64 {
-        TransportStats { messages: self.messages, bytes: self.bytes }.simulated_ms(cost)
+        TransportStats {
+            messages: self.messages,
+            bytes: self.bytes,
+        }
+        .simulated_ms(cost)
     }
 }
 
@@ -223,8 +230,11 @@ pub fn simulate_shipping(
             let mut acc = 0usize;
             for rid in rids {
                 let t = table.get(*rid)?;
-                let size: usize =
-                    columns.iter().map(|&c| t.values[c].byte_size()).sum::<usize>() + 8;
+                let size: usize = columns
+                    .iter()
+                    .map(|&c| t.values[c].byte_size())
+                    .sum::<usize>()
+                    + 8;
                 if acc + size > cap && acc > 0 {
                     report.messages += 1;
                     report.bytes += acc as u64;

@@ -1,12 +1,14 @@
 //! `CoCache`: the client-side composite object — workspace + updatability
 //! metadata + the query it came from (Fig. 7's picture in one type).
 
-use xnf_sql::{parse_statement, Statement, ViewBody, XnfQuery};
+use xnf_exec::Params;
+use xnf_sql::{Statement, ViewBody, XnfQuery};
 use xnf_storage::ViewKind;
 
 use crate::cache::Workspace;
 use crate::db::Database;
 use crate::error::{Result, XnfError};
+use crate::session::normalize_statement;
 use crate::writeback::{derive_co_schema, write_back, CoSchema};
 
 /// A cached composite object with write-back support.
@@ -15,6 +17,9 @@ pub struct CoCache {
     pub schema: CoSchema,
     /// The originating XNF query (for re-fetch).
     pub query: XnfQuery,
+    /// Parameter bindings the CO was extracted with (empty for one-shot
+    /// fetches); `refresh` re-executes under the same bindings.
+    pub params: Params,
 }
 
 impl CoCache {
@@ -24,9 +29,10 @@ impl CoCache {
         write_back(db, &mut self.workspace, &self.schema)
     }
 
-    /// Drop local state and re-extract the CO from the database.
+    /// Drop local state and re-extract the CO from the database, using the
+    /// parameter bindings of the original fetch.
     pub fn refresh(&mut self, db: &Database) -> Result<()> {
-        let result = db.run_xnf(&self.query)?;
+        let result = db.run_xnf_params(&self.query, &self.params)?;
         self.workspace = Workspace::from_result(&result)?;
         Ok(())
     }
@@ -35,6 +41,8 @@ impl CoCache {
 impl Database {
     /// Evaluate an XNF query (text, `OUT OF ... TAKE ...`) or a stored XNF
     /// view (by name) and load the result into a client-side CO cache.
+    /// Compilation goes through the shared plan cache, so repeated fetches
+    /// of the same CO skip the parse→QGM→rewrite→plan pipeline.
     pub fn fetch_co(&self, query_or_view: &str) -> Result<CoCache> {
         let text = if self.catalog().view(query_or_view).is_some() {
             let view = self.catalog().view(query_or_view).unwrap();
@@ -47,15 +55,41 @@ impl Database {
         } else {
             query_or_view.to_string()
         };
-        let stmt = parse_statement(&text)?;
-        let query = match stmt {
-            Statement::Xnf(q) => q,
-            Statement::CreateView { body: ViewBody::Xnf(q), .. } => q,
-            _ => return Err(XnfError::Api("fetch_co expects an OUT OF query or XNF view".into())),
+        let key = normalize_statement(&text);
+        let (compiled, _) = self.compile_cached(&key)?;
+        if compiled.param_count() > 0 {
+            return Err(XnfError::Api(format!(
+                "statement has {} unbound parameter(s); use session().prepare(...).bind(...).fetch_co()",
+                compiled.param_count()
+            )));
+        }
+        let query = match compiled.stmt() {
+            Statement::Xnf(q) => q.clone(),
+            Statement::CreateView {
+                body: ViewBody::Xnf(q),
+                ..
+            } => q.clone(),
+            _ => {
+                return Err(XnfError::Api(
+                    "fetch_co expects an OUT OF query or XNF view".into(),
+                ))
+            }
         };
-        let result = self.run_xnf(&query)?;
+        let result = match compiled.stmt() {
+            // The cached QEP covers the plain `OUT OF` form; the CREATE VIEW
+            // wrapper compiles to a Statement body, so run its query direct.
+            Statement::Xnf(_) => self
+                .execute_compiled(&compiled, xnf_exec::Params::default())?
+                .try_rows()?,
+            _ => self.run_xnf(&query)?,
+        };
         let workspace = Workspace::from_result(&result)?;
         let schema = derive_co_schema(self, &query)?;
-        Ok(CoCache { workspace, schema, query })
+        Ok(CoCache {
+            workspace,
+            schema,
+            query,
+            params: Params::default(),
+        })
     }
 }

@@ -56,12 +56,18 @@ fn ddl_dml_roundtrip() {
     let r = db.query("SELECT COUNT(*) FROM EMP").unwrap();
     assert_eq!(r.table().rows[0][0], Value::Int(4));
 
-    let n = db.execute("UPDATE EMP SET sal = sal + 10 WHERE edno = 1").unwrap().affected();
+    let n = db
+        .execute("UPDATE EMP SET sal = sal + 10 WHERE edno = 1")
+        .unwrap()
+        .affected();
     assert_eq!(n, 2);
     let r = db.query("SELECT MAX(sal) FROM EMP").unwrap();
     assert_eq!(r.table().rows[0][0], Value::Double(130.0));
 
-    let n = db.execute("DELETE FROM EMP WHERE eno = 4").unwrap().affected();
+    let n = db
+        .execute("DELETE FROM EMP WHERE eno = 4")
+        .unwrap()
+        .affected();
     assert_eq!(n, 1);
     let r = db.query("SELECT COUNT(*) FROM EMP").unwrap();
     assert_eq!(r.table().rows[0][0], Value::Int(3));
@@ -72,8 +78,10 @@ fn transactions_rollback_dml() {
     let db = fig1_db();
     db.begin().unwrap();
     db.execute("DELETE FROM EMP WHERE edno = 1").unwrap();
-    db.execute("INSERT INTO EMP VALUES (99, 'temp', 1, 1.0)").unwrap();
-    db.execute("UPDATE EMP SET sal = 0.0 WHERE eno = 3").unwrap();
+    db.execute("INSERT INTO EMP VALUES (99, 'temp', 1, 1.0)")
+        .unwrap();
+    db.execute("UPDATE EMP SET sal = 0.0 WHERE eno = 3")
+        .unwrap();
     db.rollback().unwrap();
 
     let r = db.query("SELECT COUNT(*), MAX(sal) FROM EMP").unwrap();
@@ -90,7 +98,8 @@ fn transactions_rollback_dml() {
 #[test]
 fn sql_views_expand_in_from() {
     let db = fig1_db();
-    db.execute("CREATE VIEW arc_depts AS SELECT dno, dname FROM DEPT WHERE loc = 'ARC'").unwrap();
+    db.execute("CREATE VIEW arc_depts AS SELECT dno, dname FROM DEPT WHERE loc = 'ARC'")
+        .unwrap();
     let r = db.query("SELECT COUNT(*) FROM arc_depts").unwrap();
     assert_eq!(r.table().rows[0][0], Value::Int(2));
     // Join a view with a base table.
@@ -103,13 +112,16 @@ fn sql_views_expand_in_from() {
 #[test]
 fn xnf_views_are_stored_and_fetchable() {
     let db = fig1_db();
-    db.execute(&format!("CREATE VIEW deps_ARC AS {DEPS_ARC}")).unwrap();
+    db.execute(&format!("CREATE VIEW deps_ARC AS {DEPS_ARC}"))
+        .unwrap();
     let co = db.fetch_co("deps_ARC").unwrap();
     assert_eq!(co.workspace.components.len(), 4);
     assert_eq!(co.workspace.relationships.len(), 4);
 
     // Inline the view in another XNF query (closure under composition).
-    let r = db.query("OUT OF deps_ARC TAKE xdept, employment, xemp").unwrap();
+    let r = db
+        .query("OUT OF deps_ARC TAKE xdept, employment, xemp")
+        .unwrap();
     assert_eq!(r.streams.len(), 3);
 }
 
@@ -119,14 +131,23 @@ fn explain_produces_plan_text() {
     let text = db.explain("SELECT * FROM EMP WHERE eno = 1").unwrap();
     assert!(text.contains("SeqScan(EMP)"), "{text}");
     let text = db.explain(DEPS_ARC).unwrap();
-    assert!(text.contains("shared cse0"), "XNF plans share components:\n{text}");
+    assert!(
+        text.contains("shared cse0"),
+        "XNF plans share components:\n{text}"
+    );
 }
 
 #[test]
 fn errors_are_reported() {
     let db = fig1_db();
-    assert!(matches!(db.execute("SELECT * FROM NOPE"), Err(XnfError::Semantic(_))));
-    assert!(matches!(db.execute("SELEC broken"), Err(XnfError::Parse(_))));
+    assert!(matches!(
+        db.execute("SELECT * FROM NOPE"),
+        Err(XnfError::Semantic(_))
+    ));
+    assert!(matches!(
+        db.execute("SELEC broken"),
+        Err(XnfError::Parse(_))
+    ));
     assert!(db.execute("INSERT INTO DEPT (dno) VALUES (1, 2)").is_err());
 }
 
@@ -195,10 +216,16 @@ fn path_expressions() {
     let ws = &co.workspace;
 
     // All skills reachable from departments through employees.
-    let ids = ws.path("xdept.employment.xemp.empproperty.xskills").unwrap();
+    let ids = ws
+        .path("xdept.employment.xemp.empproperty.xskills")
+        .unwrap();
     let mut skills: Vec<i64> = ids
         .iter()
-        .map(|&id| ws.component("xskills").unwrap().row(id)[0].as_int().unwrap())
+        .map(|&id| {
+            ws.component("xskills").unwrap().row(id)[0]
+                .as_int()
+                .unwrap()
+        })
         .collect();
     skills.sort();
     assert_eq!(skills, vec![1, 3]);
@@ -207,8 +234,14 @@ fn path_expressions() {
     let ids = ws.path("xskills.projproperty.xproj").unwrap();
     assert_eq!(ids.len(), 2);
 
-    assert!(ws.path("xdept").is_err(), "paths need at least comp.rel.comp");
-    assert!(ws.path("xdept.employment.xproj").is_err(), "wrong target component");
+    assert!(
+        ws.path("xdept").is_err(),
+        "paths need at least comp.rel.comp"
+    );
+    assert!(
+        ws.path("xdept.employment.xproj").is_err(),
+        "wrong target component"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -226,7 +259,9 @@ fn update_writes_back_to_base_table() {
         .find(|e| e.get("eno").unwrap() == &Value::Int(1))
         .unwrap()
         .id();
-    co.workspace.update_value("xemp", e1, "sal", Value::Double(200.0)).unwrap();
+    co.workspace
+        .update_value("xemp", e1, "sal", Value::Double(200.0))
+        .unwrap();
     assert_eq!(co.workspace.pending_changes().len(), 1);
     let ops = co.save(&db).unwrap();
     assert_eq!(ops, 1);
@@ -243,7 +278,12 @@ fn insert_delete_write_back() {
     co.workspace
         .insert_row(
             "xemp",
-            vec![Value::Int(9), "e9".into(), Value::Int(1), Value::Double(50.0)],
+            vec![
+                Value::Int(9),
+                "e9".into(),
+                Value::Int(1),
+                Value::Double(50.0),
+            ],
         )
         .unwrap();
     let e3 = co
@@ -257,7 +297,12 @@ fn insert_delete_write_back() {
     co.save(&db).unwrap();
 
     let r = db.query("SELECT eno FROM EMP ORDER BY eno").unwrap();
-    let ids: Vec<i64> = r.table().rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    let ids: Vec<i64> = r
+        .table()
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
     assert_eq!(ids, vec![1, 2, 4, 9]);
 }
 
@@ -267,7 +312,10 @@ fn fk_connect_disconnect_write_back() {
     let mut co = db.fetch_co(DEPS_ARC).unwrap();
 
     // employment is FK-based (xdept.dno = xemp.edno).
-    assert!(matches!(co.schema.relationship("employment"), Some(RelMeta::ForeignKey { .. })));
+    assert!(matches!(
+        co.schema.relationship("employment"),
+        Some(RelMeta::ForeignKey { .. })
+    ));
 
     // Move e3 from d2 to d1 in the cache.
     let ws = &mut co.workspace;
@@ -313,7 +361,9 @@ fn connect_table_write_back() {
     ws.connect("empproperty", &[e1, s3]).unwrap();
     co.save(&db).unwrap();
 
-    let r = db.query("SELECT COUNT(*) FROM EMPSKILLS WHERE eseno = 1").unwrap();
+    let r = db
+        .query("SELECT COUNT(*) FROM EMPSKILLS WHERE eseno = 1")
+        .unwrap();
     assert_eq!(r.table().rows[0][0], Value::Int(2), "mapping row inserted");
 
     // And take it away again.
@@ -333,7 +383,9 @@ fn connect_table_write_back() {
         .id();
     ws.disconnect("empproperty", &[e1, s3]).unwrap();
     co.save(&db).unwrap();
-    let r = db.query("SELECT COUNT(*) FROM EMPSKILLS WHERE eseno = 1").unwrap();
+    let r = db
+        .query("SELECT COUNT(*) FROM EMPSKILLS WHERE eseno = 1")
+        .unwrap();
     assert_eq!(r.table().rows[0][0], Value::Int(1));
 }
 
@@ -350,7 +402,9 @@ fn non_updatable_components_are_rejected() {
         )
         .unwrap();
     assert!(co.schema.component("rich").unwrap().base.is_none());
-    co.workspace.update_value("rich", 0, "dname", "X".into()).unwrap();
+    co.workspace
+        .update_value("rich", 0, "dname", "X".into())
+        .unwrap();
     let err = co.save(&db).unwrap_err();
     assert!(matches!(err, XnfError::Api(m) if m.contains("not updatable")));
     // The failed save keeps the change pending for retry.
@@ -370,7 +424,9 @@ fn write_back_is_atomic_on_conflict() {
         .id();
     // First a valid update, then one that will conflict (base row changed
     // underneath the cache).
-    co.workspace.update_value("xemp", e1, "sal", Value::Double(111.0)).unwrap();
+    co.workspace
+        .update_value("xemp", e1, "sal", Value::Double(111.0))
+        .unwrap();
     let e2 = co
         .workspace
         .independent("xemp")
@@ -378,9 +434,12 @@ fn write_back_is_atomic_on_conflict() {
         .find(|e| e.get("eno").unwrap() == &Value::Int(2))
         .unwrap()
         .id();
-    co.workspace.update_value("xemp", e2, "sal", Value::Double(222.0)).unwrap();
+    co.workspace
+        .update_value("xemp", e2, "sal", Value::Double(222.0))
+        .unwrap();
     // Sabotage: change e2's base row so the optimistic match fails.
-    db.execute("UPDATE EMP SET ename = 'changed' WHERE eno = 2").unwrap();
+    db.execute("UPDATE EMP SET ename = 'changed' WHERE eno = 2")
+        .unwrap();
 
     let err = co.save(&db).unwrap_err();
     assert!(matches!(err, XnfError::Api(m) if m.contains("conflict")));
@@ -501,17 +560,29 @@ fn fetch_strategies_count_crossings() {
     let server = Server::new(db);
 
     let mut one_at_a_time = TransportStats::default();
-    server.fetch("SELECT * FROM EMP", FetchStrategy::TupleAtATime, &mut one_at_a_time).unwrap();
+    server
+        .fetch(
+            "SELECT * FROM EMP",
+            FetchStrategy::TupleAtATime,
+            &mut one_at_a_time,
+        )
+        .unwrap();
 
     let mut whole = TransportStats::default();
     server
-        .fetch("SELECT * FROM EMP", FetchStrategy::WholeCo { max_bytes: 1 << 20 }, &mut whole)
+        .fetch(
+            "SELECT * FROM EMP",
+            FetchStrategy::WholeCo { max_bytes: 1 << 20 },
+            &mut whole,
+        )
         .unwrap();
 
     // 4 tuples: 1 request + 4 + 1 EOF vs 1 request + 1 payload.
     assert_eq!(one_at_a_time.messages, 6);
     assert_eq!(whole.messages, 2);
-    assert!(one_at_a_time.simulated_ms(Default::default()) > whole.simulated_ms(Default::default()));
+    assert!(
+        one_at_a_time.simulated_ms(Default::default()) > whole.simulated_ms(Default::default())
+    );
 }
 
 #[test]
@@ -539,7 +610,9 @@ fn shipping_policies_trade_off_exposure() {
         &table,
         &rids,
         &cols,
-        ShippingPolicy::QueryShipping { block_bytes: 32 * 1024 },
+        ShippingPolicy::QueryShipping {
+            block_bytes: 32 * 1024,
+        },
     )
     .unwrap();
 
@@ -562,10 +635,14 @@ fn shipping_policies_trade_off_exposure() {
 fn doc_example_smoke() {
     // Mirrors the crate-level doc example.
     let db = Database::new();
-    db.execute("CREATE TABLE DEPT (dno INT, dname VARCHAR(20), loc VARCHAR(10))").unwrap();
-    db.execute("CREATE TABLE EMP (eno INT, ename VARCHAR(20), edno INT)").unwrap();
-    db.execute("INSERT INTO DEPT VALUES (1, 'tools', 'ARC'), (2, 'apps', 'HDC')").unwrap();
-    db.execute("INSERT INTO EMP VALUES (10, 'mia', 1), (11, 'ben', 2)").unwrap();
+    db.execute("CREATE TABLE DEPT (dno INT, dname VARCHAR(20), loc VARCHAR(10))")
+        .unwrap();
+    db.execute("CREATE TABLE EMP (eno INT, ename VARCHAR(20), edno INT)")
+        .unwrap();
+    db.execute("INSERT INTO DEPT VALUES (1, 'tools', 'ARC'), (2, 'apps', 'HDC')")
+        .unwrap();
+    db.execute("INSERT INTO EMP VALUES (10, 'mia', 1), (11, 'ben', 2)")
+        .unwrap();
     let outcome = db
         .execute(
             "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
@@ -574,6 +651,8 @@ fn doc_example_smoke() {
              TAKE *",
         )
         .unwrap();
-    let ExecOutcome::Rows(r) = outcome else { panic!() };
+    let ExecOutcome::Rows(r) = outcome else {
+        panic!()
+    };
     assert_eq!(r.stream("xemp").unwrap().rows.len(), 1);
 }

@@ -5,20 +5,22 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use xnf_exec::{eval, execute_qep, OuterCtx, QueryResult};
+use xnf_exec::{
+    eval, execute_qep_parallel_with_params, execute_qep_with_params, OuterCtx, Params, QueryResult,
+};
 use xnf_plan::{plan_query, PhysExpr, PlanOptions, Qep};
 use xnf_qgm::{build_select_query, build_xnf_query, Qgm};
 use xnf_rewrite::{rewrite, RewriteOptions};
 use xnf_sql::{
-    parse_statement, parse_statements, ColumnDef, Expr, Select, Statement, TypeName, ViewBody,
-    XnfQuery,
+    parse_statement, parse_statement_params, parse_statements, ColumnDef, Expr, Select, Statement,
+    TypeName, ViewBody, XnfQuery,
 };
 use xnf_storage::{
-    BufferPool, Catalog, Column, DataType, DiskManager, Schema, Transaction, Tuple, Value,
-    ViewKind,
+    BufferPool, Catalog, Column, DataType, DiskManager, Schema, Transaction, Tuple, Value, ViewKind,
 };
 
 use crate::error::{Result, XnfError};
+use crate::session::{CompiledBody, CompiledStmt, PlanCache, PlanCacheStats, Session};
 
 /// Configuration for a database instance.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +31,8 @@ pub struct DbConfig {
     pub rewrite: RewriteOptions,
     /// Planner options.
     pub plan: PlanOptions,
+    /// Capacity (statements) of the shared compiled-plan cache.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for DbConfig {
@@ -37,6 +41,7 @@ impl Default for DbConfig {
             buffer_pages: 1024,
             rewrite: RewriteOptions::default(),
             plan: PlanOptions::default(),
+            plan_cache_capacity: 128,
         }
     }
 }
@@ -53,6 +58,18 @@ pub enum ExecOutcome {
 }
 
 impl ExecOutcome {
+    /// The query result, or an error if the statement produced none
+    /// (DDL/DML). Prefer this over the panicking [`ExecOutcome::rows`].
+    pub fn try_rows(self) -> Result<QueryResult> {
+        match self {
+            ExecOutcome::Rows(r) => Ok(r),
+            other => Err(XnfError::Api(format!(
+                "expected a query result, got {other:?}"
+            ))),
+        }
+    }
+
+    #[deprecated(note = "use `try_rows()` — this panics on DDL/DML outcomes")]
     pub fn rows(self) -> QueryResult {
         match self {
             ExecOutcome::Rows(r) => r,
@@ -74,6 +91,9 @@ pub struct Database {
     config: DbConfig,
     /// Active explicit transaction, if any.
     txn: Mutex<Option<Transaction>>,
+    /// Shared compiled-plan cache (all sessions), keyed by normalized
+    /// statement text, invalidated via the catalog's DDL generation.
+    plan_cache: Mutex<PlanCache>,
 }
 
 impl Database {
@@ -85,7 +105,33 @@ impl Database {
     pub fn with_config(config: DbConfig) -> Self {
         let disk = Arc::new(DiskManager::new());
         let pool = Arc::new(BufferPool::new(disk, config.buffer_pages));
-        Database { catalog: Arc::new(Catalog::new(pool)), config, txn: Mutex::new(None) }
+        Database {
+            catalog: Arc::new(Catalog::new(pool)),
+            config,
+            txn: Mutex::new(None),
+            plan_cache: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
+        }
+    }
+
+    /// Open a session: the unit of statement preparation. Sessions share
+    /// the database's plan cache.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// Cumulative plan-cache counters (all sessions).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.lock().stats()
+    }
+
+    /// Number of statements currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.lock().len()
+    }
+
+    /// Drop every cached plan (they recompile on next use).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.lock().clear();
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -157,12 +203,102 @@ impl Database {
         }
     }
 
+    // -- compiled-statement path (sessions, prepared statements) ----------
+
+    /// Look `key` (normalized statement text) up in the shared plan cache,
+    /// compiling on miss. Returns the compiled statement and whether it was
+    /// a cache hit.
+    pub(crate) fn compile_cached(&self, key: &str) -> Result<(Arc<CompiledStmt>, bool)> {
+        let generation = self.catalog.generation();
+        if let Some(compiled) = self.plan_cache.lock().get(key, generation) {
+            return Ok((compiled, true));
+        }
+        // Compile outside the cache lock: compilation can be expensive and
+        // concurrent sessions must not serialize on it.
+        let compiled = Arc::new(self.compile_statement(key, generation)?);
+        self.plan_cache
+            .lock()
+            .insert(key.to_string(), Arc::clone(&compiled));
+        Ok((compiled, false))
+    }
+
+    /// Run the full front end (parse → QGM → rewrite → plan) on one
+    /// statement. Queries compile to a QEP; recursive COs and DDL/DML keep
+    /// their AST and are interpreted at execution time.
+    fn compile_statement(&self, text: &str, generation: u64) -> Result<CompiledStmt> {
+        let (stmt, n_params) = parse_statement_params(text)?;
+        let body = match &stmt {
+            Statement::Select(s) => {
+                let mut qgm = build_select_query(&self.catalog, s)?;
+                rewrite(&mut qgm, self.config.rewrite)?;
+                CompiledBody::Query(Arc::new(plan_query(&self.catalog, &qgm, self.config.plan)?))
+            }
+            Statement::Xnf(q) => {
+                let mut qgm = build_xnf_query(&self.catalog, q)?;
+                match rewrite(&mut qgm, self.config.rewrite) {
+                    Ok(_) => CompiledBody::Query(Arc::new(plan_query(
+                        &self.catalog,
+                        &qgm,
+                        self.config.plan,
+                    )?)),
+                    // Cyclic schema graph: fixpoint evaluation path (Sect. 2).
+                    Err(xnf_rewrite::RewriteError::RecursiveCo) => CompiledBody::RecursiveCo,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            _ => CompiledBody::Statement,
+        };
+        Ok(CompiledStmt {
+            stmt,
+            body,
+            n_params,
+            generation,
+        })
+    }
+
+    /// Execute a compiled statement with parameter bindings.
+    pub(crate) fn execute_compiled(
+        &self,
+        compiled: &CompiledStmt,
+        params: Params,
+    ) -> Result<ExecOutcome> {
+        match &compiled.body {
+            CompiledBody::Query(qep) => Ok(ExecOutcome::Rows(execute_qep_with_params(
+                &self.catalog,
+                qep,
+                params,
+            )?)),
+            CompiledBody::RecursiveCo => {
+                if !params.is_empty() {
+                    return Err(XnfError::Api(
+                        "parameters are not supported in recursive CO queries".to_string(),
+                    ));
+                }
+                let Statement::Xnf(q) = &compiled.stmt else {
+                    unreachable!("RecursiveCo body on a non-XNF statement");
+                };
+                Ok(ExecOutcome::Rows(crate::recursion::evaluate_recursive(
+                    self, q,
+                )?))
+            }
+            CompiledBody::Statement => self.execute_stmt_params(&compiled.stmt, &params),
+        }
+    }
+
     // -- statement execution ----------------------------------------------
 
-    /// Execute one statement (SQL or XNF).
+    /// Execute one statement (SQL or XNF). Routed through the shared plan
+    /// cache, so repeated statements skip the compilation pipeline.
     pub fn execute(&self, text: &str) -> Result<ExecOutcome> {
-        let stmt = parse_statement(text)?;
-        self.execute_stmt(&stmt)
+        let key = crate::session::normalize_statement(text);
+        let (compiled, _) = self.compile_cached(&key)?;
+        if compiled.n_params > 0 {
+            return Err(XnfError::Api(format!(
+                "statement has {} unbound parameter(s); use session().prepare(...).bind(...)",
+                compiled.n_params
+            )));
+        }
+        self.execute_compiled(&compiled, Params::default())
     }
 
     /// Execute a batch of semicolon-separated statements; returns the last
@@ -177,21 +313,38 @@ impl Database {
     }
 
     pub fn execute_stmt(&self, stmt: &Statement) -> Result<ExecOutcome> {
+        self.execute_stmt_params(stmt, &Params::default())
+    }
+
+    /// Execute a parsed statement with parameter bindings (the interpreted
+    /// path for DDL/DML and for uncached queries).
+    pub(crate) fn execute_stmt_params(
+        &self,
+        stmt: &Statement,
+        params: &Params,
+    ) -> Result<ExecOutcome> {
         match stmt {
-            Statement::Select(s) => Ok(ExecOutcome::Rows(self.run_select(s)?)),
-            Statement::Xnf(q) => Ok(ExecOutcome::Rows(self.run_xnf(q)?)),
+            Statement::Select(s) => Ok(ExecOutcome::Rows(self.run_select_params(s, params)?)),
+            Statement::Xnf(q) => Ok(ExecOutcome::Rows(self.run_xnf_params(q, params)?)),
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::new(columns.iter().map(column_def).collect());
                 self.catalog.create_table(name, schema)?;
                 Ok(ExecOutcome::Done)
             }
-            Statement::CreateIndex { name, table, columns, unique } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            } => {
                 let t = self.catalog.table(table)?;
                 let mut ords = Vec::with_capacity(columns.len());
                 for c in columns {
                     ords.push(t.column_index(c)?);
                 }
                 t.create_index(name, ords, *unique)?;
+                // A new access path changes plan choices: invalidate.
+                self.catalog.bump_generation();
                 Ok(ExecOutcome::Done)
             }
             Statement::CreateView { name, body } => {
@@ -228,17 +381,35 @@ impl Database {
                         }
                     }
                 }
+                // Fresh statistics change cost-based plan choices.
+                self.catalog.bump_generation();
                 Ok(ExecOutcome::Done)
             }
-            Statement::Insert { table, columns, rows } => {
-                Ok(ExecOutcome::Affected(self.run_insert(table, columns, rows)?))
-            }
-            Statement::Update { table, sets, where_clause } => {
-                Ok(ExecOutcome::Affected(self.run_update(table, sets, where_clause.as_ref())?))
-            }
-            Statement::Delete { table, where_clause } => {
-                Ok(ExecOutcome::Affected(self.run_delete(table, where_clause.as_ref())?))
-            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => Ok(ExecOutcome::Affected(
+                self.run_insert(table, columns, rows, params)?,
+            )),
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => Ok(ExecOutcome::Affected(self.run_update(
+                table,
+                sets,
+                where_clause.as_ref(),
+                params,
+            )?)),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => Ok(ExecOutcome::Affected(self.run_delete(
+                table,
+                where_clause.as_ref(),
+                params,
+            )?)),
         }
     }
 
@@ -248,32 +419,48 @@ impl Database {
     /// option the paper lists as the natural extension for set-oriented CO
     /// queries (Sect. 6).
     pub fn query_parallel(&self, text: &str) -> Result<QueryResult> {
-        let stmt = parse_statement(text)?;
-        let mut qgm = match &stmt {
-            Statement::Select(s) => build_select_query(&self.catalog, s)?,
-            Statement::Xnf(q) => build_xnf_query(&self.catalog, q)?,
-            _ => return Err(XnfError::Api("query_parallel expects SELECT or OUT OF".to_string())),
-        };
-        match rewrite(&mut qgm, self.config.rewrite) {
-            Ok(_) => {}
-            Err(xnf_rewrite::RewriteError::RecursiveCo) => {
-                if let Statement::Xnf(q) = &stmt {
-                    return crate::recursion::evaluate_recursive(self, q);
-                }
-                unreachable!("RecursiveCo from a non-XNF statement");
-            }
-            Err(e) => return Err(e.into()),
+        let key = crate::session::normalize_statement(text);
+        let (compiled, _) = self.compile_cached(&key)?;
+        if compiled.n_params > 0 {
+            return Err(XnfError::Api(format!(
+                "statement has {} unbound parameter(s); use session().prepare(...).bind(...)",
+                compiled.n_params
+            )));
         }
-        let qep = plan_query(&self.catalog, &qgm, self.config.plan)?;
-        Ok(xnf_exec::execute_qep_parallel(&self.catalog, &qep)?)
+        match &compiled.body {
+            CompiledBody::Query(qep) => Ok(execute_qep_parallel_with_params(
+                &self.catalog,
+                qep,
+                Params::default(),
+            )?),
+            CompiledBody::RecursiveCo => {
+                let Statement::Xnf(q) = &compiled.stmt else {
+                    unreachable!("RecursiveCo from a non-XNF statement");
+                };
+                crate::recursion::evaluate_recursive(self, q)
+            }
+            CompiledBody::Statement => Err(XnfError::Api(
+                "query_parallel expects SELECT or OUT OF".to_string(),
+            )),
+        }
     }
 
-    /// Run a SELECT and return its single stream.
+    /// Run a SELECT (or `OUT OF`) and return its stream(s). Routed through
+    /// the shared plan cache.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        match parse_statement(sql)? {
-            Statement::Select(s) => self.run_select(&s),
-            Statement::Xnf(q) => self.run_xnf(&q),
-            _ => Err(XnfError::Api("query() expects SELECT or OUT OF".to_string())),
+        let key = crate::session::normalize_statement(sql);
+        let (compiled, _) = self.compile_cached(&key)?;
+        match &compiled.body {
+            CompiledBody::Statement => Err(XnfError::Api(
+                "query() expects SELECT or OUT OF".to_string(),
+            )),
+            _ if compiled.n_params > 0 => Err(XnfError::Api(format!(
+                "statement has {} unbound parameter(s); use session().prepare(...).bind(...)",
+                compiled.n_params
+            ))),
+            _ => self
+                .execute_compiled(&compiled, Params::default())?
+                .try_rows(),
         }
     }
 
@@ -290,7 +477,11 @@ impl Database {
         let mut qgm = match &stmt {
             Statement::Select(s) => build_select_query(&self.catalog, s)?,
             Statement::Xnf(q) => build_xnf_query(&self.catalog, q)?,
-            _ => return Err(XnfError::Api("compile() expects SELECT or OUT OF".to_string())),
+            _ => {
+                return Err(XnfError::Api(
+                    "compile() expects SELECT or OUT OF".to_string(),
+                ))
+            }
         };
         let report = rewrite(&mut qgm, self.config.rewrite)?;
         Ok((qgm, report))
@@ -302,29 +493,56 @@ impl Database {
     }
 
     pub(crate) fn run_select(&self, s: &Select) -> Result<QueryResult> {
+        self.run_select_params(s, &Params::default())
+    }
+
+    pub(crate) fn run_select_params(&self, s: &Select, params: &Params) -> Result<QueryResult> {
         let mut qgm = build_select_query(&self.catalog, s)?;
         rewrite(&mut qgm, self.config.rewrite)?;
         let qep = plan_query(&self.catalog, &qgm, self.config.plan)?;
-        Ok(execute_qep(&self.catalog, &qep)?)
+        Ok(execute_qep_with_params(
+            &self.catalog,
+            &qep,
+            params.clone(),
+        )?)
     }
 
     pub(crate) fn run_xnf(&self, q: &XnfQuery) -> Result<QueryResult> {
+        self.run_xnf_params(q, &Params::default())
+    }
+
+    pub(crate) fn run_xnf_params(&self, q: &XnfQuery, params: &Params) -> Result<QueryResult> {
         let mut qgm = build_xnf_query(&self.catalog, q)?;
         match rewrite(&mut qgm, self.config.rewrite) {
             Ok(_) => {}
             Err(xnf_rewrite::RewriteError::RecursiveCo) => {
                 // Cyclic schema graph: fixpoint evaluation path (Sect. 2).
+                if !params.is_empty() {
+                    return Err(XnfError::Api(
+                        "parameters are not supported in recursive CO queries".to_string(),
+                    ));
+                }
                 return crate::recursion::evaluate_recursive(self, q);
             }
             Err(e) => return Err(e.into()),
         }
         let qep = plan_query(&self.catalog, &qgm, self.config.plan)?;
-        Ok(execute_qep(&self.catalog, &qep)?)
+        Ok(execute_qep_with_params(
+            &self.catalog,
+            &qep,
+            params.clone(),
+        )?)
     }
 
     // -- DML ---------------------------------------------------------------
 
-    fn run_insert(&self, table: &str, columns: &[String], rows: &[Vec<Expr>]) -> Result<usize> {
+    fn run_insert(
+        &self,
+        table: &str,
+        columns: &[String],
+        rows: &[Vec<Expr>],
+        params: &Params,
+    ) -> Result<usize> {
         let t = self.catalog.table(table)?;
         let schema = &t.schema;
         // Column list → target ordinals.
@@ -337,6 +555,7 @@ impl Database {
             }
             v
         };
+        let outer = OuterCtx::with_params(params.clone());
         let mut txn = self.txn.lock();
         let mut n = 0;
         for row in rows {
@@ -350,7 +569,7 @@ impl Database {
             let mut values = vec![Value::Null; schema.len()];
             for (expr, &ord) in row.iter().zip(&targets) {
                 let pe = const_expr(expr)?;
-                values[ord] = coerce(eval(&pe, &[], &OuterCtx::new(), &[])?, schema.column(ord).ty);
+                values[ord] = coerce(eval(&pe, &[], &outer, &[])?, schema.column(ord).ty);
             }
             let tuple = Tuple::new(values);
             let rid = t.insert(&tuple)?;
@@ -367,6 +586,7 @@ impl Database {
         table: &str,
         sets: &[(String, Expr)],
         where_clause: Option<&Expr>,
+        params: &Params,
     ) -> Result<usize> {
         let t = self.catalog.table(table)?;
         let filter = match where_clause {
@@ -384,7 +604,7 @@ impl Database {
             matches.push((rid, tuple));
             Ok(true)
         })?;
-        let outer = OuterCtx::new();
+        let outer = OuterCtx::with_params(params.clone());
         let mut txn = self.txn.lock();
         let mut n = 0;
         for (rid, tuple) in matches {
@@ -395,7 +615,10 @@ impl Database {
             }
             let mut new_vals = tuple.values.clone();
             for (ord, e) in &set_exprs {
-                new_vals[*ord] = coerce(eval(e, &tuple.values, &outer, &[])?, t.schema.column(*ord).ty);
+                new_vals[*ord] = coerce(
+                    eval(e, &tuple.values, &outer, &[])?,
+                    t.schema.column(*ord).ty,
+                );
             }
             let (old, new_rid) = t.update(rid, &Tuple::new(new_vals))?;
             if let Some(txn) = txn.as_mut() {
@@ -406,7 +629,12 @@ impl Database {
         Ok(n)
     }
 
-    fn run_delete(&self, table: &str, where_clause: Option<&Expr>) -> Result<usize> {
+    fn run_delete(
+        &self,
+        table: &str,
+        where_clause: Option<&Expr>,
+        params: &Params,
+    ) -> Result<usize> {
         let t = self.catalog.table(table)?;
         let filter = match where_clause {
             Some(w) => Some(table_expr(&t.schema, &t.name, w)?),
@@ -417,7 +645,7 @@ impl Database {
             matches.push((rid, tuple));
             Ok(true)
         })?;
-        let outer = OuterCtx::new();
+        let outer = OuterCtx::with_params(params.clone());
         let mut txn = self.txn.lock();
         let mut n = 0;
         for (rid, tuple) in matches {
@@ -504,24 +732,36 @@ fn lower_expr(
 ) -> Result<PhysExpr> {
     Ok(match e {
         Expr::Literal(l) => PhysExpr::Literal(xnf_qgm::literal_value(l)),
+        Expr::Param(i) => PhysExpr::Param(*i),
         Expr::Column { qualifier, name } => col(qualifier.as_deref(), name)?,
-        Expr::Unary { op, expr } => {
-            PhysExpr::Unary { op: *op, expr: Box::new(lower_expr(expr, col)?) }
-        }
+        Expr::Unary { op, expr } => PhysExpr::Unary {
+            op: *op,
+            expr: Box::new(lower_expr(expr, col)?),
+        },
         Expr::Binary { left, op, right } => PhysExpr::Binary {
             left: Box::new(lower_expr(left, col)?),
             op: *op,
             right: Box::new(lower_expr(right, col)?),
         },
-        Expr::IsNull { expr, negated } => {
-            PhysExpr::IsNull { expr: Box::new(lower_expr(expr, col)?), negated: *negated }
-        }
-        Expr::Like { expr, pattern, negated } => PhysExpr::Like {
+        Expr::IsNull { expr, negated } => PhysExpr::IsNull {
+            expr: Box::new(lower_expr(expr, col)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => PhysExpr::Like {
             expr: Box::new(lower_expr(expr, col)?),
             pattern: pattern.clone(),
             negated: *negated,
         },
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let x = lower_expr(expr, col)?;
             let both = PhysExpr::Binary {
                 left: Box::new(PhysExpr::Binary {
@@ -537,19 +777,32 @@ fn lower_expr(
                 }),
             };
             if *negated {
-                PhysExpr::Unary { op: xnf_sql::UnaryOp::Not, expr: Box::new(both) }
+                PhysExpr::Unary {
+                    op: xnf_sql::UnaryOp::Not,
+                    expr: Box::new(both),
+                }
             } else {
                 both
             }
         }
-        Expr::InList { expr, list, negated } => PhysExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => PhysExpr::InList {
             expr: Box::new(lower_expr(expr, col)?),
-            list: list.iter().map(|x| lower_expr(x, col)).collect::<Result<_>>()?,
+            list: list
+                .iter()
+                .map(|x| lower_expr(x, col))
+                .collect::<Result<_>>()?,
             negated: *negated,
         },
         Expr::Func { func, args } => PhysExpr::Func {
             func: *func,
-            args: args.iter().map(|x| lower_expr(x, col)).collect::<Result<_>>()?,
+            args: args
+                .iter()
+                .map(|x| lower_expr(x, col))
+                .collect::<Result<_>>()?,
         },
         other => {
             return Err(XnfError::Api(format!(

@@ -7,6 +7,9 @@
 //! - [`Database`] — an embedded Starburst-style RDBMS with the XNF
 //!   extension: SQL and `OUT OF … TAKE …` composite-object queries share
 //!   one compilation pipeline (parser → QGM → rewrite → plan → QES);
+//! - [`Session`] / [`Prepared`] — prepared statements with `?` parameter
+//!   binding over a shared, DDL-aware LRU plan cache: compile once, bind
+//!   and execute many times (SQL and CO queries alike);
 //! - [`Workspace`] / [`CoCache`] — the client-side XNF cache: heterogeneous
 //!   CO streams swizzled into pointer-linked components with independent
 //!   and dependent cursors, path expressions, updates + write-back, and
@@ -16,8 +19,12 @@
 //!   shipping);
 //! - [`recursion`] — fixpoint evaluation for recursive COs.
 //!
+//! One-shot calls ([`Database::execute`], [`Database::query`],
+//! [`Database::fetch_co`]) go through the same plan cache, so hot statement
+//! text is compiled once regardless of which API level issues it.
+//!
 //! ```
-//! use xnf_core::Database;
+//! use xnf_core::{Database, Value};
 //!
 //! let db = Database::new();
 //! db.execute("CREATE TABLE DEPT (dno INT, dname VARCHAR(20), loc VARCHAR(10))").unwrap();
@@ -25,22 +32,36 @@
 //! db.execute("INSERT INTO DEPT VALUES (1, 'tools', 'ARC'), (2, 'apps', 'HDC')").unwrap();
 //! db.execute("INSERT INTO EMP VALUES (10, 'mia', 1), (11, 'ben', 2)").unwrap();
 //!
-//! let co = db
-//!     .fetch_co(
-//!         "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+//! // Prepare once: the parameterized point query compiles to a plan held
+//! // in the shared cache; each execute just binds and runs.
+//! let session = db.session();
+//! let mut by_eno = session.prepare("SELECT ename FROM EMP WHERE eno = ?").unwrap();
+//! by_eno.bind(&[Value::Int(10)]).unwrap();
+//! let r = by_eno.query().unwrap();
+//! assert_eq!(r.table().rows[0][0], Value::Str("mia".into()));
+//! by_eno.bind(&[Value::Int(11)]).unwrap();
+//! assert_eq!(by_eno.query().unwrap().table().rows[0][0], Value::Str("ben".into()));
+//!
+//! // Composite-object queries prepare the same way — here parameterized
+//! // over the department location in the TAKE restriction.
+//! let mut co_q = session
+//!     .prepare(
+//!         "OUT OF xdept AS (SELECT * FROM DEPT),
 //!                 xemp AS EMP,
 //!                 employment AS (RELATE xdept VIA EMPLOYS, xemp
 //!                                WHERE xdept.dno = xemp.edno)
-//!          TAKE *",
+//!          TAKE * WHERE xdept.loc = ?",
 //!     )
 //!     .unwrap();
+//! co_q.bind(&[Value::Str("ARC".into())]).unwrap();
+//! let co = co_q.fetch_co().unwrap();
 //! let dept = co.workspace.independent("xdept").unwrap().next().unwrap();
 //! let employees: Vec<String> = dept
 //!     .children("employment")
 //!     .unwrap()
-//!     .map(|e| e.get("ename").unwrap().to_string())
+//!     .map(|e| e.get_str("ename").unwrap().to_string())
 //!     .collect();
-//! assert_eq!(employees, vec!["'mia'"]);
+//! assert_eq!(employees, vec!["mia"]);
 //! ```
 
 pub mod cache;
@@ -50,6 +71,7 @@ pub mod db;
 pub mod error;
 pub mod persist;
 pub mod recursion;
+pub mod session;
 pub mod writeback;
 
 pub use cache::{
@@ -64,6 +86,7 @@ pub use co::CoCache;
 pub use db::{Database, DbConfig, ExecOutcome};
 pub use error::{Result, XnfError};
 pub use persist::{load_from_file, load_workspace, save_to_file, save_workspace};
+pub use session::{PlanCacheStats, Prepared, Session, SessionStats};
 pub use writeback::{derive_co_schema, write_back, BaseMap, CoSchema, CompMeta, RelMeta};
 
 // Re-export the lower layers for power users and the bench harness.
@@ -74,3 +97,5 @@ pub use xnf_storage::{DataType, Value};
 
 #[cfg(test)]
 mod core_tests;
+#[cfg(test)]
+mod session_tests;

@@ -66,7 +66,8 @@ pub fn save_workspace(ws: &Workspace, w: &mut impl Write) -> Result<()> {
             encode_values(row, &mut buf);
             write_u32(w, buf.len() as u32)?;
             w.write_all(&buf).map_err(io_err)?;
-            w.write_all(&[u8::from(c.is_deleted(i as TupleId))]).map_err(io_err)?;
+            w.write_all(&[u8::from(c.is_deleted(i as TupleId))])
+                .map_err(io_err)?;
         }
     }
     write_u32(w, ws.relationships.len() as u32)?;
@@ -119,7 +120,13 @@ pub fn load_workspace(r: &mut impl Read) -> Result<Workspace> {
         }
         ws.comp_by_name.insert(name.to_ascii_lowercase(), ci);
         let base_len = rows.len();
-        ws.components.push(Component { name, columns, rows, deleted, base_len });
+        ws.components.push(Component {
+            name,
+            columns,
+            rows,
+            deleted,
+            base_len,
+        });
     }
     let nrel = read_u32(r)? as usize;
     for ri in 0..nrel {
@@ -171,5 +178,3 @@ pub fn load_from_file(path: &std::path::Path) -> Result<Workspace> {
     let mut f = std::io::BufReader::new(std::fs::File::open(path).map_err(io_err)?);
     load_workspace(&mut f)
 }
-
-

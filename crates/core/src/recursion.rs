@@ -64,9 +64,13 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
     }
 
     // Roots: explicit, else nodes without incoming edges.
-    let has_explicit = defs.iter().any(|d| matches!(d, XnfDef::Table { root: true, .. }));
-    let children: HashSet<String> =
-        rels.iter().map(|r| r.children[0].to_ascii_lowercase()).collect();
+    let has_explicit = defs
+        .iter()
+        .any(|d| matches!(d, XnfDef::Table { root: true, .. }));
+    let children: HashSet<String> = rels
+        .iter()
+        .map(|r| r.children[0].to_ascii_lowercase())
+        .collect();
     for n in nodes.iter_mut() {
         let auto_root = !children.contains(&n.name.to_ascii_lowercase());
         let is_root = if has_explicit { n.root } else { auto_root };
@@ -76,7 +80,9 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
         }
     }
     if !nodes.iter().any(|n| n.root) {
-        return Err(XnfError::Api("recursive CO has no root component".to_string()));
+        return Err(XnfError::Api(
+            "recursive CO has no root component".to_string(),
+        ));
     }
 
     // Pre-compile relationship join machinery.
@@ -127,10 +133,15 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
         let mut using_rows: Vec<Vec<Row>> = Vec::new();
         for (t, alias) in &r.using {
             let table = db.catalog().table(t)?;
-            binding_names
-                .push(alias.as_deref().unwrap_or(t).to_ascii_lowercase());
-            binding_cols
-                .push(table.schema.columns().iter().map(|c| c.name.clone()).collect());
+            binding_names.push(alias.as_deref().unwrap_or(t).to_ascii_lowercase());
+            binding_cols.push(
+                table
+                    .schema
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect(),
+            );
             let mut rows = Vec::new();
             table.for_each(|_, tuple| {
                 rows.push(tuple.values);
@@ -179,7 +190,8 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
 
         // Which bindings does a conjunct touch? (max binding index decides
         // the step that can evaluate it.)
-        fn max_binding(e: &Expr, resolve: &dyn Fn(Option<&str>, &str) -> Result<(usize, usize)>) -> Result<usize> {
+        type ColResolver<'r> = dyn Fn(Option<&str>, &str) -> Result<(usize, usize)> + 'r;
+        fn max_binding(e: &Expr, resolve: &ColResolver<'_>) -> Result<usize> {
             let mut m = 0;
             let mut stack = vec![e];
             while let Some(x) = stack.pop() {
@@ -195,7 +207,9 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
                         stack.push(left);
                         stack.push(right);
                     }
-                    Expr::Between { expr, low, high, .. } => {
+                    Expr::Between {
+                        expr, low, high, ..
+                    } => {
                         stack.push(expr);
                         stack.push(low);
                         stack.push(high);
@@ -236,7 +250,12 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
                 }
                 // Equality `prefix_expr = binding.col` becomes a hash key.
                 let mut as_key = None;
-                if let Expr::Binary { left, op: BinOp::Eq, right } = cj {
+                if let Expr::Binary {
+                    left,
+                    op: BinOp::Eq,
+                    right,
+                } = cj
+                {
                     let lb = max_binding(left, &resolve)?;
                     let rb = max_binding(right, &resolve)?;
                     if rb == step_binding && lb < step_binding {
@@ -269,9 +288,18 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
                 let key: Vec<Value> = local_keys.iter().map(|&c| row[c].clone()).collect();
                 index.entry(key).or_default().push(i);
             }
-            steps.push(JoinStep { prefix_keys, index, residual });
+            steps.push(JoinStep {
+                prefix_keys,
+                index,
+                residual,
+            });
         }
-        engines.push(RelEngine { parent, child, using_rows, steps });
+        engines.push(RelEngine {
+            parent,
+            child,
+            using_rows,
+            steps,
+        });
     }
 
     // Semi-naive fixpoint.
@@ -303,7 +331,9 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
                         .map(|k| eval(&k.expr, prefix, &outer, &[]).map_err(XnfError::from))
                         .collect();
                     let key = key?;
-                    let Some(matches) = step.index.get(&key) else { continue };
+                    let Some(matches) = step.index.get(&key) else {
+                        continue;
+                    };
                     for &ci in matches {
                         let cand_row: &Row = if is_child_step {
                             &nodes[eng.child].rows[ci]
@@ -369,12 +399,14 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
     // Assemble streams honoring TAKE.
     let taken: Option<HashSet<String>> = match &q.take {
         XnfTake::All => None,
-        XnfTake::Items(items) => {
-            Some(items.iter().map(|i| i.name.to_ascii_lowercase()).collect())
-        }
+        XnfTake::Items(items) => Some(items.iter().map(|i| i.name.to_ascii_lowercase()).collect()),
     };
-    let is_taken =
-        |name: &str| taken.as_ref().map(|t| t.contains(&name.to_ascii_lowercase())).unwrap_or(true);
+    let is_taken = |name: &str| {
+        taken
+            .as_ref()
+            .map(|t| t.contains(&name.to_ascii_lowercase()))
+            .unwrap_or(true)
+    };
 
     let mut streams = Vec::new();
     for s in node_streams {
@@ -407,5 +439,8 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
             rows,
         });
     }
-    Ok(QueryResult { streams, stats: ExecStats::default() })
+    Ok(QueryResult {
+        streams,
+        stats: ExecStats::default(),
+    })
 }

@@ -1,0 +1,414 @@
+//! Sessions, prepared statements and the shared plan cache.
+//!
+//! The paper's premise is that SQL and `OUT OF … TAKE …` CO queries share
+//! one compilation pipeline (parser → QGM → rewrite → plan → QES). This
+//! module makes that pipeline *prepare-once/execute-many*: a [`Session`]
+//! compiles a statement into a [`Prepared`] handle holding the executable
+//! QEP and a parameter signature; repeated executions bind new parameter
+//! values and go straight to the QES. Compiled plans live in a shared LRU
+//! cache keyed by normalized statement text and are invalidated through the
+//! catalog's DDL generation counter, so `CREATE`/`DROP TABLE`/`VIEW` never
+//! serves a stale plan.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use xnf_exec::{Params, QueryResult};
+use xnf_plan::Qep;
+use xnf_sql::Statement;
+use xnf_storage::Value;
+
+use crate::cache::Workspace;
+use crate::co::CoCache;
+use crate::db::{Database, ExecOutcome};
+use crate::error::{Result, XnfError};
+use crate::writeback::derive_co_schema;
+
+// ---------------------------------------------------------------------------
+// statement normalization
+// ---------------------------------------------------------------------------
+
+/// Normalize statement text into a plan-cache key: collapse whitespace runs
+/// outside string literals, strip `--` comments and trailing semicolons.
+/// Two spellings of the same statement share one cache slot; string
+/// literals are preserved byte-for-byte.
+pub fn normalize_statement(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    let mut in_str = false;
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            out.push(c);
+            if c == '\'' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '\'' => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                in_str = true;
+                out.push(c);
+            }
+            '-' if chars.peek() == Some(&'-') => {
+                // Comment to end of line; acts as whitespace.
+                for c2 in chars.by_ref() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                }
+                pending_space = true;
+            }
+            c if c.is_whitespace() => pending_space = true,
+            c => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                out.push(c);
+            }
+        }
+    }
+    while out.ends_with(';') || out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// compiled statements + plan cache
+// ---------------------------------------------------------------------------
+
+/// How a compiled statement executes.
+#[derive(Debug)]
+pub(crate) enum CompiledBody {
+    /// SELECT or non-recursive XNF query lowered to an executable QEP.
+    Query(Arc<Qep>),
+    /// Recursive CO (cyclic schema graph): fixpoint evaluation re-derives
+    /// from the AST each run; there is no cacheable QEP.
+    RecursiveCo,
+    /// DDL/DML: executed by interpreting the parsed statement (the parse is
+    /// still cached, which matters for hot parameterized DML).
+    Statement,
+}
+
+/// A statement compiled down as far as its class allows, plus its parameter
+/// signature and the catalog generation it was compiled against.
+#[derive(Debug)]
+pub struct CompiledStmt {
+    pub(crate) stmt: Statement,
+    pub(crate) body: CompiledBody,
+    pub(crate) n_params: usize,
+    pub(crate) generation: u64,
+}
+
+impl CompiledStmt {
+    pub fn param_count(&self) -> usize {
+        self.n_params
+    }
+
+    pub(crate) fn stmt(&self) -> &Statement {
+        &self.stmt
+    }
+}
+
+/// Cumulative plan-cache counters (whole database, all sessions).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or only a stale entry).
+    pub misses: u64,
+    /// Entries dropped because the catalog generation moved past them.
+    pub invalidations: u64,
+    /// Full front-end compilations (parse → QGM → rewrite → plan).
+    pub compiles: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+/// Shared LRU plan cache keyed by normalized statement text.
+pub(crate) struct PlanCache {
+    capacity: usize,
+    /// key → (compiled, last-used tick).
+    entries: HashMap<String, (Arc<CompiledStmt>, u64)>,
+    tick: u64,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Look up `key`, treating entries from older catalog generations as
+    /// absent (and dropping them).
+    pub fn get(&mut self, key: &str, current_generation: u64) -> Option<Arc<CompiledStmt>> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((compiled, last_used)) if compiled.generation == current_generation => {
+                *last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(compiled))
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub fn insert(&mut self, key: String, compiled: Arc<CompiledStmt>) {
+        self.tick += 1;
+        self.stats.compiles += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // Evict the least-recently-used entry (linear scan: the cache is
+            // small and eviction is off the hot path).
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(key, (compiled, self.tick));
+    }
+
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// Per-session cache counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// `prepare` calls answered from the shared plan cache.
+    pub cache_hits: u64,
+    /// `prepare` calls that had to compile.
+    pub cache_misses: u64,
+}
+
+/// A lightweight connection handle: the unit of statement preparation.
+///
+/// Sessions share the database's plan cache, so a statement prepared in one
+/// session is a cache hit in every other. Obtain one with
+/// [`Database::session`].
+pub struct Session<'db> {
+    db: &'db Database,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl<'db> Session<'db> {
+    pub(crate) fn new(db: &'db Database) -> Self {
+        Session {
+            db,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// Compile `text` (SQL or `OUT OF … TAKE …`) into a [`Prepared`]
+    /// statement, reusing the shared plan cache when possible. `?`
+    /// placeholders become positional parameters to [`Prepared::bind`].
+    pub fn prepare(&self, text: &str) -> Result<Prepared<'db>> {
+        let key = normalize_statement(text);
+        let (compiled, hit) = self.db.compile_cached(&key)?;
+        if hit {
+            self.hits.set(self.hits.get() + 1);
+        } else {
+            self.misses.set(self.misses.get() + 1);
+        }
+        Ok(Prepared {
+            db: self.db,
+            key,
+            compiled,
+            params: Params::default(),
+        })
+    }
+
+    /// One-shot convenience: prepare (through the cache), bind, execute.
+    pub fn execute(&self, text: &str, params: &[Value]) -> Result<ExecOutcome> {
+        let mut prepared = self.prepare(text)?;
+        if !params.is_empty() || prepared.param_count() > 0 {
+            prepared.bind(params)?;
+        }
+        prepared.execute()
+    }
+
+    /// One-shot query convenience returning the result streams.
+    pub fn query(&self, text: &str, params: &[Value]) -> Result<QueryResult> {
+        self.execute(text, params)?.try_rows()
+    }
+
+    /// This session's cache counters (prepare-time hits/misses).
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            cache_hits: self.hits.get(),
+            cache_misses: self.misses.get(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepared
+// ---------------------------------------------------------------------------
+
+/// A prepared statement: compiled plan + parameter signature + current
+/// bindings. Re-validated against the catalog's DDL generation on every
+/// execution, so dropping/recreating a table transparently recompiles.
+pub struct Prepared<'db> {
+    db: &'db Database,
+    /// Normalized statement text (the plan-cache key).
+    key: String,
+    compiled: Arc<CompiledStmt>,
+    /// Current bindings, shared with the executor without re-copying.
+    params: Params,
+}
+
+impl<'db> Prepared<'db> {
+    /// Number of `?` placeholders in the statement.
+    pub fn param_count(&self) -> usize {
+        self.compiled.n_params
+    }
+
+    /// The normalized statement text this handle was prepared from.
+    pub fn text(&self) -> &str {
+        &self.key
+    }
+
+    /// Bind positional parameter values (must match the placeholder count).
+    pub fn bind(&mut self, params: &[Value]) -> Result<&mut Self> {
+        if params.len() != self.compiled.n_params {
+            return Err(XnfError::Api(format!(
+                "statement takes {} parameter(s), {} bound",
+                self.compiled.n_params,
+                params.len()
+            )));
+        }
+        self.params = Arc::new(params.to_vec());
+        Ok(self)
+    }
+
+    /// Re-validate against DDL and execute with the current bindings.
+    pub fn execute(&mut self) -> Result<ExecOutcome> {
+        self.revalidate()?;
+        if self.params.len() != self.compiled.n_params {
+            return Err(XnfError::Api(format!(
+                "statement takes {} parameter(s), {} bound — call bind() first",
+                self.compiled.n_params,
+                self.params.len()
+            )));
+        }
+        self.db
+            .execute_compiled(&self.compiled, Arc::clone(&self.params))
+    }
+
+    /// Bind and execute in one call.
+    pub fn execute_with(&mut self, params: &[Value]) -> Result<ExecOutcome> {
+        self.bind(params)?;
+        self.execute()
+    }
+
+    /// Execute, expecting result rows (SELECT / `OUT OF`).
+    pub fn query(&mut self) -> Result<QueryResult> {
+        self.execute()?.try_rows()
+    }
+
+    /// For a prepared `OUT OF … TAKE …` query: execute and load the result
+    /// into a client-side CO cache (the prepared counterpart of
+    /// [`Database::fetch_co`]).
+    pub fn fetch_co(&mut self) -> Result<CoCache> {
+        let result = self.query()?;
+        let query = match &self.compiled.stmt {
+            Statement::Xnf(q) => q.clone(),
+            _ => {
+                return Err(XnfError::Api(
+                    "fetch_co() requires a prepared OUT OF query".to_string(),
+                ))
+            }
+        };
+        let workspace = Workspace::from_result(&result)?;
+        let schema = derive_co_schema(self.db, &query)?;
+        Ok(CoCache {
+            workspace,
+            schema,
+            query,
+            params: Arc::clone(&self.params),
+        })
+    }
+
+    /// If DDL moved the catalog generation since this plan was compiled,
+    /// recompile (through the shared cache).
+    fn revalidate(&mut self) -> Result<()> {
+        if self.compiled.generation != self.db.catalog().generation() {
+            let n_before = self.compiled.n_params;
+            let (compiled, _) = self.db.compile_cached(&self.key)?;
+            if compiled.n_params != n_before {
+                self.params = Params::default();
+            }
+            self.compiled = compiled;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_collapses_whitespace_only_outside_strings() {
+        assert_eq!(
+            normalize_statement("SELECT  *\n FROM   EMP  WHERE x = 'a  b' ; "),
+            "SELECT * FROM EMP WHERE x = 'a  b'"
+        );
+        assert_eq!(
+            normalize_statement("SELECT 1 -- trailing comment\n FROM t"),
+            "SELECT 1 FROM t"
+        );
+        assert_eq!(normalize_statement("  SELECT 1;"), "SELECT 1");
+    }
+
+    #[test]
+    fn equivalent_spellings_share_a_key() {
+        let a = normalize_statement("SELECT * FROM EMP WHERE eno = ?");
+        let b = normalize_statement("SELECT *\n  FROM EMP\n  WHERE eno = ?;");
+        assert_eq!(a, b);
+    }
+}

@@ -86,11 +86,15 @@ pub struct CoSchema {
 
 impl CoSchema {
     pub fn component(&self, name: &str) -> Option<&CompMeta> {
-        self.components.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+        self.components
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     pub fn relationship(&self, name: &str) -> Option<&RelMeta> {
-        self.relationships.iter().find(|r| r.name().eq_ignore_ascii_case(name))
+        self.relationships
+            .iter()
+            .find(|r| r.name().eq_ignore_ascii_case(name))
     }
 }
 
@@ -106,10 +110,15 @@ pub fn derive_co_schema(db: &Database, q: &XnfQuery) -> Result<CoSchema> {
             XnfDef::Table { name, select, .. } => {
                 let base = analyze_simple_view(db, select);
                 comp_by_name.insert(name.to_ascii_lowercase(), schema.components.len());
-                schema.components.push(CompMeta { name: name.clone(), base });
+                schema.components.push(CompMeta {
+                    name: name.clone(),
+                    base,
+                });
             }
             XnfDef::Relationship(rel) => {
-                schema.relationships.push(analyze_relationship(db, rel, &schema, &comp_by_name));
+                schema
+                    .relationships
+                    .push(analyze_relationship(db, rel, &schema, &comp_by_name));
             }
             XnfDef::ViewRef { .. } => unreachable!("flattened"),
         }
@@ -139,8 +148,15 @@ pub(crate) fn flatten_defs(
                 let stmt = parse_statement(&view.text)?;
                 let inner = match stmt {
                     Statement::Xnf(q) => q,
-                    Statement::CreateView { body: ViewBody::Xnf(q), .. } => q,
-                    _ => return Err(XnfError::Api(format!("view '{name}' is not an OUT OF query"))),
+                    Statement::CreateView {
+                        body: ViewBody::Xnf(q),
+                        ..
+                    } => q,
+                    _ => {
+                        return Err(XnfError::Api(format!(
+                            "view '{name}' is not an OUT OF query"
+                        )))
+                    }
                 };
                 flatten_defs(db, &inner.defs, out, depth + 1)?;
             }
@@ -172,13 +188,19 @@ fn analyze_simple_view(db: &Database, select: &xnf_sql::Select) -> Option<BaseMa
             SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
                 columns.extend(0..table.schema.len());
             }
-            SelectItem::Expr { expr: Expr::Column { name: c, .. }, .. } => {
+            SelectItem::Expr {
+                expr: Expr::Column { name: c, .. },
+                ..
+            } => {
                 columns.push(table.schema.index_of(c)?);
             }
             _ => return None,
         }
     }
-    Some(BaseMap { table: table.name.clone(), columns })
+    Some(BaseMap {
+        table: table.name.clone(),
+        columns,
+    })
 }
 
 /// Classify a relationship as FK-based, connect-table-based or general.
@@ -188,7 +210,9 @@ fn analyze_relationship(
     schema: &CoSchema,
     comp_by_name: &HashMap<String, usize>,
 ) -> RelMeta {
-    let general = RelMeta::General { name: rel.name.clone() };
+    let general = RelMeta::General {
+        name: rel.name.clone(),
+    };
     if rel.children.len() != 1 {
         return general;
     }
@@ -197,7 +221,11 @@ fn analyze_relationship(
 
     // Column resolver: qualifier must be parent/child/using-alias.
     let side_of = |e: &Expr| -> Option<(char, String)> {
-        if let Expr::Column { qualifier: Some(q), name } = e {
+        if let Expr::Column {
+            qualifier: Some(q),
+            name,
+        } = e
+        {
             if q.eq_ignore_ascii_case(&rel.parent) {
                 return Some(('p', name.clone()));
             }
@@ -207,9 +235,7 @@ fn analyze_relationship(
             if rel
                 .using
                 .first()
-                .map(|(t, a)| {
-                    q.eq_ignore_ascii_case(a.as_deref().unwrap_or(t))
-                })
+                .map(|(t, a)| q.eq_ignore_ascii_case(a.as_deref().unwrap_or(t)))
                 .unwrap_or(false)
             {
                 return Some(('m', name.clone()));
@@ -218,7 +244,12 @@ fn analyze_relationship(
         None
     };
     let eq_sides = |e: &Expr| -> Option<((char, String), (char, String))> {
-        if let Expr::Binary { left, op: BinOp::Eq, right } = e {
+        if let Expr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } = e
+        {
             Some((side_of(left)?, side_of(right)?))
         } else {
             None
@@ -246,7 +277,11 @@ fn analyze_relationship(
                 _ => return general,
             };
             if let (Some(pc), Some(cc)) = (comp_col(&rel.parent, &p), comp_col(child, &c)) {
-                return RelMeta::ForeignKey { name: rel.name.clone(), parent_col: pc, child_col: cc };
+                return RelMeta::ForeignKey {
+                    name: rel.name.clone(),
+                    parent_col: pc,
+                    child_col: cc,
+                };
             }
         }
         return general;
@@ -329,7 +364,12 @@ fn apply_changes(
     let mut ops = 0;
     for change in changes {
         match change {
-            Change::Update { comp, id: _, old, new } => {
+            Change::Update {
+                comp,
+                id: _,
+                old,
+                new,
+            } => {
                 let meta = &schema.components[*comp];
                 let base = updatable(meta)?;
                 update_base_row(db, base, old, new)?;
@@ -452,7 +492,11 @@ fn apply_connect(
     let parent_row = ws.components[r.parent].row(conn[0]);
     let child_row = ws.components[r.children[0]].row(conn[1]);
     match meta {
-        RelMeta::ForeignKey { parent_col, child_col, .. } => {
+        RelMeta::ForeignKey {
+            parent_col,
+            child_col,
+            ..
+        } => {
             // Update the child's FK column to the parent key (or NULL). The
             // cached FK value may be stale (a preceding disconnect already
             // rewrote it in the base), so match ignoring the FK column.
@@ -461,13 +505,23 @@ fn apply_connect(
             let rid = find_base_rid_masked(db, base, child_row, &[*child_col])?;
             let t = db.catalog().table(&base.table)?;
             let mut tuple = t.get(rid)?;
-            tuple.values[base.columns[*child_col]] =
-                if connect { parent_row[*parent_col].clone() } else { Value::Null };
+            tuple.values[base.columns[*child_col]] = if connect {
+                parent_row[*parent_col].clone()
+            } else {
+                Value::Null
+            };
             let (old_tuple, new_rid) = t.update(rid, &tuple)?;
             db.log_update(&t, new_rid, old_tuple);
             Ok(())
         }
-        RelMeta::ConnectTable { table, parent_col, child_col, m_parent_col, m_child_col, .. } => {
+        RelMeta::ConnectTable {
+            table,
+            parent_col,
+            child_col,
+            m_parent_col,
+            m_child_col,
+            ..
+        } => {
             let t = db.catalog().table(table)?;
             if connect {
                 let mut values = vec![Value::Null; t.schema.len()];
@@ -479,8 +533,12 @@ fn apply_connect(
                 // Delete one matching mapping row.
                 let mut target = None;
                 t.for_each(|rid, tuple| {
-                    if tuple.values[*m_parent_col].total_cmp(&parent_row[*parent_col]).is_eq()
-                        && tuple.values[*m_child_col].total_cmp(&child_row[*child_col]).is_eq()
+                    if tuple.values[*m_parent_col]
+                        .total_cmp(&parent_row[*parent_col])
+                        .is_eq()
+                        && tuple.values[*m_child_col]
+                            .total_cmp(&child_row[*child_col])
+                            .is_eq()
                     {
                         target = Some(rid);
                         Ok(false)
@@ -489,7 +547,9 @@ fn apply_connect(
                     }
                 })?;
                 let rid = target.ok_or_else(|| {
-                    XnfError::Api(format!("write-back conflict: mapping row missing in '{table}'"))
+                    XnfError::Api(format!(
+                        "write-back conflict: mapping row missing in '{table}'"
+                    ))
                 })?;
                 let old = t.delete(rid)?;
                 db.log_delete(&t, old);

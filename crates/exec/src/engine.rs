@@ -8,7 +8,7 @@ use xnf_qgm::OutputKind;
 use xnf_storage::Catalog;
 
 use crate::error::Result;
-use crate::eval::Row;
+use crate::eval::{Params, Row};
 use crate::ops::{build_operator, drain, ExecStats, Runtime};
 
 /// One delivered output stream.
@@ -39,13 +39,25 @@ impl QueryResult {
 
     /// Find a stream by name.
     pub fn stream(&self, name: &str) -> Option<&StreamResult> {
-        self.streams.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+        self.streams
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
     }
 }
 
 /// Execute a QEP against a catalog.
 pub fn execute_qep(catalog: &Catalog, qep: &Qep) -> Result<QueryResult> {
-    let mut rt = Runtime::new(catalog);
+    execute_qep_with_params(catalog, qep, Params::default())
+}
+
+/// Execute a QEP with prepared-statement parameter bindings resolved at
+/// `eval` time (the prepare-once/execute-many path).
+pub fn execute_qep_with_params(
+    catalog: &Catalog,
+    qep: &Qep,
+    params: Params,
+) -> Result<QueryResult> {
+    let mut rt = Runtime::with_params(catalog, params);
     // Materialise shared subplans in id order (ids are topologically
     // sorted: a shared plan only references lower ids).
     for plan in &qep.shared {
@@ -80,7 +92,17 @@ fn run_output(rt: &mut Runtime<'_>, out: &QepOutput) -> Result<StreamResult> {
 /// … become[s] automatically available to XNF"): the heterogeneous output
 /// streams are independent once the common subexpressions exist.
 pub fn execute_qep_parallel(catalog: &Catalog, qep: &Qep) -> Result<QueryResult> {
-    let mut rt = Runtime::new(catalog);
+    execute_qep_parallel_with_params(catalog, qep, Params::default())
+}
+
+/// [`execute_qep_parallel`] with a parameter binding table shared across the
+/// stream threads.
+pub fn execute_qep_parallel_with_params(
+    catalog: &Catalog,
+    qep: &Qep,
+    params: Params,
+) -> Result<QueryResult> {
+    let mut rt = Runtime::with_params(catalog, params.clone());
     for plan in &qep.shared {
         let mut op = build_operator(plan);
         let rows = drain(op.as_mut(), &mut rt)?;
@@ -89,22 +111,25 @@ pub fn execute_qep_parallel(catalog: &Catalog, qep: &Qep) -> Result<QueryResult>
     let shared = rt.shared.clone();
     let base_stats = rt.stats;
 
-    let joined: Vec<Result<(StreamResult, ExecStats)>> = crossbeam::thread::scope(|scope| {
+    let joined: Vec<Result<(StreamResult, ExecStats)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = qep
             .outputs
             .iter()
             .map(|out| {
                 let shared = shared.clone();
-                scope.spawn(move |_| {
-                    let mut rt = Runtime::new(catalog);
+                let params = params.clone();
+                scope.spawn(move || {
+                    let mut rt = Runtime::with_params(catalog, params);
                     rt.shared = shared;
                     run_output(&mut rt, out).map(|sr| (sr, rt.stats))
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("stream thread panicked")).collect()
-    })
-    .expect("crossbeam scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stream thread panicked"))
+            .collect()
+    });
 
     let mut streams = Vec::with_capacity(joined.len());
     let mut stats = base_stats;

@@ -1,6 +1,7 @@
 //! Physical expression evaluation with SQL three-valued logic.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use xnf_plan::PhysExpr;
 use xnf_qgm::QunId;
@@ -12,8 +13,61 @@ use crate::error::{ExecError, Result};
 /// A runtime row.
 pub type Row = Vec<Value>;
 
-/// Correlation bindings: outer quantifier → its current row.
-pub type OuterCtx = HashMap<QunId, Row>;
+/// Prepared-statement parameter bindings, positional. Shared (`Arc`) so the
+/// parallel extraction path can hand the same table to every stream thread.
+pub type Params = Arc<Vec<Value>>;
+
+/// Evaluation context: correlation bindings (outer quantifier → its current
+/// row) plus the parameter binding table for [`PhysExpr::Param`] slots.
+#[derive(Debug, Clone, Default)]
+pub struct OuterCtx {
+    rows: HashMap<QunId, Row>,
+    params: Params,
+}
+
+impl OuterCtx {
+    pub fn new() -> Self {
+        OuterCtx::default()
+    }
+
+    /// A context with parameter bindings (prepared-statement execution).
+    pub fn with_params(params: Params) -> Self {
+        OuterCtx {
+            rows: HashMap::new(),
+            params,
+        }
+    }
+
+    pub fn get(&self, qun: &QunId) -> Option<&Row> {
+        self.rows.get(qun)
+    }
+
+    pub fn insert(&mut self, qun: QunId, row: Row) -> Option<Row> {
+        self.rows.insert(qun, row)
+    }
+
+    pub fn remove(&mut self, qun: &QunId) -> Option<Row> {
+        self.rows.remove(qun)
+    }
+
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    pub fn set_params(&mut self, params: Params) {
+        self.params = params;
+    }
+
+    fn param(&self, i: usize) -> Result<&Value> {
+        self.params.get(i).ok_or_else(|| {
+            ExecError::MissingBinding(format!(
+                "parameter ?{} (only {} bound)",
+                i + 1,
+                self.params.len()
+            ))
+        })
+    }
+}
 
 /// Evaluate `expr` against `row` (and `outer` correlation bindings).
 /// `aggs` resolves [`PhysExpr::AggRef`] slots inside aggregate output
@@ -21,10 +75,10 @@ pub type OuterCtx = HashMap<QunId, Row>;
 pub fn eval(expr: &PhysExpr, row: &[Value], outer: &OuterCtx, aggs: &[Value]) -> Result<Value> {
     Ok(match expr {
         PhysExpr::Literal(v) => v.clone(),
-        PhysExpr::Col(i) => row
-            .get(*i)
-            .cloned()
-            .ok_or_else(|| ExecError::Type(format!("row has no slot #{i} (width {})", row.len())))?,
+        PhysExpr::Param(i) => outer.param(*i)?.clone(),
+        PhysExpr::Col(i) => row.get(*i).cloned().ok_or_else(|| {
+            ExecError::Type(format!("row has no slot #{i} (width {})", row.len()))
+        })?,
         PhysExpr::Outer { qun, col } => {
             let r = outer
                 .get(qun)
@@ -42,20 +96,22 @@ pub fn eval(expr: &PhysExpr, row: &[Value], outer: &OuterCtx, aggs: &[Value]) ->
             match op {
                 UnaryOp::Neg => match v {
                     Value::Null => Value::Null,
-                    Value::Int(i) => {
-                        Value::Int(i.checked_neg().ok_or(ExecError::Arithmetic("negate overflow"))?)
-                    }
+                    Value::Int(i) => Value::Int(
+                        i.checked_neg()
+                            .ok_or(ExecError::Arithmetic("negate overflow"))?,
+                    ),
                     Value::Double(d) => Value::Double(-d),
                     other => {
-                        return Err(ExecError::Type(format!("cannot negate {}", other.type_name())))
+                        return Err(ExecError::Type(format!(
+                            "cannot negate {}",
+                            other.type_name()
+                        )))
                     }
                 },
                 UnaryOp::Not => match v {
                     Value::Null => Value::Null,
                     Value::Bool(b) => Value::Bool(!b),
-                    other => {
-                        return Err(ExecError::Type(format!("NOT of {}", other.type_name())))
-                    }
+                    other => return Err(ExecError::Type(format!("NOT of {}", other.type_name()))),
                 },
             }
         }
@@ -72,17 +128,23 @@ pub fn eval(expr: &PhysExpr, row: &[Value], outer: &OuterCtx, aggs: &[Value]) ->
             let v = eval(expr, row, outer, aggs)?;
             Value::Bool(v.is_null() != *negated)
         }
-        PhysExpr::Like { expr, pattern, negated } => {
+        PhysExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(expr, row, outer, aggs)?;
             match v {
                 Value::Null => Value::Null,
                 Value::Str(s) => Value::Bool(like_match(&s, pattern) != *negated),
-                other => {
-                    return Err(ExecError::Type(format!("LIKE on {}", other.type_name())))
-                }
+                other => return Err(ExecError::Type(format!("LIKE on {}", other.type_name()))),
             }
         }
-        PhysExpr::InList { expr, list, negated } => {
+        PhysExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, row, outer, aggs)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -153,7 +215,10 @@ fn to_tri(v: Value) -> Result<Option<bool>> {
     match v {
         Value::Null => Ok(None),
         Value::Bool(b) => Ok(Some(b)),
-        other => Err(ExecError::Type(format!("boolean expected, got {}", other.type_name()))),
+        other => Err(ExecError::Type(format!(
+            "boolean expected, got {}",
+            other.type_name()
+        ))),
     }
 }
 
@@ -202,15 +267,17 @@ fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
                         }
                         _ => unreachable!(),
                     };
-                    Ok(Value::Int(v.ok_or(ExecError::Arithmetic("integer overflow"))?))
+                    Ok(Value::Int(
+                        v.ok_or(ExecError::Arithmetic("integer overflow"))?,
+                    ))
                 }
                 _ => {
-                    let a = l.as_double().map_err(|_| {
-                        ExecError::Type(format!("arithmetic on {}", l.type_name()))
-                    })?;
-                    let b = r.as_double().map_err(|_| {
-                        ExecError::Type(format!("arithmetic on {}", r.type_name()))
-                    })?;
+                    let a = l
+                        .as_double()
+                        .map_err(|_| ExecError::Type(format!("arithmetic on {}", l.type_name())))?;
+                    let b = r
+                        .as_double()
+                        .map_err(|_| ExecError::Type(format!("arithmetic on {}", r.type_name())))?;
                     let v = match op {
                         Add => a + b,
                         Sub => a - b,
@@ -234,7 +301,8 @@ fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
 
 fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
     let arg = |i: usize| -> Result<&Value> {
-        args.get(i).ok_or_else(|| ExecError::Type(format!("{func} needs argument {i}")))
+        args.get(i)
+            .ok_or_else(|| ExecError::Type(format!("{func} needs argument {i}")))
     };
     let v = arg(0)?;
     if v.is_null() {
@@ -242,13 +310,18 @@ fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
     }
     Ok(match func {
         ScalarFunc::Abs => match v {
-            Value::Int(i) => Value::Int(i.checked_abs().ok_or(ExecError::Arithmetic("abs overflow"))?),
+            Value::Int(i) => Value::Int(
+                i.checked_abs()
+                    .ok_or(ExecError::Arithmetic("abs overflow"))?,
+            ),
             Value::Double(d) => Value::Double(d.abs()),
             other => return Err(ExecError::Type(format!("ABS of {}", other.type_name()))),
         },
         ScalarFunc::Upper => Value::Str(v.as_str().map_err(ExecError::from)?.to_uppercase()),
         ScalarFunc::Lower => Value::Str(v.as_str().map_err(ExecError::from)?.to_lowercase()),
-        ScalarFunc::Length => Value::Int(v.as_str().map_err(ExecError::from)?.chars().count() as i64),
+        ScalarFunc::Length => {
+            Value::Int(v.as_str().map_err(ExecError::from)?.chars().count() as i64)
+        }
     })
 }
 
@@ -294,7 +367,11 @@ mod tests {
     }
 
     fn b(l: PhysExpr, op: BinOp, r: PhysExpr) -> PhysExpr {
-        PhysExpr::Binary { left: Box::new(l), op, right: Box::new(r) }
+        PhysExpr::Binary {
+            left: Box::new(l),
+            op,
+            right: Box::new(r),
+        }
     }
 
     fn ev(e: &PhysExpr) -> Value {
@@ -304,9 +381,18 @@ mod tests {
     #[test]
     fn arithmetic_and_promotion() {
         assert_eq!(ev(&b(lit(2i64), BinOp::Add, lit(3i64))), Value::Int(5));
-        assert_eq!(ev(&b(lit(2i64), BinOp::Mul, lit(2.5f64))), Value::Double(5.0));
+        assert_eq!(
+            ev(&b(lit(2i64), BinOp::Mul, lit(2.5f64))),
+            Value::Double(5.0)
+        );
         assert_eq!(ev(&b(lit(7i64), BinOp::Div, lit(2i64))), Value::Int(3));
-        assert!(eval(&b(lit(1i64), BinOp::Div, lit(0i64)), &[], &OuterCtx::new(), &[]).is_err());
+        assert!(eval(
+            &b(lit(1i64), BinOp::Div, lit(0i64)),
+            &[],
+            &OuterCtx::new(),
+            &[]
+        )
+        .is_err());
     }
 
     #[test]
@@ -315,16 +401,25 @@ mod tests {
         assert_eq!(ev(&b(null.clone(), BinOp::Add, lit(1i64))), Value::Null);
         assert_eq!(ev(&b(null.clone(), BinOp::Eq, lit(1i64))), Value::Null);
         // Kleene logic.
-        assert_eq!(ev(&b(null.clone(), BinOp::And, lit(false))), Value::Bool(false));
+        assert_eq!(
+            ev(&b(null.clone(), BinOp::And, lit(false))),
+            Value::Bool(false)
+        );
         assert_eq!(ev(&b(null.clone(), BinOp::And, lit(true))), Value::Null);
-        assert_eq!(ev(&b(null.clone(), BinOp::Or, lit(true))), Value::Bool(true));
+        assert_eq!(
+            ev(&b(null.clone(), BinOp::Or, lit(true))),
+            Value::Bool(true)
+        );
         assert_eq!(ev(&b(null, BinOp::Or, lit(false))), Value::Null);
     }
 
     #[test]
     fn comparisons() {
         assert_eq!(ev(&b(lit("a"), BinOp::Lt, lit("b"))), Value::Bool(true));
-        assert_eq!(ev(&b(lit(2i64), BinOp::GtEq, lit(2.0f64))), Value::Bool(true));
+        assert_eq!(
+            ev(&b(lit(2i64), BinOp::GtEq, lit(2.0f64))),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -361,21 +456,51 @@ mod tests {
         let e = PhysExpr::Outer { qun: 7, col: 0 };
         assert_eq!(eval(&e, &[], &outer, &[]).unwrap(), Value::Int(42));
         let missing = PhysExpr::Outer { qun: 8, col: 0 };
-        assert!(matches!(eval(&missing, &[], &outer, &[]), Err(ExecError::MissingBinding(_))));
+        assert!(matches!(
+            eval(&missing, &[], &outer, &[]),
+            Err(ExecError::MissingBinding(_))
+        ));
+    }
+
+    #[test]
+    fn param_references() {
+        use std::sync::Arc;
+        let ctx = OuterCtx::with_params(Arc::new(vec![Value::Int(7), Value::Str("x".into())]));
+        assert_eq!(
+            eval(&PhysExpr::Param(0), &[], &ctx, &[]).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            eval(&PhysExpr::Param(1), &[], &ctx, &[]).unwrap(),
+            Value::Str("x".into())
+        );
+        assert!(matches!(
+            eval(&PhysExpr::Param(2), &[], &ctx, &[]),
+            Err(ExecError::MissingBinding(_))
+        ));
     }
 
     #[test]
     fn scalar_functions() {
         assert_eq!(
-            ev(&PhysExpr::Func { func: ScalarFunc::Upper, args: vec![lit("arc")] }),
+            ev(&PhysExpr::Func {
+                func: ScalarFunc::Upper,
+                args: vec![lit("arc")]
+            }),
             Value::Str("ARC".into())
         );
         assert_eq!(
-            ev(&PhysExpr::Func { func: ScalarFunc::Length, args: vec![lit("héllo")] }),
+            ev(&PhysExpr::Func {
+                func: ScalarFunc::Length,
+                args: vec![lit("héllo")]
+            }),
             Value::Int(5)
         );
         assert_eq!(
-            ev(&PhysExpr::Func { func: ScalarFunc::Abs, args: vec![lit(-3i64)] }),
+            ev(&PhysExpr::Func {
+                func: ScalarFunc::Abs,
+                args: vec![lit(-3i64)]
+            }),
             Value::Int(3)
         );
     }

@@ -19,7 +19,11 @@ fn fig1_db() -> Catalog {
     let dept = cat
         .create_table(
             "DEPT",
-            Schema::from_pairs(&[("dno", DataType::Int), ("dname", DataType::Str), ("loc", DataType::Str)]),
+            Schema::from_pairs(&[
+                ("dno", DataType::Int),
+                ("dname", DataType::Str),
+                ("loc", DataType::Str),
+            ]),
         )
         .unwrap();
     let emp = cat
@@ -36,11 +40,18 @@ fn fig1_db() -> Catalog {
     let proj = cat
         .create_table(
             "PROJ",
-            Schema::from_pairs(&[("pno", DataType::Int), ("pname", DataType::Str), ("pdno", DataType::Int)]),
+            Schema::from_pairs(&[
+                ("pno", DataType::Int),
+                ("pname", DataType::Str),
+                ("pdno", DataType::Int),
+            ]),
         )
         .unwrap();
     let skills = cat
-        .create_table("SKILLS", Schema::from_pairs(&[("sno", DataType::Int), ("sname", DataType::Str)]))
+        .create_table(
+            "SKILLS",
+            Schema::from_pairs(&[("sno", DataType::Int), ("sname", DataType::Str)]),
+        )
         .unwrap();
     let es = cat
         .create_table(
@@ -58,12 +69,16 @@ fn fig1_db() -> Catalog {
     let rows: Vec<(i64, &str, &str)> =
         vec![(1, "tools", "ARC"), (2, "db", "ARC"), (3, "apps", "HDC")];
     for (dno, dname, loc) in rows {
-        dept.insert(&Tuple::new(vec![dno.into(), dname.into(), loc.into()])).unwrap();
+        dept.insert(&Tuple::new(vec![dno.into(), dname.into(), loc.into()]))
+            .unwrap();
     }
     // e1,e2 in d1; e3 in d2; e4 in d3 (not ARC).
-    for (eno, ename, edno, sal) in
-        [(1, "e1", 1, 100.0), (2, "e2", 1, 120.0), (3, "e3", 2, 90.0), (4, "e4", 3, 80.0)]
-    {
+    for (eno, ename, edno, sal) in [
+        (1, "e1", 1, 100.0),
+        (2, "e2", 1, 120.0),
+        (3, "e3", 2, 90.0),
+        (4, "e4", 3, 80.0),
+    ] {
         emp.insert(&Tuple::new(vec![
             Value::Int(eno),
             ename.into(),
@@ -74,19 +89,28 @@ fn fig1_db() -> Catalog {
     }
     // p1 in d1, p2 in d2, p3 in d3.
     for (pno, pname, pdno) in [(1, "p1", 1), (2, "p2", 2), (3, "p3", 3)] {
-        proj.insert(&Tuple::new(vec![Value::Int(pno), pname.into(), Value::Int(pdno)])).unwrap();
+        proj.insert(&Tuple::new(vec![
+            Value::Int(pno),
+            pname.into(),
+            Value::Int(pdno),
+        ]))
+        .unwrap();
     }
     for (sno, sname) in [(1, "s1"), (2, "s2"), (3, "s3"), (4, "s4"), (5, "s5")] {
-        skills.insert(&Tuple::new(vec![Value::Int(sno), sname.into()])).unwrap();
+        skills
+            .insert(&Tuple::new(vec![Value::Int(sno), sname.into()]))
+            .unwrap();
     }
     // Employee skills: e1->s1, e2->s3, e3->s3 (shared), e4->s2? No: s2 must
     // stay unreachable, so e4 (non-ARC) holds s2's only link.
     for (e, s) in [(1, 1), (2, 3), (3, 3), (4, 2)] {
-        es.insert(&Tuple::new(vec![Value::Int(e), Value::Int(s)])).unwrap();
+        es.insert(&Tuple::new(vec![Value::Int(e), Value::Int(s)]))
+            .unwrap();
     }
     // Project skills: p1->s4, p2->s3 (shared with employees), p2->s5.
     for (p, s) in [(1, 4), (2, 3), (2, 5)] {
-        ps.insert(&Tuple::new(vec![Value::Int(p), Value::Int(s)])).unwrap();
+        ps.insert(&Tuple::new(vec![Value::Int(p), Value::Int(s)]))
+            .unwrap();
     }
     for t in ["DEPT", "EMP", "PROJ", "SKILLS", "EMPSKILLS", "PROJSKILLS"] {
         cat.table(t).unwrap().analyze().unwrap();
@@ -120,8 +144,12 @@ pub fn run_xnf(cat: &Catalog, text: &str) -> QueryResult {
 }
 
 fn ints(result: &QueryResult, col: usize) -> Vec<i64> {
-    let mut v: Vec<i64> =
-        result.table().rows.iter().map(|r| r[col].as_int().unwrap()).collect();
+    let mut v: Vec<i64> = result
+        .table()
+        .rows
+        .iter()
+        .map(|r| r[col].as_int().unwrap())
+        .collect();
     v.sort();
     v
 }
@@ -151,13 +179,22 @@ fn exists_rewritten_equals_naive() {
     let naive = run_sql_opts(
         &cat,
         sql,
-        RewriteOptions { e_to_f: false, simplify: true },
+        RewriteOptions {
+            e_to_f: false,
+            simplify: true,
+        },
         PlanOptions::default(),
     );
     assert_eq!(ints(&fast, 0), vec![1, 2, 3]);
     assert_eq!(ints(&naive, 0), vec![1, 2, 3]);
-    assert!(naive.stats.subquery_invocations >= 4, "naive mode runs per-tuple subqueries");
-    assert_eq!(fast.stats.subquery_invocations, 0, "rewritten mode is set-oriented");
+    assert!(
+        naive.stats.subquery_invocations >= 4,
+        "naive mode runs per-tuple subqueries"
+    );
+    assert_eq!(
+        fast.stats.subquery_invocations, 0,
+        "rewritten mode is set-oriented"
+    );
 }
 
 #[test]
@@ -182,11 +219,15 @@ fn in_subquery() {
         &cat,
         "SELECT ename FROM EMP WHERE edno IN (SELECT dno FROM DEPT WHERE loc = 'ARC') ORDER BY ename",
     );
-    let names: Vec<&str> = r.table().rows.iter().map(|r| match &r[0] {
-        Value::Str(s) => s.as_str(),
-        _ => panic!(),
-    })
-    .collect();
+    let names: Vec<&str> = r
+        .table()
+        .rows
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Str(s) => s.as_str(),
+            _ => panic!(),
+        })
+        .collect();
     assert_eq!(names, vec!["e1", "e2", "e3"]);
 }
 
@@ -207,7 +248,10 @@ fn group_by_having() {
 #[test]
 fn aggregates_without_group() {
     let cat = fig1_db();
-    let r = run_sql(&cat, "SELECT COUNT(*), MIN(sal), MAX(sal), SUM(eno) FROM EMP");
+    let r = run_sql(
+        &cat,
+        "SELECT COUNT(*), MIN(sal), MAX(sal), SUM(eno) FROM EMP",
+    );
     let row = &r.table().rows[0];
     assert_eq!(row[0], Value::Int(4));
     assert_eq!(row[1], Value::Double(80.0));
@@ -229,9 +273,15 @@ fn count_distinct() {
 #[test]
 fn union_and_union_all() {
     let cat = fig1_db();
-    let r = run_sql(&cat, "SELECT essno FROM EMPSKILLS UNION SELECT pssno FROM PROJSKILLS");
+    let r = run_sql(
+        &cat,
+        "SELECT essno FROM EMPSKILLS UNION SELECT pssno FROM PROJSKILLS",
+    );
     assert_eq!(ints(&r, 0), vec![1, 2, 3, 4, 5]);
-    let r = run_sql(&cat, "SELECT essno FROM EMPSKILLS UNION ALL SELECT pssno FROM PROJSKILLS");
+    let r = run_sql(
+        &cat,
+        "SELECT essno FROM EMPSKILLS UNION ALL SELECT pssno FROM PROJSKILLS",
+    );
     assert_eq!(r.table().rows.len(), 7);
 }
 
@@ -239,8 +289,12 @@ fn union_and_union_all() {
 fn order_by_and_limit() {
     let cat = fig1_db();
     let r = run_sql(&cat, "SELECT ename, sal FROM EMP ORDER BY sal DESC LIMIT 2");
-    let names: Vec<String> =
-        r.table().rows.iter().map(|row| row[0].as_str().unwrap().to_string()).collect();
+    let names: Vec<String> = r
+        .table()
+        .rows
+        .iter()
+        .map(|row| row[0].as_str().unwrap().to_string())
+        .collect();
     assert_eq!(names, vec!["e2", "e1"]);
 }
 
@@ -265,7 +319,10 @@ fn or_of_exists_multipath() {
 fn index_scan_matches_seq_scan() {
     let cat = fig1_db();
     let no_index = run_sql(&cat, "SELECT dno FROM DEPT WHERE loc = 'ARC'");
-    cat.table("DEPT").unwrap().create_index("dept_loc", vec![2], false).unwrap();
+    cat.table("DEPT")
+        .unwrap()
+        .create_index("dept_loc", vec![2], false)
+        .unwrap();
     let with_index = run_sql(&cat, "SELECT dno FROM DEPT WHERE loc = 'ARC'");
     assert_eq!(ints(&no_index, 0), ints(&with_index, 0));
 }
@@ -297,24 +354,43 @@ fn deps_arc_composite_object() {
 
     // Nodes: reachability prunes non-ARC tuples and the orphan skill s2.
     let xdept: Vec<i64> = {
-        let mut v: Vec<i64> = get("xdept").rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let mut v: Vec<i64> = get("xdept")
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
         v.sort();
         v
     };
     assert_eq!(xdept, vec![1, 2]);
 
-    let mut xemp: Vec<i64> = get("xemp").rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    let mut xemp: Vec<i64> = get("xemp")
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
     xemp.sort();
     assert_eq!(xemp, vec![1, 2, 3], "e4 is not reachable (non-ARC dept)");
 
-    let mut xproj: Vec<i64> = get("xproj").rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    let mut xproj: Vec<i64> = get("xproj")
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
     xproj.sort();
     assert_eq!(xproj, vec![1, 2]);
 
-    let mut xskills: Vec<i64> =
-        get("xskills").rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    let mut xskills: Vec<i64> = get("xskills")
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
     xskills.sort();
-    assert_eq!(xskills, vec![1, 3, 4, 5], "s2 is unreachable; s3 shared once");
+    assert_eq!(
+        xskills,
+        vec![1, 3, 4, 5],
+        "s2 is unreachable; s3 shared once"
+    );
 
     // Connections: employment edges = (dept rowid, emp rowid) pairs.
     let employment = get("employment");
@@ -327,8 +403,12 @@ fn deps_arc_composite_object() {
         .rows
         .iter()
         .map(|r| {
-            let d = dept_rows[r[0].as_int().unwrap() as usize][0].as_int().unwrap();
-            let e = emp_rows[r[1].as_int().unwrap() as usize][0].as_int().unwrap();
+            let d = dept_rows[r[0].as_int().unwrap() as usize][0]
+                .as_int()
+                .unwrap();
+            let e = emp_rows[r[1].as_int().unwrap() as usize][0]
+                .as_int()
+                .unwrap();
             (d, e)
         })
         .collect();
@@ -342,8 +422,12 @@ fn deps_arc_composite_object() {
         .rows
         .iter()
         .map(|r| {
-            let e = emp_rows[r[0].as_int().unwrap() as usize][0].as_int().unwrap();
-            let s = skill_rows[r[1].as_int().unwrap() as usize][0].as_int().unwrap();
+            let e = emp_rows[r[0].as_int().unwrap() as usize][0]
+                .as_int()
+                .unwrap();
+            let s = skill_rows[r[1].as_int().unwrap() as usize][0]
+                .as_int()
+                .unwrap();
             (e, s)
         })
         .collect();
@@ -357,8 +441,12 @@ fn deps_arc_composite_object() {
         .rows
         .iter()
         .map(|r| {
-            let p = proj_rows[r[0].as_int().unwrap() as usize][0].as_int().unwrap();
-            let s = skill_rows[r[1].as_int().unwrap() as usize][0].as_int().unwrap();
+            let p = proj_rows[r[0].as_int().unwrap() as usize][0]
+                .as_int()
+                .unwrap();
+            let s = skill_rows[r[1].as_int().unwrap() as usize][0]
+                .as_int()
+                .unwrap();
             (p, s)
         })
         .collect();
@@ -394,8 +482,13 @@ fn xnf_restriction() {
                 employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
          TAKE * WHERE xemp.sal > 100",
     );
-    let mut xemp: Vec<i64> =
-        r.stream("xemp").unwrap().rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    let mut xemp: Vec<i64> = r
+        .stream("xemp")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
     xemp.sort();
     assert_eq!(xemp, vec![2], "only e2 earns more than 100");
     assert_eq!(r.stream("employment").unwrap().rows.len(), 1);
@@ -412,8 +505,13 @@ fn xnf_matches_separate_sql_queries() {
         &cat,
         "SELECT e.eno FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE d.loc = 'ARC' AND d.dno = e.edno)",
     );
-    let mut co_xemp: Vec<i64> =
-        co.stream("xemp").unwrap().rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    let mut co_xemp: Vec<i64> = co
+        .stream("xemp")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
     co_xemp.sort();
     assert_eq!(co_xemp, ints(&sql_xemp, 0));
 
@@ -425,8 +523,13 @@ fn xnf_matches_separate_sql_queries() {
            OR EXISTS (SELECT 1 FROM PROJSKILLS ps, PROJ p, DEPT d
                    WHERE ps.pssno = s.sno AND ps.pspno = p.pno AND p.pdno = d.dno AND d.loc = 'ARC')",
     );
-    let mut co_sk: Vec<i64> =
-        co.stream("xskills").unwrap().rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    let mut co_sk: Vec<i64> = co
+        .stream("xskills")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().unwrap())
+        .collect();
     co_sk.sort();
     assert_eq!(co_sk, ints(&sql_xskills, 0));
 }

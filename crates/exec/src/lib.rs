@@ -12,9 +12,12 @@ pub mod error;
 pub mod eval;
 pub mod ops;
 
-pub use engine::{execute_qep, execute_qep_parallel, QueryResult, StreamResult};
+pub use engine::{
+    execute_qep, execute_qep_parallel, execute_qep_parallel_with_params, execute_qep_with_params,
+    QueryResult, StreamResult,
+};
 pub use error::{ExecError, Result};
-pub use eval::{eval, like_match, passes, truthy, OuterCtx, Row};
+pub use eval::{eval, like_match, passes, truthy, OuterCtx, Params, Row};
 pub use ops::{build_operator, drain, ExecStats, Operator, Runtime};
 
 #[cfg(test)]

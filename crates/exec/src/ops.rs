@@ -34,7 +34,23 @@ pub struct Runtime<'a> {
 
 impl<'a> Runtime<'a> {
     pub fn new(catalog: &'a Catalog) -> Self {
-        Runtime { catalog, shared: Vec::new(), outer: OuterCtx::new(), stats: ExecStats::default() }
+        Runtime {
+            catalog,
+            shared: Vec::new(),
+            outer: OuterCtx::new(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// A runtime with prepared-statement parameter bindings available to
+    /// every operator via the evaluation context.
+    pub fn with_params(catalog: &'a Catalog, params: crate::eval::Params) -> Self {
+        Runtime {
+            catalog,
+            shared: Vec::new(),
+            outer: OuterCtx::with_params(params),
+            stats: ExecStats::default(),
+        }
     }
 }
 
@@ -46,14 +62,22 @@ pub trait Operator {
 /// Instantiate the operator tree for a plan.
 pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
     match plan {
-        PhysPlan::Values { rows } => Box::new(ValuesOp { rows: rows.clone(), idx: 0 }),
+        PhysPlan::Values { rows } => Box::new(ValuesOp {
+            rows: rows.clone(),
+            idx: 0,
+        }),
         PhysPlan::SeqScan { table, filter } => Box::new(SeqScanOp {
             table: table.clone(),
             filter: filter.clone(),
             buf: None,
             idx: 0,
         }),
-        PhysPlan::IndexEq { table, index, key, filter } => Box::new(IndexEqOp {
+        PhysPlan::IndexEq {
+            table,
+            index,
+            key,
+            filter,
+        } => Box::new(IndexEqOp {
             table: table.clone(),
             index: index.clone(),
             key: key.clone(),
@@ -62,23 +86,29 @@ pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
             idx: 0,
         }),
         PhysPlan::SharedScan { id } => Box::new(SharedScanOp { id: *id, idx: 0 }),
-        PhysPlan::Filter { input, preds } => {
-            Box::new(FilterOp { input: build_operator(input), preds: preds.clone() })
-        }
-        PhysPlan::Project { input, exprs } => {
-            Box::new(ProjectOp { input: build_operator(input), exprs: exprs.clone() })
-        }
-        PhysPlan::HashJoin { left, right, left_keys, right_keys, residual } => {
-            Box::new(HashJoinOp {
-                left: build_operator(left),
-                right: build_operator(right),
-                left_keys: left_keys.clone(),
-                right_keys: right_keys.clone(),
-                residual: residual.clone(),
-                table: None,
-                current: None,
-            })
-        }
+        PhysPlan::Filter { input, preds } => Box::new(FilterOp {
+            input: build_operator(input),
+            preds: preds.clone(),
+        }),
+        PhysPlan::Project { input, exprs } => Box::new(ProjectOp {
+            input: build_operator(input),
+            exprs: exprs.clone(),
+        }),
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => Box::new(HashJoinOp {
+            left: build_operator(left),
+            right: build_operator(right),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+            residual: residual.clone(),
+            table: None,
+            current: None,
+        }),
         PhysPlan::NlJoin { left, right, preds } => Box::new(NlJoinOp {
             left: build_operator(left),
             right: build_operator(right),
@@ -86,46 +116,64 @@ pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
             right_buf: None,
             current: None,
         }),
-        PhysPlan::HashSemiJoin { outer, inner, outer_keys, inner_keys, residual, anti } => {
-            Box::new(HashSemiJoinOp {
-                outer: build_operator(outer),
-                inner: build_operator(inner),
-                outer_keys: outer_keys.clone(),
-                inner_keys: inner_keys.clone(),
-                residual: residual.clone(),
-                anti: *anti,
-                table: None,
-            })
-        }
-        PhysPlan::NlSemiJoin { outer, inner, preds, anti } => Box::new(NlSemiJoinOp {
+        PhysPlan::HashSemiJoin {
+            outer,
+            inner,
+            outer_keys,
+            inner_keys,
+            residual,
+            anti,
+        } => Box::new(HashSemiJoinOp {
+            outer: build_operator(outer),
+            inner: build_operator(inner),
+            outer_keys: outer_keys.clone(),
+            inner_keys: inner_keys.clone(),
+            residual: residual.clone(),
+            anti: *anti,
+            table: None,
+        }),
+        PhysPlan::NlSemiJoin {
+            outer,
+            inner,
+            preds,
+            anti,
+        } => Box::new(NlSemiJoinOp {
             outer: build_operator(outer),
             inner: build_operator(inner),
             preds: preds.clone(),
             anti: *anti,
             inner_buf: None,
         }),
-        PhysPlan::SubqueryFilter { input, subplan, bindings, anti } => {
-            Box::new(SubqueryFilterOp {
-                input: build_operator(input),
-                subplan: (**subplan).clone(),
-                bindings: bindings.clone(),
-                anti: *anti,
-            })
-        }
-        PhysPlan::HashAggregate { input, group, aggs, having, output } => {
-            Box::new(HashAggregateOp {
-                input: build_operator(input),
-                group: group.clone(),
-                aggs: aggs.clone(),
-                having: having.clone(),
-                output: output.clone(),
-                results: None,
-                idx: 0,
-            })
-        }
-        PhysPlan::HashDistinct { input } => {
-            Box::new(HashDistinctOp { input: build_operator(input), seen: HashSet::new() })
-        }
+        PhysPlan::SubqueryFilter {
+            input,
+            subplan,
+            bindings,
+            anti,
+        } => Box::new(SubqueryFilterOp {
+            input: build_operator(input),
+            subplan: (**subplan).clone(),
+            bindings: bindings.clone(),
+            anti: *anti,
+        }),
+        PhysPlan::HashAggregate {
+            input,
+            group,
+            aggs,
+            having,
+            output,
+        } => Box::new(HashAggregateOp {
+            input: build_operator(input),
+            group: group.clone(),
+            aggs: aggs.clone(),
+            having: having.clone(),
+            output: output.clone(),
+            results: None,
+            idx: 0,
+        }),
+        PhysPlan::HashDistinct { input } => Box::new(HashDistinctOp {
+            input: build_operator(input),
+            seen: HashSet::new(),
+        }),
         PhysPlan::UnionAll { inputs } => Box::new(UnionAllOp {
             inputs: inputs.iter().map(|p| build_operator(p)).collect(),
             idx: 0,
@@ -136,9 +184,11 @@ pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
             buf: None,
             idx: 0,
         }),
-        PhysPlan::Limit { input, n } => {
-            Box::new(LimitOp { input: build_operator(input), n: *n, taken: 0 })
-        }
+        PhysPlan::Limit { input, n } => Box::new(LimitOp {
+            input: build_operator(input),
+            n: *n,
+            taken: 0,
+        }),
     }
 }
 
@@ -541,8 +591,16 @@ impl Operator for SubqueryFilterOp {
 /// Aggregate accumulator.
 enum Acc {
     Count(i64),
-    Sum { ints: i64, doubles: f64, any_double: bool, seen: bool },
-    Avg { sum: f64, n: i64 },
+    Sum {
+        ints: i64,
+        doubles: f64,
+        any_double: bool,
+        seen: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -551,7 +609,12 @@ impl Acc {
     fn new(func: AggFunc) -> Acc {
         match func {
             AggFunc::Count => Acc::Count(0),
-            AggFunc::Sum => Acc::Sum { ints: 0, doubles: 0.0, any_double: false, seen: false },
+            AggFunc::Sum => Acc::Sum {
+                ints: 0,
+                doubles: 0.0,
+                any_double: false,
+                seen: false,
+            },
             AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
             AggFunc::Min => Acc::Min(None),
             AggFunc::Max => Acc::Max(None),
@@ -567,7 +630,12 @@ impl Acc {
                     *n += 1;
                 }
             }
-            Acc::Sum { ints, doubles, any_double, seen } => {
+            Acc::Sum {
+                ints,
+                doubles,
+                any_double,
+                seen,
+            } => {
                 if let Some(v) = v {
                     *seen = true;
                     match v {
@@ -609,7 +677,12 @@ impl Acc {
     fn finish(&self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(*n),
-            Acc::Sum { ints, doubles, any_double, seen } => {
+            Acc::Sum {
+                ints,
+                doubles,
+                any_double,
+                seen,
+            } => {
                 if !*seen {
                     Value::Null
                 } else if *any_double {
@@ -661,7 +734,13 @@ impl Operator for HashAggregateOp {
                     distinct_seen: self
                         .aggs
                         .iter()
-                        .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                        .map(|a| {
+                            if a.distinct {
+                                Some(HashSet::new())
+                            } else {
+                                None
+                            }
+                        })
                         .collect(),
                 });
                 for (i, spec) in self.aggs.iter().enumerate() {

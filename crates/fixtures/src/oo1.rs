@@ -28,7 +28,13 @@ pub struct Oo1Config {
 
 impl Default for Oo1Config {
     fn default() -> Self {
-        Oo1Config { parts: 20_000, fanout: 3, locality: 0.9, window: 0.01, seed: 7 }
+        Oo1Config {
+            parts: 20_000,
+            fanout: 3,
+            locality: 0.9,
+            window: 0.01,
+            seed: 7,
+        }
     }
 }
 
@@ -108,7 +114,10 @@ mod tests {
 
     #[test]
     fn generates_exact_fanout() {
-        let db = build_oo1_db(Oo1Config { parts: 200, ..Default::default() });
+        let db = build_oo1_db(Oo1Config {
+            parts: 200,
+            ..Default::default()
+        });
         let r = db.query("SELECT COUNT(*) FROM OO1CONN").unwrap();
         assert_eq!(r.table().rows[0][0], Value::Int(600));
         let r = db
@@ -119,13 +128,22 @@ mod tests {
 
     #[test]
     fn oo1_co_loads_into_cache() {
-        let db = build_oo1_db(Oo1Config { parts: 150, ..Default::default() });
+        let db = build_oo1_db(Oo1Config {
+            parts: 150,
+            ..Default::default()
+        });
         let co = db.fetch_co(OO1_CO).unwrap();
         assert_eq!(co.workspace.component("part").unwrap().len(), 150);
-        assert_eq!(co.workspace.relationship("conn").unwrap().connection_count(), 450);
+        assert_eq!(
+            co.workspace
+                .relationship("conn")
+                .unwrap()
+                .connection_count(),
+            450
+        );
         // Depth-1 navigation from part 0 yields its 3 connections
         // (possibly fewer distinct parts).
         let c0 = co.workspace.children("conn", 0).unwrap().count();
-        assert!(c0 >= 1 && c0 <= 3);
+        assert!((1..=3).contains(&c0));
     }
 }

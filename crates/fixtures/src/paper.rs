@@ -135,7 +135,10 @@ pub fn build_paper_db(scale: PaperScale) -> Database {
     }
     for s in 0..scale.skills {
         skills
-            .insert(&Tuple::new(vec![Value::Int(s as i64), Value::Str(format!("skill-{s}"))]))
+            .insert(&Tuple::new(vec![
+                Value::Int(s as i64),
+                Value::Str(format!("skill-{s}")),
+            ]))
             .unwrap();
     }
 
@@ -169,9 +172,8 @@ mod tests {
             seed: 7,
         };
         let db = build_paper_db(scale);
-        let count = |sql: &str| -> i64 {
-            db.query(sql).unwrap().table().rows[0][0].as_int().unwrap()
-        };
+        let count =
+            |sql: &str| -> i64 { db.query(sql).unwrap().table().rows[0][0].as_int().unwrap() };
         assert_eq!(count("SELECT COUNT(*) FROM DEPT"), 10);
         assert_eq!(count("SELECT COUNT(*) FROM DEPT WHERE loc = 'ARC'"), 3);
         assert_eq!(count("SELECT COUNT(*) FROM EMP"), 40);

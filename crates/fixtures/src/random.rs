@@ -19,15 +19,22 @@ pub struct RandomTableConfig {
 
 impl Default for RandomTableConfig {
     fn default() -> Self {
-        RandomTableConfig { rows: 100, domain: 20, null_p: 0.1, seed: 1 }
+        RandomTableConfig {
+            rows: 100,
+            domain: 20,
+            null_p: 0.1,
+            seed: 1,
+        }
     }
 }
 
 /// Create table `name(a INT, b INT, c VARCHAR)` in `db` filled with random
 /// data; returns the rows inserted.
 pub fn random_table(db: &Database, name: &str, cfg: RandomTableConfig) -> Vec<Vec<Value>> {
-    db.execute(&format!("CREATE TABLE {name} (a INT, b INT, c VARCHAR(16))"))
-        .expect("create random table");
+    db.execute(&format!(
+        "CREATE TABLE {name} (a INT, b INT, c VARCHAR(16))"
+    ))
+    .expect("create random table");
     let table = db.catalog().table(name).unwrap();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut rows = Vec::with_capacity(cfg.rows);

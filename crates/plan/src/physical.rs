@@ -22,16 +22,42 @@ pub type SharedId = usize;
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysExpr {
     Literal(Value),
+    /// Positional parameter, resolved from the execution-time binding table.
+    Param(usize),
     /// Slot in the operator's current row.
     Col(usize),
     /// Correlated reference resolved from the outer-binding context.
-    Outer { qun: QunId, col: usize },
-    Unary { op: UnaryOp, expr: Box<PhysExpr> },
-    Binary { left: Box<PhysExpr>, op: BinOp, right: Box<PhysExpr> },
-    IsNull { expr: Box<PhysExpr>, negated: bool },
-    Like { expr: Box<PhysExpr>, pattern: String, negated: bool },
-    InList { expr: Box<PhysExpr>, list: Vec<PhysExpr>, negated: bool },
-    Func { func: ScalarFunc, args: Vec<PhysExpr> },
+    Outer {
+        qun: QunId,
+        col: usize,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<PhysExpr>,
+    },
+    Binary {
+        left: Box<PhysExpr>,
+        op: BinOp,
+        right: Box<PhysExpr>,
+    },
+    IsNull {
+        expr: Box<PhysExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<PhysExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    InList {
+        expr: Box<PhysExpr>,
+        list: Vec<PhysExpr>,
+        negated: bool,
+    },
+    Func {
+        func: ScalarFunc,
+        args: Vec<PhysExpr>,
+    },
     /// Reference to an aggregate result slot (inside HashAggregate output
     /// expressions only).
     AggRef(usize),
@@ -47,20 +73,44 @@ impl fmt::Display for PhysExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PhysExpr::Literal(v) => write!(f, "{v}"),
+            PhysExpr::Param(i) => write!(f, "?{i}"),
             PhysExpr::Col(i) => write!(f, "#{i}"),
             PhysExpr::Outer { qun, col } => write!(f, "outer(q{qun}.c{col})"),
-            PhysExpr::Unary { op: UnaryOp::Neg, expr } => write!(f, "-{expr}"),
-            PhysExpr::Unary { op: UnaryOp::Not, expr } => write!(f, "NOT({expr})"),
+            PhysExpr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => write!(f, "-{expr}"),
+            PhysExpr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => write!(f, "NOT({expr})"),
             PhysExpr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
             PhysExpr::IsNull { expr, negated } => {
                 write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
             }
-            PhysExpr::Like { expr, pattern, negated } => {
-                write!(f, "{expr} {}LIKE '{pattern}'", if *negated { "NOT " } else { "" })
+            PhysExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}LIKE '{pattern}'",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            PhysExpr::InList { expr, list, negated } => {
+            PhysExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
-                write!(f, "{expr} {}IN ({})", if *negated { "NOT " } else { "" }, items.join(","))
+                write!(
+                    f,
+                    "{expr} {}IN ({})",
+                    if *negated { "NOT " } else { "" },
+                    items.join(",")
+                )
             }
             PhysExpr::Func { func, args } => {
                 let items: Vec<String> = args.iter().map(|e| e.to_string()).collect();
@@ -91,16 +141,34 @@ pub struct SortSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysPlan {
     /// Constant relation (used for FROM-less selects).
-    Values { rows: Vec<Vec<PhysExpr>> },
+    Values {
+        rows: Vec<Vec<PhysExpr>>,
+    },
     /// Full scan of a base table with a residual filter.
-    SeqScan { table: String, filter: Vec<PhysExpr> },
+    SeqScan {
+        table: String,
+        filter: Vec<PhysExpr>,
+    },
     /// Equality index lookup: `key` expressions must be uncorrelated
     /// constants at plan time (literal-only); residual filter applies after.
-    IndexEq { table: String, index: String, key: Vec<PhysExpr>, filter: Vec<PhysExpr> },
+    IndexEq {
+        table: String,
+        index: String,
+        key: Vec<PhysExpr>,
+        filter: Vec<PhysExpr>,
+    },
     /// Scan of a materialised shared subplan. Emits `[rowid, cols...]`.
-    SharedScan { id: SharedId },
-    Filter { input: Box<PhysPlan>, preds: Vec<PhysExpr> },
-    Project { input: Box<PhysPlan>, exprs: Vec<PhysExpr> },
+    SharedScan {
+        id: SharedId,
+    },
+    Filter {
+        input: Box<PhysPlan>,
+        preds: Vec<PhysExpr>,
+    },
+    Project {
+        input: Box<PhysPlan>,
+        exprs: Vec<PhysExpr>,
+    },
     /// Hash equi-join; output row = left ++ right.
     HashJoin {
         left: Box<PhysPlan>,
@@ -111,7 +179,11 @@ pub enum PhysPlan {
         residual: Vec<PhysExpr>,
     },
     /// Nested-loops join with an arbitrary predicate over the combined row.
-    NlJoin { left: Box<PhysPlan>, right: Box<PhysPlan>, preds: Vec<PhysExpr> },
+    NlJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        preds: Vec<PhysExpr>,
+    },
     /// Hash semijoin / antijoin: emits outer rows with (no) inner match.
     HashSemiJoin {
         outer: Box<PhysPlan>,
@@ -124,7 +196,12 @@ pub enum PhysPlan {
         anti: bool,
     },
     /// Nested-loops semijoin for non-equi conditions.
-    NlSemiJoin { outer: Box<PhysPlan>, inner: Box<PhysPlan>, preds: Vec<PhysExpr>, anti: bool },
+    NlSemiJoin {
+        outer: Box<PhysPlan>,
+        inner: Box<PhysPlan>,
+        preds: Vec<PhysExpr>,
+        anti: bool,
+    },
     /// Tuple-at-a-time correlated subquery evaluation: for every input row,
     /// execute `subplan` with the row's leg values bound in the context; the
     /// row passes if the subplan yields (anti: does not yield) a row.
@@ -147,11 +224,21 @@ pub enum PhysPlan {
         having: Vec<PhysExpr>,
         output: Vec<PhysExpr>,
     },
-    HashDistinct { input: Box<PhysPlan> },
+    HashDistinct {
+        input: Box<PhysPlan>,
+    },
     /// Concatenation of inputs (UNION ALL); wrap in HashDistinct for UNION.
-    UnionAll { inputs: Vec<PhysPlan> },
-    Sort { input: Box<PhysPlan>, specs: Vec<SortSpec> },
-    Limit { input: Box<PhysPlan>, n: u64 },
+    UnionAll {
+        inputs: Vec<PhysPlan>,
+    },
+    Sort {
+        input: Box<PhysPlan>,
+        specs: Vec<SortSpec>,
+    },
+    Limit {
+        input: Box<PhysPlan>,
+        n: u64,
+    },
 }
 
 impl PhysPlan {
@@ -172,7 +259,12 @@ impl PhysPlan {
             PhysPlan::SeqScan { table, filter } => {
                 let _ = writeln!(out, "{pad}SeqScan({table}) filter={}", fmt_preds(filter));
             }
-            PhysPlan::IndexEq { table, index, key, filter } => {
+            PhysPlan::IndexEq {
+                table,
+                index,
+                key,
+                filter,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}IndexEq({table}.{index}) key={} filter={}",
@@ -191,7 +283,13 @@ impl PhysPlan {
                 let _ = writeln!(out, "{pad}Project {}", fmt_exprs(exprs));
                 input.explain_into(depth + 1, out);
             }
-            PhysPlan::HashJoin { left, right, left_keys, right_keys, residual } => {
+            PhysPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}HashJoin l={} r={} residual={}",
@@ -207,7 +305,14 @@ impl PhysPlan {
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }
-            PhysPlan::HashSemiJoin { outer, inner, outer_keys, inner_keys, residual, anti } => {
+            PhysPlan::HashSemiJoin {
+                outer,
+                inner,
+                outer_keys,
+                inner_keys,
+                residual,
+                anti,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}Hash{}Join o={} i={} residual={}",
@@ -219,7 +324,12 @@ impl PhysPlan {
                 outer.explain_into(depth + 1, out);
                 inner.explain_into(depth + 1, out);
             }
-            PhysPlan::NlSemiJoin { outer, inner, preds, anti } => {
+            PhysPlan::NlSemiJoin {
+                outer,
+                inner,
+                preds,
+                anti,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}Nl{}Join {}",
@@ -229,7 +339,12 @@ impl PhysPlan {
                 outer.explain_into(depth + 1, out);
                 inner.explain_into(depth + 1, out);
             }
-            PhysPlan::SubqueryFilter { input, subplan, anti, .. } => {
+            PhysPlan::SubqueryFilter {
+                input,
+                subplan,
+                anti,
+                ..
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}SubqueryFilter{} (tuple-at-a-time)",
@@ -238,7 +353,9 @@ impl PhysPlan {
                 input.explain_into(depth + 1, out);
                 subplan.explain_into(depth + 1, out);
             }
-            PhysPlan::HashAggregate { input, group, aggs, .. } => {
+            PhysPlan::HashAggregate {
+                input, group, aggs, ..
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}HashAggregate group={} aggs={}",

@@ -17,9 +17,7 @@
 
 use std::collections::HashMap;
 
-use xnf_qgm::{
-    BoxId, BoxKind, Qgm, QunId, QunKind, ScalarExpr, ROWID_COL,
-};
+use xnf_qgm::{BoxId, BoxKind, Qgm, QunId, QunKind, ScalarExpr, ROWID_COL};
 use xnf_sql::BinOp;
 use xnf_storage::Catalog;
 
@@ -51,7 +49,9 @@ impl Default for PlanOptions {
 /// Plan a rewritten (XNF-free) QGM graph into a QEP.
 pub fn plan_query(catalog: &Catalog, qgm: &Qgm, options: PlanOptions) -> Result<Qep> {
     if qgm.count_kind("XNF") > 0 {
-        return Err(PlanError::Corrupt("XNF operator reached the planner; run rewrite first".into()));
+        return Err(PlanError::Corrupt(
+            "XNF operator reached the planner; run rewrite first".into(),
+        ));
     }
     let mut p = Planner {
         catalog,
@@ -75,22 +75,36 @@ pub fn plan_query(catalog: &Catalog, qgm: &Qgm, options: PlanOptions) -> Result<
                     specs: qgm
                         .order_by
                         .iter()
-                        .map(|s| SortSpec { col: s.col, desc: s.desc })
+                        .map(|s| SortSpec {
+                            col: s.col,
+                            desc: s.desc,
+                        })
                         .collect(),
                 };
             }
             if let Some(n) = qgm.limit {
-                plan = PhysPlan::Limit { input: Box::new(plan), n };
+                plan = PhysPlan::Limit {
+                    input: Box::new(plan),
+                    n,
+                };
             }
         }
         outputs.push(QepOutput {
             name: o.name.clone(),
             kind: o.kind.clone(),
             plan,
-            columns: qgm.boxed(body).head.iter().map(|h| h.name.clone()).collect(),
+            columns: qgm
+                .boxed(body)
+                .head
+                .iter()
+                .map(|h| h.name.clone())
+                .collect(),
         });
     }
-    Ok(Qep { shared: p.shared_plans, outputs })
+    Ok(Qep {
+        shared: p.shared_plans,
+        outputs,
+    })
 }
 
 /// Per-leg lowering info: how a quantifier's columns map into the combined
@@ -196,7 +210,10 @@ impl<'a> Planner<'a> {
     }
 
     fn should_share(&self, b: BoxId) -> bool {
-        if matches!(self.qgm.boxed(b).kind, BoxKind::BaseTable { .. } | BoxKind::Top) {
+        if matches!(
+            self.qgm.boxed(b).kind,
+            BoxKind::BaseTable { .. } | BoxKind::Top
+        ) {
             return false;
         }
         self.options.share_common_subexpressions && self.qgm.ref_counts()[b] > 1
@@ -208,9 +225,10 @@ impl<'a> Planner<'a> {
 
     fn plan_box(&mut self, b: BoxId) -> Result<PhysPlan> {
         match &self.qgm.boxed(b).kind {
-            BoxKind::BaseTable { table, .. } => {
-                Ok(PhysPlan::SeqScan { table: table.clone(), filter: vec![] })
-            }
+            BoxKind::BaseTable { table, .. } => Ok(PhysPlan::SeqScan {
+                table: table.clone(),
+                filter: vec![],
+            }),
             BoxKind::Select(_) => self.plan_select(b),
             BoxKind::GroupBy(_) => self.plan_group_by(b),
             BoxKind::Union(_) => self.plan_union(b),
@@ -231,7 +249,13 @@ impl<'a> Planner<'a> {
             inputs.push(self.consumer_plan(target)?);
         }
         let plan = PhysPlan::UnionAll { inputs };
-        Ok(if all { plan } else { PhysPlan::HashDistinct { input: Box::new(plan) } })
+        Ok(if all {
+            plan
+        } else {
+            PhysPlan::HashDistinct {
+                input: Box::new(plan),
+            }
+        })
     }
 
     fn plan_group_by(&mut self, b: BoxId) -> Result<PhysPlan> {
@@ -241,19 +265,28 @@ impl<'a> Planner<'a> {
             _ => unreachable!(),
         };
         if bx.quns.len() != 1 {
-            return Err(PlanError::Corrupt("GroupBy box must have exactly one quantifier".into()));
+            return Err(PlanError::Corrupt(
+                "GroupBy box must have exactly one quantifier".into(),
+            ));
         }
         let q = bx.quns[0];
         let target = self.qgm.quns[q].ranges_over;
         let input = self.consumer_plan(target)?;
         let legs = HashMap::from([(
             q,
-            LegMap { offset: 0, col_base: 0, width: self.qgm.boxed(target).head.len(), has_rowid: false },
+            LegMap {
+                offset: 0,
+                col_base: 0,
+                width: self.qgm.boxed(target).head.len(),
+                has_rowid: false,
+            },
         )]);
 
         // Lower grouping expressions over the input row.
-        let group: Vec<PhysExpr> =
-            group_exprs.iter().map(|e| self.lower(e, &legs)).collect::<Result<_>>()?;
+        let group: Vec<PhysExpr> = group_exprs
+            .iter()
+            .map(|e| self.lower(e, &legs))
+            .collect::<Result<_>>()?;
 
         // Extract aggregates from head + having.
         let mut aggs: Vec<(String, AggSpec)> = Vec::new();
@@ -285,7 +318,12 @@ impl<'a> Planner<'a> {
         group: &[PhysExpr],
         aggs: &mut Vec<(String, AggSpec)>,
     ) -> Result<PhysExpr> {
-        if let ScalarExpr::Agg { func, arg, distinct } = e {
+        if let ScalarExpr::Agg {
+            func,
+            arg,
+            distinct,
+        } = e
+        {
             let sig = e.signature();
             if let Some(pos) = aggs.iter().position(|(s, _)| *s == sig) {
                 return Ok(PhysExpr::AggRef(pos));
@@ -294,7 +332,14 @@ impl<'a> Planner<'a> {
                 Some(a) => Some(self.lower(a, legs)?),
                 None => None,
             };
-            aggs.push((sig, AggSpec { func: *func, arg: lowered_arg, distinct: *distinct }));
+            aggs.push((
+                sig,
+                AggSpec {
+                    func: *func,
+                    arg: lowered_arg,
+                    distinct: *distinct,
+                },
+            ));
             return Ok(PhysExpr::AggRef(aggs.len() - 1));
         }
         // Non-aggregate: try to match a grouping expression wholesale.
@@ -323,12 +368,20 @@ impl<'a> Planner<'a> {
                 expr: Box::new(self.lower_agg_expr(expr, legs, group, aggs)?),
                 negated: *negated,
             },
-            ScalarExpr::Like { expr, pattern, negated } => PhysExpr::Like {
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => PhysExpr::Like {
                 expr: Box::new(self.lower_agg_expr(expr, legs, group, aggs)?),
                 pattern: pattern.clone(),
                 negated: *negated,
             },
-            ScalarExpr::InList { expr, list, negated } => PhysExpr::InList {
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => PhysExpr::InList {
                 expr: Box::new(self.lower_agg_expr(expr, legs, group, aggs)?),
                 list: list
                     .iter()
@@ -376,7 +429,11 @@ impl<'a> Planner<'a> {
         let mut post_preds: Vec<ScalarExpr> = Vec::new();
         for p in &bx.preds {
             let quns = p.quns();
-            let local: Vec<QunId> = quns.iter().copied().filter(|q| bx.quns.contains(q)).collect();
+            let local: Vec<QunId> = quns
+                .iter()
+                .copied()
+                .filter(|q| bx.quns.contains(q))
+                .collect();
             let touches_semi = local.iter().any(|q| semi_legs.contains(q));
             if local.is_empty() {
                 post_preds.push(p.clone());
@@ -402,7 +459,9 @@ impl<'a> Planner<'a> {
         if !semi_legs.is_empty() {
             plan = self.plan_semi_block(plan, &legs, &semi_legs, &leg_filters, &semi_preds)?;
         } else if !semi_preds.is_empty() {
-            return Err(PlanError::Corrupt("semi predicates without semi legs".into()));
+            return Err(PlanError::Corrupt(
+                "semi predicates without semi legs".into(),
+            ));
         }
 
         // Naive existential / anti legs: tuple-at-a-time subquery filters.
@@ -423,18 +482,31 @@ impl<'a> Planner<'a> {
 
         // Residual (outer-only) predicates.
         if !post_preds.is_empty() {
-            let preds: Vec<PhysExpr> =
-                post_preds.iter().map(|p| self.lower(p, &legs)).collect::<Result<_>>()?;
-            plan = PhysPlan::Filter { input: Box::new(plan), preds };
+            let preds: Vec<PhysExpr> = post_preds
+                .iter()
+                .map(|p| self.lower(p, &legs))
+                .collect::<Result<_>>()?;
+            plan = PhysPlan::Filter {
+                input: Box::new(plan),
+                preds,
+            };
         }
 
         // Head projection.
-        let exprs: Vec<PhysExpr> =
-            bx.head.iter().map(|h| self.lower(&h.expr, &legs)).collect::<Result<_>>()?;
-        plan = PhysPlan::Project { input: Box::new(plan), exprs };
+        let exprs: Vec<PhysExpr> = bx
+            .head
+            .iter()
+            .map(|h| self.lower(&h.expr, &legs))
+            .collect::<Result<_>>()?;
+        plan = PhysPlan::Project {
+            input: Box::new(plan),
+            exprs,
+        };
 
         if bx.as_select().map(|s| s.distinct).unwrap_or(false) {
-            plan = PhysPlan::HashDistinct { input: Box::new(plan) };
+            plan = PhysPlan::HashDistinct {
+                input: Box::new(plan),
+            };
         }
         Ok(plan)
     }
@@ -448,13 +520,23 @@ impl<'a> Planner<'a> {
         if self.shared_ids.contains_key(&target) || self.should_share(target) {
             let id = self.ensure_shared(target)?;
             let width = target_box.head.len() + 1;
-            let map = LegMap { offset: 0, col_base: 1, width, has_rowid: true };
+            let map = LegMap {
+                offset: 0,
+                col_base: 1,
+                width,
+                has_rowid: true,
+            };
             let mut plan = PhysPlan::SharedScan { id };
             if !filters.is_empty() {
                 let legs = HashMap::from([(q, map)]);
-                let preds =
-                    filters.iter().map(|p| self.lower(p, &legs)).collect::<Result<_>>()?;
-                plan = PhysPlan::Filter { input: Box::new(plan), preds };
+                let preds = filters
+                    .iter()
+                    .map(|p| self.lower(p, &legs))
+                    .collect::<Result<_>>()?;
+                plan = PhysPlan::Filter {
+                    input: Box::new(plan),
+                    preds,
+                };
             }
             return Ok((plan, map));
         }
@@ -462,14 +544,19 @@ impl<'a> Planner<'a> {
         if let BoxKind::BaseTable { table, schema } = &target_box.kind {
             let table = table.clone();
             let width = schema.len();
-            let map = LegMap { offset: 0, col_base: 0, width, has_rowid: false };
+            let map = LegMap {
+                offset: 0,
+                col_base: 0,
+                width,
+                has_rowid: false,
+            };
             let legs = HashMap::from([(q, map)]);
             let mut key_cols: Vec<(usize, PhysExpr)> = Vec::new();
             let mut residual: Vec<PhysExpr> = Vec::new();
             for p in filters {
                 if self.options.use_indexes {
-                    if let Some((col, lit)) = self.const_eq_on(q, p) {
-                        key_cols.push((col, PhysExpr::Literal(lit)));
+                    if let Some((col, key)) = self.const_eq_on(q, p) {
+                        key_cols.push((col, key));
                         continue;
                     }
                 }
@@ -510,30 +597,61 @@ impl<'a> Planner<'a> {
                     });
                 }
             }
-            return Ok((PhysPlan::SeqScan { table, filter: residual }, map));
+            return Ok((
+                PhysPlan::SeqScan {
+                    table,
+                    filter: residual,
+                },
+                map,
+            ));
         }
         // Derived leg: plan recursively, filters on top.
         let width = target_box.head.len();
-        let map = LegMap { offset: 0, col_base: 0, width, has_rowid: false };
+        let map = LegMap {
+            offset: 0,
+            col_base: 0,
+            width,
+            has_rowid: false,
+        };
         let mut plan = self.plan_box(target)?;
         if !filters.is_empty() {
             let legs = HashMap::from([(q, map)]);
-            let preds = filters.iter().map(|p| self.lower(p, &legs)).collect::<Result<_>>()?;
-            plan = PhysPlan::Filter { input: Box::new(plan), preds };
+            let preds = filters
+                .iter()
+                .map(|p| self.lower(p, &legs))
+                .collect::<Result<_>>()?;
+            plan = PhysPlan::Filter {
+                input: Box::new(plan),
+                preds,
+            };
         }
         Ok((plan, map))
     }
 
-    /// Is `p` an equality between a column of `q` and a literal? Returns
-    /// (column, literal).
-    fn const_eq_on(&self, q: QunId, p: &ScalarExpr) -> Option<(usize, xnf_storage::Value)> {
-        if let ScalarExpr::Binary { left, op: BinOp::Eq, right } = p {
+    /// Is `p` an equality between a column of `q` and an execution-time
+    /// constant (literal or parameter)? Returns (column, key expression) —
+    /// parameters qualify because index keys are evaluated at `eval` time,
+    /// when the binding table is available.
+    fn const_eq_on(&self, q: QunId, p: &ScalarExpr) -> Option<(usize, PhysExpr)> {
+        fn as_const(e: &ScalarExpr) -> Option<PhysExpr> {
+            match e {
+                ScalarExpr::Literal(v) => Some(PhysExpr::Literal(v.clone())),
+                ScalarExpr::Param(i) => Some(PhysExpr::Param(*i)),
+                _ => None,
+            }
+        }
+        if let ScalarExpr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } = p
+        {
             match (&**left, &**right) {
-                (ScalarExpr::Col { qun, col }, ScalarExpr::Literal(v)) if *qun == q => {
-                    Some((*col, v.clone()))
+                (ScalarExpr::Col { qun, col }, other) if *qun == q => {
+                    as_const(other).map(|k| (*col, k))
                 }
-                (ScalarExpr::Literal(v), ScalarExpr::Col { qun, col }) if *qun == q => {
-                    Some((*col, v.clone()))
+                (other, ScalarExpr::Col { qun, col }) if *qun == q => {
+                    as_const(other).map(|k| (*col, k))
                 }
                 _ => None,
             }
@@ -592,15 +710,23 @@ impl<'a> Planner<'a> {
                     continue;
                 }
                 let quns = p.quns();
-                let local: Vec<QunId> =
-                    quns.iter().copied().filter(|x| f_legs.contains(x)).collect();
+                let local: Vec<QunId> = quns
+                    .iter()
+                    .copied()
+                    .filter(|x| f_legs.contains(x))
+                    .collect();
                 if !local.iter().all(|x| used.contains(x)) || !local.contains(&q) {
                     continue;
                 }
                 applied[pi] = true;
                 // Equi key: one side references only earlier legs, the other
                 // only the new leg.
-                if let ScalarExpr::Binary { left, op: BinOp::Eq, right } = p {
+                if let ScalarExpr::Binary {
+                    left,
+                    op: BinOp::Eq,
+                    right,
+                } = p
+                {
                     let lq = left.quns();
                     let rq = right.quns();
                     let left_old = lq.iter().all(|x| *x != q) && !lq.is_empty();
@@ -608,18 +734,28 @@ impl<'a> Planner<'a> {
                     let left_new = !lq.is_empty() && lq.iter().all(|x| *x == q);
                     let right_old = rq.iter().all(|x| *x != q) && !rq.is_empty();
                     if left_old && right_new {
-                        keys.push((self.lower(left, &legs)?, self.lower_local(right, q, &leg_plans[idx].1)?));
+                        keys.push((
+                            self.lower(left, &legs)?,
+                            self.lower_local(right, q, &leg_plans[idx].1)?,
+                        ));
                         continue;
                     }
                     if left_new && right_old {
-                        keys.push((self.lower(right, &legs)?, self.lower_local(left, q, &leg_plans[idx].1)?));
+                        keys.push((
+                            self.lower(right, &legs)?,
+                            self.lower_local(left, q, &leg_plans[idx].1)?,
+                        ));
                         continue;
                     }
                 }
                 residual.push(self.lower(p, &legs)?);
             }
             plan = if keys.is_empty() {
-                PhysPlan::NlJoin { left: Box::new(plan), right: Box::new(leg_plan), preds: residual }
+                PhysPlan::NlJoin {
+                    left: Box::new(plan),
+                    right: Box::new(leg_plan),
+                    preds: residual,
+                }
             } else {
                 PhysPlan::HashJoin {
                     left: Box::new(plan),
@@ -639,7 +775,10 @@ impl<'a> Planner<'a> {
             .map(|(_, p)| self.lower(p, &legs))
             .collect::<Result<_>>()?;
         if !leftovers.is_empty() {
-            plan = PhysPlan::Filter { input: Box::new(plan), preds: leftovers };
+            plan = PhysPlan::Filter {
+                input: Box::new(plan),
+                preds: leftovers,
+            };
         }
         Ok((plan, legs))
     }
@@ -692,7 +831,7 @@ impl<'a> Planner<'a> {
             let Some((cost, card, order)) = best[mask].clone() else {
                 continue;
             };
-            for add in 0..n {
+            for (add, &add_card) in cards.iter().enumerate() {
                 if mask & (1 << add) != 0 {
                     continue;
                 }
@@ -715,8 +854,8 @@ impl<'a> Planner<'a> {
                 }
                 // Discourage cartesian products.
                 let penalty = if connected || n == 1 { 1.0 } else { 10.0 };
-                let new_card = (card * cards[add] * sel).max(1.0);
-                let new_cost = cost + cards[add] + new_card * penalty;
+                let new_card = (card * add_card * sel).max(1.0);
+                let new_cost = cost + add_card + new_card * penalty;
                 let mut new_order = order.clone();
                 new_order.push(add);
                 let better = match &best[nm] {
@@ -728,7 +867,10 @@ impl<'a> Planner<'a> {
                 }
             }
         }
-        best[(1 << n) - 1].clone().map(|(_, _, o)| o).unwrap_or_else(|| (0..n).collect())
+        best[(1 << n) - 1]
+            .clone()
+            .map(|(_, _, o)| o)
+            .unwrap_or_else(|| (0..n).collect())
     }
 
     /// Rough cardinality of a leg (for ordering decisions only).
@@ -756,7 +898,7 @@ impl<'a> Planner<'a> {
                         c *= self.box_card(self.qgm.quns[q].ranges_over);
                     }
                 }
-                let sel: f64 = bx.preds.iter().map(|p| pred_selectivity(p)).product();
+                let sel: f64 = bx.preds.iter().map(pred_selectivity).product();
                 (c * sel).max(1.0)
             }
             BoxKind::GroupBy(_) => {
@@ -767,9 +909,11 @@ impl<'a> Planner<'a> {
                     .unwrap_or(1.0);
                 (input / 2.0).max(1.0)
             }
-            BoxKind::Union(_) => {
-                bx.quns.iter().map(|&q| self.box_card(self.qgm.quns[q].ranges_over)).sum()
-            }
+            BoxKind::Union(_) => bx
+                .quns
+                .iter()
+                .map(|&q| self.box_card(self.qgm.quns[q].ranges_over))
+                .sum(),
             _ => 1000.0,
         };
         self.card_memo.insert(b, card);
@@ -828,7 +972,12 @@ impl<'a> Planner<'a> {
                             continue;
                         }
                         applied[pi] = true;
-                        if let ScalarExpr::Binary { left, op: BinOp::Eq, right } = p {
+                        if let ScalarExpr::Binary {
+                            left,
+                            op: BinOp::Eq,
+                            right,
+                        } = p
+                        {
                             let lq = left.quns();
                             let rq = right.quns();
                             let l_new = !lq.is_empty() && lq.iter().all(|x| *x == q);
@@ -888,7 +1037,10 @@ impl<'a> Planner<'a> {
         let inner_plan = if leftovers.is_empty() {
             inner_plan
         } else {
-            PhysPlan::Filter { input: Box::new(inner_plan), preds: leftovers }
+            PhysPlan::Filter {
+                input: Box::new(inner_plan),
+                preds: leftovers,
+            }
         };
 
         // Connecting predicates: equi keys vs residual. Residuals evaluate
@@ -898,7 +1050,12 @@ impl<'a> Planner<'a> {
         let mut inner_keys = Vec::new();
         let mut residual = Vec::new();
         for p in &connecting {
-            if let ScalarExpr::Binary { left, op: BinOp::Eq, right } = p {
+            if let ScalarExpr::Binary {
+                left,
+                op: BinOp::Eq,
+                right,
+            } = p
+            {
                 let l_outer = left.quns().iter().all(|x| outer_legs.contains_key(x));
                 let r_inner = right.quns().iter().all(|x| inner_legs.contains_key(x));
                 let l_inner = left.quns().iter().all(|x| inner_legs.contains_key(x));
@@ -961,6 +1118,7 @@ impl<'a> Planner<'a> {
     ) -> Result<PhysExpr> {
         Ok(match e {
             ScalarExpr::Literal(v) => PhysExpr::Literal(v.clone()),
+            ScalarExpr::Param(i) => PhysExpr::Param(*i),
             ScalarExpr::Col { qun, col } => match legs.get(qun) {
                 Some(m) => {
                     if *col == ROWID_COL {
@@ -971,10 +1129,16 @@ impl<'a> Planner<'a> {
                         }
                         PhysExpr::Col((m.offset as isize + shift) as usize)
                     } else {
-                        PhysExpr::Col((m.offset as isize + m.col_base as isize + *col as isize + shift) as usize)
+                        PhysExpr::Col(
+                            (m.offset as isize + m.col_base as isize + *col as isize + shift)
+                                as usize,
+                        )
                     }
                 }
-                None => PhysExpr::Outer { qun: *qun, col: *col },
+                None => PhysExpr::Outer {
+                    qun: *qun,
+                    col: *col,
+                },
             },
             ScalarExpr::Unary { op, expr } => PhysExpr::Unary {
                 op: *op,
@@ -989,12 +1153,20 @@ impl<'a> Planner<'a> {
                 expr: Box::new(self.lower_with_offset(expr, legs, shift)?),
                 negated: *negated,
             },
-            ScalarExpr::Like { expr, pattern, negated } => PhysExpr::Like {
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => PhysExpr::Like {
                 expr: Box::new(self.lower_with_offset(expr, legs, shift)?),
                 pattern: pattern.clone(),
                 negated: *negated,
             },
-            ScalarExpr::InList { expr, list, negated } => PhysExpr::InList {
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => PhysExpr::InList {
                 expr: Box::new(self.lower_with_offset(expr, legs, shift)?),
                 list: list
                     .iter()
@@ -1030,31 +1202,46 @@ fn shift_cols(e: &PhysExpr, delta: isize) -> PhysExpr {
     match e {
         PhysExpr::Col(i) => PhysExpr::Col((*i as isize + delta) as usize),
         PhysExpr::Literal(v) => PhysExpr::Literal(v.clone()),
-        PhysExpr::Outer { qun, col } => PhysExpr::Outer { qun: *qun, col: *col },
-        PhysExpr::Unary { op, expr } => {
-            PhysExpr::Unary { op: *op, expr: Box::new(shift_cols(expr, delta)) }
-        }
+        PhysExpr::Param(i) => PhysExpr::Param(*i),
+        PhysExpr::Outer { qun, col } => PhysExpr::Outer {
+            qun: *qun,
+            col: *col,
+        },
+        PhysExpr::Unary { op, expr } => PhysExpr::Unary {
+            op: *op,
+            expr: Box::new(shift_cols(expr, delta)),
+        },
         PhysExpr::Binary { left, op, right } => PhysExpr::Binary {
             left: Box::new(shift_cols(left, delta)),
             op: *op,
             right: Box::new(shift_cols(right, delta)),
         },
-        PhysExpr::IsNull { expr, negated } => {
-            PhysExpr::IsNull { expr: Box::new(shift_cols(expr, delta)), negated: *negated }
-        }
-        PhysExpr::Like { expr, pattern, negated } => PhysExpr::Like {
+        PhysExpr::IsNull { expr, negated } => PhysExpr::IsNull {
+            expr: Box::new(shift_cols(expr, delta)),
+            negated: *negated,
+        },
+        PhysExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => PhysExpr::Like {
             expr: Box::new(shift_cols(expr, delta)),
             pattern: pattern.clone(),
             negated: *negated,
         },
-        PhysExpr::InList { expr, list, negated } => PhysExpr::InList {
+        PhysExpr::InList {
+            expr,
+            list,
+            negated,
+        } => PhysExpr::InList {
             expr: Box::new(shift_cols(expr, delta)),
             list: list.iter().map(|x| shift_cols(x, delta)).collect(),
             negated: *negated,
         },
-        PhysExpr::Func { func, args } => {
-            PhysExpr::Func { func: *func, args: args.iter().map(|x| shift_cols(x, delta)).collect() }
-        }
+        PhysExpr::Func { func, args } => PhysExpr::Func {
+            func: *func,
+            args: args.iter().map(|x| shift_cols(x, delta)).collect(),
+        },
         PhysExpr::AggRef(i) => PhysExpr::AggRef(*i),
     }
 }
@@ -1063,8 +1250,13 @@ fn shift_cols(e: &PhysExpr, delta: isize) -> PhysExpr {
 fn pred_selectivity(p: &ScalarExpr) -> f64 {
     match p {
         ScalarExpr::Binary { op: BinOp::Eq, .. } => 0.1,
-        ScalarExpr::Binary { op: BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq, .. } => 0.33,
-        ScalarExpr::Binary { op: BinOp::NotEq, .. } => 0.9,
+        ScalarExpr::Binary {
+            op: BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq,
+            ..
+        } => 0.33,
+        ScalarExpr::Binary {
+            op: BinOp::NotEq, ..
+        } => 0.9,
         ScalarExpr::Like { .. } => 0.25,
         ScalarExpr::InList { list, .. } => (0.1 * list.len() as f64).min(1.0),
         _ => 0.5,

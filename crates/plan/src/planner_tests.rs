@@ -14,7 +14,11 @@ fn paper_catalog() -> Catalog {
     let cat = Catalog::new(Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 256)));
     cat.create_table(
         "DEPT",
-        Schema::from_pairs(&[("dno", DataType::Int), ("dname", DataType::Str), ("loc", DataType::Str)]),
+        Schema::from_pairs(&[
+            ("dno", DataType::Int),
+            ("dname", DataType::Str),
+            ("loc", DataType::Str),
+        ]),
     )
     .unwrap();
     cat.create_table(
@@ -27,8 +31,11 @@ fn paper_catalog() -> Catalog {
         ]),
     )
     .unwrap();
-    cat.create_table("SKILLS", Schema::from_pairs(&[("sno", DataType::Int), ("sname", DataType::Str)]))
-        .unwrap();
+    cat.create_table(
+        "SKILLS",
+        Schema::from_pairs(&[("sno", DataType::Int), ("sname", DataType::Str)]),
+    )
+    .unwrap();
     cat.create_table(
         "EMPSKILLS",
         Schema::from_pairs(&[("eseno", DataType::Int), ("essno", DataType::Int)]),
@@ -47,7 +54,11 @@ fn plan_sql(cat: &Catalog, sql: &str, opts: PlanOptions) -> crate::physical::Qep
 #[test]
 fn simple_scan_plan() {
     let cat = paper_catalog();
-    let qep = plan_sql(&cat, "SELECT ename FROM EMP WHERE sal > 100", PlanOptions::default());
+    let qep = plan_sql(
+        &cat,
+        "SELECT ename FROM EMP WHERE sal > 100",
+        PlanOptions::default(),
+    );
     assert_eq!(qep.outputs.len(), 1);
     let explain = qep.outputs[0].plan.explain();
     assert!(explain.contains("SeqScan(EMP)"), "{explain}");
@@ -77,7 +88,14 @@ fn naive_mode_plans_subquery_filter() {
     )
     .unwrap();
     let mut g = build_select_query(&cat, &q).unwrap();
-    rewrite(&mut g, RewriteOptions { e_to_f: false, simplify: true }).unwrap();
+    rewrite(
+        &mut g,
+        RewriteOptions {
+            e_to_f: false,
+            simplify: true,
+        },
+    )
+    .unwrap();
     let qep = plan_query(&cat, &g, PlanOptions::default()).unwrap();
     let explain = qep.outputs[0].plan.explain();
     assert!(explain.contains("SubqueryFilter"), "{explain}");
@@ -88,7 +106,11 @@ fn index_access_path_selected() {
     let cat = paper_catalog();
     let t = cat.table("DEPT").unwrap();
     t.create_index("dept_loc", vec![2], false).unwrap();
-    let qep = plan_sql(&cat, "SELECT * FROM DEPT WHERE loc = 'ARC'", PlanOptions::default());
+    let qep = plan_sql(
+        &cat,
+        "SELECT * FROM DEPT WHERE loc = 'ARC'",
+        PlanOptions::default(),
+    );
     let explain = qep.outputs[0].plan.explain();
     assert!(explain.contains("IndexEq(DEPT.dept_loc)"), "{explain}");
 
@@ -96,7 +118,10 @@ fn index_access_path_selected() {
     let qep = plan_sql(
         &cat,
         "SELECT * FROM DEPT WHERE loc = 'ARC'",
-        PlanOptions { use_indexes: false, ..Default::default() },
+        PlanOptions {
+            use_indexes: false,
+            ..Default::default()
+        },
     );
     assert!(qep.outputs[0].plan.explain().contains("SeqScan(DEPT)"));
 }
@@ -132,7 +157,9 @@ fn xnf_plan_materialises_shared_components() {
     assert_eq!(qep.outputs.len(), 3);
     // The connection plan scans both shared results.
     let conn = qep.outputs.iter().find(|o| o.name == "employment").unwrap();
-    let shared_scans = conn.plan.count_ops(&mut |p| matches!(p, PhysPlan::SharedScan { .. }));
+    let shared_scans = conn
+        .plan
+        .count_ops(&mut |p| matches!(p, PhysPlan::SharedScan { .. }));
     assert_eq!(shared_scans, 2, "{}", conn.plan.explain());
 }
 

@@ -42,7 +42,11 @@ pub fn attach_top(qgm: &mut Qgm, body: BoxId, select: &Select) -> Result<()> {
     let top = qgm.add_box(BoxKind::Top, "top");
     let tq = qgm.add_qun(top, QunKind::Foreach, body, "out");
     qgm.top = Some(top);
-    qgm.outputs.push(OutputDesc { qun: tq, name: "result".into(), kind: OutputKind::Table });
+    qgm.outputs.push(OutputDesc {
+        qun: tq,
+        name: "result".into(),
+        kind: OutputKind::Table,
+    });
     qgm.order_by = resolve_order_by(qgm, body, &select.order_by)?;
     qgm.limit = select.limit;
     Ok(())
@@ -76,7 +80,10 @@ fn resolve_order_by(qgm: &Qgm, body: BoxId, items: &[OrderItem]) -> Result<Vec<O
                 )))
             }
         };
-        out.push(OrderSpec { col, desc: item.desc });
+        out.push(OrderSpec {
+            col,
+            desc: item.desc,
+        });
     }
     Ok(out)
 }
@@ -90,15 +97,25 @@ pub struct Scope<'p> {
 
 impl<'p> Scope<'p> {
     pub fn root() -> Scope<'static> {
-        Scope { bindings: Vec::new(), parent: None }
+        Scope {
+            bindings: Vec::new(),
+            parent: None,
+        }
     }
 
     fn child(&'p self) -> Scope<'p> {
-        Scope { bindings: Vec::new(), parent: Some(self) }
+        Scope {
+            bindings: Vec::new(),
+            parent: Some(self),
+        }
     }
 
     pub fn add_binding(&mut self, name: &str, qun: QunId) -> Result<()> {
-        if self.bindings.iter().any(|(n, _)| n.eq_ignore_ascii_case(name)) {
+        if self
+            .bindings
+            .iter()
+            .any(|(n, _)| n.eq_ignore_ascii_case(name))
+        {
             return Err(QgmError::Xnf(format!("duplicate table alias '{name}'")));
         }
         self.bindings.push((name.to_string(), qun));
@@ -118,7 +135,12 @@ pub struct Builder<'a> {
 
 impl<'a> Builder<'a> {
     pub fn new(catalog: &'a Catalog) -> Self {
-        Builder { catalog, qgm: Qgm::new(), base_boxes: HashMap::new(), view_depth: 0 }
+        Builder {
+            catalog,
+            qgm: Qgm::new(),
+            base_boxes: HashMap::new(),
+            view_depth: 0,
+        }
     }
 
     pub fn finish(self) -> Qgm {
@@ -131,12 +153,18 @@ impl<'a> Builder<'a> {
         if let Some(&b) = self.base_boxes.get(&key) {
             return Ok(b);
         }
-        let table =
-            self.catalog.table(name).map_err(|_| QgmError::UnknownTable(name.to_string()))?;
+        let table = self
+            .catalog
+            .table(name)
+            .map_err(|_| QgmError::UnknownTable(name.to_string()))?;
         let schema = table.schema.clone();
-        let id = self
-            .qgm
-            .add_box(BoxKind::BaseTable { table: table.name.clone(), schema }, &table.name);
+        let id = self.qgm.add_box(
+            BoxKind::BaseTable {
+                table: table.name.clone(),
+                schema,
+            },
+            &table.name,
+        );
         self.base_boxes.insert(key, id);
         Ok(id)
     }
@@ -189,10 +217,18 @@ impl<'a> Builder<'a> {
             }
         }
         let fq = first_qun.unwrap();
-        let names: Vec<String> =
-            self.qgm.boxed(branches[0]).head.iter().map(|h| h.name.clone()).collect();
+        let names: Vec<String> = self
+            .qgm
+            .boxed(branches[0])
+            .head
+            .iter()
+            .map(|h| h.name.clone())
+            .collect();
         for (i, name) in names.into_iter().enumerate() {
-            self.qgm.boxes[ub].head.push(HeadColumn { name, expr: ScalarExpr::col(fq, i) });
+            self.qgm.boxes[ub].head.push(HeadColumn {
+                name,
+                expr: ScalarExpr::col(fq, i),
+            });
         }
         Ok(ub)
     }
@@ -218,7 +254,9 @@ impl<'a> Builder<'a> {
             }
         }
 
-        let sel_box = self.qgm.add_box(BoxKind::Select(SelectBox::default()), "select");
+        let sel_box = self
+            .qgm
+            .add_box(BoxKind::Select(SelectBox::default()), "select");
         let mut scope = outer.child();
 
         // FROM clause + explicit JOINs.
@@ -301,7 +339,9 @@ impl<'a> Builder<'a> {
                 }
                 SelectItem::Expr { expr, alias } => {
                     let e = self.resolve_expr(expr, scope)?;
-                    let name = alias.clone().unwrap_or_else(|| default_name(expr, out.len()));
+                    let name = alias
+                        .clone()
+                        .unwrap_or_else(|| default_name(expr, out.len()));
                     out.push((name, e));
                 }
             }
@@ -310,7 +350,9 @@ impl<'a> Builder<'a> {
     }
 
     fn head_name_of(&self, qun: QunId, col: usize) -> String {
-        self.qgm.boxes[self.qgm.quns[qun].ranges_over].head[col].name.clone()
+        self.qgm.boxes[self.qgm.quns[qun].ranges_over].head[col]
+            .name
+            .clone()
     }
 
     /// Add one FROM-clause reference as a quantifier of `owner`.
@@ -342,7 +384,9 @@ impl<'a> Builder<'a> {
             TableRef::Derived { select, alias } => {
                 let over = self.select_to_box(select, outer)?;
                 self.qgm.boxes[over].label = alias.clone();
-                let q = self.qgm.add_qun(owner, QunKind::Foreach, over, alias.as_str());
+                let q = self
+                    .qgm
+                    .add_qun(owner, QunKind::Foreach, over, alias.as_str());
                 scope.add_binding(alias, q)?;
             }
         }
@@ -352,14 +396,19 @@ impl<'a> Builder<'a> {
     /// Expand a stored SQL view into a box.
     fn expand_sql_view(&mut self, text: &str) -> Result<BoxId> {
         if self.view_depth >= MAX_VIEW_DEPTH {
-            return Err(QgmError::Unsupported("view expansion too deep (cycle?)".to_string()));
+            return Err(QgmError::Unsupported(
+                "view expansion too deep (cycle?)".to_string(),
+            ));
         }
         self.view_depth += 1;
         let result = (|| {
             let stmt = parse_statement(text)?;
             let select = match stmt {
                 Statement::Select(s) => s,
-                Statement::CreateView { body: ViewBody::Select(s), .. } => s,
+                Statement::CreateView {
+                    body: ViewBody::Select(s),
+                    ..
+                } => s,
                 _ => {
                     return Err(QgmError::Unsupported(
                         "stored view text is not a SELECT".to_string(),
@@ -374,23 +423,43 @@ impl<'a> Builder<'a> {
 
     /// Add one WHERE conjunct: either a scalar predicate or a subquery
     /// (quantifier-producing) construct.
-    pub fn add_predicate(&mut self, owner: BoxId, conjunct: &Expr, scope: &Scope<'_>) -> Result<()> {
+    pub fn add_predicate(
+        &mut self,
+        owner: BoxId,
+        conjunct: &Expr,
+        scope: &Scope<'_>,
+    ) -> Result<()> {
         match conjunct {
             Expr::Exists { subquery, negated } => {
                 let sub = self.select_to_box(subquery, scope)?;
-                let kind = if *negated { QunKind::Anti } else { QunKind::Existential };
+                let kind = if *negated {
+                    QunKind::Anti
+                } else {
+                    QunKind::Existential
+                };
                 self.qgm.add_qun(owner, kind, sub, "sq");
                 Ok(())
             }
-            Expr::Unary { op: UnaryOp::Not, expr } if matches!(**expr, Expr::Exists { .. }) => {
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } if matches!(**expr, Expr::Exists { .. }) => {
                 if let Expr::Exists { subquery, negated } = &**expr {
                     let sub = self.select_to_box(subquery, scope)?;
-                    let kind = if *negated { QunKind::Existential } else { QunKind::Anti };
+                    let kind = if *negated {
+                        QunKind::Existential
+                    } else {
+                        QunKind::Anti
+                    };
                     self.qgm.add_qun(owner, kind, sub, "sq");
                 }
                 Ok(())
             }
-            Expr::InSubquery { expr, subquery, negated } => {
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
                 let outer_e = self.resolve_expr(expr, scope)?;
                 let sub = self.select_to_box(subquery, scope)?;
                 if self.qgm.boxed(sub).head.len() != 1 {
@@ -402,8 +471,14 @@ impl<'a> Builder<'a> {
                 // expressed over its own head expression (correlation to the
                 // outer expression).
                 let head_expr = self.qgm.boxed(sub).head[0].expr.clone();
-                self.qgm.boxes[sub].preds.push(ScalarExpr::eq(head_expr, outer_e));
-                let kind = if *negated { QunKind::Anti } else { QunKind::Existential };
+                self.qgm.boxes[sub]
+                    .preds
+                    .push(ScalarExpr::eq(head_expr, outer_e));
+                let kind = if *negated {
+                    QunKind::Anti
+                } else {
+                    QunKind::Existential
+                };
                 self.qgm.add_qun(owner, kind, sub, "sq");
                 Ok(())
             }
@@ -432,16 +507,24 @@ impl<'a> Builder<'a> {
         }
         for &(qun, col) in &flat {
             let name = self.head_name_of(qun, col);
-            self.qgm.boxes[sel_box].head.push(HeadColumn { name, expr: ScalarExpr::col(qun, col) });
+            self.qgm.boxes[sel_box].head.push(HeadColumn {
+                name,
+                expr: ScalarExpr::col(qun, col),
+            });
         }
 
-        let gb = self.qgm.add_box(BoxKind::GroupBy(GroupByBox::default()), "groupby");
+        let gb = self
+            .qgm
+            .add_box(BoxKind::GroupBy(GroupByBox::default()), "groupby");
         let gq = self.qgm.add_qun(gb, QunKind::Foreach, sel_box, "g");
 
         // Re-home a resolved expression from SPJ quantifiers onto gq.
         let rehome = |e: &ScalarExpr, flat: &[(QunId, usize)]| -> Result<ScalarExpr> {
             let mut err = None;
-            let out = e.map_cols(&mut |q, c| match flat.iter().position(|&(fq, fc)| fq == q && fc == c) {
+            let out = e.map_cols(&mut |q, c| match flat
+                .iter()
+                .position(|&(fq, fc)| fq == q && fc == c)
+            {
                 Some(i) => ScalarExpr::col(gq, i),
                 None => {
                     err = Some(QgmError::Unsupported(
@@ -504,6 +587,7 @@ impl<'a> Builder<'a> {
     pub fn resolve_expr(&mut self, e: &Expr, scope: &Scope<'_>) -> Result<ScalarExpr> {
         Ok(match e {
             Expr::Literal(l) => ScalarExpr::Literal(literal_value(l)),
+            Expr::Param(i) => ScalarExpr::Param(*i),
             Expr::Column { qualifier, name } => self.resolve_column(qualifier.as_deref(), name, scope)?,
             Expr::Unary { op, expr } => ScalarExpr::Unary {
                 op: *op,
@@ -577,8 +661,7 @@ impl<'a> Builder<'a> {
         let mut s: Option<&Scope<'_>> = Some(scope);
         while let Some(cur) = s {
             if let Some(q) = qualifier {
-                if let Some((_, qun)) =
-                    cur.bindings.iter().find(|(n, _)| n.eq_ignore_ascii_case(q))
+                if let Some((_, qun)) = cur.bindings.iter().find(|(n, _)| n.eq_ignore_ascii_case(q))
                 {
                     let b = &self.qgm.boxes[self.qgm.quns[*qun].ranges_over];
                     let col = b
@@ -629,7 +712,11 @@ fn default_name(expr: &Expr, ordinal: usize) -> String {
 
 fn collect_disjuncts(e: &Expr) -> Vec<&Expr> {
     match e {
-        Expr::Binary { left, op: BinOp::Or, right } => {
+        Expr::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        } => {
             let mut v = collect_disjuncts(left);
             v.extend(collect_disjuncts(right));
             v
@@ -644,9 +731,9 @@ fn contains_subquery(e: &Expr) -> bool {
         Expr::Unary { expr, .. } => contains_subquery(expr),
         Expr::Binary { left, right, .. } => contains_subquery(left) || contains_subquery(right),
         Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => contains_subquery(expr),
-        Expr::Between { expr, low, high, .. } => {
-            contains_subquery(expr) || contains_subquery(low) || contains_subquery(high)
-        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_subquery(expr) || contains_subquery(low) || contains_subquery(high),
         Expr::InList { expr, list, .. } => {
             contains_subquery(expr) || list.iter().any(contains_subquery)
         }

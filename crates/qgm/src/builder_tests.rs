@@ -111,7 +111,10 @@ fn exists_subquery_becomes_e_quantifier() {
     let sub = g.quns[g.boxed(body).quns[1]].ranges_over;
     let outer_emp = g.boxed(body).quns[0];
     let referenced: Vec<_> = g.boxed(sub).preds.iter().flat_map(|p| p.quns()).collect();
-    assert!(referenced.contains(&outer_emp), "correlated predicate must reference outer qun");
+    assert!(
+        referenced.contains(&outer_emp),
+        "correlated predicate must reference outer qun"
+    );
 }
 
 #[test]
@@ -152,7 +155,12 @@ fn or_of_exists_splits_into_union() {
     .unwrap();
     let g = build_select_query(&cat, &q).unwrap();
     g.check().unwrap();
-    assert_eq!(g.count_kind("Union"), 1, "OR of EXISTS must produce a UNION:\n{}", display::render(&g));
+    assert_eq!(
+        g.count_kind("Union"),
+        1,
+        "OR of EXISTS must produce a UNION:\n{}",
+        display::render(&g)
+    );
 }
 
 #[test]
@@ -167,7 +175,11 @@ fn group_by_builds_groupby_box() {
     let body = g.quns[g.outputs[0].qun].ranges_over;
     assert!(matches!(g.boxed(body).kind, BoxKind::GroupBy(_)));
     assert_eq!(g.boxed(body).head.len(), 3);
-    assert_eq!(g.boxed(body).preds.len(), 1, "HAVING predicate on the GroupBy box");
+    assert_eq!(
+        g.boxed(body).preds.len(),
+        1,
+        "HAVING predicate on the GroupBy box"
+    );
 }
 
 #[test]
@@ -182,10 +194,7 @@ fn non_grouped_item_rejected() {
 fn base_table_boxes_are_shared() {
     let cat = paper_catalog();
     // EMP appears twice: both quantifiers must range over one box.
-    let q = parse_select(
-        "SELECT a.eno FROM EMP a, EMP b WHERE a.eno = b.eno",
-    )
-    .unwrap();
+    let q = parse_select("SELECT a.eno FROM EMP a, EMP b WHERE a.eno = b.eno").unwrap();
     let g = build_select_query(&cat, &q).unwrap();
     assert_eq!(g.count_kind("BaseTable"), 1);
 }
@@ -194,15 +203,27 @@ fn base_table_boxes_are_shared() {
 fn unknown_names_error() {
     let cat = paper_catalog();
     let q = parse_select("SELECT * FROM NOPE").unwrap();
-    assert!(matches!(build_select_query(&cat, &q), Err(QgmError::UnknownTable(_))));
+    assert!(matches!(
+        build_select_query(&cat, &q),
+        Err(QgmError::UnknownTable(_))
+    ));
     let q = parse_select("SELECT nope FROM EMP").unwrap();
-    assert!(matches!(build_select_query(&cat, &q), Err(QgmError::UnknownColumn(_))));
+    assert!(matches!(
+        build_select_query(&cat, &q),
+        Err(QgmError::UnknownColumn(_))
+    ));
     let q = parse_select("SELECT dno FROM EMP e, PROJ p WHERE e.edno = p.pdno").unwrap();
-    assert!(build_select_query(&cat, &q).is_err(), "dno exists in neither");
+    assert!(
+        build_select_query(&cat, &q).is_err(),
+        "dno exists in neither"
+    );
     // Ambiguity: sno exists in SKILLS only; edno/pdno don't collide. Use
     // two EMP bindings to force ambiguity on eno.
     let q = parse_select("SELECT eno FROM EMP a, EMP b").unwrap();
-    assert!(matches!(build_select_query(&cat, &q), Err(QgmError::AmbiguousColumn(_))));
+    assert!(matches!(
+        build_select_query(&cat, &q),
+        Err(QgmError::AmbiguousColumn(_))
+    ));
 }
 
 #[test]
@@ -214,7 +235,10 @@ fn order_by_resolution() {
     assert_eq!((g.order_by[0].col, g.order_by[0].desc), (1, true));
     assert_eq!((g.order_by[1].col, g.order_by[1].desc), (0, false));
     let q = parse_select("SELECT ename FROM EMP ORDER BY sal").unwrap();
-    assert!(build_select_query(&cat, &q).is_err(), "ORDER BY must use select-list columns");
+    assert!(
+        build_select_query(&cat, &q).is_err(),
+        "ORDER BY must use select-list columns"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -250,7 +274,11 @@ fn builds_deps_arc_xnf_qgm() {
 
     // All non-roots are marked reachable ('R' in Fig. 4).
     for c in &xnf.components {
-        if let XnfComponentKind::Node { root: false, reachable } = c.kind {
+        if let XnfComponentKind::Node {
+            root: false,
+            reachable,
+        } = c.kind
+        {
             assert!(reachable, "{} should carry the R marker", c.name);
         }
         assert!(c.taken, "TAKE * takes every component");
@@ -258,9 +286,16 @@ fn builds_deps_arc_xnf_qgm() {
 
     // The dump mentions every component label (Fig. 4 reproduction).
     let dump = display::render(&g);
-    for name in
-        ["xdept", "xemp", "xproj", "xskills", "employment", "ownership", "empproperty", "projproperty"]
-    {
+    for name in [
+        "xdept",
+        "xemp",
+        "xproj",
+        "xskills",
+        "employment",
+        "ownership",
+        "empproperty",
+        "projproperty",
+    ] {
         assert!(dump.contains(name), "dump missing {name}:\n{dump}");
     }
 }

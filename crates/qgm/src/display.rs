@@ -48,8 +48,11 @@ pub fn render_box(qgm: &Qgm, id: usize, out: &mut String) {
     };
     let _ = writeln!(out, "box {} '{}' [{}]", b.id, b.label, kind);
     if !b.head.is_empty() {
-        let cols: Vec<String> =
-            b.head.iter().map(|h| format!("{}={}", h.name, h.expr)).collect();
+        let cols: Vec<String> = b
+            .head
+            .iter()
+            .map(|h| format!("{}={}", h.name, h.expr))
+            .collect();
         let _ = writeln!(out, "  head: {}", cols.join(", "));
     }
     for &q in &b.quns {
@@ -81,7 +84,11 @@ pub fn render_box(qgm: &Qgm, id: usize, out: &mut String) {
                         if c.taken { " TAKEN" } else { "" },
                     );
                 }
-                XnfComponentKind::Relationship { parent, role, children } => {
+                XnfComponentKind::Relationship {
+                    parent,
+                    role,
+                    children,
+                } => {
                     let _ = writeln!(
                         out,
                         "  component rel '{}' {} -{}-> {} body=box {}{}",

@@ -18,16 +18,47 @@ pub type QunId = usize;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScalarExpr {
     Literal(Value),
+    /// Positional parameter placeholder — an opaque constant during rewrite
+    /// and planning, bound to a concrete [`Value`] at execution time.
+    Param(usize),
     /// Column `col` of the box that quantifier `qun` ranges over.
-    Col { qun: QunId, col: usize },
-    Unary { op: UnaryOp, expr: Box<ScalarExpr> },
-    Binary { left: Box<ScalarExpr>, op: BinOp, right: Box<ScalarExpr> },
-    IsNull { expr: Box<ScalarExpr>, negated: bool },
-    Like { expr: Box<ScalarExpr>, pattern: String, negated: bool },
-    InList { expr: Box<ScalarExpr>, list: Vec<ScalarExpr>, negated: bool },
-    Func { func: ScalarFunc, args: Vec<ScalarExpr> },
+    Col {
+        qun: QunId,
+        col: usize,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<ScalarExpr>,
+    },
+    Binary {
+        left: Box<ScalarExpr>,
+        op: BinOp,
+        right: Box<ScalarExpr>,
+    },
+    IsNull {
+        expr: Box<ScalarExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<ScalarExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    InList {
+        expr: Box<ScalarExpr>,
+        list: Vec<ScalarExpr>,
+        negated: bool,
+    },
+    Func {
+        func: ScalarFunc,
+        args: Vec<ScalarExpr>,
+    },
     /// Aggregate — valid only in the head/predicates of a GroupBy box.
-    Agg { func: AggFunc, arg: Option<Box<ScalarExpr>>, distinct: bool },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<ScalarExpr>>,
+        distinct: bool,
+    },
 }
 
 impl ScalarExpr {
@@ -36,17 +67,25 @@ impl ScalarExpr {
     }
 
     pub fn eq(left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
-        ScalarExpr::Binary { left: Box::new(left), op: BinOp::Eq, right: Box::new(right) }
+        ScalarExpr::Binary {
+            left: Box::new(left),
+            op: BinOp::Eq,
+            right: Box::new(right),
+        }
     }
 
     pub fn and(left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
-        ScalarExpr::Binary { left: Box::new(left), op: BinOp::And, right: Box::new(right) }
+        ScalarExpr::Binary {
+            left: Box::new(left),
+            op: BinOp::And,
+            right: Box::new(right),
+        }
     }
 
     /// All quantifiers referenced by this expression.
     pub fn referenced_quns(&self, out: &mut Vec<QunId>) {
         match self {
-            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Literal(_) | ScalarExpr::Param(_) => {}
             ScalarExpr::Col { qun, .. } => {
                 if !out.contains(qun) {
                     out.push(*qun);
@@ -89,24 +128,35 @@ impl ScalarExpr {
     pub fn map_cols(&self, f: &mut impl FnMut(QunId, usize) -> ScalarExpr) -> ScalarExpr {
         match self {
             ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            ScalarExpr::Param(i) => ScalarExpr::Param(*i),
             ScalarExpr::Col { qun, col } => f(*qun, *col),
-            ScalarExpr::Unary { op, expr } => {
-                ScalarExpr::Unary { op: *op, expr: Box::new(expr.map_cols(f)) }
-            }
+            ScalarExpr::Unary { op, expr } => ScalarExpr::Unary {
+                op: *op,
+                expr: Box::new(expr.map_cols(f)),
+            },
             ScalarExpr::Binary { left, op, right } => ScalarExpr::Binary {
                 left: Box::new(left.map_cols(f)),
                 op: *op,
                 right: Box::new(right.map_cols(f)),
             },
-            ScalarExpr::IsNull { expr, negated } => {
-                ScalarExpr::IsNull { expr: Box::new(expr.map_cols(f)), negated: *negated }
-            }
-            ScalarExpr::Like { expr, pattern, negated } => ScalarExpr::Like {
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.map_cols(f)),
+                negated: *negated,
+            },
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => ScalarExpr::Like {
                 expr: Box::new(expr.map_cols(f)),
                 pattern: pattern.clone(),
                 negated: *negated,
             },
-            ScalarExpr::InList { expr, list, negated } => ScalarExpr::InList {
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => ScalarExpr::InList {
                 expr: Box::new(expr.map_cols(f)),
                 list: list.iter().map(|e| e.map_cols(f)).collect(),
                 negated: *negated,
@@ -115,7 +165,11 @@ impl ScalarExpr {
                 func: *func,
                 args: args.iter().map(|e| e.map_cols(f)).collect(),
             },
-            ScalarExpr::Agg { func, arg, distinct } => ScalarExpr::Agg {
+            ScalarExpr::Agg {
+                func,
+                arg,
+                distinct,
+            } => ScalarExpr::Agg {
                 func: *func,
                 arg: arg.as_ref().map(|a| Box::new(a.map_cols(f))),
                 distinct: *distinct,
@@ -127,7 +181,7 @@ impl ScalarExpr {
     pub fn contains_agg(&self) -> bool {
         match self {
             ScalarExpr::Agg { .. } => true,
-            ScalarExpr::Literal(_) | ScalarExpr::Col { .. } => false,
+            ScalarExpr::Literal(_) | ScalarExpr::Param(_) | ScalarExpr::Col { .. } => false,
             ScalarExpr::Unary { expr, .. }
             | ScalarExpr::IsNull { expr, .. }
             | ScalarExpr::Like { expr, .. } => expr.contains_agg(),
@@ -150,25 +204,61 @@ impl fmt::Display for ScalarExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScalarExpr::Literal(v) => write!(f, "{v}"),
+            ScalarExpr::Param(i) => write!(f, "?{i}"),
             ScalarExpr::Col { qun, col } => write!(f, "q{qun}.c{col}"),
-            ScalarExpr::Unary { op: UnaryOp::Neg, expr } => write!(f, "-{expr}"),
-            ScalarExpr::Unary { op: UnaryOp::Not, expr } => write!(f, "NOT({expr})"),
+            ScalarExpr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => write!(f, "-{expr}"),
+            ScalarExpr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => write!(f, "NOT({expr})"),
             ScalarExpr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
-            ScalarExpr::IsNull { expr, negated: false } => write!(f, "{expr} IS NULL"),
-            ScalarExpr::IsNull { expr, negated: true } => write!(f, "{expr} IS NOT NULL"),
-            ScalarExpr::Like { expr, pattern, negated } => {
-                write!(f, "{expr} {}LIKE '{pattern}'", if *negated { "NOT " } else { "" })
+            ScalarExpr::IsNull {
+                expr,
+                negated: false,
+            } => write!(f, "{expr} IS NULL"),
+            ScalarExpr::IsNull {
+                expr,
+                negated: true,
+            } => write!(f, "{expr} IS NOT NULL"),
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}LIKE '{pattern}'",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            ScalarExpr::InList { expr, list, negated } => {
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
-                write!(f, "{expr} {}IN ({})", if *negated { "NOT " } else { "" }, items.join(","))
+                write!(
+                    f,
+                    "{expr} {}IN ({})",
+                    if *negated { "NOT " } else { "" },
+                    items.join(",")
+                )
             }
             ScalarExpr::Func { func, args } => {
                 let items: Vec<String> = args.iter().map(|e| e.to_string()).collect();
                 write!(f, "{func}({})", items.join(","))
             }
-            ScalarExpr::Agg { func, arg: None, .. } => write!(f, "{func}(*)"),
-            ScalarExpr::Agg { func, arg: Some(a), distinct } => {
+            ScalarExpr::Agg {
+                func, arg: None, ..
+            } => write!(f, "{func}(*)"),
+            ScalarExpr::Agg {
+                func,
+                arg: Some(a),
+                distinct,
+            } => {
                 write!(f, "{func}({}{a})", if *distinct { "DISTINCT " } else { "" })
             }
         }

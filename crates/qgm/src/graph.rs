@@ -100,7 +100,11 @@ pub enum XnfComponentKind {
     /// default reachability predicate for non-roots ('R' in Fig. 4).
     Node { root: bool, reachable: bool },
     /// A relationship with its parent, role and children.
-    Relationship { parent: String, role: String, children: Vec<String> },
+    Relationship {
+        parent: String,
+        role: String,
+        children: Vec<String>,
+    },
 }
 
 /// One component of an XNF box.
@@ -127,7 +131,12 @@ pub enum OutputKind {
     /// parent component tuple to one tuple of each child component (n-ary
     /// relationships have several children). Head = [parent rowid,
     /// child rowids...].
-    Connection { relationship: String, parent: String, children: Vec<String>, role: String },
+    Connection {
+        relationship: String,
+        parent: String,
+        children: Vec<String>,
+        role: String,
+    },
 }
 
 /// Description of one Top-box output stream.
@@ -143,7 +152,10 @@ pub struct OutputDesc {
 #[derive(Debug, Clone)]
 pub enum BoxKind {
     /// A stored table. Head columns mirror the schema.
-    BaseTable { table: String, schema: Schema },
+    BaseTable {
+        table: String,
+        schema: Schema,
+    },
     Select(SelectBox),
     GroupBy(GroupByBox),
     Union(UnionBox),
@@ -182,7 +194,9 @@ pub struct QgmBox {
 
 impl QgmBox {
     pub fn head_index(&self, name: &str) -> Option<usize> {
-        self.head.iter().position(|h| h.name.eq_ignore_ascii_case(name))
+        self.head
+            .iter()
+            .position(|h| h.name.eq_ignore_ascii_case(name))
     }
 
     pub fn is_select(&self) -> bool {
@@ -237,7 +251,10 @@ impl Qgm {
                 .enumerate()
                 .map(|(i, c)| HeadColumn {
                     name: c.name.clone(),
-                    expr: ScalarExpr::Col { qun: usize::MAX - 1, col: i },
+                    expr: ScalarExpr::Col {
+                        qun: usize::MAX - 1,
+                        col: i,
+                    },
                 })
                 .collect(),
             _ => Vec::new(),
@@ -262,7 +279,12 @@ impl Qgm {
         name: impl Into<String>,
     ) -> QunId {
         let id = self.quns.len();
-        self.quns.push(Quantifier { id, kind, ranges_over: over, name: name.into() });
+        self.quns.push(Quantifier {
+            id,
+            kind,
+            ranges_over: over,
+            name: name.into(),
+        });
         self.boxes[owner].quns.push(id);
         id
     }
@@ -277,7 +299,10 @@ impl Qgm {
 
     /// The box that owns quantifier `q`, if any.
     pub fn owner_of(&self, q: QunId) -> Option<BoxId> {
-        self.boxes.iter().find(|b| b.quns.contains(&q)).map(|b| b.id)
+        self.boxes
+            .iter()
+            .find(|b| b.quns.contains(&q))
+            .map(|b| b.id)
     }
 
     /// Number of quantifiers ranging over each box (its "reference count").
@@ -382,17 +407,29 @@ impl Qgm {
                 continue;
             }
             b.id = box_map[b.id];
-            b.quns = b.quns.iter().filter(|&&q| qun_map[q] != usize::MAX).map(|&q| qun_map[q]).collect();
+            b.quns = b
+                .quns
+                .iter()
+                .filter(|&&q| qun_map[q] != usize::MAX)
+                .map(|&q| qun_map[q])
+                .collect();
             let remap = |e: &ScalarExpr| {
                 e.map_cols(&mut |q, c| {
-                    let nq = if q < qun_map.len() && qun_map[q] != usize::MAX { qun_map[q] } else { q };
+                    let nq = if q < qun_map.len() && qun_map[q] != usize::MAX {
+                        qun_map[q]
+                    } else {
+                        q
+                    };
                     ScalarExpr::Col { qun: nq, col: c }
                 })
             };
             b.head = b
                 .head
                 .iter()
-                .map(|h| HeadColumn { name: h.name.clone(), expr: remap(&h.expr) })
+                .map(|h| HeadColumn {
+                    name: h.name.clone(),
+                    expr: remap(&h.expr),
+                })
                 .collect();
             b.preds = b.preds.iter().map(remap).collect();
             if let BoxKind::GroupBy(g) = &mut b.kind {
@@ -455,10 +492,19 @@ mod tests {
     #[test]
     fn build_simple_graph() {
         let mut g = Qgm::new();
-        let bt = g.add_box(BoxKind::BaseTable { table: "T".into(), schema: base_schema() }, "T");
+        let bt = g.add_box(
+            BoxKind::BaseTable {
+                table: "T".into(),
+                schema: base_schema(),
+            },
+            "T",
+        );
         let sel = g.add_box(BoxKind::Select(SelectBox::default()), "q");
         let q = g.add_qun(sel, QunKind::Foreach, bt, "t");
-        g.boxes[sel].head.push(HeadColumn { name: "a".into(), expr: ScalarExpr::col(q, 0) });
+        g.boxes[sel].head.push(HeadColumn {
+            name: "a".into(),
+            expr: ScalarExpr::col(q, 0),
+        });
         g.boxes[sel].preds.push(ScalarExpr::eq(
             ScalarExpr::col(q, 1),
             ScalarExpr::Literal(Value::Str("x".into())),
@@ -466,7 +512,11 @@ mod tests {
         let top = g.add_box(BoxKind::Top, "top");
         let tq = g.add_qun(top, QunKind::Foreach, sel, "out");
         g.top = Some(top);
-        g.outputs.push(OutputDesc { qun: tq, name: "result".into(), kind: OutputKind::Table });
+        g.outputs.push(OutputDesc {
+            qun: tq,
+            name: "result".into(),
+            kind: OutputKind::Table,
+        });
 
         g.check().unwrap();
         assert_eq!(g.ref_counts()[bt], 1);
@@ -481,7 +531,13 @@ mod tests {
     #[test]
     fn unreachable_boxes_detected() {
         let mut g = Qgm::new();
-        let bt = g.add_box(BoxKind::BaseTable { table: "T".into(), schema: base_schema() }, "T");
+        let bt = g.add_box(
+            BoxKind::BaseTable {
+                table: "T".into(),
+                schema: base_schema(),
+            },
+            "T",
+        );
         let orphan = g.add_box(BoxKind::Select(SelectBox::default()), "orphan");
         let top = g.add_box(BoxKind::Top, "top");
         g.add_qun(top, QunKind::Foreach, bt, "t");
@@ -494,16 +550,29 @@ mod tests {
     #[test]
     fn compact_removes_unreachable_boxes() {
         let mut g = Qgm::new();
-        let bt = g.add_box(BoxKind::BaseTable { table: "T".into(), schema: base_schema() }, "T");
+        let bt = g.add_box(
+            BoxKind::BaseTable {
+                table: "T".into(),
+                schema: base_schema(),
+            },
+            "T",
+        );
         let dead = g.add_box(BoxKind::Select(SelectBox::default()), "dead");
         let _dead_q = g.add_qun(dead, QunKind::Foreach, bt, "d");
         let sel = g.add_box(BoxKind::Select(SelectBox::default()), "live");
         let q = g.add_qun(sel, QunKind::Foreach, bt, "t");
-        g.boxes[sel].head.push(HeadColumn { name: "a".into(), expr: ScalarExpr::col(q, 0) });
+        g.boxes[sel].head.push(HeadColumn {
+            name: "a".into(),
+            expr: ScalarExpr::col(q, 0),
+        });
         let top = g.add_box(BoxKind::Top, "top");
         let tq = g.add_qun(top, QunKind::Foreach, sel, "out");
         g.top = Some(top);
-        g.outputs.push(OutputDesc { qun: tq, name: "result".into(), kind: OutputKind::Table });
+        g.outputs.push(OutputDesc {
+            qun: tq,
+            name: "result".into(),
+            kind: OutputKind::Table,
+        });
 
         g.compact();
         g.check().unwrap();
@@ -520,7 +589,13 @@ mod tests {
     #[test]
     fn owner_lookup() {
         let mut g = Qgm::new();
-        let bt = g.add_box(BoxKind::BaseTable { table: "T".into(), schema: base_schema() }, "T");
+        let bt = g.add_box(
+            BoxKind::BaseTable {
+                table: "T".into(),
+                schema: base_schema(),
+            },
+            "T",
+        );
         let sel = g.add_box(BoxKind::Select(SelectBox::default()), "s");
         let q = g.add_qun(sel, QunKind::Semi, bt, "t");
         assert_eq!(g.owner_of(q), Some(sel));

@@ -24,16 +24,19 @@ use xnf_storage::{Catalog, ViewKind};
 use crate::builder::{Builder, Scope};
 use crate::error::{QgmError, Result};
 use crate::expr::ScalarExpr;
-use crate::graph::{
-    BoxId, BoxKind, Qgm, QunKind, XnfBox, XnfComponent, XnfComponentKind,
-};
+use crate::graph::{BoxId, BoxKind, Qgm, QunKind, XnfBox, XnfComponent, XnfComponentKind};
 
 /// Build the XNF QGM graph for an XNF query.
 pub fn build_xnf_query(catalog: &Catalog, q: &XnfQuery) -> Result<Qgm> {
     let mut b = Builder::new(catalog);
 
     // Phase 0: the XNF operator box and the Top box.
-    let xnf_box = b.qgm.add_box(BoxKind::Xnf(XnfBox { components: Vec::new() }), "XNF");
+    let xnf_box = b.qgm.add_box(
+        BoxKind::Xnf(XnfBox {
+            components: Vec::new(),
+        }),
+        "XNF",
+    );
     let top = b.qgm.add_box(BoxKind::Top, "top");
     b.qgm.add_qun(top, QunKind::Foreach, xnf_box, "co");
     b.qgm.top = Some(top);
@@ -83,7 +86,9 @@ pub fn build_xnf_query(catalog: &Catalog, q: &XnfQuery) -> Result<Qgm> {
         }
     }
     if !have_root {
-        return Err(QgmError::Xnf("composite object has no root component".to_string()));
+        return Err(QgmError::Xnf(
+            "composite object has no root component".to_string(),
+        ));
     }
 
     // Phase 3: TAKE.
@@ -98,7 +103,9 @@ pub fn build_xnf_query(catalog: &Catalog, q: &XnfQuery) -> Result<Qgm> {
             for item in items {
                 let idx = *by_name
                     .get(&item.name.to_ascii_lowercase())
-                    .ok_or_else(|| QgmError::Xnf(format!("TAKE of unknown component '{}'", item.name)))?;
+                    .ok_or_else(|| {
+                        QgmError::Xnf(format!("TAKE of unknown component '{}'", item.name))
+                    })?;
                 components[idx].taken = true;
                 if let Some(cols) = &item.columns {
                     if matches!(components[idx].kind, XnfComponentKind::Relationship { .. }) {
@@ -127,7 +134,10 @@ pub fn build_xnf_query(catalog: &Catalog, q: &XnfQuery) -> Result<Qgm> {
                 if !c.taken {
                     continue;
                 }
-                if let XnfComponentKind::Relationship { parent, children, .. } = &c.kind {
+                if let XnfComponentKind::Relationship {
+                    parent, children, ..
+                } = &c.kind
+                {
                     for p in std::iter::once(parent).chain(children.iter()) {
                         let idx = by_name[&p.to_ascii_lowercase()];
                         if !components[idx].taken {
@@ -145,8 +155,10 @@ pub fn build_xnf_query(catalog: &Catalog, q: &XnfQuery) -> Result<Qgm> {
     // Install the components into the XNF box and add quantifiers over each
     // component body (the XNF operator "incorporates n >= 1 incoming
     // tables", Sect. 4.1).
-    let bodies: Vec<(String, BoxId)> =
-        components.iter().map(|c| (c.name.clone(), c.body)).collect();
+    let bodies: Vec<(String, BoxId)> = components
+        .iter()
+        .map(|c| (c.name.clone(), c.body))
+        .collect();
     for (name, body) in bodies {
         b.qgm.add_qun(xnf_box, QunKind::Foreach, body, name);
     }
@@ -167,7 +179,9 @@ fn collect_defs(
     depth: u32,
 ) -> Result<()> {
     if depth > 16 {
-        return Err(QgmError::Xnf("XNF view inlining too deep (cycle?)".to_string()));
+        return Err(QgmError::Xnf(
+            "XNF view inlining too deep (cycle?)".to_string(),
+        ));
     }
     for def in defs {
         match def {
@@ -179,7 +193,10 @@ fn collect_defs(
                     by_name,
                     XnfComponent {
                         name: name.clone(),
-                        kind: XnfComponentKind::Node { root: *root, reachable: false },
+                        kind: XnfComponentKind::Node {
+                            root: *root,
+                            reachable: false,
+                        },
                         body,
                         taken: false,
                         projection: None,
@@ -188,12 +205,15 @@ fn collect_defs(
             }
             XnfDef::Relationship(rel) => {
                 // Partner component boxes must already exist.
-                let parent_idx = *by_name.get(&rel.parent.to_ascii_lowercase()).ok_or_else(|| {
-                    QgmError::Xnf(format!(
-                        "relationship '{}' references unknown parent '{}'",
-                        rel.name, rel.parent
-                    ))
-                })?;
+                let parent_idx =
+                    *by_name
+                        .get(&rel.parent.to_ascii_lowercase())
+                        .ok_or_else(|| {
+                            QgmError::Xnf(format!(
+                                "relationship '{}' references unknown parent '{}'",
+                                rel.name, rel.parent
+                            ))
+                        })?;
                 let mut child_idxs = Vec::new();
                 for c in &rel.children {
                     let idx = *by_name.get(&c.to_ascii_lowercase()).ok_or_else(|| {
@@ -210,7 +230,10 @@ fn collect_defs(
                     }
                     child_idxs.push(idx);
                 }
-                if matches!(components[parent_idx].kind, XnfComponentKind::Relationship { .. }) {
+                if matches!(
+                    components[parent_idx].kind,
+                    XnfComponentKind::Relationship { .. }
+                ) {
                     return Err(QgmError::Xnf(format!(
                         "relationship '{}' cannot have relationship '{}' as parent",
                         rel.name, rel.parent
@@ -219,7 +242,9 @@ fn collect_defs(
 
                 // Build the relationship's Select box: quantifiers over the
                 // partner component boxes and the USING base tables.
-                let rbox = b.qgm.add_box(BoxKind::Select(Default::default()), rel.name.clone());
+                let rbox = b
+                    .qgm
+                    .add_box(BoxKind::Select(Default::default()), rel.name.clone());
                 let mut scope = Scope::root();
                 let pq = b.qgm.add_qun(
                     rbox,
@@ -232,9 +257,14 @@ fn collect_defs(
                 for (c, &idx) in rel.children.iter().zip(&child_idxs) {
                     // A self-relationship (child == parent) binds the child
                     // side under the role name.
-                    let binding =
-                        if c.eq_ignore_ascii_case(&rel.parent) { rel.role.clone() } else { c.clone() };
-                    let cq = b.qgm.add_qun(rbox, QunKind::Foreach, components[idx].body, &binding);
+                    let binding = if c.eq_ignore_ascii_case(&rel.parent) {
+                        rel.role.clone()
+                    } else {
+                        c.clone()
+                    };
+                    let cq = b
+                        .qgm
+                        .add_qun(rbox, QunKind::Foreach, components[idx].body, &binding);
                     scope.add_binding(&binding, cq)?;
                     child_quns.push(cq);
                 }
@@ -290,7 +320,10 @@ fn collect_defs(
                 let stmt = parse_statement(&view.text)?;
                 let inner = match stmt {
                     Statement::Xnf(q) => q,
-                    Statement::CreateView { body: ViewBody::Xnf(q), .. } => q,
+                    Statement::CreateView {
+                        body: ViewBody::Xnf(q),
+                        ..
+                    } => q,
                     _ => {
                         return Err(QgmError::Xnf(format!(
                             "stored text of XNF view '{name}' is not an OUT OF query"
@@ -311,7 +344,10 @@ fn add_component(
 ) -> Result<()> {
     let key = c.name.to_ascii_lowercase();
     if by_name.contains_key(&key) {
-        return Err(QgmError::Xnf(format!("duplicate component name '{}'", c.name)));
+        return Err(QgmError::Xnf(format!(
+            "duplicate component name '{}'",
+            c.name
+        )));
     }
     by_name.insert(key, components.len());
     components.push(c);
@@ -337,7 +373,12 @@ fn attach_restriction(
     }
     let idx = *by_name
         .get(&referenced[0].to_ascii_lowercase())
-        .ok_or_else(|| QgmError::Xnf(format!("restriction on unknown component '{}'", referenced[0])))?;
+        .ok_or_else(|| {
+            QgmError::Xnf(format!(
+                "restriction on unknown component '{}'",
+                referenced[0]
+            ))
+        })?;
     let body = components[idx].body;
 
     // Resolve the conjunct against the component's head columns: a reference
@@ -357,6 +398,7 @@ fn resolve_against_head(
     use xnf_sql::Expr as E;
     Ok(match e {
         E::Literal(l) => ScalarExpr::Literal(crate::builder::literal_value(l)),
+        E::Param(i) => ScalarExpr::Param(*i),
         E::Column { qualifier, name } => {
             if let Some(q) = qualifier {
                 if !q.eq_ignore_ascii_case(component) {
@@ -366,9 +408,9 @@ fn resolve_against_head(
                 }
             }
             let bx = b.qgm.boxed(body);
-            let ord = bx
-                .head_index(name)
-                .ok_or_else(|| QgmError::Xnf(format!("component '{component}' has no column '{name}'")))?;
+            let ord = bx.head_index(name).ok_or_else(|| {
+                QgmError::Xnf(format!("component '{component}' has no column '{name}'"))
+            })?;
             bx.head[ord].expr.clone()
         }
         E::Unary { op, expr } => ScalarExpr::Unary {
@@ -384,12 +426,20 @@ fn resolve_against_head(
             expr: Box::new(resolve_against_head(b, body, expr, component)?),
             negated: *negated,
         },
-        E::Like { expr, pattern, negated } => ScalarExpr::Like {
+        E::Like {
+            expr,
+            pattern,
+            negated,
+        } => ScalarExpr::Like {
             expr: Box::new(resolve_against_head(b, body, expr, component)?),
             pattern: pattern.clone(),
             negated: *negated,
         },
-        E::InList { expr, list, negated } => ScalarExpr::InList {
+        E::InList {
+            expr,
+            list,
+            negated,
+        } => ScalarExpr::InList {
             expr: Box::new(resolve_against_head(b, body, expr, component)?),
             list: list
                 .iter()
@@ -408,8 +458,14 @@ fn resolve_against_head(
 fn collect_qualifiers(e: &Expr, out: &mut Vec<String>) {
     use xnf_sql::Expr as E;
     match e {
-        E::Column { qualifier: Some(q), .. } => out.push(q.clone()),
-        E::Column { qualifier: None, .. } | E::Literal(_) => {}
+        E::Column {
+            qualifier: Some(q), ..
+        } => out.push(q.clone()),
+        E::Column {
+            qualifier: None, ..
+        }
+        | E::Literal(_)
+        | E::Param(_) => {}
         E::Unary { expr, .. } | E::IsNull { expr, .. } | E::Like { expr, .. } => {
             collect_qualifiers(expr, out)
         }
@@ -417,7 +473,9 @@ fn collect_qualifiers(e: &Expr, out: &mut Vec<String>) {
             collect_qualifiers(left, out);
             collect_qualifiers(right, out);
         }
-        E::Between { expr, low, high, .. } => {
+        E::Between {
+            expr, low, high, ..
+        } => {
             collect_qualifiers(expr, out);
             collect_qualifiers(low, out);
             collect_qualifiers(high, out);
@@ -458,7 +516,10 @@ pub fn schema_graph_has_cycle(xnf: &XnfBox) -> bool {
     }
     let mut adj = vec![Vec::new(); nodes.len()];
     for c in &xnf.components {
-        if let XnfComponentKind::Relationship { parent, children, .. } = &c.kind {
+        if let XnfComponentKind::Relationship {
+            parent, children, ..
+        } = &c.kind
+        {
             if let Some(&p) = idx.get(&parent.to_ascii_lowercase()) {
                 for ch in children {
                     if let Some(&cc) = idx.get(&ch.to_ascii_lowercase()) {

@@ -28,7 +28,11 @@ pub struct RewriteReport {
 
 impl RewriteReport {
     pub fn fired(&self, rule: &str) -> u64 {
-        self.firings.iter().find(|(n, _)| n == rule).map(|(_, c)| *c).unwrap_or(0)
+        self.firings
+            .iter()
+            .find(|(n, _)| n == rule)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
     }
 
     pub fn total(&self) -> u64 {
@@ -44,7 +48,10 @@ pub struct RuleEngine {
 
 impl RuleEngine {
     pub fn new(rules: Vec<Box<dyn Rule>>) -> Self {
-        RuleEngine { rules, max_passes: 10_000 }
+        RuleEngine {
+            rules,
+            max_passes: 10_000,
+        }
     }
 
     /// Apply all rules round-robin until none fires (or the pass budget is
@@ -52,7 +59,11 @@ impl RuleEngine {
     /// the pass count rather than an error so callers can assert on it).
     pub fn run(&self, qgm: &mut Qgm) -> Result<RewriteReport> {
         let mut report = RewriteReport {
-            firings: self.rules.iter().map(|r| (r.name().to_string(), 0)).collect(),
+            firings: self
+                .rules
+                .iter()
+                .map(|r| (r.name().to_string(), 0))
+                .collect(),
             passes: 0,
         };
         loop {

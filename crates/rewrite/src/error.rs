@@ -21,7 +21,10 @@ impl fmt::Display for RewriteError {
         match self {
             RewriteError::Corrupt(m) => write!(f, "rewrite invariant violated: {m}"),
             RewriteError::RecursiveCo => {
-                write!(f, "recursive composite object: use the fixpoint evaluation path")
+                write!(
+                    f,
+                    "recursive composite object: use the fixpoint evaluation path"
+                )
             }
             RewriteError::Qgm(e) => write!(f, "{e}"),
         }

@@ -34,7 +34,10 @@ pub struct RewriteOptions {
 
 impl Default for RewriteOptions {
     fn default() -> Self {
-        RewriteOptions { e_to_f: true, simplify: true }
+        RewriteOptions {
+            e_to_f: true,
+            simplify: true,
+        }
     }
 }
 

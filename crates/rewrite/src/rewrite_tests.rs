@@ -2,9 +2,7 @@
 
 use std::sync::Arc;
 
-use xnf_qgm::{
-    build_select_query, build_xnf_query, display, OutputKind, QunKind,
-};
+use xnf_qgm::{build_select_query, build_xnf_query, display, OutputKind, QunKind};
 use xnf_sql::{parse_select, parse_xnf};
 use xnf_storage::{BufferPool, Catalog, DataType, DiskManager, Schema};
 
@@ -14,7 +12,11 @@ fn paper_catalog() -> Catalog {
     let cat = Catalog::new(Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 256)));
     cat.create_table(
         "DEPT",
-        Schema::from_pairs(&[("dno", DataType::Int), ("dname", DataType::Str), ("loc", DataType::Str)]),
+        Schema::from_pairs(&[
+            ("dno", DataType::Int),
+            ("dname", DataType::Str),
+            ("loc", DataType::Str),
+        ]),
     )
     .unwrap();
     cat.create_table(
@@ -29,11 +31,18 @@ fn paper_catalog() -> Catalog {
     .unwrap();
     cat.create_table(
         "PROJ",
-        Schema::from_pairs(&[("pno", DataType::Int), ("pname", DataType::Str), ("pdno", DataType::Int)]),
+        Schema::from_pairs(&[
+            ("pno", DataType::Int),
+            ("pname", DataType::Str),
+            ("pdno", DataType::Int),
+        ]),
     )
     .unwrap();
-    cat.create_table("SKILLS", Schema::from_pairs(&[("sno", DataType::Int), ("sname", DataType::Str)]))
-        .unwrap();
+    cat.create_table(
+        "SKILLS",
+        Schema::from_pairs(&[("sno", DataType::Int), ("sname", DataType::Str)]),
+    )
+    .unwrap();
     cat.create_table(
         "EMPSKILLS",
         Schema::from_pairs(&[("eseno", DataType::Int), ("essno", DataType::Int)]),
@@ -74,7 +83,11 @@ fn fig3_exists_to_join_and_merge() {
 
     // Initial graph (Fig. 3a): outer box has an E quantifier.
     let body = g.quns[g.outputs[0].qun].ranges_over;
-    assert!(g.boxed(body).quns.iter().any(|&q| g.quns[q].kind == QunKind::Existential));
+    assert!(g
+        .boxed(body)
+        .quns
+        .iter()
+        .any(|&q| g.quns[q].kind == QunKind::Existential));
 
     let report = rewrite(&mut g, RewriteOptions::default()).unwrap();
     assert!(report.fired("e_to_f") >= 1, "E-to-F must fire");
@@ -84,7 +97,12 @@ fn fig3_exists_to_join_and_merge() {
     g.check().unwrap();
     let body = g.quns[g.outputs[0].qun].ranges_over;
     let b = g.boxed(body);
-    assert_eq!(b.quns.len(), 2, "one box, two quantifiers:\n{}", display::render(&g));
+    assert_eq!(
+        b.quns.len(),
+        2,
+        "one box, two quantifiers:\n{}",
+        display::render(&g)
+    );
     let kinds: Vec<QunKind> = b.quns.iter().map(|&q| g.quns[q].kind).collect();
     assert!(kinds.contains(&QunKind::Foreach) && kinds.contains(&QunKind::Semi));
     // Both the location restriction and the join predicate are local now.
@@ -103,9 +121,20 @@ fn fig3_naive_mode_keeps_existential() {
     )
     .unwrap();
     let mut g = build_select_query(&cat, &q).unwrap();
-    rewrite(&mut g, RewriteOptions { e_to_f: false, simplify: true }).unwrap();
+    rewrite(
+        &mut g,
+        RewriteOptions {
+            e_to_f: false,
+            simplify: true,
+        },
+    )
+    .unwrap();
     let has_existential = g.quns.iter().any(|q| q.kind == QunKind::Existential);
-    assert!(has_existential, "naive mode must keep the E quantifier:\n{}", display::render(&g));
+    assert!(
+        has_existential,
+        "naive mode must keep the E quantifier:\n{}",
+        display::render(&g)
+    );
 }
 
 /// Fig. 5: lowering deps_ARC. The xdept derivation is shared: it feeds its
@@ -121,7 +150,11 @@ fn fig5_deps_arc_lowering_shares_xdept() {
 
     // 8 output streams: 4 node streams + 4 connection streams.
     assert_eq!(g.outputs.len(), 8);
-    let nodes = g.outputs.iter().filter(|o| o.kind == OutputKind::Node).count();
+    let nodes = g
+        .outputs
+        .iter()
+        .filter(|o| o.kind == OutputKind::Node)
+        .count();
     assert_eq!(nodes, 4);
     let conns = g
         .outputs
@@ -142,11 +175,21 @@ fn fig5_deps_arc_lowering_shares_xdept() {
         .find(|b| b.label == "xdept" && b.is_select())
         .unwrap_or_else(|| panic!("xdept box missing:\n{}", display::render(&g)));
     let refs = g.ref_counts();
-    assert_eq!(refs[xdept.id], 5, "xdept must be shared 5 ways:\n{}", display::render(&g));
+    assert_eq!(
+        refs[xdept.id],
+        5,
+        "xdept must be shared 5 ways:\n{}",
+        display::render(&g)
+    );
 
     // xskills is derived per path and unioned (object sharing).
     let union_count = g.count_kind("Union");
-    assert_eq!(union_count, 1, "xskills should be the only union:\n{}", display::render(&g));
+    assert_eq!(
+        union_count,
+        1,
+        "xskills should be the only union:\n{}",
+        display::render(&g)
+    );
 }
 
 /// A single-parent child lowers to exactly the Fig. 5b shape after NF
@@ -172,10 +215,20 @@ fn fig5_child_shape() {
     let kinds: Vec<(QunKind, &str)> = b
         .quns
         .iter()
-        .map(|&q| (g.quns[q].kind, g.boxes[g.quns[q].ranges_over].label.as_str()))
+        .map(|&q| {
+            (
+                g.quns[q].kind,
+                g.boxes[g.quns[q].ranges_over].label.as_str(),
+            )
+        })
         .collect();
     assert!(kinds.contains(&(QunKind::Foreach, "EMP")), "{kinds:?}");
-    assert!(kinds.iter().any(|(k, l)| *k == QunKind::Semi && *l == "xdept"), "{kinds:?}");
+    assert!(
+        kinds
+            .iter()
+            .any(|(k, l)| *k == QunKind::Semi && *l == "xdept"),
+        "{kinds:?}"
+    );
 }
 
 /// Recursive schema graphs are rejected by the standard rewrite (they take
@@ -183,10 +236,16 @@ fn fig5_child_shape() {
 #[test]
 fn recursive_co_rejected() {
     let cat = paper_catalog();
-    cat.create_table("PARTS", Schema::from_pairs(&[("pid", DataType::Int), ("pname", DataType::Str)]))
-        .unwrap();
-    cat.create_table("BOM", Schema::from_pairs(&[("parent", DataType::Int), ("child", DataType::Int)]))
-        .unwrap();
+    cat.create_table(
+        "PARTS",
+        Schema::from_pairs(&[("pid", DataType::Int), ("pname", DataType::Str)]),
+    )
+    .unwrap();
+    cat.create_table(
+        "BOM",
+        Schema::from_pairs(&[("parent", DataType::Int), ("child", DataType::Int)]),
+    )
+    .unwrap();
     let q = parse_xnf(
         "OUT OF ROOT part AS (SELECT * FROM PARTS WHERE pid = 1),
                 uses AS (RELATE part VIA sub, part USING BOM b
@@ -205,10 +264,7 @@ fn recursive_co_rejected() {
 #[test]
 fn pushdown_moves_filters_down() {
     let cat = paper_catalog();
-    let q = parse_select(
-        "SELECT * FROM (SELECT eno, sal FROM EMP) e WHERE e.sal > 100",
-    )
-    .unwrap();
+    let q = parse_select("SELECT * FROM (SELECT eno, sal FROM EMP) e WHERE e.sal > 100").unwrap();
     let mut g = build_select_query(&cat, &q).unwrap();
     let report = rewrite(&mut g, RewriteOptions::default()).unwrap();
     // Merge may subsume pushdown here; either way the final graph is a
@@ -236,7 +292,11 @@ fn merge_respects_sharing() {
     let mut g = build_xnf_query(&cat, &q).unwrap();
     rewrite(&mut g, RewriteOptions::default()).unwrap();
     let xdept = g.boxes.iter().find(|b| b.label == "xdept" && b.is_select());
-    assert!(xdept.is_some(), "shared xdept must survive merge:\n{}", display::render(&g));
+    assert!(
+        xdept.is_some(),
+        "shared xdept must survive merge:\n{}",
+        display::render(&g)
+    );
 }
 
 /// GroupBy boxes flow through the rewrite unharmed.
@@ -254,17 +314,19 @@ fn group_by_survives_rewrite() {
 #[test]
 fn constant_folding_cleans_predicates() {
     let cat = paper_catalog();
-    let q = parse_select(
-        "SELECT eno FROM EMP WHERE 1 = 1 AND sal > 50 + 50 AND NOT (2 > 3)",
-    )
-    .unwrap();
+    let q =
+        parse_select("SELECT eno FROM EMP WHERE 1 = 1 AND sal > 50 + 50 AND NOT (2 > 3)").unwrap();
     let mut g = build_select_query(&cat, &q).unwrap();
     let report = rewrite(&mut g, RewriteOptions::default()).unwrap();
     assert!(report.fired("constant_folding") >= 1);
     let body = g.quns[g.outputs[0].qun].ranges_over;
     // Only the real predicate survives, with the sum folded.
     assert_eq!(g.boxed(body).preds.len(), 1, "{}", display::render(&g));
-    assert!(g.boxed(body).preds[0].to_string().contains("100"), "{}", display::render(&g));
+    assert!(
+        g.boxed(body).preds[0].to_string().contains("100"),
+        "{}",
+        display::render(&g)
+    );
 }
 
 /// A contradiction folds to FALSE and stays (the executor yields no rows).

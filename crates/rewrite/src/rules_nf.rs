@@ -154,8 +154,12 @@ impl Rule for SelectMerge {
         let merged_as_semi = qgm.quns[q].kind == QunKind::Semi;
 
         // 1. Substitute inner head expressions for references to q.
-        let head_map: Vec<ScalarExpr> =
-            qgm.boxed(inner).head.iter().map(|h| h.expr.clone()).collect();
+        let head_map: Vec<ScalarExpr> = qgm
+            .boxed(inner)
+            .head
+            .iter()
+            .map(|h| h.expr.clone())
+            .collect();
         substitute_qun_globally(qgm, q, &head_map);
 
         // 2. Move inner quantifiers into the outer box, replacing q in
@@ -163,7 +167,11 @@ impl Rule for SelectMerge {
         //    every transferred F/Semi quantifier becomes Semi (the whole
         //    inner binding is existential).
         let inner_quns: Vec<QunId> = qgm.boxed(inner).quns.clone();
-        let pos = qgm.boxes[outer].quns.iter().position(|&x| x == q).expect("qun in owner");
+        let pos = qgm.boxes[outer]
+            .quns
+            .iter()
+            .position(|&x| x == q)
+            .expect("qun in owner");
         qgm.boxes[outer].quns.remove(pos);
         for (i, iq) in inner_quns.iter().enumerate() {
             qgm.boxes[outer].quns.insert(pos + i, *iq);
@@ -235,8 +243,12 @@ impl Rule for PredicatePushdown {
             return Ok(false);
         };
         let pred = qgm.boxes[outer].preds.remove(pi);
-        let head_map: Vec<ScalarExpr> =
-            qgm.boxed(inner).head.iter().map(|h| h.expr.clone()).collect();
+        let head_map: Vec<ScalarExpr> = qgm
+            .boxed(inner)
+            .head
+            .iter()
+            .map(|h| h.expr.clone())
+            .collect();
         let pushed = pred.map_cols(&mut |qq, c| {
             if qq == q {
                 head_map[c].clone()
@@ -314,20 +326,23 @@ fn fold(e: &ScalarExpr) -> ScalarExpr {
             let r = fold(right);
             if let (S::Literal(a), S::Literal(b)) = (&l, &r) {
                 let folded = match op {
-                    BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
-                        match a.sql_cmp(b) {
-                            None => Some(Value::Null),
-                            Some(ord) => Some(Value::Bool(match op {
-                                BinOp::Eq => ord.is_eq(),
-                                BinOp::NotEq => !ord.is_eq(),
-                                BinOp::Lt => ord.is_lt(),
-                                BinOp::LtEq => ord.is_le(),
-                                BinOp::Gt => ord.is_gt(),
-                                BinOp::GtEq => ord.is_ge(),
-                                _ => unreachable!(),
-                            })),
-                        }
-                    }
+                    BinOp::Eq
+                    | BinOp::NotEq
+                    | BinOp::Lt
+                    | BinOp::LtEq
+                    | BinOp::Gt
+                    | BinOp::GtEq => match a.sql_cmp(b) {
+                        None => Some(Value::Null),
+                        Some(ord) => Some(Value::Bool(match op {
+                            BinOp::Eq => ord.is_eq(),
+                            BinOp::NotEq => !ord.is_eq(),
+                            BinOp::Lt => ord.is_lt(),
+                            BinOp::LtEq => ord.is_le(),
+                            BinOp::Gt => ord.is_gt(),
+                            BinOp::GtEq => ord.is_ge(),
+                            _ => unreachable!(),
+                        })),
+                    },
                     BinOp::And => match (a, b) {
                         (Value::Bool(false), _) | (_, Value::Bool(false)) => {
                             Some(Value::Bool(false))
@@ -377,38 +392,73 @@ fn fold(e: &ScalarExpr) -> ScalarExpr {
                     return l;
                 }
             }
-            S::Binary { left: Box::new(l), op: *op, right: Box::new(r) }
+            S::Binary {
+                left: Box::new(l),
+                op: *op,
+                right: Box::new(r),
+            }
         }
-        S::Unary { op: UnaryOp::Not, expr } => {
+        S::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => {
             let inner = fold(expr);
             if let S::Literal(Value::Bool(b)) = inner {
                 return S::Literal(Value::Bool(!b));
             }
-            S::Unary { op: UnaryOp::Not, expr: Box::new(inner) }
+            S::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            }
         }
-        S::Unary { op, expr } => S::Unary { op: *op, expr: Box::new(fold(expr)) },
+        S::Unary { op, expr } => S::Unary {
+            op: *op,
+            expr: Box::new(fold(expr)),
+        },
         S::IsNull { expr, negated } => {
             let inner = fold(expr);
             if let S::Literal(v) = &inner {
                 return S::Literal(Value::Bool(v.is_null() != *negated));
             }
-            S::IsNull { expr: Box::new(inner), negated: *negated }
+            S::IsNull {
+                expr: Box::new(inner),
+                negated: *negated,
+            }
         }
-        S::Like { expr, pattern, negated } => {
-            S::Like { expr: Box::new(fold(expr)), pattern: pattern.clone(), negated: *negated }
-        }
-        S::InList { expr, list, negated } => S::InList {
+        S::Like {
+            expr,
+            pattern,
+            negated,
+        } => S::Like {
+            expr: Box::new(fold(expr)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        S::InList {
+            expr,
+            list,
+            negated,
+        } => S::InList {
             expr: Box::new(fold(expr)),
             list: list.iter().map(fold).collect(),
             negated: *negated,
         },
-        S::Func { func, args } => S::Func { func: *func, args: args.iter().map(fold).collect() },
-        S::Agg { func, arg, distinct } => S::Agg {
+        S::Func { func, args } => S::Func {
+            func: *func,
+            args: args.iter().map(fold).collect(),
+        },
+        S::Agg {
+            func,
+            arg,
+            distinct,
+        } => S::Agg {
             func: *func,
             arg: arg.as_ref().map(|a| Box::new(fold(a))),
             distinct: *distinct,
         },
-        S::Literal(_) | S::Col { .. } => e.clone(),
+        // Parameters are opaque constants at rewrite time: their value is
+        // unknown until bind, so they never fold.
+        S::Literal(_) | S::Param(_) | S::Col { .. } => e.clone(),
     }
 }
 

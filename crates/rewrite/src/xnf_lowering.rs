@@ -83,14 +83,25 @@ pub fn xnf_semantic_rewrite(qgm: &mut Qgm) -> Result<()> {
         let mut paths = Vec::with_capacity(incoming.len());
         let incoming: Vec<XnfComponent> = incoming.into_iter().cloned().collect();
         for rel in &incoming {
-            let p = build_path_box(qgm, &components, &by_name, &final_box, &node_name, node_body, rel)?;
+            let p = build_path_box(
+                qgm,
+                &components,
+                &by_name,
+                &final_box,
+                &node_name,
+                node_body,
+                rel,
+            )?;
             paths.push(p);
         }
         let fin = if paths.len() == 1 {
             paths[0]
         } else {
             // Object sharing: distinct union over the per-path derivations.
-            let ub = qgm.add_box(BoxKind::Union(UnionBox { all: false }), format!("{node_name}_paths"));
+            let ub = qgm.add_box(
+                BoxKind::Union(UnionBox { all: false }),
+                format!("{node_name}_paths"),
+            );
             let mut first = None;
             for (i, p) in paths.iter().enumerate() {
                 let q = qgm.add_qun(ub, QunKind::Foreach, *p, format!("p{i}"));
@@ -99,10 +110,17 @@ pub fn xnf_semantic_rewrite(qgm: &mut Qgm) -> Result<()> {
                 }
             }
             let fq = first.unwrap();
-            let names: Vec<String> =
-                qgm.boxed(node_body).head.iter().map(|h| h.name.clone()).collect();
+            let names: Vec<String> = qgm
+                .boxed(node_body)
+                .head
+                .iter()
+                .map(|h| h.name.clone())
+                .collect();
             for (i, name) in names.into_iter().enumerate() {
-                qgm.boxes[ub].head.push(HeadColumn { name, expr: ScalarExpr::col(fq, i) });
+                qgm.boxes[ub].head.push(HeadColumn {
+                    name,
+                    expr: ScalarExpr::col(fq, i),
+                });
             }
             ub
         };
@@ -120,7 +138,9 @@ pub fn xnf_semantic_rewrite(qgm: &mut Qgm) -> Result<()> {
     }
 
     // Wire the Top box: node streams (definition order), then connections.
-    let top = qgm.top.ok_or_else(|| RewriteError::Corrupt("XNF graph without Top".into()))?;
+    let top = qgm
+        .top
+        .ok_or_else(|| RewriteError::Corrupt("XNF graph without Top".into()))?;
     qgm.boxes[top].quns.clear();
     qgm.outputs.clear();
     for c in &components {
@@ -146,9 +166,10 @@ pub fn xnf_semantic_rewrite(qgm: &mut Qgm) -> Result<()> {
                             .map(|&o| (qgm.boxed(fin).head[o].name.clone(), o))
                             .collect();
                         for (name, o) in cols {
-                            qgm.boxes[ob]
-                                .head
-                                .push(HeadColumn { name, expr: ScalarExpr::col(q, o) });
+                            qgm.boxes[ob].head.push(HeadColumn {
+                                name,
+                                expr: ScalarExpr::col(q, o),
+                            });
                         }
                         ob
                     }
@@ -160,7 +181,11 @@ pub fn xnf_semantic_rewrite(qgm: &mut Qgm) -> Result<()> {
                     kind: OutputKind::Node,
                 });
             }
-            XnfComponentKind::Relationship { parent, role, children } => {
+            XnfComponentKind::Relationship {
+                parent,
+                role,
+                children,
+            } => {
                 let cb = conn_box[&c.name.to_ascii_lowercase()];
                 let tq = qgm.add_qun(top, QunKind::Foreach, cb, c.name.as_str());
                 qgm.outputs.push(OutputDesc {
@@ -194,10 +219,7 @@ fn find_xnf(qgm: &Qgm) -> Option<(BoxId, XnfBox)> {
 
 /// Topological order of node components (Kahn's algorithm over the schema
 /// graph).
-fn topo_nodes(
-    components: &[XnfComponent],
-    by_name: &HashMap<String, usize>,
-) -> Result<Vec<usize>> {
+fn topo_nodes(components: &[XnfComponent], by_name: &HashMap<String, usize>) -> Result<Vec<usize>> {
     let node_ids: Vec<usize> = components
         .iter()
         .enumerate()
@@ -207,7 +229,10 @@ fn topo_nodes(
     let mut indegree: HashMap<usize, usize> = node_ids.iter().map(|&i| (i, 0)).collect();
     let mut edges: Vec<(usize, usize)> = Vec::new();
     for c in components {
-        if let XnfComponentKind::Relationship { parent, children, .. } = &c.kind {
+        if let XnfComponentKind::Relationship {
+            parent, children, ..
+        } = &c.kind
+        {
             let p = by_name[&parent.to_ascii_lowercase()];
             for ch in children {
                 let c = by_name[&ch.to_ascii_lowercase()];
@@ -216,8 +241,11 @@ fn topo_nodes(
             }
         }
     }
-    let mut queue: Vec<usize> =
-        node_ids.iter().copied().filter(|i| indegree[i] == 0).collect();
+    let mut queue: Vec<usize> = node_ids
+        .iter()
+        .copied()
+        .filter(|i| indegree[i] == 0)
+        .collect();
     let mut order = Vec::with_capacity(node_ids.len());
     while let Some(n) = queue.pop() {
         order.push(n);
@@ -284,7 +312,10 @@ fn build_path_box(
     node_body: BoxId,
     rel: &XnfComponent,
 ) -> Result<BoxId> {
-    let XnfComponentKind::Relationship { parent, children, .. } = &rel.kind else {
+    let XnfComponentKind::Relationship {
+        parent, children, ..
+    } = &rel.kind
+    else {
         unreachable!()
     };
     let rq = rel_quns(qgm, rel)?;
@@ -345,9 +376,17 @@ fn build_path_box(
     }
 
     // Head: the node's own columns.
-    let names: Vec<String> = qgm.boxed(node_body).head.iter().map(|h| h.name.clone()).collect();
+    let names: Vec<String> = qgm
+        .boxed(node_body)
+        .head
+        .iter()
+        .map(|h| h.name.clone())
+        .collect();
     for (i, name) in names.into_iter().enumerate() {
-        qgm.boxes[p].head.push(HeadColumn { name, expr: ScalarExpr::col(f_qun, i) });
+        qgm.boxes[p].head.push(HeadColumn {
+            name,
+            expr: ScalarExpr::col(f_qun, i),
+        });
     }
     Ok(p)
 }
@@ -359,7 +398,10 @@ fn build_connection_box(
     final_box: &HashMap<String, BoxId>,
     rel: &XnfComponent,
 ) -> Result<BoxId> {
-    let XnfComponentKind::Relationship { parent, children, .. } = &rel.kind else {
+    let XnfComponentKind::Relationship {
+        parent, children, ..
+    } = &rel.kind
+    else {
         unreachable!()
     };
     let rq = rel_quns(qgm, rel)?;
@@ -399,12 +441,18 @@ fn build_connection_box(
 
     qgm.boxes[cb].head.push(HeadColumn {
         name: format!("{parent}_id"),
-        expr: ScalarExpr::Col { qun: pq, col: ROWID_COL },
+        expr: ScalarExpr::Col {
+            qun: pq,
+            col: ROWID_COL,
+        },
     });
     for (child_name, cq) in children.iter().zip(&child_quns) {
         qgm.boxes[cb].head.push(HeadColumn {
             name: format!("{child_name}_id"),
-            expr: ScalarExpr::Col { qun: *cq, col: ROWID_COL },
+            expr: ScalarExpr::Col {
+                qun: *cq,
+                col: ROWID_COL,
+            },
         });
     }
     Ok(cb)

@@ -1,0 +1,174 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the `Criterion::bench_function` / `Bencher::iter` /
+//! `criterion_group!` / `criterion_main!` surface the benches use, with a
+//! simple adaptive wall-clock harness: warm up, pick an iteration count that
+//! fills the measurement budget, then report mean/min time per iteration.
+//! Not statistically rigorous like the real criterion, but stable enough to
+//! track order-of-magnitude wins (the perf-trajectory record) offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration + result sink.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Open a named benchmark group; member benches print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up: run batches until the warm-up budget is spent, tracking
+        // how long one iteration takes.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_micros(1);
+        while warm_start.elapsed() < self.warm_up {
+            b.iters = 1;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter = b.elapsed.max(Duration::from_nanos(1));
+        }
+        // Measurement: size batches to ~10ms each.
+        let batch =
+            (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut min = Duration::MAX;
+        let meas_start = Instant::now();
+        while meas_start.elapsed() < self.measurement {
+            b.iters = batch;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            total += b.elapsed;
+            iters += batch;
+            let this = b.elapsed / batch as u32;
+            if this < min {
+                min = this;
+            }
+        }
+        let mean = if iters == 0 {
+            Duration::ZERO
+        } else {
+            total / iters as u32
+        };
+        println!(
+            "{name:<40} mean {}   min {}   ({iters} iters)",
+            fmt_dur(mean),
+            fmt_dur(min)
+        );
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility with the real criterion; the shim's
+    /// harness sizes batches by time budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:8.3} s ", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:8.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:8.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns:5} ns")
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -32,7 +32,10 @@ pub enum BinOp {
 
 impl BinOp {
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
     }
 }
 
@@ -127,26 +130,69 @@ impl fmt::Display for ScalarFunc {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     Literal(Literal),
+    /// `?` — positional parameter, numbered left-to-right from 0 in parse
+    /// order. Compiled as an opaque constant and bound at execution time.
+    Param(usize),
     /// Column reference, optionally qualified: `alias.col` or `col`.
-    Column { qualifier: Option<String>, name: String },
-    Unary { op: UnaryOp, expr: Box<Expr> },
-    Binary { left: Box<Expr>, op: BinOp, right: Box<Expr> },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
     /// `expr IS NULL` / `expr IS NOT NULL`.
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// `expr LIKE 'pattern'`.
-    Like { expr: Box<Expr>, pattern: String, negated: bool },
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
     /// `expr BETWEEN low AND high`.
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
     /// `expr IN (v1, v2, ...)`.
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
     /// `expr IN (SELECT ...)`.
-    InSubquery { expr: Box<Expr>, subquery: Box<Select>, negated: bool },
+    InSubquery {
+        expr: Box<Expr>,
+        subquery: Box<Select>,
+        negated: bool,
+    },
     /// `EXISTS (SELECT ...)`.
-    Exists { subquery: Box<Select>, negated: bool },
+    Exists {
+        subquery: Box<Select>,
+        negated: bool,
+    },
     /// Aggregate call; `COUNT(*)` is `Agg { func: Count, arg: None, .. }`.
-    Agg { func: AggFunc, arg: Option<Box<Expr>>, distinct: bool },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+        distinct: bool,
+    },
     /// Scalar function call.
-    Func { func: ScalarFunc, args: Vec<Expr> },
+    Func {
+        func: ScalarFunc,
+        args: Vec<Expr>,
+    },
 }
 
 /// Unary operators.
@@ -158,25 +204,43 @@ pub enum UnaryOp {
 
 impl Expr {
     pub fn col(name: &str) -> Expr {
-        Expr::Column { qualifier: None, name: name.to_string() }
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
     }
 
     pub fn qcol(q: &str, name: &str) -> Expr {
-        Expr::Column { qualifier: Some(q.to_string()), name: name.to_string() }
+        Expr::Column {
+            qualifier: Some(q.to_string()),
+            name: name.to_string(),
+        }
     }
 
     pub fn and(left: Expr, right: Expr) -> Expr {
-        Expr::Binary { left: Box::new(left), op: BinOp::And, right: Box::new(right) }
+        Expr::Binary {
+            left: Box::new(left),
+            op: BinOp::And,
+            right: Box::new(right),
+        }
     }
 
     pub fn eq(left: Expr, right: Expr) -> Expr {
-        Expr::Binary { left: Box::new(left), op: BinOp::Eq, right: Box::new(right) }
+        Expr::Binary {
+            left: Box::new(left),
+            op: BinOp::Eq,
+            right: Box::new(right),
+        }
     }
 
     /// Split a conjunction into its conjuncts.
     pub fn conjuncts(&self) -> Vec<&Expr> {
         match self {
-            Expr::Binary { left, op: BinOp::And, right } => {
+            Expr::Binary {
+                left,
+                op: BinOp::And,
+                right,
+            } => {
                 let mut v = left.conjuncts();
                 v.extend(right.conjuncts());
                 v
@@ -189,16 +253,16 @@ impl Expr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             Expr::Agg { .. } => true,
-            Expr::Literal(_) | Expr::Column { .. } => false,
+            Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => false,
             Expr::Unary { expr, .. } => expr.contains_aggregate(),
             Expr::Binary { left, right, .. } => {
                 left.contains_aggregate() || right.contains_aggregate()
             }
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
             Expr::Like { expr, .. } => expr.contains_aggregate(),
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
             }
@@ -213,33 +277,94 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Literal(l) => write!(f, "{l}"),
-            Expr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
-            Expr::Column { qualifier: None, name } => write!(f, "{name}"),
-            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "-{expr}"),
-            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "NOT ({expr})"),
+            // Parameters are numbered in textual order, so printing the bare
+            // `?` round-trips: re-parsing assigns the same ordinals.
+            Expr::Param(_) => write!(f, "?"),
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            Expr::Column {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => write!(f, "-{expr}"),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => write!(f, "NOT ({expr})"),
             Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
-            Expr::IsNull { expr, negated: false } => write!(f, "{expr} IS NULL"),
-            Expr::IsNull { expr, negated: true } => write!(f, "{expr} IS NOT NULL"),
-            Expr::Like { expr, pattern, negated } => {
-                write!(f, "{expr} {}LIKE '{pattern}'", if *negated { "NOT " } else { "" })
+            Expr::IsNull {
+                expr,
+                negated: false,
+            } => write!(f, "{expr} IS NULL"),
+            Expr::IsNull {
+                expr,
+                negated: true,
+            } => write!(f, "{expr} IS NOT NULL"),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}LIKE '{pattern}'",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            Expr::Between { expr, low, high, negated } => write!(
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
                 f,
                 "{expr} {}BETWEEN {low} AND {high}",
                 if *negated { "NOT " } else { "" }
             ),
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
-                write!(f, "{expr} {}IN ({})", if *negated { "NOT " } else { "" }, items.join(", "))
+                write!(
+                    f,
+                    "{expr} {}IN ({})",
+                    if *negated { "NOT " } else { "" },
+                    items.join(", ")
+                )
             }
-            Expr::InSubquery { expr, subquery, negated } => {
-                write!(f, "{expr} {}IN ({subquery})", if *negated { "NOT " } else { "" })
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}IN ({subquery})",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::Exists { subquery, negated } => {
-                write!(f, "{}EXISTS ({subquery})", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "{}EXISTS ({subquery})",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            Expr::Agg { func, arg: None, .. } => write!(f, "{func}(*)"),
-            Expr::Agg { func, arg: Some(a), distinct } => {
+            Expr::Agg {
+                func, arg: None, ..
+            } => write!(f, "{func}(*)"),
+            Expr::Agg {
+                func,
+                arg: Some(a),
+                distinct,
+            } => {
                 write!(f, "{func}({}{a})", if *distinct { "DISTINCT " } else { "" })
             }
             Expr::Func { func, args } => {
@@ -340,7 +465,10 @@ impl fmt::Display for Select {
             .map(|i| match i {
                 SelectItem::Wildcard => "*".to_string(),
                 SelectItem::QualifiedWildcard(q) => format!("{q}.*"),
-                SelectItem::Expr { expr, alias: Some(a) } => format!("{expr} AS {a}"),
+                SelectItem::Expr {
+                    expr,
+                    alias: Some(a),
+                } => format!("{expr} AS {a}"),
                 SelectItem::Expr { expr, alias: None } => expr.to_string(),
             })
             .collect();
@@ -351,7 +479,10 @@ impl fmt::Display for Select {
                 .from
                 .iter()
                 .map(|t| match t {
-                    TableRef::Named { name, alias: Some(a) } => format!("{name} AS {a}"),
+                    TableRef::Named {
+                        name,
+                        alias: Some(a),
+                    } => format!("{name} AS {a}"),
                     TableRef::Named { name, alias: None } => name.clone(),
                     TableRef::Derived { select, alias } => format!("({select}) AS {alias}"),
                 })
@@ -360,7 +491,10 @@ impl fmt::Display for Select {
         }
         for j in &self.joins {
             let t = match &j.table {
-                TableRef::Named { name, alias: Some(a) } => format!("{name} AS {a}"),
+                TableRef::Named {
+                    name,
+                    alias: Some(a),
+                } => format!("{name} AS {a}"),
                 TableRef::Named { name, alias: None } => name.clone(),
                 TableRef::Derived { select, alias } => format!("({select}) AS {alias}"),
             };
@@ -415,15 +549,43 @@ pub enum TypeName {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Select(Select),
-    Insert { table: String, columns: Vec<String>, rows: Vec<Vec<Expr>> },
-    Update { table: String, sets: Vec<(String, Expr)>, where_clause: Option<Expr> },
-    Delete { table: String, where_clause: Option<Expr> },
-    CreateTable { name: String, columns: Vec<ColumnDef> },
-    CreateIndex { name: String, table: String, columns: Vec<String>, unique: bool },
-    CreateView { name: String, body: ViewBody },
-    DropTable { name: String },
-    DropView { name: String },
-    Analyze { table: Option<String> },
+    Insert {
+        table: String,
+        columns: Vec<String>,
+        rows: Vec<Vec<Expr>>,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        where_clause: Option<Expr>,
+    },
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+        unique: bool,
+    },
+    CreateView {
+        name: String,
+        body: ViewBody,
+    },
+    DropTable {
+        name: String,
+    },
+    DropView {
+        name: String,
+    },
+    Analyze {
+        table: Option<String>,
+    },
     /// An XNF query at statement level.
     Xnf(XnfQuery),
 }
@@ -453,7 +615,11 @@ pub struct XnfQuery {
 #[derive(Debug, Clone, PartialEq)]
 pub enum XnfDef {
     /// `name AS (SELECT ...)` or the shortcut `name AS BASETABLE`.
-    Table { name: String, select: Box<Select>, root: bool },
+    Table {
+        name: String,
+        select: Box<Select>,
+        root: bool,
+    },
     /// `name AS (RELATE parent VIA role, child1 [, child2 ...]
     ///           [USING t1 a1, ...] WHERE pred)`.
     Relationship(XnfRelationship),
@@ -496,56 +662,56 @@ pub struct XnfTakeItem {
 
 impl fmt::Display for XnfQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "OUT OF ")?;
-            let defs: Vec<String> = self
-                .defs
-                .iter()
-                .map(|d| match d {
-                    XnfDef::Table { name, select, root } => {
-                        format!("{}{name} AS ({select})", if *root { "ROOT " } else { "" })
-                    }
-                    XnfDef::Relationship(r) => {
-                        let mut s = format!(
-                            "{} AS (RELATE {} VIA {}, {}",
-                            r.name,
-                            r.parent,
-                            r.role,
-                            r.children.join(", ")
-                        );
-                        if !r.using.is_empty() {
-                            let us: Vec<String> = r
-                                .using
-                                .iter()
-                                .map(|(t, a)| match a {
-                                    Some(a) => format!("{t} {a}"),
-                                    None => t.clone(),
-                                })
-                                .collect();
-                            s.push_str(&format!(" USING {}", us.join(", ")));
-                        }
-                        s.push_str(&format!(" WHERE {})", r.predicate));
-                        s
-                    }
-                    XnfDef::ViewRef { name } => name.clone(),
-                })
-                .collect();
-            write!(f, "{}", defs.join(", "))?;
-            match &self.take {
-                XnfTake::All => write!(f, " TAKE *")?,
-                XnfTake::Items(items) => {
-                    let is: Vec<String> = items
-                        .iter()
-                        .map(|i| match &i.columns {
-                            Some(cols) => format!("{}({})", i.name, cols.join(", ")),
-                            None => i.name.clone(),
-                        })
-                        .collect();
-                    write!(f, " TAKE {}", is.join(", "))?;
+        write!(f, "OUT OF ")?;
+        let defs: Vec<String> = self
+            .defs
+            .iter()
+            .map(|d| match d {
+                XnfDef::Table { name, select, root } => {
+                    format!("{}{name} AS ({select})", if *root { "ROOT " } else { "" })
                 }
+                XnfDef::Relationship(r) => {
+                    let mut s = format!(
+                        "{} AS (RELATE {} VIA {}, {}",
+                        r.name,
+                        r.parent,
+                        r.role,
+                        r.children.join(", ")
+                    );
+                    if !r.using.is_empty() {
+                        let us: Vec<String> = r
+                            .using
+                            .iter()
+                            .map(|(t, a)| match a {
+                                Some(a) => format!("{t} {a}"),
+                                None => t.clone(),
+                            })
+                            .collect();
+                        s.push_str(&format!(" USING {}", us.join(", ")));
+                    }
+                    s.push_str(&format!(" WHERE {})", r.predicate));
+                    s
+                }
+                XnfDef::ViewRef { name } => name.clone(),
+            })
+            .collect();
+        write!(f, "{}", defs.join(", "))?;
+        match &self.take {
+            XnfTake::All => write!(f, " TAKE *")?,
+            XnfTake::Items(items) => {
+                let is: Vec<String> = items
+                    .iter()
+                    .map(|i| match &i.columns {
+                        Some(cols) => format!("{}({})", i.name, cols.join(", ")),
+                        None => i.name.clone(),
+                    })
+                    .collect();
+                write!(f, " TAKE {}", is.join(", "))?;
             }
-            if let Some(r) = &self.restriction {
-                write!(f, " WHERE {r}")?;
-            }
-            Ok(())
+        }
+        if let Some(r) = &self.restriction {
+            write!(f, " WHERE {r}")?;
+        }
+        Ok(())
     }
 }

@@ -12,13 +12,21 @@ pub struct ParseError {
 
 impl ParseError {
     pub fn new(message: impl Into<String>, line: u32, col: u32) -> Self {
-        ParseError { message: message.into(), line, col }
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 

@@ -6,7 +6,13 @@ use crate::token::{Token, TokenKind};
 /// Tokenize an input string. Comments (`-- …` to end of line) and whitespace
 /// are skipped. Returns tokens ending with a single [`TokenKind::Eof`].
 pub fn lex(input: &str) -> Result<Vec<Token>> {
-    Lexer { chars: input.chars().collect(), pos: 0, line: 1, col: 1 }.run()
+    Lexer {
+        chars: input.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
 }
 
 struct Lexer {
@@ -23,7 +29,11 @@ impl Lexer {
             self.skip_trivia();
             let (line, col) = (self.line, self.col);
             let Some(c) = self.peek() else {
-                out.push(Token { kind: TokenKind::Eof, line, col });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
                 return Ok(out);
             };
             let kind = match c {
@@ -42,6 +52,7 @@ impl Lexer {
                 '/' => self.single(TokenKind::Slash),
                 '%' => self.single(TokenKind::Percent),
                 ';' => self.single(TokenKind::Semicolon),
+                '?' => self.single(TokenKind::Placeholder),
                 '=' => self.single(TokenKind::Eq),
                 '<' => {
                     self.bump();
@@ -79,7 +90,11 @@ impl Lexer {
                 c if c.is_ascii_digit() => self.number(line, col)?,
                 c if c.is_alphabetic() || c == '_' => self.ident(),
                 other => {
-                    return Err(ParseError::new(format!("unexpected character '{other}'"), line, col))
+                    return Err(ParseError::new(
+                        format!("unexpected character '{other}'"),
+                        line,
+                        col,
+                    ))
                 }
             };
             out.push(Token { kind, line, col });
@@ -178,8 +193,9 @@ impl Lexer {
                 .map_err(|_| ParseError::new(format!("invalid float '{s}'"), line, col))?;
             return Ok(TokenKind::Float(f));
         }
-        let i: i64 =
-            s.parse().map_err(|_| ParseError::new(format!("invalid integer '{s}'"), line, col))?;
+        let i: i64 = s
+            .parse()
+            .map_err(|_| ParseError::new(format!("invalid integer '{s}'"), line, col))?;
         Ok(TokenKind::Int(i))
     }
 
@@ -242,7 +258,10 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(kinds("'AR''C'"), vec![TokenKind::Str("AR'C".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("'AR''C'"),
+            vec![TokenKind::Str("AR'C".into()), TokenKind::Eof]
+        );
         assert!(lex("'oops").is_err());
     }
 
@@ -265,6 +284,23 @@ mod tests {
                 TokenKind::LtEq,
                 TokenKind::Gt,
                 TokenKind::GtEq,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn placeholders() {
+        assert_eq!(
+            kinds("eno = ? AND sal > ?"),
+            vec![
+                TokenKind::Ident("eno".into()),
+                TokenKind::Eq,
+                TokenKind::Placeholder,
+                TokenKind::Ident("AND".into()),
+                TokenKind::Ident("sal".into()),
+                TokenKind::Gt,
+                TokenKind::Placeholder,
                 TokenKind::Eof,
             ]
         );

@@ -19,7 +19,9 @@ pub mod token;
 
 pub use ast::*;
 pub use error::{ParseError, Result};
-pub use parser::{parse_expr, parse_select, parse_statement, parse_statements, parse_xnf};
+pub use parser::{
+    parse_expr, parse_select, parse_statement, parse_statement_params, parse_statements, parse_xnf,
+};
 
 #[cfg(test)]
 mod parser_tests;

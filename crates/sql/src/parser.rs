@@ -12,10 +12,10 @@ use crate::token::{Token, TokenKind};
 /// Words that cannot be used as implicit (AS-less) aliases.
 const RESERVED: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "BY", "LIMIT", "UNION", "ALL",
-    "DISTINCT", "AS", "ON", "JOIN", "INNER", "AND", "OR", "NOT", "IN", "EXISTS", "LIKE",
-    "BETWEEN", "IS", "NULL", "TRUE", "FALSE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
-    "DELETE", "CREATE", "TABLE", "INDEX", "VIEW", "UNIQUE", "DROP", "ANALYZE", "OUT", "OF",
-    "TAKE", "RELATE", "VIA", "USING", "ROOT", "ASC", "DESC",
+    "DISTINCT", "AS", "ON", "JOIN", "INNER", "AND", "OR", "NOT", "IN", "EXISTS", "LIKE", "BETWEEN",
+    "IS", "NULL", "TRUE", "FALSE", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
+    "TABLE", "INDEX", "VIEW", "UNIQUE", "DROP", "ANALYZE", "OUT", "OF", "TAKE", "RELATE", "VIA",
+    "USING", "ROOT", "ASC", "DESC",
 ];
 
 /// Parse a sequence of semicolon-separated statements.
@@ -33,12 +33,23 @@ pub fn parse_statements(input: &str) -> Result<Vec<Statement>> {
 
 /// Parse exactly one statement.
 pub fn parse_statement(input: &str) -> Result<Statement> {
-    let mut stmts = parse_statements(input)?;
-    match stmts.len() {
-        1 => Ok(stmts.remove(0)),
-        0 => Err(ParseError::new("empty input", 1, 1)),
-        _ => Err(ParseError::new("expected a single statement", 1, 1)),
+    Ok(parse_statement_params(input)?.0)
+}
+
+/// Parse exactly one statement, also returning the number of `?` parameter
+/// placeholders it contains (the prepared-statement signature).
+pub fn parse_statement_params(input: &str) -> Result<(Statement, usize)> {
+    let mut p = Parser::new(input)?;
+    while p.eat(&TokenKind::Semicolon) {}
+    if p.at_eof() {
+        return Err(ParseError::new("empty input", 1, 1));
     }
+    let stmt = p.statement()?;
+    while p.eat(&TokenKind::Semicolon) {}
+    if !p.at_eof() {
+        return Err(ParseError::new("expected a single statement", 1, 1));
+    }
+    Ok((stmt, p.params))
 }
 
 /// Parse a SELECT query.
@@ -70,11 +81,17 @@ pub fn parse_expr(input: &str) -> Result<Expr> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Number of `?` placeholders seen so far (assigns positional ordinals).
+    params: usize,
 }
 
 impl Parser {
     fn new(input: &str) -> Result<Parser> {
-        Ok(Parser { tokens: lex(input)?, pos: 0 })
+        Ok(Parser {
+            tokens: lex(input)?,
+            pos: 0,
+            params: 0,
+        })
     }
 
     fn peek(&self) -> &Token {
@@ -195,7 +212,10 @@ impl Parser {
             };
             return Ok(Statement::Analyze { table });
         }
-        Err(self.err_here(format!("expected a statement, found '{}'", self.peek().kind)))
+        Err(self.err_here(format!(
+            "expected a statement, found '{}'",
+            self.peek().kind
+        )))
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -229,7 +249,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, rows })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     fn update(&mut self) -> Result<Statement> {
@@ -245,16 +269,31 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, sets, where_clause })
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            where_clause,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement> {
         self.expect_kw("DELETE")?;
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Statement::Delete { table, where_clause })
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
     }
 
     fn create(&mut self) -> Result<Statement> {
@@ -271,7 +310,11 @@ impl Parser {
                     self.expect_kw("NULL")?;
                     not_null = true;
                 }
-                columns.push(ColumnDef { name: cname, ty, not_null });
+                columns.push(ColumnDef {
+                    name: cname,
+                    ty,
+                    not_null,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -293,7 +336,12 @@ impl Parser {
                 }
             }
             self.expect(&TokenKind::RParen)?;
-            return Ok(Statement::CreateIndex { name, table, columns, unique });
+            return Ok(Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            });
         }
         if unique {
             return Err(self.err_here("expected INDEX after UNIQUE"));
@@ -314,10 +362,14 @@ impl Parser {
     fn drop(&mut self) -> Result<Statement> {
         self.expect_kw("DROP")?;
         if self.eat_kw("TABLE") {
-            return Ok(Statement::DropTable { name: self.ident()? });
+            return Ok(Statement::DropTable {
+                name: self.ident()?,
+            });
         }
         if self.eat_kw("VIEW") {
-            return Ok(Statement::DropView { name: self.ident()? });
+            return Ok(Statement::DropView {
+                name: self.ident()?,
+            });
         }
         Err(self.err_here("expected TABLE or VIEW after DROP"))
     }
@@ -448,7 +500,11 @@ impl Parser {
             }
         }
         let expr = self.expr()?;
-        let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { self.maybe_alias() };
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            self.maybe_alias()
+        };
         Ok(SelectItem::Expr { expr, alias })
     }
 
@@ -462,10 +518,17 @@ impl Parser {
                 self.maybe_alias()
                     .ok_or_else(|| self.err_here("derived table requires an alias"))?
             };
-            return Ok(TableRef::Derived { select: Box::new(select), alias });
+            return Ok(TableRef::Derived {
+                select: Box::new(select),
+                alias,
+            });
         }
         let name = self.ident()?;
-        let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { self.maybe_alias() };
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            self.maybe_alias()
+        };
         Ok(TableRef::Named { name, alias })
     }
 
@@ -479,7 +542,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("OR") {
             let right = self.and_expr()?;
-            left = Expr::Binary { left: Box::new(left), op: BinOp::Or, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::Or,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -488,7 +555,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("AND") {
             let right = self.not_expr()?;
-            left = Expr::Binary { left: Box::new(left), op: BinOp::And, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::And,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -496,7 +567,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat_kw("NOT") {
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.comparison()
     }
@@ -507,7 +581,10 @@ impl Parser {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         let negated = if self.at_kw("NOT")
             && (self.peek_at(1).kind.is_kw("LIKE")
@@ -528,7 +605,11 @@ impl Parser {
                 }
                 _ => return Err(self.err_here("LIKE requires a string literal pattern")),
             };
-            return Ok(Expr::Like { expr: Box::new(left), pattern, negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
         }
         if self.eat_kw("BETWEEN") {
             let low = self.additive()?;
@@ -560,7 +641,11 @@ impl Parser {
                 }
             }
             self.expect(&TokenKind::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if negated {
             return Err(self.err_here("expected LIKE, BETWEEN or IN after NOT"));
@@ -576,7 +661,11 @@ impl Parser {
         };
         self.advance();
         let right = self.additive()?;
-        Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) })
+        Ok(Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
     }
 
     fn additive(&mut self) -> Result<Expr> {
@@ -589,7 +678,11 @@ impl Parser {
             };
             self.advance();
             let right = self.multiplicative()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
     }
 
@@ -604,14 +697,21 @@ impl Parser {
             };
             self.advance();
             let right = self.unary()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
     }
 
     fn unary(&mut self) -> Result<Expr> {
         if self.eat(&TokenKind::Minus) {
             let inner = self.unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         self.primary()
     }
@@ -630,12 +730,18 @@ impl Parser {
                 self.advance();
                 Ok(Expr::Literal(Literal::Str(s)))
             }
+            TokenKind::Placeholder => {
+                self.advance();
+                let ordinal = self.params;
+                self.params += 1;
+                Ok(Expr::Param(ordinal))
+            }
             TokenKind::LParen => {
                 self.advance();
                 if self.at_kw("SELECT") {
-                    return Err(self.err_here(
-                        "scalar subqueries are not supported; use EXISTS or IN",
-                    ));
+                    return Err(
+                        self.err_here("scalar subqueries are not supported; use EXISTS or IN")
+                    );
                 }
                 let e = self.expr()?;
                 self.expect(&TokenKind::RParen)?;
@@ -659,7 +765,10 @@ impl Parser {
                     self.expect(&TokenKind::LParen)?;
                     let sub = self.select()?;
                     self.expect(&TokenKind::RParen)?;
-                    return Ok(Expr::Exists { subquery: Box::new(sub), negated: false });
+                    return Ok(Expr::Exists {
+                        subquery: Box::new(sub),
+                        negated: false,
+                    });
                 }
                 // Function call?
                 if self.peek_at(1).kind == TokenKind::LParen {
@@ -668,12 +777,20 @@ impl Parser {
                         self.advance();
                         if agg == AggFunc::Count && self.eat(&TokenKind::Star) {
                             self.expect(&TokenKind::RParen)?;
-                            return Ok(Expr::Agg { func: agg, arg: None, distinct: false });
+                            return Ok(Expr::Agg {
+                                func: agg,
+                                arg: None,
+                                distinct: false,
+                            });
                         }
                         let distinct = self.eat_kw("DISTINCT");
                         let arg = self.expr()?;
                         self.expect(&TokenKind::RParen)?;
-                        return Ok(Expr::Agg { func: agg, arg: Some(Box::new(arg)), distinct });
+                        return Ok(Expr::Agg {
+                            func: agg,
+                            arg: Some(Box::new(arg)),
+                            distinct,
+                        });
                     }
                     if let Some(sf) = scalar_func(&name) {
                         self.advance();
@@ -704,9 +821,15 @@ impl Parser {
                 self.advance();
                 if self.eat(&TokenKind::Dot) {
                     let col = self.ident()?;
-                    Ok(Expr::Column { qualifier: Some(name), name: col })
+                    Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    })
                 } else {
-                    Ok(Expr::Column { qualifier: None, name })
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name,
+                    })
                 }
             }
             other => Err(self.err_here(format!("expected expression, found '{other}'"))),
@@ -752,8 +875,16 @@ impl Parser {
             }
             XnfTake::Items(items)
         };
-        let restriction = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(XnfQuery { defs, take, restriction })
+        let restriction = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(XnfQuery {
+            defs,
+            take,
+            restriction,
+        })
     }
 
     fn xnf_def(&mut self) -> Result<XnfDef> {
@@ -771,13 +902,19 @@ impl Parser {
                 let rel = self.relate(name)?;
                 self.expect(&TokenKind::RParen)?;
                 if root {
-                    return Err(self.err_here("ROOT applies to component tables, not relationships"));
+                    return Err(
+                        self.err_here("ROOT applies to component tables, not relationships")
+                    );
                 }
                 return Ok(XnfDef::Relationship(rel));
             }
             let select = self.select()?;
             self.expect(&TokenKind::RParen)?;
-            return Ok(XnfDef::Table { name, select: Box::new(select), root });
+            return Ok(XnfDef::Table {
+                name,
+                select: Box::new(select),
+                root,
+            });
         }
         // Unparenthesised RELATE (as printed for `employment` in Fig. 1).
         if self.at_kw("RELATE") {
@@ -791,10 +928,17 @@ impl Parser {
         let base = self.ident()?;
         let select = Select {
             items: vec![SelectItem::Wildcard],
-            from: vec![TableRef::Named { name: base, alias: None }],
+            from: vec![TableRef::Named {
+                name: base,
+                alias: None,
+            }],
             ..Select::empty()
         };
-        Ok(XnfDef::Table { name, select: Box::new(select), root })
+        Ok(XnfDef::Table {
+            name,
+            select: Box::new(select),
+            root,
+        })
     }
 
     fn relate(&mut self, name: String) -> Result<XnfRelationship> {
@@ -821,7 +965,11 @@ impl Parser {
         if self.eat_kw("USING") {
             loop {
                 let t = self.ident()?;
-                let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { self.maybe_alias() };
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    self.maybe_alias()
+                };
                 using.push((t, alias));
                 if !self.eat(&TokenKind::Comma) {
                     break;
@@ -830,7 +978,14 @@ impl Parser {
         }
         self.expect_kw("WHERE")?;
         let predicate = self.expr()?;
-        Ok(XnfRelationship { name, parent, role, children, using, predicate })
+        Ok(XnfRelationship {
+            name,
+            parent,
+            role,
+            children,
+            using,
+            predicate,
+        })
     }
 }
 

@@ -51,7 +51,10 @@ fn parses_exists_subquery() {
     )
     .unwrap();
     match s.where_clause.unwrap() {
-        Expr::Exists { subquery, negated: false } => {
+        Expr::Exists {
+            subquery,
+            negated: false,
+        } => {
             assert_eq!(subquery.from[0].binding(), "d");
         }
         other => panic!("expected EXISTS, got {other:?}"),
@@ -61,7 +64,13 @@ fn parses_exists_subquery() {
 #[test]
 fn parses_not_exists_and_in() {
     let e = parse_expr("NOT EXISTS (SELECT 1 FROM T)").unwrap();
-    assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+    assert!(matches!(
+        e,
+        Expr::Unary {
+            op: UnaryOp::Not,
+            ..
+        }
+    ));
     let e = parse_expr("x IN (1, 2, 3)").unwrap();
     assert!(matches!(e, Expr::InList { ref list, negated: false, .. } if list.len() == 3));
     let e = parse_expr("x NOT IN (SELECT y FROM T)").unwrap();
@@ -70,15 +79,21 @@ fn parses_not_exists_and_in() {
 
 #[test]
 fn parses_aggregates_and_group_by() {
-    let s = parse_select(
-        "SELECT dno, COUNT(*), AVG(sal) FROM EMP GROUP BY dno HAVING COUNT(*) > 2",
-    )
-    .unwrap();
+    let s =
+        parse_select("SELECT dno, COUNT(*), AVG(sal) FROM EMP GROUP BY dno HAVING COUNT(*) > 2")
+            .unwrap();
     assert_eq!(s.group_by.len(), 1);
     assert!(s.having.is_some());
     assert!(matches!(
         &s.items[1],
-        SelectItem::Expr { expr: Expr::Agg { func: AggFunc::Count, arg: None, .. }, .. }
+        SelectItem::Expr {
+            expr: Expr::Agg {
+                func: AggFunc::Count,
+                arg: None,
+                ..
+            },
+            ..
+        }
     ));
 }
 
@@ -94,7 +109,8 @@ fn parses_joins_and_derived_tables() {
 
 #[test]
 fn parses_union() {
-    let s = parse_select("SELECT a FROM t UNION ALL SELECT a FROM u UNION SELECT a FROM v").unwrap();
+    let s =
+        parse_select("SELECT a FROM t UNION ALL SELECT a FROM u UNION SELECT a FROM v").unwrap();
     assert_eq!(s.unions.len(), 2);
     assert!(s.unions[0].0, "first union is ALL");
     assert!(!s.unions[1].0);
@@ -114,7 +130,10 @@ fn parses_ddl_and_dml() {
     assert_eq!(stmts.len(), 6);
     assert!(matches!(&stmts[0], Statement::CreateTable { columns, .. }
         if columns.len() == 3 && columns[0].not_null && !columns[1].not_null));
-    assert!(matches!(&stmts[1], Statement::CreateIndex { unique: true, .. }));
+    assert!(matches!(
+        &stmts[1],
+        Statement::CreateIndex { unique: true, .. }
+    ));
     assert!(matches!(&stmts[2], Statement::Insert { rows, .. } if rows.len() == 2));
     assert!(matches!(&stmts[5], Statement::Analyze { table: Some(t) } if t == "DEPT"));
 }
@@ -122,7 +141,11 @@ fn parses_ddl_and_dml() {
 #[test]
 fn parses_deps_arc_view() {
     let stmt = parse_statement(DEPS_ARC).unwrap();
-    let Statement::CreateView { name, body: ViewBody::Xnf(q) } = stmt else {
+    let Statement::CreateView {
+        name,
+        body: ViewBody::Xnf(q),
+    } = stmt
+    else {
         panic!("expected XNF view");
     };
     assert_eq!(name, "deps_ARC");
@@ -156,7 +179,10 @@ fn parses_deps_arc_view() {
     assert_eq!(rels[0].children, vec!["xemp"]);
     assert!(rels[0].using.is_empty());
     assert_eq!(rels[2].name, "empproperty");
-    assert_eq!(rels[2].using, vec![("EMPSKILLS".to_string(), Some("es".to_string()))]);
+    assert_eq!(
+        rels[2].using,
+        vec![("EMPSKILLS".to_string(), Some("es".to_string()))]
+    );
 }
 
 #[test]
@@ -169,7 +195,9 @@ fn parses_unparenthesised_relate() {
     )
     .unwrap();
     assert_eq!(q.defs.len(), 3);
-    let XnfTake::Items(items) = &q.take else { panic!() };
+    let XnfTake::Items(items) = &q.take else {
+        panic!()
+    };
     assert_eq!(items.len(), 3);
 }
 
@@ -182,8 +210,13 @@ fn parses_take_with_column_projection_and_restriction() {
          WHERE xemp.sal > 100",
     )
     .unwrap();
-    let XnfTake::Items(items) = &q.take else { panic!() };
-    assert_eq!(items[0].columns.as_ref().unwrap(), &vec!["dno".to_string(), "dname".to_string()]);
+    let XnfTake::Items(items) = &q.take else {
+        panic!()
+    };
+    assert_eq!(
+        items[0].columns.as_ref().unwrap(),
+        &vec!["dno".to_string(), "dname".to_string()]
+    );
     assert!(q.restriction.is_some());
 }
 
@@ -210,7 +243,9 @@ fn parses_nary_relationship() {
          TAKE *",
     )
     .unwrap();
-    let XnfDef::Relationship(r) = &q.defs[3] else { panic!() };
+    let XnfDef::Relationship(r) = &q.defs[3] else {
+        panic!()
+    };
     assert_eq!(r.children, vec!["b", "c"]);
 }
 
@@ -225,7 +260,10 @@ fn display_roundtrips_through_parser() {
         let ast = parse_select(sql).unwrap();
         let printed = ast.to_string();
         let reparsed = parse_select(&printed).unwrap();
-        assert_eq!(ast, reparsed, "roundtrip failed for: {sql}\nprinted: {printed}");
+        assert_eq!(
+            ast, reparsed,
+            "roundtrip failed for: {sql}\nprinted: {printed}"
+        );
     }
 }
 
@@ -265,7 +303,11 @@ fn parses_between_like_arithmetic() {
     // Precedence: 1 + 2 * 3 parses as 1 + (2 * 3).
     let e = parse_expr("1 + 2 * 3").unwrap();
     match e {
-        Expr::Binary { op: BinOp::Add, right, .. } => {
+        Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } => {
             assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
         }
         other => panic!("bad precedence: {other:?}"),

@@ -23,6 +23,8 @@ pub enum TokenKind {
     Float(f64),
     /// Single-quoted string literal (quotes stripped, '' unescaped).
     Str(String),
+    /// `?` — positional parameter placeholder (prepared statements).
+    Placeholder,
 
     // Punctuation / operators.
     Comma,
@@ -53,6 +55,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Int(i) => write!(f, "{i}"),
             TokenKind::Float(x) => write!(f, "{x}"),
             TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Placeholder => write!(f, "?"),
             TokenKind::Comma => write!(f, ","),
             TokenKind::Dot => write!(f, "."),
             TokenKind::LParen => write!(f, "("),

@@ -139,7 +139,12 @@ impl BufferPool {
         Ok(())
     }
 
-    fn lookup_or_load(inner: &mut Inner, disk: &DiskManager, capacity: usize, id: PageId) -> Result<usize> {
+    fn lookup_or_load(
+        inner: &mut Inner,
+        disk: &DiskManager,
+        capacity: usize,
+        id: PageId,
+    ) -> Result<usize> {
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(&idx) = inner.page_table.get(&id) {
@@ -164,7 +169,13 @@ impl BufferPool {
         inner.tick += 1;
         let tick = inner.tick;
         let idx = if inner.frames.len() < capacity {
-            inner.frames.push(Frame { page_id: id, page, pin_count: 0, dirty: false, last_used: tick });
+            inner.frames.push(Frame {
+                page_id: id,
+                page,
+                pin_count: 0,
+                dirty: false,
+                last_used: tick,
+            });
             inner.frames.len() - 1
         } else {
             let victim = inner
@@ -183,7 +194,13 @@ impl BufferPool {
             inner.stats.evictions += 1;
             let old_id = old.page_id;
             inner.page_table.remove(&old_id);
-            inner.frames[victim] = Frame { page_id: id, page, pin_count: 0, dirty: false, last_used: tick };
+            inner.frames[victim] = Frame {
+                page_id: id,
+                page,
+                pin_count: 0,
+                dirty: false,
+                last_used: tick,
+            };
             victim
         };
         inner.page_table.insert(id, idx);
@@ -239,7 +256,8 @@ mod tests {
         let bp = pool(2);
         let (id, _) = bp.new_page(|p| p.insert(b"a").unwrap()).unwrap();
         bp.clear().unwrap();
-        bp.with_page(id, |p| assert_eq!(p.get(0).unwrap(), b"a")).unwrap();
+        bp.with_page(id, |p| assert_eq!(p.get(0).unwrap(), b"a"))
+            .unwrap();
         assert_eq!(bp.stats().misses, 1);
     }
 }

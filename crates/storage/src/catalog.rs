@@ -59,7 +59,10 @@ impl Table {
     }
 
     fn key_of(def: &IndexDef, tuple: &Tuple) -> Key {
-        def.columns.iter().map(|&c| tuple.values[c].clone()).collect()
+        def.columns
+            .iter()
+            .map(|&c| tuple.values[c].clone())
+            .collect()
     }
 
     /// Insert a tuple, maintaining all indexes. On a unique violation the
@@ -143,10 +146,17 @@ impl Table {
     /// Add a secondary index over `columns`, building it from current data.
     pub fn create_index(&self, name: &str, columns: Vec<usize>, unique: bool) -> Result<()> {
         let mut indexes = self.indexes.lock();
-        if indexes.iter().any(|e| e.def.name.eq_ignore_ascii_case(name)) {
+        if indexes
+            .iter()
+            .any(|e| e.def.name.eq_ignore_ascii_case(name))
+        {
             return Err(StorageError::DuplicateIndex(name.to_string()));
         }
-        let def = IndexDef { name: name.to_string(), columns, unique };
+        let def = IndexDef {
+            name: name.to_string(),
+            columns,
+            unique,
+        };
         let mut tree = BTreeIndex::new(unique);
         self.heap.for_each(|rid, t| {
             tree.insert(Table::key_of(&def, &t), rid)?;
@@ -263,6 +273,9 @@ pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     views: RwLock<HashMap<String, ViewDef>>,
     next_id: Mutex<TableId>,
+    /// Monotonic DDL generation: bumped on every schema change so cached
+    /// compiled plans can detect staleness without re-validating names.
+    generation: std::sync::atomic::AtomicU64,
 }
 
 impl Catalog {
@@ -272,11 +285,25 @@ impl Catalog {
             tables: RwLock::new(HashMap::new()),
             views: RwLock::new(HashMap::new()),
             next_id: Mutex::new(0),
+            generation: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     pub fn buffer_pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// Current DDL generation. Any CREATE/DROP of a table or view (and
+    /// index creation / ANALYZE, which change plan choices) advances it.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Advance the DDL generation, invalidating all cached plans compiled
+    /// against earlier generations.
+    pub fn bump_generation(&self) {
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
     }
 
     fn norm(name: &str) -> String {
@@ -297,8 +324,14 @@ impl Catalog {
         let mut next = self.next_id.lock();
         let id = *next;
         *next += 1;
-        let t = Arc::new(Table::new(id, name.to_string(), schema, Arc::clone(&self.pool)));
+        let t = Arc::new(Table::new(
+            id,
+            name.to_string(),
+            schema,
+            Arc::clone(&self.pool),
+        ));
         tables.insert(key, Arc::clone(&t));
+        self.bump_generation();
         Ok(t)
     }
 
@@ -306,7 +339,7 @@ impl Catalog {
         self.tables
             .write()
             .remove(&Self::norm(name))
-            .map(|_| ())
+            .map(|_| self.bump_generation())
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
@@ -323,8 +356,12 @@ impl Catalog {
     }
 
     pub fn table_names(&self) -> Vec<String> {
-        let mut v: Vec<String> =
-            self.tables.read().values().map(|t| t.name.clone()).collect();
+        let mut v: Vec<String> = self
+            .tables
+            .read()
+            .values()
+            .map(|t| t.name.clone())
+            .collect();
         v.sort();
         v
     }
@@ -341,8 +378,13 @@ impl Catalog {
         }
         views.insert(
             key,
-            ViewDef { name: name.to_string(), kind, text: text.to_string() },
+            ViewDef {
+                name: name.to_string(),
+                kind,
+                text: text.to_string(),
+            },
         );
+        self.bump_generation();
         Ok(())
     }
 
@@ -354,7 +396,7 @@ impl Catalog {
         self.views
             .write()
             .remove(&Self::norm(name))
-            .map(|_| ())
+            .map(|_| self.bump_generation())
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
@@ -385,7 +427,11 @@ mod tests {
     }
 
     fn emp(i: i64, dno: i64) -> Tuple {
-        Tuple::new(vec![Value::Int(i), Value::Str(format!("e{i}")), Value::Int(dno)])
+        Tuple::new(vec![
+            Value::Int(i),
+            Value::Str(format!("e{i}")),
+            Value::Int(dno),
+        ])
     }
 
     #[test]
@@ -397,7 +443,10 @@ mod tests {
             c.create_table("emp", emp_schema()),
             Err(StorageError::DuplicateTable(_))
         ));
-        assert!(matches!(c.table("DEPT"), Err(StorageError::UnknownTable(_))));
+        assert!(matches!(
+            c.table("DEPT"),
+            Err(StorageError::UnknownTable(_))
+        ));
         c.drop_table("EMP").unwrap();
         assert!(!c.has_table("EMP"));
     }
@@ -414,18 +463,37 @@ mod tests {
             rids.push(t.insert(&emp(i, i % 5)).unwrap());
         }
         // Point lookup via unique index.
-        assert_eq!(t.index_lookup("emp_eno", &vec![Value::Int(7)]).unwrap(), vec![rids[7]]);
+        assert_eq!(
+            t.index_lookup("emp_eno", &vec![Value::Int(7)]).unwrap(),
+            vec![rids[7]]
+        );
         // Posting list via non-unique index.
-        assert_eq!(t.index_lookup("emp_edno", &vec![Value::Int(3)]).unwrap().len(), 10);
+        assert_eq!(
+            t.index_lookup("emp_edno", &vec![Value::Int(3)])
+                .unwrap()
+                .len(),
+            10
+        );
 
         // Delete maintains both.
         t.delete(rids[7]).unwrap();
-        assert!(t.index_lookup("emp_eno", &vec![Value::Int(7)]).unwrap().is_empty());
-        assert_eq!(t.index_lookup("emp_edno", &vec![Value::Int(2)]).unwrap().len(), 9);
+        assert!(t
+            .index_lookup("emp_eno", &vec![Value::Int(7)])
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            t.index_lookup("emp_edno", &vec![Value::Int(2)])
+                .unwrap()
+                .len(),
+            9
+        );
 
         // Update that changes a key re-points the index.
         let (_, nrid) = t.update(rids[8], &emp(8, 99)).unwrap();
-        assert_eq!(t.index_lookup("emp_edno", &vec![Value::Int(99)]).unwrap(), vec![nrid]);
+        assert_eq!(
+            t.index_lookup("emp_edno", &vec![Value::Int(99)]).unwrap(),
+            vec![nrid]
+        );
     }
 
     #[test]
@@ -436,7 +504,11 @@ mod tests {
         t.insert(&emp(1, 1)).unwrap();
         let before = t.row_count().unwrap();
         assert!(t.insert(&emp(1, 2)).is_err());
-        assert_eq!(t.row_count().unwrap(), before, "heap unchanged after failed insert");
+        assert_eq!(
+            t.row_count().unwrap(),
+            before,
+            "heap unchanged after failed insert"
+        );
     }
 
     #[test]
@@ -447,7 +519,12 @@ mod tests {
             t.insert(&emp(i, i % 2)).unwrap();
         }
         t.create_index("emp_edno", vec![2], false).unwrap();
-        assert_eq!(t.index_lookup("emp_edno", &vec![Value::Int(0)]).unwrap().len(), 10);
+        assert_eq!(
+            t.index_lookup("emp_edno", &vec![Value::Int(0)])
+                .unwrap()
+                .len(),
+            10
+        );
     }
 
     #[test]
@@ -455,7 +532,8 @@ mod tests {
         let c = catalog();
         c.create_table("EMP", emp_schema()).unwrap();
         assert!(c.create_view("EMP", ViewKind::Sql, "SELECT 1").is_err());
-        c.create_view("V", ViewKind::Xnf, "OUT OF ... TAKE *").unwrap();
+        c.create_view("V", ViewKind::Xnf, "OUT OF ... TAKE *")
+            .unwrap();
         assert!(c.create_table("v", emp_schema()).is_err());
         assert_eq!(c.view("v").unwrap().kind, ViewKind::Xnf);
         c.drop_view("V").unwrap();

@@ -63,7 +63,9 @@ impl DiskManager {
     /// Read a page from "disk".
     pub fn read(&self, id: PageId) -> Result<Page> {
         let pages = self.pages.lock();
-        let buf = pages.get(id as usize).ok_or(StorageError::PageOutOfRange(id))?;
+        let buf = pages
+            .get(id as usize)
+            .ok_or(StorageError::PageOutOfRange(id))?;
         self.reads.fetch_add(1, Ordering::Relaxed);
         Page::from_bytes(&buf[..])
     }
@@ -71,7 +73,9 @@ impl DiskManager {
     /// Write a page back to "disk".
     pub fn write(&self, id: PageId, page: &Page) -> Result<()> {
         let mut pages = self.pages.lock();
-        let buf = pages.get_mut(id as usize).ok_or(StorageError::PageOutOfRange(id))?;
+        let buf = pages
+            .get_mut(id as usize)
+            .ok_or(StorageError::PageOutOfRange(id))?;
         buf.copy_from_slice(page.as_bytes());
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())

@@ -8,7 +8,10 @@ pub enum StorageError {
     /// A page id was out of range for the disk file.
     PageOutOfRange(u64),
     /// A record id pointed at a missing or deleted slot.
-    InvalidRid { page: u64, slot: u16 },
+    InvalidRid {
+        page: u64,
+        slot: u16,
+    },
     /// A tuple was too large to fit in a page.
     TupleTooLarge(usize),
     /// The buffer pool had no evictable frame (all pinned).
@@ -18,11 +21,20 @@ pub enum StorageError {
     DuplicateIndex(String),
     UnknownTable(String),
     UnknownIndex(String),
-    UnknownColumn { table: String, column: String },
+    UnknownColumn {
+        table: String,
+        column: String,
+    },
     /// Value/type mismatch while encoding or evaluating.
-    TypeMismatch { expected: &'static str, got: &'static str },
+    TypeMismatch {
+        expected: &'static str,
+        got: &'static str,
+    },
     /// Arity mismatch between a tuple and its schema.
-    ArityMismatch { expected: usize, got: usize },
+    ArityMismatch {
+        expected: usize,
+        got: usize,
+    },
     /// Corrupt on-page or serialized data.
     Corrupt(&'static str),
     /// Violation of a uniqueness constraint on an index.
@@ -39,7 +51,9 @@ impl fmt::Display for StorageError {
                 write!(f, "invalid rid ({page},{slot})")
             }
             StorageError::TupleTooLarge(n) => write!(f, "tuple of {n} bytes exceeds page capacity"),
-            StorageError::BufferPoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            StorageError::BufferPoolExhausted => {
+                write!(f, "buffer pool exhausted (all frames pinned)")
+            }
             StorageError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
             StorageError::DuplicateIndex(i) => write!(f, "index '{i}' already exists"),
             StorageError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
@@ -51,7 +65,10 @@ impl fmt::Display for StorageError {
                 write!(f, "type mismatch: expected {expected}, got {got}")
             }
             StorageError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: schema has {expected} columns, tuple has {got}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} columns, tuple has {got}"
+                )
             }
             StorageError::Corrupt(what) => write!(f, "corrupt data: {what}"),
             StorageError::UniqueViolation(k) => write!(f, "unique constraint violated for key {k}"),

@@ -27,7 +27,11 @@ pub struct HeapFile {
 impl HeapFile {
     /// Create an empty heap file backed by `pool`.
     pub fn create(pool: Arc<BufferPool>) -> Self {
-        HeapFile { pool, pages: RwLock::new(Vec::new()), free: RwLock::new(Vec::new()) }
+        HeapFile {
+            pool,
+            pages: RwLock::new(Vec::new()),
+            free: RwLock::new(Vec::new()),
+        }
     }
 
     pub fn page_count(&self) -> usize {
@@ -56,7 +60,11 @@ impl HeapFile {
         };
         if let Some((idx, pid)) = candidate {
             let slot = self.pool.with_page_mut(pid, |p| {
-                let r = if p.fits(record.len()) { p.insert(&record).map(Some) } else { Ok(None) };
+                let r = if p.fits(record.len()) {
+                    p.insert(&record).map(Some)
+                } else {
+                    Ok(None)
+                };
                 (r, p.free_space() as u16)
             })?;
             let (res, new_free) = slot;
@@ -79,7 +87,10 @@ impl HeapFile {
         self.pool.with_page(rid.page, |p| {
             p.get(rid.slot)
                 .map(Tuple::decode)
-                .ok_or(StorageError::InvalidRid { page: rid.page, slot: rid.slot })
+                .ok_or(StorageError::InvalidRid {
+                    page: rid.page,
+                    slot: rid.slot,
+                })
         })??
     }
 
@@ -93,7 +104,10 @@ impl HeapFile {
         })?;
         let (ok, _free) = freed;
         if !ok {
-            return Err(StorageError::InvalidRid { page: rid.page, slot: rid.slot });
+            return Err(StorageError::InvalidRid {
+                page: rid.page,
+                slot: rid.slot,
+            });
         }
         Ok(old)
     }
@@ -237,7 +251,9 @@ mod tests {
         h.delete(rids[20]).unwrap();
         let all = h.scan_all().unwrap();
         assert_eq!(all.len(), 98);
-        assert!(all.iter().all(|(rid, _)| *rid != rids[10] && *rid != rids[20]));
+        assert!(all
+            .iter()
+            .all(|(rid, _)| *rid != rids[10] && *rid != rids[20]));
     }
 
     #[test]

@@ -25,13 +25,22 @@ pub type Key = Vec<Value>;
 
 #[derive(Debug)]
 enum Node {
-    Leaf { keys: Vec<Key>, postings: Vec<Vec<Rid>> },
-    Internal { keys: Vec<Key>, children: Vec<Box<Node>> },
+    Leaf {
+        keys: Vec<Key>,
+        postings: Vec<Vec<Rid>>,
+    },
+    Internal {
+        keys: Vec<Key>,
+        children: Vec<Node>,
+    },
 }
 
 impl Node {
     fn new_leaf() -> Node {
-        Node::Leaf { keys: Vec::new(), postings: Vec::new() }
+        Node::Leaf {
+            keys: Vec::new(),
+            postings: Vec::new(),
+        }
     }
 }
 
@@ -51,7 +60,11 @@ pub struct BTreeIndex {
 impl BTreeIndex {
     /// Create an empty index; `unique` enforces one RID per key.
     pub fn new(unique: bool) -> Self {
-        BTreeIndex { root: Box::new(Node::new_leaf()), unique, len: 0 }
+        BTreeIndex {
+            root: Box::new(Node::new_leaf()),
+            unique,
+            len: 0,
+        }
     }
 
     pub fn is_unique(&self) -> bool {
@@ -75,8 +88,10 @@ impl BTreeIndex {
             InsertResult::Split(sep, right) => {
                 // Grow the tree: new root with two children.
                 let old_root = std::mem::replace(&mut self.root, Box::new(Node::new_leaf()));
-                self.root =
-                    Box::new(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+                *self.root = Node::Internal {
+                    keys: vec![sep],
+                    children: vec![*old_root, *right],
+                };
             }
         }
         self.len += 1;
@@ -105,7 +120,10 @@ impl BTreeIndex {
                     let sep = right_keys[0].clone();
                     Ok(InsertResult::Split(
                         sep,
-                        Box::new(Node::Leaf { keys: right_keys, postings: right_postings }),
+                        Box::new(Node::Leaf {
+                            keys: right_keys,
+                            postings: right_postings,
+                        }),
                     ))
                 } else {
                     Ok(InsertResult::Done)
@@ -120,7 +138,7 @@ impl BTreeIndex {
                     InsertResult::Done => Ok(InsertResult::Done),
                     InsertResult::Split(sep, right) => {
                         keys.insert(idx, sep);
-                        children.insert(idx + 1, right);
+                        children.insert(idx + 1, *right);
                         if keys.len() > ORDER {
                             let mid = keys.len() / 2;
                             // Separator moves up; right node gets keys after mid.
@@ -282,7 +300,7 @@ impl BTreeIndex {
         fn rec(node: &Node) -> usize {
             match node {
                 Node::Leaf { keys, .. } => keys.len(),
-                Node::Internal { children, .. } => children.iter().map(|c| rec(c)).sum(),
+                Node::Internal { children, .. } => children.iter().map(rec).sum(),
             }
         }
         rec(&self.root)
@@ -335,7 +353,9 @@ mod tests {
         // Deterministic shuffle.
         let mut s = 12345u64;
         for i in (1..keys.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s % (i as u64 + 1)) as usize;
             keys.swap(i, j);
         }
@@ -348,7 +368,10 @@ mod tests {
         }
         let all = idx.range(Bound::Unbounded, Bound::Unbounded);
         assert_eq!(all.len(), 5000);
-        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0), "range scan sorted");
+        assert!(
+            all.windows(2).all(|w| w[0].0 <= w[1].0),
+            "range scan sorted"
+        );
     }
 
     #[test]
@@ -368,7 +391,10 @@ mod tests {
     fn unique_index_rejects_duplicates() {
         let mut idx = BTreeIndex::new(true);
         idx.insert(k(1), rid(1)).unwrap();
-        assert!(matches!(idx.insert(k(1), rid(2)), Err(StorageError::UniqueViolation(_))));
+        assert!(matches!(
+            idx.insert(k(1), rid(2)),
+            Err(StorageError::UniqueViolation(_))
+        ));
     }
 
     #[test]
@@ -396,8 +422,7 @@ mod tests {
         for i in 0..100 {
             idx.insert(k(i), rid(i as u64)).unwrap();
         }
-        let r =
-            idx.range(Bound::Included(&k(10)), Bound::Excluded(&k(20)));
+        let r = idx.range(Bound::Included(&k(10)), Bound::Excluded(&k(20)));
         let got: Vec<i64> = r.iter().map(|(key, _)| key[0].as_int().unwrap()).collect();
         assert_eq!(got, (10..20).collect::<Vec<_>>());
         let r = idx.range(Bound::Excluded(&k(95)), Bound::Unbounded);
@@ -407,9 +432,12 @@ mod tests {
     #[test]
     fn composite_keys_order_lexicographically() {
         let mut idx = BTreeIndex::new(false);
-        idx.insert(vec![Value::Int(1), Value::Str("b".into())], rid(1)).unwrap();
-        idx.insert(vec![Value::Int(1), Value::Str("a".into())], rid(2)).unwrap();
-        idx.insert(vec![Value::Int(0), Value::Str("z".into())], rid(3)).unwrap();
+        idx.insert(vec![Value::Int(1), Value::Str("b".into())], rid(1))
+            .unwrap();
+        idx.insert(vec![Value::Int(1), Value::Str("a".into())], rid(2))
+            .unwrap();
+        idx.insert(vec![Value::Int(0), Value::Str("z".into())], rid(3))
+            .unwrap();
         let all = idx.range(Bound::Unbounded, Bound::Unbounded);
         let rids: Vec<Rid> = all.iter().map(|(_, r)| *r).collect();
         assert_eq!(rids, vec![rid(3), rid(2), rid(1)]);
@@ -419,7 +447,8 @@ mod tests {
     fn string_keys() {
         let mut idx = BTreeIndex::new(false);
         for (i, name) in ["ARC", "HDC", "YKT", "ALM"].iter().enumerate() {
-            idx.insert(vec![Value::Str(name.to_string())], rid(i as u64)).unwrap();
+            idx.insert(vec![Value::Str(name.to_string())], rid(i as u64))
+                .unwrap();
         }
         assert_eq!(idx.get(&vec![Value::Str("ARC".into())]), vec![rid(0)]);
         assert_eq!(idx.get(&vec![Value::Str("SJC".into())]), vec![]);

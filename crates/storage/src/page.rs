@@ -37,7 +37,9 @@ impl Default for Page {
 impl Page {
     /// A fresh, empty page.
     pub fn new() -> Self {
-        let mut p = Page { data: Box::new([0u8; PAGE_SIZE]) };
+        let mut p = Page {
+            data: Box::new([0u8; PAGE_SIZE]),
+        };
         p.set_slot_count(0);
         p.set_free_offset(PAGE_SIZE as u16);
         p
@@ -110,7 +112,9 @@ impl Page {
 
     /// Count of live (non-deleted) records.
     pub fn live_records(&self) -> usize {
-        (0..self.slot_count()).filter(|&i| self.slot(i).0 != TOMBSTONE).count()
+        (0..self.slot_count())
+            .filter(|&i| self.slot(i).0 != TOMBSTONE)
+            .count()
     }
 
     /// Insert a record, returning its slot number.
@@ -260,7 +264,10 @@ mod tests {
             p.insert(&rec).unwrap();
             n += 1;
         }
-        assert!(n >= 70, "8K page should hold at least 70 x 104B records, got {n}");
+        assert!(
+            n >= 70,
+            "8K page should hold at least 70 x 104B records, got {n}"
+        );
         assert!(p.insert(&rec).is_err());
     }
 

@@ -1,12 +1,10 @@
 //! Table schemas: ordered, named, typed columns.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Result, StorageError};
 use crate::value::{DataType, Value};
 
 /// A single column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     pub name: String,
     pub ty: DataType,
@@ -15,16 +13,24 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        Column { name: name.into(), ty, nullable: true }
+        Column {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
     }
 
     pub fn not_null(name: impl Into<String>, ty: DataType) -> Self {
-        Column { name: name.into(), ty, nullable: false }
+        Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
     }
 }
 
 /// An ordered list of columns describing a stored or derived table.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     columns: Vec<Column>,
 }
@@ -36,7 +42,9 @@ impl Schema {
 
     /// Build a schema from `(name, type)` pairs, all nullable.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
-        Schema { columns: pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect() }
+        Schema {
+            columns: pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
+        }
     }
 
     pub fn columns(&self) -> &[Column] {
@@ -57,16 +65,19 @@ impl Schema {
 
     /// Case-insensitive lookup of a column ordinal by name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Like [`Schema::index_of`] but producing a catalog error mentioning
     /// `table` on failure.
     pub fn resolve(&self, table: &str, name: &str) -> Result<usize> {
-        self.index_of(name).ok_or_else(|| StorageError::UnknownColumn {
-            table: table.to_string(),
-            column: name.to_string(),
-        })
+        self.index_of(name)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: table.to_string(),
+                column: name.to_string(),
+            })
     }
 
     /// Validate a tuple against this schema: arity, type conformance and
@@ -113,7 +124,9 @@ impl Schema {
 
     /// Project a subset of columns by ordinal.
     pub fn project(&self, indices: &[usize]) -> Schema {
-        Schema { columns: indices.iter().map(|&i| self.columns[i].clone()).collect() }
+        Schema {
+            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
     }
 }
 
@@ -140,15 +153,23 @@ mod tests {
     #[test]
     fn validate_checks_arity_and_types() {
         let s = sample();
-        assert!(s.validate(&[Value::Int(1), Value::Str("a".into()), Value::Double(1.0)]).is_ok());
+        assert!(s
+            .validate(&[Value::Int(1), Value::Str("a".into()), Value::Double(1.0)])
+            .is_ok());
         // Int widens into Double column.
-        assert!(s.validate(&[Value::Int(1), Value::Null, Value::Int(3)]).is_ok());
-        assert!(s.validate(&[Value::Int(1), Value::Str("a".into())]).is_err());
+        assert!(s
+            .validate(&[Value::Int(1), Value::Null, Value::Int(3)])
+            .is_ok());
+        assert!(s
+            .validate(&[Value::Int(1), Value::Str("a".into())])
+            .is_err());
         assert!(s
             .validate(&[Value::Str("x".into()), Value::Null, Value::Null])
             .is_err());
         // NOT NULL column rejects NULL.
-        assert!(s.validate(&[Value::Null, Value::Null, Value::Null]).is_err());
+        assert!(s
+            .validate(&[Value::Null, Value::Null, Value::Null])
+            .is_err());
     }
 
     #[test]

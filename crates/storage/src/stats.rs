@@ -125,7 +125,14 @@ mod tests {
     fn builder_counts_distincts_and_extremes() {
         let mut b = StatsBuilder::new(2);
         for i in 0..100 {
-            b.observe(&[Value::Int(i % 10), if i % 4 == 0 { Value::Null } else { Value::Str("x".into()) }]);
+            b.observe(&[
+                Value::Int(i % 10),
+                if i % 4 == 0 {
+                    Value::Null
+                } else {
+                    Value::Str("x".into())
+                },
+            ]);
         }
         let s = b.finish(3);
         assert_eq!(s.row_count, 100);

@@ -4,13 +4,11 @@
 //! followed by a fixed or length-prefixed payload. It is compact enough for
 //! realistic page-occupancy experiments and fully round-trips every [`Value`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Result, StorageError};
 use crate::value::Value;
 
 /// Record id: physical address of a stored tuple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Rid {
     pub page: u64,
     pub slot: u16,
@@ -24,7 +22,7 @@ impl Rid {
 
 /// A row of values. `Tuple` is deliberately a thin wrapper over `Vec<Value>`
 /// so the executor can treat rows as slices.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Tuple {
     pub values: Vec<Value>,
 }
@@ -201,7 +199,10 @@ mod tests {
         let t = Tuple::new(vec![Value::Int(7), Value::Str("abc".into())]);
         let enc = t.encode();
         for cut in 0..enc.len() {
-            assert!(Tuple::decode(&enc[..cut]).is_err(), "cut at {cut} should fail");
+            assert!(
+                Tuple::decode(&enc[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
         }
     }
 

@@ -21,7 +21,11 @@ enum Undo {
     /// caches re-extract after abort, so RID stability is not required).
     Delete { table: Arc<Table>, old: Tuple },
     /// Undo an update by writing the old image back.
-    Update { table: Arc<Table>, rid: Rid, old: Tuple },
+    Update {
+        table: Arc<Table>,
+        rid: Rid,
+        old: Tuple,
+    },
 }
 
 /// States of a transaction.
@@ -43,7 +47,10 @@ pub struct Transaction {
 
 impl Transaction {
     pub fn begin() -> Self {
-        Transaction { undo: Vec::new(), state: TxnState::Active }
+        Transaction {
+            undo: Vec::new(),
+            state: TxnState::Active,
+        }
     }
 
     pub fn state(&self) -> TxnState {
@@ -65,17 +72,27 @@ impl Transaction {
 
     pub fn log_insert(&mut self, table: &Arc<Table>, rid: Rid) {
         debug_assert!(self.is_active());
-        self.undo.push(Undo::Insert { table: Arc::clone(table), rid });
+        self.undo.push(Undo::Insert {
+            table: Arc::clone(table),
+            rid,
+        });
     }
 
     pub fn log_delete(&mut self, table: &Arc<Table>, old: Tuple) {
         debug_assert!(self.is_active());
-        self.undo.push(Undo::Delete { table: Arc::clone(table), old });
+        self.undo.push(Undo::Delete {
+            table: Arc::clone(table),
+            old,
+        });
     }
 
     pub fn log_update(&mut self, table: &Arc<Table>, rid: Rid, old: Tuple) {
         debug_assert!(self.is_active());
-        self.undo.push(Undo::Update { table: Arc::clone(table), rid, old });
+        self.undo.push(Undo::Update {
+            table: Arc::clone(table),
+            rid,
+            old,
+        });
     }
 
     /// Make all changes permanent (drops the undo log).
@@ -117,7 +134,10 @@ mod tests {
     fn setup() -> (Catalog, Arc<Table>) {
         let c = Catalog::new(Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 32)));
         let t = c
-            .create_table("T", Schema::from_pairs(&[("id", DataType::Int), ("v", DataType::Str)]))
+            .create_table(
+                "T",
+                Schema::from_pairs(&[("id", DataType::Int), ("v", DataType::Str)]),
+            )
             .unwrap();
         (c, t)
     }

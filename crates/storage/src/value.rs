@@ -11,12 +11,10 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Result, StorageError};
 
 /// Column data types supported by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -40,7 +38,7 @@ impl fmt::Display for DataType {
 }
 
 /// A single runtime value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Int(i64),
@@ -81,7 +79,10 @@ impl Value {
         match self {
             Value::Int(i) => Ok(*i),
             Value::Double(d) if d.fract() == 0.0 => Ok(*d as i64),
-            other => Err(StorageError::TypeMismatch { expected: "INT", got: other.type_name() }),
+            other => Err(StorageError::TypeMismatch {
+                expected: "INT",
+                got: other.type_name(),
+            }),
         }
     }
 
@@ -90,21 +91,30 @@ impl Value {
         match self {
             Value::Double(d) => Ok(*d),
             Value::Int(i) => Ok(*i as f64),
-            other => Err(StorageError::TypeMismatch { expected: "DOUBLE", got: other.type_name() }),
+            other => Err(StorageError::TypeMismatch {
+                expected: "DOUBLE",
+                got: other.type_name(),
+            }),
         }
     }
 
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(StorageError::TypeMismatch { expected: "VARCHAR", got: other.type_name() }),
+            other => Err(StorageError::TypeMismatch {
+                expected: "VARCHAR",
+                got: other.type_name(),
+            }),
         }
     }
 
     pub fn as_bool(&self) -> Result<bool> {
         match self {
             Value::Bool(b) => Ok(*b),
-            other => Err(StorageError::TypeMismatch { expected: "BOOLEAN", got: other.type_name() }),
+            other => Err(StorageError::TypeMismatch {
+                expected: "BOOLEAN",
+                got: other.type_name(),
+            }),
         }
     }
 
@@ -113,14 +123,14 @@ impl Value {
     /// NULL is storable in any column (nullability is checked by the catalog
     /// layer); Int is storable in a Double column (widening).
     pub fn conforms_to(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Int(_), DataType::Int | DataType::Double) => true,
-            (Value::Double(_), DataType::Double) => true,
-            (Value::Str(_), DataType::Str) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int | DataType::Double)
+                | (Value::Double(_), DataType::Double)
+                | (Value::Str(_), DataType::Str)
+                | (Value::Bool(_), DataType::Bool)
+        )
     }
 
     /// SQL equality with numeric coercion; returns `None` when either side is
@@ -188,7 +198,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -290,7 +300,7 @@ mod tests {
 
     #[test]
     fn total_order_ranks_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Str("a".into()),
             Value::Int(5),
             Value::Null,

@@ -10,13 +10,22 @@ use composite_views::Database;
 use xnf_fixtures::{build_oo1_db, Oo1Config, OO1_CO};
 
 fn main() {
-    let cfg = Oo1Config { parts: 10_000, ..Default::default() };
-    println!("building OO1 database: {} parts x {} connections each ...", cfg.parts, cfg.fanout);
+    let cfg = Oo1Config {
+        parts: 10_000,
+        ..Default::default()
+    };
+    println!(
+        "building OO1 database: {} parts x {} connections each ...",
+        cfg.parts, cfg.fanout
+    );
     let db: Database = build_oo1_db(cfg);
 
     let t0 = Instant::now();
     let co = db.fetch_co(OO1_CO).expect("extract CO");
-    println!("extracted + swizzled in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "extracted + swizzled in {:.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     let ws = &co.workspace;
     let n = ws.component("part").unwrap().len() as u32;

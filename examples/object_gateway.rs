@@ -21,9 +21,9 @@ impl Employee {
     fn from_tuple(t: &TupleRef<'_>) -> Employee {
         Employee {
             id: t.id(),
-            eno: t.get("eno").unwrap().as_int().unwrap(),
-            name: t.get("ename").unwrap().as_str().unwrap().to_string(),
-            salary: t.get("sal").unwrap().as_double().unwrap(),
+            eno: t.get_int("eno").unwrap(),
+            name: t.get_str("ename").unwrap().to_string(),
+            salary: t.get_f64("sal").unwrap(),
         }
     }
 }
@@ -50,8 +50,12 @@ fn main() {
 
     // The container class holding all Employee instances (paper: "a
     // container class … to allow browsing all employees").
-    let employees: Vec<Employee> =
-        co.workspace.independent("xemp").unwrap().map(|t| Employee::from_tuple(&t)).collect();
+    let employees: Vec<Employee> = co
+        .workspace
+        .independent("xemp")
+        .unwrap()
+        .map(|t| Employee::from_tuple(&t))
+        .collect();
     println!("employee container: {employees:#?}");
 
     // Navigate objects: department of each employee.
@@ -60,7 +64,7 @@ fn main() {
             .workspace
             .parents("employment", e.id)
             .unwrap()
-            .map(|d| d.get("dname").unwrap().to_string())
+            .map(|d| d.get_str("dname").unwrap().to_string())
             .collect();
         println!("#{} {} works in {}", e.eno, e.name, parents.join(", "));
     }
@@ -78,9 +82,16 @@ fn main() {
 
     // Rewire: move liv from 'db' to 'tools' (FK connect/disconnect).
     let liv = employees.iter().find(|e| e.name == "liv").unwrap();
-    let old_dept =
-        co.workspace.parents("employment", liv.id).unwrap().next().unwrap().id();
-    co.workspace.disconnect("employment", &[old_dept, liv.id]).unwrap();
+    let old_dept = co
+        .workspace
+        .parents("employment", liv.id)
+        .unwrap()
+        .next()
+        .unwrap()
+        .id();
+    co.workspace
+        .disconnect("employment", &[old_dept, liv.id])
+        .unwrap();
     co.workspace.connect("employment", &[0, liv.id]).unwrap();
     co.save(&db).expect("connect write-back");
     let check = db.query("SELECT edno FROM EMP WHERE eno = 3").unwrap();

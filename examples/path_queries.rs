@@ -18,7 +18,11 @@ fn main() {
     });
 
     // Store the full CO view once.
-    db.execute(&format!("CREATE VIEW deps_ARC AS {}", xnf_fixtures::DEPS_ARC)).expect("view");
+    db.execute(&format!(
+        "CREATE VIEW deps_ARC AS {}",
+        xnf_fixtures::DEPS_ARC
+    ))
+    .expect("view");
 
     // Projection: take only the employment subtree, with column projection
     // on the nodes.
@@ -30,14 +34,17 @@ fn main() {
         .expect("projection");
     println!("projected CO streams:");
     for s in &slim.streams {
-        println!("  {} ({} rows, columns {:?})", s.name, s.rows.len(), s.columns);
+        println!(
+            "  {} ({} rows, columns {:?})",
+            s.name,
+            s.rows.len(),
+            s.columns
+        );
     }
 
     // Restriction: the same CO limited to well-paid employees.
     let rich = db
-        .query(
-            "OUT OF deps_ARC TAKE xdept, employment, xemp WHERE xemp.sal > 120.0",
-        )
+        .query("OUT OF deps_ARC TAKE xdept, employment, xemp WHERE xemp.sal > 120.0")
         .expect("restriction");
     println!(
         "\nrestricted CO: {} well-paid employees (of {})",
@@ -48,8 +55,12 @@ fn main() {
     // Path expressions over the cache.
     let co = db.fetch_co("deps_ARC").expect("fetch");
     let ws = &co.workspace;
-    let via_emp = ws.path("xdept.employment.xemp.empproperty.xskills").unwrap();
-    let via_proj = ws.path("xdept.ownership.xproj.projproperty.xskills").unwrap();
+    let via_emp = ws
+        .path("xdept.employment.xemp.empproperty.xskills")
+        .unwrap();
+    let via_proj = ws
+        .path("xdept.ownership.xproj.projproperty.xskills")
+        .unwrap();
     println!(
         "\nskills reachable via employees: {}, via projects: {} (of {} total)",
         via_emp.len(),
@@ -58,9 +69,16 @@ fn main() {
     );
 
     // Object sharing: skills reachable both ways exist once in the CO.
-    let shared: Vec<u32> = via_emp.iter().copied().filter(|id| via_proj.contains(id)).collect();
+    let shared: Vec<u32> = via_emp
+        .iter()
+        .copied()
+        .filter(|id| via_proj.contains(id))
+        .collect();
     println!("skills shared by both paths: {}", shared.len());
 
     // EXPLAIN shows the shared component derivations ("table queues").
-    println!("\nEXPLAIN OUT OF deps_ARC TAKE * :\n{}", db.explain(xnf_fixtures::DEPS_ARC).unwrap());
+    println!(
+        "\nEXPLAIN OUT OF deps_ARC TAKE * :\n{}",
+        db.explain(xnf_fixtures::DEPS_ARC).unwrap()
+    );
 }

@@ -55,17 +55,21 @@ fn main() {
     let ws = &co.workspace;
     println!("deps_ARC instance graphs (Fig. 1, right):\n");
     for dept in ws.independent("xdept").expect("xdept") {
-        println!("{} ({})", dept.get("dname").unwrap(), dept.get("dno").unwrap());
+        println!(
+            "{} ({})",
+            dept.get_str("dname").unwrap(),
+            dept.get_int("dno").unwrap()
+        );
         for emp in dept.children("employment").expect("employment") {
-            println!("  EMPLOYS {}", emp.get("ename").unwrap());
+            println!("  EMPLOYS {}", emp.get_str("ename").unwrap());
             for skill in emp.children("empproperty").expect("empproperty") {
-                println!("    POSSESSES {}", skill.get("sname").unwrap());
+                println!("    POSSESSES {}", skill.get_str("sname").unwrap());
             }
         }
         for proj in dept.children("ownership").expect("ownership") {
-            println!("  HAS {}", proj.get("pname").unwrap());
+            println!("  HAS {}", proj.get_str("pname").unwrap());
             for skill in proj.children("projproperty").expect("projproperty") {
-                println!("    NEEDS {}", skill.get("sname").unwrap());
+                println!("    NEEDS {}", skill.get_str("sname").unwrap());
             }
         }
     }
@@ -78,7 +82,9 @@ fn main() {
 
     // Path expression: which skills do ARC departments need through their
     // projects?
-    let ids = ws.path("xdept.ownership.xproj.projproperty.xskills").expect("path");
+    let ids = ws
+        .path("xdept.ownership.xproj.projproperty.xskills")
+        .expect("path");
     let names: Vec<String> = ids
         .iter()
         .map(|&id| ws.component("xskills").unwrap().row(id)[1].to_string())

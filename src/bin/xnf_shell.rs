@@ -58,6 +58,7 @@ fn dot_command(db: &Database, cmd: &str) -> bool {
                  .schema TABLE      show a table's columns\n\
                  .explain QUERY;    show the physical plan\n\
                  .co QUERY;         fetch a CO and print its instance graphs\n\
+                 .cache             show plan-cache statistics\n\
                  .quit              leave"
             );
         }
@@ -94,6 +95,19 @@ fn dot_command(db: &Database, cmd: &str) -> bool {
             },
             None => println!("usage: .explain QUERY;"),
         },
+        ".cache" => {
+            let s = db.plan_cache_stats();
+            println!(
+                "plan cache: {} cached, {} hits, {} misses, {} compiles, \
+                 {} invalidations, {} evictions",
+                db.plan_cache_len(),
+                s.hits,
+                s.misses,
+                s.compiles,
+                s.invalidations,
+                s.evictions
+            );
+        }
         ".co" => match parts.next() {
             Some(q) => match db.fetch_co(q.trim().trim_end_matches(';')) {
                 Ok(co) => print!("{}", co.workspace.to_text()),
@@ -144,10 +158,20 @@ fn print_result(result: &QueryResult) {
             .map(|(c, w)| format!("{c:<w$}"))
             .collect();
         println!("{}", header.join(" | "));
-        println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-")
+        );
         for row in &rendered {
-            let cells: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
             println!("{}", cells.join(" | "));
         }
         println!("({} row(s))", stream.rows.len());

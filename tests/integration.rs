@@ -38,7 +38,10 @@ fn deps_arc_full_pipeline_at_scale() {
         .rows[0][0]
         .as_int()
         .unwrap();
-    assert_eq!(ws.relationship("empproperty").unwrap().connection_count() as i64, expected_edges);
+    assert_eq!(
+        ws.relationship("empproperty").unwrap().connection_count() as i64,
+        expected_edges
+    );
 
     // Every skill in the cache has at least one parent (reachability).
     for s in ws.independent("xskills").unwrap() {
@@ -78,15 +81,22 @@ fn xnf_equals_sql_derivation_everywhere() {
             .map(|r| r[0].as_int().unwrap())
             .collect();
         co_xemp.sort();
-        let sql_ids: Vec<i64> =
-            sql_xemp.table().rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let sql_ids: Vec<i64> = sql_xemp
+            .table()
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
         assert_eq!(co_xemp, sql_ids, "seed {seed}");
     }
 }
 
 #[test]
 fn oo1_cache_round_trips_through_persistence() {
-    let db = build_oo1_db(Oo1Config { parts: 300, ..Default::default() });
+    let db = build_oo1_db(Oo1Config {
+        parts: 300,
+        ..Default::default()
+    });
     let co = db.fetch_co(OO1_CO).unwrap();
     let dir = std::env::temp_dir().join("xnf_oo1_cache.bin");
     composite_views::save_to_file(&co.workspace, &dir).unwrap();
@@ -95,8 +105,17 @@ fn oo1_cache_round_trips_through_persistence() {
     assert_eq!(loaded.connection_count(), co.workspace.connection_count());
     // Same adjacency after re-swizzling.
     for id in [0u32, 7, 123] {
-        let a: Vec<u32> = co.workspace.children("conn", id).unwrap().map(|t| t.id()).collect();
-        let b: Vec<u32> = loaded.children("conn", id).unwrap().map(|t| t.id()).collect();
+        let a: Vec<u32> = co
+            .workspace
+            .children("conn", id)
+            .unwrap()
+            .map(|t| t.id())
+            .collect();
+        let b: Vec<u32> = loaded
+            .children("conn", id)
+            .unwrap()
+            .map(|t| t.id())
+            .collect();
         assert_eq!(a, b);
     }
     let _ = std::fs::remove_file(dir);
@@ -104,16 +123,32 @@ fn oo1_cache_round_trips_through_persistence() {
 
 #[test]
 fn server_fetch_strategies_agree_on_content() {
-    let db = build_paper_db(PaperScale { departments: 10, ..Default::default() });
+    let db = build_paper_db(PaperScale {
+        departments: 10,
+        ..Default::default()
+    });
     let server = Server::new(db);
     let mut s1 = TransportStats::default();
-    let r1 = server.fetch(DEPS_ARC, FetchStrategy::TupleAtATime, &mut s1).unwrap();
+    let r1 = server
+        .fetch(DEPS_ARC, FetchStrategy::TupleAtATime, &mut s1)
+        .unwrap();
     let mut s2 = TransportStats::default();
-    let r2 = server.fetch(DEPS_ARC, FetchStrategy::WholeCo { max_bytes: 64 * 1024 }, &mut s2).unwrap();
+    let r2 = server
+        .fetch(
+            DEPS_ARC,
+            FetchStrategy::WholeCo {
+                max_bytes: 64 * 1024,
+            },
+            &mut s2,
+        )
+        .unwrap();
     for (a, b) in r1.streams.iter().zip(&r2.streams) {
         assert_eq!(a.rows, b.rows, "strategy must not change data");
     }
-    assert!(s1.messages > s2.messages * 10, "tuple-at-a-time crosses far more often");
+    assert!(
+        s1.messages > s2.messages * 10,
+        "tuple-at-a-time crosses far more often"
+    );
     // Byte payloads are identical up to framing.
     let ws = Workspace::from_result(&r2).unwrap();
     assert!(ws.tuple_count() > 0);
@@ -121,16 +156,30 @@ fn server_fetch_strategies_agree_on_content() {
 
 #[test]
 fn updates_survive_round_trip_through_base_tables() {
-    let db = build_paper_db(PaperScale { departments: 6, ..Default::default() });
+    let db = build_paper_db(PaperScale {
+        departments: 6,
+        ..Default::default()
+    });
     let mut co = db.fetch_co(DEPS_ARC).unwrap();
     // Raise every cached employee by 5.0 and write back.
-    let ids: Vec<u32> = co.workspace.independent("xemp").unwrap().map(|t| t.id()).collect();
+    let ids: Vec<u32> = co
+        .workspace
+        .independent("xemp")
+        .unwrap()
+        .map(|t| t.id())
+        .collect();
     let before: Vec<f64> = ids
         .iter()
-        .map(|&id| co.workspace.component("xemp").unwrap().row(id)[3].as_double().unwrap())
+        .map(|&id| {
+            co.workspace.component("xemp").unwrap().row(id)[3]
+                .as_double()
+                .unwrap()
+        })
         .collect();
     for &id in &ids {
-        let old = co.workspace.component("xemp").unwrap().row(id)[3].as_double().unwrap();
+        let old = co.workspace.component("xemp").unwrap().row(id)[3]
+            .as_double()
+            .unwrap();
         co.workspace
             .update_value("xemp", id, "sal", Value::Double(old + 5.0))
             .unwrap();
@@ -155,10 +204,17 @@ fn updates_survive_round_trip_through_base_tables() {
 fn experiment_entry_points_run() {
     // Smoke-run the experiment library at tiny scales (the binary's `quick`
     // mode covers the rest).
-    let db = build_paper_db(PaperScale { departments: 8, ..Default::default() });
+    let db = build_paper_db(PaperScale {
+        departments: 8,
+        ..Default::default()
+    });
     let t = xnf_bench::run_table1(&db);
     assert_eq!(t.sql_total, 23, "Table 1 SQL total must match the paper");
-    assert_eq!(t.xnf_derivation.total(), 7, "Table 1 XNF total must match the paper");
+    assert_eq!(
+        t.xnf_derivation.total(),
+        7,
+        "Table 1 XNF total must match the paper"
+    );
     assert_eq!(t.xnf_derivation.joins, 6);
     assert_eq!(t.xnf_derivation.selections, 1);
     assert_eq!(t.redundant_vs_xnf(), 16);
@@ -175,7 +231,10 @@ fn experiment_entry_points_run() {
 fn multiple_cos_share_one_database() {
     // "Different tools and applications may ask for different (not
     // necessarily disjoint) COs over the same common database" (Sect. 2).
-    let db = build_paper_db(PaperScale { departments: 10, ..Default::default() });
+    let db = build_paper_db(PaperScale {
+        departments: 10,
+        ..Default::default()
+    });
     let co_full = db.fetch_co(DEPS_ARC).unwrap();
     let co_slim = db
         .fetch_co(
@@ -195,14 +254,67 @@ fn multiple_cos_share_one_database() {
 }
 
 #[test]
+fn prepared_statements_work_across_the_fixture_db() {
+    let db = build_paper_db(PaperScale {
+        departments: 10,
+        ..Default::default()
+    });
+    let session = db.session();
+
+    // The same prepared point query, many bindings, one compilation.
+    let compiles_before = db.plan_cache_stats().compiles;
+    let mut by_dept = session
+        .prepare("SELECT COUNT(*) FROM EMP WHERE edno = ?")
+        .unwrap();
+    let mut total = 0i64;
+    for dno in 0..10 {
+        let r = by_dept
+            .execute_with(&[Value::Int(dno)])
+            .and_then(|o| o.try_rows())
+            .unwrap();
+        total += r.table().rows[0][0].as_int().unwrap();
+    }
+    assert_eq!(db.plan_cache_stats().compiles, compiles_before + 1);
+
+    let all: i64 = db.query("SELECT COUNT(*) FROM EMP").unwrap().table().rows[0][0]
+        .as_int()
+        .unwrap();
+    assert_eq!(total, all, "per-department counts must sum to the total");
+
+    // Prepared CO query through the server fixture's database.
+    let mut co = session
+        .prepare(
+            "OUT OF xdept AS (SELECT * FROM DEPT),
+                    xemp AS EMP,
+                    employment AS (RELATE xdept VIA EMPLOYS, xemp
+                                   WHERE xdept.dno = xemp.edno)
+             TAKE * WHERE xdept.loc = ?",
+        )
+        .unwrap();
+    co.bind(&[Value::Str("ARC".into())]).unwrap();
+    let first = co.query().unwrap();
+    let second = co.query().unwrap();
+    for (a, b) in first.streams.iter().zip(&second.streams) {
+        assert_eq!(a.rows, b.rows, "re-execution must be deterministic");
+    }
+}
+
+#[test]
 fn parallel_extraction_matches_sequential() {
-    let db = build_paper_db(PaperScale { departments: 20, ..Default::default() });
+    let db = build_paper_db(PaperScale {
+        departments: 20,
+        ..Default::default()
+    });
     let seq = db.query(DEPS_ARC).unwrap();
     let par = db.query_parallel(DEPS_ARC).unwrap();
     assert_eq!(seq.streams.len(), par.streams.len());
     for (a, b) in seq.streams.iter().zip(&par.streams) {
         assert_eq!(a.name, b.name);
-        assert_eq!(a.rows, b.rows, "stream {} differs under parallel extraction", a.name);
+        assert_eq!(
+            a.rows, b.rows,
+            "stream {} differs under parallel extraction",
+            a.name
+        );
     }
     // Plain SQL works through the parallel path too.
     let r = db.query_parallel("SELECT COUNT(*) FROM EMP").unwrap();
