@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut rows = 0;
             for (_, sql) in COMPONENT_QUERIES {
-                rows += db.query(sql).unwrap().table().rows.len();
+                rows += db.query(sql).unwrap().try_table().unwrap().rows.len();
             }
             rows
         })

@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
                 let r = db
                     .query(&format!("SELECT * FROM EMP WHERE eno = {eno}"))
                     .unwrap();
-                rows += r.table().rows.len();
+                rows += r.try_table().unwrap().rows.len();
             }
             rows
         })
@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
                 let eno = i % eno_count;
                 prepared.bind(&[Value::Int(eno)]).unwrap();
                 let r = prepared.query().unwrap();
-                rows += r.table().rows.len();
+                rows += r.try_table().unwrap().rows.len();
             }
             rows
         })

@@ -30,10 +30,25 @@ fn bench(c: &mut Criterion) {
     );
     let mut g = c.benchmark_group("fig3_exists");
     g.bench_function("rewritten_semijoin", |b| {
-        b.iter(|| fast.query(FIG3_QUERY).unwrap().table().rows.len())
+        b.iter(|| {
+            fast.query(FIG3_QUERY)
+                .unwrap()
+                .try_table()
+                .unwrap()
+                .rows
+                .len()
+        })
     });
     g.bench_function("naive_subquery", |b| {
-        b.iter(|| naive.query(FIG3_QUERY).unwrap().table().rows.len())
+        b.iter(|| {
+            naive
+                .query(FIG3_QUERY)
+                .unwrap()
+                .try_table()
+                .unwrap()
+                .rows
+                .len()
+        })
     });
     g.finish();
 }

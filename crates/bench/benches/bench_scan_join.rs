@@ -1,0 +1,99 @@
+//! Throughput of the core pipeline shapes the batch engine targets: a
+//! 100k-row sequential scan, a 100k-row hash join, and a full CO fetch.
+//! Record per-iteration times in CHANGES.md when the execution layer
+//! changes — this is the perf-trajectory gate for the vectorized engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use xnf_core::Database;
+use xnf_fixtures::{build_paper_db, PaperScale, DEPS_ARC};
+use xnf_storage::{Tuple, Value};
+
+const ITEM_ROWS: usize = 100_000;
+const GROUP_ROWS: usize = 1_000;
+
+/// ITEMS(id, grp, val) with 100k rows joined against GROUPS(gid, flag).
+fn build_scan_db() -> Database {
+    let db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE ITEMS (id INT NOT NULL, grp INT, val INT);
+         CREATE TABLE GROUPS (gid INT NOT NULL, flag INT);",
+    )
+    .expect("schema");
+    let items = db.catalog().table("ITEMS").unwrap();
+    for i in 0..ITEM_ROWS {
+        items
+            .insert(&Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int((i % GROUP_ROWS) as i64),
+                Value::Int((i * 7 % 1000) as i64),
+            ]))
+            .unwrap();
+    }
+    let groups = db.catalog().table("GROUPS").unwrap();
+    for g in 0..GROUP_ROWS {
+        groups
+            .insert(&Tuple::new(vec![
+                Value::Int(g as i64),
+                Value::Int((g % 2) as i64),
+            ]))
+            .unwrap();
+    }
+    db.execute_batch("ANALYZE;").unwrap();
+    db
+}
+
+fn bench_scan_join(c: &mut Criterion) {
+    let db = build_scan_db();
+
+    c.bench_function("seq_scan_filter_100k", |b| {
+        let session = db.session();
+        b.iter(|| {
+            let r = session
+                .query("SELECT COUNT(*) FROM ITEMS WHERE val < 500", &[])
+                .unwrap();
+            black_box(r.streams[0].rows[0][0].clone());
+        })
+    });
+
+    c.bench_function("hash_join_100k", |b| {
+        let session = db.session();
+        b.iter(|| {
+            let r = session
+                .query(
+                    "SELECT COUNT(*) FROM ITEMS i, GROUPS g \
+                     WHERE i.grp = g.gid AND g.flag = 1",
+                    &[],
+                )
+                .unwrap();
+            black_box(r.streams[0].rows[0][0].clone());
+        })
+    });
+
+    c.bench_function("scan_project_limit_100k", |b| {
+        let session = db.session();
+        b.iter(|| {
+            let r = session
+                .query("SELECT id, val FROM ITEMS WHERE val < 990 LIMIT 64", &[])
+                .unwrap();
+            black_box(r.streams[0].rows.len());
+        })
+    });
+
+    let co_db = build_paper_db(PaperScale {
+        departments: 400,
+        employees_per_dept: 20,
+        projects_per_dept: 5,
+        skills: 500,
+        ..Default::default()
+    });
+    c.bench_function("co_fetch_deps_arc", |b| {
+        b.iter(|| {
+            let r = co_db.query(DEPS_ARC).unwrap();
+            black_box(r.stats.rows_emitted);
+        })
+    });
+}
+
+criterion_group!(benches, bench_scan_join);
+criterion_main!(benches);

@@ -38,7 +38,7 @@ pub fn traverse_server(db: &Database, start: i64, depth: u32) -> u64 {
         let q =
             format!("SELECT p.id FROM OO1PARTS p, OO1CONN c WHERE c.src = {id} AND c.dst = p.id");
         let children = db.query(&q).unwrap();
-        for row in &children.table().rows {
+        for row in &children.try_table().unwrap().rows {
             rec(db, row[0].as_int().unwrap(), depth - 1, touched);
         }
     }

@@ -89,8 +89,8 @@ pub fn run_fig3(emp_counts: &[usize]) -> Vec<Fig3Point> {
         let naive = t0.elapsed();
 
         assert_eq!(
-            fast.table().rows.len(),
-            slow.table().rows.len(),
+            fast.try_table().unwrap().rows.len(),
+            slow.try_table().unwrap().rows.len(),
             "rewrite must not change results"
         );
         out.push(Fig3Point {

@@ -28,7 +28,8 @@ pub fn run_shipping(departments: usize) -> Vec<ShippingRow> {
     let arc: Vec<i64> = db
         .query("SELECT dno FROM DEPT WHERE loc = 'ARC'")
         .unwrap()
-        .table()
+        .try_table()
+        .unwrap()
         .rows
         .iter()
         .map(|r| r[0].as_int().unwrap())

@@ -52,7 +52,8 @@ pub fn run_updates(departments: usize) -> UpdatePoint {
         let arc: Vec<i64> = db2
             .query("SELECT dno FROM DEPT WHERE loc = 'ARC'")
             .unwrap()
-            .table()
+            .try_table()
+            .unwrap()
             .rows
             .iter()
             .map(|r| r[0].as_int().unwrap())

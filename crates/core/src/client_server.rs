@@ -261,7 +261,11 @@ pub fn navigational_extract(
     levels: &[NavLevel],
 ) -> Result<usize> {
     let roots = server.fetch(root_query, FetchStrategy::Block(1024), stats)?;
-    let mut frontier: Vec<Vec<xnf_storage::Value>> = roots.table().rows.clone();
+    let mut frontier: Vec<Vec<xnf_storage::Value>> = roots
+        .try_table()
+        .map_err(crate::error::XnfError::from)?
+        .rows
+        .clone();
     let mut total = frontier.len();
     for level in levels {
         let mut next = Vec::new();
@@ -269,7 +273,14 @@ pub fn navigational_extract(
             let key = &parent[level.parent_key_col];
             let q = format!("{} {}", level.query_prefix, key);
             let children = server.fetch(&q, FetchStrategy::Block(1024), stats)?;
-            next.extend(children.table().rows.iter().cloned());
+            next.extend(
+                children
+                    .try_table()
+                    .map_err(crate::error::XnfError::from)?
+                    .rows
+                    .iter()
+                    .cloned(),
+            );
         }
         total += next.len();
         frontier = next;

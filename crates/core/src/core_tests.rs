@@ -54,7 +54,7 @@ TAKE *";
 fn ddl_dml_roundtrip() {
     let db = fig1_db();
     let r = db.query("SELECT COUNT(*) FROM EMP").unwrap();
-    assert_eq!(r.table().rows[0][0], Value::Int(4));
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(4));
 
     let n = db
         .execute("UPDATE EMP SET sal = sal + 10 WHERE edno = 1")
@@ -62,7 +62,7 @@ fn ddl_dml_roundtrip() {
         .affected();
     assert_eq!(n, 2);
     let r = db.query("SELECT MAX(sal) FROM EMP").unwrap();
-    assert_eq!(r.table().rows[0][0], Value::Double(130.0));
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Double(130.0));
 
     let n = db
         .execute("DELETE FROM EMP WHERE eno = 4")
@@ -70,7 +70,7 @@ fn ddl_dml_roundtrip() {
         .affected();
     assert_eq!(n, 1);
     let r = db.query("SELECT COUNT(*) FROM EMP").unwrap();
-    assert_eq!(r.table().rows[0][0], Value::Int(3));
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(3));
 }
 
 #[test]
@@ -85,14 +85,14 @@ fn transactions_rollback_dml() {
     db.rollback().unwrap();
 
     let r = db.query("SELECT COUNT(*), MAX(sal) FROM EMP").unwrap();
-    assert_eq!(r.table().rows[0][0], Value::Int(4));
-    assert_eq!(r.table().rows[0][1], Value::Double(120.0));
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(4));
+    assert_eq!(r.try_table().unwrap().rows[0][1], Value::Double(120.0));
 
     db.begin().unwrap();
     db.execute("DELETE FROM EMP WHERE eno = 4").unwrap();
     db.commit().unwrap();
     let r = db.query("SELECT COUNT(*) FROM EMP").unwrap();
-    assert_eq!(r.table().rows[0][0], Value::Int(3));
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(3));
 }
 
 #[test]
@@ -101,12 +101,12 @@ fn sql_views_expand_in_from() {
     db.execute("CREATE VIEW arc_depts AS SELECT dno, dname FROM DEPT WHERE loc = 'ARC'")
         .unwrap();
     let r = db.query("SELECT COUNT(*) FROM arc_depts").unwrap();
-    assert_eq!(r.table().rows[0][0], Value::Int(2));
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(2));
     // Join a view with a base table.
     let r = db
         .query("SELECT e.ename FROM arc_depts d, EMP e WHERE e.edno = d.dno ORDER BY ename")
         .unwrap();
-    assert_eq!(r.table().rows.len(), 3);
+    assert_eq!(r.try_table().unwrap().rows.len(), 3);
 }
 
 #[test]
@@ -268,7 +268,7 @@ fn update_writes_back_to_base_table() {
     assert!(co.workspace.pending_changes().is_empty());
 
     let r = db.query("SELECT sal FROM EMP WHERE eno = 1").unwrap();
-    assert_eq!(r.table().rows[0][0], Value::Double(200.0));
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Double(200.0));
 }
 
 #[test]
@@ -298,7 +298,8 @@ fn insert_delete_write_back() {
 
     let r = db.query("SELECT eno FROM EMP ORDER BY eno").unwrap();
     let ids: Vec<i64> = r
-        .table()
+        .try_table()
+        .unwrap()
         .rows
         .iter()
         .map(|r| r[0].as_int().unwrap())
@@ -332,7 +333,11 @@ fn fk_connect_disconnect_write_back() {
     co.save(&db).unwrap();
 
     let r = db.query("SELECT edno FROM EMP WHERE eno = 3").unwrap();
-    assert_eq!(r.table().rows[0][0], Value::Int(1), "FK updated by connect");
+    assert_eq!(
+        r.try_table().unwrap().rows[0][0],
+        Value::Int(1),
+        "FK updated by connect"
+    );
 }
 
 #[test]
@@ -364,7 +369,11 @@ fn connect_table_write_back() {
     let r = db
         .query("SELECT COUNT(*) FROM EMPSKILLS WHERE eseno = 1")
         .unwrap();
-    assert_eq!(r.table().rows[0][0], Value::Int(2), "mapping row inserted");
+    assert_eq!(
+        r.try_table().unwrap().rows[0][0],
+        Value::Int(2),
+        "mapping row inserted"
+    );
 
     // And take it away again.
     let mut co = db.fetch_co(DEPS_ARC).unwrap();
@@ -386,7 +395,7 @@ fn connect_table_write_back() {
     let r = db
         .query("SELECT COUNT(*) FROM EMPSKILLS WHERE eseno = 1")
         .unwrap();
-    assert_eq!(r.table().rows[0][0], Value::Int(1));
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(1));
 }
 
 #[test]
@@ -445,7 +454,7 @@ fn write_back_is_atomic_on_conflict() {
     assert!(matches!(err, XnfError::Api(m) if m.contains("conflict")));
     // Atomicity: e1's update must have been rolled back.
     let r = db.query("SELECT sal FROM EMP WHERE eno = 1").unwrap();
-    assert_eq!(r.table().rows[0][0], Value::Double(100.0));
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Double(100.0));
 }
 
 // ---------------------------------------------------------------------------

@@ -38,9 +38,12 @@
 //! let mut by_eno = session.prepare("SELECT ename FROM EMP WHERE eno = ?").unwrap();
 //! by_eno.bind(&[Value::Int(10)]).unwrap();
 //! let r = by_eno.query().unwrap();
-//! assert_eq!(r.table().rows[0][0], Value::Str("mia".into()));
+//! assert_eq!(r.try_table().unwrap().rows[0][0], Value::Str("mia".into()));
 //! by_eno.bind(&[Value::Int(11)]).unwrap();
-//! assert_eq!(by_eno.query().unwrap().table().rows[0][0], Value::Str("ben".into()));
+//! assert_eq!(
+//!     by_eno.query().unwrap().try_table().unwrap().rows[0][0],
+//!     Value::Str("ben".into()),
+//! );
 //!
 //! // Composite-object queries prepare the same way — here parameterized
 //! // over the department location in the TAKE restriction.
@@ -90,7 +93,7 @@ pub use session::{PlanCacheStats, Prepared, Session, SessionStats};
 pub use writeback::{derive_co_schema, write_back, BaseMap, CoSchema, CompMeta, RelMeta};
 
 // Re-export the lower layers for power users and the bench harness.
-pub use xnf_exec::{ExecStats, QueryResult, StreamResult};
+pub use xnf_exec::{ExecStats, QueryResult, RowBatch, StreamResult, DEFAULT_BATCH_SIZE};
 pub use xnf_plan::{PlanOptions, Qep};
 pub use xnf_rewrite::{RewriteOptions, RewriteReport};
 pub use xnf_storage::{DataType, Value};

@@ -41,7 +41,7 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
         match def {
             XnfDef::Table { name, select, root } => {
                 let result = db.run_select(select)?;
-                let stream = result.table();
+                let stream = result.try_table()?;
                 node_idx.insert(name.to_ascii_lowercase(), nodes.len());
                 nodes.push(Node {
                     name: name.clone(),

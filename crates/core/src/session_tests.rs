@@ -30,11 +30,17 @@ fn prepared_select_executes_many_without_recompiling() {
 
     p.bind(&[Value::Int(10)]).unwrap();
     let r1 = p.query().unwrap();
-    assert_eq!(r1.table().rows, vec![vec![Value::Str("mia".into())]]);
+    assert_eq!(
+        r1.try_table().unwrap().rows,
+        vec![vec![Value::Str("mia".into())]]
+    );
 
     p.bind(&[Value::Int(11)]).unwrap();
     let r2 = p.query().unwrap();
-    assert_eq!(r2.table().rows, vec![vec![Value::Str("ben".into())]]);
+    assert_eq!(
+        r2.try_table().unwrap().rows,
+        vec![vec![Value::Str("ben".into())]]
+    );
 
     // One compilation covered both executions.
     assert_eq!(db.plan_cache_stats().compiles, compiles_before + 1);
@@ -150,8 +156,11 @@ fn plan_cache_invalidates_on_ddl() {
     let session = db.session();
     let mut p = session.prepare("SELECT * FROM EMP").unwrap();
     let before = p.query().unwrap();
-    assert_eq!(before.table().columns, vec!["eno", "ename", "edno"]);
-    assert_eq!(before.table().rows.len(), 3);
+    assert_eq!(
+        before.try_table().unwrap().columns,
+        vec!["eno", "ename", "edno"]
+    );
+    assert_eq!(before.try_table().unwrap().rows.len(), 3);
 
     // Drop and recreate EMP with a different schema: the prepared handle
     // must recompile, not replay the stale 3-column plan.
@@ -163,9 +172,12 @@ fn plan_cache_invalidates_on_ddl() {
 
     let invalidations_before = db.plan_cache_stats().invalidations;
     let after = p.query().unwrap();
-    assert_eq!(after.table().columns, vec!["eno", "ename", "sal", "active"]);
     assert_eq!(
-        after.table().rows,
+        after.try_table().unwrap().columns,
+        vec!["eno", "ename", "sal", "active"]
+    );
+    assert_eq!(
+        after.try_table().unwrap().rows,
         vec![vec![
             Value::Int(20),
             Value::Str("zoe".into()),
@@ -177,7 +189,12 @@ fn plan_cache_invalidates_on_ddl() {
 
     // One-shot calls see the new schema through the cache as well.
     assert_eq!(
-        db.query("SELECT * FROM EMP").unwrap().table().columns.len(),
+        db.query("SELECT * FROM EMP")
+            .unwrap()
+            .try_table()
+            .unwrap()
+            .columns
+            .len(),
         4
     );
 }
@@ -222,7 +239,8 @@ fn parameterized_dml_round_trips() {
     let left: Vec<i64> = db
         .query("SELECT eno FROM EMP ORDER BY eno")
         .unwrap()
-        .table()
+        .try_table()
+        .unwrap()
         .rows
         .iter()
         .map(|r| r[0].as_int().unwrap())
@@ -241,7 +259,7 @@ fn bind_arity_is_checked() {
     assert!(p.bind(&[Value::Int(1)]).is_err());
     assert!(p.execute().is_err(), "executing with no bindings must fail");
     p.bind(&[Value::Int(10), Value::Int(1)]).unwrap();
-    assert_eq!(p.query().unwrap().table().rows.len(), 1);
+    assert_eq!(p.query().unwrap().try_table().unwrap().rows.len(), 1);
 
     // One-shot APIs refuse unbound parameters instead of mis-executing.
     assert!(db.query("SELECT * FROM EMP WHERE eno = ?").is_err());
@@ -270,7 +288,7 @@ fn try_rows_reports_non_query_outcomes() {
     let out = db.execute("INSERT INTO T VALUES (1)").unwrap();
     assert!(out.try_rows().is_err());
     let out = db.execute("SELECT * FROM T").unwrap();
-    assert_eq!(out.try_rows().unwrap().table().rows.len(), 1);
+    assert_eq!(out.try_rows().unwrap().try_table().unwrap().rows.len(), 1);
 }
 
 #[test]
@@ -306,11 +324,11 @@ fn stale_plan_never_served_across_view_ddl() {
     .unwrap();
     let session = db.session();
     let mut p = session.prepare("SELECT * FROM arc_emps").unwrap();
-    assert_eq!(p.query().unwrap().table().rows.len(), 2);
+    assert_eq!(p.query().unwrap().try_table().unwrap().rows.len(), 2);
 
     db.execute("DROP VIEW arc_emps").unwrap();
     db.execute("CREATE VIEW arc_emps AS SELECT e.eno FROM EMP e WHERE e.edno = 2")
         .unwrap();
     let r = p.query().unwrap();
-    assert_eq!(r.table().rows, vec![vec![Value::Int(11)]]);
+    assert_eq!(r.try_table().unwrap().rows, vec![vec![Value::Int(11)]]);
 }

@@ -1,5 +1,5 @@
-//! The execution engine: materialises shared subplans ("table queues") and
-//! delivers the output streams of a QEP.
+//! The execution engine: materialises shared subplans ("table queues") as
+//! batch sequences and delivers the output streams of a QEP.
 
 use std::sync::Arc;
 
@@ -7,9 +7,10 @@ use xnf_plan::{Qep, QepOutput};
 use xnf_qgm::OutputKind;
 use xnf_storage::Catalog;
 
-use crate::error::Result;
+use crate::batch::RowBatch;
+use crate::error::{ExecError, Result};
 use crate::eval::{Params, Row};
-use crate::ops::{build_operator, drain, ExecStats, Runtime};
+use crate::ops::{build_operator, ExecStats, Runtime};
 
 /// One delivered output stream.
 #[derive(Debug, Clone)]
@@ -31,10 +32,23 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
+    /// The single relational result, or an error when this is a CO result
+    /// with several streams (or none).
+    pub fn try_table(&self) -> Result<&StreamResult> {
+        match self.streams.as_slice() {
+            [one] => Ok(one),
+            streams => Err(ExecError::Api(format!(
+                "expected a single relational stream, got {}",
+                streams.len()
+            ))),
+        }
+    }
+
     /// The single relational result (panics if this is a CO result).
+    #[deprecated(note = "use `try_table()` — this panics on CO results")]
     pub fn table(&self) -> &StreamResult {
-        assert_eq!(self.streams.len(), 1, "expected a single relational stream");
-        &self.streams[0]
+        self.try_table()
+            .expect("expected a single relational stream")
     }
 
     /// Find a stream by name.
@@ -50,6 +64,23 @@ pub fn execute_qep(catalog: &Catalog, qep: &Qep) -> Result<QueryResult> {
     execute_qep_with_params(catalog, qep, Params::default())
 }
 
+/// Materialise the QEP's shared subplans into the runtime, in id order
+/// (ids are topologically sorted: a shared plan only references lower ids).
+/// Each shared result is a table queue kept in batch form, so its consumers
+/// re-stream it chunk-at-a-time.
+fn materialize_shared(rt: &mut Runtime<'_>, qep: &Qep) -> Result<()> {
+    for plan in &qep.shared {
+        let mut op = build_operator(plan);
+        let mut batches: Vec<RowBatch> = Vec::new();
+        while let Some(batch) = op.next_batch(rt)? {
+            rt.stats.note_batch(batch.len());
+            batches.push(batch);
+        }
+        rt.shared.push(Arc::new(batches));
+    }
+    Ok(())
+}
+
 /// Execute a QEP with prepared-statement parameter bindings resolved at
 /// `eval` time (the prepare-once/execute-many path).
 pub fn execute_qep_with_params(
@@ -58,13 +89,8 @@ pub fn execute_qep_with_params(
     params: Params,
 ) -> Result<QueryResult> {
     let mut rt = Runtime::with_params(catalog, params);
-    // Materialise shared subplans in id order (ids are topologically
-    // sorted: a shared plan only references lower ids).
-    for plan in &qep.shared {
-        let mut op = build_operator(plan);
-        let rows = drain(op.as_mut(), &mut rt)?;
-        rt.shared.push(Arc::new(rows));
-    }
+    rt.batch_size = qep.batch_size.max(1);
+    materialize_shared(&mut rt, qep)?;
     let mut streams = Vec::with_capacity(qep.outputs.len());
     for out in &qep.outputs {
         streams.push(run_output(&mut rt, out)?);
@@ -75,8 +101,12 @@ pub fn execute_qep_with_params(
 
 fn run_output(rt: &mut Runtime<'_>, out: &QepOutput) -> Result<StreamResult> {
     let mut op = build_operator(&out.plan);
-    let rows = drain(op.as_mut(), rt)?;
-    rt.stats.rows_emitted += rows.len() as u64;
+    let mut rows: Vec<Row> = Vec::new();
+    while let Some(batch) = op.next_batch(rt)? {
+        rt.stats.note_batch(batch.len());
+        rt.stats.rows_emitted += batch.len() as u64;
+        rows.extend(batch.into_rows());
+    }
     Ok(StreamResult {
         name: out.name.clone(),
         kind: out.kind.clone(),
@@ -103,13 +133,11 @@ pub fn execute_qep_parallel_with_params(
     params: Params,
 ) -> Result<QueryResult> {
     let mut rt = Runtime::with_params(catalog, params.clone());
-    for plan in &qep.shared {
-        let mut op = build_operator(plan);
-        let rows = drain(op.as_mut(), &mut rt)?;
-        rt.shared.push(Arc::new(rows));
-    }
+    rt.batch_size = qep.batch_size.max(1);
+    materialize_shared(&mut rt, qep)?;
     let shared = rt.shared.clone();
     let base_stats = rt.stats;
+    let batch_size = rt.batch_size;
 
     let joined: Vec<Result<(StreamResult, ExecStats)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = qep
@@ -121,6 +149,7 @@ pub fn execute_qep_parallel_with_params(
                 scope.spawn(move || {
                     let mut rt = Runtime::with_params(catalog, params);
                     rt.shared = shared;
+                    rt.batch_size = batch_size;
                     run_output(&mut rt, out).map(|sr| (sr, rt.stats))
                 })
             })
@@ -135,9 +164,7 @@ pub fn execute_qep_parallel_with_params(
     let mut stats = base_stats;
     for r in joined {
         let (sr, s) = r?;
-        stats.rows_scanned += s.rows_scanned;
-        stats.subquery_invocations += s.subquery_invocations;
-        stats.rows_emitted += s.rows_emitted;
+        stats.merge(&s);
         streams.push(sr);
     }
     Ok(QueryResult { streams, stats })

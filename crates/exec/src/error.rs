@@ -15,6 +15,8 @@ pub enum ExecError {
     MissingBinding(String),
     /// Storage failure.
     Storage(StorageError),
+    /// API misuse (e.g. asking a CO result for its single table).
+    Api(String),
 }
 
 impl fmt::Display for ExecError {
@@ -24,6 +26,7 @@ impl fmt::Display for ExecError {
             ExecError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
             ExecError::MissingBinding(m) => write!(f, "missing outer binding: {m}"),
             ExecError::Storage(e) => write!(f, "{e}"),
+            ExecError::Api(m) => write!(f, "api misuse: {m}"),
         }
     }
 }

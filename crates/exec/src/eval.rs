@@ -340,6 +340,159 @@ pub fn passes(preds: &[PhysExpr], row: &[Value], outer: &OuterCtx) -> Result<boo
     Ok(true)
 }
 
+// ---------------------------------------------------------------------------
+// batch-at-a-time entry points
+// ---------------------------------------------------------------------------
+//
+// Operators call these once per RowBatch, so predicate/projection dispatch
+// (and the conjunction walk) is set up once per chunk instead of once per
+// row — the vectorized counterparts of [`passes`] and per-row projection.
+
+use crate::batch::RowBatch;
+
+/// One conjunct classified for batch evaluation. Comparisons of a row slot
+/// against a constant — the dominant shape of scan filters and join
+/// residuals — run as tight `sql_cmp` loops without re-entering the
+/// recursive interpreter for every row; everything else falls back to
+/// [`eval`]. Classification happens once per batch, so expression dispatch
+/// is paid per chunk, not per row.
+enum BatchPred<'a> {
+    /// `#col <op> literal` (or the flipped spelling).
+    ColLit {
+        col: usize,
+        op: BinOp,
+        lit: &'a Value,
+    },
+    General(&'a PhysExpr),
+}
+
+/// A conjunction classified once and applied to many rows: the scan path
+/// compiles its residual filter per output batch, then tests each decoded
+/// tuple inline while streaming pages.
+pub struct CompiledPreds<'a> {
+    preds: Vec<BatchPred<'a>>,
+}
+
+impl<'a> CompiledPreds<'a> {
+    pub fn compile(preds: &'a [PhysExpr]) -> CompiledPreds<'a> {
+        CompiledPreds {
+            preds: preds.iter().map(classify).collect(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Does `row` satisfy every conjunct? (NULL = UNKNOWN = no.)
+    pub fn matches(&self, row: &[Value], outer: &OuterCtx) -> Result<bool> {
+        for p in &self.preds {
+            match p {
+                BatchPred::ColLit { col, op, lit } => {
+                    let v = row.get(*col).ok_or_else(|| {
+                        ExecError::Type(format!("row has no slot #{col} (width {})", row.len()))
+                    })?;
+                    let ok = match v.sql_cmp(lit) {
+                        None => false,
+                        Some(ord) => cmp_matches(*op, ord),
+                    };
+                    if !ok {
+                        return Ok(false);
+                    }
+                }
+                BatchPred::General(p) => {
+                    if !truthy(&eval(p, row, outer, &[])?) {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+fn classify(p: &PhysExpr) -> BatchPred<'_> {
+    use BinOp::*;
+    if let PhysExpr::Binary { left, op, right } = p {
+        if matches!(op, Eq | NotEq | Lt | LtEq | Gt | GtEq) {
+            match (&**left, &**right) {
+                (PhysExpr::Col(c), PhysExpr::Literal(v)) => {
+                    return BatchPred::ColLit {
+                        col: *c,
+                        op: *op,
+                        lit: v,
+                    }
+                }
+                (PhysExpr::Literal(v), PhysExpr::Col(c)) => {
+                    // `lit op col` ≡ `col flip(op) lit`.
+                    let flipped = match op {
+                        Lt => Gt,
+                        LtEq => GtEq,
+                        Gt => Lt,
+                        GtEq => LtEq,
+                        other => *other,
+                    };
+                    return BatchPred::ColLit {
+                        col: *c,
+                        op: flipped,
+                        lit: v,
+                    };
+                }
+                _ => {}
+            }
+        }
+    }
+    BatchPred::General(p)
+}
+
+fn cmp_matches(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord.is_eq(),
+        BinOp::NotEq => !ord.is_eq(),
+        BinOp::Lt => ord.is_lt(),
+        BinOp::LtEq => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::GtEq => ord.is_ge(),
+        _ => unreachable!("classify only admits comparisons"),
+    }
+}
+
+/// Evaluate a conjunction over every row of `batch`, returning the keep
+/// mask (`true` = row satisfies all predicates). Classifies the conjuncts
+/// once, then tests rows through [`CompiledPreds::matches`].
+pub fn passes_batch(preds: &[PhysExpr], batch: &RowBatch, outer: &OuterCtx) -> Result<Vec<bool>> {
+    let compiled = CompiledPreds::compile(preds);
+    let mut keep = Vec::with_capacity(batch.len());
+    for row in batch.iter() {
+        keep.push(compiled.matches(row, outer)?);
+    }
+    Ok(keep)
+}
+
+/// Retain only the rows of `batch` that satisfy every predicate in `preds`.
+/// A no-op (no mask allocation) for an empty conjunction.
+pub fn filter_batch(preds: &[PhysExpr], batch: &mut RowBatch, outer: &OuterCtx) -> Result<()> {
+    if preds.is_empty() || batch.is_empty() {
+        return Ok(());
+    }
+    let keep = passes_batch(preds, batch, outer)?;
+    batch.retain_indices(&keep);
+    Ok(())
+}
+
+/// Project every row of `batch` through `exprs` into a fresh batch.
+pub fn project_batch(exprs: &[PhysExpr], batch: &RowBatch, outer: &OuterCtx) -> Result<RowBatch> {
+    let mut out = RowBatch::with_capacity(exprs.len(), batch.len());
+    for row in batch.iter() {
+        let mut projected = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            projected.push(eval(e, row, outer, &[])?);
+        }
+        out.push(projected);
+    }
+    Ok(out)
+}
+
 /// SQL LIKE matcher: `%` = any sequence, `_` = any single character.
 pub fn like_match(s: &str, pattern: &str) -> bool {
     fn rec(s: &[char], p: &[char]) -> bool {

@@ -145,7 +145,8 @@ pub fn run_xnf(cat: &Catalog, text: &str) -> QueryResult {
 
 fn ints(result: &QueryResult, col: usize) -> Vec<i64> {
     let mut v: Vec<i64> = result
-        .table()
+        .try_table()
+        .unwrap()
         .rows
         .iter()
         .map(|r| r[col].as_int().unwrap())
@@ -159,6 +160,53 @@ fn select_with_filter() {
     let cat = fig1_db();
     let r = run_sql(&cat, "SELECT dno, dname FROM DEPT WHERE loc = 'ARC'");
     assert_eq!(ints(&r, 0), vec![1, 2]);
+}
+
+#[test]
+fn row_at_a_time_chunking_matches_default() {
+    // batch_size = 1 degenerates the pipeline to row-at-a-time delivery;
+    // results must be identical and granularity stats must reflect it.
+    let cat = fig1_db();
+    for sql in [
+        "SELECT dno, dname FROM DEPT WHERE loc = 'ARC'",
+        "SELECT e.eno FROM EMP e, DEPT d WHERE e.edno = d.dno AND d.loc = 'ARC'",
+        "SELECT edno, COUNT(*) FROM EMP GROUP BY edno",
+    ] {
+        let a = run_sql(&cat, sql);
+        let b = run_sql_opts(
+            &cat,
+            sql,
+            RewriteOptions::default(),
+            PlanOptions {
+                batch_size: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            a.try_table().unwrap().rows,
+            b.try_table().unwrap().rows,
+            "{sql}"
+        );
+        assert_eq!(b.stats.rows_emitted, a.stats.rows_emitted, "{sql}");
+        assert_eq!(
+            b.stats.batches_emitted, b.stats.rows_emitted,
+            "one-row batches: {sql}"
+        );
+        assert!(b.stats.peak_batch_rows <= 1, "{sql}");
+    }
+}
+
+#[test]
+fn stats_report_pipeline_granularity() {
+    let cat = fig1_db();
+    let r = run_sql(&cat, "SELECT eno FROM EMP");
+    assert_eq!(r.stats.rows_emitted, 4);
+    assert!(r.stats.batches_emitted >= 1);
+    assert!(r.stats.peak_batch_rows >= 1 && r.stats.peak_batch_rows <= 1024);
+    // CO extraction delivers several streams (plus shared table queues),
+    // each contributing sink batches.
+    let co = run_xnf(&cat, DEPS_ARC);
+    assert!(co.stats.batches_emitted >= co.streams.len() as u64);
 }
 
 #[test]
@@ -220,7 +268,8 @@ fn in_subquery() {
         "SELECT ename FROM EMP WHERE edno IN (SELECT dno FROM DEPT WHERE loc = 'ARC') ORDER BY ename",
     );
     let names: Vec<&str> = r
-        .table()
+        .try_table()
+        .unwrap()
         .rows
         .iter()
         .map(|r| match &r[0] {
@@ -238,8 +287,8 @@ fn group_by_having() {
         &cat,
         "SELECT edno, COUNT(*) AS n, AVG(sal) AS avgsal FROM EMP GROUP BY edno HAVING COUNT(*) > 1",
     );
-    assert_eq!(r.table().rows.len(), 1);
-    let row = &r.table().rows[0];
+    assert_eq!(r.try_table().unwrap().rows.len(), 1);
+    let row = &r.try_table().unwrap().rows[0];
     assert_eq!(row[0], Value::Int(1));
     assert_eq!(row[1], Value::Int(2));
     assert_eq!(row[2], Value::Double(110.0));
@@ -252,22 +301,22 @@ fn aggregates_without_group() {
         &cat,
         "SELECT COUNT(*), MIN(sal), MAX(sal), SUM(eno) FROM EMP",
     );
-    let row = &r.table().rows[0];
+    let row = &r.try_table().unwrap().rows[0];
     assert_eq!(row[0], Value::Int(4));
     assert_eq!(row[1], Value::Double(80.0));
     assert_eq!(row[2], Value::Double(120.0));
     assert_eq!(row[3], Value::Int(10));
     // Empty input: COUNT 0, MIN NULL.
     let r = run_sql(&cat, "SELECT COUNT(*), MIN(sal) FROM EMP WHERE eno > 100");
-    assert_eq!(r.table().rows[0][0], Value::Int(0));
-    assert!(r.table().rows[0][1].is_null());
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(0));
+    assert!(r.try_table().unwrap().rows[0][1].is_null());
 }
 
 #[test]
 fn count_distinct() {
     let cat = fig1_db();
     let r = run_sql(&cat, "SELECT COUNT(DISTINCT essno) FROM EMPSKILLS");
-    assert_eq!(r.table().rows[0][0], Value::Int(3));
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(3));
 }
 
 #[test]
@@ -282,7 +331,7 @@ fn union_and_union_all() {
         &cat,
         "SELECT essno FROM EMPSKILLS UNION ALL SELECT pssno FROM PROJSKILLS",
     );
-    assert_eq!(r.table().rows.len(), 7);
+    assert_eq!(r.try_table().unwrap().rows.len(), 7);
 }
 
 #[test]
@@ -290,7 +339,8 @@ fn order_by_and_limit() {
     let cat = fig1_db();
     let r = run_sql(&cat, "SELECT ename, sal FROM EMP ORDER BY sal DESC LIMIT 2");
     let names: Vec<String> = r
-        .table()
+        .try_table()
+        .unwrap()
         .rows
         .iter()
         .map(|row| row[0].as_str().unwrap().to_string())

@@ -1,0 +1,114 @@
+//! A small, fast, non-cryptographic hasher for the executor's internal
+//! hash tables (join build sides, aggregate groups, DISTINCT sets).
+//!
+//! These tables are keyed once per input row, so hasher throughput sits on
+//! the hot path of every hash join and aggregation. std's default SipHash
+//! is HashDoS-resistant but several times slower on the short keys we hash
+//! here; the tables never outlive one query and are never keyed by
+//! attacker-chosen collision targets at scale, so an FxHash-style
+//! multiply-xor hash is the right trade.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style word-at-a-time hasher (rotate, xor, multiply).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Avalanche finisher: the multiply above only propagates entropy
+        // upward, but our key bytes often carry their entropy in the HIGH
+        // bits (e.g. integer Values hash as f64 bits, whose low mantissa
+        // bits are zero) while hashbrown indexes buckets by the LOW bits.
+        // Fold the high bits back down before handing the hash out.
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+}
+
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with the executor hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` with the executor hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_and_is_deterministic() {
+        let hash_of = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash_of(b"abcdefgh"), hash_of(b"abcdefgh"));
+        assert_ne!(hash_of(b"abcdefgh"), hash_of(b"abcdefgi"));
+        assert_ne!(hash_of(b"a"), hash_of(b"b"));
+        // Tail handling: same prefix, different short tails.
+        assert_ne!(hash_of(b"123456789"), hash_of(b"12345678X"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<Vec<i64>, usize> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(vec![i, i * 2], i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get([500i64, 1000i64].as_slice()), Some(&500));
+    }
+}

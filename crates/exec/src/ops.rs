@@ -1,15 +1,19 @@
-//! Volcano-style operators: each interprets one QEP node, pulling rows from
-//! its inputs on demand ("table queue evaluation", Sect. 3.1).
+//! Vectorized operators: each interprets one QEP node, pulling *batches* of
+//! rows from its inputs on demand (the paper's "table queue evaluation",
+//! Sect. 3.1, with streams chunked into [`RowBatch`]es so per-tuple virtual
+//! dispatch amortises over a whole chunk).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
-use xnf_plan::{AggSpec, PhysExpr, PhysPlan};
+use xnf_plan::{AggSpec, PhysExpr, PhysPlan, DEFAULT_BATCH_SIZE};
 use xnf_sql::AggFunc;
-use xnf_storage::{Catalog, Value};
+use xnf_storage::{Catalog, Table, Value};
 
+use crate::batch::{BatchBuilder, RowBatch};
 use crate::error::{ExecError, Result};
-use crate::eval::{eval, passes, truthy, OuterCtx, Row};
+use crate::eval::{eval, filter_batch, passes, truthy, CompiledPreds, OuterCtx, Row};
+use crate::hash::{FxHashMap, FxHashSet};
 
 /// Execution statistics (per engine run).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -20,16 +24,41 @@ pub struct ExecStats {
     pub subquery_invocations: u64,
     /// Rows emitted by all output streams.
     pub rows_emitted: u64,
+    /// Batches delivered at pipeline sinks (output streams and shared
+    /// table-queue materialisations).
+    pub batches_emitted: u64,
+    /// Largest single batch observed at a sink (pipeline granularity).
+    pub peak_batch_rows: u64,
+}
+
+impl ExecStats {
+    /// Record one sink-side batch.
+    pub fn note_batch(&mut self, rows: usize) {
+        self.batches_emitted += 1;
+        self.peak_batch_rows = self.peak_batch_rows.max(rows as u64);
+    }
+
+    /// Fold another run's counters into this one (parallel stream delivery).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.subquery_invocations += other.subquery_invocations;
+        self.rows_emitted += other.rows_emitted;
+        self.batches_emitted += other.batches_emitted;
+        self.peak_batch_rows = self.peak_batch_rows.max(other.peak_batch_rows);
+    }
 }
 
 /// Shared runtime state threaded through the operator tree.
 pub struct Runtime<'a> {
     pub catalog: &'a Catalog,
-    /// Materialised shared subplans (by [`xnf_plan::SharedId`]).
-    pub shared: Vec<Arc<Vec<Row>>>,
+    /// Materialised shared subplans (by [`xnf_plan::SharedId`]): each is a
+    /// table queue stored as a batch sequence.
+    pub shared: Vec<Arc<Vec<RowBatch>>>,
     /// Correlation bindings for `Outer` references.
     pub outer: OuterCtx,
     pub stats: ExecStats,
+    /// Target rows per streamed batch (from the QEP; ≥ 1).
+    pub batch_size: usize,
 }
 
 impl<'a> Runtime<'a> {
@@ -39,6 +68,7 @@ impl<'a> Runtime<'a> {
             shared: Vec::new(),
             outer: OuterCtx::new(),
             stats: ExecStats::default(),
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -50,13 +80,15 @@ impl<'a> Runtime<'a> {
             shared: Vec::new(),
             outer: OuterCtx::with_params(params),
             stats: ExecStats::default(),
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 }
 
-/// A demand-driven operator.
+/// A demand-driven batch operator. `None` signals end-of-stream; produced
+/// batches are never empty.
 pub trait Operator {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>>;
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>>;
 }
 
 /// Instantiate the operator tree for a plan.
@@ -64,13 +96,15 @@ pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
     match plan {
         PhysPlan::Values { rows } => Box::new(ValuesOp {
             rows: rows.clone(),
-            idx: 0,
+            done: false,
         }),
         PhysPlan::SeqScan { table, filter } => Box::new(SeqScanOp {
             table: table.clone(),
             filter: filter.clone(),
-            buf: None,
-            idx: 0,
+            table_ref: None,
+            page_idx: 0,
+            pending: BatchBuilder::default(),
+            done: false,
         }),
         PhysPlan::IndexEq {
             table,
@@ -82,10 +116,14 @@ pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
             index: index.clone(),
             key: key.clone(),
             filter: filter.clone(),
-            buf: None,
-            idx: 0,
+            rids: None,
+            pos: 0,
         }),
-        PhysPlan::SharedScan { id } => Box::new(SharedScanOp { id: *id, idx: 0 }),
+        PhysPlan::SharedScan { id } => Box::new(SharedScanOp {
+            id: *id,
+            batch_idx: 0,
+            row_offset: 0,
+        }),
         PhysPlan::Filter { input, preds } => Box::new(FilterOp {
             input: build_operator(input),
             preds: preds.clone(),
@@ -107,7 +145,7 @@ pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
             right_keys: right_keys.clone(),
             residual: residual.clone(),
             table: None,
-            current: None,
+            probe: None,
         }),
         PhysPlan::NlJoin { left, right, preds } => Box::new(NlJoinOp {
             left: build_operator(left),
@@ -172,7 +210,7 @@ pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
         }),
         PhysPlan::HashDistinct { input } => Box::new(HashDistinctOp {
             input: build_operator(input),
-            seen: HashSet::new(),
+            seen: FxHashSet::default(),
         }),
         PhysPlan::UnionAll { inputs } => Box::new(UnionAllOp {
             inputs: inputs.iter().map(|p| build_operator(p)).collect(),
@@ -192,11 +230,11 @@ pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
     }
 }
 
-/// Drain an operator into a vector.
+/// Drain an operator into a flat row vector.
 pub fn drain(op: &mut dyn Operator, rt: &mut Runtime<'_>) -> Result<Vec<Row>> {
     let mut out = Vec::new();
-    while let Some(row) = op.next(rt)? {
-        out.push(row);
+    while let Some(batch) = op.next_batch(rt)? {
+        out.extend(batch.into_rows());
     }
     Ok(out)
 }
@@ -205,56 +243,74 @@ pub fn drain(op: &mut dyn Operator, rt: &mut Runtime<'_>) -> Result<Vec<Row>> {
 
 struct ValuesOp {
     rows: Vec<Vec<PhysExpr>>,
-    idx: usize,
+    done: bool,
 }
 
 impl Operator for ValuesOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
-        if self.idx >= self.rows.len() {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        if self.done || self.rows.is_empty() {
             return Ok(None);
         }
-        let exprs = &self.rows[self.idx];
-        self.idx += 1;
-        let mut row = Vec::with_capacity(exprs.len());
-        for e in exprs {
-            row.push(eval(e, &[], &rt.outer, &[])?);
+        self.done = true;
+        let mut batch = RowBatch::with_capacity(
+            self.rows.first().map(|r| r.len()).unwrap_or(0),
+            self.rows.len(),
+        );
+        for exprs in &self.rows {
+            let mut row = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                row.push(eval(e, &[], &rt.outer, &[])?);
+            }
+            batch.push(row);
         }
-        Ok(Some(row))
+        Ok(Some(batch))
     }
 }
 
 struct SeqScanOp {
     table: String,
     filter: Vec<PhysExpr>,
-    buf: Option<Vec<Row>>,
-    idx: usize,
+    table_ref: Option<Arc<Table>>,
+    /// Next heap page to pull (scans stream page-at-a-time; the whole table
+    /// is never buffered in the operator).
+    page_idx: usize,
+    pending: BatchBuilder,
+    done: bool,
 }
 
 impl Operator for SeqScanOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
-        if self.buf.is_none() {
-            let t = rt.catalog.table(&self.table)?;
-            let mut raw = Vec::new();
-            t.for_each(|_, tuple| {
-                raw.push(tuple.values);
-                Ok(true)
-            })?;
-            rt.stats.rows_scanned += raw.len() as u64;
-            let mut rows = Vec::with_capacity(raw.len());
-            for row in raw {
-                if passes(&self.filter, &row, &rt.outer)? {
-                    rows.push(row);
-                }
-            }
-            self.buf = Some(rows);
-        }
-        let buf = self.buf.as_ref().unwrap();
-        if self.idx >= buf.len() {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        if self.done {
             return Ok(None);
         }
-        let row = buf[self.idx].clone();
-        self.idx += 1;
-        Ok(Some(row))
+        if self.table_ref.is_none() {
+            self.table_ref = Some(rt.catalog.table(&self.table)?);
+            self.pending = BatchBuilder::new(0, rt.batch_size);
+        }
+        let t = self.table_ref.as_ref().unwrap().clone();
+        // Classify the residual filter once per emitted batch; each decoded
+        // tuple is then tested inline while pages stream through.
+        let compiled = CompiledPreds::compile(&self.filter);
+        loop {
+            if let Some(full) = self.pending.take_full() {
+                return Ok(Some(full));
+            }
+            match t.scan_page(self.page_idx)? {
+                None => {
+                    self.done = true;
+                    return Ok(self.pending.take_rest());
+                }
+                Some(page) => {
+                    self.page_idx += 1;
+                    rt.stats.rows_scanned += page.len() as u64;
+                    for (_, tuple) in page {
+                        if compiled.is_empty() || compiled.matches(&tuple.values, &rt.outer)? {
+                            self.pending.push(tuple.values);
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -263,60 +319,75 @@ struct IndexEqOp {
     index: String,
     key: Vec<PhysExpr>,
     filter: Vec<PhysExpr>,
-    buf: Option<Vec<Row>>,
-    idx: usize,
+    /// Postings from the index probe; streamed out in batch-sized slices.
+    rids: Option<Vec<xnf_storage::Rid>>,
+    pos: usize,
 }
 
 impl Operator for IndexEqOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
-        if self.buf.is_none() {
-            let t = rt.catalog.table(&self.table)?;
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        let t = rt.catalog.table(&self.table)?;
+        if self.rids.is_none() {
             let mut key = Vec::with_capacity(self.key.len());
             for e in &self.key {
                 key.push(eval(e, &[], &rt.outer, &[])?);
             }
-            let rids = t.index_lookup(&self.index, &key)?;
-            let mut rows = Vec::with_capacity(rids.len());
-            for rid in rids {
-                let row = t.get(rid)?.values;
-                rt.stats.rows_scanned += 1;
-                if passes(&self.filter, &row, &rt.outer)? {
-                    rows.push(row);
+            self.rids = Some(t.index_lookup(&self.index, &key)?);
+        }
+        let rids = self.rids.as_ref().unwrap();
+        let compiled = CompiledPreds::compile(&self.filter);
+        loop {
+            if self.pos >= rids.len() {
+                return Ok(None);
+            }
+            let end = (self.pos + rt.batch_size).min(rids.len());
+            let chunk = &rids[self.pos..end];
+            self.pos = end;
+            rt.stats.rows_scanned += chunk.len() as u64;
+            let mut batch = RowBatch::with_capacity(0, chunk.len());
+            for rid in chunk {
+                let values = t.get(*rid)?.values;
+                if compiled.is_empty() || compiled.matches(&values, &rt.outer)? {
+                    batch.push(values);
                 }
             }
-            self.buf = Some(rows);
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
         }
-        let buf = self.buf.as_ref().unwrap();
-        if self.idx >= buf.len() {
-            return Ok(None);
-        }
-        let row = buf[self.idx].clone();
-        self.idx += 1;
-        Ok(Some(row))
     }
 }
 
 struct SharedScanOp {
     id: usize,
-    idx: usize,
+    batch_idx: usize,
+    /// Running rowid of the first tuple of the next batch.
+    row_offset: usize,
 }
 
 impl Operator for SharedScanOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
-        let rows = rt
-            .shared
-            .get(self.id)
-            .ok_or_else(|| ExecError::Type(format!("shared result cse{} missing", self.id)))?;
-        if self.idx >= rows.len() {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        let shared = Arc::clone(
+            rt.shared
+                .get(self.id)
+                .ok_or_else(|| ExecError::Type(format!("shared result cse{} missing", self.id)))?,
+        );
+        let Some(src) = shared.get(self.batch_idx) else {
             return Ok(None);
+        };
+        self.batch_idx += 1;
+        rt.stats.rows_scanned += src.len() as u64;
+        // Emit [rowid, cols...] — the system-generated identifier CO
+        // connection streams project (Sect. 5.0).
+        let mut out = RowBatch::with_capacity(src.columns() + 1, src.len());
+        for (i, row) in src.iter().enumerate() {
+            let mut with_id = Vec::with_capacity(row.len() + 1);
+            with_id.push(Value::Int((self.row_offset + i) as i64));
+            with_id.extend(row.iter().cloned());
+            out.push(with_id);
         }
-        // Emit [rowid, cols...].
-        let mut row = Vec::with_capacity(rows[self.idx].len() + 1);
-        row.push(Value::Int(self.idx as i64));
-        row.extend(rows[self.idx].iter().cloned());
-        self.idx += 1;
-        rt.stats.rows_scanned += 1;
-        Ok(Some(row))
+        self.row_offset += src.len();
+        Ok(Some(out))
     }
 }
 
@@ -326,10 +397,11 @@ struct FilterOp {
 }
 
 impl Operator for FilterOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
-        while let Some(row) = self.input.next(rt)? {
-            if passes(&self.preds, &row, &rt.outer)? {
-                return Ok(Some(row));
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        while let Some(mut batch) = self.input.next_batch(rt)? {
+            filter_batch(&self.preds, &mut batch, &rt.outer)?;
+            if !batch.is_empty() {
+                return Ok(Some(batch));
             }
         }
         Ok(None)
@@ -342,16 +414,14 @@ struct ProjectOp {
 }
 
 impl Operator for ProjectOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
-        match self.input.next(rt)? {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        match self.input.next_batch(rt)? {
             None => Ok(None),
-            Some(row) => {
-                let mut out = Vec::with_capacity(self.exprs.len());
-                for e in &self.exprs {
-                    out.push(eval(e, &row, &rt.outer, &[])?);
-                }
-                Ok(Some(out))
-            }
+            Some(batch) => Ok(Some(crate::eval::project_batch(
+                &self.exprs,
+                &batch,
+                &rt.outer,
+            )?)),
         }
     }
 }
@@ -369,6 +439,66 @@ fn key_of(exprs: &[PhysExpr], row: &[Value], outer: &OuterCtx) -> Result<Option<
     Ok(Some(key))
 }
 
+/// [`key_of`] into a reusable buffer (probe sides evaluate one key per
+/// input row; reusing the scratch vector avoids a heap allocation per
+/// probe). Returns `false` when any key value is NULL (no match).
+fn key_into(
+    exprs: &[PhysExpr],
+    row: &[Value],
+    outer: &OuterCtx,
+    buf: &mut Vec<Value>,
+) -> Result<bool> {
+    buf.clear();
+    for e in exprs {
+        let v = eval(e, row, outer, &[])?;
+        if v.is_null() {
+            return Ok(false);
+        }
+        buf.push(v);
+    }
+    Ok(true)
+}
+
+/// The build side shared by [`HashJoinOp`] and [`HashSemiJoinOp`]: a hash
+/// table from join-key values to the build rows (or to key presence only,
+/// when the consumer needs no row payload).
+struct JoinTable {
+    map: FxHashMap<Vec<Value>, Vec<Row>>,
+}
+
+impl JoinTable {
+    /// Drain `input` batch-at-a-time and index its rows by `keys`. With
+    /// `keep_rows == false` only key presence is recorded (residual-free
+    /// semijoins never look at the matched rows).
+    fn build(
+        input: &mut dyn Operator,
+        rt: &mut Runtime<'_>,
+        keys: &[PhysExpr],
+        keep_rows: bool,
+    ) -> Result<JoinTable> {
+        let mut map: FxHashMap<Vec<Value>, Vec<Row>> = FxHashMap::default();
+        while let Some(batch) = input.next_batch(rt)? {
+            for row in batch {
+                if let Some(key) = key_of(keys, &row, &rt.outer)? {
+                    let bucket = map.entry(key).or_default();
+                    if keep_rows {
+                        bucket.push(row);
+                    }
+                }
+            }
+        }
+        Ok(JoinTable { map })
+    }
+
+    fn get(&self, key: &[Value]) -> Option<&[Row]> {
+        self.map.get(key).map(|v| v.as_slice())
+    }
+
+    fn contains(&self, key: &[Value]) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
 struct HashJoinOp {
     left: Box<dyn Operator>,
     right: Box<dyn Operator>,
@@ -376,48 +506,62 @@ struct HashJoinOp {
     right_keys: Vec<PhysExpr>,
     residual: Vec<PhysExpr>,
     /// Build side (right input), keyed.
-    table: Option<HashMap<Vec<Value>, Vec<Row>>>,
-    /// Current probe row and the remaining matches.
-    current: Option<(Row, Vec<Row>, usize)>,
+    table: Option<JoinTable>,
+    /// Probe batch still being expanded (and the next row to probe in it),
+    /// so high-fanout joins flush output near `batch_size` instead of
+    /// materialising one input batch's full match set.
+    probe: Option<(RowBatch, usize)>,
 }
 
 impl Operator for HashJoinOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
         if self.table.is_none() {
-            let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
-            while let Some(row) = self.right.next(rt)? {
-                if let Some(key) = key_of(&self.right_keys, &row, &rt.outer)? {
-                    table.entry(key).or_default().push(row);
+            self.table = Some(JoinTable::build(
+                self.right.as_mut(),
+                rt,
+                &self.right_keys,
+                true,
+            )?);
+        }
+        let mut key = Vec::with_capacity(self.left_keys.len());
+        let mut out = RowBatch::with_capacity(0, rt.batch_size);
+        loop {
+            if self.probe.is_none() {
+                match self.left.next_batch(rt)? {
+                    None => break,
+                    Some(lbatch) => self.probe = Some((lbatch, 0)),
                 }
             }
-            self.table = Some(table);
-        }
-        loop {
-            if let Some((lrow, matches, idx)) = &mut self.current {
-                while *idx < matches.len() {
-                    let rrow = &matches[*idx];
-                    *idx += 1;
+            let (lbatch, idx) = self.probe.as_mut().unwrap();
+            let table = self.table.as_ref().unwrap();
+            while *idx < lbatch.len() && out.len() < rt.batch_size {
+                let lrow = &lbatch[*idx];
+                *idx += 1;
+                if !key_into(&self.left_keys, lrow, &rt.outer, &mut key)? {
+                    continue;
+                }
+                let Some(matches) = table.get(&key) else {
+                    continue;
+                };
+                for rrow in matches {
                     let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
                     combined.extend(lrow.iter().cloned());
                     combined.extend(rrow.iter().cloned());
-                    if passes(&self.residual, &combined, &rt.outer)? {
-                        return Ok(Some(combined));
-                    }
+                    out.push(combined);
                 }
-                self.current = None;
             }
-            match self.left.next(rt)? {
-                None => return Ok(None),
-                Some(lrow) => {
-                    let table = self.table.as_ref().unwrap();
-                    if let Some(key) = key_of(&self.left_keys, &lrow, &rt.outer)? {
-                        if let Some(matches) = table.get(&key) {
-                            self.current = Some((lrow, matches.clone(), 0));
-                        }
-                    }
+            if *idx >= lbatch.len() {
+                self.probe = None;
+            }
+            if out.len() >= rt.batch_size {
+                filter_batch(&self.residual, &mut out, &rt.outer)?;
+                if !out.is_empty() {
+                    return Ok(Some(out));
                 }
             }
         }
+        filter_batch(&self.residual, &mut out, &rt.outer)?;
+        Ok(if out.is_empty() { None } else { Some(out) })
     }
 }
 
@@ -426,32 +570,40 @@ struct NlJoinOp {
     right: Box<dyn Operator>,
     preds: Vec<PhysExpr>,
     right_buf: Option<Vec<Row>>,
-    current: Option<(Row, usize)>,
+    /// Left rows still to be expanded against the buffered right side.
+    current: Option<(RowBatch, usize)>,
 }
 
 impl Operator for NlJoinOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
         if self.right_buf.is_none() {
             self.right_buf = Some(drain(self.right.as_mut(), rt)?);
         }
         loop {
-            if let Some((lrow, idx)) = &mut self.current {
-                let right = self.right_buf.as_ref().unwrap();
-                while *idx < right.len() {
-                    let rrow = &right[*idx];
+            // Expand one left row at a time to bound the combined batch at
+            // the right side's cardinality.
+            if let Some((lbatch, idx)) = &mut self.current {
+                while *idx < lbatch.len() {
+                    let lrow = &lbatch[*idx];
                     *idx += 1;
-                    let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
-                    combined.extend(lrow.iter().cloned());
-                    combined.extend(rrow.iter().cloned());
-                    if passes(&self.preds, &combined, &rt.outer)? {
-                        return Ok(Some(combined));
+                    let right = self.right_buf.as_ref().unwrap();
+                    let mut out = RowBatch::with_capacity(0, right.len().min(rt.batch_size));
+                    for rrow in right {
+                        let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+                        combined.extend(lrow.iter().cloned());
+                        combined.extend(rrow.iter().cloned());
+                        out.push(combined);
+                    }
+                    filter_batch(&self.preds, &mut out, &rt.outer)?;
+                    if !out.is_empty() {
+                        return Ok(Some(out));
                     }
                 }
                 self.current = None;
             }
-            match self.left.next(rt)? {
+            match self.left.next_batch(rt)? {
                 None => return Ok(None),
-                Some(lrow) => self.current = Some((lrow, 0)),
+                Some(lbatch) => self.current = Some((lbatch, 0)),
             }
         }
     }
@@ -464,38 +616,32 @@ struct HashSemiJoinOp {
     inner_keys: Vec<PhysExpr>,
     residual: Vec<PhysExpr>,
     anti: bool,
-    table: Option<HashMap<Vec<Value>, Vec<Row>>>,
+    table: Option<JoinTable>,
 }
 
 impl Operator for HashSemiJoinOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
         if self.table.is_none() {
-            let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
-            while let Some(row) = self.inner.next(rt)? {
-                if let Some(key) = key_of(&self.inner_keys, &row, &rt.outer)? {
-                    // Residual-free semijoins only need key presence.
-                    if self.residual.is_empty() {
-                        table.entry(key).or_default();
-                    } else {
-                        table.entry(key).or_default().push(row);
-                    }
-                }
-            }
-            self.table = Some(table);
+            // Residual-free semijoins only need key presence.
+            let keep_rows = !self.residual.is_empty();
+            self.table = Some(JoinTable::build(
+                self.inner.as_mut(),
+                rt,
+                &self.inner_keys,
+                keep_rows,
+            )?);
         }
-        'outer: while let Some(orow) = self.outer.next(rt)? {
+        let mut key = Vec::with_capacity(self.outer_keys.len());
+        while let Some(mut obatch) = self.outer.next_batch(rt)? {
             let table = self.table.as_ref().unwrap();
-            let matched = match key_of(&self.outer_keys, &orow, &rt.outer)? {
-                None => false,
-                Some(key) => match table.get(&key) {
-                    None => false,
-                    Some(rows) if self.residual.is_empty() => {
-                        let _ = rows;
-                        true
-                    }
-                    Some(rows) => {
+            let mut keep = Vec::with_capacity(obatch.len());
+            for orow in obatch.iter() {
+                let matched = match key_into(&self.outer_keys, orow, &rt.outer, &mut key)? {
+                    false => false,
+                    true if self.residual.is_empty() => table.contains(&key),
+                    true => {
                         let mut hit = false;
-                        for irow in rows {
+                        for irow in table.get(&key).unwrap_or(&[]) {
                             let mut combined = Vec::with_capacity(orow.len() + irow.len());
                             combined.extend(orow.iter().cloned());
                             combined.extend(irow.iter().cloned());
@@ -506,12 +652,13 @@ impl Operator for HashSemiJoinOp {
                         }
                         hit
                     }
-                },
-            };
-            if matched != self.anti {
-                return Ok(Some(orow));
+                };
+                keep.push(matched != self.anti);
             }
-            continue 'outer;
+            obatch.retain_indices(&keep);
+            if !obatch.is_empty() {
+                return Ok(Some(obatch));
+            }
         }
         Ok(None)
     }
@@ -526,24 +673,29 @@ struct NlSemiJoinOp {
 }
 
 impl Operator for NlSemiJoinOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
         if self.inner_buf.is_none() {
             self.inner_buf = Some(drain(self.inner.as_mut(), rt)?);
         }
-        while let Some(orow) = self.outer.next(rt)? {
+        while let Some(mut obatch) = self.outer.next_batch(rt)? {
             let inner = self.inner_buf.as_ref().unwrap();
-            let mut matched = false;
-            for irow in inner {
-                let mut combined = Vec::with_capacity(orow.len() + irow.len());
-                combined.extend(orow.iter().cloned());
-                combined.extend(irow.iter().cloned());
-                if passes(&self.preds, &combined, &rt.outer)? {
-                    matched = true;
-                    break;
+            let mut keep = Vec::with_capacity(obatch.len());
+            for orow in obatch.iter() {
+                let mut matched = false;
+                for irow in inner {
+                    let mut combined = Vec::with_capacity(orow.len() + irow.len());
+                    combined.extend(orow.iter().cloned());
+                    combined.extend(irow.iter().cloned());
+                    if passes(&self.preds, &combined, &rt.outer)? {
+                        matched = true;
+                        break;
+                    }
                 }
+                keep.push(matched != self.anti);
             }
-            if matched != self.anti {
-                return Ok(Some(orow));
+            obatch.retain_indices(&keep);
+            if !obatch.is_empty() {
+                return Ok(Some(obatch));
             }
         }
         Ok(None)
@@ -558,30 +710,35 @@ struct SubqueryFilterOp {
 }
 
 impl Operator for SubqueryFilterOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
-        while let Some(row) = self.input.next(rt)? {
-            // Bind the outer quantifiers, remembering shadowed entries.
-            let mut saved: Vec<(usize, Option<Row>)> = Vec::with_capacity(self.bindings.len());
-            for (qun, offset, width) in &self.bindings {
-                let slice = row[*offset..*offset + *width].to_vec();
-                saved.push((*qun, rt.outer.insert(*qun, slice)));
-            }
-            rt.stats.subquery_invocations += 1;
-            let mut sub = build_operator(&self.subplan);
-            let has_row = sub.next(rt)?.is_some();
-            // Restore bindings.
-            for (qun, old) in saved {
-                match old {
-                    Some(v) => {
-                        rt.outer.insert(qun, v);
-                    }
-                    None => {
-                        rt.outer.remove(&qun);
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        while let Some(mut batch) = self.input.next_batch(rt)? {
+            let mut keep = Vec::with_capacity(batch.len());
+            for row in batch.iter() {
+                // Bind the outer quantifiers, remembering shadowed entries.
+                let mut saved: Vec<(usize, Option<Row>)> = Vec::with_capacity(self.bindings.len());
+                for (qun, offset, width) in &self.bindings {
+                    let slice = row[*offset..*offset + *width].to_vec();
+                    saved.push((*qun, rt.outer.insert(*qun, slice)));
+                }
+                rt.stats.subquery_invocations += 1;
+                let mut sub = build_operator(&self.subplan);
+                let has_row = sub.next_batch(rt)?.is_some();
+                // Restore bindings.
+                for (qun, old) in saved {
+                    match old {
+                        Some(v) => {
+                            rt.outer.insert(qun, v);
+                        }
+                        None => {
+                            rt.outer.remove(&qun);
+                        }
                     }
                 }
+                keep.push(has_row != self.anti);
             }
-            if has_row != self.anti {
-                return Ok(Some(row));
+            batch.retain_indices(&keep);
+            if !batch.is_empty() {
+                return Ok(Some(batch));
             }
         }
         Ok(None)
@@ -708,6 +865,36 @@ struct GroupState {
     distinct_seen: Vec<Option<HashSet<Value>>>,
 }
 
+/// Fold one input row into a group's accumulators.
+fn update_state(
+    state: &mut GroupState,
+    aggs: &[AggSpec],
+    row: &[Value],
+    outer: &OuterCtx,
+) -> Result<()> {
+    for (i, spec) in aggs.iter().enumerate() {
+        let arg_val = match &spec.arg {
+            None => Some(Value::Bool(true)), // COUNT(*): every row
+            Some(e) => {
+                let v = eval(e, row, outer, &[])?;
+                if v.is_null() {
+                    None
+                } else {
+                    Some(v)
+                }
+            }
+        };
+        let Some(v) = arg_val else { continue };
+        if let Some(seen) = &mut state.distinct_seen[i] {
+            if !seen.insert(v.clone()) {
+                continue;
+            }
+        }
+        state.accs[i].update(Some(&v))?;
+    }
+    Ok(())
+}
+
 struct HashAggregateOp {
     input: Box<dyn Operator>,
     group: Vec<PhysExpr>,
@@ -718,107 +905,137 @@ struct HashAggregateOp {
     idx: usize,
 }
 
-impl Operator for HashAggregateOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
-        if self.results.is_none() {
-            let mut groups: HashMap<Vec<Value>, GroupState> = HashMap::new();
-            let mut saw_input = false;
-            while let Some(row) = self.input.next(rt)? {
+impl HashAggregateOp {
+    fn fresh_state(&self) -> GroupState {
+        GroupState {
+            accs: self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
+            distinct_seen: self
+                .aggs
+                .iter()
+                .map(|a| {
+                    if a.distinct {
+                        Some(HashSet::new())
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Consume the whole input (batch-at-a-time) and compute the grouped
+    /// aggregate rows.
+    fn materialize(&mut self, rt: &mut Runtime<'_>) -> Result<Vec<Row>> {
+        let mut groups: FxHashMap<Vec<Value>, GroupState> = FxHashMap::default();
+        let mut saw_input = false;
+        if self.group.is_empty() {
+            // Grand-total fast path: one accumulator state, no per-row key
+            // construction or hashing. When every aggregate is a plain
+            // COUNT(*), whole batches fold in as a single length addition —
+            // the fully vectorized case.
+            let mut state = self.fresh_state();
+            let all_plain_counts = self
+                .aggs
+                .iter()
+                .all(|a| matches!(a.func, AggFunc::Count) && a.arg.is_none() && !a.distinct);
+            while let Some(batch) = self.input.next_batch(rt)? {
                 saw_input = true;
-                let mut key = Vec::with_capacity(self.group.len());
-                for g in &self.group {
-                    key.push(eval(g, &row, &rt.outer, &[])?);
+                if all_plain_counts {
+                    for acc in &mut state.accs {
+                        if let Acc::Count(n) = acc {
+                            *n += batch.len() as i64;
+                        }
+                    }
+                } else {
+                    for row in batch.iter() {
+                        update_state(&mut state, &self.aggs, row, &rt.outer)?;
+                    }
                 }
-                let state = groups.entry(key).or_insert_with(|| GroupState {
-                    accs: self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
-                    distinct_seen: self
-                        .aggs
-                        .iter()
-                        .map(|a| {
-                            if a.distinct {
-                                Some(HashSet::new())
-                            } else {
-                                None
-                            }
-                        })
-                        .collect(),
-                });
-                for (i, spec) in self.aggs.iter().enumerate() {
-                    let arg_val = match &spec.arg {
-                        None => Some(Value::Bool(true)), // COUNT(*): every row
-                        Some(e) => {
-                            let v = eval(e, &row, &rt.outer, &[])?;
-                            if v.is_null() {
-                                None
-                            } else {
-                                Some(v)
-                            }
+            }
+            if saw_input {
+                groups.insert(Vec::new(), state);
+            }
+        } else {
+            while let Some(batch) = self.input.next_batch(rt)? {
+                saw_input = true;
+                for row in batch.iter() {
+                    let mut key = Vec::with_capacity(self.group.len());
+                    for g in &self.group {
+                        key.push(eval(g, row, &rt.outer, &[])?);
+                    }
+                    let state = match groups.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(self.fresh_state())
                         }
                     };
-                    let Some(v) = arg_val else { continue };
-                    if let Some(seen) = &mut state.distinct_seen[i] {
-                        if !seen.insert(v.clone()) {
-                            continue;
-                        }
-                    }
-                    state.accs[i].update(Some(&v))?;
+                    update_state(state, &self.aggs, row, &rt.outer)?;
                 }
             }
-            // Grand total for empty input with no GROUP BY: one row of
-            // "empty" aggregates (COUNT = 0, SUM = NULL, ...).
-            if groups.is_empty() && self.group.is_empty() && !saw_input {
-                groups.insert(
-                    Vec::new(),
-                    GroupState {
-                        accs: self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
-                        distinct_seen: vec![None; self.aggs.len()],
-                    },
-                );
+        }
+        // Grand total for empty input with no GROUP BY: one row of
+        // "empty" aggregates (COUNT = 0, SUM = NULL, ...).
+        if groups.is_empty() && self.group.is_empty() && !saw_input {
+            groups.insert(Vec::new(), self.fresh_state());
+        }
+        let mut rows = Vec::with_capacity(groups.len());
+        for (key, state) in groups {
+            let agg_vals: Vec<Value> = state.accs.iter().map(|a| a.finish()).collect();
+            // HAVING over [group values] with agg slots.
+            let mut ok = true;
+            for h in &self.having {
+                if !truthy(&eval(h, &key, &rt.outer, &agg_vals)?) {
+                    ok = false;
+                    break;
+                }
             }
-            let mut rows = Vec::with_capacity(groups.len());
-            for (key, state) in groups {
-                let agg_vals: Vec<Value> = state.accs.iter().map(|a| a.finish()).collect();
-                // HAVING over [group values] with agg slots.
-                let mut ok = true;
-                for h in &self.having {
-                    if !truthy(&eval(h, &key, &rt.outer, &agg_vals)?) {
-                        ok = false;
-                        break;
-                    }
-                }
-                if !ok {
-                    continue;
-                }
-                let mut out = Vec::with_capacity(self.output.len());
-                for e in &self.output {
-                    out.push(eval(e, &key, &rt.outer, &agg_vals)?);
-                }
-                rows.push(out);
+            if !ok {
+                continue;
             }
-            // Deterministic order for tests: sort rows by value.
-            rows.sort();
+            let mut out = Vec::with_capacity(self.output.len());
+            for e in &self.output {
+                out.push(eval(e, &key, &rt.outer, &agg_vals)?);
+            }
+            rows.push(out);
+        }
+        // Deterministic order for tests: sort rows by value.
+        rows.sort();
+        Ok(rows)
+    }
+}
+
+impl Operator for HashAggregateOp {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        if self.results.is_none() {
+            let rows = self.materialize(rt)?;
             self.results = Some(rows);
         }
         let rows = self.results.as_ref().unwrap();
         if self.idx >= rows.len() {
             return Ok(None);
         }
-        let row = rows[self.idx].clone();
-        self.idx += 1;
-        Ok(Some(row))
+        let end = (self.idx + rt.batch_size).min(rows.len());
+        let batch = RowBatch::from_rows(rows[self.idx..end].to_vec());
+        self.idx = end;
+        Ok(Some(batch))
     }
 }
 
 struct HashDistinctOp {
     input: Box<dyn Operator>,
-    seen: HashSet<Vec<Value>>,
+    seen: FxHashSet<Vec<Value>>,
 }
 
 impl Operator for HashDistinctOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
-        while let Some(row) = self.input.next(rt)? {
-            if self.seen.insert(row.clone()) {
-                return Ok(Some(row));
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        while let Some(mut batch) = self.input.next_batch(rt)? {
+            let mut keep = Vec::with_capacity(batch.len());
+            for row in batch.iter() {
+                keep.push(self.seen.insert(row.clone()));
+            }
+            batch.retain_indices(&keep);
+            if !batch.is_empty() {
+                return Ok(Some(batch));
             }
         }
         Ok(None)
@@ -831,10 +1048,10 @@ struct UnionAllOp {
 }
 
 impl Operator for UnionAllOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
         while self.idx < self.inputs.len() {
-            if let Some(row) = self.inputs[self.idx].next(rt)? {
-                return Ok(Some(row));
+            if let Some(batch) = self.inputs[self.idx].next_batch(rt)? {
+                return Ok(Some(batch));
             }
             self.idx += 1;
         }
@@ -850,7 +1067,7 @@ struct SortOp {
 }
 
 impl Operator for SortOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
         if self.buf.is_none() {
             let mut rows = drain(self.input.as_mut(), rt)?;
             let specs = self.specs.clone();
@@ -866,13 +1083,14 @@ impl Operator for SortOp {
             });
             self.buf = Some(rows);
         }
-        let buf = self.buf.as_ref().unwrap();
-        if self.idx >= buf.len() {
+        let rows = self.buf.as_ref().unwrap();
+        if self.idx >= rows.len() {
             return Ok(None);
         }
-        let row = buf[self.idx].clone();
-        self.idx += 1;
-        Ok(Some(row))
+        let end = (self.idx + rt.batch_size).min(rows.len());
+        let batch = RowBatch::from_rows(rows[self.idx..end].to_vec());
+        self.idx = end;
+        Ok(Some(batch))
     }
 }
 
@@ -883,15 +1101,17 @@ struct LimitOp {
 }
 
 impl Operator for LimitOp {
-    fn next(&mut self, rt: &mut Runtime<'_>) -> Result<Option<Row>> {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
         if self.taken >= self.n {
             return Ok(None);
         }
-        match self.input.next(rt)? {
+        match self.input.next_batch(rt)? {
             None => Ok(None),
-            Some(row) => {
-                self.taken += 1;
-                Ok(Some(row))
+            Some(mut batch) => {
+                let remaining = (self.n - self.taken) as usize;
+                batch.truncate(remaining);
+                self.taken += batch.len() as u64;
+                Ok(Some(batch))
             }
         }
     }

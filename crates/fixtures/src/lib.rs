@@ -11,6 +11,6 @@ pub mod oo1;
 pub mod paper;
 pub mod random;
 
-pub use oo1::{build_oo1_db, Oo1Config, OO1_CO};
-pub use paper::{build_paper_db, deps_arc_query, PaperScale, DEPS_ARC};
+pub use oo1::{build_oo1_db, build_oo1_db_with, Oo1Config, OO1_CO};
+pub use paper::{build_paper_db, build_paper_db_with, deps_arc_query, PaperScale, DEPS_ARC};
 pub use random::{random_table, RandomTableConfig};

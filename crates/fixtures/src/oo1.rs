@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use xnf_core::Database;
+use xnf_core::{Database, DbConfig};
 use xnf_storage::{Tuple, Value};
 
 /// OO1 generator configuration.
@@ -50,7 +50,13 @@ TAKE *";
 /// Build the OO1 database: OO1PARTS(id, ptype, x, y) and
 /// OO1CONN(src, dst, ctype, length).
 pub fn build_oo1_db(cfg: Oo1Config) -> Database {
-    let db = Database::new();
+    build_oo1_db_with(cfg, DbConfig::default())
+}
+
+/// [`build_oo1_db`] under a custom [`DbConfig`]; deterministic for a fixed
+/// seed.
+pub fn build_oo1_db_with(cfg: Oo1Config, config: DbConfig) -> Database {
+    let db = Database::with_config(config);
     db.execute_batch(
         "CREATE TABLE OO1PARTS (id INT NOT NULL, ptype VARCHAR(10), x INT, y INT);
          CREATE TABLE OO1CONN (src INT, dst INT, ctype VARCHAR(10), length INT);",
@@ -119,11 +125,14 @@ mod tests {
             ..Default::default()
         });
         let r = db.query("SELECT COUNT(*) FROM OO1CONN").unwrap();
-        assert_eq!(r.table().rows[0][0], Value::Int(600));
+        assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(600));
         let r = db
             .query("SELECT src, COUNT(*) AS n FROM OO1CONN GROUP BY src HAVING COUNT(*) <> 3")
             .unwrap();
-        assert!(r.table().rows.is_empty(), "every part has fanout 3");
+        assert!(
+            r.try_table().unwrap().rows.is_empty(),
+            "every part has fanout 3"
+        );
     }
 
     #[test]

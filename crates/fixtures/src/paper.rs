@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use xnf_core::Database;
+use xnf_core::{Database, DbConfig};
 use xnf_storage::{Tuple, Value};
 
 /// Scale knobs for the generated database.
@@ -60,7 +60,15 @@ const LOCATIONS: &[&str] = &["HDC", "YKT", "SJC", "ALM"];
 /// Build the paper schema at the given scale; statistics are analyzed and
 /// indexes on the join columns are created.
 pub fn build_paper_db(scale: PaperScale) -> Database {
-    let db = Database::new();
+    build_paper_db_with(scale, DbConfig::default())
+}
+
+/// [`build_paper_db`] under a custom [`DbConfig`] (used by the batch-engine
+/// equivalence suite to sweep `PlanOptions::batch_size`, and by the bench
+/// ablations). Generation is deterministic for a fixed seed, so two
+/// databases built from the same scale hold identical data.
+pub fn build_paper_db_with(scale: PaperScale, config: DbConfig) -> Database {
+    let db = Database::with_config(config);
     db.execute_batch(
         "CREATE TABLE DEPT (dno INT NOT NULL, dname VARCHAR(30), loc VARCHAR(10));
          CREATE TABLE EMP (eno INT NOT NULL, ename VARCHAR(30), edno INT, sal DOUBLE);
@@ -172,8 +180,11 @@ mod tests {
             seed: 7,
         };
         let db = build_paper_db(scale);
-        let count =
-            |sql: &str| -> i64 { db.query(sql).unwrap().table().rows[0][0].as_int().unwrap() };
+        let count = |sql: &str| -> i64 {
+            db.query(sql).unwrap().try_table().unwrap().rows[0][0]
+                .as_int()
+                .unwrap()
+        };
         assert_eq!(count("SELECT COUNT(*) FROM DEPT"), 10);
         assert_eq!(count("SELECT COUNT(*) FROM DEPT WHERE loc = 'ARC'"), 3);
         assert_eq!(count("SELECT COUNT(*) FROM EMP"), 40);
@@ -192,7 +203,8 @@ mod tests {
         let n_arc = db
             .query("SELECT COUNT(*) FROM DEPT WHERE loc = 'ARC'")
             .unwrap()
-            .table()
+            .try_table()
+            .unwrap()
             .rows[0][0]
             .as_int()
             .unwrap() as usize;
@@ -211,8 +223,8 @@ mod tests {
         let b = build_paper_db(PaperScale::default());
         let q = "SELECT SUM(eno) FROM EMP";
         assert_eq!(
-            a.query(q).unwrap().table().rows[0][0],
-            b.query(q).unwrap().table().rows[0][0]
+            a.query(q).unwrap().try_table().unwrap().rows[0][0],
+            b.query(q).unwrap().try_table().unwrap().rows[0][0]
         );
     }
 }

@@ -64,6 +64,6 @@ mod tests {
         let rows = random_table(&db, "R", RandomTableConfig::default());
         assert_eq!(rows.len(), 100);
         let r = db.query("SELECT COUNT(*) FROM R").unwrap();
-        assert_eq!(r.table().rows[0][0], Value::Int(100));
+        assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(100));
     }
 }

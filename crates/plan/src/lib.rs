@@ -11,7 +11,9 @@ pub mod physical;
 pub mod planner;
 
 pub use error::{PlanError, Result};
-pub use physical::{AggSpec, PhysExpr, PhysPlan, Qep, QepOutput, SharedId, SortSpec};
+pub use physical::{
+    AggSpec, PhysExpr, PhysPlan, Qep, QepOutput, SharedId, SortSpec, DEFAULT_BATCH_SIZE,
+};
 pub use planner::{plan_query, PlanOptions};
 
 #[cfg(test)]

@@ -18,6 +18,12 @@ use xnf_storage::Value;
 /// Identifier of a shared (materialised) subplan.
 pub type SharedId = usize;
 
+/// Default row capacity of one execution batch: operators exchange
+/// [`RowBatch`]-sized chunks instead of single rows, so virtual dispatch
+/// and per-operator bookkeeping amortise over this many tuples.
+/// Tunable per query via [`crate::PlanOptions::batch_size`].
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
 /// A physical scalar expression.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysExpr {
@@ -445,6 +451,9 @@ pub struct Qep {
     pub shared: Vec<PhysPlan>,
     /// Output streams in delivery order, with their descriptors.
     pub outputs: Vec<QepOutput>,
+    /// Row capacity of the batches the executor streams between operators
+    /// (and materialises table queues in).
+    pub batch_size: usize,
 }
 
 /// One output stream of a QEP.
@@ -460,6 +469,10 @@ pub struct QepOutput {
 impl Qep {
     pub fn explain(&self) -> String {
         let mut s = String::new();
+        s.push_str(&format!(
+            "mode: batch pipeline (batch_size={})\n",
+            self.batch_size
+        ));
         for (i, p) in self.shared.iter().enumerate() {
             s.push_str(&format!("shared cse{i}:\n"));
             s.push_str(&p.explain());

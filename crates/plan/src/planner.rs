@@ -34,6 +34,8 @@ pub struct PlanOptions {
     /// Materialise shared boxes once (false = re-plan per consumer; the
     /// "no common subexpression" ablation for Table 1 measurements).
     pub share_common_subexpressions: bool,
+    /// Row capacity of the executor's streaming batches (clamped to ≥ 1).
+    pub batch_size: usize,
 }
 
 impl Default for PlanOptions {
@@ -42,6 +44,7 @@ impl Default for PlanOptions {
             use_indexes: true,
             optimize_join_order: true,
             share_common_subexpressions: true,
+            batch_size: crate::physical::DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -104,6 +107,7 @@ pub fn plan_query(catalog: &Catalog, qgm: &Qgm, options: PlanOptions) -> Result<
     Ok(Qep {
         shared: p.shared_plans,
         outputs,
+        batch_size: options.batch_size.max(1),
     })
 }
 
@@ -492,16 +496,27 @@ impl<'a> Planner<'a> {
             };
         }
 
-        // Head projection.
+        // Head projection. An identity head (every input column passed
+        // through in order) would clone each row for nothing — skip it and
+        // let the input stream flow straight through.
         let exprs: Vec<PhysExpr> = bx
             .head
             .iter()
             .map(|h| self.lower(&h.expr, &legs))
             .collect::<Result<_>>()?;
-        plan = PhysPlan::Project {
-            input: Box::new(plan),
-            exprs,
-        };
+        let input_width: usize = legs.values().map(|m| m.width).sum();
+        let identity = !exprs.is_empty()
+            && exprs.len() == input_width
+            && exprs
+                .iter()
+                .enumerate()
+                .all(|(i, e)| matches!(e, PhysExpr::Col(c) if *c == i));
+        if !identity {
+            plan = PhysPlan::Project {
+                input: Box::new(plan),
+                exprs,
+            };
+        }
 
         if bx.as_select().map(|s| s.distinct).unwrap_or(false) {
             plan = PhysPlan::HashDistinct {

@@ -135,6 +135,11 @@ impl Table {
         self.heap.scan_all()
     }
 
+    /// Streaming scan unit; see [`HeapFile::scan_page`].
+    pub fn scan_page(&self, idx: usize) -> Result<Option<Vec<(Rid, Tuple)>>> {
+        self.heap.scan_page(idx)
+    }
+
     pub fn row_count(&self) -> Result<usize> {
         self.heap.count()
     }

@@ -150,6 +150,23 @@ impl HeapFile {
         Ok(())
     }
 
+    /// Decode the live tuples of the `idx`-th page of this heap (by
+    /// position in the allocation-ordered page list). Returns `None` once
+    /// `idx` runs past the end. This is the streaming unit batch scans pull
+    /// on demand, so a scan holds at most one page's tuples at a time.
+    pub fn scan_page(&self, idx: usize) -> Result<Option<Vec<(Rid, Tuple)>>> {
+        let pid = match self.pages.read().get(idx) {
+            Some(pid) => *pid,
+            None => return Ok(None),
+        };
+        let batch: Vec<(Rid, Tuple)> = self.pool.with_page(pid, |p| {
+            p.iter()
+                .map(|(slot, rec)| Tuple::decode(rec).map(|t| (Rid::new(pid, slot), t)))
+                .collect::<Result<Vec<_>>>()
+        })??;
+        Ok(Some(batch))
+    }
+
     /// Collect every live `(rid, tuple)` pair. Convenience for small scans.
     pub fn scan_all(&self) -> Result<Vec<(Rid, Tuple)>> {
         let mut out = Vec::new();
@@ -269,6 +286,24 @@ mod tests {
         })
         .unwrap();
         assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn scan_page_streams_page_at_a_time() {
+        let h = heap();
+        for i in 0..2000 {
+            h.insert(&row(i)).unwrap();
+        }
+        let mut total = 0;
+        let mut idx = 0;
+        while let Some(batch) = h.scan_page(idx).unwrap() {
+            assert!(!batch.is_empty() || h.count().unwrap() == 0);
+            total += batch.len();
+            idx += 1;
+        }
+        assert_eq!(idx, h.page_count());
+        assert_eq!(total, 2000);
+        assert!(h.scan_page(idx).unwrap().is_none());
     }
 
     #[test]

@@ -78,7 +78,10 @@ fn main() {
     println!("\nwrite-back applied {ops} base-table operation(s)");
 
     let check = db.query("SELECT sal FROM EMP WHERE eno = 1").unwrap();
-    println!("mia's salary in EMP is now {}", check.table().rows[0][0]);
+    println!(
+        "mia's salary in EMP is now {}",
+        check.try_table().unwrap().rows[0][0]
+    );
 
     // Rewire: move liv from 'db' to 'tools' (FK connect/disconnect).
     let liv = employees.iter().find(|e| e.name == "liv").unwrap();
@@ -95,5 +98,8 @@ fn main() {
     co.workspace.connect("employment", &[0, liv.id]).unwrap();
     co.save(&db).expect("connect write-back");
     let check = db.query("SELECT edno FROM EMP WHERE eno = 3").unwrap();
-    println!("liv's department FK is now {}", check.table().rows[0][0]);
+    println!(
+        "liv's department FK is now {}",
+        check.try_table().unwrap().rows[0][0]
+    );
 }

@@ -44,7 +44,7 @@ fn main() {
             .execute_with(&[Value::Int(eno)])
             .and_then(|o| o.try_rows())
             .expect("execute");
-        for row in &r.table().rows {
+        for row in &r.try_table().unwrap().rows {
             println!("  eno {eno}: {} earns {}", row[0], row[1]);
         }
     }

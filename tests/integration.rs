@@ -34,7 +34,8 @@ fn deps_arc_full_pipeline_at_scale() {
               (SELECT d.dno FROM DEPT d WHERE d.loc = 'ARC'))",
         )
         .unwrap()
-        .table()
+        .try_table()
+        .unwrap()
         .rows[0][0]
         .as_int()
         .unwrap();
@@ -82,7 +83,8 @@ fn xnf_equals_sql_derivation_everywhere() {
             .collect();
         co_xemp.sort();
         let sql_ids: Vec<i64> = sql_xemp
-            .table()
+            .try_table()
+            .unwrap()
             .rows
             .iter()
             .map(|r| r[0].as_int().unwrap())
@@ -250,7 +252,7 @@ fn multiple_cos_share_one_database() {
     );
     // Plain SQL continues to work over the same data (upward compatibility).
     let r = db.query("SELECT COUNT(*) FROM EMP").unwrap();
-    assert!(r.table().rows[0][0].as_int().unwrap() > 0);
+    assert!(r.try_table().unwrap().rows[0][0].as_int().unwrap() > 0);
 }
 
 #[test]
@@ -272,11 +274,16 @@ fn prepared_statements_work_across_the_fixture_db() {
             .execute_with(&[Value::Int(dno)])
             .and_then(|o| o.try_rows())
             .unwrap();
-        total += r.table().rows[0][0].as_int().unwrap();
+        total += r.try_table().unwrap().rows[0][0].as_int().unwrap();
     }
     assert_eq!(db.plan_cache_stats().compiles, compiles_before + 1);
 
-    let all: i64 = db.query("SELECT COUNT(*) FROM EMP").unwrap().table().rows[0][0]
+    let all: i64 = db
+        .query("SELECT COUNT(*) FROM EMP")
+        .unwrap()
+        .try_table()
+        .unwrap()
+        .rows[0][0]
         .as_int()
         .unwrap();
     assert_eq!(total, all, "per-department counts must sum to the total");
@@ -318,5 +325,5 @@ fn parallel_extraction_matches_sequential() {
     }
     // Plain SQL works through the parallel path too.
     let r = db.query_parallel("SELECT COUNT(*) FROM EMP").unwrap();
-    assert!(r.table().rows[0][0].as_int().unwrap() > 0);
+    assert!(r.try_table().unwrap().rows[0][0].as_int().unwrap() > 0);
 }

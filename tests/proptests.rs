@@ -231,7 +231,8 @@ fn rewrite_preserves_semantics() {
             let mut a: Vec<i64> = fast
                 .query(sql)
                 .unwrap()
-                .table()
+                .try_table()
+                .unwrap()
                 .rows
                 .iter()
                 .map(|r| r[0].as_int().unwrap())
@@ -239,7 +240,8 @@ fn rewrite_preserves_semantics() {
             let mut b: Vec<i64> = naive
                 .query(sql)
                 .unwrap()
-                .table()
+                .try_table()
+                .unwrap()
                 .rows
                 .iter()
                 .map(|r| r[0].as_int().unwrap())
@@ -297,7 +299,8 @@ fn aggregates_match_reference() {
             *expect.entry(*fk).or_default() += 1;
         }
         let got: Vec<(i64, i64)> = r
-            .table()
+            .try_table()
+            .unwrap()
             .rows
             .iter()
             .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
