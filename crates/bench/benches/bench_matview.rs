@@ -1,0 +1,189 @@
+//! Materialized-view serving and maintenance under a 100k-row base.
+//!
+//! Three comparisons, quoted in CHANGES.md / README:
+//!
+//! 1. **point CO fetch**: on-demand extraction of one department's CO
+//!    (restricted `deps_ARC` through the full pipeline) vs
+//!    [`Database::fetch_co_point`] over the materialized view's stored
+//!    streams (acceptance: materialized ≥ 5x faster);
+//! 2. **maintenance**: a single-row base UPDATE flowing through
+//!    incremental delta maintenance vs `REFRESH MATERIALIZED VIEW`
+//!    (acceptance: incremental ≥ 10x faster);
+//! 3. **relational point query**: `SELECT … WHERE grp = ?` against a
+//!    materialized join view (IndexEq over backing storage) vs evaluating
+//!    the join on demand — plus a mixed read/write workload combining
+//!    point reads with occasional updates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use xnf_core::{Database, Value};
+use xnf_fixtures::{build_paper_db, PaperScale, DEPS_ARC};
+use xnf_storage::Tuple;
+
+/// 5000 departments × 20 employees = 100k EMP rows (plus 100k EMPSKILLS).
+fn co_db() -> Database {
+    let db = build_paper_db(PaperScale {
+        departments: 5_000,
+        arc_fraction: 0.02,
+        employees_per_dept: 20,
+        projects_per_dept: 2,
+        skills: 1_000,
+        skills_per_employee: 1,
+        skills_per_project: 2,
+        seed: 9,
+    });
+    db.execute(&format!("CREATE MATERIALIZED VIEW hot_deps AS {DEPS_ARC}"))
+        .expect("materialize CO view");
+    db
+}
+
+fn bench_co_point(c: &mut Criterion) {
+    let db = co_db();
+    // Department 3 is inside the 2% ARC fraction.
+    let restricted = DEPS_ARC.replace("TAKE *", "TAKE * WHERE xdept.dno = 3");
+
+    let mut g = c.benchmark_group("co_point");
+    g.bench_function("extract_on_demand", |b| {
+        b.iter(|| {
+            let co = db.fetch_co(&restricted).unwrap();
+            black_box(co.workspace.tuple_count());
+        })
+    });
+    g.bench_function("matview_fetch", |b| {
+        b.iter(|| {
+            let co = db.fetch_co_point("hot_deps", &Value::Int(3)).unwrap();
+            black_box(co.workspace.tuple_count());
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("maintain");
+    let session = db.session();
+    let mut update = session
+        .prepare("UPDATE EMP SET sal = ? WHERE eno = ?")
+        .unwrap();
+    let mut sal = 100.0f64;
+    g.bench_function("incremental_single_update", |b| {
+        b.iter(|| {
+            sal = if sal > 150.0 { 100.0 } else { sal + 0.25 };
+            // eno 65 lives in ARC department 3: the delta walks up to one
+            // root key and re-extracts that subtree only.
+            let n = update
+                .execute_with(&[Value::Double(sal), Value::Int(65)])
+                .unwrap()
+                .affected();
+            black_box(n);
+        })
+    });
+    g.bench_function("refresh_full_recompute", |b| {
+        b.iter(|| {
+            db.execute("REFRESH MATERIALIZED VIEW hot_deps").unwrap();
+        })
+    });
+    g.finish();
+}
+
+const ITEM_ROWS: usize = 100_000;
+const GROUP_ROWS: usize = 1_000;
+
+fn sql_db() -> Database {
+    let db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE ITEMS (id INT NOT NULL, grp INT, val INT);
+         CREATE TABLE GROUPS (gid INT NOT NULL, flag INT);
+         CREATE UNIQUE INDEX items_id ON ITEMS (id);
+         CREATE INDEX items_grp ON ITEMS (grp);
+         CREATE UNIQUE INDEX groups_gid ON GROUPS (gid);",
+    )
+    .expect("schema");
+    let items = db.catalog().table("ITEMS").unwrap();
+    for i in 0..ITEM_ROWS {
+        items
+            .insert(&Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int((i % GROUP_ROWS) as i64),
+                Value::Int((i * 7 % 1000) as i64),
+            ]))
+            .unwrap();
+    }
+    let groups = db.catalog().table("GROUPS").unwrap();
+    for g in 0..GROUP_ROWS {
+        groups
+            .insert(&Tuple::new(vec![
+                Value::Int(g as i64),
+                Value::Int((g % 2) as i64),
+            ]))
+            .unwrap();
+    }
+    db.execute_batch("ANALYZE;").unwrap();
+    db.execute(
+        "CREATE MATERIALIZED VIEW by_grp AS \
+         SELECT i.grp, i.id, i.val, g.flag FROM ITEMS i, GROUPS g WHERE i.grp = g.gid",
+    )
+    .expect("materialize join view");
+    db
+}
+
+fn bench_sql_point(c: &mut Criterion) {
+    let db = sql_db();
+    let session = db.session();
+
+    let mut g = c.benchmark_group("sql_point");
+    let mut on_demand = session
+        .prepare(
+            "SELECT i.grp, i.id, i.val, g.flag FROM ITEMS i, GROUPS g \
+             WHERE i.grp = g.gid AND i.grp = ?",
+        )
+        .unwrap();
+    g.bench_function("join_on_demand", |b| {
+        b.iter(|| {
+            let r = on_demand.execute_with(&[Value::Int(37)]).unwrap();
+            black_box(r.try_rows().unwrap().streams[0].rows.len());
+        })
+    });
+    let mut mv_point = session
+        .prepare("SELECT * FROM by_grp WHERE grp = ?")
+        .unwrap();
+    g.bench_function("matview_indexeq", |b| {
+        b.iter(|| {
+            let r = mv_point.execute_with(&[Value::Int(37)]).unwrap();
+            black_box(r.try_rows().unwrap().streams[0].rows.len());
+        })
+    });
+    g.finish();
+
+    // Mixed read/write: 20 point reads + 1 single-row update per round.
+    let mut g = c.benchmark_group("mixed_workload");
+    let mut upd = session
+        .prepare("UPDATE ITEMS SET val = ? WHERE id = ?")
+        .unwrap();
+    let mut v = 0i64;
+    g.bench_function("reads_on_demand", |b| {
+        b.iter(|| {
+            for k in 0..20 {
+                let r = on_demand
+                    .execute_with(&[Value::Int(k * 41 % 1000)])
+                    .unwrap();
+                black_box(r.try_rows().unwrap().streams[0].rows.len());
+            }
+            v += 1;
+            upd.execute_with(&[Value::Int(v % 1000), Value::Int(37_037)])
+                .unwrap();
+        })
+    });
+    g.bench_function("reads_materialized", |b| {
+        b.iter(|| {
+            for k in 0..20 {
+                let r = mv_point.execute_with(&[Value::Int(k * 41 % 1000)]).unwrap();
+                black_box(r.try_rows().unwrap().streams[0].rows.len());
+            }
+            v += 1;
+            upd.execute_with(&[Value::Int(v % 1000), Value::Int(37_037)])
+                .unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_co_point, bench_sql_point);
+criterion_main!(benches);

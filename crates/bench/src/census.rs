@@ -106,7 +106,8 @@ pub fn op_signatures(plan: &PhysPlan, out: &mut Vec<String>) {
         PhysPlan::Values { .. }
         | PhysPlan::SeqScan { .. }
         | PhysPlan::IndexEq { .. }
-        | PhysPlan::SharedScan { .. } => {}
+        | PhysPlan::SharedScan { .. }
+        | PhysPlan::MatViewScan { .. } => {}
         PhysPlan::Filter { input, .. }
         | PhysPlan::Project { input, .. }
         | PhysPlan::HashDistinct { input }

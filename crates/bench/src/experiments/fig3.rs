@@ -4,7 +4,7 @@
 //! quantifier; after E-to-F conversion; after SELECT merge). Performance
 //! part: executing the query with the rewrite disabled (tuple-at-a-time
 //! subquery evaluation) versus enabled (set-oriented semijoin), sweeping
-//! the employee count — the paper reports orders of magnitude ([39]).
+//! the employee count — the paper reports orders of magnitude (\[39\]).
 
 use std::time::{Duration, Instant};
 

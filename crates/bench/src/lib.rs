@@ -1,9 +1,26 @@
 //! # xnf-bench — the evaluation harness
 //!
-//! Regenerates every table and figure of the paper's evaluation; see
-//! EXPERIMENTS.md at the repository root for the experiment index and the
-//! paper-vs-measured record. The `experiments` binary runs each experiment
-//! and prints paper-style tables.
+//! Regenerates every table and figure of the paper's evaluation (Sect. 5);
+//! see EXPERIMENTS.md at the repository root for the experiment index and
+//! the paper-vs-measured record. The `experiments` binary runs each
+//! experiment and prints paper-style tables; the `benches/` directory
+//! holds the perf-trajectory criterion benches (`bench_scan_join`,
+//! `bench_prepared`, `bench_matview`, …) whose numbers are recorded in
+//! CHANGES.md.
+//!
+//! Entry points: [`run_table1`] / [`render_table1`] for the Table 1
+//! reproduction, [`census_qep`] / [`op_signatures`] for plan-shape
+//! counting.
+//!
+//! ```
+//! use xnf_bench::census_qep;
+//! use xnf_fixtures::{build_paper_db, PaperScale};
+//!
+//! let db = build_paper_db(PaperScale { departments: 5, ..Default::default() });
+//! let qep = db.compile("SELECT COUNT(*) FROM EMP WHERE edno = 1").unwrap();
+//! let census = census_qep(&qep);
+//! assert!(census.derivation.selections > 0, "the filtered scan is counted");
+//! ```
 
 pub mod census;
 pub mod experiments;

@@ -81,6 +81,11 @@ impl Relationship {
     pub fn connection_count(&self) -> usize {
         self.connections.len()
     }
+
+    /// Connection instances as `[parent_id, child_ids...]` tuples.
+    pub fn connections(&self) -> &[Vec<TupleId>] {
+        &self.connections
+    }
 }
 
 /// A cached composite object.

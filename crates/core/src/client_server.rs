@@ -4,7 +4,7 @@
 //! The paper's performance arguments are about *crossings*: how many
 //! messages flow between application and DBMS address spaces, how many
 //! bytes, and what gets exposed. This module makes those quantities
-//! measurable: a [`Transport`] counts messages and bytes and charges a
+//! measurable: a [`TransportCost`] counts messages and bytes and charges a
 //! configurable latency per message plus a per-byte cost; fetch strategies
 //! reproduce the design space:
 //!

@@ -42,7 +42,9 @@ impl Database {
     /// Evaluate an XNF query (text, `OUT OF ... TAKE ...`) or a stored XNF
     /// view (by name) and load the result into a client-side CO cache.
     /// Compilation goes through the shared plan cache, so repeated fetches
-    /// of the same CO skip the parse→QGM→rewrite→plan pipeline.
+    /// of the same CO skip the parse→QGM→rewrite→plan pipeline. A
+    /// **materialized** CO view loads straight from its backing streams —
+    /// no extraction pipeline at all.
     pub fn fetch_co(&self, query_or_view: &str) -> Result<CoCache> {
         let text = if self.catalog().view(query_or_view).is_some() {
             let view = self.catalog().view(query_or_view).unwrap();
@@ -50,6 +52,9 @@ impl Database {
                 return Err(XnfError::Api(format!(
                     "'{query_or_view}' is a relational view, not a CO view"
                 )));
+            }
+            if view.materialized {
+                return crate::matview::fetch_co_materialized(self, query_or_view);
             }
             view.text
         } else {
@@ -91,5 +96,13 @@ impl Database {
             query,
             params: Params::default(),
         })
+    }
+
+    /// Serve one composite object from a **materialized** CO view: the root
+    /// tuples whose partition key equals `key`, plus everything reachable
+    /// from them, read from the stored streams via index walks (no
+    /// extraction, no full-view load). This is the hot-CO serving path.
+    pub fn fetch_co_point(&self, view: &str, key: &xnf_storage::Value) -> Result<CoCache> {
+        crate::matview::fetch_co_point(self, view, key)
     }
 }

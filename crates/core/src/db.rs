@@ -16,10 +16,12 @@ use xnf_sql::{
     TypeName, ViewBody, XnfQuery,
 };
 use xnf_storage::{
-    BufferPool, Catalog, Column, DataType, DiskManager, Schema, Transaction, Tuple, Value, ViewKind,
+    BufferPool, Catalog, Column, DataType, DeltaBatch, DiskManager, Schema, Transaction, Tuple,
+    Value, ViewKind,
 };
 
 use crate::error::{Result, XnfError};
+use crate::matview::MaintPlan;
 use crate::session::{CompiledBody, CompiledStmt, PlanCache, PlanCacheStats, Session};
 
 /// Configuration for a database instance.
@@ -59,21 +61,13 @@ pub enum ExecOutcome {
 
 impl ExecOutcome {
     /// The query result, or an error if the statement produced none
-    /// (DDL/DML). Prefer this over the panicking [`ExecOutcome::rows`].
+    /// (DDL/DML).
     pub fn try_rows(self) -> Result<QueryResult> {
         match self {
             ExecOutcome::Rows(r) => Ok(r),
             other => Err(XnfError::Api(format!(
                 "expected a query result, got {other:?}"
             ))),
-        }
-    }
-
-    #[deprecated(note = "use `try_rows()` — this panics on DDL/DML outcomes")]
-    pub fn rows(self) -> QueryResult {
-        match self {
-            ExecOutcome::Rows(r) => r,
-            other => panic!("expected rows, got {other:?}"),
         }
     }
 
@@ -94,7 +88,13 @@ pub struct Database {
     /// Shared compiled-plan cache (all sessions), keyed by normalized
     /// statement text, invalidated via the catalog's DDL generation.
     plan_cache: Mutex<PlanCache>,
+    /// Materialized-view maintenance plans, cached per catalog generation
+    /// (DDL invalidates them together with the plan cache).
+    matview_plans: Mutex<Option<(u64, MaintPlans)>>,
 }
+
+/// Shared, generation-tagged set of matview maintenance plans.
+pub(crate) type MaintPlans = Arc<Vec<Arc<MaintPlan>>>;
 
 impl Database {
     /// Create an in-memory database.
@@ -110,7 +110,25 @@ impl Database {
             config,
             txn: Mutex::new(None),
             plan_cache: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
+            matview_plans: Mutex::new(None),
         }
+    }
+
+    /// Maintenance plans for every materialized view, rebuilt when DDL
+    /// moves the catalog generation.
+    pub(crate) fn matview_plans(&self) -> Result<MaintPlans> {
+        let generation = self.catalog.generation();
+        if let Some((g, plans)) = self.matview_plans.lock().as_ref() {
+            if *g == generation {
+                return Ok(Arc::clone(plans));
+            }
+        }
+        // Build outside the lock (analysis parses view text and reads the
+        // catalog); last writer wins, which is fine — same generation, same
+        // plans.
+        let plans = Arc::new(crate::matview::build_plans(self)?);
+        *self.matview_plans.lock() = Some((generation, Arc::clone(&plans)));
+        Ok(plans)
     }
 
     /// Open a session: the unit of statement preparation. Sessions share
@@ -168,6 +186,12 @@ impl Database {
         match self.txn.lock().take() {
             Some(t) => {
                 t.abort().map_err(XnfError::from)?;
+                // The undo log restored base tables underneath any matview
+                // maintenance the transaction already triggered; recompute
+                // them from the restored state.
+                if self.catalog.has_matviews() {
+                    crate::matview::refresh_all(self)?;
+                }
                 Ok(())
             }
             None => Err(XnfError::Api("no active transaction".to_string())),
@@ -189,17 +213,23 @@ impl Database {
     pub(crate) fn log_update(
         &self,
         table: &Arc<xnf_storage::Table>,
+        old_rid: xnf_storage::Rid,
+        new_rid: xnf_storage::Rid,
+        old: Tuple,
+    ) {
+        if let Some(t) = self.txn.lock().as_mut() {
+            t.log_update_at(table, old_rid, new_rid, old);
+        }
+    }
+
+    pub(crate) fn log_delete(
+        &self,
+        table: &Arc<xnf_storage::Table>,
         rid: xnf_storage::Rid,
         old: Tuple,
     ) {
         if let Some(t) = self.txn.lock().as_mut() {
-            t.log_update(table, rid, old);
-        }
-    }
-
-    pub(crate) fn log_delete(&self, table: &Arc<xnf_storage::Table>, old: Tuple) {
-        if let Some(t) = self.txn.lock().as_mut() {
-            t.log_delete(table, old);
+            t.log_delete_at(table, rid, old);
         }
     }
 
@@ -347,7 +377,15 @@ impl Database {
                 self.catalog.bump_generation();
                 Ok(ExecOutcome::Done)
             }
-            Statement::CreateView { name, body } => {
+            Statement::CreateView {
+                name,
+                body,
+                materialized,
+            } => {
+                if *materialized {
+                    crate::matview::create_materialized(self, name, body)?;
+                    return Ok(ExecOutcome::Done);
+                }
                 let (kind, text) = match body {
                     ViewBody::Select(s) => {
                         // Validate by building.
@@ -362,7 +400,23 @@ impl Database {
                 self.catalog.create_view(name, kind, &text)?;
                 Ok(ExecOutcome::Done)
             }
+            Statement::RefreshView { name } => {
+                crate::matview::refresh(self, name)?;
+                Ok(ExecOutcome::Done)
+            }
             Statement::DropTable { name } => {
+                // RESTRICT semantics against materialized views: dropping a
+                // base table out from under one would leave it serving
+                // stale contents with maintenance silently disabled.
+                for plan in self.matview_plans()?.iter() {
+                    if plan.deps.contains(&name.to_ascii_uppercase()) {
+                        return Err(XnfError::Api(format!(
+                            "cannot drop table '{name}': materialized view '{}' \
+                             depends on it; drop the view first",
+                            plan.name
+                        )));
+                    }
+                }
                 self.catalog.drop_table(name)?;
                 Ok(ExecOutcome::Done)
             }
@@ -536,6 +590,18 @@ impl Database {
 
     // -- DML ---------------------------------------------------------------
 
+    /// Reject DML aimed at a view name (materialized views resolve to
+    /// backing storage through the catalog fallback; writing there directly
+    /// would silently corrupt maintenance state).
+    fn dml_target(&self, table: &str) -> Result<Arc<xnf_storage::Table>> {
+        if self.catalog.view(table).is_some() {
+            return Err(XnfError::Api(format!(
+                "cannot run DML against view '{table}'; modify its base tables"
+            )));
+        }
+        Ok(self.catalog.table(table)?)
+    }
+
     fn run_insert(
         &self,
         table: &str,
@@ -543,7 +609,7 @@ impl Database {
         rows: &[Vec<Expr>],
         params: &Params,
     ) -> Result<usize> {
-        let t = self.catalog.table(table)?;
+        let t = self.dml_target(table)?;
         let schema = &t.schema;
         // Column list → target ordinals.
         let targets: Vec<usize> = if columns.is_empty() {
@@ -555,9 +621,10 @@ impl Database {
             }
             v
         };
+        // Evaluate every row up front so value errors (arity, bad
+        // expressions) surface before any row is applied.
         let outer = OuterCtx::with_params(params.clone());
-        let mut txn = self.txn.lock();
-        let mut n = 0;
+        let mut tuples = Vec::with_capacity(rows.len());
         for row in rows {
             if row.len() != targets.len() {
                 return Err(XnfError::Api(format!(
@@ -571,14 +638,86 @@ impl Database {
                 let pe = const_expr(expr)?;
                 values[ord] = coerce(eval(&pe, &[], &outer, &[])?, schema.column(ord).ty);
             }
-            let tuple = Tuple::new(values);
-            let rid = t.insert(&tuple)?;
-            if let Some(txn) = txn.as_mut() {
-                txn.log_insert(&t, rid);
-            }
-            n += 1;
+            tuples.push(Tuple::new(values));
         }
-        Ok(n)
+        let track = self.catalog.has_matviews();
+        let mut delta = DeltaBatch::new();
+        let mut txn = self.txn.lock();
+        let mut n = 0;
+        // A storage error (e.g. unique violation) can still stop the loop
+        // mid-way; maintenance below covers whatever was applied.
+        let apply: Result<()> = (|| {
+            for tuple in &tuples {
+                let rid = t.insert(tuple)?;
+                if let Some(txn) = txn.as_mut() {
+                    txn.log_insert(&t, rid);
+                }
+                if track {
+                    delta.record_insert(&t.name, tuple.clone());
+                }
+                n += 1;
+            }
+            Ok(())
+        })();
+        drop(txn);
+        crate::matview::maintain(self, &delta)?;
+        apply.map(|()| n)
+    }
+
+    /// Rows matching a DML WHERE clause. A single `col = constant` conjunct
+    /// goes through [`xnf_storage::Table::find_by_value`] (index point
+    /// lookup when one exists); anything else scans. Returns the candidate
+    /// rows plus the residual filter still to evaluate per row (`None`
+    /// when the index probe was exact).
+    fn dml_matches(
+        &self,
+        t: &Arc<xnf_storage::Table>,
+        where_clause: Option<&Expr>,
+        outer: &OuterCtx,
+    ) -> Result<DmlMatches> {
+        if let Some(Expr::Binary { left, op, right }) = where_clause {
+            if *op == xnf_sql::BinOp::Eq {
+                let col_and_const = match (&**left, &**right) {
+                    (
+                        Expr::Column {
+                            qualifier: None,
+                            name,
+                        },
+                        v,
+                    ) if is_const_expr(v) => Some((name, v)),
+                    (
+                        v,
+                        Expr::Column {
+                            qualifier: None,
+                            name,
+                        },
+                    ) if is_const_expr(v) => Some((name, v)),
+                    _ => None,
+                };
+                if let Some((name, v)) = col_and_const {
+                    if let Ok(col) = t.column_index(name) {
+                        let key = eval(&const_expr(v)?, &[], outer, &[])?;
+                        if key.is_null() {
+                            // `col = NULL` is never TRUE (three-valued
+                            // logic); the index would match stored NULL
+                            // keys, so short-circuit to no rows instead.
+                            return Ok((Vec::new(), None));
+                        }
+                        return Ok((t.find_by_value(col, &key)?, None));
+                    }
+                }
+            }
+        }
+        let filter = match where_clause {
+            Some(w) => Some(table_expr(&t.schema, &t.name, w)?),
+            None => None,
+        };
+        let mut matches = Vec::new();
+        t.for_each(|rid, tuple| {
+            matches.push((rid, tuple));
+            Ok(true)
+        })?;
+        Ok((matches, filter))
     }
 
     fn run_update(
@@ -588,45 +727,50 @@ impl Database {
         where_clause: Option<&Expr>,
         params: &Params,
     ) -> Result<usize> {
-        let t = self.catalog.table(table)?;
-        let filter = match where_clause {
-            Some(w) => Some(table_expr(&t.schema, &t.name, w)?),
-            None => None,
-        };
+        let t = self.dml_target(table)?;
         let set_exprs: Vec<(usize, PhysExpr)> = sets
             .iter()
             .map(|(c, e)| Ok((t.column_index(c)?, table_expr(&t.schema, &t.name, e)?)))
             .collect::<Result<_>>()?;
 
-        // Collect matching RIDs first (stable against in-place mutation).
-        let mut matches = Vec::new();
-        t.for_each(|rid, tuple| {
-            matches.push((rid, tuple));
-            Ok(true)
-        })?;
         let outer = OuterCtx::with_params(params.clone());
+        // Collect matching RIDs first (stable against in-place mutation).
+        let (matches, filter) = self.dml_matches(&t, where_clause, &outer)?;
+        let track = self.catalog.has_matviews();
+        let mut delta = DeltaBatch::new();
         let mut txn = self.txn.lock();
         let mut n = 0;
-        for (rid, tuple) in matches {
-            if let Some(f) = &filter {
-                if !xnf_exec::truthy(&eval(f, &tuple.values, &outer, &[])?) {
-                    continue;
+        // A mid-loop error (unique violation, eval failure) leaves earlier
+        // rows applied; maintenance below covers them either way.
+        let apply: Result<()> = (|| {
+            for (rid, tuple) in matches {
+                if let Some(f) = &filter {
+                    if !xnf_exec::truthy(&eval(f, &tuple.values, &outer, &[])?) {
+                        continue;
+                    }
                 }
+                let mut new_vals = tuple.values.clone();
+                for (ord, e) in &set_exprs {
+                    new_vals[*ord] = coerce(
+                        eval(e, &tuple.values, &outer, &[])?,
+                        t.schema.column(*ord).ty,
+                    );
+                }
+                let new_tuple = Tuple::new(new_vals);
+                let (old, new_rid) = t.update(rid, &new_tuple)?;
+                if let Some(txn) = txn.as_mut() {
+                    txn.log_update_at(&t, rid, new_rid, old.clone());
+                }
+                if track {
+                    delta.record_update(&t.name, old, new_tuple);
+                }
+                n += 1;
             }
-            let mut new_vals = tuple.values.clone();
-            for (ord, e) in &set_exprs {
-                new_vals[*ord] = coerce(
-                    eval(e, &tuple.values, &outer, &[])?,
-                    t.schema.column(*ord).ty,
-                );
-            }
-            let (old, new_rid) = t.update(rid, &Tuple::new(new_vals))?;
-            if let Some(txn) = txn.as_mut() {
-                txn.log_update(&t, new_rid, old);
-            }
-            n += 1;
-        }
-        Ok(n)
+            Ok(())
+        })();
+        drop(txn);
+        crate::matview::maintain(self, &delta)?;
+        apply.map(|()| n)
     }
 
     fn run_delete(
@@ -635,33 +779,43 @@ impl Database {
         where_clause: Option<&Expr>,
         params: &Params,
     ) -> Result<usize> {
-        let t = self.catalog.table(table)?;
-        let filter = match where_clause {
-            Some(w) => Some(table_expr(&t.schema, &t.name, w)?),
-            None => None,
-        };
-        let mut matches = Vec::new();
-        t.for_each(|rid, tuple| {
-            matches.push((rid, tuple));
-            Ok(true)
-        })?;
+        let t = self.dml_target(table)?;
         let outer = OuterCtx::with_params(params.clone());
+        let (matches, filter) = self.dml_matches(&t, where_clause, &outer)?;
+        let track = self.catalog.has_matviews();
+        let mut delta = DeltaBatch::new();
         let mut txn = self.txn.lock();
         let mut n = 0;
-        for (rid, tuple) in matches {
-            if let Some(f) = &filter {
-                if !xnf_exec::truthy(&eval(f, &tuple.values, &outer, &[])?) {
-                    continue;
+        let apply: Result<()> = (|| {
+            for (rid, tuple) in matches {
+                if let Some(f) = &filter {
+                    if !xnf_exec::truthy(&eval(f, &tuple.values, &outer, &[])?) {
+                        continue;
+                    }
                 }
+                let old = t.delete(rid)?;
+                if let Some(txn) = txn.as_mut() {
+                    txn.log_delete_at(&t, rid, old.clone());
+                }
+                if track {
+                    delta.record_delete(&t.name, old);
+                }
+                n += 1;
             }
-            let old = t.delete(rid)?;
-            if let Some(txn) = txn.as_mut() {
-                txn.log_delete(&t, old);
-            }
-            n += 1;
-        }
-        Ok(n)
+            Ok(())
+        })();
+        drop(txn);
+        crate::matview::maintain(self, &delta)?;
+        apply.map(|()| n)
     }
+}
+
+/// Candidate rows for a DML statement plus the residual row filter.
+type DmlMatches = (Vec<(xnf_storage::Rid, Tuple)>, Option<PhysExpr>);
+
+/// Is this expression constant (usable as an index key at DML time)?
+fn is_const_expr(e: &Expr) -> bool {
+    matches!(e, Expr::Literal(_) | Expr::Param(_))
 }
 
 impl Default for Database {

@@ -17,7 +17,14 @@
 //! - [`client_server`] — the workstation/server shipping simulation used by
 //!   the evaluation (crossings, bytes, exposure; page vs object vs query
 //!   shipping);
-//! - [`recursion`] — fixpoint evaluation for recursive COs.
+//! - [`recursion`] — fixpoint evaluation for recursive COs;
+//! - [`matview`] — `CREATE MATERIALIZED VIEW` (SQL and XNF bodies) with
+//!   incremental delta maintenance: DML produces per-table delta batches
+//!   that are applied directly (selection/projection views), by keyed
+//!   re-extraction (join and CO views, via base-table indexes), or by full
+//!   recompute (`REFRESH MATERIALIZED VIEW` / everything else). Hot COs are
+//!   served from stored streams by [`Database::fetch_co`] and
+//!   [`Database::fetch_co_point`].
 //!
 //! One-shot calls ([`Database::execute`], [`Database::query`],
 //! [`Database::fetch_co`]) go through the same plan cache, so hot statement
@@ -72,6 +79,7 @@ pub mod client_server;
 pub mod co;
 pub mod db;
 pub mod error;
+pub mod matview;
 pub mod persist;
 pub mod recursion;
 pub mod session;
@@ -100,5 +108,7 @@ pub use xnf_storage::{DataType, Value};
 
 #[cfg(test)]
 mod core_tests;
+#[cfg(test)]
+mod matview_tests;
 #[cfg(test)]
 mod session_tests;

@@ -1,0 +1,1822 @@
+//! Materialized views with incremental delta maintenance.
+//!
+//! `CREATE MATERIALIZED VIEW` stores a view's contents in backing heap
+//! tables (one per output stream) and keeps them fresh as base tables
+//! change, instead of re-extracting on every fetch:
+//!
+//! - **relational views** materialize their single result stream; queries
+//!   over the view plan as `matview scan` (or index lookups) of the backing
+//!   table;
+//! - **composite-object (XNF) views** materialize every node and
+//!   connection stream. Node rows carry a stable `__coid` surrogate;
+//!   connection rows store surrogate pairs, so stored streams survive
+//!   incremental splicing (heap positions do not). [`Database::fetch_co`]
+//!   loads the workspace straight from storage, and
+//!   [`Database::fetch_co_point`] serves a single CO subtree via index
+//!   walks — the "hot CO from stored state" serving path.
+//!
+//! Maintenance is driven by [`DeltaBatch`]es captured at the DML layer and
+//! chooses, per view, the cheapest strategy the definition admits:
+//!
+//! 1. **direct** — selection/projection of one base table: the delta images
+//!    are filtered, projected and applied row-by-row to the backing table;
+//! 2. **keyed re-extraction** — join views whose equality predicates chain
+//!    every leg to an output column (the *partition key*): affected key
+//!    values are computed from the delta, stored rows with those keys are
+//!    deleted (index lookup), and the definition is re-evaluated with a
+//!    `key = value` restriction so the planner can use base-table indexes;
+//!    for CO views the affected *root keys* are found by walking the
+//!    relationship predicates (foreign keys and connect tables) from the
+//!    changed row up to the root, then only those subtrees are re-extracted
+//!    and spliced into the stored streams (value-identical shared nodes are
+//!    reused, matching XNF's union-distinct object sharing);
+//! 3. **full recompute** — the fallback for everything else (aggregation,
+//!    DISTINCT, nested views, recursive COs), and what
+//!    `REFRESH MATERIALIZED VIEW` always does.
+//!
+//! All strategies bump the view's freshness epoch
+//! ([`xnf_storage::MatView::epoch`]).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use xnf_exec::{eval, truthy, ExecStats, OuterCtx, QueryResult, Row, StreamResult};
+use xnf_qgm::OutputKind;
+use xnf_sql::{
+    parse_statement, BinOp, Expr, Literal, Select, SelectItem, Statement, TableRef, ViewBody,
+    XnfDef, XnfQuery, XnfRelationship, XnfTake,
+};
+use xnf_storage::{
+    Column, DataType, DeltaBatch, MatView, Rid, Schema, Table, Tuple, Value, ViewKind,
+};
+
+use crate::cache::Workspace;
+use crate::co::CoCache;
+use crate::db::Database;
+use crate::error::{Result, XnfError};
+use crate::writeback::{analyze_simple_view, derive_co_schema, flatten_defs, CoSchema, RelMeta};
+
+/// Name of the surrogate column leading every materialized node stream.
+pub const SURROGATE_COL: &str = "__coid";
+
+// ---------------------------------------------------------------------------
+// maintenance plans
+// ---------------------------------------------------------------------------
+
+/// How one materialized view is maintained. Derived from the stored
+/// definition text, cached per catalog generation on the [`Database`].
+pub(crate) struct MaintPlan {
+    pub name: String,
+    /// Base tables (normalized names) whose deltas can change this view.
+    pub deps: HashSet<String>,
+    /// Nesting depth over other views (maintenance runs shallow-first, so a
+    /// view over another materialized view sees fresh contents).
+    pub depth: u32,
+    pub body: BodyPlan,
+}
+
+pub(crate) enum BodyPlan {
+    Sql {
+        select: Select,
+        strategy: SqlStrategy,
+    },
+    Xnf(XnfInfo),
+}
+
+pub(crate) enum SqlStrategy {
+    /// Selection/projection of one base table: apply delta rows directly.
+    Direct {
+        /// Normalized base table name.
+        table: String,
+        /// Backing column `i` maps to base column `base_cols[i]`.
+        base_cols: Vec<usize>,
+        /// Selection predicate over the base row.
+        filter: Option<Expr>,
+    },
+    /// Join view with a partition key: delete-by-key + keyed re-extraction.
+    Keyed {
+        /// `(normalized table, base column)` pairs: a delta on `table`
+        /// yields affected key `row[column]`.
+        sources: Vec<(String, usize)>,
+        /// The key's AST expression (a qualified column of the definition),
+        /// used to build the `key = value` re-extraction restriction.
+        key_expr: Expr,
+        /// Backing column holding the key (delete-by-key via `mv_key`).
+        key_out: usize,
+    },
+    /// Any delta triggers a full recompute.
+    Full,
+}
+
+/// Parsed structure of a materialized CO view.
+pub(crate) struct XnfInfo {
+    /// Definition with XNF view references inlined.
+    pub flat: XnfQuery,
+    /// Updatability metadata (component base maps, relationship classes).
+    pub co: CoSchema,
+    /// Component names in stream order.
+    pub comps: Vec<String>,
+    /// Relationship definitions in stream order.
+    pub rels: Vec<XnfRelationship>,
+    /// Present when the view supports keyed (incremental) maintenance.
+    pub key: Option<CoKey>,
+}
+
+/// Root-partitioning of a keyed CO view.
+pub(crate) struct CoKey {
+    /// Component index of the root (the component no relationship points to).
+    pub root: usize,
+    /// Cache column of the root holding the partition key.
+    pub root_key_col: usize,
+}
+
+impl XnfInfo {
+    fn comp_index(&self, name: &str) -> Option<usize> {
+        self.comps.iter().position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Topological order of components (parents before children).
+    fn topo(&self) -> Vec<usize> {
+        let mut indeg = vec![0usize; self.comps.len()];
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for r in &self.rels {
+            let Some(p) = self.comp_index(&r.parent) else {
+                continue;
+            };
+            for ch in &r.children {
+                if let Some(c) = self.comp_index(ch) {
+                    edges.push((p, c));
+                    indeg[c] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..self.comps.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.comps.len());
+        while let Some(n) = queue.pop() {
+            order.push(n);
+            for &(p, c) in &edges {
+                if p == n {
+                    indeg[c] -= 1;
+                    if indeg[c] == 0 {
+                        queue.push(c);
+                    }
+                }
+            }
+        }
+        order
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DDL: CREATE MATERIALIZED VIEW / REFRESH
+// ---------------------------------------------------------------------------
+
+/// Execute `CREATE MATERIALIZED VIEW name AS body`: register the definition
+/// plus backing storage, populate through the batch executor, and build the
+/// maintenance indexes.
+pub(crate) fn create_materialized(db: &Database, name: &str, body: &ViewBody) -> Result<()> {
+    match body {
+        ViewBody::Select(s) => {
+            let result = db.run_select(s)?;
+            let stream = result.try_table()?;
+            let schema = any_schema(&stream.columns);
+            db.catalog().create_materialized_view(
+                name,
+                ViewKind::Sql,
+                &s.to_string(),
+                vec![(name.to_string(), schema)],
+            )?;
+            if let Err(e) = fill_sql_backing(db, name, s, &stream.rows) {
+                let _ = db.catalog().drop_view(name);
+                return Err(e);
+            }
+            Ok(())
+        }
+        ViewBody::Xnf(q) => {
+            let mut flat_defs = Vec::new();
+            flatten_defs(db, &q.defs, &mut flat_defs, 0)?;
+            let flat = XnfQuery {
+                defs: flat_defs,
+                take: q.take.clone(),
+                restriction: q.restriction.clone(),
+            };
+            let result = db.run_xnf(&flat)?;
+            let mut streams = Vec::with_capacity(result.streams.len());
+            for s in &result.streams {
+                let schema = match s.kind {
+                    OutputKind::Connection { .. } => any_schema(&s.columns),
+                    _ => {
+                        let mut cols = vec![Column::new(SURROGATE_COL, DataType::Int)];
+                        cols.extend(
+                            s.columns
+                                .iter()
+                                .map(|c| Column::new(c.as_str(), DataType::Any)),
+                        );
+                        Schema::new(cols)
+                    }
+                };
+                streams.push((s.name.clone(), schema));
+            }
+            db.catalog().create_materialized_view(
+                name,
+                ViewKind::Xnf,
+                &flat.to_string(),
+                streams,
+            )?;
+            if let Err(e) = fill_xnf_backing(db, name, &flat, &result) {
+                let _ = db.catalog().drop_view(name);
+                return Err(e);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// `REFRESH MATERIALIZED VIEW name`: full recompute of the backing storage.
+pub(crate) fn refresh(db: &Database, name: &str) -> Result<()> {
+    let view = db
+        .catalog()
+        .view(name)
+        .filter(|v| v.materialized)
+        .ok_or_else(|| XnfError::Api(format!("'{name}' is not a materialized view")))?;
+    let plans = db.matview_plans()?;
+    let plan = plans
+        .iter()
+        .find(|p| p.name.eq_ignore_ascii_case(&view.name))
+        .ok_or_else(|| XnfError::Api(format!("no maintenance plan for '{name}'")))?;
+    repopulate(db, plan)
+}
+
+/// Fully recompute every materialized view (used after transaction
+/// rollback, which restores base tables underneath already-maintained
+/// views).
+pub(crate) fn refresh_all(db: &Database) -> Result<()> {
+    let plans = db.matview_plans()?;
+    for plan in plans.iter() {
+        repopulate(db, plan)?;
+    }
+    Ok(())
+}
+
+/// Full recompute: fresh backing tables, re-run the definition, rebuild the
+/// maintenance indexes.
+fn repopulate(db: &Database, plan: &MaintPlan) -> Result<()> {
+    db.catalog().reset_matview_storage(&plan.name)?;
+    match &plan.body {
+        BodyPlan::Sql { select, .. } => {
+            let result = db.run_select(select)?;
+            let stream = result.try_table()?;
+            fill_sql_backing(db, &plan.name, select, &stream.rows)?;
+        }
+        BodyPlan::Xnf(info) => {
+            let result = db.run_xnf(&info.flat)?;
+            fill_xnf_backing(db, &plan.name, &info.flat, &result)?;
+        }
+    }
+    let mv = expect_matview(db, &plan.name)?;
+    mv.bump_epoch();
+    Ok(())
+}
+
+fn expect_matview(db: &Database, name: &str) -> Result<Arc<MatView>> {
+    db.catalog()
+        .matview(name)
+        .ok_or_else(|| XnfError::Api(format!("missing backing storage for matview '{name}'")))
+}
+
+/// All-`Any` schema over the given column names (executor output is
+/// dynamically typed).
+fn any_schema(columns: &[String]) -> Schema {
+    Schema::new(
+        columns
+            .iter()
+            .map(|c| Column::new(c.as_str(), DataType::Any))
+            .collect(),
+    )
+}
+
+/// Populate a relational view's backing table and create its maintenance
+/// index (when the keyed strategy applies).
+fn fill_sql_backing(db: &Database, name: &str, select: &Select, rows: &[Row]) -> Result<()> {
+    let mv = expect_matview(db, name)?;
+    let backing = mv
+        .stream(name)
+        .ok_or_else(|| XnfError::Api(format!("missing backing table for '{name}'")))?;
+    for row in rows {
+        backing.insert(&Tuple::new(row.clone()))?;
+    }
+    if let SqlStrategy::Keyed { key_out, .. } = analyze_sql_strategy(db, select) {
+        ensure_index(&backing, "mv_key", key_out, false)?;
+    }
+    backing.analyze()?;
+    Ok(())
+}
+
+/// Populate a CO view's backing streams (node rows get fresh surrogates,
+/// connection rows translate stream positions to surrogates) and create
+/// the maintenance indexes.
+fn fill_xnf_backing(
+    db: &Database,
+    name: &str,
+    flat: &XnfQuery,
+    result: &QueryResult,
+) -> Result<()> {
+    let mv = expect_matview(db, name)?;
+    // Pass 1: node streams, recording position → surrogate.
+    let mut surr: HashMap<String, Vec<i64>> = HashMap::new();
+    for s in &result.streams {
+        if matches!(s.kind, OutputKind::Connection { .. }) {
+            continue;
+        }
+        let backing = mv
+            .stream(&s.name)
+            .ok_or_else(|| XnfError::Api(format!("missing backing stream '{}'", s.name)))?;
+        let start = mv.alloc_surrogates(s.rows.len() as i64);
+        let mut ids = Vec::with_capacity(s.rows.len());
+        for (pos, row) in s.rows.iter().enumerate() {
+            let id = start + pos as i64;
+            let mut values = Vec::with_capacity(row.len() + 1);
+            values.push(Value::Int(id));
+            values.extend(row.iter().cloned());
+            backing.insert(&Tuple::new(values))?;
+            ids.push(id);
+        }
+        surr.insert(s.name.to_ascii_lowercase(), ids);
+        ensure_index(&backing, "mv_coid", 0, true)?;
+        if backing.schema.len() > 1 {
+            ensure_index(&backing, "mv_v0", 1, false)?;
+        }
+        backing.analyze()?;
+    }
+    // Pass 2: connection streams.
+    for s in &result.streams {
+        let OutputKind::Connection {
+            parent, children, ..
+        } = &s.kind
+        else {
+            continue;
+        };
+        let backing = mv
+            .stream(&s.name)
+            .ok_or_else(|| XnfError::Api(format!("missing backing stream '{}'", s.name)))?;
+        let pids = &surr[&parent.to_ascii_lowercase()];
+        let cids: Vec<&Vec<i64>> = children
+            .iter()
+            .map(|c| &surr[&c.to_ascii_lowercase()])
+            .collect();
+        for row in &s.rows {
+            let mut values = Vec::with_capacity(row.len());
+            values.push(Value::Int(pids[row[0].as_int()? as usize]));
+            for (slot, v) in row[1..].iter().enumerate() {
+                values.push(Value::Int(cids[slot][v.as_int()? as usize]));
+            }
+            backing.insert(&Tuple::new(values))?;
+        }
+        for col in 0..backing.schema.len() {
+            ensure_index(&backing, &format!("mv_c{col}"), col, false)?;
+        }
+        backing.analyze()?;
+    }
+    // Root-key index for keyed maintenance and point fetches.
+    if let Ok(info) = analyze_xnf(db, flat) {
+        if let Some(key) = &info.key {
+            let root_name = &info.comps[key.root];
+            if let Some(backing) = mv.stream(root_name) {
+                ensure_index(&backing, "mv_rootkey", 1 + key.root_key_col, false)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Create a single-column index if an equivalent one does not exist yet.
+fn ensure_index(table: &Arc<Table>, name: &str, col: usize, unique: bool) -> Result<()> {
+    if table.find_index(&[col]).is_some() {
+        return Ok(());
+    }
+    table.create_index(name, vec![col], unique)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// plan analysis
+// ---------------------------------------------------------------------------
+
+/// Build maintenance plans for every materialized view, sorted so views
+/// over other views maintain after their inputs.
+pub(crate) fn build_plans(db: &Database) -> Result<Vec<Arc<MaintPlan>>> {
+    let mut plans = Vec::new();
+    for name in db.catalog().view_names() {
+        let Some(view) = db.catalog().view(&name) else {
+            continue;
+        };
+        if !view.materialized {
+            continue;
+        }
+        let stmt = parse_statement(&view.text)?;
+        let body = match stmt {
+            Statement::Select(s) => ViewBody::Select(s),
+            Statement::Xnf(q) => ViewBody::Xnf(q),
+            Statement::CreateView { body, .. } => body,
+            _ => {
+                return Err(XnfError::Api(format!(
+                    "stored definition of '{name}' is not a query"
+                )))
+            }
+        };
+        let (deps, depth) = match &body {
+            ViewBody::Select(s) => collect_select_deps(db, s, 0)?,
+            ViewBody::Xnf(q) => collect_xnf_deps(db, q)?,
+        };
+        let body_plan = match body {
+            ViewBody::Select(s) => {
+                let strategy = analyze_sql_strategy(db, &s);
+                BodyPlan::Sql {
+                    select: s,
+                    strategy,
+                }
+            }
+            ViewBody::Xnf(q) => BodyPlan::Xnf(analyze_xnf(db, &q)?),
+        };
+        plans.push(Arc::new(MaintPlan {
+            name: view.name.clone(),
+            deps,
+            depth,
+            body: body_plan,
+        }));
+    }
+    plans.sort_by_key(|p| p.depth);
+    Ok(plans)
+}
+
+/// Base-table dependencies of a SELECT (views expanded, subqueries walked),
+/// plus its view-nesting depth.
+fn collect_select_deps(
+    db: &Database,
+    select: &Select,
+    depth: u32,
+) -> Result<(HashSet<String>, u32)> {
+    if depth > 16 {
+        return Err(XnfError::Api("view nesting too deep".to_string()));
+    }
+    let mut deps = HashSet::new();
+    let mut max_depth = 0;
+    let visit_select =
+        |s: &Select| -> Result<(HashSet<String>, u32)> { collect_select_deps(db, s, depth + 1) };
+    let mut table_refs: Vec<&TableRef> = select.from.iter().collect();
+    table_refs.extend(select.joins.iter().map(|j| &j.table));
+    for tref in table_refs {
+        match tref {
+            TableRef::Named { name, .. } => {
+                if db.catalog().has_table(name) {
+                    deps.insert(name.to_ascii_uppercase());
+                } else if let Some(view) = db.catalog().view(name) {
+                    let stmt = parse_statement(&view.text)?;
+                    let inner = match stmt {
+                        Statement::Select(s) => s,
+                        Statement::CreateView {
+                            body: ViewBody::Select(s),
+                            ..
+                        } => s,
+                        _ => return Err(XnfError::Api(format!("view '{name}' is not relational"))),
+                    };
+                    let (d, vd) = visit_select(&inner)?;
+                    deps.extend(d);
+                    max_depth = max_depth.max(vd + 1);
+                }
+            }
+            TableRef::Derived { select, .. } => {
+                let (d, vd) = visit_select(select)?;
+                deps.extend(d);
+                max_depth = max_depth.max(vd);
+            }
+        }
+    }
+    let mut exprs: Vec<&Expr> = Vec::new();
+    exprs.extend(select.where_clause.as_ref());
+    exprs.extend(select.having.as_ref());
+    for e in exprs {
+        for sub in subselects(e) {
+            let (d, vd) = collect_select_deps(db, sub, depth + 1)?;
+            deps.extend(d);
+            max_depth = max_depth.max(vd);
+        }
+    }
+    for (_, u) in &select.unions {
+        let (d, vd) = collect_select_deps(db, u, depth + 1)?;
+        deps.extend(d);
+        max_depth = max_depth.max(vd);
+    }
+    Ok((deps, max_depth))
+}
+
+fn collect_xnf_deps(db: &Database, q: &XnfQuery) -> Result<(HashSet<String>, u32)> {
+    let mut flat = Vec::new();
+    flatten_defs(db, &q.defs, &mut flat, 0)?;
+    let mut deps = HashSet::new();
+    let mut max_depth = 0;
+    for def in &flat {
+        match def {
+            XnfDef::Table { select, .. } => {
+                let (d, vd) = collect_select_deps(db, select, 0)?;
+                deps.extend(d);
+                max_depth = max_depth.max(vd);
+            }
+            XnfDef::Relationship(r) => {
+                for (t, _) in &r.using {
+                    if db.catalog().has_table(t) {
+                        deps.insert(t.to_ascii_uppercase());
+                    }
+                }
+            }
+            XnfDef::ViewRef { .. } => {}
+        }
+    }
+    Ok((deps, max_depth))
+}
+
+/// Subqueries appearing in an expression.
+fn subselects(e: &Expr) -> Vec<&Select> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Select>) {
+        match e {
+            Expr::InSubquery { expr, subquery, .. } => {
+                walk(expr, out);
+                out.push(subquery);
+            }
+            Expr::Exists { subquery, .. } => out.push(subquery),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => {
+                walk(expr, out)
+            }
+            Expr::Binary { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                walk(expr, out);
+                walk(low, out);
+                walk(high, out);
+            }
+            Expr::InList { expr, list, .. } => {
+                walk(expr, out);
+                for x in list {
+                    walk(x, out);
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    walk(a, out);
+                }
+            }
+            Expr::Agg { arg: Some(a), .. } => walk(a, out),
+            _ => {}
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+fn expr_has_subquery(e: &Expr) -> bool {
+    !subselects(e).is_empty()
+}
+
+/// Choose the cheapest maintenance strategy a relational definition admits.
+fn analyze_sql_strategy(db: &Database, select: &Select) -> SqlStrategy {
+    let subquery_free = select
+        .where_clause
+        .as_ref()
+        .is_none_or(|w| !expr_has_subquery(w))
+        && select.joins.iter().all(|j| !expr_has_subquery(&j.on));
+    if !subquery_free
+        || !select.unions.is_empty()
+        || select.limit.is_some()
+        || !select.group_by.is_empty()
+        || select.having.is_some()
+        || select.distinct
+    {
+        return SqlStrategy::Full;
+    }
+
+    // Selection/projection of one base table?
+    if select.joins.is_empty() && select.from.len() == 1 {
+        if let Some(base) = analyze_simple_view(db, select) {
+            return SqlStrategy::Direct {
+                table: base.table.to_ascii_uppercase(),
+                base_cols: base.columns,
+                filter: select.where_clause.clone(),
+            };
+        }
+    }
+
+    // Keyed join view: every leg a base table, equality classes chaining a
+    // head column to a column of every leg.
+    let mut bindings: Vec<(String, Arc<Table>)> = Vec::new();
+    let mut trefs: Vec<&TableRef> = select.from.iter().collect();
+    trefs.extend(select.joins.iter().map(|j| &j.table));
+    for tref in &trefs {
+        match tref {
+            TableRef::Named { name, alias } => {
+                if !db.catalog().has_table(name) {
+                    return SqlStrategy::Full;
+                }
+                let Ok(t) = db.catalog().table(name) else {
+                    return SqlStrategy::Full;
+                };
+                bindings.push((alias.clone().unwrap_or_else(|| name.clone()), t));
+            }
+            TableRef::Derived { .. } => return SqlStrategy::Full,
+        }
+    }
+    if bindings.is_empty() {
+        return SqlStrategy::Full;
+    }
+
+    // Resolve a column reference to (binding, column ordinal).
+    let resolve = |qualifier: Option<&str>, name: &str| -> Option<(usize, usize)> {
+        match qualifier {
+            Some(q) => {
+                let b = bindings
+                    .iter()
+                    .position(|(n, _)| n.eq_ignore_ascii_case(q))?;
+                Some((b, bindings[b].1.schema.index_of(name)?))
+            }
+            None => {
+                let mut hits = bindings
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, (_, t))| t.schema.index_of(name).map(|c| (i, c)));
+                let first = hits.next()?;
+                if hits.next().is_some() {
+                    return None;
+                }
+                Some(first)
+            }
+        }
+    };
+
+    // Union-find over (binding, column) driven by equality conjuncts.
+    let mut ids: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut parent: Vec<usize> = Vec::new();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut id_of = |bc: (usize, usize), parent: &mut Vec<usize>| -> usize {
+        *ids.entry(bc).or_insert_with(|| {
+            parent.push(parent.len());
+            parent.len() - 1
+        })
+    };
+    let mut conjuncts: Vec<&Expr> = Vec::new();
+    if let Some(w) = &select.where_clause {
+        conjuncts.extend(w.conjuncts());
+    }
+    for j in &select.joins {
+        conjuncts.extend(j.on.conjuncts());
+    }
+    for c in &conjuncts {
+        if let Expr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } = c
+        {
+            if let (
+                Expr::Column {
+                    qualifier: ql,
+                    name: nl,
+                },
+                Expr::Column {
+                    qualifier: qr,
+                    name: nr,
+                },
+            ) = (&**left, &**right)
+            {
+                if let (Some(a), Some(b)) = (resolve(ql.as_deref(), nl), resolve(qr.as_deref(), nr))
+                {
+                    let (ia, ib) = (id_of(a, &mut parent), id_of(b, &mut parent));
+                    let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+                    parent[ra] = rb;
+                }
+            }
+        }
+    }
+
+    // Expand the head into output positions, tracking plain column refs.
+    let mut head: Vec<Option<(usize, usize, Expr)>> = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (b, (name, t)) in bindings.iter().enumerate() {
+                    for c in 0..t.schema.len() {
+                        head.push(Some((b, c, Expr::qcol(name, &t.schema.column(c).name))));
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let Some(b) = bindings.iter().position(|(n, _)| n.eq_ignore_ascii_case(q)) else {
+                    return SqlStrategy::Full;
+                };
+                for c in 0..bindings[b].1.schema.len() {
+                    head.push(Some((
+                        b,
+                        c,
+                        Expr::qcol(&bindings[b].0, &bindings[b].1.schema.column(c).name),
+                    )));
+                }
+            }
+            SelectItem::Expr { expr, .. } => match expr {
+                Expr::Column { qualifier, name } => match resolve(qualifier.as_deref(), name) {
+                    Some((b, c)) => head.push(Some((b, c, expr.clone()))),
+                    None => head.push(None),
+                },
+                _ => head.push(None),
+            },
+        }
+    }
+
+    // First head position whose class covers every binding becomes the key.
+    for (pos, entry) in head.iter().enumerate() {
+        let Some((b, c, expr)) = entry else { continue };
+        let Some(&kid) = ids.get(&(*b, *c)) else {
+            continue;
+        };
+        let kroot = find(&mut parent, kid);
+        let mut sources: Vec<(String, usize)> = Vec::new();
+        let mut covered: HashSet<usize> = HashSet::new();
+        for (&(bb, cc), &iid) in &ids {
+            if find(&mut parent, iid) == kroot {
+                covered.insert(bb);
+                sources.push((bindings[bb].1.name.to_ascii_uppercase(), cc));
+            }
+        }
+        if covered.len() == bindings.len() {
+            sources.sort();
+            sources.dedup();
+            return SqlStrategy::Keyed {
+                sources,
+                key_expr: expr.clone(),
+                key_out: pos,
+            };
+        }
+    }
+    SqlStrategy::Full
+}
+
+/// Analyze a CO definition; `key` is `Some` when keyed maintenance applies
+/// (binary FK/connect-table relationships over simple components with a
+/// consistent root key, `TAKE *`).
+fn analyze_xnf(db: &Database, q: &XnfQuery) -> Result<XnfInfo> {
+    let mut flat_defs = Vec::new();
+    flatten_defs(db, &q.defs, &mut flat_defs, 0)?;
+    let flat = XnfQuery {
+        defs: flat_defs,
+        take: q.take.clone(),
+        restriction: q.restriction.clone(),
+    };
+    let co = derive_co_schema(db, &flat)?;
+    let comps: Vec<String> = flat
+        .defs
+        .iter()
+        .filter_map(|d| match d {
+            XnfDef::Table { name, .. } => Some(name.clone()),
+            _ => None,
+        })
+        .collect();
+    let rels: Vec<XnfRelationship> = flat
+        .defs
+        .iter()
+        .filter_map(|d| match d {
+            XnfDef::Relationship(r) => Some(r.clone()),
+            _ => None,
+        })
+        .collect();
+
+    let mut info = XnfInfo {
+        flat,
+        co,
+        comps,
+        rels,
+        key: None,
+    };
+    info.key = derive_co_key(&info);
+    Ok(info)
+}
+
+fn derive_co_key(info: &XnfInfo) -> Option<CoKey> {
+    if !matches!(info.flat.take, XnfTake::All) {
+        return None;
+    }
+    // A global restriction would have to be re-evaluated during the
+    // index-walk re-extraction; keep those on the full-recompute path.
+    if info.flat.restriction.is_some() {
+        return None;
+    }
+    if info.comps.is_empty() {
+        return None;
+    }
+    // Component derivations must be directly evaluable against base rows:
+    // single-table selection/projection (base-mapped), subquery-free
+    // WHERE, no LIMIT.
+    for def in &info.flat.defs {
+        let XnfDef::Table { select, .. } = def else {
+            continue;
+        };
+        if select.limit.is_some() || select.where_clause.as_ref().is_some_and(expr_has_subquery) {
+            return None;
+        }
+    }
+    // Every component must be a simple (base-mapped) view and every
+    // relationship a binary FK / connect-table pattern.
+    if info.co.components.iter().any(|c| c.base.is_none()) {
+        return None;
+    }
+    if info
+        .co
+        .relationships
+        .iter()
+        .any(|r| matches!(r, RelMeta::General { .. }))
+    {
+        return None;
+    }
+    // Root = the component no relationship points to; must be unique.
+    let mut is_child = vec![false; info.comps.len()];
+    for r in &info.rels {
+        for ch in &r.children {
+            if let Some(c) = info.comp_index(ch) {
+                is_child[c] = true;
+            } else {
+                return None;
+            }
+        }
+        info.comp_index(&r.parent)?;
+    }
+    let roots: Vec<usize> = (0..info.comps.len()).filter(|&i| !is_child[i]).collect();
+    let [root] = roots.as_slice() else {
+        return None;
+    };
+    // Every relationship rooted at `root` must key on the same root column.
+    let mut root_key_col: Option<usize> = None;
+    for (r, meta) in info.rels.iter().zip(&info.co.relationships) {
+        if info.comp_index(&r.parent) != Some(*root) {
+            continue;
+        }
+        let pc = match meta {
+            RelMeta::ForeignKey { parent_col, .. } | RelMeta::ConnectTable { parent_col, .. } => {
+                *parent_col
+            }
+            RelMeta::General { .. } => return None,
+        };
+        match root_key_col {
+            None => root_key_col = Some(pc),
+            Some(existing) if existing == pc => {}
+            Some(_) => return None,
+        }
+    }
+    Some(CoKey {
+        root: *root,
+        root_key_col: root_key_col.unwrap_or(0),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// delta propagation
+// ---------------------------------------------------------------------------
+
+/// Propagate one statement's delta batch through every dependent
+/// materialized view.
+pub(crate) fn maintain(db: &Database, delta: &DeltaBatch) -> Result<()> {
+    if delta.is_empty() {
+        return Ok(());
+    }
+    let plans = db.matview_plans()?;
+    for plan in plans.iter() {
+        if !delta.touches_any(plan.deps.iter().map(|s| s.as_str())) {
+            continue;
+        }
+        match &plan.body {
+            BodyPlan::Sql {
+                strategy:
+                    SqlStrategy::Direct {
+                        table,
+                        base_cols,
+                        filter,
+                    },
+                ..
+            } => apply_direct(db, plan, table, base_cols, filter.as_ref(), delta)?,
+            BodyPlan::Sql {
+                select,
+                strategy:
+                    SqlStrategy::Keyed {
+                        sources,
+                        key_expr,
+                        key_out,
+                    },
+            } => apply_sql_keyed(db, plan, select, sources, key_expr, *key_out, delta)?,
+            BodyPlan::Xnf(info) if info.key.is_some() => apply_co_keyed(db, plan, info, delta)?,
+            _ => repopulate(db, plan)?,
+        }
+        expect_matview(db, &plan.name)?.bump_epoch();
+    }
+    Ok(())
+}
+
+/// Direct maintenance of a selection/projection view: filter + project the
+/// delta images and apply them to the backing table.
+fn apply_direct(
+    db: &Database,
+    plan: &MaintPlan,
+    table: &str,
+    base_cols: &[usize],
+    filter: Option<&Expr>,
+    delta: &DeltaBatch,
+) -> Result<()> {
+    let mv = expect_matview(db, &plan.name)?;
+    let backing = mv
+        .stream(&plan.name)
+        .ok_or_else(|| XnfError::Api(format!("missing backing table for '{}'", plan.name)))?;
+    let base = db.catalog().table(table)?;
+    let pred = match filter {
+        Some(f) => Some(crate::db::table_expr(&base.schema, &base.name, f)?),
+        None => None,
+    };
+    let outer = OuterCtx::new();
+    let passes = |row: &[Value]| -> Result<bool> {
+        match &pred {
+            Some(p) => Ok(truthy(&eval(p, row, &outer, &[])?)),
+            None => Ok(true),
+        }
+    };
+    let project = |row: &[Value]| -> Row { base_cols.iter().map(|&c| row[c].clone()).collect() };
+
+    for d in delta.rows(table) {
+        let old = match d.before() {
+            Some(t) if passes(&t.values)? => Some(project(&t.values)),
+            _ => None,
+        };
+        let new = match d.after() {
+            Some(t) if passes(&t.values)? => Some(project(&t.values)),
+            _ => None,
+        };
+        if let (Some(o), Some(n)) = (&old, &new) {
+            if rows_eq(o, n) {
+                continue;
+            }
+        }
+        if let Some(o) = old {
+            if !remove_row_by_value(&backing, &o, 0)? {
+                // The stored image diverged from what the delta implies:
+                // repair with a full recompute.
+                return repopulate(db, plan);
+            }
+        }
+        if let Some(n) = new {
+            backing.insert(&Tuple::new(n))?;
+        }
+    }
+    Ok(())
+}
+
+/// Keyed maintenance of a relational join view: delete stored rows carrying
+/// the affected keys, re-run the definition restricted to each key (the
+/// equality lets the planner use base-table indexes) and insert the result.
+fn apply_sql_keyed(
+    db: &Database,
+    plan: &MaintPlan,
+    select: &Select,
+    sources: &[(String, usize)],
+    key_expr: &Expr,
+    key_out: usize,
+    delta: &DeltaBatch,
+) -> Result<()> {
+    let mut keys: Vec<Value> = Vec::new();
+    for (table, col) in sources {
+        for d in delta.rows(table) {
+            for img in [d.before(), d.after()].into_iter().flatten() {
+                let v = img.values[*col].clone();
+                if !v.is_null() {
+                    keys.push(v);
+                }
+            }
+        }
+    }
+    let keys = dedup_values(keys);
+    if keys.is_empty() {
+        return Ok(());
+    }
+    let mv = expect_matview(db, &plan.name)?;
+    let backing = mv
+        .stream(&plan.name)
+        .ok_or_else(|| XnfError::Api(format!("missing backing table for '{}'", plan.name)))?;
+    for k in &keys {
+        // Delete-by-key (served by the `mv_key` index).
+        let stale: Vec<Rid> = backing
+            .find_by_value(key_out, k)?
+            .into_iter()
+            .map(|(rid, _)| rid)
+            .collect();
+        for rid in stale {
+            backing.delete(rid)?;
+        }
+        // Keyed re-extraction.
+        let mut restricted = select.clone();
+        let conjunct = Expr::eq(key_expr.clone(), Expr::Literal(value_literal(k)));
+        restricted.where_clause = Some(match restricted.where_clause.take() {
+            Some(w) => Expr::and(w, conjunct),
+            None => conjunct,
+        });
+        let result = db.run_select(&restricted)?;
+        for row in &result.try_table()?.rows {
+            backing.insert(&Tuple::new(row.clone()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Keyed maintenance of a CO view: walk the delta up to affected root keys,
+/// cascade-delete those subtrees from the stored streams, re-extract only
+/// the affected roots and splice the sub-result back in (sharing
+/// value-identical nodes that survived).
+fn apply_co_keyed(
+    db: &Database,
+    plan: &MaintPlan,
+    info: &XnfInfo,
+    delta: &DeltaBatch,
+) -> Result<()> {
+    let keys = dedup_values(co_root_keys(db, info, delta)?);
+    if keys.is_empty() {
+        return Ok(());
+    }
+    if keys.iter().any(|k| k.is_null()) {
+        // A NULL partition key cannot drive the equality index walks
+        // (NULL never matches through sql_eq); recompute instead.
+        return repopulate(db, plan);
+    }
+    splice(db, plan, info, &keys)
+}
+
+/// Affected root-key values of a delta batch: every changed image is walked
+/// up the relationship graph (FK chains and connect tables, via base-table
+/// indexes) to the root partition key.
+fn co_root_keys(db: &Database, info: &XnfInfo, delta: &DeltaBatch) -> Result<Vec<Value>> {
+    let mut keys = Vec::new();
+    // Deltas on component base tables.
+    for (idx, comp) in info.co.components.iter().enumerate() {
+        let Some(base) = &comp.base else { continue };
+        for d in delta.rows(&base.table) {
+            for img in [d.before(), d.after()].into_iter().flatten() {
+                keys_from_comp_row(db, info, idx, &img.values, &mut keys, 0)?;
+            }
+        }
+    }
+    // Deltas on connect (mapping) tables.
+    for (rel, meta) in info.rels.iter().zip(&info.co.relationships) {
+        let RelMeta::ConnectTable {
+            table,
+            parent_col,
+            m_parent_col,
+            ..
+        } = meta
+        else {
+            continue;
+        };
+        let Some(parent) = info.comp_index(&rel.parent) else {
+            continue;
+        };
+        for d in delta.rows(table) {
+            for img in [d.before(), d.after()].into_iter().flatten() {
+                keys_from_parent_link(
+                    db,
+                    info,
+                    parent,
+                    *parent_col,
+                    img.values[*m_parent_col].clone(),
+                    &mut keys,
+                    0,
+                )?;
+            }
+        }
+    }
+    Ok(keys)
+}
+
+/// Root keys reachable from one base row of component `comp`.
+fn keys_from_comp_row(
+    db: &Database,
+    info: &XnfInfo,
+    comp: usize,
+    row: &[Value],
+    out: &mut Vec<Value>,
+    depth: u32,
+) -> Result<()> {
+    let key = info.key.as_ref().expect("keyed plan");
+    if depth as usize > info.comps.len() + 2 {
+        return Ok(());
+    }
+    let base = info.co.components[comp]
+        .base
+        .as_ref()
+        .expect("keyed components are base-mapped");
+    if comp == key.root {
+        out.push(row[base.columns[key.root_key_col]].clone());
+        return Ok(());
+    }
+    for (rel, meta) in info.rels.iter().zip(&info.co.relationships) {
+        if info.comp_index(&rel.children[0]) != Some(comp) {
+            continue;
+        }
+        let Some(parent) = info.comp_index(&rel.parent) else {
+            continue;
+        };
+        match meta {
+            RelMeta::ForeignKey {
+                parent_col,
+                child_col,
+                ..
+            } => {
+                let v = row[base.columns[*child_col]].clone();
+                keys_from_parent_link(db, info, parent, *parent_col, v, out, depth)?;
+            }
+            RelMeta::ConnectTable {
+                table,
+                parent_col,
+                child_col,
+                m_parent_col,
+                m_child_col,
+                ..
+            } => {
+                let v = &row[base.columns[*child_col]];
+                if v.is_null() {
+                    continue;
+                }
+                let m = db.catalog().table(table)?;
+                for (_, mrow) in m.find_by_value(*m_child_col, v)? {
+                    keys_from_parent_link(
+                        db,
+                        info,
+                        parent,
+                        *parent_col,
+                        mrow.values[*m_parent_col].clone(),
+                        out,
+                        depth,
+                    )?;
+                }
+            }
+            RelMeta::General { .. } => unreachable!("keyed plans exclude general relationships"),
+        }
+    }
+    Ok(())
+}
+
+/// Continue the walk through a parent component linked on cache column
+/// `parent_col` with value `v`.
+fn keys_from_parent_link(
+    db: &Database,
+    info: &XnfInfo,
+    parent: usize,
+    parent_col: usize,
+    v: Value,
+    out: &mut Vec<Value>,
+    depth: u32,
+) -> Result<()> {
+    let key = info.key.as_ref().expect("keyed plan");
+    if v.is_null() {
+        return Ok(());
+    }
+    if parent == key.root && parent_col == key.root_key_col {
+        out.push(v);
+        return Ok(());
+    }
+    let pbase = info.co.components[parent]
+        .base
+        .as_ref()
+        .expect("keyed components are base-mapped");
+    let pt = db.catalog().table(&pbase.table)?;
+    for (_, prow) in pt.find_by_value(pbase.columns[parent_col], &v)? {
+        keys_from_comp_row(db, info, parent, &prow.values, out, depth + 1)?;
+    }
+    Ok(())
+}
+
+/// Cascade-delete the subtrees of the affected roots from the stored
+/// streams, re-extract only those roots, and splice the sub-result in.
+fn splice(db: &Database, plan: &MaintPlan, info: &XnfInfo, keys: &[Value]) -> Result<()> {
+    let key = info.key.as_ref().expect("keyed plan");
+    let mv = expect_matview(db, &plan.name)?;
+    let stream = |name: &str| -> Result<Arc<Table>> {
+        mv.stream(name)
+            .ok_or_else(|| XnfError::Api(format!("missing backing stream '{name}'")))
+    };
+    let ncomps = info.comps.len();
+    let mut deleted: Vec<HashSet<i64>> = vec![HashSet::new(); ncomps];
+    let mut del_rids: Vec<Vec<Rid>> = vec![Vec::new(); ncomps];
+
+    // Phase A: root rows with an affected key.
+    let root_t = stream(&info.comps[key.root])?;
+    for k in keys {
+        for (rid, row) in root_t.find_by_value(1 + key.root_key_col, k)? {
+            deleted[key.root].insert(row.values[0].as_int()?);
+            del_rids[key.root].push(rid);
+        }
+    }
+
+    // Phase B: cascade in topological order — a node goes when its every
+    // remaining connection comes from a deleted parent.
+    for c in info.topo() {
+        if c == key.root {
+            continue;
+        }
+        let mut candidates: HashSet<i64> = HashSet::new();
+        for (rel, _) in rels_with_child(info, c) {
+            let Some(p) = info.comp_index(&rel.parent) else {
+                continue;
+            };
+            if deleted[p].is_empty() {
+                continue;
+            }
+            let conn_t = stream(&rel.name)?;
+            for &ps in &deleted[p] {
+                for (_, crow) in conn_t.find_by_value(0, &Value::Int(ps))? {
+                    candidates.insert(crow.values[1].as_int()?);
+                }
+            }
+        }
+        let node_t = stream(&info.comps[c])?;
+        for s in candidates {
+            if deleted[c].contains(&s) {
+                continue;
+            }
+            let mut survives = false;
+            'rels: for (rel, _) in rels_with_child(info, c) {
+                let Some(p) = info.comp_index(&rel.parent) else {
+                    continue;
+                };
+                let conn_t = stream(&rel.name)?;
+                for (_, crow) in conn_t.find_by_value(1, &Value::Int(s))? {
+                    if !deleted[p].contains(&crow.values[0].as_int()?) {
+                        survives = true;
+                        break 'rels;
+                    }
+                }
+            }
+            if !survives {
+                deleted[c].insert(s);
+                for (rid, _) in node_t.find_by_value(0, &Value::Int(s))? {
+                    del_rids[c].push(rid);
+                }
+            }
+        }
+    }
+
+    // Phase C: drop connections touching any deleted surrogate, then the
+    // node rows themselves.
+    for rel in &info.rels {
+        let Some(p) = info.comp_index(&rel.parent) else {
+            continue;
+        };
+        let Some(c) = info.comp_index(&rel.children[0]) else {
+            continue;
+        };
+        let conn_t = stream(&rel.name)?;
+        let mut stale: HashSet<Rid> = HashSet::new();
+        for &ps in &deleted[p] {
+            for (rid, _) in conn_t.find_by_value(0, &Value::Int(ps))? {
+                stale.insert(rid);
+            }
+        }
+        for &cs in &deleted[c] {
+            for (rid, _) in conn_t.find_by_value(1, &Value::Int(cs))? {
+                stale.insert(rid);
+            }
+        }
+        for rid in stale {
+            conn_t.delete(rid)?;
+        }
+    }
+    for (c, rids) in del_rids.into_iter().enumerate() {
+        let node_t = stream(&info.comps[c])?;
+        for rid in rids {
+            node_t.delete(rid)?;
+        }
+    }
+
+    // Phase D: re-extract only the affected subtrees by walking the
+    // relationship predicates over base-table index paths (no pipeline run,
+    // no full scans), then splice in — reusing value-identical nodes that
+    // survived (object sharing across splices).
+    let sub = extract_subtrees(db, info, keys)?;
+    // Nodes first: local position → surrogate (reused or fresh).
+    let mut surr: Vec<Vec<i64>> = Vec::with_capacity(ncomps);
+    for (c, rows) in sub.comp_rows.iter().enumerate() {
+        let node_t = stream(&info.comps[c])?;
+        let mut ids = Vec::with_capacity(rows.len());
+        for row in rows {
+            if let Some(existing) = find_node_by_value(&node_t, row)? {
+                ids.push(existing);
+                continue;
+            }
+            let id = mv.alloc_surrogates(1);
+            let mut values = Vec::with_capacity(row.len() + 1);
+            values.push(Value::Int(id));
+            values.extend(row.iter().cloned());
+            node_t.insert(&Tuple::new(values))?;
+            ids.push(id);
+        }
+        surr.push(ids);
+    }
+    // Connections: translate to surrogates, skipping duplicates.
+    for (ri, rel) in info.rels.iter().enumerate() {
+        let conn_t = stream(&rel.name)?;
+        let p_idx = info
+            .comp_index(&rel.parent)
+            .ok_or_else(|| XnfError::Api(format!("unknown parent '{}'", rel.parent)))?;
+        let c_idx = info
+            .comp_index(&rel.children[0])
+            .ok_or_else(|| XnfError::Api(format!("unknown child '{}'", rel.children[0])))?;
+        for &(ppos, cpos) in &sub.conn_rows[ri] {
+            let p = surr[p_idx][ppos];
+            let c = surr[c_idx][cpos];
+            let exists = conn_t
+                .find_by_value(0, &Value::Int(p))?
+                .iter()
+                .any(|(_, t)| t.values[1].as_int().ok() == Some(c));
+            if !exists {
+                conn_t.insert(&Tuple::new(vec![Value::Int(p), Value::Int(c)]))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The re-extracted sub-universe of the affected roots: projected node
+/// rows per component (value-deduplicated — XNF object sharing) and
+/// connection pairs per relationship, in local positions.
+struct SubResult {
+    comp_rows: Vec<Vec<Row>>,
+    conn_rows: Vec<Vec<(usize, usize)>>,
+}
+
+/// Derive the CO subtrees rooted at `keys` straight from the base tables:
+/// root rows by key index lookup, then relationship predicates followed
+/// child-ward through foreign-key / connect-table index paths, evaluating
+/// each component's selection predicate and projection on the way. This is
+/// the keyed re-extraction of incremental maintenance — cost proportional
+/// to the affected subtrees, not to the base tables.
+fn extract_subtrees(db: &Database, info: &XnfInfo, keys: &[Value]) -> Result<SubResult> {
+    let key = info.key.as_ref().expect("keyed plan");
+    let ncomps = info.comps.len();
+    let mut sub = SubResult {
+        comp_rows: vec![Vec::new(); ncomps],
+        conn_rows: vec![Vec::new(); info.rels.len()],
+    };
+    // Per-component: base table, projection, compiled selection predicate.
+    let mut bases = Vec::with_capacity(ncomps);
+    for (c, comp) in info.co.components.iter().enumerate() {
+        let base = comp
+            .base
+            .as_ref()
+            .expect("keyed components are base-mapped");
+        let table = db.catalog().table(&base.table)?;
+        let filter = component_filter(db, info, c, &table)?;
+        bases.push((table, base.columns.clone(), filter));
+    }
+    let outer = OuterCtx::new();
+    // Value-identity dedup per component.
+    let mut seen: Vec<HashMap<String, usize>> = vec![HashMap::new(); ncomps];
+    let push_node = |sub: &mut SubResult,
+                     seen: &mut Vec<HashMap<String, usize>>,
+                     c: usize,
+                     row: Row|
+     -> usize {
+        let k = format!("{row:?}");
+        if let Some(&pos) = seen[c].get(&k) {
+            return pos;
+        }
+        let pos = sub.comp_rows[c].len();
+        sub.comp_rows[c].push(row);
+        seen[c].insert(k, pos);
+        pos
+    };
+
+    // Seed the roots.
+    let (root_t, root_cols, root_filter) = &bases[key.root];
+    for k in keys {
+        for (_, t) in root_t.find_by_value(root_cols[key.root_key_col], k)? {
+            if passes_filter(root_filter, &t.values, &outer)? {
+                let row: Row = root_cols.iter().map(|&i| t.values[i].clone()).collect();
+                push_node(&mut sub, &mut seen, key.root, row);
+            }
+        }
+    }
+
+    // Walk child-ward in topological order: when a component is visited,
+    // every relationship pointing at it has complete parent rows.
+    let mut conn_seen: Vec<HashSet<(usize, usize)>> = vec![HashSet::new(); info.rels.len()];
+    for c in info.topo() {
+        for (ri, (rel, meta)) in info.rels.iter().zip(&info.co.relationships).enumerate() {
+            if info.comp_index(&rel.children[0]) != Some(c) {
+                continue;
+            }
+            let Some(p) = info.comp_index(&rel.parent) else {
+                continue;
+            };
+            let (child_t, child_cols, child_filter) = &bases[c];
+            let parent_rows = sub.comp_rows[p].clone();
+            for (ppos, prow) in parent_rows.iter().enumerate() {
+                match meta {
+                    RelMeta::ForeignKey {
+                        parent_col,
+                        child_col,
+                        ..
+                    } => {
+                        let v = &prow[*parent_col];
+                        if v.is_null() {
+                            continue;
+                        }
+                        for (_, t) in child_t.find_by_value(child_cols[*child_col], v)? {
+                            if !passes_filter(child_filter, &t.values, &outer)? {
+                                continue;
+                            }
+                            let row: Row =
+                                child_cols.iter().map(|&i| t.values[i].clone()).collect();
+                            let cpos = push_node(&mut sub, &mut seen, c, row);
+                            if conn_seen[ri].insert((ppos, cpos)) {
+                                sub.conn_rows[ri].push((ppos, cpos));
+                            }
+                        }
+                    }
+                    RelMeta::ConnectTable {
+                        table,
+                        parent_col,
+                        child_col,
+                        m_parent_col,
+                        m_child_col,
+                        ..
+                    } => {
+                        let v = &prow[*parent_col];
+                        if v.is_null() {
+                            continue;
+                        }
+                        let m = db.catalog().table(table)?;
+                        for (_, mrow) in m.find_by_value(*m_parent_col, v)? {
+                            let cv = &mrow.values[*m_child_col];
+                            if cv.is_null() {
+                                continue;
+                            }
+                            for (_, t) in child_t.find_by_value(child_cols[*child_col], cv)? {
+                                if !passes_filter(child_filter, &t.values, &outer)? {
+                                    continue;
+                                }
+                                let row: Row =
+                                    child_cols.iter().map(|&i| t.values[i].clone()).collect();
+                                let cpos = push_node(&mut sub, &mut seen, c, row);
+                                if conn_seen[ri].insert((ppos, cpos)) {
+                                    sub.conn_rows[ri].push((ppos, cpos));
+                                }
+                            }
+                        }
+                    }
+                    RelMeta::General { .. } => {
+                        unreachable!("keyed plans exclude general relationships")
+                    }
+                }
+            }
+        }
+    }
+    Ok(sub)
+}
+
+/// Compile one component's selection predicate against its base schema.
+fn component_filter(
+    db: &Database,
+    info: &XnfInfo,
+    comp: usize,
+    table: &Arc<Table>,
+) -> Result<Option<xnf_plan::PhysExpr>> {
+    let _ = db;
+    let name = &info.comps[comp];
+    let def = info.flat.defs.iter().find_map(|d| match d {
+        XnfDef::Table {
+            name: n, select, ..
+        } if n.eq_ignore_ascii_case(name) => Some(select),
+        _ => None,
+    });
+    let Some(select) = def else { return Ok(None) };
+    match &select.where_clause {
+        Some(w) => Ok(Some(crate::db::table_expr(&table.schema, &table.name, w)?)),
+        None => Ok(None),
+    }
+}
+
+fn passes_filter(
+    filter: &Option<xnf_plan::PhysExpr>,
+    row: &[Value],
+    outer: &OuterCtx,
+) -> Result<bool> {
+    match filter {
+        Some(f) => Ok(truthy(&eval(f, row, outer, &[])?)),
+        None => Ok(true),
+    }
+}
+
+fn rels_with_child(
+    info: &XnfInfo,
+    child: usize,
+) -> impl Iterator<Item = (&XnfRelationship, &RelMeta)> {
+    info.rels
+        .iter()
+        .zip(&info.co.relationships)
+        .filter(move |(r, _)| info.comp_index(&r.children[0]) == Some(child))
+}
+
+/// Find a stored node row with exactly these values; returns its surrogate.
+fn find_node_by_value(node_t: &Arc<Table>, row: &Row) -> Result<Option<i64>> {
+    let full_match =
+        |t: &Tuple| -> bool { t.values.len() == row.len() + 1 && rows_eq(&t.values[1..], row) };
+    if row.is_empty() {
+        return Ok(None);
+    }
+    if row[0].is_null() {
+        // NULL never matches through an index probe; fall back to a scan.
+        let mut found = None;
+        node_t.for_each(|_, t| {
+            if full_match(&t) {
+                found = Some(t.values[0].as_int()?);
+                return Ok(false);
+            }
+            Ok(true)
+        })?;
+        return Ok(found);
+    }
+    for (_, t) in node_t.find_by_value(1, &row[0])? {
+        if full_match(&t) {
+            return Ok(Some(t.values[0].as_int()?));
+        }
+    }
+    Ok(None)
+}
+
+/// NULL-aware row equality (NULL equals NULL here: identity, not SQL
+/// comparison — matching the executor's duplicate elimination).
+fn rows_eq(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.total_cmp(y).is_eq())
+}
+
+/// Remove one stored row equal to `row`; `probe_col` drives the index probe.
+/// Returns whether a row was found.
+fn remove_row_by_value(backing: &Arc<Table>, row: &Row, probe_col: usize) -> Result<bool> {
+    if !row.is_empty() && !row[probe_col].is_null() {
+        for (rid, t) in backing.find_by_value(probe_col, &row[probe_col])? {
+            if rows_eq(&t.values, row) {
+                backing.delete(rid)?;
+                return Ok(true);
+            }
+        }
+        // Fall through to a scan: the probe may have missed only because
+        // no index exists and sql_eq skipped NULLs elsewhere in the row.
+    }
+    let mut target = None;
+    backing.for_each(|rid, t| {
+        if rows_eq(&t.values, row) {
+            target = Some(rid);
+            return Ok(false);
+        }
+        Ok(true)
+    })?;
+    match target {
+        Some(rid) => {
+            backing.delete(rid)?;
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+fn dedup_values(mut vals: Vec<Value>) -> Vec<Value> {
+    vals.sort_by(|a, b| a.total_cmp(b));
+    vals.dedup_by(|a, b| a.total_cmp(b).is_eq());
+    vals
+}
+
+fn value_literal(v: &Value) -> Literal {
+    match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(*i),
+        Value::Double(d) => Literal::Float(*d),
+        Value::Str(s) => Literal::Str(s.clone()),
+        Value::Bool(b) => Literal::Bool(*b),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serving: workspace loads from stored streams
+// ---------------------------------------------------------------------------
+
+/// Load a materialized CO view's full workspace straight from its backing
+/// streams (no extraction pipeline).
+pub(crate) fn fetch_co_materialized(db: &Database, name: &str) -> Result<CoCache> {
+    fetch_from_storage(db, name, None)
+}
+
+/// Serve one CO subtree (the root rows matching `key` plus everything
+/// reachable from them) from a keyed materialized CO view, via index walks
+/// over the stored streams.
+pub(crate) fn fetch_co_point(db: &Database, name: &str, key_value: &Value) -> Result<CoCache> {
+    fetch_from_storage(db, name, Some(key_value))
+}
+
+fn fetch_from_storage(db: &Database, name: &str, point_key: Option<&Value>) -> Result<CoCache> {
+    let (plan, result) = load_streams(db, name, point_key)?;
+    let BodyPlan::Xnf(info) = &plan.body else {
+        unreachable!("load_streams returns CO plans only");
+    };
+    let workspace = Workspace::from_result(&result)?;
+    let schema = derive_co_schema(db, &info.flat)?;
+    Ok(CoCache {
+        workspace,
+        schema,
+        query: info.flat.clone(),
+        params: xnf_exec::Params::default(),
+    })
+}
+
+/// Read stored streams into a [`QueryResult`]-shaped value, translating
+/// surrogates to stream positions. With `point_key`, only the subtree(s)
+/// rooted at that key value are read (requires a keyed view).
+fn load_streams(
+    db: &Database,
+    name: &str,
+    point_key: Option<&Value>,
+) -> Result<(Arc<MaintPlan>, QueryResult)> {
+    let view = db
+        .catalog()
+        .view(name)
+        .filter(|v| v.materialized)
+        .ok_or_else(|| XnfError::Api(format!("'{name}' is not a materialized view")))?;
+    if view.kind != ViewKind::Xnf {
+        return Err(XnfError::Api(format!(
+            "'{name}' is a relational materialized view; query it with SELECT"
+        )));
+    }
+    let plans = db.matview_plans()?;
+    let plan = plans
+        .iter()
+        .find(|p| p.name.eq_ignore_ascii_case(&view.name))
+        .map(Arc::clone)
+        .ok_or_else(|| XnfError::Api(format!("no maintenance plan for '{name}'")))?;
+    let BodyPlan::Xnf(info) = &plan.body else {
+        return Err(XnfError::Api(format!("'{name}' is not a CO view")));
+    };
+    let mv = expect_matview(db, &plan.name)?;
+    let stream = |n: &str| -> Result<Arc<Table>> {
+        mv.stream(n)
+            .ok_or_else(|| XnfError::Api(format!("missing backing stream '{n}'")))
+    };
+
+    // Which surrogates to include, per component (None = all).
+    let selected: Option<Vec<HashSet<i64>>> = match point_key {
+        None => None,
+        Some(k) => {
+            let key = info.key.as_ref().ok_or_else(|| {
+                XnfError::Api(format!(
+                    "'{name}' does not support point fetches (no root partition key)"
+                ))
+            })?;
+            let mut sel: Vec<HashSet<i64>> = vec![HashSet::new(); info.comps.len()];
+            let root_t = stream(&info.comps[key.root])?;
+            for (_, row) in root_t.find_by_value(1 + key.root_key_col, k)? {
+                sel[key.root].insert(row.values[0].as_int()?);
+            }
+            for c in info.topo() {
+                for (rel, _) in rels_with_child(info, c) {
+                    let Some(p) = info.comp_index(&rel.parent) else {
+                        continue;
+                    };
+                    let conn_t = stream(&rel.name)?;
+                    let parents: Vec<i64> = sel[p].iter().copied().collect();
+                    for ps in parents {
+                        for (_, crow) in conn_t.find_by_value(0, &Value::Int(ps))? {
+                            sel[c].insert(crow.values[1].as_int()?);
+                        }
+                    }
+                }
+            }
+            Some(sel)
+        }
+    };
+
+    // Node streams: strip the surrogate column, record surrogate → position.
+    let mut streams = Vec::new();
+    let mut pos_of: HashMap<String, HashMap<i64, u32>> = HashMap::new();
+    for (c, comp) in info.comps.iter().enumerate() {
+        let node_t = stream(comp)?;
+        let columns: Vec<String> = node_t
+            .schema
+            .columns()
+            .iter()
+            .skip(1)
+            .map(|col| col.name.clone())
+            .collect();
+        let mut rows: Vec<Row> = Vec::new();
+        let mut positions: HashMap<i64, u32> = HashMap::new();
+        let wanted = selected.as_ref().map(|sel| &sel[c]);
+        match wanted {
+            // Point fetch: read the selected surrogates through the
+            // `mv_coid` index instead of scanning the stream.
+            Some(sel) => {
+                for &s in sel.iter() {
+                    for (_, t) in node_t.find_by_value(0, &Value::Int(s))? {
+                        positions.insert(s, rows.len() as u32);
+                        rows.push(t.values[1..].to_vec());
+                    }
+                }
+            }
+            None => {
+                node_t.for_each(|_, t| {
+                    positions.insert(t.values[0].as_int()?, rows.len() as u32);
+                    rows.push(t.values[1..].to_vec());
+                    Ok(true)
+                })?;
+            }
+        }
+        pos_of.insert(comp.to_ascii_lowercase(), positions);
+        streams.push(StreamResult {
+            name: comp.clone(),
+            kind: OutputKind::Node,
+            columns,
+            rows,
+        });
+    }
+    // Connection streams: surrogates → positions.
+    for rel in &info.rels {
+        let conn_t = stream(&rel.name)?;
+        let columns: Vec<String> = conn_t
+            .schema
+            .columns()
+            .iter()
+            .map(|col| col.name.clone())
+            .collect();
+        let ppos = &pos_of[&rel.parent.to_ascii_lowercase()];
+        // One position map per child slot: n-ary relationships store one
+        // surrogate column per child after the parent column.
+        let cpos: Vec<&HashMap<i64, u32>> = rel
+            .children
+            .iter()
+            .map(|ch| &pos_of[&ch.to_ascii_lowercase()])
+            .collect();
+        let mut rows: Vec<Row> = Vec::new();
+        let mut push_conn = |t: &Tuple| {
+            let Ok(p) = t.values[0].as_int() else { return };
+            let Some(&pp) = ppos.get(&p) else { return };
+            let mut row = Vec::with_capacity(t.values.len());
+            row.push(Value::Int(pp as i64));
+            for (slot, v) in t.values[1..].iter().enumerate() {
+                let (Ok(c), Some(map)) = (v.as_int(), cpos.get(slot)) else {
+                    return;
+                };
+                let Some(&cc) = map.get(&c) else { return };
+                row.push(Value::Int(cc as i64));
+            }
+            rows.push(row);
+        };
+        match &selected {
+            Some(sel) => {
+                let p_idx = info.comp_index(&rel.parent).unwrap_or(0);
+                for &ps in &sel[p_idx] {
+                    for (_, t) in conn_t.find_by_value(0, &Value::Int(ps))? {
+                        push_conn(&t);
+                    }
+                }
+            }
+            None => {
+                conn_t.for_each(|_, t| {
+                    push_conn(&t);
+                    Ok(true)
+                })?;
+            }
+        }
+        streams.push(StreamResult {
+            name: rel.name.clone(),
+            kind: OutputKind::Connection {
+                relationship: rel.name.clone(),
+                parent: rel.parent.clone(),
+                children: rel.children.clone(),
+                role: rel.role.clone(),
+            },
+            columns,
+            rows,
+        });
+    }
+    Ok((
+        plan,
+        QueryResult {
+            streams,
+            stats: ExecStats::default(),
+        },
+    ))
+}

@@ -167,8 +167,9 @@ pub(crate) fn flatten_defs(
 }
 
 /// A component is updatable iff it is `SELECT [*|cols] FROM one_base_table
-/// [WHERE ...]` with no joins, grouping, distinct or unions.
-fn analyze_simple_view(db: &Database, select: &xnf_sql::Select) -> Option<BaseMap> {
+/// [WHERE ...]` with no joins, grouping, distinct or unions. (Also reused
+/// by materialized-view maintenance to detect the direct-apply strategy.)
+pub(crate) fn analyze_simple_view(db: &Database, select: &xnf_sql::Select) -> Option<BaseMap> {
     if select.from.len() != 1
         || !select.joins.is_empty()
         || !select.group_by.is_empty()
@@ -181,6 +182,11 @@ fn analyze_simple_view(db: &Database, select: &xnf_sql::Select) -> Option<BaseMa
     let TableRef::Named { name, .. } = &select.from[0] else {
         return None;
     };
+    // Views (including materialized ones, whose names resolve to backing
+    // tables through the catalog fallback) are not direct update targets.
+    if db.catalog().view(name).is_some() {
+        return None;
+    }
     let table = db.catalog().table(name).ok()?;
     let mut columns = Vec::new();
     for item in &select.items {
@@ -361,6 +367,9 @@ fn apply_changes(
     schema: &CoSchema,
     changes: &[Change],
 ) -> Result<usize> {
+    // Write-back is a DML producer like any statement: capture the base-row
+    // images so dependent materialized views maintain incrementally.
+    let mut delta = xnf_storage::DeltaBatch::new();
     let mut ops = 0;
     for change in changes {
         match change {
@@ -372,32 +381,33 @@ fn apply_changes(
             } => {
                 let meta = &schema.components[*comp];
                 let base = updatable(meta)?;
-                update_base_row(db, base, old, new)?;
+                update_base_row(db, base, old, new, &mut delta)?;
                 ops += 1;
             }
             Change::Insert { comp, id } => {
                 let meta = &schema.components[*comp];
                 let base = updatable(meta)?;
                 let row = ws.components[*comp].row(*id);
-                insert_base_row(db, base, row)?;
+                insert_base_row(db, base, row, &mut delta)?;
                 ops += 1;
             }
             Change::Delete { comp, id: _, old } => {
                 let meta = &schema.components[*comp];
                 let base = updatable(meta)?;
-                delete_base_row(db, base, old)?;
+                delete_base_row(db, base, old, &mut delta)?;
                 ops += 1;
             }
             Change::Connect { rel, conn } => {
-                apply_connect(db, ws, schema, *rel, conn, true)?;
+                apply_connect(db, ws, schema, *rel, conn, true, &mut delta)?;
                 ops += 1;
             }
             Change::Disconnect { rel, conn } => {
-                apply_connect(db, ws, schema, *rel, conn, false)?;
+                apply_connect(db, ws, schema, *rel, conn, false, &mut delta)?;
                 ops += 1;
             }
         }
     }
+    crate::matview::maintain(db, &delta)?;
     Ok(ops)
 }
 
@@ -448,7 +458,13 @@ fn find_base_rid_masked(
     })
 }
 
-fn update_base_row(db: &Database, base: &BaseMap, old: &[Value], new: &[Value]) -> Result<()> {
+fn update_base_row(
+    db: &Database,
+    base: &BaseMap,
+    old: &[Value],
+    new: &[Value],
+    delta: &mut xnf_storage::DeltaBatch,
+) -> Result<()> {
     let rid = find_base_rid(db, base, old)?;
     let t = db.catalog().table(&base.table)?;
     let mut tuple = t.get(rid)?;
@@ -456,26 +472,46 @@ fn update_base_row(db: &Database, base: &BaseMap, old: &[Value], new: &[Value]) 
         tuple.values[b] = v.clone();
     }
     let (old_tuple, new_rid) = t.update(rid, &tuple)?;
-    db.log_update(&t, new_rid, old_tuple);
+    db.log_update(&t, rid, new_rid, old_tuple.clone());
+    if db.catalog().has_matviews() {
+        delta.record_update(&t.name, old_tuple, tuple);
+    }
     Ok(())
 }
 
-fn insert_base_row(db: &Database, base: &BaseMap, row: &[Value]) -> Result<()> {
+fn insert_base_row(
+    db: &Database,
+    base: &BaseMap,
+    row: &[Value],
+    delta: &mut xnf_storage::DeltaBatch,
+) -> Result<()> {
     let t = db.catalog().table(&base.table)?;
     let mut values = vec![Value::Null; t.schema.len()];
     for (&b, v) in base.columns.iter().zip(row) {
         values[b] = v.clone();
     }
-    let rid = t.insert(&Tuple::new(values))?;
+    let tuple = Tuple::new(values);
+    let rid = t.insert(&tuple)?;
     db.log_insert(&t, rid);
+    if db.catalog().has_matviews() {
+        delta.record_insert(&t.name, tuple);
+    }
     Ok(())
 }
 
-fn delete_base_row(db: &Database, base: &BaseMap, row: &[Value]) -> Result<()> {
+fn delete_base_row(
+    db: &Database,
+    base: &BaseMap,
+    row: &[Value],
+    delta: &mut xnf_storage::DeltaBatch,
+) -> Result<()> {
     let rid = find_base_rid(db, base, row)?;
     let t = db.catalog().table(&base.table)?;
     let old = t.delete(rid)?;
-    db.log_delete(&t, old);
+    db.log_delete(&t, rid, old.clone());
+    if db.catalog().has_matviews() {
+        delta.record_delete(&t.name, old);
+    }
     Ok(())
 }
 
@@ -486,6 +522,7 @@ fn apply_connect(
     rel: usize,
     conn: &[TupleId],
     connect: bool,
+    delta: &mut xnf_storage::DeltaBatch,
 ) -> Result<()> {
     let meta = &schema.relationships[rel];
     let r = &ws.relationships[rel];
@@ -511,7 +548,10 @@ fn apply_connect(
                 Value::Null
             };
             let (old_tuple, new_rid) = t.update(rid, &tuple)?;
-            db.log_update(&t, new_rid, old_tuple);
+            db.log_update(&t, rid, new_rid, old_tuple.clone());
+            if db.catalog().has_matviews() {
+                delta.record_update(&t.name, old_tuple, tuple);
+            }
             Ok(())
         }
         RelMeta::ConnectTable {
@@ -527,8 +567,12 @@ fn apply_connect(
                 let mut values = vec![Value::Null; t.schema.len()];
                 values[*m_parent_col] = parent_row[*parent_col].clone();
                 values[*m_child_col] = child_row[*child_col].clone();
-                let rid = t.insert(&Tuple::new(values))?;
+                let tuple = Tuple::new(values);
+                let rid = t.insert(&tuple)?;
                 db.log_insert(&t, rid);
+                if db.catalog().has_matviews() {
+                    delta.record_insert(&t.name, tuple);
+                }
             } else {
                 // Delete one matching mapping row.
                 let mut target = None;
@@ -552,7 +596,10 @@ fn apply_connect(
                     ))
                 })?;
                 let old = t.delete(rid)?;
-                db.log_delete(&t, old);
+                db.log_delete(&t, rid, old.clone());
+                if db.catalog().has_matviews() {
+                    delta.record_delete(&t.name, old);
+                }
             }
             Ok(())
         }

@@ -5,7 +5,20 @@
 //! exchange [`RowBatch`] chunks (default capacity
 //! [`xnf_plan::DEFAULT_BATCH_SIZE`] rows) instead of single rows, so the
 //! per-tuple virtual dispatch and bookkeeping of classic Volcano pulls
-//! amortise over a whole chunk.
+//! amortise over a whole chunk. Producers accumulate rows through a
+//! [`BatchBuilder`] and hand off full chunks:
+//!
+//! ```
+//! use xnf_exec::{BatchBuilder, RowBatch};
+//! use xnf_storage::Value;
+//!
+//! let mut b = BatchBuilder::new(1, 2);
+//! b.push(vec![Value::Int(1)]);
+//! assert!(b.take_full().is_none(), "not full yet");
+//! b.push(vec![Value::Int(2)]);
+//! let full: RowBatch = b.take_full().expect("capacity reached");
+//! assert_eq!(full.len(), 2);
+//! ```
 
 pub use xnf_plan::DEFAULT_BATCH_SIZE;
 

@@ -44,13 +44,6 @@ impl QueryResult {
         }
     }
 
-    /// The single relational result (panics if this is a CO result).
-    #[deprecated(note = "use `try_table()` — this panics on CO results")]
-    pub fn table(&self) -> &StreamResult {
-        self.try_table()
-            .expect("expected a single relational stream")
-    }
-
     /// Find a stream by name.
     pub fn stream(&self, name: &str) -> Option<&StreamResult> {
         self.streams
@@ -119,7 +112,7 @@ fn run_output(rt: &mut Runtime<'_>, out: &QepOutput) -> Result<StreamResult> {
 /// per stream), after sequentially materialising the shared subplans they
 /// all read. This is the parallelism opportunity the paper calls out for
 /// set-oriented CO extraction (Sect. 5.1 / Sect. 6 "parallelism technology
-/// … become[s] automatically available to XNF"): the heterogeneous output
+/// … become\[s\] automatically available to XNF"): the heterogeneous output
 /// streams are independent once the common subexpressions exist.
 pub fn execute_qep_parallel(catalog: &Catalog, qep: &Qep) -> Result<QueryResult> {
     execute_qep_parallel_with_params(catalog, qep, Params::default())

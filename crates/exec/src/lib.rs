@@ -24,6 +24,33 @@
 //! Pipeline granularity is observable: [`ExecStats::batches_emitted`] and
 //! [`ExecStats::peak_batch_rows`] count the chunks delivered at the
 //! pipeline sinks.
+//!
+//! Entry points: [`execute_qep`] / [`execute_qep_with_params`] (all output
+//! streams of a QEP) and [`execute_qep_parallel`] (one thread per CO
+//! stream). Scans of materialized-view backing tables (`matview scan`
+//! nodes) execute exactly like base-table scans — the catalog resolves the
+//! view name to its backing storage.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xnf_exec::execute_qep;
+//! use xnf_plan::{plan_query, PlanOptions};
+//! use xnf_qgm::build_select_query;
+//! use xnf_sql::parse_select;
+//! use xnf_storage::{BufferPool, Catalog, DataType, DiskManager, Schema, Tuple, Value};
+//!
+//! let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 16));
+//! let catalog = Catalog::new(pool);
+//! let emp = catalog
+//!     .create_table("EMP", Schema::from_pairs(&[("eno", DataType::Int)]))
+//!     .unwrap();
+//! emp.insert(&Tuple::new(vec![Value::Int(7)])).unwrap();
+//! let s = parse_select("SELECT eno FROM EMP").unwrap();
+//! let qgm = build_select_query(&catalog, &s).unwrap();
+//! let qep = plan_query(&catalog, &qgm, PlanOptions::default()).unwrap();
+//! let result = execute_qep(&catalog, &qep).unwrap();
+//! assert_eq!(result.try_table().unwrap().rows, vec![vec![Value::Int(7)]]);
+//! ```
 
 pub mod batch;
 pub mod engine;

@@ -106,6 +106,16 @@ pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
             pending: BatchBuilder::default(),
             done: false,
         }),
+        // A matview scan is a seq scan of the view's backing table: the
+        // catalog resolves the view name to its backing storage.
+        PhysPlan::MatViewScan { view, filter } => Box::new(SeqScanOp {
+            table: view.clone(),
+            filter: filter.clone(),
+            table_ref: None,
+            page_idx: 0,
+            pending: BatchBuilder::default(),
+            done: false,
+        }),
         PhysPlan::IndexEq {
             table,
             index,

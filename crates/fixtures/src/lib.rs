@@ -6,6 +6,18 @@
 //!   each, locality of references) for the cache-traversal experiment of
 //!   Sect. 5.2;
 //! - [`random`]: small random tables for property-based testing.
+//!
+//! All generators are deterministic for a fixed seed, so equivalence
+//! suites can build identical databases under different engine
+//! configurations (batch sizes, planner ablations) and compare results.
+//!
+//! ```
+//! use xnf_fixtures::{build_paper_db, PaperScale, DEPS_ARC};
+//!
+//! let db = build_paper_db(PaperScale { departments: 10, ..Default::default() });
+//! let co = db.fetch_co(DEPS_ARC).unwrap();
+//! assert!(co.workspace.component("xdept").unwrap().len() > 0);
+//! ```
 
 pub mod oo1;
 pub mod paper;

@@ -2,12 +2,24 @@
 //!
 //! A physical expression references *slots* of the current row (and, for
 //! correlated subqueries, columns of outer rows through a binding context).
-//! A physical plan is a tree of Volcano-style operators; shared
-//! subexpressions ("table queues" in Starburst terminology) appear as
-//! [`PhysPlan::SharedScan`] nodes referring to a materialised result that
-//! the execution engine computes once. Shared scans expose the tuple's
-//! position as a leading *rowid* column — the system-generated identifier
-//! that CO connection streams project (Sect. 5.0 of the paper).
+//! A physical plan is a tree of operators that the execution engine
+//! interprets under the **batch protocol**: every operator exchanges
+//! [`RowBatch`]-sized chunks of rows (`Operator::next_batch` in `xnf-exec`,
+//! default [`DEFAULT_BATCH_SIZE`] rows per chunk, tunable through
+//! [`PlanOptions::batch_size`]) rather than single tuples, so virtual
+//! dispatch and per-operator set-up amortise over a whole chunk.
+//!
+//! Shared subexpressions ("table queues" in Starburst terminology) appear
+//! as [`PhysPlan::SharedScan`] nodes referring to a materialised batch
+//! sequence that the execution engine computes once. Shared scans expose
+//! the tuple's position as a leading *rowid* column — the system-generated
+//! identifier that CO connection streams project (Sect. 5.0 of the paper).
+//! Queries over materialized views plan as [`PhysPlan::MatViewScan`] (or
+//! [`PhysPlan::IndexEq`] over the backing table when a maintenance index
+//! matches), surfacing in EXPLAIN as `matview scan`.
+//!
+//! [`RowBatch`]: ../xnf_exec/batch/struct.RowBatch.html
+//! [`PlanOptions::batch_size`]: crate::PlanOptions#structfield.batch_size
 
 use std::fmt;
 
@@ -19,7 +31,7 @@ use xnf_storage::Value;
 pub type SharedId = usize;
 
 /// Default row capacity of one execution batch: operators exchange
-/// [`RowBatch`]-sized chunks instead of single rows, so virtual dispatch
+/// `RowBatch`-sized chunks instead of single rows, so virtual dispatch
 /// and per-operator bookkeeping amortise over this many tuples.
 /// Tunable per query via [`crate::PlanOptions::batch_size`].
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
@@ -167,6 +179,15 @@ pub enum PhysPlan {
     SharedScan {
         id: SharedId,
     },
+    /// Full scan of a materialized view's backing table with a residual
+    /// filter — same runtime behaviour as [`PhysPlan::SeqScan`] (the name
+    /// resolves through the catalog's backing-table fallback), but labelled
+    /// `matview scan` in EXPLAIN so plans show where stored view contents
+    /// are served from.
+    MatViewScan {
+        view: String,
+        filter: Vec<PhysExpr>,
+    },
     Filter {
         input: Box<PhysPlan>,
         preds: Vec<PhysExpr>,
@@ -280,6 +301,13 @@ impl PhysPlan {
             }
             PhysPlan::SharedScan { id } => {
                 let _ = writeln!(out, "{pad}SharedScan(cse{id})");
+            }
+            PhysPlan::MatViewScan { view, filter } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}matview scan({view}) filter={}",
+                    fmt_preds(filter)
+                );
             }
             PhysPlan::Filter { input, preds } => {
                 let _ = writeln!(out, "{pad}Filter {}", fmt_preds(preds));
@@ -402,7 +430,8 @@ impl PhysPlan {
             PhysPlan::Values { .. }
             | PhysPlan::SeqScan { .. }
             | PhysPlan::IndexEq { .. }
-            | PhysPlan::SharedScan { .. } => {}
+            | PhysPlan::SharedScan { .. }
+            | PhysPlan::MatViewScan { .. } => {}
             PhysPlan::Filter { input, .. }
             | PhysPlan::Project { input, .. }
             | PhysPlan::HashDistinct { input }

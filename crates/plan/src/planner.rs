@@ -229,15 +229,27 @@ impl<'a> Planner<'a> {
 
     fn plan_box(&mut self, b: BoxId) -> Result<PhysPlan> {
         match &self.qgm.boxed(b).kind {
-            BoxKind::BaseTable { table, .. } => Ok(PhysPlan::SeqScan {
-                table: table.clone(),
-                filter: vec![],
-            }),
+            BoxKind::BaseTable { table, .. } => Ok(self.table_scan(table.clone(), vec![])),
             BoxKind::Select(_) => self.plan_select(b),
             BoxKind::GroupBy(_) => self.plan_group_by(b),
             BoxKind::Union(_) => self.plan_union(b),
             BoxKind::Xnf(_) => Err(PlanError::Corrupt("XNF box in planner".into())),
             BoxKind::Top => Err(PlanError::Corrupt("Top box is not plannable".into())),
+        }
+    }
+
+    /// Full scan of a named stored table: a plain `SeqScan` for base
+    /// tables, a `matview scan` when the name resolves to a materialized
+    /// view's backing storage (planner substitution made the view reference
+    /// a BaseTable box over the backing table).
+    fn table_scan(&self, table: String, filter: Vec<PhysExpr>) -> PhysPlan {
+        if self.catalog.is_matview_backing(&table) {
+            PhysPlan::MatViewScan {
+                view: table,
+                filter,
+            }
+        } else {
+            PhysPlan::SeqScan { table, filter }
         }
     }
 
@@ -612,13 +624,7 @@ impl<'a> Planner<'a> {
                     });
                 }
             }
-            return Ok((
-                PhysPlan::SeqScan {
-                    table,
-                    filter: residual,
-                },
-                map,
-            ));
+            return Ok((self.table_scan(table, residual), map));
         }
         // Derived leg: plan recursively, filters on top.
         let width = target_box.head.len();

@@ -374,7 +374,16 @@ impl<'a> Builder<'a> {
                             "XNF view '{name}' cannot appear in FROM; query it with OUT OF"
                         )));
                     }
-                    self.expand_sql_view(&view.text)?
+                    if view.materialized {
+                        // Materialized-view substitution: instead of
+                        // expanding the definition, reference the backing
+                        // table (resolved through the catalog's fallback),
+                        // so the query plans as a batched scan of stored
+                        // contents — `matview scan` in EXPLAIN.
+                        self.base_table_box(name)?
+                    } else {
+                        self.expand_sql_view(&view.text)?
+                    }
                 } else {
                     return Err(QgmError::UnknownTable(name.clone()));
                 };

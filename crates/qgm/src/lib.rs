@@ -11,6 +11,27 @@
 //!   correlation, EXISTS/IN quantifier construction and OR-to-UNION;
 //! - [`xnf_builder`]: the XNF semantic routines (phases 0–3 of Sect. 4.1);
 //! - [`display`]: ASCII dumps used to reproduce the paper's QGM figures.
+//!
+//! Entry points: [`build_select_query`] (SQL AST → QGM, with view
+//! expansion — materialized views substitute their backing table instead
+//! of their definition) and [`build_xnf_query`] (XNF AST → QGM with the
+//! XNF operator box).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xnf_qgm::build_select_query;
+//! use xnf_sql::{parse_select};
+//! use xnf_storage::{BufferPool, Catalog, DataType, DiskManager, Schema};
+//!
+//! let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 16));
+//! let catalog = Catalog::new(pool);
+//! catalog
+//!     .create_table("EMP", Schema::from_pairs(&[("eno", DataType::Int)]))
+//!     .unwrap();
+//! let select = parse_select("SELECT eno FROM EMP WHERE eno = 1").unwrap();
+//! let qgm = build_select_query(&catalog, &select).unwrap();
+//! assert!(qgm.top.is_some(), "a Top box delivers the result stream");
+//! ```
 
 pub mod builder;
 pub mod display;

@@ -6,6 +6,30 @@
 //! derivations — Sect. 4.2) and the **NF rules** (E-to-F quantifier
 //! conversion, SELECT merge, predicate pushdown, unused-box removal —
 //! Sect. 3.2 / Fig. 3).
+//!
+//! Entry point: [`rewrite`] (in place over a QGM; returns a
+//! [`RewriteReport`] of rule firings).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xnf_qgm::build_select_query;
+//! use xnf_rewrite::{rewrite, RewriteOptions};
+//! use xnf_sql::parse_select;
+//! use xnf_storage::{BufferPool, Catalog, DataType, DiskManager, Schema};
+//!
+//! let pool = Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 16));
+//! let catalog = Catalog::new(pool);
+//! catalog
+//!     .create_table("EMP", Schema::from_pairs(&[("eno", DataType::Int)]))
+//!     .unwrap();
+//! let s = parse_select(
+//!     "SELECT eno FROM EMP WHERE EXISTS (SELECT 1 FROM EMP e WHERE e.eno = EMP.eno)",
+//! )
+//! .unwrap();
+//! let mut qgm = build_select_query(&catalog, &s).unwrap();
+//! let report = rewrite(&mut qgm, RewriteOptions::default()).unwrap();
+//! assert!(report.total() > 0, "E-to-F and friends fired");
+//! ```
 
 pub mod engine;
 pub mod error;

@@ -1,6 +1,6 @@
 //! NF (relational) rewrite rules.
 //!
-//! The three rules the paper leans on (Sect. 3.2, Fig. 3, [39]):
+//! The three rules the paper leans on (Sect. 3.2, Fig. 3, \[39\]):
 //!
 //! - [`EToF`] — *E-to-F quantifier conversion*: an existential subquery
 //!   quantifier becomes a set-oriented `Semi` quantifier, turning per-tuple

@@ -576,11 +576,20 @@ pub enum Statement {
     CreateView {
         name: String,
         body: ViewBody,
+        /// `CREATE MATERIALIZED VIEW`: the view's contents are stored in a
+        /// backing table and kept fresh by incremental delta maintenance.
+        materialized: bool,
     },
     DropTable {
         name: String,
     },
     DropView {
+        name: String,
+    },
+    /// `REFRESH MATERIALIZED VIEW name`: full recompute of a materialized
+    /// view's backing storage (the fallback when incremental maintenance is
+    /// not applicable, and an explicit repair hammer).
+    RefreshView {
         name: String,
     },
     Analyze {

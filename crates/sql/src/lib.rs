@@ -1,15 +1,33 @@
 //! # xnf-sql — SQL + XNF front end (Starburst "CORONA" parser analog)
 //!
-//! A hand-written lexer and recursive-descent parser for:
+//! The first stage of the paper's compilation pipeline (Sect. 4, Fig. 2):
+//! a hand-written lexer ([`lexer`]) and recursive-descent parser
+//! ([`parser`]) producing the ASTs of [`ast`] for:
 //!
 //! - a practical SQL subset (SELECT with joins/EXISTS/IN/GROUP BY/HAVING/
-//!   ORDER BY/UNION, INSERT/UPDATE/DELETE, CREATE TABLE/INDEX/VIEW, ANALYZE);
-//! - the **XNF composite-object constructor** of the paper:
-//!   `OUT OF <component tables, RELATE relationships> TAKE <projection>`,
-//!   including the `VIA` role clause, `USING` mapping tables, the base-table
-//!   shortcut (`xemp AS EMP`), `TAKE *` vs item projection, inlining of
-//!   existing XNF views by name, and an explicit `ROOT` marker for recursive
-//!   COs.
+//!   ORDER BY/UNION, INSERT/UPDATE/DELETE, CREATE TABLE/INDEX/VIEW —
+//!   plain and `MATERIALIZED`, with `REFRESH MATERIALIZED VIEW` — and
+//!   ANALYZE);
+//! - the **XNF composite-object constructor** of the paper (Sect. 2,
+//!   Fig. 1): `OUT OF <component tables, RELATE relationships> TAKE
+//!   <projection>`, including the `VIA` role clause, `USING` mapping
+//!   tables, the base-table shortcut (`xemp AS EMP`), `TAKE *` vs item
+//!   projection, inlining of existing XNF views by name, and an explicit
+//!   `ROOT` marker for recursive COs.
+//!
+//! Entry points: [`parse_statement`] / [`parse_statements`] (scripts),
+//! [`parse_statement_params`] (prepared statements, counting `?`
+//! placeholders), [`parse_select`] / [`parse_xnf`] for single query kinds.
+//!
+//! ```
+//! use xnf_sql::{parse_statement, Statement};
+//!
+//! let stmt = parse_statement(
+//!     "CREATE MATERIALIZED VIEW hot AS SELECT eno FROM EMP WHERE sal > 100",
+//! )
+//! .unwrap();
+//! assert!(matches!(stmt, Statement::CreateView { materialized: true, .. }));
+//! ```
 
 pub mod ast;
 pub mod error;

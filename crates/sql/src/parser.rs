@@ -11,11 +11,56 @@ use crate::token::{Token, TokenKind};
 
 /// Words that cannot be used as implicit (AS-less) aliases.
 const RESERVED: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "BY", "LIMIT", "UNION", "ALL",
-    "DISTINCT", "AS", "ON", "JOIN", "INNER", "AND", "OR", "NOT", "IN", "EXISTS", "LIKE", "BETWEEN",
-    "IS", "NULL", "TRUE", "FALSE", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
-    "TABLE", "INDEX", "VIEW", "UNIQUE", "DROP", "ANALYZE", "OUT", "OF", "TAKE", "RELATE", "VIA",
-    "USING", "ROOT", "ASC", "DESC",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "HAVING",
+    "ORDER",
+    "BY",
+    "LIMIT",
+    "UNION",
+    "ALL",
+    "DISTINCT",
+    "AS",
+    "ON",
+    "JOIN",
+    "INNER",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "EXISTS",
+    "LIKE",
+    "BETWEEN",
+    "IS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "TABLE",
+    "INDEX",
+    "VIEW",
+    "UNIQUE",
+    "DROP",
+    "ANALYZE",
+    "OUT",
+    "OF",
+    "TAKE",
+    "RELATE",
+    "VIA",
+    "USING",
+    "ROOT",
+    "ASC",
+    "DESC",
+    "MATERIALIZED",
+    "REFRESH",
 ];
 
 /// Parse a sequence of semicolon-separated statements.
@@ -204,6 +249,13 @@ impl Parser {
         if self.at_kw("DROP") {
             return self.drop();
         }
+        if self.eat_kw("REFRESH") {
+            self.expect_kw("MATERIALIZED")?;
+            self.expect_kw("VIEW")?;
+            return Ok(Statement::RefreshView {
+                name: self.ident()?,
+            });
+        }
         if self.eat_kw("ANALYZE") {
             let table = if let TokenKind::Ident(_) = self.peek().kind {
                 Some(self.ident()?)
@@ -346,6 +398,7 @@ impl Parser {
         if unique {
             return Err(self.err_here("expected INDEX after UNIQUE"));
         }
+        let materialized = self.eat_kw("MATERIALIZED");
         if self.eat_kw("VIEW") {
             let name = self.ident()?;
             self.expect_kw("AS")?;
@@ -354,7 +407,14 @@ impl Parser {
             } else {
                 ViewBody::Select(self.select()?)
             };
-            return Ok(Statement::CreateView { name, body });
+            return Ok(Statement::CreateView {
+                name,
+                body,
+                materialized,
+            });
+        }
+        if materialized {
+            return Err(self.err_here("expected VIEW after MATERIALIZED"));
         }
         Err(self.err_here("expected TABLE, INDEX or VIEW after CREATE"))
     }
@@ -366,10 +426,16 @@ impl Parser {
                 name: self.ident()?,
             });
         }
+        // `DROP [MATERIALIZED] VIEW`: materialized views drop through the
+        // same path (the catalog tears down backing storage either way).
+        let materialized = self.eat_kw("MATERIALIZED");
         if self.eat_kw("VIEW") {
             return Ok(Statement::DropView {
                 name: self.ident()?,
             });
+        }
+        if materialized {
+            return Err(self.err_here("expected VIEW after MATERIALIZED"));
         }
         Err(self.err_here("expected TABLE or VIEW after DROP"))
     }

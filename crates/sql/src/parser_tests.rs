@@ -144,6 +144,7 @@ fn parses_deps_arc_view() {
     let Statement::CreateView {
         name,
         body: ViewBody::Xnf(q),
+        materialized: false,
     } = stmt
     else {
         panic!("expected XNF view");
@@ -312,4 +313,42 @@ fn parses_between_like_arithmetic() {
         }
         other => panic!("bad precedence: {other:?}"),
     }
+}
+
+#[test]
+fn parses_materialized_view_ddl() {
+    let stmt = parse_statement("CREATE MATERIALIZED VIEW mv AS SELECT a FROM t").unwrap();
+    let Statement::CreateView {
+        name,
+        body: ViewBody::Select(_),
+        materialized: true,
+    } = stmt
+    else {
+        panic!("expected materialized SQL view, got {stmt:?}");
+    };
+    assert_eq!(name, "mv");
+
+    // XNF bodies materialize too.
+    let stmt =
+        parse_statement("CREATE MATERIALIZED VIEW co AS OUT OF x AS (SELECT * FROM t) TAKE *")
+            .unwrap();
+    assert!(matches!(
+        stmt,
+        Statement::CreateView {
+            body: ViewBody::Xnf(_),
+            materialized: true,
+            ..
+        }
+    ));
+
+    let stmt = parse_statement("REFRESH MATERIALIZED VIEW mv").unwrap();
+    assert!(matches!(stmt, Statement::RefreshView { name } if name == "mv"));
+
+    let stmt = parse_statement("DROP MATERIALIZED VIEW mv").unwrap();
+    assert!(matches!(stmt, Statement::DropView { name } if name == "mv"));
+
+    // Errors keep their shape.
+    assert!(parse_statement("CREATE MATERIALIZED TABLE t (a INT)").is_err());
+    assert!(parse_statement("REFRESH VIEW mv").is_err());
+    assert!(parse_statement("DROP MATERIALIZED TABLE t").is_err());
 }

@@ -270,6 +270,76 @@ pub struct ViewDef {
     pub name: String,
     pub kind: ViewKind,
     pub text: String,
+    /// Whether this view is materialized (has backing storage; see
+    /// [`Catalog::matview`]).
+    pub materialized: bool,
+}
+
+/// One backing stream of a materialized view. A relational view has exactly
+/// one stream; a materialized CO (XNF) view has one per output stream of
+/// its query: node streams (with a leading `__coid` surrogate column) and
+/// connection streams (surrogate pairs).
+#[derive(Clone)]
+pub struct MatViewStream {
+    /// The stream name: the view name itself for relational views, the
+    /// component/relationship name for CO streams.
+    pub name: String,
+    /// The backing heap table. Named `VIEW` (relational) or `VIEW$stream`
+    /// (CO streams) — the `$` spelling cannot be produced by the SQL lexer,
+    /// keeping CO backing tables out of reach of direct DML.
+    pub table: Arc<Table>,
+}
+
+/// Backing storage of one materialized view: its stream tables, a
+/// freshness epoch, and the surrogate-id allocator for CO node rows.
+pub struct MatView {
+    streams: RwLock<Vec<MatViewStream>>,
+    /// Bumped on every maintenance action (incremental or full refresh);
+    /// lets clients detect that stored contents moved.
+    epoch: std::sync::atomic::AtomicU64,
+    /// Next surrogate id for CO node rows (monotonic across refreshes so a
+    /// stale reader can never confuse an old row with a new one).
+    next_surrogate: std::sync::atomic::AtomicI64,
+}
+
+impl MatView {
+    fn new(streams: Vec<MatViewStream>) -> Self {
+        MatView {
+            streams: RwLock::new(streams),
+            epoch: std::sync::atomic::AtomicU64::new(0),
+            next_surrogate: std::sync::atomic::AtomicI64::new(0),
+        }
+    }
+
+    /// Snapshot of the current backing streams.
+    pub fn streams(&self) -> Vec<MatViewStream> {
+        self.streams.read().clone()
+    }
+
+    /// Backing table of the named stream.
+    pub fn stream(&self, name: &str) -> Option<Arc<Table>> {
+        self.streams
+            .read()
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+            .map(|s| Arc::clone(&s.table))
+    }
+
+    /// Current maintenance epoch (0 = as populated at CREATE).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Record one maintenance action.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+    }
+
+    /// Allocate `n` fresh surrogate ids; returns the first.
+    pub fn alloc_surrogates(&self, n: i64) -> i64 {
+        self.next_surrogate
+            .fetch_add(n, std::sync::atomic::Ordering::AcqRel)
+    }
 }
 
 /// The catalog of a database instance.
@@ -277,6 +347,8 @@ pub struct Catalog {
     pool: Arc<BufferPool>,
     tables: RwLock<HashMap<String, Arc<Table>>>,
     views: RwLock<HashMap<String, ViewDef>>,
+    /// Backing storage of materialized views, keyed like `views`.
+    matviews: RwLock<HashMap<String, Arc<MatView>>>,
     next_id: Mutex<TableId>,
     /// Monotonic DDL generation: bumped on every schema change so cached
     /// compiled plans can detect staleness without re-validating names.
@@ -289,6 +361,7 @@ impl Catalog {
             pool,
             tables: RwLock::new(HashMap::new()),
             views: RwLock::new(HashMap::new()),
+            matviews: RwLock::new(HashMap::new()),
             next_id: Mutex::new(0),
             generation: std::sync::atomic::AtomicU64::new(0),
         }
@@ -348,12 +421,47 @@ impl Catalog {
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
+    /// Resolve a name to stored data: a base table, or — falling back — the
+    /// backing table of a materialized view (`NAME` for relational views,
+    /// `NAME$stream` for one stream of a materialized CO view). The fallback
+    /// is what lets the planner and executor treat materialized-view scans
+    /// exactly like base-table scans (index selection included).
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
-        self.tables
-            .read()
-            .get(&Self::norm(name))
-            .cloned()
-            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        if let Some(t) = self.tables.read().get(&Self::norm(name)) {
+            return Ok(Arc::clone(t));
+        }
+        let (view, stream) = match name.split_once('$') {
+            Some((v, s)) => (v, Some(s)),
+            None => (name, None),
+        };
+        if let Some(mv) = self.matviews.read().get(&Self::norm(view)) {
+            let streams = mv.streams();
+            let found = match stream {
+                Some(s) => streams
+                    .iter()
+                    .find(|st| st.name.eq_ignore_ascii_case(s))
+                    .map(|st| Arc::clone(&st.table)),
+                // A bare view name resolves only for single-stream
+                // (relational) materialized views.
+                None if streams.len() == 1 => Some(Arc::clone(&streams[0].table)),
+                None => None,
+            };
+            if let Some(t) = found {
+                return Ok(t);
+            }
+        }
+        Err(StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Is `name` (a `Table::name` as it appears in a plan) backed by a
+    /// materialized view rather than a base table? Used by the planner to
+    /// label such scans `matview scan` in EXPLAIN.
+    pub fn is_matview_backing(&self, name: &str) -> bool {
+        if self.tables.read().contains_key(&Self::norm(name)) {
+            return false;
+        }
+        let view = name.split_once('$').map(|(v, _)| v).unwrap_or(name);
+        self.matviews.read().contains_key(&Self::norm(view))
     }
 
     pub fn has_table(&self, name: &str) -> bool {
@@ -373,6 +481,16 @@ impl Catalog {
 
     /// Register a view definition (text is re-parsed by the front end).
     pub fn create_view(&self, name: &str, kind: ViewKind, text: &str) -> Result<()> {
+        self.register_view(name, kind, text, false)
+    }
+
+    fn register_view(
+        &self,
+        name: &str,
+        kind: ViewKind,
+        text: &str,
+        materialized: bool,
+    ) -> Result<()> {
         let key = Self::norm(name);
         if self.tables.read().contains_key(&key) {
             return Err(StorageError::DuplicateTable(name.to_string()));
@@ -387,10 +505,86 @@ impl Catalog {
                 name: name.to_string(),
                 kind,
                 text: text.to_string(),
+                materialized,
             },
         );
         self.bump_generation();
         Ok(())
+    }
+
+    /// Build one fresh backing table for a materialized-view stream.
+    fn backing_table(
+        &self,
+        view: &str,
+        stream: &str,
+        single: bool,
+        schema: Schema,
+    ) -> MatViewStream {
+        let table_name = if single {
+            view.to_string()
+        } else {
+            format!("{view}${stream}")
+        };
+        let mut next = self.next_id.lock();
+        let id = *next;
+        *next += 1;
+        MatViewStream {
+            name: stream.to_string(),
+            table: Arc::new(Table::new(id, table_name, schema, Arc::clone(&self.pool))),
+        }
+    }
+
+    /// Register a materialized view: the definition plus empty backing
+    /// tables, one per stream (relational views pass exactly one stream,
+    /// conventionally named after the view). The caller (the `matview`
+    /// module in `xnf-core`) populates the backing tables and creates their
+    /// maintenance indexes.
+    pub fn create_materialized_view(
+        &self,
+        name: &str,
+        kind: ViewKind,
+        text: &str,
+        streams: Vec<(String, Schema)>,
+    ) -> Result<Arc<MatView>> {
+        self.register_view(name, kind, text, true)?;
+        let single = streams.len() == 1;
+        let built: Vec<MatViewStream> = streams
+            .into_iter()
+            .map(|(s, schema)| self.backing_table(name, &s, single, schema))
+            .collect();
+        let mv = Arc::new(MatView::new(built));
+        self.matviews
+            .write()
+            .insert(Self::norm(name), Arc::clone(&mv));
+        Ok(mv)
+    }
+
+    /// Replace a materialized view's backing tables with fresh empty ones
+    /// (same names and schemas) — the truncate step of `REFRESH`. The
+    /// epoch and surrogate allocator carry over.
+    pub fn reset_matview_storage(&self, name: &str) -> Result<Arc<MatView>> {
+        let mv = self
+            .matview(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        let old = mv.streams();
+        let single = old.len() == 1;
+        let fresh: Vec<MatViewStream> = old
+            .iter()
+            .map(|s| self.backing_table(name, &s.name, single, s.table.schema.clone()))
+            .collect();
+        *mv.streams.write() = fresh;
+        Ok(mv)
+    }
+
+    /// Backing storage of a materialized view, if `name` names one.
+    pub fn matview(&self, name: &str) -> Option<Arc<MatView>> {
+        self.matviews.read().get(&Self::norm(name)).cloned()
+    }
+
+    /// Whether any materialized views exist (DML skips delta capture when
+    /// none do).
+    pub fn has_matviews(&self) -> bool {
+        !self.matviews.read().is_empty()
     }
 
     pub fn view(&self, name: &str) -> Option<ViewDef> {
@@ -398,11 +592,15 @@ impl Catalog {
     }
 
     pub fn drop_view(&self, name: &str) -> Result<()> {
-        self.views
-            .write()
-            .remove(&Self::norm(name))
-            .map(|_| self.bump_generation())
-            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        let removed = self.views.write().remove(&Self::norm(name));
+        match removed {
+            Some(_) => {
+                self.matviews.write().remove(&Self::norm(name));
+                self.bump_generation();
+                Ok(())
+            }
+            None => Err(StorageError::UnknownTable(name.to_string())),
+        }
     }
 
     pub fn view_names(&self) -> Vec<String> {

@@ -1,0 +1,124 @@
+//! Base-table change deltas: the images DML captures for incremental
+//! materialized-view maintenance.
+//!
+//! Every insert, delete and update performed through the DML layer records
+//! the affected tuple images here, grouped per base table. After the
+//! statement completes, the collected [`DeltaBatch`] is propagated through
+//! each dependent materialized view's maintenance pipeline (see the
+//! `matview` module in `xnf-core`), instead of re-evaluating the view —
+//! the delta-propagation contract of incremental view maintenance.
+
+use std::collections::HashMap;
+
+use crate::tuple::Tuple;
+
+/// One changed row: the before/after images the maintenance layer needs.
+#[derive(Debug, Clone)]
+pub enum DeltaRow {
+    /// A newly inserted tuple (after image only).
+    Insert(Tuple),
+    /// A deleted tuple (before image only).
+    Delete(Tuple),
+    /// An updated tuple: before and after images.
+    Update { old: Tuple, new: Tuple },
+}
+
+impl DeltaRow {
+    /// The before image, if the row existed before the change.
+    pub fn before(&self) -> Option<&Tuple> {
+        match self {
+            DeltaRow::Insert(_) => None,
+            DeltaRow::Delete(t) => Some(t),
+            DeltaRow::Update { old, .. } => Some(old),
+        }
+    }
+
+    /// The after image, if the row exists after the change.
+    pub fn after(&self) -> Option<&Tuple> {
+        match self {
+            DeltaRow::Insert(t) => Some(t),
+            DeltaRow::Delete(_) => None,
+            DeltaRow::Update { new, .. } => Some(new),
+        }
+    }
+}
+
+/// All row images captured by one statement (or one write-back), grouped
+/// per base table. Table names are stored uppercased (the catalog's
+/// normalized spelling).
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBatch {
+    per_table: HashMap<String, Vec<DeltaRow>>,
+}
+
+impl DeltaBatch {
+    pub fn new() -> Self {
+        DeltaBatch::default()
+    }
+
+    fn rows_mut(&mut self, table: &str) -> &mut Vec<DeltaRow> {
+        self.per_table
+            .entry(table.to_ascii_uppercase())
+            .or_default()
+    }
+
+    pub fn record_insert(&mut self, table: &str, new: Tuple) {
+        self.rows_mut(table).push(DeltaRow::Insert(new));
+    }
+
+    pub fn record_delete(&mut self, table: &str, old: Tuple) {
+        self.rows_mut(table).push(DeltaRow::Delete(old));
+    }
+
+    pub fn record_update(&mut self, table: &str, old: Tuple, new: Tuple) {
+        self.rows_mut(table).push(DeltaRow::Update { old, new });
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.per_table.is_empty()
+    }
+
+    /// Rows captured for `table` (uppercase-normalized lookup).
+    pub fn rows(&self, table: &str) -> &[DeltaRow] {
+        self.per_table
+            .get(&table.to_ascii_uppercase())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The (normalized) names of the tables this batch touches.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.per_table.keys().map(|s| s.as_str())
+    }
+
+    /// Does this batch touch any of the given (normalized) table names?
+    pub fn touches_any<'a>(&self, tables: impl IntoIterator<Item = &'a str>) -> bool {
+        tables
+            .into_iter()
+            .any(|t| self.per_table.contains_key(&t.to_ascii_uppercase()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn batches_group_rows_per_table_case_insensitively() {
+        let mut d = DeltaBatch::new();
+        d.record_insert("emp", Tuple::new(vec![Value::Int(1)]));
+        d.record_delete("EMP", Tuple::new(vec![Value::Int(2)]));
+        d.record_update(
+            "Dept",
+            Tuple::new(vec![Value::Int(3)]),
+            Tuple::new(vec![Value::Int(4)]),
+        );
+        assert_eq!(d.rows("EMP").len(), 2);
+        assert_eq!(d.rows("dept").len(), 1);
+        assert!(d.touches_any(["DEPT"]));
+        assert!(!d.touches_any(["PROJ"]));
+        let old = d.rows("dept")[0].before().unwrap().values[0].clone();
+        assert!(matches!(old, Value::Int(3)));
+    }
+}

@@ -1,6 +1,6 @@
 //! B+-tree indexes mapping (composite) key values to RID postings.
 //!
-//! The tree is an in-memory node-based B+-tree (order [`ORDER`]) over
+//! The tree is an in-memory node-based B+-tree (fixed fan-out) over
 //! [`Value`] keys, supporting duplicates (a posting list per key), unique
 //! constraints, point lookups and range scans. Starburst-era links (direct
 //! tuple pointers) correspond to the RID postings here.

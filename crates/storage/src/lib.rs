@@ -4,18 +4,40 @@
 //! composite-object layer, reproducing the substrate that the paper's system
 //! inherits from Starburst:
 //!
-//! - [`value`] / [`schema`] / [`tuple`]: typed values, schemas, row codec;
+//! - [`value`] / [`schema`] / [`mod@tuple`]: typed values, schemas, row codec;
 //! - [`page`]: 8 KiB slotted pages;
 //! - [`disk`]: a simulated disk manager with exact I/O accounting;
 //! - [`buffer`]: an LRU buffer pool;
 //! - [`heap`]: RID-addressed heap files;
 //! - [`index`]: B+-tree secondary indexes (composite keys, range scans);
-//! - [`catalog`]: tables with maintained indexes + view definitions;
+//! - [`catalog`]: tables with maintained indexes + view definitions,
+//!   including materialized views' backing storage ([`MatView`]);
+//! - [`delta`]: before/after row images captured by DML for incremental
+//!   materialized-view maintenance;
 //! - [`stats`]: ANALYZE-style statistics for the cost-based planner;
 //! - [`txn`]: undo-log transactions.
+//!
+//! The paper treats this layer as given ("transaction, recovery, and
+//! storage management … totally unchanged", Sect. 6); the entry point is
+//! [`Catalog`], which names tables, views and materialized-view backing
+//! storage:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xnf_storage::{BufferPool, Catalog, DataType, DiskManager, Schema, Tuple, Value};
+//!
+//! let catalog = Catalog::new(Arc::new(BufferPool::new(Arc::new(DiskManager::new()), 16)));
+//! let t = catalog
+//!     .create_table("EMP", Schema::from_pairs(&[("eno", DataType::Int)]))
+//!     .unwrap();
+//! t.create_index("emp_pk", vec![0], true).unwrap();
+//! let rid = t.insert(&Tuple::new(vec![Value::Int(7)])).unwrap();
+//! assert_eq!(t.index_lookup("emp_pk", &vec![Value::Int(7)]).unwrap(), vec![rid]);
+//! ```
 
 pub mod buffer;
 pub mod catalog;
+pub mod delta;
 pub mod disk;
 pub mod error;
 pub mod heap;
@@ -28,7 +50,8 @@ pub mod txn;
 pub mod value;
 
 pub use buffer::{BufferPool, BufferStats};
-pub use catalog::{Catalog, IndexDef, Table, TableId, ViewDef, ViewKind};
+pub use catalog::{Catalog, IndexDef, MatView, MatViewStream, Table, TableId, ViewDef, ViewKind};
+pub use delta::{DeltaBatch, DeltaRow};
 pub use disk::{DiskManager, DiskStats, PageId};
 pub use error::{Result, StorageError};
 pub use heap::HeapFile;

@@ -106,6 +106,7 @@ impl Schema {
                         DataType::Double => "DOUBLE",
                         DataType::Str => "VARCHAR",
                         DataType::Bool => "BOOLEAN",
+                        DataType::Any => "ANY",
                     },
                     got: v.type_name(),
                 });

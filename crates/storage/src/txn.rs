@@ -7,6 +7,7 @@
 //! simulated), isolation is via the storage layer's internal locking
 //! (single-writer style), which matches the era's workstation/server usage.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::catalog::Table;
@@ -17,12 +18,21 @@ use crate::tuple::{Rid, Tuple};
 enum Undo {
     /// Undo an insert by deleting the inserted tuple.
     Insert { table: Arc<Table>, rid: Rid },
-    /// Undo a delete by re-inserting the old tuple (RID may change; XNF
-    /// caches re-extract after abort, so RID stability is not required).
-    Delete { table: Arc<Table>, old: Tuple },
-    /// Undo an update by writing the old image back.
+    /// Undo a delete by re-inserting the old tuple at `rid`'s place. The
+    /// re-insert may land elsewhere; [`Transaction::abort`] tracks the
+    /// relocation so earlier undo records referencing `rid` still resolve
+    /// (insert-then-delete of one row within a transaction).
+    Delete {
+        table: Arc<Table>,
+        rid: Rid,
+        old: Tuple,
+    },
+    /// Undo an update by writing the old image back. `old_rid` is where the
+    /// tuple lived before the original update (earlier undo records refer
+    /// to it); `rid` is where the updated image lives now.
     Update {
         table: Arc<Table>,
+        old_rid: Rid,
         rid: Rid,
         old: Tuple,
     },
@@ -78,18 +88,23 @@ impl Transaction {
         });
     }
 
-    pub fn log_delete(&mut self, table: &Arc<Table>, old: Tuple) {
+    /// Log a delete of the tuple that lived at `rid` with image `old`.
+    pub fn log_delete_at(&mut self, table: &Arc<Table>, rid: Rid, old: Tuple) {
         debug_assert!(self.is_active());
         self.undo.push(Undo::Delete {
             table: Arc::clone(table),
+            rid,
             old,
         });
     }
 
-    pub fn log_update(&mut self, table: &Arc<Table>, rid: Rid, old: Tuple) {
+    /// Log an update that moved the tuple from `old_rid` (pre-image `old`)
+    /// to `rid` (same RID unless the update relocated it).
+    pub fn log_update_at(&mut self, table: &Arc<Table>, old_rid: Rid, rid: Rid, old: Tuple) {
         debug_assert!(self.is_active());
         self.undo.push(Undo::Update {
             table: Arc::clone(table),
+            old_rid,
             rid,
             old,
         });
@@ -103,17 +118,43 @@ impl Transaction {
     }
 
     /// Roll back all logged changes, newest first.
+    ///
+    /// Undoing a delete re-inserts the old image, and undoing an update may
+    /// relocate the tuple; either way the row can end up at a different RID
+    /// than earlier (older) undo records reference. A relocation map keeps
+    /// those records pointing at the row's current home, so sequences like
+    /// insert-then-delete of one row roll back cleanly.
     pub fn abort(mut self) -> Result<TxnState> {
+        let mut moved: HashMap<(u32, Rid), Rid> = HashMap::new();
+        let resolve = |moved: &HashMap<(u32, Rid), Rid>, table: &Table, mut rid: Rid| -> Rid {
+            while let Some(&next) = moved.get(&(table.id, rid)) {
+                rid = next;
+            }
+            rid
+        };
         while let Some(u) = self.undo.pop() {
             match u {
                 Undo::Insert { table, rid } => {
+                    let rid = resolve(&moved, &table, rid);
                     table.delete(rid)?;
                 }
-                Undo::Delete { table, old } => {
-                    table.insert(&old)?;
+                Undo::Delete { table, rid, old } => {
+                    let new_rid = table.insert(&old)?;
+                    if new_rid != rid {
+                        moved.insert((table.id, rid), new_rid);
+                    }
                 }
-                Undo::Update { table, rid, old } => {
-                    table.update(rid, &old)?;
+                Undo::Update {
+                    table,
+                    old_rid,
+                    rid,
+                    old,
+                } => {
+                    let cur = resolve(&moved, &table, rid);
+                    let (_, undone_rid) = table.update(cur, &old)?;
+                    if undone_rid != old_rid {
+                        moved.insert((table.id, old_rid), undone_rid);
+                    }
                 }
             }
         }
@@ -164,9 +205,9 @@ mod tests {
 
         let mut txn = Transaction::begin();
         let old = t.delete(rid1).unwrap();
-        txn.log_delete(&t, old);
+        txn.log_delete_at(&t, rid1, old);
         let (old, nrid) = t.update(rid2, &row(99)).unwrap();
-        txn.log_update(&t, nrid, old);
+        txn.log_update_at(&t, rid2, nrid, old);
         txn.abort().unwrap();
 
         let mut vals: Vec<i64> = t
@@ -196,11 +237,38 @@ mod tests {
         let rid = t.insert(&row(1)).unwrap();
         txn.log_insert(&t, rid);
         // Update the same tuple twice inside the transaction.
+        let before = rid;
         let (old, rid) = t.update(rid, &row(2)).unwrap();
-        txn.log_update(&t, rid, old);
+        txn.log_update_at(&t, before, rid, old);
+        let before = rid;
         let (old, rid) = t.update(rid, &row(3)).unwrap();
-        txn.log_update(&t, rid, old);
+        txn.log_update_at(&t, before, rid, old);
         txn.abort().unwrap();
         assert_eq!(t.row_count().unwrap(), 0, "insert rolled back last");
+    }
+
+    #[test]
+    fn abort_handles_insert_then_delete_of_one_row() {
+        let (_c, t) = setup();
+        // Pre-existing rows so the undo interleaves with other work.
+        let keep = t.insert(&row(10)).unwrap();
+        let mut txn = Transaction::begin();
+        let rid = t.insert(&row(1)).unwrap();
+        txn.log_insert(&t, rid);
+        // Delete another row first, so its undo re-insert may land in the
+        // slot the transaction's own insert freed up.
+        let old = t.delete(keep).unwrap();
+        txn.log_delete_at(&t, keep, old);
+        let old = t.delete(rid).unwrap();
+        txn.log_delete_at(&t, rid, old);
+        txn.abort().unwrap();
+        let mut vals: Vec<i64> = t
+            .scan_all()
+            .unwrap()
+            .into_iter()
+            .map(|(_, t)| t.values[0].as_int().unwrap())
+            .collect();
+        vals.sort();
+        assert_eq!(vals, vec![10], "only the pre-existing row survives");
     }
 }

@@ -24,6 +24,10 @@ pub enum DataType {
     Str,
     /// Boolean.
     Bool,
+    /// Accepts any runtime value. Used for derived storage whose column
+    /// types are not declared in DDL (materialized-view backing tables):
+    /// the rows are produced by the executor, which is dynamically typed.
+    Any,
 }
 
 impl fmt::Display for DataType {
@@ -33,6 +37,7 @@ impl fmt::Display for DataType {
             DataType::Double => write!(f, "DOUBLE"),
             DataType::Str => write!(f, "VARCHAR"),
             DataType::Bool => write!(f, "BOOLEAN"),
+            DataType::Any => write!(f, "ANY"),
         }
     }
 }
@@ -121,11 +126,14 @@ impl Value {
     /// Check that this value may be stored in a column of type `ty`.
     ///
     /// NULL is storable in any column (nullability is checked by the catalog
-    /// layer); Int is storable in a Double column (widening).
+    /// layer); Int is storable in a Double column (widening); `Any` columns
+    /// (derived storage such as materialized-view backing tables) accept
+    /// every value.
     pub fn conforms_to(&self, ty: DataType) -> bool {
         matches!(
             (self, ty),
-            (Value::Null, _)
+            (_, DataType::Any)
+                | (Value::Null, _)
                 | (Value::Int(_), DataType::Int | DataType::Double)
                 | (Value::Double(_), DataType::Double)
                 | (Value::Str(_), DataType::Str)

@@ -1,0 +1,353 @@
+//! Materialized-view equivalence suite.
+//!
+//! Contract under test: after any stream of INSERT / UPDATE / DELETE
+//! statements, every materialized view's stored contents equal a fresh
+//! re-evaluation of its definition — the incremental maintenance path and
+//! the recompute path must agree. Swept over the oo1 / paper / random
+//! fixtures, with randomized seeded DML streams, and over executor batch
+//! sizes 1 / 7 / 1024 (maintenance re-extraction runs through the batch
+//! pipeline, so chunking must not change stored contents).
+//!
+//! Relational views compare as **bags** (sorted row multisets). CO views
+//! compare with **object identity by value**: per-component row sets and
+//! per-relationship (parent row → child row) value pairs. That is XNF's
+//! union-distinct object-sharing semantics ("a tuple exists once however
+//! many paths reach it") — surrogate and positional ids cancel out.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xnf_core::{CoCache, Database, DbConfig, Value};
+use xnf_fixtures::{
+    build_oo1_db_with, build_paper_db_with, random_table, Oo1Config, PaperScale, RandomTableConfig,
+    DEPS_ARC, OO1_CO,
+};
+use xnf_plan::PlanOptions;
+
+const BATCH_SIZES: &[usize] = &[1, 7, 1024];
+
+fn config_with_batch(batch_size: usize) -> DbConfig {
+    DbConfig {
+        plan: PlanOptions {
+            batch_size,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Sorted bag of a query's rows.
+fn rows_of(db: &Database, sql: &str) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = db
+        .query(sql)
+        .unwrap()
+        .try_table()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| format!("{v:?}")).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Named, sorted row sets (per component or per relationship).
+type NamedSets = Vec<(String, Vec<String>)>;
+
+/// Canonical value-identity form of a CO: sorted per-component row sets and
+/// per-relationship (parent row, child row) pair sets.
+fn canon(co: &CoCache) -> (NamedSets, NamedSets) {
+    let ws = &co.workspace;
+    let mut comps: Vec<(String, Vec<String>)> = ws
+        .components
+        .iter()
+        .map(|c| {
+            let mut rows: Vec<String> = ws
+                .independent(&c.name)
+                .unwrap()
+                .map(|t| format!("{:?}", t.values()))
+                .collect();
+            rows.sort();
+            rows.dedup();
+            (c.name.to_ascii_lowercase(), rows)
+        })
+        .collect();
+    comps.sort();
+    let mut rels: Vec<(String, Vec<String>)> = ws
+        .relationships
+        .iter()
+        .map(|r| {
+            let mut pairs: Vec<String> = r
+                .connections()
+                .iter()
+                .map(|conn| {
+                    format!(
+                        "{:?}->{:?}",
+                        ws.components[r.parent].row(conn[0]),
+                        ws.components[r.children[0]].row(conn[1])
+                    )
+                })
+                .collect();
+            pairs.sort();
+            pairs.dedup();
+            (r.name.to_ascii_lowercase(), pairs)
+        })
+        .collect();
+    rels.sort();
+    (comps, rels)
+}
+
+fn assert_co_matches(db: &Database, view: &str, definition: &str, ctx: &str) {
+    let stored = db.fetch_co(view).unwrap();
+    let fresh = db.fetch_co(definition).unwrap();
+    assert_eq!(canon(&stored), canon(&fresh), "CO view diverged: {ctx}");
+}
+
+fn assert_sql_matches(db: &Database, view: &str, definition: &str, ctx: &str) {
+    assert_eq!(
+        rows_of(db, &format!("SELECT * FROM {view}")),
+        rows_of(db, definition),
+        "relational view diverged: {ctx}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// paper fixture: the full CO stack under a randomized DML stream
+// ---------------------------------------------------------------------------
+
+fn paper_db(batch_size: usize) -> Database {
+    build_paper_db_with(
+        PaperScale {
+            departments: 12,
+            arc_fraction: 0.25,
+            employees_per_dept: 4,
+            projects_per_dept: 2,
+            skills: 15,
+            skills_per_employee: 2,
+            skills_per_project: 1,
+            seed: 11,
+        },
+        config_with_batch(batch_size),
+    )
+}
+
+const PAPER_SQL_VIEW: &str =
+    "SELECT d.dno, d.dname, d.loc, e.eno, e.ename, e.sal FROM DEPT d, EMP e \
+     WHERE d.dno = e.edno AND d.loc = 'ARC'";
+const PAPER_DIRECT_VIEW: &str = "SELECT eno, ename FROM EMP WHERE sal > 90";
+
+/// One randomized DML statement over the paper schema.
+fn paper_dml(rng: &mut StdRng) -> String {
+    let dept = rng.gen_range(0..14); // occasionally nonexistent
+    let eno = rng.gen_range(0..60);
+    match rng.gen_range(0..9) {
+        0 => format!(
+            "INSERT INTO EMP VALUES ({}, 'ins-{eno}', {dept}, {}.5)",
+            600 + eno,
+            rng.gen_range(40..160)
+        ),
+        1 => format!("DELETE FROM EMP WHERE eno = {eno}"),
+        2 => format!("UPDATE EMP SET edno = {dept} WHERE eno = {eno}"),
+        3 => format!(
+            "UPDATE EMP SET sal = {} WHERE eno = {eno}",
+            rng.gen_range(40..160)
+        ),
+        4 => format!(
+            "UPDATE DEPT SET loc = '{}' WHERE dno = {dept}",
+            if rng.gen_bool(0.5) { "ARC" } else { "HDC" }
+        ),
+        5 => format!(
+            "INSERT INTO EMPSKILLS VALUES ({eno}, {})",
+            rng.gen_range(0..15)
+        ),
+        6 => format!("DELETE FROM EMPSKILLS WHERE eseno = {eno}"),
+        7 => format!(
+            "UPDATE SKILLS SET sname = 'renamed-{eno}' WHERE sno = {}",
+            rng.gen_range(0..15)
+        ),
+        _ => format!("DELETE FROM PROJ WHERE pno = {}", rng.gen_range(0..24)),
+    }
+}
+
+#[test]
+fn paper_fixture_randomized_stream_all_batch_sizes() {
+    for &bs in BATCH_SIZES {
+        let db = paper_db(bs);
+        db.execute(&format!("CREATE MATERIALIZED VIEW hot_deps AS {DEPS_ARC}"))
+            .unwrap();
+        db.execute(&format!(
+            "CREATE MATERIALIZED VIEW arc_people AS {PAPER_SQL_VIEW}"
+        ))
+        .unwrap();
+        db.execute(&format!(
+            "CREATE MATERIALIZED VIEW top_emps AS {PAPER_DIRECT_VIEW}"
+        ))
+        .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(4242 + bs as u64);
+        for step in 0..40 {
+            let stmt = paper_dml(&mut rng);
+            db.execute(&stmt).unwrap();
+            // Full comparison is expensive; check at a cadence plus the end.
+            if step % 8 == 7 || step == 39 {
+                let ctx = format!("batch_size={bs} step={step} after `{stmt}`");
+                assert_co_matches(&db, "hot_deps", DEPS_ARC, &ctx);
+                assert_sql_matches(&db, "arc_people", PAPER_SQL_VIEW, &ctx);
+                assert_sql_matches(&db, "top_emps", PAPER_DIRECT_VIEW, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn co_matview_matches_on_demand_extraction() {
+    let db = paper_db(1024);
+    db.execute(&format!("CREATE MATERIALIZED VIEW hot_deps AS {DEPS_ARC}"))
+        .unwrap();
+    assert_co_matches(&db, "hot_deps", DEPS_ARC, "freshly populated");
+}
+
+#[test]
+fn co_matview_incremental_maintenance_matches_reextraction() {
+    let db = paper_db(1024);
+    db.execute(&format!("CREATE MATERIALIZED VIEW hot_deps AS {DEPS_ARC}"))
+        .unwrap();
+
+    // A mix of deltas touching every level of the CO: the root table, the
+    // child tables, a connect table, and rows moving in/out of 'ARC'.
+    for stmt in [
+        "UPDATE EMP SET ename = 'renamed' WHERE eno = 1",
+        "UPDATE DEPT SET loc = 'ARC' WHERE dno = 7",
+        "UPDATE DEPT SET loc = 'YKT' WHERE dno = 0",
+        "INSERT INTO EMP VALUES (900, 'new-hire', 1, 100.0)",
+        "INSERT INTO EMPSKILLS VALUES (900, 3)",
+        "DELETE FROM EMPSKILLS WHERE eseno = 5",
+        "UPDATE EMP SET edno = 2 WHERE eno = 6",
+        "DELETE FROM PROJ WHERE pno = 3",
+        "UPDATE SKILLS SET sname = 'rare' WHERE sno = 3",
+    ] {
+        db.execute(stmt).unwrap();
+    }
+    assert_co_matches(&db, "hot_deps", DEPS_ARC, "after mixed DML");
+    assert!(db.catalog().matview("hot_deps").unwrap().epoch() >= 9);
+}
+
+#[test]
+fn co_matview_point_fetch_serves_one_subtree() {
+    let db = paper_db(1024);
+    db.execute(&format!("CREATE MATERIALIZED VIEW hot_deps AS {DEPS_ARC}"))
+        .unwrap();
+    // Department 1 is in the ARC fraction (first 3 of 12 at 0.25).
+    let co = db.fetch_co_point("hot_deps", &Value::Int(1)).unwrap();
+    assert_eq!(co.workspace.component("xdept").unwrap().len(), 1);
+    assert_eq!(
+        co.workspace.component("xemp").unwrap().len(),
+        4,
+        "one department's employees only"
+    );
+    for e in co.workspace.independent("xemp").unwrap() {
+        assert_eq!(e.parents("employment").unwrap().count(), 1);
+    }
+    // A key outside ARC yields an empty CO, not an error.
+    let miss = db.fetch_co_point("hot_deps", &Value::Int(11)).unwrap();
+    assert_eq!(miss.workspace.component("xdept").unwrap().len(), 0);
+
+    // The point subtree agrees with a restricted on-demand extraction.
+    let restricted = DEPS_ARC.replace("TAKE *", "TAKE * WHERE xdept.dno = 1");
+    let fresh = db.fetch_co(&restricted).unwrap();
+    assert_eq!(canon(&co), canon(&fresh));
+}
+
+// ---------------------------------------------------------------------------
+// oo1 fixture: recursive CO → full-recompute maintenance path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oo1_recursive_co_matview_full_recompute_path() {
+    let cfg = Oo1Config {
+        parts: 40,
+        fanout: 2,
+        seed: 3,
+        ..Default::default()
+    };
+    for &bs in BATCH_SIZES {
+        let db = build_oo1_db_with(cfg, config_with_batch(bs));
+        db.execute(&format!("CREATE MATERIALIZED VIEW parts_co AS {OO1_CO}"))
+            .unwrap();
+        assert_co_matches(&db, "parts_co", OO1_CO, "populated (recursive)");
+        // Recursive COs maintain by full recompute; contents still track.
+        db.execute("UPDATE OO1PARTS SET ptype = 'hot' WHERE id = 5")
+            .unwrap();
+        db.execute("DELETE FROM OO1CONN WHERE src = 7").unwrap();
+        db.execute("INSERT INTO OO1CONN VALUES (5, 9, 'new', 1)")
+            .unwrap();
+        let ctx = format!("batch_size={bs} after oo1 DML");
+        assert_co_matches(&db, "parts_co", OO1_CO, &ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// random fixture: direct + keyed self-join views under random DML
+// ---------------------------------------------------------------------------
+
+#[test]
+fn random_fixture_randomized_stream_all_batch_sizes() {
+    const DIRECT: &str = "SELECT a, c FROM R WHERE b IS NOT NULL";
+    const KEYED: &str = "SELECT r.a, r.c, s.c AS c2 FROM R r, S s WHERE r.a = s.a";
+    for &bs in BATCH_SIZES {
+        let db = Database::with_config(config_with_batch(bs));
+        random_table(
+            &db,
+            "R",
+            RandomTableConfig {
+                rows: 60,
+                domain: 12,
+                null_p: 0.15,
+                seed: 21,
+            },
+        );
+        random_table(
+            &db,
+            "S",
+            RandomTableConfig {
+                rows: 30,
+                domain: 12,
+                null_p: 0.1,
+                seed: 22,
+            },
+        );
+        db.execute_batch("CREATE INDEX r_a ON R (a); CREATE INDEX s_a ON S (a);")
+            .unwrap();
+        db.execute(&format!("CREATE MATERIALIZED VIEW direct_r AS {DIRECT}"))
+            .unwrap();
+        db.execute(&format!("CREATE MATERIALIZED VIEW joined AS {KEYED}"))
+            .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(777 + bs as u64);
+        for step in 0..50 {
+            let table = if rng.gen_bool(0.7) { "R" } else { "S" };
+            let a = rng.gen_range(0..12);
+            let stmt = match rng.gen_range(0..4) {
+                0 => format!(
+                    "INSERT INTO {table} VALUES ({a}, {}, 's{}')",
+                    rng.gen_range(0..12),
+                    rng.gen_range(0..12)
+                ),
+                1 => format!("INSERT INTO {table} (a, c) VALUES ({a}, 'noB')"),
+                2 => format!(
+                    "UPDATE {table} SET b = {} WHERE a = {a}",
+                    rng.gen_range(0..12)
+                ),
+                _ => format!("DELETE FROM {table} WHERE a = {a}"),
+            };
+            db.execute(&stmt).unwrap();
+            if step % 10 == 9 {
+                let ctx = format!("batch_size={bs} step={step} after `{stmt}`");
+                assert_sql_matches(&db, "direct_r", DIRECT, &ctx);
+                assert_sql_matches(&db, "joined", KEYED, &ctx);
+            }
+        }
+        assert_sql_matches(&db, "direct_r", DIRECT, "final state");
+        assert_sql_matches(&db, "joined", KEYED, "final state");
+    }
+}
