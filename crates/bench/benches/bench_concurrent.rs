@@ -1,0 +1,100 @@
+//! Multi-session throughput under the MVCC-lite engine: 1/2/4/8 session
+//! threads over one shared `Arc<Database>`, read-only and 90/10
+//! read/write mixed workloads.
+//!
+//! Each benchmark iteration runs a fixed per-thread operation budget
+//! (`OPS_PER_THREAD`), so under perfect scaling the mean iteration time
+//! stays flat as threads grow while total work grows linearly —
+//! `throughput = threads × OPS_PER_THREAD / mean`. The read-only numbers
+//! are the acceptance gauge for reader parallelism (per-frame page locks,
+//! shared index locks, no global transaction slot); the mixed numbers show
+//! writer interference (per-table write latch + version churn).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use xnf_core::client_server::run_sessions;
+use xnf_core::{Database, Value};
+use xnf_fixtures::{build_paper_db, PaperScale};
+
+/// Employees in the fixture (departments × employees_per_dept).
+const EMPS: i64 = 50 * 20;
+const OPS_PER_THREAD: usize = 200;
+
+fn setup() -> Arc<Database> {
+    Arc::new(build_paper_db(PaperScale {
+        departments: 50,
+        employees_per_dept: 20,
+        projects_per_dept: 2,
+        skills: 20,
+        ..Default::default()
+    }))
+}
+
+/// One batch: every session thread runs `OPS_PER_THREAD` operations,
+/// `write_pct` percent of them single-row autocommit UPDATEs, the rest
+/// prepared point queries through the `emp_pk` index.
+fn run_batch(db: &Arc<Database>, threads: usize, write_pct: u32, seed: u64) -> usize {
+    let rows: Vec<usize> = run_sessions(db, threads, |i, session| {
+        let mut rng = StdRng::seed_from_u64(seed ^ ((i as u64) << 32));
+        let mut point = session
+            .prepare("SELECT ename, sal FROM EMP WHERE eno = ?")
+            .unwrap();
+        let mut update = session
+            .prepare("UPDATE EMP SET sal = sal + 1.0 WHERE eno = ?")
+            .unwrap();
+        let mut produced = 0usize;
+        for _ in 0..OPS_PER_THREAD {
+            let eno = rng.gen_range(0..EMPS);
+            if rng.gen_range(0..100u32) < write_pct {
+                // Autocommit single-row update; a conflict with a
+                // concurrent writer is first-writer-wins and simply counts
+                // as a lost round.
+                match update.execute_with(&[Value::Int(eno)]) {
+                    Ok(outcome) => produced += outcome.affected(),
+                    Err(e) => assert!(e.to_string().contains("write conflict"), "{e}"),
+                }
+            } else {
+                point.bind(&[Value::Int(eno)]).unwrap();
+                let r = point.query().unwrap();
+                produced += r.try_table().unwrap().rows.len();
+            }
+        }
+        produced
+    });
+    rows.into_iter().sum()
+}
+
+fn bench_concurrent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent");
+    group.measurement_time(Duration::from_secs(2));
+
+    for &threads in &[1usize, 2, 4, 8] {
+        let db = setup();
+        let mut seed = 0u64;
+        group.bench_function(&format!("read_only/{threads}threads"), |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(run_batch(&db, threads, 0, seed))
+            })
+        });
+    }
+
+    for &threads in &[1usize, 2, 4, 8] {
+        let db = setup();
+        let mut seed = 1u64 << 60;
+        group.bench_function(&format!("mixed_90_10/{threads}threads"), |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(run_batch(&db, threads, 10, seed))
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent);
+criterion_main!(benches);

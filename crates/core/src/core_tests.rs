@@ -76,23 +76,97 @@ fn ddl_dml_roundtrip() {
 #[test]
 fn transactions_rollback_dml() {
     let db = fig1_db();
-    db.begin().unwrap();
-    db.execute("DELETE FROM EMP WHERE edno = 1").unwrap();
-    db.execute("INSERT INTO EMP VALUES (99, 'temp', 1, 1.0)")
+    let session = db.session();
+    session.begin().unwrap();
+    session
+        .execute("DELETE FROM EMP WHERE edno = 1", &[])
         .unwrap();
-    db.execute("UPDATE EMP SET sal = 0.0 WHERE eno = 3")
+    session
+        .execute("INSERT INTO EMP VALUES (99, 'temp', 1, 1.0)", &[])
         .unwrap();
-    db.rollback().unwrap();
+    session
+        .execute("UPDATE EMP SET sal = 0.0 WHERE eno = 3", &[])
+        .unwrap();
+    session.rollback().unwrap();
 
     let r = db.query("SELECT COUNT(*), MAX(sal) FROM EMP").unwrap();
     assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(4));
     assert_eq!(r.try_table().unwrap().rows[0][1], Value::Double(120.0));
 
-    db.begin().unwrap();
-    db.execute("DELETE FROM EMP WHERE eno = 4").unwrap();
-    db.commit().unwrap();
+    session.begin().unwrap();
+    session
+        .execute("DELETE FROM EMP WHERE eno = 4", &[])
+        .unwrap();
+    session.commit().unwrap();
     let r = db.query("SELECT COUNT(*) FROM EMP").unwrap();
     assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(3));
+}
+
+#[test]
+fn two_sessions_hold_independent_isolated_transactions() {
+    // Regression for the old global-transaction-slot design, where one
+    // session's BEGIN blocked every other session's (`Database::begin`
+    // returned "a transaction is already active") and uncommitted writes
+    // were visible to everyone.
+    let db = fig1_db();
+    let s1 = db.session();
+    let s2 = db.session();
+
+    s1.begin().unwrap();
+    s2.begin().unwrap(); // used to fail on the shared slot
+    assert!(s1.in_transaction() && s2.in_transaction());
+
+    // s1 writes; s2 (snapshot taken at BEGIN) must not see it.
+    s1.execute("INSERT INTO EMP VALUES (90, 'u1', 1, 1.0)", &[])
+        .unwrap();
+    let c1 = s1.query("SELECT COUNT(*) FROM EMP", &[]).unwrap();
+    assert_eq!(c1.try_table().unwrap().rows[0][0], Value::Int(5));
+    let c2 = s2.query("SELECT COUNT(*) FROM EMP", &[]).unwrap();
+    assert_eq!(
+        c2.try_table().unwrap().rows[0][0],
+        Value::Int(4),
+        "uncommitted insert leaked across sessions"
+    );
+
+    // s2 writes a different row; both transactions stay healthy.
+    s2.execute("UPDATE EMP SET sal = 500.0 WHERE eno = 4", &[])
+        .unwrap();
+    let m1 = s1.query("SELECT MAX(sal) FROM EMP", &[]).unwrap();
+    assert_eq!(m1.try_table().unwrap().rows[0][0], Value::Double(120.0));
+
+    // Even after s1 commits, s2's snapshot stays put (snapshot isolation).
+    s1.commit().unwrap();
+    let c2 = s2.query("SELECT COUNT(*) FROM EMP", &[]).unwrap();
+    assert_eq!(c2.try_table().unwrap().rows[0][0], Value::Int(4));
+    s2.commit().unwrap();
+
+    // With both committed, a fresh read sees everything.
+    let r = db.query("SELECT COUNT(*), MAX(sal) FROM EMP").unwrap();
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Int(5));
+    assert_eq!(r.try_table().unwrap().rows[0][1], Value::Double(500.0));
+}
+
+#[test]
+fn write_write_conflict_is_first_writer_wins() {
+    let db = fig1_db();
+    let s1 = db.session();
+    let s2 = db.session();
+    s1.begin().unwrap();
+    s2.begin().unwrap();
+
+    s1.execute("UPDATE EMP SET sal = 1.0 WHERE eno = 1", &[])
+        .unwrap();
+    let err = s2
+        .execute("UPDATE EMP SET sal = 2.0 WHERE eno = 1", &[])
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("write conflict"), "{err}");
+
+    // The conflicting session can roll back and the winner's value lands.
+    s2.rollback().unwrap();
+    s1.commit().unwrap();
+    let r = db.query("SELECT sal FROM EMP WHERE eno = 1").unwrap();
+    assert_eq!(r.try_table().unwrap().rows[0][0], Value::Double(1.0));
 }
 
 #[test]

@@ -1,12 +1,22 @@
 //! The `Database` facade: the paper's integrated DBMS handling "both the
 //! tabular as well as the CO data" (Sect. 3) behind one SQL/XNF interface.
+//!
+//! `Database` owns no transaction state of its own — transactions belong to
+//! [`Session`]s (one per client, per the paper's multi-workstation
+//! processing model), and `Database: Send + Sync` holds by construction so
+//! one instance can be shared across threads behind an `Arc`. Statements
+//! executed directly on the facade run in *autocommit*: each one gets a
+//! fresh latest-committed snapshot, and DML runs as a short transaction
+//! committed (with materialized-view maintenance) when the statement
+//! finishes.
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use xnf_exec::{
-    eval, execute_qep_parallel_with_params, execute_qep_with_params, OuterCtx, Params, QueryResult,
+    eval, execute_qep_parallel_with_visibility, execute_qep_with_visibility, OuterCtx, Params,
+    QueryResult, Visibility,
 };
 use xnf_plan::{plan_query, PhysExpr, PlanOptions, Qep};
 use xnf_qgm::{build_select_query, build_xnf_query, Qgm};
@@ -16,13 +26,170 @@ use xnf_sql::{
     TypeName, ViewBody, XnfQuery,
 };
 use xnf_storage::{
-    BufferPool, Catalog, Column, DataType, DeltaBatch, DiskManager, Schema, Transaction, Tuple,
-    Value, ViewKind,
+    BufferPool, Catalog, Column, DataType, DiskManager, Schema, Snapshot, Tuple, TxnId, Value,
+    ViewKind,
 };
 
 use crate::error::{Result, XnfError};
 use crate::matview::MaintPlan;
-use crate::session::{CompiledBody, CompiledStmt, PlanCache, PlanCacheStats, Session};
+use crate::session::{ActiveTxn, CompiledBody, CompiledStmt, PlanCache, PlanCacheStats, Session};
+
+/// The transaction scope a statement executes in: a session's transaction
+/// slot (the statement joins the open transaction, if any), or `None` for
+/// the facade's autocommit paths.
+pub(crate) type Scope<'a> = Option<&'a crate::session::TxnSlot>;
+
+/// The snapshot reads in `scope` should run against: the open
+/// transaction's begin-snapshot, else `None` (a fresh latest-committed
+/// snapshot, resolved by the executor per run).
+pub(crate) fn scope_visibility(scope: Scope<'_>) -> Visibility {
+    scope.and_then(|slot| slot.lock().as_ref().map(|a| a.snapshot.clone()))
+}
+
+/// An open DML write scope: either the session's own transaction (held
+/// locked for the duration of the statement) or a fresh autocommit
+/// transaction that commits — propagating its matview deltas — when the
+/// statement finishes. All row writes go through the scope so undo logging
+/// and delta capture cannot be forgotten.
+pub(crate) struct WriteScope<'a> {
+    db: &'a Database,
+    /// Capture delta images for materialized-view maintenance?
+    track: bool,
+    inner: ScopeInner<'a>,
+}
+
+enum ScopeInner<'a> {
+    /// A statement inside an explicit session transaction: the slot stays
+    /// locked until the statement ends (sessions run one statement at a
+    /// time), and COMMIT later propagates the accumulated deltas.
+    Session(std::sync::MutexGuard<'a, Option<ActiveTxn>>),
+    /// An autocommit statement: a short transaction of its own.
+    Auto(Option<ActiveTxn>),
+}
+
+impl<'a> WriteScope<'a> {
+    pub(crate) fn open(db: &'a Database, scope: Scope<'a>) -> WriteScope<'a> {
+        if let Some(slot) = scope {
+            let guard = slot.lock();
+            if guard.is_some() {
+                // Explicit transactions always capture deltas: whether
+                // maintenance is needed is decided at COMMIT, and a
+                // materialized view created between this statement and the
+                // commit must still see the transaction's earlier writes.
+                return WriteScope {
+                    db,
+                    track: true,
+                    inner: ScopeInner::Session(guard),
+                };
+            }
+        }
+        // Autocommit consumes its delta at the end of this statement, so
+        // the view-existence check now is exact.
+        WriteScope {
+            db,
+            track: db.catalog().has_matviews(),
+            inner: ScopeInner::Auto(Some(ActiveTxn::begin(db))),
+        }
+    }
+
+    fn active(&self) -> &ActiveTxn {
+        match &self.inner {
+            ScopeInner::Session(guard) => guard.as_ref().expect("open transaction"),
+            ScopeInner::Auto(a) => a.as_ref().expect("open transaction"),
+        }
+    }
+
+    fn active_mut(&mut self) -> &mut ActiveTxn {
+        match &mut self.inner {
+            ScopeInner::Session(guard) => guard.as_mut().expect("open transaction"),
+            ScopeInner::Auto(a) => a.as_mut().expect("open transaction"),
+        }
+    }
+
+    /// The transaction id this scope's writes are tagged with.
+    pub(crate) fn xid(&self) -> TxnId {
+        self.active().txn.id()
+    }
+
+    /// The snapshot this scope's reads (e.g. DML match collection) run
+    /// against: the transaction's begin-snapshot plus its own writes.
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        self.active().snapshot.clone()
+    }
+
+    pub(crate) fn log_insert(
+        &mut self,
+        t: &Arc<xnf_storage::Table>,
+        rid: xnf_storage::Rid,
+        tuple: &Tuple,
+    ) {
+        let track = self.track;
+        let active = self.active_mut();
+        active.txn.log_insert(t, rid);
+        if track {
+            active.delta.record_insert(&t.name, tuple.clone());
+        }
+    }
+
+    pub(crate) fn log_update(
+        &mut self,
+        t: &Arc<xnf_storage::Table>,
+        old_rid: xnf_storage::Rid,
+        new_rid: xnf_storage::Rid,
+        old: Tuple,
+        new: &Tuple,
+    ) {
+        let track = self.track;
+        let active = self.active_mut();
+        active.txn.log_update_at(t, old_rid, new_rid);
+        if track {
+            active.delta.record_update(&t.name, old, new.clone());
+        }
+    }
+
+    pub(crate) fn log_delete(
+        &mut self,
+        t: &Arc<xnf_storage::Table>,
+        rid: xnf_storage::Rid,
+        old: Tuple,
+    ) {
+        let track = self.track;
+        let active = self.active_mut();
+        active.txn.log_delete_at(t, rid);
+        if track {
+            active.delta.record_delete(&t.name, old);
+        }
+    }
+
+    /// Close the scope. Inside a session transaction this is a no-op (the
+    /// work commits later); in autocommit it commits the statement's
+    /// transaction and runs materialized-view maintenance. Called even when
+    /// the statement failed part-way: the applied prefix commits, matching
+    /// the engine's non-atomic-statement semantics.
+    pub(crate) fn finish(self) -> Result<()> {
+        match self.inner {
+            ScopeInner::Session(_guard) => Ok(()),
+            ScopeInner::Auto(active) => self.db.commit_active(active.expect("open transaction")),
+        }
+    }
+
+    /// Abort the scope's transaction if it owns one (used by write-back,
+    /// which *is* atomic as a unit); inside a session transaction this is
+    /// a no-op — the error propagates and the session decides.
+    pub(crate) fn abort_if_auto(self) -> Result<()> {
+        match self.inner {
+            ScopeInner::Session(_guard) => Ok(()),
+            ScopeInner::Auto(active) => {
+                active
+                    .expect("open transaction")
+                    .txn
+                    .abort()
+                    .map_err(XnfError::from)?;
+                Ok(())
+            }
+        }
+    }
+}
 
 /// Configuration for a database instance.
 #[derive(Debug, Clone, Copy)]
@@ -79,12 +246,15 @@ impl ExecOutcome {
     }
 }
 
-/// An embedded XNF database instance.
+/// An embedded XNF database instance. Shareable across threads
+/// (`Send + Sync`): transaction state lives on [`Session`]s, not here.
 pub struct Database {
     catalog: Arc<Catalog>,
     config: DbConfig,
-    /// Active explicit transaction, if any.
-    txn: Mutex<Option<Transaction>>,
+    /// Serializes materialized-view maintenance with the commit that
+    /// produced the deltas, so views apply transactions in commit order
+    /// and never interleave two transactions' maintenance.
+    maintenance: Mutex<()>,
     /// Shared compiled-plan cache (all sessions), keyed by normalized
     /// statement text, invalidated via the catalog's DDL generation.
     plan_cache: Mutex<PlanCache>,
@@ -108,7 +278,7 @@ impl Database {
         Database {
             catalog: Arc::new(Catalog::new(pool)),
             config,
-            txn: Mutex::new(None),
+            maintenance: Mutex::new(()),
             plan_cache: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
             matview_plans: Mutex::new(None),
         }
@@ -162,74 +332,20 @@ impl Database {
 
     // -- transactions -----------------------------------------------------
 
-    /// Begin an explicit transaction (single active transaction model).
-    pub fn begin(&self) -> Result<()> {
-        let mut txn = self.txn.lock();
-        if txn.is_some() {
-            return Err(XnfError::Api("a transaction is already active".to_string()));
-        }
-        *txn = Some(Transaction::begin());
-        Ok(())
-    }
-
-    pub fn commit(&self) -> Result<()> {
-        match self.txn.lock().take() {
-            Some(t) => {
-                t.commit();
-                Ok(())
-            }
-            None => Err(XnfError::Api("no active transaction".to_string())),
-        }
-    }
-
-    pub fn rollback(&self) -> Result<()> {
-        match self.txn.lock().take() {
-            Some(t) => {
-                t.abort().map_err(XnfError::from)?;
-                // The undo log restored base tables underneath any matview
-                // maintenance the transaction already triggered; recompute
-                // them from the restored state.
-                if self.catalog.has_matviews() {
-                    crate::matview::refresh_all(self)?;
-                }
-                Ok(())
-            }
-            None => Err(XnfError::Api("no active transaction".to_string())),
-        }
-    }
-
-    pub fn in_transaction(&self) -> bool {
-        self.txn.lock().is_some()
-    }
-
-    /// Log operations performed directly against tables (write-back path)
-    /// into the active transaction, if any.
-    pub(crate) fn log_insert(&self, table: &Arc<xnf_storage::Table>, rid: xnf_storage::Rid) {
-        if let Some(t) = self.txn.lock().as_mut() {
-            t.log_insert(table, rid);
-        }
-    }
-
-    pub(crate) fn log_update(
-        &self,
-        table: &Arc<xnf_storage::Table>,
-        old_rid: xnf_storage::Rid,
-        new_rid: xnf_storage::Rid,
-        old: Tuple,
-    ) {
-        if let Some(t) = self.txn.lock().as_mut() {
-            t.log_update_at(table, old_rid, new_rid, old);
-        }
-    }
-
-    pub(crate) fn log_delete(
-        &self,
-        table: &Arc<xnf_storage::Table>,
-        rid: xnf_storage::Rid,
-        old: Tuple,
-    ) {
-        if let Some(t) = self.txn.lock().as_mut() {
-            t.log_delete_at(table, rid, old);
+    /// Commit an open transaction: assign its commit stamp and — when it
+    /// produced base-table deltas and materialized views exist — propagate
+    /// the deltas to dependent views under the maintenance lock. Taking the
+    /// lock *before* the stamp is assigned totally orders delta-producing
+    /// commits, so view maintenance applies transactions in commit order.
+    pub(crate) fn commit_active(&self, active: ActiveTxn) -> Result<()> {
+        let ActiveTxn { txn, delta, .. } = active;
+        if !delta.is_empty() && self.catalog.has_matviews() {
+            let _m = self.maintenance.lock();
+            txn.commit();
+            crate::matview::maintain(self, &delta)
+        } else {
+            txn.commit();
+            Ok(())
         }
     }
 
@@ -286,17 +402,29 @@ impl Database {
         })
     }
 
-    /// Execute a compiled statement with parameter bindings.
+    /// Execute a compiled statement with parameter bindings (autocommit).
     pub(crate) fn execute_compiled(
         &self,
         compiled: &CompiledStmt,
         params: Params,
     ) -> Result<ExecOutcome> {
+        self.execute_compiled_scoped(compiled, params, None)
+    }
+
+    /// Execute a compiled statement inside `scope`: reads run against the
+    /// scope's snapshot, writes join its transaction.
+    pub(crate) fn execute_compiled_scoped(
+        &self,
+        compiled: &CompiledStmt,
+        params: Params,
+        scope: Scope<'_>,
+    ) -> Result<ExecOutcome> {
         match &compiled.body {
-            CompiledBody::Query(qep) => Ok(ExecOutcome::Rows(execute_qep_with_params(
+            CompiledBody::Query(qep) => Ok(ExecOutcome::Rows(execute_qep_with_visibility(
                 &self.catalog,
                 qep,
                 params,
+                scope_visibility(scope),
             )?)),
             CompiledBody::RecursiveCo => {
                 if !params.is_empty() {
@@ -308,10 +436,12 @@ impl Database {
                     unreachable!("RecursiveCo body on a non-XNF statement");
                 };
                 Ok(ExecOutcome::Rows(crate::recursion::evaluate_recursive(
-                    self, q,
+                    self,
+                    q,
+                    scope_visibility(scope),
                 )?))
             }
-            CompiledBody::Statement => self.execute_stmt_params(&compiled.stmt, &params),
+            CompiledBody::Statement => self.execute_stmt_scoped(&compiled.stmt, &params, scope),
         }
     }
 
@@ -343,19 +473,28 @@ impl Database {
     }
 
     pub fn execute_stmt(&self, stmt: &Statement) -> Result<ExecOutcome> {
-        self.execute_stmt_params(stmt, &Params::default())
+        self.execute_stmt_scoped(stmt, &Params::default(), None)
     }
 
-    /// Execute a parsed statement with parameter bindings (the interpreted
-    /// path for DDL/DML and for uncached queries).
-    pub(crate) fn execute_stmt_params(
+    /// Execute a parsed statement with parameter bindings inside `scope`
+    /// (the interpreted path for DDL/DML and for uncached queries).
+    pub(crate) fn execute_stmt_scoped(
         &self,
         stmt: &Statement,
         params: &Params,
+        scope: Scope<'_>,
     ) -> Result<ExecOutcome> {
         match stmt {
-            Statement::Select(s) => Ok(ExecOutcome::Rows(self.run_select_params(s, params)?)),
-            Statement::Xnf(q) => Ok(ExecOutcome::Rows(self.run_xnf_params(q, params)?)),
+            Statement::Select(s) => Ok(ExecOutcome::Rows(self.run_select_vis(
+                s,
+                params,
+                scope_visibility(scope),
+            )?)),
+            Statement::Xnf(q) => Ok(ExecOutcome::Rows(self.run_xnf_vis(
+                q,
+                params,
+                scope_visibility(scope),
+            )?)),
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::new(columns.iter().map(column_def).collect());
                 self.catalog.create_table(name, schema)?;
@@ -444,7 +583,7 @@ impl Database {
                 columns,
                 rows,
             } => Ok(ExecOutcome::Affected(
-                self.run_insert(table, columns, rows, params)?,
+                self.run_insert(table, columns, rows, params, scope)?,
             )),
             Statement::Update {
                 table,
@@ -455,6 +594,7 @@ impl Database {
                 sets,
                 where_clause.as_ref(),
                 params,
+                scope,
             )?)),
             Statement::Delete {
                 table,
@@ -463,6 +603,7 @@ impl Database {
                 table,
                 where_clause.as_ref(),
                 params,
+                scope,
             )?)),
         }
     }
@@ -482,16 +623,17 @@ impl Database {
             )));
         }
         match &compiled.body {
-            CompiledBody::Query(qep) => Ok(execute_qep_parallel_with_params(
+            CompiledBody::Query(qep) => Ok(execute_qep_parallel_with_visibility(
                 &self.catalog,
                 qep,
                 Params::default(),
+                None,
             )?),
             CompiledBody::RecursiveCo => {
                 let Statement::Xnf(q) = &compiled.stmt else {
                     unreachable!("RecursiveCo from a non-XNF statement");
                 };
-                crate::recursion::evaluate_recursive(self, q)
+                crate::recursion::evaluate_recursive(self, q, None)
             }
             CompiledBody::Statement => Err(XnfError::Api(
                 "query_parallel expects SELECT or OUT OF".to_string(),
@@ -551,13 +693,25 @@ impl Database {
     }
 
     pub(crate) fn run_select_params(&self, s: &Select, params: &Params) -> Result<QueryResult> {
+        self.run_select_vis(s, params, None)
+    }
+
+    /// Run a SELECT under an explicit visibility handle (`Some(snapshot)`
+    /// pins reads to that snapshot; `None` reads latest-committed).
+    pub(crate) fn run_select_vis(
+        &self,
+        s: &Select,
+        params: &Params,
+        vis: Visibility,
+    ) -> Result<QueryResult> {
         let mut qgm = build_select_query(&self.catalog, s)?;
         rewrite(&mut qgm, self.config.rewrite)?;
         let qep = plan_query(&self.catalog, &qgm, self.config.plan)?;
-        Ok(execute_qep_with_params(
+        Ok(execute_qep_with_visibility(
             &self.catalog,
             &qep,
             params.clone(),
+            vis,
         )?)
     }
 
@@ -566,6 +720,15 @@ impl Database {
     }
 
     pub(crate) fn run_xnf_params(&self, q: &XnfQuery, params: &Params) -> Result<QueryResult> {
+        self.run_xnf_vis(q, params, None)
+    }
+
+    pub(crate) fn run_xnf_vis(
+        &self,
+        q: &XnfQuery,
+        params: &Params,
+        vis: Visibility,
+    ) -> Result<QueryResult> {
         let mut qgm = build_xnf_query(&self.catalog, q)?;
         match rewrite(&mut qgm, self.config.rewrite) {
             Ok(_) => {}
@@ -576,15 +739,16 @@ impl Database {
                         "parameters are not supported in recursive CO queries".to_string(),
                     ));
                 }
-                return crate::recursion::evaluate_recursive(self, q);
+                return crate::recursion::evaluate_recursive(self, q, vis);
             }
             Err(e) => return Err(e.into()),
         }
         let qep = plan_query(&self.catalog, &qgm, self.config.plan)?;
-        Ok(execute_qep_with_params(
+        Ok(execute_qep_with_visibility(
             &self.catalog,
             &qep,
             params.clone(),
+            vis,
         )?)
     }
 
@@ -608,6 +772,7 @@ impl Database {
         columns: &[String],
         rows: &[Vec<Expr>],
         params: &Params,
+        scope: Scope<'_>,
     ) -> Result<usize> {
         let t = self.dml_target(table)?;
         let schema = &t.schema;
@@ -640,40 +805,36 @@ impl Database {
             }
             tuples.push(Tuple::new(values));
         }
-        let track = self.catalog.has_matviews();
-        let mut delta = DeltaBatch::new();
-        let mut txn = self.txn.lock();
+        let mut ws = WriteScope::open(self, scope);
         let mut n = 0;
         // A storage error (e.g. unique violation) can still stop the loop
-        // mid-way; maintenance below covers whatever was applied.
+        // mid-way; the applied prefix stays logged (and, in autocommit,
+        // commits with its maintenance when the scope closes).
         let apply: Result<()> = (|| {
             for tuple in &tuples {
-                let rid = t.insert(tuple)?;
-                if let Some(txn) = txn.as_mut() {
-                    txn.log_insert(&t, rid);
-                }
-                if track {
-                    delta.record_insert(&t.name, tuple.clone());
-                }
+                let rid = t.insert_txn(tuple, ws.xid())?;
+                ws.log_insert(&t, rid, tuple);
                 n += 1;
             }
             Ok(())
         })();
-        drop(txn);
-        crate::matview::maintain(self, &delta)?;
-        apply.map(|()| n)
+        let closed = ws.finish();
+        apply.and(closed).map(|()| n)
     }
 
-    /// Rows matching a DML WHERE clause. A single `col = constant` conjunct
-    /// goes through [`xnf_storage::Table::find_by_value`] (index point
-    /// lookup when one exists); anything else scans. Returns the candidate
-    /// rows plus the residual filter still to evaluate per row (`None`
-    /// when the index probe was exact).
+    /// Rows matching a DML WHERE clause under `snap` (the writing scope's
+    /// snapshot: its transaction's begin-state plus its own writes). A
+    /// single `col = constant` conjunct goes through
+    /// [`xnf_storage::Table::find_by_value_visible`] (index point lookup
+    /// when one exists); anything else scans. Returns the candidate rows
+    /// plus the residual filter still to evaluate per row (`None` when the
+    /// index probe was exact).
     fn dml_matches(
         &self,
         t: &Arc<xnf_storage::Table>,
         where_clause: Option<&Expr>,
         outer: &OuterCtx,
+        snap: &Snapshot,
     ) -> Result<DmlMatches> {
         if let Some(Expr::Binary { left, op, right }) = where_clause {
             if *op == xnf_sql::BinOp::Eq {
@@ -703,7 +864,7 @@ impl Database {
                             // keys, so short-circuit to no rows instead.
                             return Ok((Vec::new(), None));
                         }
-                        return Ok((t.find_by_value(col, &key)?, None));
+                        return Ok((t.find_by_value_visible(col, &key, snap)?, None));
                     }
                 }
             }
@@ -713,7 +874,7 @@ impl Database {
             None => None,
         };
         let mut matches = Vec::new();
-        t.for_each(|rid, tuple| {
+        t.for_each_visible(snap, |rid, tuple| {
             matches.push((rid, tuple));
             Ok(true)
         })?;
@@ -726,6 +887,7 @@ impl Database {
         sets: &[(String, Expr)],
         where_clause: Option<&Expr>,
         params: &Params,
+        scope: Scope<'_>,
     ) -> Result<usize> {
         let t = self.dml_target(table)?;
         let set_exprs: Vec<(usize, PhysExpr)> = sets
@@ -734,14 +896,14 @@ impl Database {
             .collect::<Result<_>>()?;
 
         let outer = OuterCtx::with_params(params.clone());
-        // Collect matching RIDs first (stable against in-place mutation).
-        let (matches, filter) = self.dml_matches(&t, where_clause, &outer)?;
-        let track = self.catalog.has_matviews();
-        let mut delta = DeltaBatch::new();
-        let mut txn = self.txn.lock();
+        let mut ws = WriteScope::open(self, scope);
+        // Collect matching RIDs first (stable against mutation) under the
+        // scope's snapshot; the writes below conflict-check against the
+        // latest row state (first-writer-wins).
+        let (matches, filter) = self.dml_matches(&t, where_clause, &outer, &ws.snapshot())?;
         let mut n = 0;
-        // A mid-loop error (unique violation, eval failure) leaves earlier
-        // rows applied; maintenance below covers them either way.
+        // A mid-loop error (unique violation, write conflict, eval failure)
+        // leaves earlier rows applied and logged.
         let apply: Result<()> = (|| {
             for (rid, tuple) in matches {
                 if let Some(f) = &filter {
@@ -757,20 +919,14 @@ impl Database {
                     );
                 }
                 let new_tuple = Tuple::new(new_vals);
-                let (old, new_rid) = t.update(rid, &new_tuple)?;
-                if let Some(txn) = txn.as_mut() {
-                    txn.log_update_at(&t, rid, new_rid, old.clone());
-                }
-                if track {
-                    delta.record_update(&t.name, old, new_tuple);
-                }
+                let (old, new_rid) = t.update_txn(rid, &new_tuple, ws.xid())?;
+                ws.log_update(&t, rid, new_rid, old, &new_tuple);
                 n += 1;
             }
             Ok(())
         })();
-        drop(txn);
-        crate::matview::maintain(self, &delta)?;
-        apply.map(|()| n)
+        let closed = ws.finish();
+        apply.and(closed).map(|()| n)
     }
 
     fn run_delete(
@@ -778,13 +934,12 @@ impl Database {
         table: &str,
         where_clause: Option<&Expr>,
         params: &Params,
+        scope: Scope<'_>,
     ) -> Result<usize> {
         let t = self.dml_target(table)?;
         let outer = OuterCtx::with_params(params.clone());
-        let (matches, filter) = self.dml_matches(&t, where_clause, &outer)?;
-        let track = self.catalog.has_matviews();
-        let mut delta = DeltaBatch::new();
-        let mut txn = self.txn.lock();
+        let mut ws = WriteScope::open(self, scope);
+        let (matches, filter) = self.dml_matches(&t, where_clause, &outer, &ws.snapshot())?;
         let mut n = 0;
         let apply: Result<()> = (|| {
             for (rid, tuple) in matches {
@@ -793,20 +948,14 @@ impl Database {
                         continue;
                     }
                 }
-                let old = t.delete(rid)?;
-                if let Some(txn) = txn.as_mut() {
-                    txn.log_delete_at(&t, rid, old.clone());
-                }
-                if track {
-                    delta.record_delete(&t.name, old);
-                }
+                let old = t.mark_delete_txn(rid, ws.xid())?;
+                ws.log_delete(&t, rid, old);
                 n += 1;
             }
             Ok(())
         })();
-        drop(txn);
-        crate::matview::maintain(self, &delta)?;
-        apply.map(|()| n)
+        let closed = ws.finish();
+        apply.and(closed).map(|()| n)
     }
 }
 

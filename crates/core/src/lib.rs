@@ -9,7 +9,12 @@
 //!   one compilation pipeline (parser → QGM → rewrite → plan → QES);
 //! - [`Session`] / [`Prepared`] — prepared statements with `?` parameter
 //!   binding over a shared, DDL-aware LRU plan cache: compile once, bind
-//!   and execute many times (SQL and CO queries alike);
+//!   and execute many times (SQL and CO queries alike). Sessions are also
+//!   the unit of transaction ownership: `begin`/`commit`/`rollback` with
+//!   MVCC snapshot isolation, so concurrent sessions (one per thread over
+//!   a shared `Arc<Database>`; `Database: Send + Sync`) hold independent
+//!   transactions and writers conflict first-writer-wins instead of
+//!   corrupting each other — see `docs/TRANSACTIONS.md`;
 //! - [`Workspace`] / [`CoCache`] — the client-side XNF cache: heterogeneous
 //!   CO streams swizzled into pointer-linked components with independent
 //!   and dependent cursors, path expressions, updates + write-back, and
@@ -105,6 +110,18 @@ pub use xnf_exec::{ExecStats, QueryResult, RowBatch, StreamResult, DEFAULT_BATCH
 pub use xnf_plan::{PlanOptions, Qep};
 pub use xnf_rewrite::{RewriteOptions, RewriteReport};
 pub use xnf_storage::{DataType, Value};
+
+// Compile-time concurrency contract: one `Database` is shared across
+// threads behind an `Arc`, and `Session`s move into worker threads. A
+// future `Cell`/`Rc`/raw-pointer regression in either type must fail to
+// *build*, not flake under load — these assertions are the tripwire.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<Database>();
+    assert_send::<Session<'static>>();
+    assert_send::<Prepared<'static>>();
+};
 
 #[cfg(test)]
 mod core_tests;

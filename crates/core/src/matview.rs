@@ -247,17 +247,6 @@ pub(crate) fn refresh(db: &Database, name: &str) -> Result<()> {
     repopulate(db, plan)
 }
 
-/// Fully recompute every materialized view (used after transaction
-/// rollback, which restores base tables underneath already-maintained
-/// views).
-pub(crate) fn refresh_all(db: &Database) -> Result<()> {
-    let plans = db.matview_plans()?;
-    for plan in plans.iter() {
-        repopulate(db, plan)?;
-    }
-    Ok(())
-}
-
 /// Full recompute: fresh backing tables, re-run the definition, rebuild the
 /// maintenance indexes.
 fn repopulate(db: &Database, plan: &MaintPlan) -> Result<()> {

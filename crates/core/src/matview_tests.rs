@@ -183,17 +183,70 @@ fn create_matview_invalidates_cached_plans() {
 }
 
 #[test]
-fn rollback_restores_matview_contents() {
+fn matviews_maintain_from_committed_deltas_only() {
     let db = items_db();
     db.execute("CREATE MATERIALIZED VIEW small AS SELECT id, val FROM ITEMS WHERE val < 20")
         .unwrap();
     let before = rows_of(&db, "SELECT * FROM small");
-    db.begin().unwrap();
-    db.execute("INSERT INTO ITEMS VALUES (500, 0, 1)").unwrap();
-    db.execute("DELETE FROM ITEMS WHERE val < 5").unwrap();
-    assert_ne!(rows_of(&db, "SELECT * FROM small"), before);
-    db.rollback().unwrap();
+
+    // Uncommitted DML must not reach the view: maintenance runs at COMMIT.
+    let session = db.session();
+    session.begin().unwrap();
+    session
+        .execute("INSERT INTO ITEMS VALUES (500, 0, 1)", &[])
+        .unwrap();
+    session
+        .execute("DELETE FROM ITEMS WHERE val < 5", &[])
+        .unwrap();
+    assert_eq!(
+        rows_of(&db, "SELECT * FROM small"),
+        before,
+        "view must not see uncommitted deltas"
+    );
+    session.rollback().unwrap();
     assert_eq!(rows_of(&db, "SELECT * FROM small"), before);
+
+    // The same work committed does reach the view, matching a full refresh.
+    session.begin().unwrap();
+    session
+        .execute("INSERT INTO ITEMS VALUES (500, 0, 1)", &[])
+        .unwrap();
+    session
+        .execute("DELETE FROM ITEMS WHERE val < 5", &[])
+        .unwrap();
+    session.commit().unwrap();
+    let incremental = rows_of(&db, "SELECT * FROM small");
+    assert_ne!(incremental, before);
+    db.execute("REFRESH MATERIALIZED VIEW small").unwrap();
+    assert_eq!(rows_of(&db, "SELECT * FROM small"), incremental);
+}
+
+#[test]
+fn matview_created_mid_transaction_sees_the_commit() {
+    // The view is created while a transaction holds uncommitted writes:
+    // population cannot see them (they are uncommitted), but the deltas
+    // captured before the view existed must still maintain it at COMMIT.
+    let db = items_db();
+    let session = db.session();
+    session.begin().unwrap();
+    session
+        .execute("INSERT INTO ITEMS VALUES (600, 0, 1)", &[])
+        .unwrap();
+    db.execute("CREATE MATERIALIZED VIEW small AS SELECT id, val FROM ITEMS WHERE val < 20")
+        .unwrap();
+    let new_row = vec!["Int(600)".to_string(), "Int(1)".to_string()];
+    assert!(
+        !rows_of(&db, "SELECT * FROM small").contains(&new_row),
+        "population must not see uncommitted rows"
+    );
+    session.commit().unwrap();
+    let committed = rows_of(&db, "SELECT * FROM small");
+    assert!(
+        committed.contains(&new_row),
+        "commit-time maintenance must cover writes made before the view existed"
+    );
+    db.execute("REFRESH MATERIALIZED VIEW small").unwrap();
+    assert_eq!(rows_of(&db, "SELECT * FROM small"), committed);
 }
 
 #[test]

@@ -21,8 +21,16 @@ use xnf_storage::Value;
 use crate::db::Database;
 use crate::error::{Result, XnfError};
 
-/// Evaluate a (typically recursive) XNF query by fixpoint.
-pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
+/// Evaluate a (typically recursive) XNF query by fixpoint. `vis` pins every
+/// read of the evaluation — node body queries and USING-table scans alike —
+/// to one MVCC snapshot (the caller's open transaction, or a fresh
+/// latest-committed snapshot), so the fixpoint never mixes states.
+pub fn evaluate_recursive(
+    db: &Database,
+    q: &XnfQuery,
+    vis: xnf_exec::Visibility,
+) -> Result<QueryResult> {
+    let snap = vis.unwrap_or_else(|| db.catalog().latest_snapshot());
     let mut defs = Vec::new();
     crate::writeback::flatten_defs(db, &q.defs, &mut defs, 0)?;
 
@@ -40,7 +48,8 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
     for def in &defs {
         match def {
             XnfDef::Table { name, select, root } => {
-                let result = db.run_select(select)?;
+                let result =
+                    db.run_select_vis(select, &xnf_exec::Params::default(), Some(snap.clone()))?;
                 let stream = result.try_table()?;
                 node_idx.insert(name.to_ascii_lowercase(), nodes.len());
                 nodes.push(Node {
@@ -143,7 +152,7 @@ pub fn evaluate_recursive(db: &Database, q: &XnfQuery) -> Result<QueryResult> {
                     .collect(),
             );
             let mut rows = Vec::new();
-            table.for_each(|_, tuple| {
+            table.for_each_visible(&snap, |_, tuple| {
                 rows.push(tuple.values);
                 Ok(true)
             })?;

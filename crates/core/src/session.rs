@@ -1,4 +1,4 @@
-//! Sessions, prepared statements and the shared plan cache.
+//! Sessions, transactions, prepared statements and the shared plan cache.
 //!
 //! The paper's premise is that SQL and `OUT OF … TAKE …` CO queries share
 //! one compilation pipeline (parser → QGM → rewrite → plan → QES). This
@@ -9,21 +9,64 @@
 //! cache keyed by normalized statement text and are invalidated through the
 //! catalog's DDL generation counter, so `CREATE`/`DROP TABLE`/`VIEW` never
 //! serves a stale plan.
+//!
+//! A session is also the **unit of transaction ownership** (the paper's
+//! Sect. 3 multi-client model: each workstation holds its own unit of
+//! work). [`Session::begin`] captures an MVCC snapshot and allocates a
+//! transaction id; every statement the session runs until
+//! [`Session::commit`] / [`Session::rollback`] reads against that snapshot
+//! and writes versions tagged with that id. Different sessions on one
+//! shared [`Database`] hold independent open transactions concurrently —
+//! `Database` is `Send + Sync` and `Session` is `Send` by construction.
 
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use xnf_exec::{Params, QueryResult};
 use xnf_plan::Qep;
 use xnf_sql::Statement;
-use xnf_storage::Value;
+use xnf_storage::{DeltaBatch, Snapshot, Transaction, Value};
 
 use crate::cache::Workspace;
 use crate::co::CoCache;
 use crate::db::{Database, ExecOutcome};
 use crate::error::{Result, XnfError};
 use crate::writeback::derive_co_schema;
+
+// ---------------------------------------------------------------------------
+// transaction state
+// ---------------------------------------------------------------------------
+
+/// The state of one open transaction: the storage-level transaction (id +
+/// undo log), the snapshot captured at `BEGIN`, and the accumulated
+/// base-table deltas awaiting materialized-view maintenance at COMMIT.
+pub(crate) struct ActiveTxn {
+    pub(crate) txn: Transaction,
+    pub(crate) snapshot: Snapshot,
+    pub(crate) delta: DeltaBatch,
+}
+
+impl ActiveTxn {
+    /// Begin a transaction against `db`: allocate an id and capture the
+    /// snapshot all of its reads will run against.
+    pub(crate) fn begin(db: &Database) -> ActiveTxn {
+        let txn = Transaction::begin(db.catalog().txns());
+        let snapshot = txn.write_snapshot();
+        let delta = DeltaBatch::for_txn(txn.id());
+        ActiveTxn {
+            txn,
+            snapshot,
+            delta,
+        }
+    }
+}
+
+/// A session's transaction slot, shared with the [`Prepared`] handles it
+/// hands out so their executions join the session's open transaction.
+pub(crate) type TxnSlot = Arc<Mutex<Option<ActiveTxn>>>;
 
 // ---------------------------------------------------------------------------
 // statement normalization
@@ -219,23 +262,30 @@ pub struct SessionStats {
     pub cache_misses: u64,
 }
 
-/// A lightweight connection handle: the unit of statement preparation.
+/// A lightweight connection handle: the unit of statement preparation and
+/// of transaction ownership.
 ///
 /// Sessions share the database's plan cache, so a statement prepared in one
-/// session is a cache hit in every other. Obtain one with
+/// session is a cache hit in every other — but each session holds its own
+/// transaction slot, so concurrent sessions (one per thread over a shared
+/// `Arc<Database>`) run isolated transactions. Obtain one with
 /// [`Database::session`].
 pub struct Session<'db> {
     db: &'db Database,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// This session's open transaction, if any. Shared (`Arc`) with the
+    /// [`Prepared`] handles the session creates.
+    txn: TxnSlot,
 }
 
 impl<'db> Session<'db> {
     pub(crate) fn new(db: &'db Database) -> Self {
         Session {
             db,
-            hits: Cell::new(0),
-            misses: Cell::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            txn: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -243,26 +293,94 @@ impl<'db> Session<'db> {
         self.db
     }
 
+    // -- transactions -----------------------------------------------------
+
+    /// Begin an explicit transaction: capture an MVCC snapshot (all reads
+    /// until COMMIT/ROLLBACK run against it, plus this transaction's own
+    /// writes) and allocate the transaction id its writes are tagged with.
+    /// Other sessions' transactions proceed independently; writing a row
+    /// another transaction already wrote fails with a write conflict
+    /// (first-writer-wins) instead of blocking.
+    pub fn begin(&self) -> Result<()> {
+        let mut slot = self.txn.lock();
+        if slot.is_some() {
+            return Err(XnfError::Api(
+                "a transaction is already active on this session".to_string(),
+            ));
+        }
+        *slot = Some(ActiveTxn::begin(self.db));
+        Ok(())
+    }
+
+    /// Commit this session's transaction: assign its commit stamp (all its
+    /// versions become visible to new snapshots atomically) and propagate
+    /// its accumulated deltas to dependent materialized views, serialized
+    /// behind the database's maintenance lock so views apply transactions
+    /// in commit order.
+    pub fn commit(&self) -> Result<()> {
+        let active = self.txn.lock().take();
+        match active {
+            Some(active) => self.db.commit_active(active),
+            None => Err(XnfError::Api(
+                "no active transaction on this session".to_string(),
+            )),
+        }
+    }
+
+    /// Roll back this session's transaction: physically remove the versions
+    /// it created and clear its delete marks. Its deltas are dropped —
+    /// materialized views never saw them (maintenance runs at COMMIT only).
+    pub fn rollback(&self) -> Result<()> {
+        let active = self.txn.lock().take();
+        match active {
+            Some(active) => {
+                active.txn.abort().map_err(XnfError::from)?;
+                Ok(())
+            }
+            None => Err(XnfError::Api(
+                "no active transaction on this session".to_string(),
+            )),
+        }
+    }
+
+    /// Is a transaction open on this session?
+    pub fn in_transaction(&self) -> bool {
+        self.txn.lock().is_some()
+    }
+
+    /// The snapshot this session's reads currently run against: the open
+    /// transaction's begin-snapshot, or `None` (latest committed state) in
+    /// autocommit.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.txn.lock().as_ref().map(|a| a.snapshot.clone())
+    }
+
+    // -- statements -------------------------------------------------------
+
     /// Compile `text` (SQL or `OUT OF … TAKE …`) into a [`Prepared`]
     /// statement, reusing the shared plan cache when possible. `?`
     /// placeholders become positional parameters to [`Prepared::bind`].
+    /// Executions of the handle join whatever transaction is open on this
+    /// session at execution time.
     pub fn prepare(&self, text: &str) -> Result<Prepared<'db>> {
         let key = normalize_statement(text);
         let (compiled, hit) = self.db.compile_cached(&key)?;
         if hit {
-            self.hits.set(self.hits.get() + 1);
+            self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.misses.set(self.misses.get() + 1);
+            self.misses.fetch_add(1, Ordering::Relaxed);
         }
         Ok(Prepared {
             db: self.db,
             key,
             compiled,
             params: Params::default(),
+            txn: Arc::clone(&self.txn),
         })
     }
 
-    /// One-shot convenience: prepare (through the cache), bind, execute.
+    /// One-shot convenience: prepare (through the cache), bind, execute —
+    /// inside this session's open transaction, if any.
     pub fn execute(&self, text: &str, params: &[Value]) -> Result<ExecOutcome> {
         let mut prepared = self.prepare(text)?;
         if !params.is_empty() || prepared.param_count() > 0 {
@@ -276,11 +394,18 @@ impl<'db> Session<'db> {
         self.execute(text, params)?.try_rows()
     }
 
+    /// Push a CO cache's pending changes back to the database inside this
+    /// session's transaction scope (the write-back joins an open
+    /// transaction, or runs as one autocommit transaction of its own).
+    pub fn write_back(&self, co: &mut CoCache) -> Result<usize> {
+        crate::writeback::write_back_scoped(self.db, Some(&self.txn), &mut co.workspace, &co.schema)
+    }
+
     /// This session's cache counters (prepare-time hits/misses).
     pub fn stats(&self) -> SessionStats {
         SessionStats {
-            cache_hits: self.hits.get(),
-            cache_misses: self.misses.get(),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -292,6 +417,8 @@ impl<'db> Session<'db> {
 /// A prepared statement: compiled plan + parameter signature + current
 /// bindings. Re-validated against the catalog's DDL generation on every
 /// execution, so dropping/recreating a table transparently recompiles.
+/// Executions join the owning session's open transaction (the handle
+/// shares its transaction slot).
 pub struct Prepared<'db> {
     db: &'db Database,
     /// Normalized statement text (the plan-cache key).
@@ -299,6 +426,8 @@ pub struct Prepared<'db> {
     compiled: Arc<CompiledStmt>,
     /// Current bindings, shared with the executor without re-copying.
     params: Params,
+    /// The owning session's transaction slot.
+    txn: TxnSlot,
 }
 
 impl<'db> Prepared<'db> {
@@ -336,7 +465,7 @@ impl<'db> Prepared<'db> {
             )));
         }
         self.db
-            .execute_compiled(&self.compiled, Arc::clone(&self.params))
+            .execute_compiled_scoped(&self.compiled, Arc::clone(&self.params), Some(&self.txn))
     }
 
     /// Bind and execute in one call.

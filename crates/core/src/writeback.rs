@@ -334,26 +334,38 @@ fn analyze_relationship(
     general
 }
 
-/// Apply the workspace's pending changes back to the database, atomically.
-/// Returns the number of base-table operations performed.
+/// Apply the workspace's pending changes back to the database, atomically,
+/// as one autocommit transaction of its own. Returns the number of
+/// base-table operations performed. To join a session's open transaction,
+/// use [`crate::Session::write_back`].
 pub fn write_back(db: &Database, ws: &mut Workspace, schema: &CoSchema) -> Result<usize> {
+    write_back_scoped(db, None, ws, schema)
+}
+
+/// [`write_back`] inside a transaction scope: with an open session
+/// transaction the changes join it (isolated until the session commits,
+/// undone by its rollback); otherwise a dedicated transaction wraps the
+/// write-back and commits — with materialized-view maintenance — on
+/// success, or rolls back cleanly on conflict/error.
+pub(crate) fn write_back_scoped(
+    db: &Database,
+    scope: crate::db::Scope<'_>,
+    ws: &mut Workspace,
+    schema: &CoSchema,
+) -> Result<usize> {
     let changes = ws.take_changes();
-    let own_txn = !db.in_transaction();
-    if own_txn {
-        db.begin()?;
-    }
-    let result = apply_changes(db, ws, schema, &changes);
+    let mut scope = crate::db::WriteScope::open(db, scope);
+    let result = apply_changes(db, &mut scope, ws, schema, &changes);
     match result {
         Ok(n) => {
-            if own_txn {
-                db.commit()?;
-            }
+            scope.finish()?;
             Ok(n)
         }
         Err(e) => {
-            if own_txn {
-                db.rollback()?;
-            }
+            // A write-back that owns its transaction aborts it wholesale
+            // (write conflicts included); inside a session transaction the
+            // error propagates and the session decides.
+            scope.abort_if_auto()?;
             // Restore the log so the caller may retry.
             ws.changes = changes;
             Err(e)
@@ -363,13 +375,11 @@ pub fn write_back(db: &Database, ws: &mut Workspace, schema: &CoSchema) -> Resul
 
 fn apply_changes(
     db: &Database,
+    scope: &mut crate::db::WriteScope<'_>,
     ws: &Workspace,
     schema: &CoSchema,
     changes: &[Change],
 ) -> Result<usize> {
-    // Write-back is a DML producer like any statement: capture the base-row
-    // images so dependent materialized views maintain incrementally.
-    let mut delta = xnf_storage::DeltaBatch::new();
     let mut ops = 0;
     for change in changes {
         match change {
@@ -381,33 +391,32 @@ fn apply_changes(
             } => {
                 let meta = &schema.components[*comp];
                 let base = updatable(meta)?;
-                update_base_row(db, base, old, new, &mut delta)?;
+                update_base_row(db, scope, base, old, new)?;
                 ops += 1;
             }
             Change::Insert { comp, id } => {
                 let meta = &schema.components[*comp];
                 let base = updatable(meta)?;
                 let row = ws.components[*comp].row(*id);
-                insert_base_row(db, base, row, &mut delta)?;
+                insert_base_row(db, scope, base, row)?;
                 ops += 1;
             }
             Change::Delete { comp, id: _, old } => {
                 let meta = &schema.components[*comp];
                 let base = updatable(meta)?;
-                delete_base_row(db, base, old, &mut delta)?;
+                delete_base_row(db, scope, base, old)?;
                 ops += 1;
             }
             Change::Connect { rel, conn } => {
-                apply_connect(db, ws, schema, *rel, conn, true, &mut delta)?;
+                apply_connect(db, scope, ws, schema, *rel, conn, true)?;
                 ops += 1;
             }
             Change::Disconnect { rel, conn } => {
-                apply_connect(db, ws, schema, *rel, conn, false, &mut delta)?;
+                apply_connect(db, scope, ws, schema, *rel, conn, false)?;
                 ops += 1;
             }
         }
     }
-    crate::matview::maintain(db, &delta)?;
     Ok(ops)
 }
 
@@ -420,9 +429,16 @@ fn updatable(meta: &CompMeta) -> Result<&BaseMap> {
     })
 }
 
-/// Find the base RID whose mapped columns equal the cached row.
-fn find_base_rid(db: &Database, base: &BaseMap, row: &[Value]) -> Result<xnf_storage::Rid> {
-    find_base_rid_masked(db, base, row, &[])
+/// Find the base RID whose mapped columns equal the cached row, under the
+/// writing scope's snapshot (so a write-back sees its own earlier changes
+/// and is isolated from concurrent transactions).
+fn find_base_rid(
+    db: &Database,
+    scope: &crate::db::WriteScope<'_>,
+    base: &BaseMap,
+    row: &[Value],
+) -> Result<xnf_storage::Rid> {
+    find_base_rid_masked(db, scope, base, row, &[])
 }
 
 /// Like [`find_base_rid`] but ignoring the cache columns in `skip` — used
@@ -430,13 +446,14 @@ fn find_base_rid(db: &Database, base: &BaseMap, row: &[Value]) -> Result<xnf_sto
 /// (the cache records re-wiring in the adjacency, not in the row image).
 fn find_base_rid_masked(
     db: &Database,
+    scope: &crate::db::WriteScope<'_>,
     base: &BaseMap,
     row: &[Value],
     skip: &[usize],
 ) -> Result<xnf_storage::Rid> {
     let t = db.catalog().table(&base.table)?;
     let mut found = None;
-    t.for_each(|rid, tuple| {
+    t.for_each_visible(&scope.snapshot(), |rid, tuple| {
         let matches = base
             .columns
             .iter()
@@ -460,30 +477,29 @@ fn find_base_rid_masked(
 
 fn update_base_row(
     db: &Database,
+    scope: &mut crate::db::WriteScope<'_>,
     base: &BaseMap,
     old: &[Value],
     new: &[Value],
-    delta: &mut xnf_storage::DeltaBatch,
 ) -> Result<()> {
-    let rid = find_base_rid(db, base, old)?;
+    let rid = find_base_rid(db, scope, base, old)?;
     let t = db.catalog().table(&base.table)?;
-    let mut tuple = t.get(rid)?;
+    let mut tuple = t
+        .get_snapshot(rid, &scope.snapshot())?
+        .ok_or_else(|| XnfError::Api("write-back conflict: row vanished".to_string()))?;
     for (&b, v) in base.columns.iter().zip(new) {
         tuple.values[b] = v.clone();
     }
-    let (old_tuple, new_rid) = t.update(rid, &tuple)?;
-    db.log_update(&t, rid, new_rid, old_tuple.clone());
-    if db.catalog().has_matviews() {
-        delta.record_update(&t.name, old_tuple, tuple);
-    }
+    let (old_tuple, new_rid) = t.update_txn(rid, &tuple, scope.xid())?;
+    scope.log_update(&t, rid, new_rid, old_tuple, &tuple);
     Ok(())
 }
 
 fn insert_base_row(
     db: &Database,
+    scope: &mut crate::db::WriteScope<'_>,
     base: &BaseMap,
     row: &[Value],
-    delta: &mut xnf_storage::DeltaBatch,
 ) -> Result<()> {
     let t = db.catalog().table(&base.table)?;
     let mut values = vec![Value::Null; t.schema.len()];
@@ -491,38 +507,32 @@ fn insert_base_row(
         values[b] = v.clone();
     }
     let tuple = Tuple::new(values);
-    let rid = t.insert(&tuple)?;
-    db.log_insert(&t, rid);
-    if db.catalog().has_matviews() {
-        delta.record_insert(&t.name, tuple);
-    }
+    let rid = t.insert_txn(&tuple, scope.xid())?;
+    scope.log_insert(&t, rid, &tuple);
     Ok(())
 }
 
 fn delete_base_row(
     db: &Database,
+    scope: &mut crate::db::WriteScope<'_>,
     base: &BaseMap,
     row: &[Value],
-    delta: &mut xnf_storage::DeltaBatch,
 ) -> Result<()> {
-    let rid = find_base_rid(db, base, row)?;
+    let rid = find_base_rid(db, scope, base, row)?;
     let t = db.catalog().table(&base.table)?;
-    let old = t.delete(rid)?;
-    db.log_delete(&t, rid, old.clone());
-    if db.catalog().has_matviews() {
-        delta.record_delete(&t.name, old);
-    }
+    let old = t.mark_delete_txn(rid, scope.xid())?;
+    scope.log_delete(&t, rid, old);
     Ok(())
 }
 
 fn apply_connect(
     db: &Database,
+    scope: &mut crate::db::WriteScope<'_>,
     ws: &Workspace,
     schema: &CoSchema,
     rel: usize,
     conn: &[TupleId],
     connect: bool,
-    delta: &mut xnf_storage::DeltaBatch,
 ) -> Result<()> {
     let meta = &schema.relationships[rel];
     let r = &ws.relationships[rel];
@@ -539,19 +549,18 @@ fn apply_connect(
             // rewrote it in the base), so match ignoring the FK column.
             let child_meta = &schema.components[r.children[0]];
             let base = updatable(child_meta)?;
-            let rid = find_base_rid_masked(db, base, child_row, &[*child_col])?;
+            let rid = find_base_rid_masked(db, scope, base, child_row, &[*child_col])?;
             let t = db.catalog().table(&base.table)?;
-            let mut tuple = t.get(rid)?;
+            let mut tuple = t
+                .get_snapshot(rid, &scope.snapshot())?
+                .ok_or_else(|| XnfError::Api("write-back conflict: row vanished".to_string()))?;
             tuple.values[base.columns[*child_col]] = if connect {
                 parent_row[*parent_col].clone()
             } else {
                 Value::Null
             };
-            let (old_tuple, new_rid) = t.update(rid, &tuple)?;
-            db.log_update(&t, rid, new_rid, old_tuple.clone());
-            if db.catalog().has_matviews() {
-                delta.record_update(&t.name, old_tuple, tuple);
-            }
+            let (old_tuple, new_rid) = t.update_txn(rid, &tuple, scope.xid())?;
+            scope.log_update(&t, rid, new_rid, old_tuple, &tuple);
             Ok(())
         }
         RelMeta::ConnectTable {
@@ -568,15 +577,12 @@ fn apply_connect(
                 values[*m_parent_col] = parent_row[*parent_col].clone();
                 values[*m_child_col] = child_row[*child_col].clone();
                 let tuple = Tuple::new(values);
-                let rid = t.insert(&tuple)?;
-                db.log_insert(&t, rid);
-                if db.catalog().has_matviews() {
-                    delta.record_insert(&t.name, tuple);
-                }
+                let rid = t.insert_txn(&tuple, scope.xid())?;
+                scope.log_insert(&t, rid, &tuple);
             } else {
                 // Delete one matching mapping row.
                 let mut target = None;
-                t.for_each(|rid, tuple| {
+                t.for_each_visible(&scope.snapshot(), |rid, tuple| {
                     if tuple.values[*m_parent_col]
                         .total_cmp(&parent_row[*parent_col])
                         .is_eq()
@@ -595,11 +601,8 @@ fn apply_connect(
                         "write-back conflict: mapping row missing in '{table}'"
                     ))
                 })?;
-                let old = t.delete(rid)?;
-                db.log_delete(&t, rid, old.clone());
-                if db.catalog().has_matviews() {
-                    delta.record_delete(&t.name, old);
-                }
+                let old = t.mark_delete_txn(rid, scope.xid())?;
+                scope.log_delete(&t, rid, old);
             }
             Ok(())
         }

@@ -75,13 +75,30 @@ fn materialize_shared(rt: &mut Runtime<'_>, qep: &Qep) -> Result<()> {
 }
 
 /// Execute a QEP with prepared-statement parameter bindings resolved at
-/// `eval` time (the prepare-once/execute-many path).
+/// `eval` time (the prepare-once/execute-many path). Reads run against a
+/// fresh latest-committed snapshot.
 pub fn execute_qep_with_params(
     catalog: &Catalog,
     qep: &Qep,
     params: Params,
 ) -> Result<QueryResult> {
-    let mut rt = Runtime::with_params(catalog, params);
+    execute_qep_with_visibility(catalog, qep, params, None)
+}
+
+/// Execute a QEP with parameter bindings under an explicit visibility
+/// handle: `Some(snapshot)` pins every scan and index lookup of the run to
+/// that MVCC snapshot (reads inside an open transaction), `None` reads the
+/// latest committed state (autocommit).
+pub fn execute_qep_with_visibility(
+    catalog: &Catalog,
+    qep: &Qep,
+    params: Params,
+    visibility: crate::eval::Visibility,
+) -> Result<QueryResult> {
+    let mut rt = Runtime::with_ctx(
+        catalog,
+        crate::eval::OuterCtx::with_params_and_visibility(params, visibility),
+    );
     rt.batch_size = qep.batch_size.max(1);
     materialize_shared(&mut rt, qep)?;
     let mut streams = Vec::with_capacity(qep.outputs.len());
@@ -125,12 +142,29 @@ pub fn execute_qep_parallel_with_params(
     qep: &Qep,
     params: Params,
 ) -> Result<QueryResult> {
-    let mut rt = Runtime::with_params(catalog, params.clone());
+    execute_qep_parallel_with_visibility(catalog, qep, params, None)
+}
+
+/// [`execute_qep_parallel_with_params`] under an explicit visibility
+/// handle. The snapshot resolved for the shared-subplan pass is pinned and
+/// handed to every stream thread, so all streams of one CO extraction read
+/// the same consistent state.
+pub fn execute_qep_parallel_with_visibility(
+    catalog: &Catalog,
+    qep: &Qep,
+    params: Params,
+    visibility: crate::eval::Visibility,
+) -> Result<QueryResult> {
+    let mut rt = Runtime::with_ctx(
+        catalog,
+        crate::eval::OuterCtx::with_params_and_visibility(params.clone(), visibility),
+    );
     rt.batch_size = qep.batch_size.max(1);
     materialize_shared(&mut rt, qep)?;
     let shared = rt.shared.clone();
     let base_stats = rt.stats;
     let batch_size = rt.batch_size;
+    let snapshot = rt.snapshot.clone();
 
     let joined: Vec<Result<(StreamResult, ExecStats)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = qep
@@ -139,8 +173,12 @@ pub fn execute_qep_parallel_with_params(
             .map(|out| {
                 let shared = shared.clone();
                 let params = params.clone();
+                let snapshot = snapshot.clone();
                 scope.spawn(move || {
-                    let mut rt = Runtime::with_params(catalog, params);
+                    let mut rt = Runtime::with_ctx(
+                        catalog,
+                        crate::eval::OuterCtx::with_params_and_visibility(params, Some(snapshot)),
+                    );
                     rt.shared = shared;
                     rt.batch_size = batch_size;
                     run_output(&mut rt, out).map(|sr| (sr, rt.stats))

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use xnf_plan::PhysExpr;
 use xnf_qgm::QunId;
 use xnf_sql::{BinOp, ScalarFunc, UnaryOp};
-use xnf_storage::Value;
+use xnf_storage::{Snapshot, Value};
 
 use crate::error::{ExecError, Result};
 
@@ -17,12 +17,19 @@ pub type Row = Vec<Value>;
 /// parallel extraction path can hand the same table to every stream thread.
 pub type Params = Arc<Vec<Value>>;
 
+/// The visibility handle threaded through execution: the MVCC snapshot
+/// scans and index lookups filter tuple versions against. `None` means
+/// "latest committed state" (resolved per run by the engine).
+pub type Visibility = Option<Snapshot>;
+
 /// Evaluation context: correlation bindings (outer quantifier → its current
-/// row) plus the parameter binding table for [`PhysExpr::Param`] slots.
+/// row), the parameter binding table for [`PhysExpr::Param`] slots, and the
+/// visibility handle for snapshot-aware reads.
 #[derive(Debug, Clone, Default)]
 pub struct OuterCtx {
     rows: HashMap<QunId, Row>,
     params: Params,
+    visibility: Visibility,
 }
 
 impl OuterCtx {
@@ -35,7 +42,27 @@ impl OuterCtx {
         OuterCtx {
             rows: HashMap::new(),
             params,
+            visibility: None,
         }
+    }
+
+    /// A context with parameter bindings and an explicit snapshot (reads
+    /// inside an open transaction).
+    pub fn with_params_and_visibility(params: Params, visibility: Visibility) -> Self {
+        OuterCtx {
+            rows: HashMap::new(),
+            params,
+            visibility,
+        }
+    }
+
+    /// The snapshot reads should filter against (if pinned to one).
+    pub fn visibility(&self) -> &Visibility {
+        &self.visibility
+    }
+
+    pub fn set_visibility(&mut self, visibility: Visibility) {
+        self.visibility = visibility;
     }
 
     pub fn get(&self, qun: &QunId) -> Option<&Row> {

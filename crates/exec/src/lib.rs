@@ -25,11 +25,20 @@
 //! [`ExecStats::peak_batch_rows`] count the chunks delivered at the
 //! pipeline sinks.
 //!
+//! Reads are **snapshot-aware**: every run resolves one MVCC
+//! [`Snapshot`](xnf_storage::Snapshot) — either the visibility handle the
+//! caller pinned through [`OuterCtx`] (reads inside an open transaction) or
+//! a fresh latest-committed snapshot — and every scan and index lookup
+//! filters tuple versions against it. [`ExecStats::snapshot_seq`] records
+//! which snapshot ran; [`ExecStats::rows_skipped_visibility`] counts the
+//! versions the checks hid.
+//!
 //! Entry points: [`execute_qep`] / [`execute_qep_with_params`] (all output
-//! streams of a QEP) and [`execute_qep_parallel`] (one thread per CO
-//! stream). Scans of materialized-view backing tables (`matview scan`
-//! nodes) execute exactly like base-table scans — the catalog resolves the
-//! view name to its backing storage.
+//! streams of a QEP), [`execute_qep_with_visibility`] (pin a snapshot) and
+//! [`execute_qep_parallel`] (one thread per CO stream). Scans of
+//! materialized-view backing tables (`matview scan` nodes) execute exactly
+//! like base-table scans — the catalog resolves the view name to its
+//! backing storage.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -61,13 +70,14 @@ pub mod ops;
 
 pub use batch::{BatchBuilder, RowBatch, DEFAULT_BATCH_SIZE};
 pub use engine::{
-    execute_qep, execute_qep_parallel, execute_qep_parallel_with_params, execute_qep_with_params,
+    execute_qep, execute_qep_parallel, execute_qep_parallel_with_params,
+    execute_qep_parallel_with_visibility, execute_qep_with_params, execute_qep_with_visibility,
     QueryResult, StreamResult,
 };
 pub use error::{ExecError, Result};
 pub use eval::{
     eval, filter_batch, like_match, passes, passes_batch, project_batch, truthy, CompiledPreds,
-    OuterCtx, Params, Row,
+    OuterCtx, Params, Row, Visibility,
 };
 pub use ops::{build_operator, drain, ExecStats, Operator, Runtime};
 

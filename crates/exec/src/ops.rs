@@ -29,6 +29,13 @@ pub struct ExecStats {
     pub batches_emitted: u64,
     /// Largest single batch observed at a sink (pipeline granularity).
     pub peak_batch_rows: u64,
+    /// Commit-stamp of the MVCC snapshot this run read against (0 = the
+    /// initial, pre-first-commit state).
+    pub snapshot_seq: u64,
+    /// Tuple versions scans and index lookups skipped because the snapshot
+    /// could not see them (uncommitted, superseded, or committed after the
+    /// snapshot was taken).
+    pub rows_skipped_visibility: u64,
 }
 
 impl ExecStats {
@@ -45,6 +52,8 @@ impl ExecStats {
         self.rows_emitted += other.rows_emitted;
         self.batches_emitted += other.batches_emitted;
         self.peak_batch_rows = self.peak_batch_rows.max(other.peak_batch_rows);
+        self.snapshot_seq = self.snapshot_seq.max(other.snapshot_seq);
+        self.rows_skipped_visibility += other.rows_skipped_visibility;
     }
 }
 
@@ -59,28 +68,42 @@ pub struct Runtime<'a> {
     pub stats: ExecStats,
     /// Target rows per streamed batch (from the QEP; ≥ 1).
     pub batch_size: usize,
+    /// The MVCC snapshot every scan and index lookup of this run filters
+    /// against: the visibility handle from the evaluation context when the
+    /// caller pinned one (reads inside an open transaction), otherwise a
+    /// fresh latest-committed snapshot (autocommit statement reads).
+    pub snapshot: xnf_storage::Snapshot,
 }
 
 impl<'a> Runtime<'a> {
     pub fn new(catalog: &'a Catalog) -> Self {
-        Runtime {
-            catalog,
-            shared: Vec::new(),
-            outer: OuterCtx::new(),
-            stats: ExecStats::default(),
-            batch_size: DEFAULT_BATCH_SIZE,
-        }
+        Self::with_ctx(catalog, OuterCtx::new())
     }
 
     /// A runtime with prepared-statement parameter bindings available to
     /// every operator via the evaluation context.
     pub fn with_params(catalog: &'a Catalog, params: crate::eval::Params) -> Self {
+        Self::with_ctx(catalog, OuterCtx::with_params(params))
+    }
+
+    /// A runtime over an explicit evaluation context (parameters +
+    /// visibility handle).
+    pub fn with_ctx(catalog: &'a Catalog, outer: OuterCtx) -> Self {
+        let snapshot = outer
+            .visibility()
+            .clone()
+            .unwrap_or_else(|| catalog.latest_snapshot());
+        let stats = ExecStats {
+            snapshot_seq: snapshot.seq,
+            ..ExecStats::default()
+        };
         Runtime {
             catalog,
             shared: Vec::new(),
-            outer: OuterCtx::with_params(params),
-            stats: ExecStats::default(),
+            outer,
+            stats,
             batch_size: DEFAULT_BATCH_SIZE,
+            snapshot,
         }
     }
 }
@@ -305,14 +328,15 @@ impl Operator for SeqScanOp {
             if let Some(full) = self.pending.take_full() {
                 return Ok(Some(full));
             }
-            match t.scan_page(self.page_idx)? {
+            match t.scan_page_snapshot(self.page_idx, &rt.snapshot)? {
                 None => {
                     self.done = true;
                     return Ok(self.pending.take_rest());
                 }
-                Some(page) => {
+                Some((page, skipped)) => {
                     self.page_idx += 1;
                     rt.stats.rows_scanned += page.len() as u64;
+                    rt.stats.rows_skipped_visibility += skipped;
                     for (_, tuple) in page {
                         if compiled.is_empty() || compiled.matches(&tuple.values, &rt.outer)? {
                             self.pending.push(tuple.values);
@@ -329,8 +353,10 @@ struct IndexEqOp {
     index: String,
     key: Vec<PhysExpr>,
     filter: Vec<PhysExpr>,
-    /// Postings from the index probe; streamed out in batch-sized slices.
-    rids: Option<Vec<xnf_storage::Rid>>,
+    /// Postings from the index probe (plus the probed key and index
+    /// definition for per-posting re-verification); streamed out in
+    /// batch-sized slices.
+    rids: Option<(Vec<xnf_storage::Rid>, Vec<Value>, xnf_storage::IndexDef)>,
     pos: usize,
 }
 
@@ -342,9 +368,12 @@ impl Operator for IndexEqOp {
             for e in &self.key {
                 key.push(eval(e, &[], &rt.outer, &[])?);
             }
-            self.rids = Some(t.index_lookup(&self.index, &key)?);
+            let def = t
+                .index_def(&self.index)
+                .ok_or_else(|| ExecError::Type(format!("unknown index '{}'", self.index)))?;
+            self.rids = Some((t.index_lookup(&self.index, &key)?, key, def));
         }
-        let rids = self.rids.as_ref().unwrap();
+        let (rids, key, def) = self.rids.as_ref().unwrap();
         let compiled = CompiledPreds::compile(&self.filter);
         loop {
             if self.pos >= rids.len() {
@@ -353,10 +382,18 @@ impl Operator for IndexEqOp {
             let end = (self.pos + rt.batch_size).min(rids.len());
             let chunk = &rids[self.pos..end];
             self.pos = end;
-            rt.stats.rows_scanned += chunk.len() as u64;
             let mut batch = RowBatch::with_capacity(0, chunk.len());
             for rid in chunk {
-                let values = t.get(*rid)?.values;
+                // Postings cover every tuple version (and may dangle after
+                // a concurrent rollback reclaims one); only versions that
+                // are visible to this run's snapshot and still carry the
+                // probed key count as scanned rows.
+                let Some(tuple) = t.resolve_posting(*rid, &rt.snapshot, def, key)? else {
+                    rt.stats.rows_skipped_visibility += 1;
+                    continue;
+                };
+                rt.stats.rows_scanned += 1;
+                let values = tuple.values;
                 if compiled.is_empty() || compiled.matches(&values, &rt.outer)? {
                     batch.push(values);
                 }

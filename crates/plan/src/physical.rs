@@ -502,6 +502,10 @@ impl Qep {
             "mode: batch pipeline (batch_size={})\n",
             self.batch_size
         ));
+        // Every scan/index lookup of a run filters tuple versions against
+        // one MVCC snapshot (the executor reports which via
+        // `ExecStats::snapshot_seq` / `rows_skipped_visibility`).
+        s.push_str("visibility: snapshot (MVCC begin/end stamps)\n");
         for (i, p) in self.shared.iter().enumerate() {
             s.push_str(&format!("shared cse{i}:\n"));
             s.push_str(&p.explain());

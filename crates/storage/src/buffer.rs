@@ -4,8 +4,18 @@
 //! The access API is closure-based (`with_page` / `with_page_mut`): a page is
 //! pinned for the duration of the closure and unpinned afterwards, which makes
 //! pin leaks impossible and keeps the executor free of guard lifetimes.
+//!
+//! Concurrency: the frame *map* (page table, pin counts, LRU metadata) is
+//! sharded by page id — each shard behind its own short mutex — and page
+//! *contents* are guarded by a per-frame `RwLock`. A reader resolves and
+//! pins its frame under its shard's lock, then releases the shard and
+//! reads the page under the frame's shared lock — so any number of
+//! sessions scan pages in parallel and concurrent resolutions only collide
+//! when they hash to the same shard. Pinned frames are never evicted,
+//! which is what makes the resolve-then-lock handoff safe. Eviction is
+//! shard-local (each shard owns `capacity / SHARDS` frames).
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -22,41 +32,62 @@ pub struct BufferStats {
     pub dirty_writebacks: u64,
 }
 
+/// Page contents + dirty flag, guarded by a per-frame RwLock.
 struct Frame {
-    page_id: PageId,
     page: Page,
-    pin_count: u32,
     dirty: bool,
+}
+
+/// Map-side metadata of one frame slot.
+struct Slot {
+    page_id: PageId,
+    frame: Arc<RwLock<Frame>>,
+    pin_count: u32,
     last_used: u64,
 }
 
 struct Inner {
-    frames: Vec<Frame>,
+    slots: Vec<Slot>,
     page_table: HashMap<PageId, usize>,
     tick: u64,
     stats: BufferStats,
 }
 
+/// Maximum number of independent map shards.
+const MAX_SHARDS: usize = 16;
+
 /// A bounded page cache in front of the [`DiskManager`].
 pub struct BufferPool {
     disk: Arc<DiskManager>,
     capacity: usize,
-    inner: Mutex<Inner>,
+    /// Per-shard frame capacity (`>= 1`).
+    shard_capacity: usize,
+    shards: Vec<Mutex<Inner>>,
 }
 
 impl BufferPool {
     /// Create a pool of `capacity` frames over `disk`.
     pub fn new(disk: Arc<DiskManager>, capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
+        // Tiny pools (tests, experiments) keep one frame per shard so the
+        // total stays at the requested capacity and eviction still bites.
+        // Floor division keeps the total frame count ≤ `capacity` (slight
+        // undershoot when it doesn't divide evenly — never overshoot).
+        let shard_count = capacity.min(MAX_SHARDS);
         BufferPool {
             disk,
             capacity,
-            inner: Mutex::new(Inner {
-                frames: Vec::new(),
-                page_table: HashMap::new(),
-                tick: 0,
-                stats: BufferStats::default(),
-            }),
+            shard_capacity: (capacity / shard_count).max(1),
+            shards: (0..shard_count)
+                .map(|_| {
+                    Mutex::new(Inner {
+                        slots: Vec::new(),
+                        page_table: HashMap::new(),
+                        tick: 0,
+                        stats: BufferStats::default(),
+                    })
+                })
+                .collect(),
         }
     }
 
@@ -68,74 +99,123 @@ impl BufferPool {
         &self.disk
     }
 
+    fn shard(&self, id: PageId) -> &Mutex<Inner> {
+        &self.shards[(id as usize) % self.shards.len()]
+    }
+
     pub fn stats(&self) -> BufferStats {
-        self.inner.lock().stats
+        let mut total = BufferStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.dirty_writebacks += s.dirty_writebacks;
+        }
+        total
     }
 
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = BufferStats::default();
+        for shard in &self.shards {
+            shard.lock().stats = BufferStats::default();
+        }
+    }
+
+    /// Resolve `id` to a pinned frame (loading from disk on a miss) and
+    /// return its index + content lock.
+    fn pin(&self, id: PageId) -> Result<(usize, Arc<RwLock<Frame>>)> {
+        let mut inner = self.shard(id).lock();
+        let idx = Self::lookup_or_load(&mut inner, &self.disk, self.shard_capacity, id)?;
+        inner.slots[idx].pin_count += 1;
+        Ok((idx, Arc::clone(&inner.slots[idx].frame)))
+    }
+
+    fn unpin(&self, id: PageId, idx: usize) {
+        self.shard(id).lock().slots[idx].pin_count -= 1;
     }
 
     /// Allocate a brand-new page (on disk and in the pool) and initialize it
     /// through `init`. Returns the new page id.
     pub fn new_page<R>(&self, init: impl FnOnce(&mut Page) -> R) -> Result<(PageId, R)> {
         let id = self.disk.allocate();
-        let mut inner = self.inner.lock();
-        let frame_idx = Self::grab_frame(&mut inner, &self.disk, self.capacity, id, Page::new())?;
-        inner.frames[frame_idx].dirty = true;
-        inner.frames[frame_idx].pin_count += 1;
-        let r = init(&mut inner.frames[frame_idx].page);
-        inner.frames[frame_idx].pin_count -= 1;
+        let (idx, frame) = {
+            let mut inner = self.shard(id).lock();
+            let idx =
+                Self::grab_frame(&mut inner, &self.disk, self.shard_capacity, id, Page::new())?;
+            inner.slots[idx].pin_count += 1;
+            (idx, Arc::clone(&inner.slots[idx].frame))
+        };
+        let r = {
+            let mut guard = frame.write();
+            guard.dirty = true;
+            init(&mut guard.page)
+        };
+        self.unpin(id, idx);
         Ok((id, r))
     }
 
-    /// Run `f` with shared access to the page.
+    /// Run `f` with shared access to the page. Concurrent readers of the
+    /// same (or different) pages proceed in parallel.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let idx = Self::lookup_or_load(&mut inner, &self.disk, self.capacity, id)?;
-        inner.frames[idx].pin_count += 1;
-        let r = f(&inner.frames[idx].page);
-        inner.frames[idx].pin_count -= 1;
+        let (idx, frame) = self.pin(id)?;
+        let r = {
+            let guard = frame.read();
+            f(&guard.page)
+        };
+        self.unpin(id, idx);
         Ok(r)
     }
 
     /// Run `f` with exclusive access to the page and mark it dirty.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let idx = Self::lookup_or_load(&mut inner, &self.disk, self.capacity, id)?;
-        inner.frames[idx].pin_count += 1;
-        inner.frames[idx].dirty = true;
-        let r = f(&mut inner.frames[idx].page);
-        inner.frames[idx].pin_count -= 1;
+        let (idx, frame) = self.pin(id)?;
+        let r = {
+            let mut guard = frame.write();
+            guard.dirty = true;
+            f(&mut guard.page)
+        };
+        self.unpin(id, idx);
         Ok(r)
     }
 
     /// Write all dirty pages back to disk.
     pub fn flush_all(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let mut writes = 0;
-        for frame in inner.frames.iter_mut() {
-            if frame.dirty {
-                self.disk.write(frame.page_id, &frame.page)?;
-                frame.dirty = false;
-                writes += 1;
+        for shard in &self.shards {
+            let mut inner = shard.lock();
+            let mut writes = 0;
+            for slot in inner.slots.iter() {
+                let mut frame = slot.frame.write();
+                if frame.dirty {
+                    self.disk.write(slot.page_id, &frame.page)?;
+                    frame.dirty = false;
+                    writes += 1;
+                }
             }
+            inner.stats.dirty_writebacks += writes;
         }
-        inner.stats.dirty_writebacks += writes;
         Ok(())
     }
 
     /// Drop every cached page (flushing dirty ones). Used by experiments to
-    /// measure cold-cache behaviour.
+    /// measure cold-cache behaviour. A shard with a pinned frame (an
+    /// in-flight reader holds a slot index into it) is flushed but not
+    /// dropped — clearing it would invalidate the reader's unpin index.
     pub fn clear(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        for frame in inner.frames.iter() {
-            if frame.dirty {
-                self.disk.write(frame.page_id, &frame.page)?;
+        for shard in &self.shards {
+            let mut inner = shard.lock();
+            let any_pinned = inner.slots.iter().any(|s| s.pin_count > 0);
+            for slot in inner.slots.iter() {
+                let mut frame = slot.frame.write();
+                if frame.dirty {
+                    self.disk.write(slot.page_id, &frame.page)?;
+                    frame.dirty = false;
+                }
+            }
+            if !any_pinned {
+                inner.slots.clear();
+                inner.page_table.clear();
             }
         }
-        inner.frames.clear();
-        inner.page_table.clear();
         Ok(())
     }
 
@@ -149,7 +229,7 @@ impl BufferPool {
         let tick = inner.tick;
         if let Some(&idx) = inner.page_table.get(&id) {
             inner.stats.hits += 1;
-            inner.frames[idx].last_used = tick;
+            inner.slots[idx].last_used = tick;
             return Ok(idx);
         }
         inner.stats.misses += 1;
@@ -157,7 +237,7 @@ impl BufferPool {
         Self::grab_frame(inner, disk, capacity, id, page)
     }
 
-    /// Find a frame for `page` (growing up to capacity, otherwise evicting
+    /// Find a slot for `page` (growing up to capacity, otherwise evicting
     /// the least-recently-used unpinned frame) and install it.
     fn grab_frame(
         inner: &mut Inner,
@@ -168,37 +248,38 @@ impl BufferPool {
     ) -> Result<usize> {
         inner.tick += 1;
         let tick = inner.tick;
-        let idx = if inner.frames.len() < capacity {
-            inner.frames.push(Frame {
+        let idx = if inner.slots.len() < capacity {
+            inner.slots.push(Slot {
                 page_id: id,
-                page,
+                frame: Arc::new(RwLock::new(Frame { page, dirty: false })),
                 pin_count: 0,
-                dirty: false,
                 last_used: tick,
             });
-            inner.frames.len() - 1
+            inner.slots.len() - 1
         } else {
             let victim = inner
-                .frames
+                .slots
                 .iter()
                 .enumerate()
-                .filter(|(_, f)| f.pin_count == 0)
-                .min_by_key(|(_, f)| f.last_used)
+                .filter(|(_, s)| s.pin_count == 0)
+                .min_by_key(|(_, s)| s.last_used)
                 .map(|(i, _)| i)
                 .ok_or(StorageError::BufferPoolExhausted)?;
-            let old = &mut inner.frames[victim];
-            if old.dirty {
-                disk.write(old.page_id, &old.page)?;
-                inner.stats.dirty_writebacks += 1;
+            {
+                // Unpinned ⇒ no in-flight closure holds the frame lock.
+                let old = inner.slots[victim].frame.read();
+                if old.dirty {
+                    disk.write(inner.slots[victim].page_id, &old.page)?;
+                    inner.stats.dirty_writebacks += 1;
+                }
             }
             inner.stats.evictions += 1;
-            let old_id = old.page_id;
+            let old_id = inner.slots[victim].page_id;
             inner.page_table.remove(&old_id);
-            inner.frames[victim] = Frame {
+            inner.slots[victim] = Slot {
                 page_id: id,
-                page,
+                frame: Arc::new(RwLock::new(Frame { page, dirty: false })),
                 pin_count: 0,
-                dirty: false,
                 last_used: tick,
             };
             victim
@@ -259,5 +340,22 @@ mod tests {
         bp.with_page(id, |p| assert_eq!(p.get(0).unwrap(), b"a"))
             .unwrap();
         assert_eq!(bp.stats().misses, 1);
+    }
+
+    #[test]
+    fn parallel_readers_share_pages() {
+        let bp = Arc::new(pool(8));
+        let (id, _) = bp.new_page(|p| p.insert(b"shared").unwrap()).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let bp = Arc::clone(&bp);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let v = bp.with_page(id, |p| p.get(0).unwrap().to_vec()).unwrap();
+                        assert_eq!(v, b"shared");
+                    }
+                });
+            }
+        });
     }
 }

@@ -1,13 +1,17 @@
 //! Catalog: tables (heap + indexes + statistics) and view definitions.
 //!
-//! [`Table`] bundles a heap file with its secondary indexes and keeps them
-//! consistent across inserts, deletes and (possibly relocating) updates.
-//! [`Catalog`] names tables and views; view *text* is stored here (the
-//! front-end re-parses it), mirroring how Starburst kept view definitions in
-//! catalog relations.
+//! [`Table`] bundles a versioned heap file with its secondary indexes and
+//! keeps them consistent across inserts, deletes and updates. Writers of a
+//! table serialize on a short per-table latch (row conflicts are detected
+//! at finer grain by the MVCC delete marks, see [`crate::txn`]); readers
+//! never take it — index lookups go through reader-shared locks and heap
+//! pages through per-frame locks, so concurrent sessions scan in parallel.
+//! [`Catalog`] names tables and views and owns the database-wide
+//! [`TxnManager`]; view *text* is stored here (the front-end re-parses it),
+//! mirroring how Starburst kept view definitions in catalog relations.
 
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::buffer::BufferPool;
@@ -17,6 +21,7 @@ use crate::index::{BTreeIndex, Key};
 use crate::schema::Schema;
 use crate::stats::{StatsBuilder, TableStats};
 use crate::tuple::{Rid, Tuple};
+use crate::txn::{Snapshot, TxnId, TxnManager, FROZEN};
 use crate::value::Value;
 
 /// Numeric table identifier.
@@ -33,29 +38,48 @@ pub struct IndexDef {
 
 struct IndexEntry {
     def: IndexDef,
-    tree: BTreeIndex,
+    /// The tree itself stores postings for *every* version (old snapshots
+    /// may still need superseded rows), so it is physically non-unique;
+    /// uniqueness of `def.unique` indexes is enforced at the [`Table`]
+    /// level against live versions.
+    tree: RwLock<BTreeIndex>,
 }
 
-/// A stored table: schema + heap + indexes + stats.
+/// A stored table: schema + versioned heap + indexes + stats.
 pub struct Table {
     pub id: TableId,
     pub name: String,
     pub schema: Schema,
     heap: HeapFile,
-    indexes: Mutex<Vec<IndexEntry>>,
+    /// Serializes writers of this table (readers never take it). Lock
+    /// order: `write_latch` → `indexes` → tree lock → heap pages.
+    write_latch: Mutex<()>,
+    indexes: RwLock<Vec<IndexEntry>>,
     stats: RwLock<TableStats>,
 }
 
 impl Table {
-    fn new(id: TableId, name: String, schema: Schema, pool: Arc<BufferPool>) -> Self {
+    fn new(
+        id: TableId,
+        name: String,
+        schema: Schema,
+        pool: Arc<BufferPool>,
+        txns: Arc<TxnManager>,
+    ) -> Self {
         Table {
             id,
             name,
             schema,
-            heap: HeapFile::create(pool),
-            indexes: Mutex::new(Vec::new()),
+            heap: HeapFile::create(pool, txns),
+            write_latch: Mutex::new(()),
+            indexes: RwLock::new(Vec::new()),
             stats: RwLock::new(TableStats::default()),
         }
+    }
+
+    /// The transaction manager deciding visibility for this table.
+    pub fn txns(&self) -> &Arc<TxnManager> {
+        self.heap.txns()
     }
 
     fn key_of(def: &IndexDef, tuple: &Tuple) -> Key {
@@ -65,92 +89,234 @@ impl Table {
             .collect()
     }
 
-    /// Insert a tuple, maintaining all indexes. On a unique violation the
-    /// heap insert and any partial index inserts are rolled back.
-    pub fn insert(&self, tuple: &Tuple) -> Result<Rid> {
-        self.schema.validate(&tuple.values)?;
-        let rid = self.heap.insert(tuple)?;
-        let mut indexes = self.indexes.lock();
-        for i in 0..indexes.len() {
-            let key = Self::key_of(&indexes[i].def, tuple);
-            if let Err(e) = indexes[i].tree.insert(key, rid) {
-                // Roll back: remove entries added so far and the heap tuple.
-                for entry in indexes.iter_mut().take(i) {
-                    let key = Self::key_of(&entry.def, tuple);
-                    entry.tree.delete(&key, rid);
+    fn conflict(&self) -> StorageError {
+        StorageError::WriteConflict {
+            table: self.name.clone(),
+        }
+    }
+
+    /// Check `tuple` against every unique index: a violation exists when
+    /// another *live* version (not deleted by a committed transaction or by
+    /// `xid` itself, and not the excluded `skip` version) already carries
+    /// the key. Must be called with the write latch held.
+    fn check_unique(&self, tuple: &Tuple, xid: TxnId, skip: Option<Rid>) -> Result<()> {
+        let writer_view = self.txns().snapshot_for(xid);
+        let indexes = self.indexes.read();
+        for entry in indexes.iter().filter(|e| e.def.unique) {
+            let key = Self::key_of(&entry.def, tuple);
+            for rid in entry.tree.read().get(&key) {
+                if skip == Some(rid) {
+                    continue;
                 }
-                drop(indexes);
-                let _ = self.heap.delete(rid);
-                return Err(e);
+                let (hdr, _) = self.heap.get_versioned(rid)?;
+                if !writer_view.definitely_dead(&hdr) {
+                    return Err(StorageError::UniqueViolation(format_key(&key)));
+                }
             }
         }
+        Ok(())
+    }
+
+    /// Add index entries for a stored version. Must be called with the
+    /// write latch held.
+    fn index_version(&self, tuple: &Tuple, rid: Rid) {
+        let indexes = self.indexes.read();
+        for entry in indexes.iter() {
+            let key = Self::key_of(&entry.def, tuple);
+            entry
+                .tree
+                .write()
+                .insert(key, rid)
+                .expect("non-unique tree insert cannot fail");
+        }
+    }
+
+    /// Remove index entries for a stored version. Must be called with the
+    /// write latch held.
+    fn unindex_version(&self, tuple: &Tuple, rid: Rid) {
+        let indexes = self.indexes.read();
+        for entry in indexes.iter() {
+            let key = Self::key_of(&entry.def, tuple);
+            entry.tree.write().delete(&key, rid);
+        }
+    }
+
+    // -- versioned (MVCC) writes ------------------------------------------
+
+    /// Insert a tuple version created by transaction `xid`, maintaining all
+    /// indexes. The version is invisible to other transactions until `xid`
+    /// commits.
+    pub fn insert_txn(&self, tuple: &Tuple, xid: TxnId) -> Result<Rid> {
+        self.schema.validate(&tuple.values)?;
+        let _w = self.write_latch.lock();
+        self.check_unique(tuple, xid, None)?;
+        let rid = self.heap.insert_version(tuple, xid)?;
+        self.index_version(tuple, rid);
         Ok(rid)
     }
 
-    /// Delete by RID, maintaining indexes. Returns the removed tuple.
-    pub fn delete(&self, rid: Rid) -> Result<Tuple> {
-        let old = self.heap.delete(rid)?;
-        let mut indexes = self.indexes.lock();
-        for entry in indexes.iter_mut() {
-            let key = Self::key_of(&entry.def, &old);
-            entry.tree.delete(&key, rid);
+    /// Mark the version at `rid` deleted by `xid` (first-writer-wins:
+    /// fails with [`StorageError::WriteConflict`] if any transaction
+    /// already wrote it). Index entries remain for older snapshots.
+    /// Returns the tuple image for undo/delta capture.
+    pub fn mark_delete_txn(&self, rid: Rid, xid: TxnId) -> Result<Tuple> {
+        let _w = self.write_latch.lock();
+        self.heap.mark_delete(rid, xid).map_err(|e| match e {
+            StorageError::WriteConflict { .. } => self.conflict(),
+            other => other,
+        })
+    }
+
+    /// MVCC update: mark the old version at `rid` dead and insert a new
+    /// version carrying `new`. Returns `(old_tuple, new_rid)`. Fails with
+    /// [`StorageError::WriteConflict`] when another transaction already
+    /// wrote the row, leaving it untouched.
+    pub fn update_txn(&self, rid: Rid, new: &Tuple, xid: TxnId) -> Result<(Tuple, Rid)> {
+        self.schema.validate(&new.values)?;
+        let _w = self.write_latch.lock();
+        // Claim the row *before* the uniqueness check: a race with another
+        // writer of the same row must surface as a write conflict, not as
+        // a spurious unique violation against the rival's pending version.
+        let old = self.heap.mark_delete(rid, xid).map_err(|e| match e {
+            StorageError::WriteConflict { .. } => self.conflict(),
+            other => other,
+        })?;
+        if let Err(e) = self.check_unique(new, xid, Some(rid)) {
+            let _ = self.heap.clear_delete_mark(rid, xid);
+            return Err(e);
         }
+        let new_rid = self.heap.insert_version(new, xid)?;
+        self.index_version(new, new_rid);
+        Ok((old, new_rid))
+    }
+
+    /// Physically remove the version at `rid` with its index entries
+    /// (rollback of an insert, or garbage collection).
+    pub fn remove_version(&self, rid: Rid) -> Result<Tuple> {
+        let _w = self.write_latch.lock();
+        let old = self.heap.delete(rid)?;
+        self.unindex_version(&old, rid);
         Ok(old)
     }
 
-    /// Update by RID; relocation and key changes re-point indexes.
-    /// Returns `(old_tuple, new_rid)`.
+    /// Clear a delete mark set by `xid` (rollback of a delete/update).
+    pub fn clear_delete_mark(&self, rid: Rid, xid: TxnId) -> Result<()> {
+        let _w = self.write_latch.lock();
+        self.heap.clear_delete_mark(rid, xid)
+    }
+
+    // -- frozen (unversioned) writes --------------------------------------
+
+    /// Insert a frozen tuple: immediately visible to every snapshot and not
+    /// subject to rollback. Fixture loads and materialized-view backing
+    /// storage use this; transactional DML goes through
+    /// [`Table::insert_txn`].
+    pub fn insert(&self, tuple: &Tuple) -> Result<Rid> {
+        self.insert_txn(tuple, FROZEN)
+    }
+
+    /// Physically delete by RID, maintaining indexes. Returns the removed
+    /// tuple. Reserved for frozen storage (no snapshot can resurrect it).
+    pub fn delete(&self, rid: Rid) -> Result<Tuple> {
+        self.remove_version(rid)
+    }
+
+    /// Physically update by RID in place; relocation and key changes
+    /// re-point indexes. Returns `(old_tuple, new_rid)`. Reserved for
+    /// frozen storage.
     pub fn update(&self, rid: Rid, new: &Tuple) -> Result<(Tuple, Rid)> {
         self.schema.validate(&new.values)?;
+        let _w = self.write_latch.lock();
+        self.check_unique(new, FROZEN, Some(rid))?;
         let (old, new_rid) = self.heap.update(rid, new)?;
-        let mut indexes = self.indexes.lock();
-        for entry in indexes.iter_mut() {
+        let indexes = self.indexes.read();
+        for entry in indexes.iter() {
             let old_key = Self::key_of(&entry.def, &old);
             let new_key = Self::key_of(&entry.def, new);
             if old_key != new_key || rid != new_rid {
-                entry.tree.delete(&old_key, rid);
-                // Unique violations on update surface to the caller; the heap
-                // already holds the new image, so restore it on failure.
-                if let Err(e) = entry.tree.insert(new_key, new_rid) {
-                    drop(indexes);
-                    let _ = self.heap.update(new_rid, &old);
-                    return Err(e);
-                }
+                let mut tree = entry.tree.write();
+                tree.delete(&old_key, rid);
+                tree.insert(new_key, new_rid)
+                    .expect("non-unique tree insert cannot fail");
             }
         }
         Ok((old, new_rid))
     }
 
-    /// Fetch one tuple.
+    // -- reads -------------------------------------------------------------
+
+    /// Fetch one tuple, whatever its version state (raw read; snapshot
+    /// readers use [`Table::get_snapshot`]).
     pub fn get(&self, rid: Rid) -> Result<Tuple> {
         self.heap.get(rid)
     }
 
-    /// Full scan; see [`HeapFile::for_each`].
+    /// Fetch the tuple at `rid` if visible to `snap`.
+    pub fn get_snapshot(&self, rid: Rid, snap: &Snapshot) -> Result<Option<Tuple>> {
+        self.heap.get_snapshot(rid, snap)
+    }
+
+    /// Fetch the tuple at `rid` if visible to the latest-committed
+    /// snapshot.
+    pub fn get_latest(&self, rid: Rid) -> Result<Option<Tuple>> {
+        self.heap.get_snapshot(rid, &self.txns().snapshot_latest())
+    }
+
+    /// Scan tuples visible to the latest-committed snapshot; see
+    /// [`HeapFile::for_each`].
     pub fn for_each(&self, f: impl FnMut(Rid, Tuple) -> Result<bool>) -> Result<()> {
         self.heap.for_each(f)
+    }
+
+    /// Scan tuples visible to `snap`.
+    pub fn for_each_visible(
+        &self,
+        snap: &Snapshot,
+        f: impl FnMut(Rid, Tuple) -> Result<bool>,
+    ) -> Result<()> {
+        self.heap.for_each_snapshot(snap, f)
     }
 
     pub fn scan_all(&self) -> Result<Vec<(Rid, Tuple)>> {
         self.heap.scan_all()
     }
 
-    /// Streaming scan unit; see [`HeapFile::scan_page`].
+    /// Streaming scan unit (latest-committed visibility); see
+    /// [`HeapFile::scan_page`].
     pub fn scan_page(&self, idx: usize) -> Result<Option<Vec<(Rid, Tuple)>>> {
         self.heap.scan_page(idx)
     }
 
+    /// Streaming scan unit under an explicit snapshot; also returns how
+    /// many versions the visibility check skipped.
+    pub fn scan_page_snapshot(
+        &self,
+        idx: usize,
+        snap: &Snapshot,
+    ) -> Result<Option<crate::heap::VisiblePage>> {
+        self.heap.scan_page_snapshot(idx, snap)
+    }
+
+    /// Number of rows visible to the latest-committed snapshot.
     pub fn row_count(&self) -> Result<usize> {
         self.heap.count()
+    }
+
+    /// Number of rows visible to `snap`.
+    pub fn row_count_visible(&self, snap: &Snapshot) -> Result<usize> {
+        self.heap.count_snapshot(snap)
     }
 
     pub fn page_count(&self) -> usize {
         self.heap.page_count()
     }
 
-    /// Add a secondary index over `columns`, building it from current data.
+    /// Add a secondary index over `columns`, building it from current data
+    /// (every stored version gets an entry; uniqueness is checked over the
+    /// currently-live versions only).
     pub fn create_index(&self, name: &str, columns: Vec<usize>, unique: bool) -> Result<()> {
-        let mut indexes = self.indexes.lock();
+        let _w = self.write_latch.lock();
+        let mut indexes = self.indexes.write();
         if indexes
             .iter()
             .any(|e| e.def.name.eq_ignore_ascii_case(name))
@@ -162,56 +328,112 @@ impl Table {
             columns,
             unique,
         };
-        let mut tree = BTreeIndex::new(unique);
-        self.heap.for_each(|rid, t| {
-            tree.insert(Table::key_of(&def, &t), rid)?;
+        let mut tree = BTreeIndex::new(false);
+        let latest = self.txns().snapshot_latest();
+        let mut live_keys: HashSet<Key> = HashSet::new();
+        let mut build_err = None;
+        self.heap.for_each_version(|rid, hdr, t| {
+            let key = Table::key_of(&def, &t);
+            if unique && hdr.xmax == 0 && latest.sees(&hdr) && !live_keys.insert(key.clone()) {
+                build_err = Some(StorageError::UniqueViolation(format_key(&key)));
+                return Ok(false);
+            }
+            tree.insert(key, rid)?;
             Ok(true)
         })?;
-        indexes.push(IndexEntry { def, tree });
+        if let Some(e) = build_err {
+            return Err(e);
+        }
+        indexes.push(IndexEntry {
+            def,
+            tree: RwLock::new(tree),
+        });
         Ok(())
     }
 
     /// Names and definitions of all indexes.
     pub fn index_defs(&self) -> Vec<IndexDef> {
-        self.indexes.lock().iter().map(|e| e.def.clone()).collect()
+        self.indexes.read().iter().map(|e| e.def.clone()).collect()
+    }
+
+    /// Definition of the named index, if it exists.
+    pub fn index_def(&self, name: &str) -> Option<IndexDef> {
+        self.indexes
+            .read()
+            .iter()
+            .find(|e| e.def.name.eq_ignore_ascii_case(name))
+            .map(|e| e.def.clone())
+    }
+
+    /// Resolve one index posting under `snap`: the tuple at `rid` if the
+    /// slot still holds a version that is visible **and** still carries
+    /// `key` in the index's columns. Postings are collected without any
+    /// lock coupling to the heap, so by the time a reader dereferences one
+    /// a concurrent rollback may have physically reclaimed the slot — and
+    /// a later insert may have reused it for an unrelated row. Both cases
+    /// resolve to `None` (invisible), never to an error or a wrong row.
+    pub fn resolve_posting(
+        &self,
+        rid: Rid,
+        snap: &Snapshot,
+        def: &IndexDef,
+        key: &Key,
+    ) -> Result<Option<Tuple>> {
+        let Some((hdr, tuple)) = self.heap.try_get_versioned(rid)? else {
+            return Ok(None);
+        };
+        if !snap.sees(&hdr) {
+            return Ok(None);
+        }
+        let matches = def
+            .columns
+            .iter()
+            .zip(key.iter())
+            .all(|(&c, k)| tuple.values.get(c) == Some(k));
+        Ok(if matches { Some(tuple) } else { None })
     }
 
     /// Find an index whose column list starts with exactly `columns` (we use
     /// exact-prefix match; the planner only asks for full-key equality).
     pub fn find_index(&self, columns: &[usize]) -> Option<IndexDef> {
         self.indexes
-            .lock()
+            .read()
             .iter()
             .find(|e| e.def.columns.len() == columns.len() && e.def.columns == columns)
             .map(|e| e.def.clone())
     }
 
-    /// Point lookup through the named index.
+    /// Point lookup through the named index. The postings cover every
+    /// stored version; snapshot readers filter through
+    /// [`Table::get_snapshot`] (the executor's `IndexEq` does this).
     pub fn index_lookup(&self, index_name: &str, key: &Key) -> Result<Vec<Rid>> {
-        let indexes = self.indexes.lock();
+        let indexes = self.indexes.read();
         let entry = indexes
             .iter()
             .find(|e| e.def.name.eq_ignore_ascii_case(index_name))
             .ok_or_else(|| StorageError::UnknownIndex(index_name.to_string()))?;
-        Ok(entry.tree.get(key))
+        let rids = entry.tree.read().get(key);
+        Ok(rids)
     }
 
-    /// Range scan through the named index.
+    /// Range scan through the named index (all versions; see
+    /// [`Table::index_lookup`]).
     pub fn index_range(
         &self,
         index_name: &str,
         lo: std::ops::Bound<&Key>,
         hi: std::ops::Bound<&Key>,
     ) -> Result<Vec<(Key, Rid)>> {
-        let indexes = self.indexes.lock();
+        let indexes = self.indexes.read();
         let entry = indexes
             .iter()
             .find(|e| e.def.name.eq_ignore_ascii_case(index_name))
             .ok_or_else(|| StorageError::UnknownIndex(index_name.to_string()))?;
-        Ok(entry.tree.range(lo, hi))
+        let r = entry.tree.read().range(lo, hi);
+        Ok(r)
     }
 
-    /// Recompute statistics with a full scan.
+    /// Recompute statistics with a full scan (latest-committed visibility).
     pub fn analyze(&self) -> Result<TableStats> {
         let mut b = StatsBuilder::new(self.schema.len());
         self.heap.for_each(|_, t| {
@@ -233,19 +455,34 @@ impl Table {
         self.schema.resolve(&self.name, name)
     }
 
-    /// Convenience: fetch all tuples whose `col = value` using an index when
-    /// one exists, else a scan (used by write-back and tests, not the planner).
+    /// Convenience: fetch all tuples whose `col = value` that are visible
+    /// to the latest-committed snapshot, using an index when one exists,
+    /// else a scan (used by write-back, maintenance and tests, not the
+    /// planner).
     pub fn find_by_value(&self, col: usize, value: &Value) -> Result<Vec<(Rid, Tuple)>> {
+        self.find_by_value_visible(col, value, &self.txns().snapshot_latest())
+    }
+
+    /// [`Table::find_by_value`] under an explicit snapshot.
+    pub fn find_by_value_visible(
+        &self,
+        col: usize,
+        value: &Value,
+        snap: &Snapshot,
+    ) -> Result<Vec<(Rid, Tuple)>> {
         if let Some(def) = self.find_index(&[col]) {
-            let rids = self.index_lookup(&def.name, &vec![value.clone()])?;
+            let key = vec![value.clone()];
+            let rids = self.index_lookup(&def.name, &key)?;
             let mut out = Vec::with_capacity(rids.len());
             for rid in rids {
-                out.push((rid, self.get(rid)?));
+                if let Some(t) = self.resolve_posting(rid, snap, &def, &key)? {
+                    out.push((rid, t));
+                }
             }
             return Ok(out);
         }
         let mut out = Vec::new();
-        self.for_each(|rid, t| {
+        self.for_each_visible(snap, |rid, t| {
             if t.values[col].sql_eq(value) == Some(true) {
                 out.push((rid, t));
             }
@@ -253,6 +490,11 @@ impl Table {
         })?;
         Ok(out)
     }
+}
+
+fn format_key(key: &Key) -> String {
+    let parts: Vec<String> = key.iter().map(|v| v.to_string()).collect();
+    format!("({})", parts.join(", "))
 }
 
 /// Kind of a stored view definition.
@@ -345,6 +587,8 @@ impl MatView {
 /// The catalog of a database instance.
 pub struct Catalog {
     pool: Arc<BufferPool>,
+    /// Database-wide transaction state (txn ids + commit stamps).
+    txns: Arc<TxnManager>,
     tables: RwLock<HashMap<String, Arc<Table>>>,
     views: RwLock<HashMap<String, ViewDef>>,
     /// Backing storage of materialized views, keyed like `views`.
@@ -359,6 +603,7 @@ impl Catalog {
     pub fn new(pool: Arc<BufferPool>) -> Self {
         Catalog {
             pool,
+            txns: Arc::new(TxnManager::new()),
             tables: RwLock::new(HashMap::new()),
             views: RwLock::new(HashMap::new()),
             matviews: RwLock::new(HashMap::new()),
@@ -369,6 +614,17 @@ impl Catalog {
 
     pub fn buffer_pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// The database-wide transaction manager.
+    pub fn txns(&self) -> &Arc<TxnManager> {
+        &self.txns
+    }
+
+    /// A snapshot of the latest committed state (what autocommit
+    /// statements read).
+    pub fn latest_snapshot(&self) -> Snapshot {
+        self.txns.snapshot_latest()
     }
 
     /// Current DDL generation. Any CREATE/DROP of a table or view (and
@@ -407,6 +663,7 @@ impl Catalog {
             name.to_string(),
             schema,
             Arc::clone(&self.pool),
+            Arc::clone(&self.txns),
         ));
         tables.insert(key, Arc::clone(&t));
         self.bump_generation();
@@ -530,7 +787,13 @@ impl Catalog {
         *next += 1;
         MatViewStream {
             name: stream.to_string(),
-            table: Arc::new(Table::new(id, table_name, schema, Arc::clone(&self.pool))),
+            table: Arc::new(Table::new(
+                id,
+                table_name,
+                schema,
+                Arc::clone(&self.pool),
+                Arc::clone(&self.txns),
+            )),
         }
     }
 
@@ -712,6 +975,51 @@ mod tests {
             before,
             "heap unchanged after failed insert"
         );
+    }
+
+    #[test]
+    fn unique_key_reusable_after_mvcc_delete_commits() {
+        let c = catalog();
+        let t = c.create_table("EMP", emp_schema()).unwrap();
+        t.create_index("emp_eno", vec![0], true).unwrap();
+        let rid = t.insert(&emp(1, 1)).unwrap();
+
+        let a = t.txns().allocate();
+        t.mark_delete_txn(rid, a).unwrap();
+        // While A is uncommitted, the key is conservatively still taken for
+        // everyone else…
+        let b = t.txns().allocate();
+        assert!(t.insert_txn(&emp(1, 5), b).is_err());
+        // …but free for A itself and, after A commits, for everyone.
+        t.txns().commit(a);
+        let rid2 = t.insert_txn(&emp(1, 9), b).unwrap();
+        t.txns().commit(b);
+        let visible = t.find_by_value(0, &Value::Int(1)).unwrap();
+        assert_eq!(visible, vec![(rid2, emp(1, 9))]);
+    }
+
+    #[test]
+    fn versioned_update_keeps_old_version_for_old_snapshots() {
+        let c = catalog();
+        let t = c.create_table("EMP", emp_schema()).unwrap();
+        t.create_index("emp_eno", vec![0], true).unwrap();
+        let rid = t.insert(&emp(1, 1)).unwrap();
+
+        let before = c.latest_snapshot();
+        let a = t.txns().allocate();
+        t.update_txn(rid, &emp(1, 42), a).unwrap();
+        t.txns().commit(a);
+
+        // Old snapshot: original row, via scan and via index.
+        assert_eq!(
+            t.find_by_value_visible(0, &Value::Int(1), &before).unwrap()[0].1,
+            emp(1, 1)
+        );
+        // Fresh snapshot: updated row only, even though the index holds
+        // postings for both versions.
+        let now = t.find_by_value(0, &Value::Int(1)).unwrap();
+        assert_eq!(now.len(), 1);
+        assert_eq!(now[0].1, emp(1, 42));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use crate::tuple::Tuple;
+use crate::txn::{TxnId, FROZEN};
 
 /// One changed row: the before/after images the maintenance layer needs.
 #[derive(Debug, Clone)]
@@ -44,16 +45,54 @@ impl DeltaRow {
 }
 
 /// All row images captured by one statement (or one write-back), grouped
-/// per base table. Table names are stored uppercased (the catalog's
-/// normalized spelling).
+/// per base table and tagged with the transaction that produced them.
+/// Table names are stored uppercased (the catalog's normalized spelling).
+///
+/// Under explicit transactions every statement appends (via the
+/// `record_*` methods) into the transaction's single batch, which is
+/// propagated to dependent materialized views only at COMMIT —
+/// maintenance never sees uncommitted deltas, and a rolled-back
+/// transaction's deltas are simply dropped. [`DeltaBatch::merge`] folds
+/// separately-built batches for producers that cannot share one batch.
 #[derive(Debug, Clone, Default)]
 pub struct DeltaBatch {
     per_table: HashMap<String, Vec<DeltaRow>>,
+    /// The transaction whose statements produced these images (`FROZEN`
+    /// for autocommit work captured outside an explicit transaction).
+    txn: TxnId,
 }
 
 impl DeltaBatch {
     pub fn new() -> Self {
         DeltaBatch::default()
+    }
+
+    /// A batch tagged as produced by transaction `txn`.
+    pub fn for_txn(txn: TxnId) -> Self {
+        DeltaBatch {
+            per_table: HashMap::new(),
+            txn,
+        }
+    }
+
+    /// The transaction this batch belongs to (`FROZEN` = autocommit).
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Fold another batch (a later statement of the same transaction) into
+    /// this one, preserving per-table statement order.
+    pub fn merge(&mut self, other: DeltaBatch) {
+        debug_assert!(
+            self.txn == FROZEN || other.txn == FROZEN || self.txn == other.txn,
+            "merging delta batches of different transactions"
+        );
+        if self.txn == FROZEN {
+            self.txn = other.txn;
+        }
+        for (table, rows) in other.per_table {
+            self.per_table.entry(table).or_default().extend(rows);
+        }
     }
 
     fn rows_mut(&mut self, table: &str) -> &mut Vec<DeltaRow> {
@@ -120,5 +159,18 @@ mod tests {
         assert!(!d.touches_any(["PROJ"]));
         let old = d.rows("dept")[0].before().unwrap().values[0].clone();
         assert!(matches!(old, Value::Int(3)));
+    }
+
+    #[test]
+    fn merge_concatenates_per_table_and_adopts_txn_tag() {
+        let mut a = DeltaBatch::new();
+        a.record_insert("emp", Tuple::new(vec![Value::Int(1)]));
+        let mut b = DeltaBatch::for_txn(7);
+        b.record_insert("EMP", Tuple::new(vec![Value::Int(2)]));
+        b.record_delete("DEPT", Tuple::new(vec![Value::Int(3)]));
+        a.merge(b);
+        assert_eq!(a.txn(), 7);
+        assert_eq!(a.rows("emp").len(), 2);
+        assert_eq!(a.rows("dept").len(), 1);
     }
 }

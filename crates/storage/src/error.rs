@@ -41,6 +41,11 @@ pub enum StorageError {
     UniqueViolation(String),
     /// Transaction misuse (e.g. commit without begin).
     TxnState(&'static str),
+    /// First-writer-wins row conflict: another transaction already wrote
+    /// (updated or deleted) the row this transaction tried to write.
+    WriteConflict {
+        table: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -73,6 +78,13 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt(what) => write!(f, "corrupt data: {what}"),
             StorageError::UniqueViolation(k) => write!(f, "unique constraint violated for key {k}"),
             StorageError::TxnState(s) => write!(f, "transaction state error: {s}"),
+            StorageError::WriteConflict { table } => {
+                write!(
+                    f,
+                    "write conflict on table '{table}': row already written by a \
+                     concurrent transaction"
+                )
+            }
         }
     }
 }

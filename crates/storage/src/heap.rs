@@ -1,10 +1,19 @@
-//! Heap files: unordered collections of tuples addressed by [`Rid`].
+//! Heap files: unordered collections of versioned tuples addressed by
+//! [`Rid`].
 //!
-//! A heap file owns a list of page ids plus a coarse free-space map. Tuples
-//! are stored encoded (see [`crate::tuple`]); RIDs stay stable across
-//! in-page updates; an update that no longer fits its page relocates the
-//! tuple and returns the new RID (callers — the index maintenance layer —
-//! must re-point indexes, which [`crate::catalog::Catalog`] does).
+//! A heap file owns a list of page ids plus a coarse free-space map. Every
+//! stored record is a [`VersionHdr`] (the creating/deleting transaction
+//! ids, see [`crate::txn`]) followed by the encoded tuple. RIDs are stable
+//! for the lifetime of a version: MVCC writers never overwrite a version in
+//! place — an update marks the old version dead and inserts a new one —
+//! so concurrent readers at older snapshots keep resolving their RIDs.
+//!
+//! Reads come in two flavours: *snapshot* reads (`*_snapshot`) filter
+//! versions through an explicit [`Snapshot`], and plain reads filter
+//! through a fresh latest-committed snapshot (what autocommit statements
+//! and maintenance code see). Physical `delete`/`update` bypass versioning
+//! and are reserved for unversioned ("frozen") storage such as
+//! materialized-view backing tables and rollback's undo.
 
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -14,21 +23,44 @@ use crate::disk::PageId;
 use crate::error::{Result, StorageError};
 use crate::page::Page;
 use crate::tuple::{Rid, Tuple};
+use crate::txn::{Snapshot, TxnId, TxnManager, VersionHdr};
 
-/// A heap file of encoded tuples.
+/// One page's worth of snapshot-visible rows plus the number of tuple
+/// versions the visibility check skipped.
+pub type VisiblePage = (Vec<(Rid, Tuple)>, u64);
+
+/// A heap file of encoded, versioned tuples.
 pub struct HeapFile {
     pool: Arc<BufferPool>,
+    txns: Arc<TxnManager>,
     /// All pages of this heap, in allocation order.
     pages: RwLock<Vec<PageId>>,
     /// Approximate free bytes per page (parallel to `pages`).
     free: RwLock<Vec<u16>>,
 }
 
+/// Encode a version header + tuple into one heap record.
+fn encode_record(hdr: VersionHdr, tuple: &Tuple) -> Vec<u8> {
+    let mut out = Vec::with_capacity(VersionHdr::SIZE + tuple.byte_size() + tuple.len() + 2);
+    hdr.encode(&mut out);
+    tuple.encode_into(&mut out);
+    out
+}
+
+/// Decode one heap record into its header and tuple.
+fn decode_record(bytes: &[u8]) -> Result<(VersionHdr, Tuple)> {
+    let (hdr, rest) =
+        VersionHdr::decode(bytes).ok_or(StorageError::Corrupt("truncated version header"))?;
+    Ok((hdr, Tuple::decode(rest)?))
+}
+
 impl HeapFile {
-    /// Create an empty heap file backed by `pool`.
-    pub fn create(pool: Arc<BufferPool>) -> Self {
+    /// Create an empty heap file backed by `pool`, with visibility decided
+    /// through `txns`.
+    pub fn create(pool: Arc<BufferPool>, txns: Arc<TxnManager>) -> Self {
         HeapFile {
             pool,
+            txns,
             pages: RwLock::new(Vec::new()),
             free: RwLock::new(Vec::new()),
         }
@@ -42,9 +74,19 @@ impl HeapFile {
         self.pages.read().clone()
     }
 
-    /// Insert a tuple, returning its new RID.
+    /// The transaction manager deciding visibility for this heap.
+    pub fn txns(&self) -> &Arc<TxnManager> {
+        &self.txns
+    }
+
+    /// Insert a frozen (always-visible) tuple, returning its new RID.
     pub fn insert(&self, tuple: &Tuple) -> Result<Rid> {
-        let record = tuple.encode();
+        self.insert_version(tuple, crate::txn::FROZEN)
+    }
+
+    /// Insert a tuple version created by transaction `xmin`.
+    pub fn insert_version(&self, tuple: &Tuple, xmin: TxnId) -> Result<Rid> {
+        let record = encode_record(VersionHdr { xmin, xmax: 0 }, tuple);
         if record.len() > Page::max_record_size() {
             return Err(StorageError::TupleTooLarge(record.len()));
         }
@@ -82,20 +124,94 @@ impl HeapFile {
         Ok(Rid::new(pid, slot))
     }
 
-    /// Fetch a tuple by RID.
+    /// Fetch the raw tuple at `rid`, whatever its version state. Callers
+    /// that care about visibility use [`HeapFile::get_snapshot`].
     pub fn get(&self, rid: Rid) -> Result<Tuple> {
-        self.pool.with_page(rid.page, |p| {
-            p.get(rid.slot)
-                .map(Tuple::decode)
-                .ok_or(StorageError::InvalidRid {
-                    page: rid.page,
-                    slot: rid.slot,
-                })
-        })??
+        Ok(self.get_versioned(rid)?.1)
     }
 
-    /// Delete a tuple. Returns the old tuple (for undo logging / index
-    /// maintenance).
+    /// Fetch the version header and tuple at `rid`.
+    pub fn get_versioned(&self, rid: Rid) -> Result<(VersionHdr, Tuple)> {
+        self.try_get_versioned(rid)?
+            .ok_or(StorageError::InvalidRid {
+                page: rid.page,
+                slot: rid.slot,
+            })
+    }
+
+    /// Fetch the version header and tuple at `rid`, or `None` when the
+    /// slot holds no record (e.g. a rollback physically reclaimed the
+    /// version after the caller obtained the RID from an index posting).
+    pub fn try_get_versioned(&self, rid: Rid) -> Result<Option<(VersionHdr, Tuple)>> {
+        self.pool
+            .with_page(rid.page, |p| p.get(rid.slot).map(decode_record).transpose())?
+    }
+
+    /// Fetch the tuple at `rid` if it is visible to `snap`.
+    pub fn get_snapshot(&self, rid: Rid, snap: &Snapshot) -> Result<Option<Tuple>> {
+        let (hdr, tuple) = self.get_versioned(rid)?;
+        Ok(if snap.sees(&hdr) { Some(tuple) } else { None })
+    }
+
+    /// Set the delete mark (`xmax = xid`) on the version at `rid`.
+    /// First-writer-wins: fails with [`StorageError::WriteConflict`] when
+    /// another transaction (committed or in flight) already marked it.
+    /// Returns the tuple image for undo/delta capture.
+    pub fn mark_delete(&self, rid: Rid, xid: TxnId) -> Result<Tuple> {
+        self.pool.with_page_mut(rid.page, |p| {
+            let bytes = p.get(rid.slot).ok_or(StorageError::InvalidRid {
+                page: rid.page,
+                slot: rid.slot,
+            })?;
+            let (hdr, tuple) = decode_record(bytes)?;
+            if hdr.xmax != 0 {
+                return Err(StorageError::WriteConflict {
+                    table: String::new(),
+                });
+            }
+            let record = encode_record(
+                VersionHdr {
+                    xmin: hdr.xmin,
+                    xmax: xid,
+                },
+                &tuple,
+            );
+            // Same record size: the in-place update cannot fail to fit.
+            if !p.update(rid.slot, &record)? {
+                return Err(StorageError::Corrupt("same-size header update did not fit"));
+            }
+            Ok(tuple)
+        })?
+    }
+
+    /// Clear a delete mark set by `xid` (rollback). A mark set by a
+    /// different transaction is left alone.
+    pub fn clear_delete_mark(&self, rid: Rid, xid: TxnId) -> Result<()> {
+        self.pool.with_page_mut(rid.page, |p| {
+            let bytes = p.get(rid.slot).ok_or(StorageError::InvalidRid {
+                page: rid.page,
+                slot: rid.slot,
+            })?;
+            let (hdr, tuple) = decode_record(bytes)?;
+            if hdr.xmax != xid {
+                return Ok(());
+            }
+            let record = encode_record(
+                VersionHdr {
+                    xmin: hdr.xmin,
+                    xmax: 0,
+                },
+                &tuple,
+            );
+            if !p.update(rid.slot, &record)? {
+                return Err(StorageError::Corrupt("same-size header update did not fit"));
+            }
+            Ok(())
+        })?
+    }
+
+    /// Physically delete a record. Returns the old tuple (for index
+    /// maintenance). Reserved for frozen storage and rollback.
     pub fn delete(&self, rid: Rid) -> Result<Tuple> {
         let old = self.get(rid)?;
         let freed = self.pool.with_page_mut(rid.page, |p| {
@@ -112,12 +228,13 @@ impl HeapFile {
         Ok(old)
     }
 
-    /// Update a tuple in place when possible; relocates otherwise.
+    /// Physically update a tuple in place when possible (preserving its
+    /// version header); relocates otherwise. Reserved for frozen storage.
     ///
     /// Returns `(old_tuple, new_rid)`; `new_rid == rid` unless relocated.
     pub fn update(&self, rid: Rid, new: &Tuple) -> Result<(Tuple, Rid)> {
-        let old = self.get(rid)?;
-        let record = new.encode();
+        let (hdr, old) = self.get_versioned(rid)?;
+        let record = encode_record(hdr, new);
         let updated = self
             .pool
             .with_page_mut(rid.page, |p| p.update(rid.slot, &record))??;
@@ -126,23 +243,50 @@ impl HeapFile {
         }
         // Relocate: delete here, insert elsewhere.
         self.pool.with_page_mut(rid.page, |p| p.delete(rid.slot))?;
-        let new_rid = self.insert(new)?;
+        let new_rid = self.insert_version(new, hdr.xmin)?;
         Ok((old, new_rid))
     }
 
-    /// Scan every live tuple. The closure receives `(rid, tuple)` and may
-    /// return `false` to stop early.
-    pub fn for_each(&self, mut f: impl FnMut(Rid, Tuple) -> Result<bool>) -> Result<()> {
+    /// Scan every tuple visible to the latest-committed snapshot. The
+    /// closure receives `(rid, tuple)` and may return `false` to stop early.
+    pub fn for_each(&self, f: impl FnMut(Rid, Tuple) -> Result<bool>) -> Result<()> {
+        self.for_each_snapshot(&self.txns.snapshot_latest(), f)
+    }
+
+    /// Scan every tuple visible to `snap`.
+    pub fn for_each_snapshot(
+        &self,
+        snap: &Snapshot,
+        mut f: impl FnMut(Rid, Tuple) -> Result<bool>,
+    ) -> Result<()> {
+        let mut idx = 0;
+        while let Some((batch, _skipped)) = self.scan_page_snapshot(idx, snap)? {
+            for (rid, t) in batch {
+                if !f(rid, t)? {
+                    return Ok(());
+                }
+            }
+            idx += 1;
+        }
+        Ok(())
+    }
+
+    /// Scan every stored version, including dead and uncommitted ones
+    /// (index backfill needs entries for all versions old snapshots may
+    /// still read).
+    pub fn for_each_version(
+        &self,
+        mut f: impl FnMut(Rid, VersionHdr, Tuple) -> Result<bool>,
+    ) -> Result<()> {
         let pages = self.pages.read().clone();
         for pid in pages {
-            // Decode the page's tuples while pinned, then release.
-            let batch: Vec<(u16, Tuple)> = self.pool.with_page(pid, |p| {
+            let batch: Vec<(u16, VersionHdr, Tuple)> = self.pool.with_page(pid, |p| {
                 p.iter()
-                    .map(|(slot, rec)| Tuple::decode(rec).map(|t| (slot, t)))
+                    .map(|(slot, rec)| decode_record(rec).map(|(h, t)| (slot, h, t)))
                     .collect::<Result<Vec<_>>>()
             })??;
-            for (slot, t) in batch {
-                if !f(Rid::new(pid, slot), t)? {
+            for (slot, h, t) in batch {
+                if !f(Rid::new(pid, slot), h, t)? {
                     return Ok(());
                 }
             }
@@ -150,24 +294,46 @@ impl HeapFile {
         Ok(())
     }
 
-    /// Decode the live tuples of the `idx`-th page of this heap (by
-    /// position in the allocation-ordered page list). Returns `None` once
-    /// `idx` runs past the end. This is the streaming unit batch scans pull
-    /// on demand, so a scan holds at most one page's tuples at a time.
+    /// Decode the `idx`-th page's tuples that are visible to the
+    /// latest-committed snapshot; see [`HeapFile::scan_page_snapshot`].
     pub fn scan_page(&self, idx: usize) -> Result<Option<Vec<(Rid, Tuple)>>> {
+        Ok(self
+            .scan_page_snapshot(idx, &self.txns.snapshot_latest())?
+            .map(|(rows, _)| rows))
+    }
+
+    /// Decode the live tuples of the `idx`-th page of this heap (by
+    /// position in the allocation-ordered page list) that are visible to
+    /// `snap`, plus the number of versions the visibility check skipped.
+    /// Returns `None` once `idx` runs past the end. This is the streaming
+    /// unit batch scans pull on demand, so a scan holds at most one page's
+    /// tuples at a time; the page latch is held only while decoding —
+    /// visibility is checked afterwards so commit-table lookups never
+    /// nest inside a page latch.
+    pub fn scan_page_snapshot(&self, idx: usize, snap: &Snapshot) -> Result<Option<VisiblePage>> {
         let pid = match self.pages.read().get(idx) {
             Some(pid) => *pid,
             None => return Ok(None),
         };
-        let batch: Vec<(Rid, Tuple)> = self.pool.with_page(pid, |p| {
+        let batch: Vec<(Rid, VersionHdr, Tuple)> = self.pool.with_page(pid, |p| {
             p.iter()
-                .map(|(slot, rec)| Tuple::decode(rec).map(|t| (Rid::new(pid, slot), t)))
+                .map(|(slot, rec)| decode_record(rec).map(|(h, t)| (Rid::new(pid, slot), h, t)))
                 .collect::<Result<Vec<_>>>()
         })??;
-        Ok(Some(batch))
+        let mut rows = Vec::with_capacity(batch.len());
+        let mut skipped = 0u64;
+        for (rid, hdr, t) in batch {
+            if snap.sees(&hdr) {
+                rows.push((rid, t));
+            } else {
+                skipped += 1;
+            }
+        }
+        Ok(Some((rows, skipped)))
     }
 
-    /// Collect every live `(rid, tuple)` pair. Convenience for small scans.
+    /// Collect every visible `(rid, tuple)` pair (latest-committed
+    /// snapshot). Convenience for small scans.
     pub fn scan_all(&self) -> Result<Vec<(Rid, Tuple)>> {
         let mut out = Vec::new();
         self.for_each(|rid, t| {
@@ -177,13 +343,19 @@ impl HeapFile {
         Ok(out)
     }
 
-    /// Number of live tuples (full scan; used by ANALYZE).
+    /// Number of visible tuples under the latest-committed snapshot (full
+    /// scan; used by ANALYZE).
     pub fn count(&self) -> Result<usize> {
+        self.count_snapshot(&self.txns.snapshot_latest())
+    }
+
+    /// Number of tuples visible to `snap`.
+    pub fn count_snapshot(&self, snap: &Snapshot) -> Result<usize> {
         let mut n = 0;
-        let pages = self.pages.read().clone();
-        for pid in pages {
-            n += self.pool.with_page(pid, |p| p.live_records())?;
-        }
+        self.for_each_snapshot(snap, |_, _| {
+            n += 1;
+            Ok(true)
+        })?;
         Ok(n)
     }
 }
@@ -196,7 +368,10 @@ mod tests {
 
     fn heap() -> HeapFile {
         let disk = Arc::new(DiskManager::new());
-        HeapFile::create(Arc::new(BufferPool::new(disk, 8)))
+        HeapFile::create(
+            Arc::new(BufferPool::new(disk, 8)),
+            Arc::new(TxnManager::new()),
+        )
     }
 
     fn row(i: i64) -> Tuple {
@@ -208,6 +383,8 @@ mod tests {
         let h = heap();
         let rid = h.insert(&row(1)).unwrap();
         assert_eq!(h.get(rid).unwrap(), row(1));
+        let (hdr, _) = h.get_versioned(rid).unwrap();
+        assert_eq!(hdr, VersionHdr::frozen());
     }
 
     #[test]
@@ -325,5 +502,44 @@ mod tests {
         }
         assert_eq!(h.count().unwrap(), 500);
         assert!(h.page_count() >= pages_before);
+    }
+
+    #[test]
+    fn uncommitted_versions_hidden_from_plain_scans() {
+        let h = heap();
+        h.insert(&row(1)).unwrap();
+        let txn = h.txns().allocate();
+        let rid = h.insert_version(&row(2), txn).unwrap();
+        // Plain scan: latest-committed only.
+        assert_eq!(h.count().unwrap(), 1);
+        // The writer's own snapshot sees it.
+        let own = h.txns().snapshot_for(txn);
+        assert_eq!(h.count_snapshot(&own).unwrap(), 2);
+        // Mark-delete the frozen row: hidden from the writer, visible to
+        // latest until commit.
+        let frozen_rid = h.scan_all().unwrap()[0].0;
+        h.mark_delete(frozen_rid, txn).unwrap();
+        assert_eq!(h.count_snapshot(&own).unwrap(), 1);
+        assert_eq!(h.count().unwrap(), 1, "uncommitted delete invisible");
+        h.txns().commit(txn);
+        assert_eq!(h.count().unwrap(), 1, "now only the committed insert");
+        assert_eq!(h.scan_all().unwrap()[0].1, row(2));
+        let _ = rid;
+    }
+
+    #[test]
+    fn mark_delete_conflicts_on_marked_row() {
+        let h = heap();
+        let rid = h.insert(&row(1)).unwrap();
+        let a = h.txns().allocate();
+        let b = h.txns().allocate();
+        h.mark_delete(rid, a).unwrap();
+        assert!(matches!(
+            h.mark_delete(rid, b),
+            Err(StorageError::WriteConflict { .. })
+        ));
+        // Rollback of A clears the mark; B can then write.
+        h.clear_delete_mark(rid, a).unwrap();
+        h.mark_delete(rid, b).unwrap();
     }
 }

@@ -13,9 +13,10 @@
 //! - [`catalog`]: tables with maintained indexes + view definitions,
 //!   including materialized views' backing storage ([`MatView`]);
 //! - [`delta`]: before/after row images captured by DML for incremental
-//!   materialized-view maintenance;
+//!   materialized-view maintenance, tagged per transaction;
 //! - [`stats`]: ANALYZE-style statistics for the cost-based planner;
-//! - [`txn`]: undo-log transactions.
+//! - [`txn`]: MVCC-lite transactions — txn ids, a global commit counter,
+//!   snapshots, first-writer-wins write conflicts and physical undo.
 //!
 //! The paper treats this layer as given ("transaction, recovery, and
 //! storage management … totally unchanged", Sect. 6); the entry point is
@@ -54,11 +55,11 @@ pub use catalog::{Catalog, IndexDef, MatView, MatViewStream, Table, TableId, Vie
 pub use delta::{DeltaBatch, DeltaRow};
 pub use disk::{DiskManager, DiskStats, PageId};
 pub use error::{Result, StorageError};
-pub use heap::HeapFile;
+pub use heap::{HeapFile, VisiblePage};
 pub use index::BTreeIndex;
 pub use page::{Page, PAGE_SIZE};
 pub use schema::{Column, Schema};
 pub use stats::{ColumnStats, StatsBuilder, TableStats};
 pub use tuple::{Rid, Tuple};
-pub use txn::{Transaction, TxnState};
+pub use txn::{Snapshot, Transaction, TxnId, TxnManager, TxnState, VersionHdr, FROZEN};
 pub use value::{DataType, Value};

@@ -1,41 +1,232 @@
-//! Lightweight transactions: undo logging over table operations.
+//! MVCC-lite transactions: txn ids, commit stamps, snapshots and undo.
 //!
 //! The paper leaves "transaction, recovery, and storage management …
-//! totally unchanged" (Sect. 6); we provide the standard substrate the XNF
-//! layer relies on — atomic multi-statement units with rollback — via an
-//! in-memory undo log. Durability is out of scope (the disk itself is
-//! simulated), isolation is via the storage layer's internal locking
-//! (single-writer style), which matches the era's workstation/server usage.
+//! totally unchanged" (Sect. 6), but its Sect. 3 processing model is
+//! explicitly multi-client: many workstations check out and write back
+//! composite objects against one shared RDBMS. This module provides the
+//! concurrency substrate for that model:
+//!
+//! - a global [`TxnManager`] allocates transaction ids and assigns
+//!   monotonically increasing *commit stamps* from a global commit counter;
+//! - every stored tuple version carries a [`VersionHdr`] — the id of the
+//!   transaction that created it (`xmin`) and, once deleted or superseded,
+//!   the id of the transaction that ended it (`xmax`);
+//! - a [`Snapshot`] captured at `BEGIN` (or per statement in autocommit)
+//!   decides visibility: a version is visible iff its creator committed at
+//!   or before the snapshot's commit stamp (or is the reading transaction
+//!   itself) and its deleter did not;
+//! - writers use first-writer-wins row marking: setting `xmax` on a version
+//!   that already has a non-zero `xmax` fails with
+//!   [`StorageError::WriteConflict`](crate::error::StorageError::WriteConflict)
+//!   instead of waiting or corrupting the row;
+//! - [`Transaction`] records an undo log so `ROLLBACK` can physically remove
+//!   versions the transaction created and clear the delete marks it set.
+//!
+//! Durability is out of scope (the disk itself is simulated); isolation is
+//! snapshot isolation, which matches the era's workstation/server usage.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use crate::catalog::Table;
 use crate::error::Result;
-use crate::tuple::{Rid, Tuple};
+use crate::tuple::Rid;
 
-/// One logical undo record.
-enum Undo {
-    /// Undo an insert by deleting the inserted tuple.
-    Insert { table: Arc<Table>, rid: Rid },
-    /// Undo a delete by re-inserting the old tuple at `rid`'s place. The
-    /// re-insert may land elsewhere; [`Transaction::abort`] tracks the
-    /// relocation so earlier undo records referencing `rid` still resolve
-    /// (insert-then-delete of one row within a transaction).
-    Delete {
-        table: Arc<Table>,
-        rid: Rid,
-        old: Tuple,
-    },
-    /// Undo an update by writing the old image back. `old_rid` is where the
-    /// tuple lived before the original update (earlier undo records refer
-    /// to it); `rid` is where the updated image lives now.
-    Update {
-        table: Arc<Table>,
-        old_rid: Rid,
-        rid: Rid,
-        old: Tuple,
-    },
+/// Transaction identifier. `FROZEN` (0) marks tuples written outside any
+/// transaction (fixture loads, materialized-view backing storage): they are
+/// visible to every snapshot.
+pub type TxnId = u64;
+
+/// The pseudo-transaction id of always-visible ("frozen") tuple versions.
+pub const FROZEN: TxnId = 0;
+
+/// Global transaction state shared by every table of a database: txn id
+/// allocation plus the commit-stamp table consulted by visibility checks.
+///
+/// Snapshot acquisition is lock-free (one atomic load of the commit
+/// counter): the counter is only advanced *after* the committing
+/// transaction's stamp is published in the table, so any snapshot that
+/// observes counter `S` can resolve every transaction with stamp ≤ `S`.
+///
+/// Known limitation: the stamp table grows by one entry per committed
+/// transaction and is never pruned — safe pruning needs a live-snapshot
+/// registry to establish an "everything below X is committed" horizon
+/// (tracked as a ROADMAP item). Frozen tuples (`xmin = 0`, the bulk of
+/// fixture data) bypass the table entirely on the visibility hot path.
+pub struct TxnManager {
+    next_txn: AtomicU64,
+    /// Stamp of the latest fully-published commit.
+    commit_seq: AtomicU64,
+    /// Committed txn id → its commit stamp. Active and aborted
+    /// transactions are absent (aborted ones physically undo their
+    /// writes). The write lock also serializes stamp assignment.
+    stamps: RwLock<HashMap<TxnId, u64>>,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnManager {
+    pub fn new() -> Self {
+        TxnManager {
+            next_txn: AtomicU64::new(1),
+            commit_seq: AtomicU64::new(0),
+            stamps: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Allocate a fresh transaction id.
+    pub fn allocate(&self) -> TxnId {
+        self.next_txn.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Record `txn` as committed, assigning the next commit stamp. The
+    /// stamp is published in the table *before* the commit counter
+    /// advances past it.
+    pub fn commit(&self, txn: TxnId) -> u64 {
+        let mut stamps = self.stamps.write();
+        let stamp = self.commit_seq.load(Ordering::Relaxed) + 1;
+        stamps.insert(txn, stamp);
+        self.commit_seq.store(stamp, Ordering::Release);
+        stamp
+    }
+
+    /// The commit stamp of `txn`, or `None` while it is active or aborted.
+    pub fn commit_stamp(&self, txn: TxnId) -> Option<u64> {
+        if txn == FROZEN {
+            return Some(0);
+        }
+        self.stamps.read().get(&txn).copied()
+    }
+
+    /// The current commit counter (stamp of the latest committed txn).
+    pub fn current_seq(&self) -> u64 {
+        self.commit_seq.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the latest committed state, owned by no transaction.
+    /// This is what autocommit statements and unversioned reads use.
+    pub fn snapshot_latest(self: &Arc<Self>) -> Snapshot {
+        self.snapshot_for(FROZEN)
+    }
+
+    /// A snapshot of the latest committed state as seen by transaction
+    /// `txn` (which additionally sees its own uncommitted writes).
+    pub fn snapshot_for(self: &Arc<Self>, txn: TxnId) -> Snapshot {
+        Snapshot {
+            mgr: Arc::clone(self),
+            seq: self.current_seq(),
+            txn,
+        }
+    }
+}
+
+/// The version header stored in front of every heap record: the creating
+/// and (once ended) deleting transaction ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionHdr {
+    /// Id of the transaction that created this version (`FROZEN` = always
+    /// visible).
+    pub xmin: TxnId,
+    /// Id of the transaction that deleted/superseded it (0 = live).
+    pub xmax: TxnId,
+}
+
+impl VersionHdr {
+    pub const SIZE: usize = 16;
+
+    pub fn frozen() -> Self {
+        VersionHdr {
+            xmin: FROZEN,
+            xmax: 0,
+        }
+    }
+
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.xmin.to_le_bytes());
+        out.extend_from_slice(&self.xmax.to_le_bytes());
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<(VersionHdr, &[u8])> {
+        if bytes.len() < Self::SIZE {
+            return None;
+        }
+        let xmin = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        let xmax = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        Some((VersionHdr { xmin, xmax }, &bytes[Self::SIZE..]))
+    }
+}
+
+/// A point-in-time view of the database: the commit stamp up to which
+/// committed work is visible, plus the observing transaction's own id (its
+/// uncommitted writes are visible to itself). `Snapshot` is the
+/// *visibility handle* threaded through the executor.
+#[derive(Clone)]
+pub struct Snapshot {
+    mgr: Arc<TxnManager>,
+    /// Commits with stamp ≤ `seq` are visible.
+    pub seq: u64,
+    /// The observing transaction (`FROZEN` when reading outside one).
+    pub txn: TxnId,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("seq", &self.seq)
+            .field("txn", &self.txn)
+            .finish()
+    }
+}
+
+impl Snapshot {
+    /// Is a tuple version with header `ver` visible to this snapshot?
+    pub fn sees(&self, ver: &VersionHdr) -> bool {
+        // Created by: frozen, self, or a transaction committed at/before us.
+        let created = match ver.xmin {
+            FROZEN => true,
+            x if x == self.txn => true,
+            x => self
+                .mgr
+                .commit_stamp(x)
+                .map(|s| s <= self.seq)
+                .unwrap_or(false),
+        };
+        if !created {
+            return false;
+        }
+        // Deleted by: self, or a transaction committed at/before us.
+        match ver.xmax {
+            0 => true,
+            x if x == self.txn => false,
+            x => !self
+                .mgr
+                .commit_stamp(x)
+                .map(|s| s <= self.seq)
+                .unwrap_or(false),
+        }
+    }
+
+    /// Is the version dead to *writers* — i.e. deleted by this transaction
+    /// itself or by any committed transaction? Used by uniqueness checks,
+    /// which must test against the latest state rather than the snapshot.
+    pub fn definitely_dead(&self, ver: &VersionHdr) -> bool {
+        match ver.xmax {
+            0 => false,
+            x if x == self.txn => true,
+            x => self.mgr.commit_stamp(x).is_some(),
+        }
+    }
+
+    pub fn manager(&self) -> &Arc<TxnManager> {
+        &self.mgr
+    }
 }
 
 /// States of a transaction.
@@ -46,21 +237,47 @@ pub enum TxnState {
     Aborted,
 }
 
-/// An explicit transaction. Obtain one with [`Transaction::begin`], record
-/// every mutation through the `log_*` methods (the database facade does this
+/// One logical undo record. MVCC undo is purely physical: creations are
+/// removed, delete marks are cleared; no old images need to be replayed
+/// because writers never overwrite a committed version in place.
+enum Undo {
+    /// Undo an insert by physically removing the created version.
+    Insert { table: Arc<Table>, rid: Rid },
+    /// Undo a delete by clearing the `xmax` mark this transaction set.
+    Delete { table: Arc<Table>, rid: Rid },
+    /// Undo an update: clear the mark on the old version and remove the new
+    /// one.
+    Update {
+        table: Arc<Table>,
+        old_rid: Rid,
+        new_rid: Rid,
+    },
+}
+
+/// An explicit transaction: an id from the [`TxnManager`] plus the undo log
+/// of every row it wrote. Obtain one with [`Transaction::begin`], record
+/// each mutation through the `log_*` methods (the database facade does this
 /// for you), then [`commit`](Transaction::commit) or
 /// [`abort`](Transaction::abort).
 pub struct Transaction {
+    id: TxnId,
+    mgr: Arc<TxnManager>,
     undo: Vec<Undo>,
     state: TxnState,
 }
 
 impl Transaction {
-    pub fn begin() -> Self {
+    pub fn begin(mgr: &Arc<TxnManager>) -> Self {
         Transaction {
+            id: mgr.allocate(),
+            mgr: Arc::clone(mgr),
             undo: Vec::new(),
             state: TxnState::Active,
         }
+    }
+
+    pub fn id(&self) -> TxnId {
+        self.id
     }
 
     pub fn state(&self) -> TxnState {
@@ -80,6 +297,12 @@ impl Transaction {
         self.undo.is_empty()
     }
 
+    /// The snapshot this transaction's *writes* are performed under: the
+    /// latest committed state plus its own uncommitted work.
+    pub fn write_snapshot(&self) -> Snapshot {
+        self.mgr.snapshot_for(self.id)
+    }
+
     pub fn log_insert(&mut self, table: &Arc<Table>, rid: Rid) {
         debug_assert!(self.is_active());
         self.undo.push(Undo::Insert {
@@ -88,78 +311,82 @@ impl Transaction {
         });
     }
 
-    /// Log a delete of the tuple that lived at `rid` with image `old`.
-    pub fn log_delete_at(&mut self, table: &Arc<Table>, rid: Rid, old: Tuple) {
+    /// Log a delete mark set on the version at `rid`.
+    pub fn log_delete_at(&mut self, table: &Arc<Table>, rid: Rid) {
         debug_assert!(self.is_active());
         self.undo.push(Undo::Delete {
             table: Arc::clone(table),
             rid,
-            old,
         });
     }
 
-    /// Log an update that moved the tuple from `old_rid` (pre-image `old`)
-    /// to `rid` (same RID unless the update relocated it).
-    pub fn log_update_at(&mut self, table: &Arc<Table>, old_rid: Rid, rid: Rid, old: Tuple) {
+    /// Log an update that superseded the version at `old_rid` with a new
+    /// version at `new_rid`.
+    pub fn log_update_at(&mut self, table: &Arc<Table>, old_rid: Rid, new_rid: Rid) {
         debug_assert!(self.is_active());
         self.undo.push(Undo::Update {
             table: Arc::clone(table),
             old_rid,
-            rid,
-            old,
+            new_rid,
         });
     }
 
-    /// Make all changes permanent (drops the undo log).
-    pub fn commit(mut self) -> TxnState {
+    /// Make all changes durable-to-readers: assign a commit stamp. The
+    /// versions are already in place; from this moment every new snapshot
+    /// sees them.
+    pub fn commit(mut self) -> u64 {
         self.undo.clear();
         self.state = TxnState::Committed;
-        self.state
+        self.mgr.commit(self.id)
     }
 
-    /// Roll back all logged changes, newest first.
-    ///
-    /// Undoing a delete re-inserts the old image, and undoing an update may
-    /// relocate the tuple; either way the row can end up at a different RID
-    /// than earlier (older) undo records reference. A relocation map keeps
-    /// those records pointing at the row's current home, so sequences like
-    /// insert-then-delete of one row roll back cleanly.
+    /// Roll back all logged changes, newest first: physically remove the
+    /// versions this transaction created (with their index entries) and
+    /// clear the delete marks it set. Afterwards the transaction never
+    /// appears in the commit table, so any marks missed here would simply
+    /// stay invisible — but we clean up eagerly to reclaim space.
     pub fn abort(mut self) -> Result<TxnState> {
-        let mut moved: HashMap<(u32, Rid), Rid> = HashMap::new();
-        let resolve = |moved: &HashMap<(u32, Rid), Rid>, table: &Table, mut rid: Rid| -> Rid {
-            while let Some(&next) = moved.get(&(table.id, rid)) {
-                rid = next;
-            }
-            rid
-        };
+        self.rollback_in_place()?;
+        Ok(self.state)
+    }
+
+    fn rollback_in_place(&mut self) -> Result<()> {
         while let Some(u) = self.undo.pop() {
             match u {
                 Undo::Insert { table, rid } => {
-                    let rid = resolve(&moved, &table, rid);
-                    table.delete(rid)?;
+                    table.remove_version(rid)?;
                 }
-                Undo::Delete { table, rid, old } => {
-                    let new_rid = table.insert(&old)?;
-                    if new_rid != rid {
-                        moved.insert((table.id, rid), new_rid);
-                    }
+                Undo::Delete { table, rid } => {
+                    table.clear_delete_mark(rid, self.id)?;
                 }
                 Undo::Update {
                     table,
                     old_rid,
-                    rid,
-                    old,
+                    new_rid,
                 } => {
-                    let cur = resolve(&moved, &table, rid);
-                    let (_, undone_rid) = table.update(cur, &old)?;
-                    if undone_rid != old_rid {
-                        moved.insert((table.id, old_rid), undone_rid);
-                    }
+                    table.remove_version(new_rid)?;
+                    table.clear_delete_mark(old_rid, self.id)?;
                 }
             }
         }
         self.state = TxnState::Aborted;
-        Ok(self.state)
+        Ok(())
+    }
+}
+
+/// A transaction dropped while still active rolls back. Without this, a
+/// leaked transaction (session dropped mid-transaction, thread panic)
+/// would leave its delete marks in place forever — its id never commits,
+/// so every later writer of those rows would see a permanent claim and
+/// fail with `WriteConflict`.
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if self.state == TxnState::Active {
+            // Drop cannot propagate errors; a failed undo step leaves the
+            // remaining log unapplied, which only ever hides rows this
+            // transaction itself created.
+            let _ = self.rollback_in_place();
+        }
     }
 }
 
@@ -170,6 +397,7 @@ mod tests {
     use crate::catalog::Catalog;
     use crate::disk::DiskManager;
     use crate::schema::Schema;
+    use crate::tuple::Tuple;
     use crate::value::{DataType, Value};
 
     fn setup() -> (Catalog, Arc<Table>) {
@@ -189,9 +417,9 @@ mod tests {
 
     #[test]
     fn abort_undoes_insert() {
-        let (_c, t) = setup();
-        let mut txn = Transaction::begin();
-        let rid = t.insert(&row(1)).unwrap();
+        let (c, t) = setup();
+        let mut txn = Transaction::begin(c.txns());
+        let rid = t.insert_txn(&row(1), txn.id()).unwrap();
         txn.log_insert(&t, rid);
         txn.abort().unwrap();
         assert_eq!(t.row_count().unwrap(), 0);
@@ -199,15 +427,21 @@ mod tests {
 
     #[test]
     fn abort_undoes_delete_and_update() {
-        let (_c, t) = setup();
-        let rid1 = t.insert(&row(1)).unwrap();
+        let (c, t) = setup();
+        t.insert(&row(1)).unwrap();
         let rid2 = t.insert(&row(2)).unwrap();
 
-        let mut txn = Transaction::begin();
-        let old = t.delete(rid1).unwrap();
-        txn.log_delete_at(&t, rid1, old);
-        let (old, nrid) = t.update(rid2, &row(99)).unwrap();
-        txn.log_update_at(&t, rid2, nrid, old);
+        let mut txn = Transaction::begin(c.txns());
+        let snap = txn.write_snapshot();
+        let (rid1, _) = t
+            .find_by_value_visible(0, &Value::Int(1), &snap)
+            .unwrap()
+            .pop()
+            .unwrap();
+        t.mark_delete_txn(rid1, txn.id()).unwrap();
+        txn.log_delete_at(&t, rid1);
+        let (_, nrid) = t.update_txn(rid2, &row(99), txn.id()).unwrap();
+        txn.log_update_at(&t, rid2, nrid);
         txn.abort().unwrap();
 
         let mut vals: Vec<i64> = t
@@ -222,45 +456,156 @@ mod tests {
 
     #[test]
     fn commit_keeps_changes() {
-        let (_c, t) = setup();
-        let mut txn = Transaction::begin();
-        let rid = t.insert(&row(1)).unwrap();
+        let (c, t) = setup();
+        let mut txn = Transaction::begin(c.txns());
+        let rid = t.insert_txn(&row(1), txn.id()).unwrap();
         txn.log_insert(&t, rid);
-        assert_eq!(txn.commit(), TxnState::Committed);
+        txn.commit();
         assert_eq!(t.row_count().unwrap(), 1);
     }
 
     #[test]
-    fn abort_replays_in_reverse_order() {
-        let (_c, t) = setup();
-        let mut txn = Transaction::begin();
+    fn uncommitted_writes_are_invisible_to_other_snapshots() {
+        let (c, t) = setup();
+        t.insert(&row(1)).unwrap();
+        let mut txn = Transaction::begin(c.txns());
+        let rid = t.insert_txn(&row(2), txn.id()).unwrap();
+        txn.log_insert(&t, rid);
+
+        // A reader snapshot taken while the txn is open sees only row 1.
+        let reader = c.txns().snapshot_latest();
+        let mut seen = Vec::new();
+        t.for_each_visible(&reader, |_, tup| {
+            seen.push(tup.values[0].as_int().unwrap());
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen, vec![1]);
+
+        // The writer itself sees both.
+        let own = txn.write_snapshot();
+        assert_eq!(t.row_count_visible(&own).unwrap(), 2);
+
+        txn.commit();
+        // Old snapshot still sees only row 1 (snapshot isolation).
+        let mut seen = Vec::new();
+        t.for_each_visible(&reader, |_, tup| {
+            seen.push(tup.values[0].as_int().unwrap());
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen, vec![1]);
+        // A fresh snapshot sees both.
+        assert_eq!(t.row_count().unwrap(), 2);
+    }
+
+    #[test]
+    fn first_writer_wins_on_the_same_row() {
+        let (c, t) = setup();
         let rid = t.insert(&row(1)).unwrap();
+
+        let mut a = Transaction::begin(c.txns());
+        let b = Transaction::begin(c.txns());
+        let (_, new_rid) = t.update_txn(rid, &row(10), a.id()).unwrap();
+        a.log_update_at(&t, rid, new_rid);
+
+        // Second writer conflicts instead of waiting or clobbering.
+        let err = t.update_txn(rid, &row(20), b.id()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::StorageError::WriteConflict { .. }
+        ));
+        let err = t.mark_delete_txn(rid, b.id()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::StorageError::WriteConflict { .. }
+        ));
+
+        // Conflict also holds after the first writer commits.
+        a.commit();
+        let err = t.update_txn(rid, &row(30), b.id()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::StorageError::WriteConflict { .. }
+        ));
+        assert_eq!(
+            t.scan_all().unwrap()[0].1.values[0],
+            Value::Int(10),
+            "first writer's committed update survives"
+        );
+    }
+
+    #[test]
+    fn snapshot_sees_own_writes_but_not_later_commits() {
+        let (c, t) = setup();
+        t.insert(&row(1)).unwrap();
+        let mut a = Transaction::begin(c.txns());
+        let snap_a = a.write_snapshot();
+
+        // Another transaction commits after A's snapshot.
+        let mut b = Transaction::begin(c.txns());
+        let rid = t.insert_txn(&row(2), b.id()).unwrap();
+        b.log_insert(&t, rid);
+        b.commit();
+
+        // A still sees 1 row; a fresh snapshot sees 2.
+        assert_eq!(t.row_count_visible(&snap_a).unwrap(), 1);
+        assert_eq!(t.row_count().unwrap(), 2);
+
+        // A's own insert is visible to A only.
+        let rid = t.insert_txn(&row(3), a.id()).unwrap();
+        a.log_insert(&t, rid);
+        assert_eq!(t.row_count_visible(&snap_a).unwrap(), 2);
+        assert_eq!(t.row_count().unwrap(), 2);
+        a.commit();
+        assert_eq!(t.row_count().unwrap(), 3);
+    }
+
+    #[test]
+    fn abort_replays_in_reverse_order() {
+        let (c, t) = setup();
+        let mut txn = Transaction::begin(c.txns());
+        let rid = t.insert_txn(&row(1), txn.id()).unwrap();
         txn.log_insert(&t, rid);
         // Update the same tuple twice inside the transaction.
-        let before = rid;
-        let (old, rid) = t.update(rid, &row(2)).unwrap();
-        txn.log_update_at(&t, before, rid, old);
-        let before = rid;
-        let (old, rid) = t.update(rid, &row(3)).unwrap();
-        txn.log_update_at(&t, before, rid, old);
+        let (_, rid2) = t.update_txn(rid, &row(2), txn.id()).unwrap();
+        txn.log_update_at(&t, rid, rid2);
+        let (_, rid3) = t.update_txn(rid2, &row(3), txn.id()).unwrap();
+        txn.log_update_at(&t, rid2, rid3);
         txn.abort().unwrap();
         assert_eq!(t.row_count().unwrap(), 0, "insert rolled back last");
     }
 
     #[test]
-    fn abort_handles_insert_then_delete_of_one_row() {
-        let (_c, t) = setup();
-        // Pre-existing rows so the undo interleaves with other work.
-        let keep = t.insert(&row(10)).unwrap();
-        let mut txn = Transaction::begin();
+    fn dropping_an_active_transaction_rolls_back() {
+        let (c, t) = setup();
         let rid = t.insert(&row(1)).unwrap();
+        {
+            let mut txn = Transaction::begin(c.txns());
+            let new = t.insert_txn(&row(2), txn.id()).unwrap();
+            txn.log_insert(&t, new);
+            t.mark_delete_txn(rid, txn.id()).unwrap();
+            txn.log_delete_at(&t, rid);
+            // Dropped without commit/rollback (session died).
+        }
+        // The insert is gone, the delete mark cleared: row 1 is writable
+        // again instead of permanently claimed by a leaked txn id.
+        assert_eq!(t.row_count().unwrap(), 1);
+        let b = t.txns().allocate();
+        t.mark_delete_txn(rid, b).unwrap();
+    }
+
+    #[test]
+    fn abort_handles_insert_then_delete_of_one_row() {
+        let (c, t) = setup();
+        let keep = t.insert(&row(10)).unwrap();
+        let mut txn = Transaction::begin(c.txns());
+        let rid = t.insert_txn(&row(1), txn.id()).unwrap();
         txn.log_insert(&t, rid);
-        // Delete another row first, so its undo re-insert may land in the
-        // slot the transaction's own insert freed up.
-        let old = t.delete(keep).unwrap();
-        txn.log_delete_at(&t, keep, old);
-        let old = t.delete(rid).unwrap();
-        txn.log_delete_at(&t, rid, old);
+        t.mark_delete_txn(keep, txn.id()).unwrap();
+        txn.log_delete_at(&t, keep);
+        t.mark_delete_txn(rid, txn.id()).unwrap();
+        txn.log_delete_at(&t, rid);
         txn.abort().unwrap();
         let mut vals: Vec<i64> = t
             .scan_all()

@@ -118,7 +118,35 @@ fn every_documented_operator_is_emitted() {
              emitted it.\n--- corpus ---\n{corpus}"
         );
     }
-    // And the header line is real too.
+    // And the header lines are real too.
     assert!(corpus.contains("mode: batch pipeline (batch_size="));
+    assert!(corpus.contains("visibility: snapshot (MVCC begin/end stamps)"));
     assert!(corpus.contains("shared cse0:"));
+}
+
+/// The runtime side of the visibility header: `ExecStats` reports which
+/// snapshot a run read against and how many tuple versions its checks
+/// skipped — the quantities docs/EXPLAIN.md documents.
+#[test]
+fn exec_stats_surface_snapshot_and_visibility_skips() {
+    let db = build_paper_db_with(PaperScale::default(), DbConfig::default());
+    let before = db.query("SELECT COUNT(*) FROM EMP").unwrap();
+
+    // Burn a few commits: the snapshot sequence must advance with them.
+    db.execute("INSERT INTO EMP VALUES (9001, 'x', 1, 1.0)")
+        .unwrap();
+    db.execute("UPDATE EMP SET sal = 2.0 WHERE eno = 9001")
+        .unwrap();
+    let after = db.query("SELECT COUNT(*) FROM EMP").unwrap();
+    assert!(
+        after.stats.snapshot_seq > before.stats.snapshot_seq,
+        "snapshot_seq must advance with commits: {} -> {}",
+        before.stats.snapshot_seq,
+        after.stats.snapshot_seq
+    );
+    // The UPDATE superseded a version; a full scan now skips it.
+    assert!(
+        after.stats.rows_skipped_visibility > 0,
+        "superseded versions should be counted as visibility skips"
+    );
 }
