@@ -15,19 +15,19 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use xnf_exec::{
-    eval, execute_qep_parallel_with_visibility, execute_qep_with_visibility, OuterCtx, Params,
-    QueryResult, Visibility,
+    eval, execute_qep_parallel_with_visibility, execute_qep_with_visibility, ExecStats, OuterCtx,
+    Params, QueryResult, StreamResult, Visibility,
 };
 use xnf_plan::{plan_query, PhysExpr, PlanOptions, Qep};
-use xnf_qgm::{build_select_query, build_xnf_query, Qgm};
+use xnf_qgm::{build_select_query, build_xnf_query, OutputKind, Qgm};
 use xnf_rewrite::{rewrite, RewriteOptions};
 use xnf_sql::{
     parse_statement, parse_statement_params, parse_statements, ColumnDef, Expr, Select, Statement,
     TypeName, ViewBody, XnfQuery,
 };
 use xnf_storage::{
-    BufferPool, Catalog, Column, DataType, DiskManager, Schema, Snapshot, Tuple, TxnId, Value,
-    ViewKind,
+    BufferPool, Catalog, Column, DataType, DiskManager, GcStats, Schema, Snapshot, Tuple, TxnId,
+    VacuumReport, Value, ViewKind,
 };
 
 use crate::error::{Result, XnfError};
@@ -202,6 +202,13 @@ pub struct DbConfig {
     pub plan: PlanOptions,
     /// Capacity (statements) of the shared compiled-plan cache.
     pub plan_cache_capacity: usize,
+    /// Opportunistic-vacuum trigger: after a commit, any heap whose
+    /// reclaim pressure (dead versions + tombstoned slots since its last
+    /// vacuum) reaches this many rows is vacuumed on the committing
+    /// thread, keeping long-running write workloads bounded without ever
+    /// issuing `VACUUM` manually. `0` disables the trigger (GC then runs
+    /// only via explicit `VACUUM` / [`Database::vacuum`]).
+    pub auto_vacuum_threshold: u64,
 }
 
 impl Default for DbConfig {
@@ -211,6 +218,7 @@ impl Default for DbConfig {
             rewrite: RewriteOptions::default(),
             plan: PlanOptions::default(),
             plan_cache_capacity: 128,
+            auto_vacuum_threshold: 512,
         }
     }
 }
@@ -339,14 +347,95 @@ impl Database {
     /// commits, so view maintenance applies transactions in commit order.
     pub(crate) fn commit_active(&self, active: ActiveTxn) -> Result<()> {
         let ActiveTxn { txn, delta, .. } = active;
-        if !delta.is_empty() && self.catalog.has_matviews() {
+        let maintained = if !delta.is_empty() && self.catalog.has_matviews() {
             let _m = self.maintenance.lock();
             txn.commit();
             crate::matview::maintain(self, &delta)
         } else {
             txn.commit();
             Ok(())
+        };
+        // Opportunistic GC: the commit (and its maintenance) may have
+        // pushed some heap past the reclaim-pressure threshold; vacuum it
+        // now, on the committing thread, outside every lock. The committed
+        // transaction's snapshot registration is already gone, so its own
+        // garbage is reclaimable immediately (watermark permitting).
+        self.maybe_auto_vacuum();
+        maintained
+    }
+
+    /// Vacuum every heap whose reclaim pressure reached the configured
+    /// threshold (no-op when the trigger is disabled or nothing qualifies).
+    fn maybe_auto_vacuum(&self) {
+        let threshold = self.config.auto_vacuum_threshold;
+        if threshold == 0 {
+            return;
         }
+        let pressured = self.catalog.gc_pressured_tables(threshold);
+        if pressured.is_empty() {
+            return;
+        }
+        // GC failure must never fail the commit that triggered it: the
+        // pressure counters survive, so the next trigger retries.
+        let _ = self.catalog.vacuum_tables(&pressured);
+    }
+
+    // -- garbage collection -----------------------------------------------
+
+    /// Run MVCC garbage collection (the `VACUUM [table]` statement's
+    /// engine): reclaim dead versions behind the live-snapshot
+    /// low-watermark, freeze old committed versions and prune the
+    /// commit-stamp table. `None` vacuums every heap; naming a
+    /// materialized view vacuums all of its backing streams.
+    pub fn vacuum(&self, table: Option<&str>) -> Result<VacuumReport> {
+        Ok(self.catalog.vacuum(table)?)
+    }
+
+    /// Cumulative GC counters (manual and opportunistic vacuums).
+    pub fn gc_stats(&self) -> GcStats {
+        self.catalog.gc_stats()
+    }
+
+    /// Execute VACUUM and render its report as a result stream (one row
+    /// per scanned heap; see docs/EXPLAIN.md § VACUUM for the columns).
+    fn run_vacuum(&self, table: Option<&str>) -> Result<QueryResult> {
+        let report = self.vacuum(table)?;
+        let rows: Vec<Vec<Value>> = report
+            .tables
+            .iter()
+            .map(|t| {
+                vec![
+                    Value::Str(t.table.clone()),
+                    Value::Int(t.versions_reclaimed as i64),
+                    Value::Int(t.versions_frozen as i64),
+                    Value::Int(t.pages_compacted as i64),
+                    Value::Int(t.remaining_dead as i64),
+                ]
+            })
+            .collect();
+        let stats = ExecStats {
+            rows_emitted: rows.len() as u64,
+            snapshot_seq: report.watermark,
+            gc_versions_reclaimed: report.versions_reclaimed(),
+            gc_versions_frozen: report.versions_frozen(),
+            gc_stamps_pruned: report.stamps_pruned,
+            ..ExecStats::default()
+        };
+        Ok(QueryResult {
+            streams: vec![StreamResult {
+                name: "vacuum".to_string(),
+                kind: OutputKind::Table,
+                columns: vec![
+                    "table".to_string(),
+                    "reclaimed_versions".to_string(),
+                    "frozen_versions".to_string(),
+                    "pages_compacted".to_string(),
+                    "remaining_dead".to_string(),
+                ],
+                rows,
+            }],
+            stats,
+        })
     }
 
     // -- compiled-statement path (sessions, prepared statements) ----------
@@ -562,6 +651,9 @@ impl Database {
             Statement::DropView { name } => {
                 self.catalog.drop_view(name)?;
                 Ok(ExecOutcome::Done)
+            }
+            Statement::Vacuum { table } => {
+                Ok(ExecOutcome::Rows(self.run_vacuum(table.as_deref())?))
             }
             Statement::Analyze { table } => {
                 match table {

@@ -315,6 +315,58 @@ fn typed_tuple_accessors_strip_quoting() {
 }
 
 #[test]
+fn vacuum_runs_inside_and_outside_transactions() {
+    let db = emp_db();
+    for i in 0..10 {
+        db.execute(&format!("UPDATE EMP SET ename = 'x{i}' WHERE eno = 10"))
+            .unwrap();
+    }
+
+    // Inside an open transaction: the session's own registered snapshot
+    // holds the watermark, so VACUUM runs but must not disturb the
+    // transaction's reads (its snapshot predates the churn below).
+    let session = db.session();
+    session.begin().unwrap();
+    let before = session
+        .query("SELECT ename FROM EMP WHERE eno = 10", &[])
+        .unwrap()
+        .try_table()
+        .unwrap()
+        .rows
+        .clone();
+    db.execute("UPDATE EMP SET ename = 'later' WHERE eno = 10")
+        .unwrap();
+    let report = session.query("VACUUM", &[]).unwrap();
+    assert_eq!(
+        report.try_table().unwrap().columns[0],
+        "table",
+        "VACUUM returns its report stream through the session path"
+    );
+    let after = session
+        .query("SELECT ename FROM EMP WHERE eno = 10", &[])
+        .unwrap()
+        .try_table()
+        .unwrap()
+        .rows
+        .clone();
+    assert_eq!(
+        before, after,
+        "VACUUM disturbed an open transaction's reads"
+    );
+    session.commit().unwrap();
+
+    // Outside any transaction the backlog fully reclaims.
+    let result = db.execute("VACUUM EMP").unwrap().try_rows().unwrap();
+    assert!(result.stats.gc_versions_reclaimed > 0);
+    let t = db.catalog().table("EMP").unwrap();
+    assert_eq!(
+        t.version_census().unwrap().total_versions,
+        3,
+        "one version per live EMP row after vacuum"
+    );
+}
+
+#[test]
 fn stale_plan_never_served_across_view_ddl() {
     let db = emp_db();
     db.execute(

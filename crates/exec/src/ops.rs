@@ -36,6 +36,15 @@ pub struct ExecStats {
     /// could not see them (uncommitted, superseded, or committed after the
     /// snapshot was taken).
     pub rows_skipped_visibility: u64,
+    /// Dead tuple versions physically reclaimed by garbage collection
+    /// during this run (non-zero only for `VACUUM` statements).
+    pub gc_versions_reclaimed: u64,
+    /// Version headers rewritten to the committed-forever sentinel by GC
+    /// during this run (non-zero only for `VACUUM` statements).
+    pub gc_versions_frozen: u64,
+    /// Commit-stamp entries pruned behind the live-snapshot low-watermark
+    /// during this run (non-zero only for `VACUUM` statements).
+    pub gc_stamps_pruned: u64,
 }
 
 impl ExecStats {
@@ -54,6 +63,9 @@ impl ExecStats {
         self.peak_batch_rows = self.peak_batch_rows.max(other.peak_batch_rows);
         self.snapshot_seq = self.snapshot_seq.max(other.snapshot_seq);
         self.rows_skipped_visibility += other.rows_skipped_visibility;
+        self.gc_versions_reclaimed += other.gc_versions_reclaimed;
+        self.gc_versions_frozen += other.gc_versions_frozen;
+        self.gc_stamps_pruned += other.gc_stamps_pruned;
     }
 }
 

@@ -595,6 +595,15 @@ pub enum Statement {
     Analyze {
         table: Option<String>,
     },
+    /// `VACUUM [table]`: run MVCC garbage collection — reclaim dead tuple
+    /// versions no live snapshot can see, freeze old committed versions and
+    /// prune the commit-stamp table behind the live-snapshot low-watermark.
+    /// With no table, every heap (base tables and materialized-view backing
+    /// streams) is vacuumed; naming a materialized view vacuums all of its
+    /// backing streams.
+    Vacuum {
+        table: Option<String>,
+    },
     /// An XNF query at statement level.
     Xnf(XnfQuery),
 }

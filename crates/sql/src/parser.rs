@@ -264,6 +264,14 @@ impl Parser {
             };
             return Ok(Statement::Analyze { table });
         }
+        if self.eat_kw("VACUUM") {
+            let table = if let TokenKind::Ident(_) = self.peek().kind {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Vacuum { table });
+        }
         Err(self.err_here(format!(
             "expected a statement, found '{}'",
             self.peek().kind

@@ -139,6 +139,19 @@ fn parses_ddl_and_dml() {
 }
 
 #[test]
+fn parses_vacuum() {
+    let stmts = parse_statements("VACUUM; VACUUM DEPT;").unwrap();
+    assert_eq!(stmts.len(), 2);
+    assert!(matches!(&stmts[0], Statement::Vacuum { table: None }));
+    assert!(matches!(&stmts[1], Statement::Vacuum { table: Some(t) } if t == "DEPT"));
+    // Case-insensitive keyword, like every other statement head.
+    assert!(matches!(
+        parse_statement("vacuum emp").unwrap(),
+        Statement::Vacuum { table: Some(t) } if t == "emp"
+    ));
+}
+
+#[test]
 fn parses_deps_arc_view() {
     let stmt = parse_statement(DEPS_ARC).unwrap();
     let Statement::CreateView {

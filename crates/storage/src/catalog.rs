@@ -22,6 +22,7 @@ use crate::schema::Schema;
 use crate::stats::{StatsBuilder, TableStats};
 use crate::tuple::{Rid, Tuple};
 use crate::txn::{Snapshot, TxnId, TxnManager, FROZEN};
+use crate::vacuum::{GcStats, GcTotals, TableGc, TableVacuumReport, VacuumReport, VersionCensus};
 use crate::value::Value;
 
 /// Numeric table identifier.
@@ -56,6 +57,9 @@ pub struct Table {
     write_latch: Mutex<()>,
     indexes: RwLock<Vec<IndexEntry>>,
     stats: RwLock<TableStats>,
+    /// Garbage-collection state: reclaim pressure, unfrozen-header bound
+    /// and the frozen-through stamp (see [`crate::vacuum`]).
+    gc: TableGc,
 }
 
 impl Table {
@@ -66,6 +70,10 @@ impl Table {
         pool: Arc<BufferPool>,
         txns: Arc<TxnManager>,
     ) -> Self {
+        // A transaction writing this table necessarily commits after the
+        // table exists, so no header can ever reference a stamp at or
+        // below the current counter: start frozen-through there.
+        let created_seq = txns.current_seq();
         Table {
             id,
             name,
@@ -74,6 +82,7 @@ impl Table {
             write_latch: Mutex::new(()),
             indexes: RwLock::new(Vec::new()),
             stats: RwLock::new(TableStats::default()),
+            gc: TableGc::new(created_seq),
         }
     }
 
@@ -98,7 +107,11 @@ impl Table {
     /// Check `tuple` against every unique index: a violation exists when
     /// another *live* version (not deleted by a committed transaction or by
     /// `xid` itself, and not the excluded `skip` version) already carries
-    /// the key. Must be called with the write latch held.
+    /// the key. Must be called with the write latch held — which also makes
+    /// the header copies read here immune to the GC freeze/prune race
+    /// (vacuum of this table takes the same latch, and stamps referenced by
+    /// an unfrozen header are above the table's frozen-through horizon, so
+    /// pruning never drops them).
     fn check_unique(&self, tuple: &Tuple, xid: TxnId, skip: Option<Rid>) -> Result<()> {
         let writer_view = self.txns().snapshot_for(xid);
         let indexes = self.indexes.read();
@@ -152,6 +165,9 @@ impl Table {
         self.check_unique(tuple, xid, None)?;
         let rid = self.heap.insert_version(tuple, xid)?;
         self.index_version(tuple, rid);
+        if xid != FROZEN {
+            self.gc.note_unfrozen(1);
+        }
         Ok(rid)
     }
 
@@ -161,10 +177,13 @@ impl Table {
     /// Returns the tuple image for undo/delta capture.
     pub fn mark_delete_txn(&self, rid: Rid, xid: TxnId) -> Result<Tuple> {
         let _w = self.write_latch.lock();
-        self.heap.mark_delete(rid, xid).map_err(|e| match e {
+        let old = self.heap.mark_delete(rid, xid).map_err(|e| match e {
             StorageError::WriteConflict { .. } => self.conflict(),
             other => other,
-        })
+        })?;
+        self.gc.note_unfrozen(1);
+        self.gc.note_dead(1);
+        Ok(old)
     }
 
     /// MVCC update: mark the old version at `rid` dead and insert a new
@@ -187,6 +206,9 @@ impl Table {
         }
         let new_rid = self.heap.insert_version(new, xid)?;
         self.index_version(new, new_rid);
+        // One superseded version (mark) + one versioned insert.
+        self.gc.note_unfrozen(2);
+        self.gc.note_dead(1);
         Ok((old, new_rid))
     }
 
@@ -196,6 +218,8 @@ impl Table {
         let _w = self.write_latch.lock();
         let old = self.heap.delete(rid)?;
         self.unindex_version(&old, rid);
+        // The tombstoned slot's record space awaits compaction.
+        self.gc.note_dead(1);
         Ok(old)
     }
 
@@ -229,6 +253,10 @@ impl Table {
         let _w = self.write_latch.lock();
         self.check_unique(new, FROZEN, Some(rid))?;
         let (old, new_rid) = self.heap.update(rid, new)?;
+        if rid != new_rid {
+            // The relocation tombstoned the old slot.
+            self.gc.note_dead(1);
+        }
         let indexes = self.indexes.read();
         for entry in indexes.iter() {
             let old_key = Self::key_of(&entry.def, &old);
@@ -369,9 +397,11 @@ impl Table {
     /// slot still holds a version that is visible **and** still carries
     /// `key` in the index's columns. Postings are collected without any
     /// lock coupling to the heap, so by the time a reader dereferences one
-    /// a concurrent rollback may have physically reclaimed the slot — and
-    /// a later insert may have reused it for an unrelated row. Both cases
-    /// resolve to `None` (invisible), never to an error or a wrong row.
+    /// a concurrent rollback or vacuum may have physically reclaimed the
+    /// slot — and a later insert may have reused it for an unrelated row.
+    /// Both cases resolve to `None` (invisible), never to an error or a
+    /// wrong row. The visibility check itself runs under the page latch
+    /// (see [`HeapFile::scan_page_snapshot`] on the GC freeze/prune race).
     pub fn resolve_posting(
         &self,
         rid: Rid,
@@ -379,12 +409,9 @@ impl Table {
         def: &IndexDef,
         key: &Key,
     ) -> Result<Option<Tuple>> {
-        let Some((hdr, tuple)) = self.heap.try_get_versioned(rid)? else {
+        let Some(tuple) = self.heap.try_get_visible(rid, snap)? else {
             return Ok(None);
         };
-        if !snap.sees(&hdr) {
-            return Ok(None);
-        }
         let matches = def
             .columns
             .iter()
@@ -489,6 +516,52 @@ impl Table {
             Ok(true)
         })?;
         Ok(out)
+    }
+
+    // -- garbage collection -------------------------------------------------
+
+    /// One vacuum pass over this table against the GC low-watermark:
+    /// reclaim every version no live or future snapshot can see (heap slot
+    /// tombstoned for reuse, page compacted, index postings removed),
+    /// freeze surviving versions of commits at or below the watermark, and
+    /// advance the table's frozen-through stamp. Holds the write latch for
+    /// the pass (readers are unaffected; writers wait briefly).
+    pub fn vacuum(&self, watermark: u64) -> Result<TableVacuumReport> {
+        let _w = self.write_latch.lock();
+        let hv = self.heap.vacuum(watermark)?;
+        // Postings are removed after the page pass (lock order forbids
+        // tree locks inside page latches); the latch keeps writers out, and
+        // a reader racing the window re-verifies via `resolve_posting`.
+        for (rid, tuple) in &hv.removed {
+            self.unindex_version(tuple, *rid);
+        }
+        self.gc
+            .after_pass(watermark, hv.remaining_unfrozen, hv.remaining_dead);
+        Ok(TableVacuumReport {
+            table: self.name.clone(),
+            versions_reclaimed: hv.removed.len() as u64,
+            versions_frozen: hv.frozen,
+            pages_compacted: hv.pages_compacted,
+            remaining_dead: hv.remaining_dead,
+        })
+    }
+
+    /// Advance the frozen-through stamp without a scan when no header
+    /// references any transaction id (see [`TableGc::try_clean_bump`]).
+    pub fn try_clean_bump(&self, watermark: u64) -> bool {
+        let _w = self.write_latch.lock();
+        self.gc.try_clean_bump(watermark)
+    }
+
+    /// This table's GC state (pressure counters + freeze horizon).
+    pub fn gc(&self) -> &TableGc {
+        &self.gc
+    }
+
+    /// Count every stored version by state (diagnostic full scan used by
+    /// GC tests and benches).
+    pub fn version_census(&self) -> Result<VersionCensus> {
+        self.heap.version_census()
     }
 }
 
@@ -597,6 +670,8 @@ pub struct Catalog {
     /// Monotonic DDL generation: bumped on every schema change so cached
     /// compiled plans can detect staleness without re-validating names.
     generation: std::sync::atomic::AtomicU64,
+    /// Cumulative GC counters across all vacuum runs.
+    gc_totals: GcTotals,
 }
 
 impl Catalog {
@@ -609,6 +684,7 @@ impl Catalog {
             matviews: RwLock::new(HashMap::new()),
             next_id: Mutex::new(0),
             generation: std::sync::atomic::AtomicU64::new(0),
+            gc_totals: GcTotals::default(),
         }
     }
 
@@ -870,6 +946,92 @@ impl Catalog {
         let mut v: Vec<String> = self.views.read().values().map(|d| d.name.clone()).collect();
         v.sort();
         v
+    }
+
+    // -- garbage collection -------------------------------------------------
+
+    /// Every physical heap in this catalog: base tables plus every
+    /// materialized-view backing stream. This is the set whose
+    /// frozen-through stamps bound commit-stamp pruning.
+    pub fn storage_tables(&self) -> Vec<Arc<Table>> {
+        let mut out: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
+        for mv in self.matviews.read().values() {
+            out.extend(mv.streams().into_iter().map(|s| s.table));
+        }
+        out
+    }
+
+    /// Run garbage collection: compute the live-snapshot low-watermark,
+    /// vacuum `table` (every heap when `None`; all backing streams when it
+    /// names a materialized view), clean-bump every fully-frozen heap, and
+    /// prune commit-stamp entries no header can reference anymore.
+    ///
+    /// Tables with no reclaim pressure and no unfrozen headers are skipped
+    /// (their horizon advances without a scan), so a targeted or
+    /// opportunistic vacuum stays cheap while still letting the stamp
+    /// table shrink.
+    pub fn vacuum(&self, table: Option<&str>) -> Result<VacuumReport> {
+        let targets: Vec<Arc<Table>> = match table {
+            Some(name) => match self.matview(name) {
+                Some(mv) => mv.streams().into_iter().map(|s| s.table).collect(),
+                None => vec![self.table(name)?],
+            },
+            None => self.storage_tables(),
+        };
+        self.vacuum_tables(&targets)
+    }
+
+    /// Vacuum exactly `tables` (plus clean bumps and stamp pruning): the
+    /// opportunistic path, fed by [`Catalog::gc_pressured_tables`].
+    /// Fully-frozen, pressure-free heaps are skipped — their horizon
+    /// advances without a scan.
+    pub fn vacuum_tables(&self, tables: &[Arc<Table>]) -> Result<VacuumReport> {
+        let watermark = self.txns.oldest_visible_stamp();
+        let mut report = VacuumReport {
+            watermark,
+            ..VacuumReport::default()
+        };
+        for t in tables {
+            if t.gc().unfrozen() == 0 && t.gc().dead_hint() == 0 {
+                continue;
+            }
+            report.tables.push(t.vacuum(watermark)?);
+        }
+        // Untouched-but-clean heaps advance their horizon for free, so a
+        // table that merely *existed* during a write storm never pins the
+        // stamp table.
+        let all = self.storage_tables();
+        for t in &all {
+            t.try_clean_bump(watermark);
+        }
+        let horizon = all
+            .iter()
+            .map(|t| t.gc().frozen_through())
+            .min()
+            .unwrap_or(watermark);
+        report.stamps_pruned = self.txns.prune_stamps(horizon);
+        report.stamps_remaining = self.txns.stamp_count() as u64;
+        self.gc_totals.absorb(&report);
+        Ok(report)
+    }
+
+    /// Cumulative GC counters (all vacuum runs since creation).
+    pub fn gc_stats(&self) -> GcStats {
+        self.gc_totals.snapshot()
+    }
+
+    /// Heaps whose reclaim pressure reached `threshold` — the candidates an
+    /// opportunistic (post-commit) vacuum should scan. A table whose last
+    /// pass already ran at the current watermark is excluded: re-scanning
+    /// before the watermark moves (e.g. while a long transaction pins it)
+    /// cannot reclaim anything new, and triggering it per commit would turn
+    /// sustained writes quadratic.
+    pub fn gc_pressured_tables(&self, threshold: u64) -> Vec<Arc<Table>> {
+        let watermark = self.txns.oldest_visible_stamp();
+        self.storage_tables()
+            .into_iter()
+            .filter(|t| t.gc().dead_hint() >= threshold && t.gc().last_pass_watermark() < watermark)
+            .collect()
     }
 }
 

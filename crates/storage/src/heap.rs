@@ -147,10 +147,32 @@ impl HeapFile {
             .with_page(rid.page, |p| p.get(rid.slot).map(decode_record).transpose())?
     }
 
-    /// Fetch the tuple at `rid` if it is visible to `snap`.
+    /// Fetch the tuple at `rid` if it is visible to `snap`. The visibility
+    /// check runs while the page latch is held (see
+    /// [`HeapFile::scan_page_snapshot`] for why that ordering matters to
+    /// GC); errors if the slot holds no record at all.
     pub fn get_snapshot(&self, rid: Rid, snap: &Snapshot) -> Result<Option<Tuple>> {
-        let (hdr, tuple) = self.get_versioned(rid)?;
-        Ok(if snap.sees(&hdr) { Some(tuple) } else { None })
+        self.pool.with_page(rid.page, |p| {
+            let bytes = p.get(rid.slot).ok_or(StorageError::InvalidRid {
+                page: rid.page,
+                slot: rid.slot,
+            })?;
+            let (hdr, tuple) = decode_record(bytes)?;
+            Ok(if snap.sees(&hdr) { Some(tuple) } else { None })
+        })?
+    }
+
+    /// Fetch the tuple at `rid` if the slot still holds a record *and* it
+    /// is visible to `snap` — the stale-RID-tolerant read used to resolve
+    /// index postings. Visibility is checked under the page latch.
+    pub fn try_get_visible(&self, rid: Rid, snap: &Snapshot) -> Result<Option<Tuple>> {
+        self.pool.with_page(rid.page, |p| match p.get(rid.slot) {
+            None => Ok(None),
+            Some(bytes) => {
+                let (hdr, tuple) = decode_record(bytes)?;
+                Ok(if snap.sees(&hdr) { Some(tuple) } else { None })
+            }
+        })?
     }
 
     /// Set the delete mark (`xmax = xid`) on the version at `rid`.
@@ -307,29 +329,36 @@ impl HeapFile {
     /// `snap`, plus the number of versions the visibility check skipped.
     /// Returns `None` once `idx` runs past the end. This is the streaming
     /// unit batch scans pull on demand, so a scan holds at most one page's
-    /// tuples at a time; the page latch is held only while decoding —
-    /// visibility is checked afterwards so commit-table lookups never
-    /// nest inside a page latch.
+    /// tuples at a time.
+    ///
+    /// Visibility is checked *while the page latch is held*. That ordering
+    /// is what makes GC freezing sound: vacuum rewrites a header to the
+    /// frozen sentinel under the page's write latch and only prunes the
+    /// commit stamp afterwards, so a reader that saw the pre-freeze header
+    /// is guaranteed to still find the stamp — a header copy checked after
+    /// releasing the latch could race the freeze-then-prune sequence and
+    /// wrongly read "uncommitted". Stamp-table lookups nest a read lock
+    /// inside the page latch; nothing takes page latches while holding the
+    /// stamp lock, so the order is deadlock-free.
     pub fn scan_page_snapshot(&self, idx: usize, snap: &Snapshot) -> Result<Option<VisiblePage>> {
         let pid = match self.pages.read().get(idx) {
             Some(pid) => *pid,
             None => return Ok(None),
         };
-        let batch: Vec<(Rid, VersionHdr, Tuple)> = self.pool.with_page(pid, |p| {
-            p.iter()
-                .map(|(slot, rec)| decode_record(rec).map(|(h, t)| (Rid::new(pid, slot), h, t)))
-                .collect::<Result<Vec<_>>>()
-        })??;
-        let mut rows = Vec::with_capacity(batch.len());
-        let mut skipped = 0u64;
-        for (rid, hdr, t) in batch {
-            if snap.sees(&hdr) {
-                rows.push((rid, t));
-            } else {
-                skipped += 1;
+        let page: VisiblePage = self.pool.with_page(pid, |p| {
+            let mut rows = Vec::with_capacity(p.live_records());
+            let mut skipped = 0u64;
+            for (slot, rec) in p.iter() {
+                let (hdr, t) = decode_record(rec)?;
+                if snap.sees(&hdr) {
+                    rows.push((Rid::new(pid, slot), t));
+                } else {
+                    skipped += 1;
+                }
             }
-        }
-        Ok(Some((rows, skipped)))
+            Ok::<VisiblePage, StorageError>((rows, skipped))
+        })??;
+        Ok(Some(page))
     }
 
     /// Collect every visible `(rid, tuple)` pair (latest-committed
@@ -358,6 +387,148 @@ impl HeapFile {
         })?;
         Ok(n)
     }
+
+    // -- garbage collection -------------------------------------------------
+
+    /// One vacuum pass over this heap against the GC low-watermark (see
+    /// [`crate::vacuum`]). Reclaims every version whose deleter committed
+    /// at or below `watermark` (tombstoning its slot for reuse and
+    /// compacting the page), freezes surviving versions whose creator
+    /// committed at or below it, and refreshes the free-space map so the
+    /// reclaimed space is found by later inserts.
+    ///
+    /// The caller must hold the owning table's write latch: the pass reads
+    /// headers, classifies them against the commit-stamp table outside the
+    /// page locks, then applies — which is only race-free because writers
+    /// (the only mutators of headers) are excluded for the duration.
+    /// Readers are unaffected: they either scan pages (one page lock at a
+    /// time, reclaimed versions were invisible to every live snapshot by
+    /// the watermark's definition) or re-verify stale index postings via
+    /// `resolve_posting`.
+    pub fn vacuum(&self, watermark: u64) -> Result<HeapVacuum> {
+        let mut out = HeapVacuum::default();
+        let pages = self.pages.read().clone();
+        for (idx, &pid) in pages.iter().enumerate() {
+            // `dead_bytes` covers space reclaimable only by compaction that
+            // no version classification will find: records tombstoned by
+            // rollback or physical deletes, and slack from shrunken
+            // in-place updates.
+            let (records, dead_bytes): (Vec<(u16, VersionHdr, Tuple)>, usize) =
+                self.pool.with_page(pid, |p| {
+                    let records = p
+                        .iter()
+                        .map(|(slot, rec)| decode_record(rec).map(|(h, t)| (slot, h, t)))
+                        .collect::<Result<Vec<_>>>()?;
+                    Ok::<_, StorageError>((records, p.dead_space()))
+                })??;
+
+            // Classify outside the page lock (stamp lookups never nest
+            // inside a page latch).
+            let mut remove: Vec<(u16, Tuple)> = Vec::new();
+            let mut freeze: Vec<(u16, VersionHdr, Tuple)> = Vec::new();
+            for (slot, hdr, tuple) in records {
+                let ended = hdr.xmax != 0
+                    && self
+                        .txns
+                        .commit_stamp(hdr.xmax)
+                        .map(|d| d <= watermark)
+                        .unwrap_or(false);
+                if ended {
+                    // Dead to every live and future snapshot: reclaim.
+                    remove.push((slot, tuple));
+                    continue;
+                }
+                let xmin_frozen = match hdr.xmin {
+                    crate::txn::FROZEN => true,
+                    x => match self.txns.commit_stamp(x) {
+                        Some(c) if c <= watermark => {
+                            freeze.push((slot, hdr, tuple));
+                            true
+                        }
+                        // Uncommitted, or committed above the watermark:
+                        // some snapshot may still need the stamp lookup.
+                        _ => false,
+                    },
+                };
+                if !xmin_frozen || hdr.xmax != 0 {
+                    out.remaining_unfrozen += 1;
+                }
+                if hdr.xmax != 0 {
+                    out.remaining_dead += 1;
+                }
+            }
+
+            let compact = !remove.is_empty() || dead_bytes > 0;
+            if !compact && freeze.is_empty() {
+                continue;
+            }
+            out.frozen += freeze.len() as u64;
+            let new_free = self.pool.with_page_mut(pid, |p| {
+                for (slot, _) in &remove {
+                    p.delete(*slot);
+                }
+                for (slot, hdr, tuple) in &freeze {
+                    let rec = encode_record(
+                        VersionHdr {
+                            xmin: crate::txn::FROZEN,
+                            xmax: hdr.xmax,
+                        },
+                        tuple,
+                    );
+                    // Same record size (the header is fixed-width): the
+                    // in-place rewrite cannot fail to fit.
+                    if !p.update(*slot, &rec)? {
+                        return Err(StorageError::Corrupt("same-size freeze did not fit"));
+                    }
+                }
+                if compact {
+                    p.compact();
+                }
+                Ok(p.free_space() as u16)
+            })??;
+            if compact {
+                out.pages_compacted += 1;
+                self.free.write()[idx] = new_free;
+            }
+            out.removed
+                .extend(remove.into_iter().map(|(slot, t)| (Rid::new(pid, slot), t)));
+        }
+        Ok(out)
+    }
+
+    /// Count every stored version by state (diagnostic full scan).
+    pub fn version_census(&self) -> Result<crate::vacuum::VersionCensus> {
+        let mut census = crate::vacuum::VersionCensus::default();
+        self.for_each_version(|_, hdr, _| {
+            census.total_versions += 1;
+            if hdr.xmax == 0 {
+                census.live += 1;
+                if hdr.xmin == crate::txn::FROZEN {
+                    census.frozen += 1;
+                }
+            } else {
+                census.dead += 1;
+            }
+            Ok(true)
+        })?;
+        Ok(census)
+    }
+}
+
+/// Outcome of one [`HeapFile::vacuum`] pass.
+#[derive(Debug, Default)]
+pub struct HeapVacuum {
+    /// The reclaimed versions, for index-posting removal by the caller.
+    pub removed: Vec<(Rid, Tuple)>,
+    /// Versions whose header was rewritten to the frozen sentinel.
+    pub frozen: u64,
+    /// Pages compacted after reclaiming.
+    pub pages_compacted: u64,
+    /// Headers left that still reference a transaction id (unfrozen
+    /// `xmin`, or any set `xmax`).
+    pub remaining_unfrozen: u64,
+    /// Versions left carrying a delete mark the pass could not reclaim.
+    pub remaining_dead: u64,
 }
 
 #[cfg(test)]

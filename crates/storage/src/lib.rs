@@ -16,7 +16,10 @@
 //!   materialized-view maintenance, tagged per transaction;
 //! - [`stats`]: ANALYZE-style statistics for the cost-based planner;
 //! - [`txn`]: MVCC-lite transactions — txn ids, a global commit counter,
-//!   snapshots, first-writer-wins write conflicts and physical undo.
+//!   snapshots (registered live for GC), first-writer-wins write conflicts
+//!   and physical undo;
+//! - [`vacuum`]: MVCC garbage collection — the live-snapshot low-watermark,
+//!   dead-version reclamation, header freezing and commit-stamp pruning.
 //!
 //! The paper treats this layer as given ("transaction, recovery, and
 //! storage management … totally unchanged", Sect. 6); the entry point is
@@ -48,6 +51,7 @@ pub mod schema;
 pub mod stats;
 pub mod tuple;
 pub mod txn;
+pub mod vacuum;
 pub mod value;
 
 pub use buffer::{BufferPool, BufferStats};
@@ -62,4 +66,5 @@ pub use schema::{Column, Schema};
 pub use stats::{ColumnStats, StatsBuilder, TableStats};
 pub use tuple::{Rid, Tuple};
 pub use txn::{Snapshot, Transaction, TxnId, TxnManager, TxnState, VersionHdr, FROZEN};
+pub use vacuum::{GcStats, TableVacuumReport, VacuumReport, VersionCensus};
 pub use value::{DataType, Value};

@@ -5,20 +5,26 @@
 //! ```text
 //! 0..2    slot_count: u16
 //! 2..4    free_space_offset: u16   (end of the record area, grows downward)
-//! 4..     slot directory: slot_count entries of (offset: u16, len: u16)
+//! 4..6    tombstone_count: u16     (deleted directory entries awaiting reuse)
+//! 6..8    reserved
+//! 8..     slot directory: slot_count entries of (offset: u16, len: u16)
 //! ...     free space
 //! ...     record data (packed from the end of the page toward the front)
 //! ```
 //!
-//! A slot with `offset == TOMBSTONE` is deleted; slots are never reused for a
-//! different tuple (RIDs stay stable), but their record space is reclaimed by
-//! [`Page::compact`].
+//! A slot with `offset == TOMBSTONE` is deleted; its record space is
+//! reclaimed by [`Page::compact`] and its directory entry is reused by a
+//! later [`Page::insert`]. RIDs are stable for the lifetime of a *version*:
+//! once a slot is tombstoned (physical delete, rollback, vacuum) its RID may
+//! come back holding an unrelated tuple, which is why stale RID holders
+//! (index postings collected before a reclaim) must re-verify key and
+//! visibility on dereference (`Table::resolve_posting`).
 
 use crate::error::{Result, StorageError};
 
 /// Page size in bytes. 8 KiB, the classic DB page size.
 pub const PAGE_SIZE: usize = 8192;
-const HEADER: usize = 4;
+const HEADER: usize = 8;
 const SLOT_ENTRY: usize = 4;
 const TOMBSTONE: u16 = u16::MAX;
 
@@ -83,6 +89,15 @@ impl Page {
         self.write_u16(2, v);
     }
 
+    /// Number of tombstoned directory entries (reusable by `insert`).
+    fn tombstones(&self) -> u16 {
+        self.read_u16(4)
+    }
+
+    fn set_tombstones(&mut self, v: u16) {
+        self.write_u16(4, v);
+    }
+
     fn slot(&self, idx: u16) -> (u16, u16) {
         let at = HEADER + idx as usize * SLOT_ENTRY;
         (self.read_u16(at), self.read_u16(at + 2))
@@ -117,20 +132,58 @@ impl Page {
             .count()
     }
 
-    /// Insert a record, returning its slot number.
+    /// The lowest tombstoned slot, if any (candidate for directory reuse).
+    /// The tombstone counter gates the directory scan, so append-mostly
+    /// pages (no deletes yet) pay nothing on the insert hot path.
+    fn free_slot(&self) -> Option<u16> {
+        if self.tombstones() == 0 {
+            return None;
+        }
+        (0..self.slot_count()).find(|&i| self.slot(i).0 == TOMBSTONE)
+    }
+
+    /// Dead bytes in the record area: space held by deleted or superseded
+    /// record images that only [`Page::compact`] can reclaim. (Tombstoned
+    /// directory *entries* are not counted — they are reusable as-is.)
+    pub fn dead_space(&self) -> usize {
+        let live: usize = (0..self.slot_count())
+            .filter_map(|i| {
+                let (off, len) = self.slot(i);
+                (off != TOMBSTONE).then_some(len as usize)
+            })
+            .sum();
+        (PAGE_SIZE - self.free_offset() as usize).saturating_sub(live)
+    }
+
+    /// Insert a record, returning its slot number. Reuses the lowest
+    /// tombstoned directory slot when one exists (keeping the directory —
+    /// and with it long-lived pages under churn — bounded); otherwise
+    /// appends a fresh slot entry.
     pub fn insert(&mut self, record: &[u8]) -> Result<u16> {
         if record.len() > Self::max_record_size() {
             return Err(StorageError::TupleTooLarge(record.len()));
         }
-        if !self.fits(record.len()) {
+        let reuse = self.free_slot();
+        // A reused slot needs no new directory entry, only record space.
+        let need = record.len() + if reuse.is_some() { 0 } else { SLOT_ENTRY };
+        if self.free_space() < need {
             return Err(StorageError::TupleTooLarge(record.len()));
         }
-        let slot = self.slot_count();
         let new_free = self.free_offset() as usize - record.len();
         self.data[new_free..new_free + record.len()].copy_from_slice(record);
         self.set_free_offset(new_free as u16);
+        let slot = match reuse {
+            Some(slot) => {
+                self.set_tombstones(self.tombstones() - 1);
+                slot
+            }
+            None => {
+                let slot = self.slot_count();
+                self.set_slot_count(slot + 1);
+                slot
+            }
+        };
         self.set_slot(slot, new_free as u16, record.len() as u16);
-        self.set_slot_count(slot + 1);
         Ok(slot)
     }
 
@@ -156,6 +209,7 @@ impl Page {
             return false;
         }
         self.set_slot(slot, TOMBSTONE, 0);
+        self.set_tombstones(self.tombstones() + 1);
         true
     }
 

@@ -20,16 +20,22 @@
 //!   [`StorageError::WriteConflict`](crate::error::StorageError::WriteConflict)
 //!   instead of waiting or corrupting the row;
 //! - [`Transaction`] records an undo log so `ROLLBACK` can physically remove
-//!   versions the transaction created and clear the delete marks it set.
+//!   versions the transaction created and clear the delete marks it set;
+//! - every [`Snapshot`] is *registered* with the manager for its lifetime,
+//!   so [`TxnManager::oldest_visible_stamp`] can establish the garbage-
+//!   collection **low-watermark**: commits at or below it are visible to
+//!   every live and future snapshot, making their superseded versions safe
+//!   to reclaim and their stamp entries safe to drop once the versions are
+//!   frozen (see [`crate::vacuum`]).
 //!
 //! Durability is out of scope (the disk itself is simulated); isolation is
 //! snapshot isolation, which matches the era's workstation/server usage.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::catalog::Table;
 use crate::error::Result;
@@ -44,18 +50,26 @@ pub type TxnId = u64;
 pub const FROZEN: TxnId = 0;
 
 /// Global transaction state shared by every table of a database: txn id
-/// allocation plus the commit-stamp table consulted by visibility checks.
+/// allocation, the commit-stamp table consulted by visibility checks, and
+/// the live-snapshot registry that anchors the GC low-watermark.
 ///
-/// Snapshot acquisition is lock-free (one atomic load of the commit
-/// counter): the counter is only advanced *after* the committing
-/// transaction's stamp is published in the table, so any snapshot that
-/// observes counter `S` can resolve every transaction with stamp ≤ `S`.
+/// Snapshot acquisition takes one short mutex (the live-snapshot registry):
+/// the registry insertion and the commit-counter read happen under the same
+/// lock the watermark computation uses, so a snapshot is either already
+/// registered when the watermark is computed or guaranteed to observe a
+/// commit counter at least as fresh — either way the watermark never
+/// overtakes a snapshot that still needs old versions. The commit counter
+/// itself is only advanced *after* the committing transaction's stamp is
+/// published in the table, so any snapshot that observes counter `S` can
+/// resolve every transaction with stamp ≤ `S`.
 ///
-/// Known limitation: the stamp table grows by one entry per committed
-/// transaction and is never pruned — safe pruning needs a live-snapshot
-/// registry to establish an "everything below X is committed" horizon
-/// (tracked as a ROADMAP item). Frozen tuples (`xmin = 0`, the bulk of
-/// fixture data) bypass the table entirely on the visibility hot path.
+/// The stamp table is bounded by GC: [`crate::vacuum`] freezes tuple
+/// versions of commits below the watermark (rewriting their headers to the
+/// [`FROZEN`] sentinel) and then calls [`TxnManager::prune_stamps`], so the
+/// table holds roughly the commits since the last vacuum rather than the
+/// whole history. Frozen tuples (`xmin = 0`, the bulk of fixture data and
+/// everything old enough to have been frozen) bypass the table entirely on
+/// the visibility hot path.
 pub struct TxnManager {
     next_txn: AtomicU64,
     /// Stamp of the latest fully-published commit.
@@ -64,6 +78,11 @@ pub struct TxnManager {
     /// transactions are absent (aborted ones physically undo their
     /// writes). The write lock also serializes stamp assignment.
     stamps: RwLock<HashMap<TxnId, u64>>,
+    /// Live-snapshot registry: snapshot `seq` → number of live snapshots
+    /// reading at it. Snapshot creation and watermark computation both run
+    /// under this lock (see the struct docs for why that ordering matters);
+    /// clones of a snapshot share one registration via an `Arc` guard.
+    live: Mutex<BTreeMap<u64, u64>>,
 }
 
 impl Default for TxnManager {
@@ -78,6 +97,7 @@ impl TxnManager {
             next_txn: AtomicU64::new(1),
             commit_seq: AtomicU64::new(0),
             stamps: RwLock::new(HashMap::new()),
+            live: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -117,13 +137,86 @@ impl TxnManager {
     }
 
     /// A snapshot of the latest committed state as seen by transaction
-    /// `txn` (which additionally sees its own uncommitted writes).
+    /// `txn` (which additionally sees its own uncommitted writes). The
+    /// snapshot is registered live until it (and all of its clones) drop.
     pub fn snapshot_for(self: &Arc<Self>, txn: TxnId) -> Snapshot {
+        // Read the commit counter *inside* the registry lock: the watermark
+        // computation holds the same lock, so it either sees this entry or
+        // this read happens after its counter read (seq ≥ watermark).
+        let seq = {
+            let mut live = self.live.lock();
+            let seq = self.current_seq();
+            *live.entry(seq).or_insert(0) += 1;
+            seq
+        };
         Snapshot {
             mgr: Arc::clone(self),
-            seq: self.current_seq(),
+            seq,
             txn,
+            _live: Arc::new(LiveGuard {
+                mgr: Arc::clone(self),
+                seq,
+            }),
         }
+    }
+
+    fn deregister(&self, seq: u64) {
+        let mut live = self.live.lock();
+        if let Some(n) = live.get_mut(&seq) {
+            *n -= 1;
+            if *n == 0 {
+                live.remove(&seq);
+            }
+        }
+    }
+
+    /// The GC **low-watermark**: the oldest commit stamp any live snapshot
+    /// reads at (or the current commit counter when none are live). Every
+    /// commit with stamp ≤ the watermark is visible to every live snapshot
+    /// and to every snapshot created from now on, so its superseded
+    /// versions are reclaimable and its surviving versions freezable.
+    pub fn oldest_visible_stamp(&self) -> u64 {
+        let live = self.live.lock();
+        let current = self.current_seq();
+        live.keys().next().copied().unwrap_or(current).min(current)
+    }
+
+    /// Number of currently registered live snapshots.
+    pub fn live_snapshot_count(&self) -> usize {
+        self.live.lock().values().map(|n| *n as usize).sum()
+    }
+
+    /// Drop stamp entries with stamp ≤ `horizon`, returning how many were
+    /// pruned. Only safe when no stored version header references those
+    /// transactions anymore — the vacuum pass establishes that by freezing
+    /// (or removing) every version of commits below the watermark and
+    /// tracking each table's frozen-through stamp; `horizon` must be the
+    /// minimum of those. An absent stamp reads as "not committed", so a
+    /// premature prune would make committed rows invisible — hence the
+    /// freeze-first protocol.
+    pub fn prune_stamps(&self, horizon: u64) -> u64 {
+        let mut stamps = self.stamps.write();
+        let before = stamps.len();
+        stamps.retain(|_, s| *s > horizon);
+        (before - stamps.len()) as u64
+    }
+
+    /// Number of entries currently in the commit-stamp table.
+    pub fn stamp_count(&self) -> usize {
+        self.stamps.read().len()
+    }
+}
+
+/// Shared registration of one snapshot (and all of its clones) in the
+/// live-snapshot registry; deregisters when the last clone drops.
+struct LiveGuard {
+    mgr: Arc<TxnManager>,
+    seq: u64,
+}
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.mgr.deregister(self.seq);
     }
 }
 
@@ -167,6 +260,12 @@ impl VersionHdr {
 /// committed work is visible, plus the observing transaction's own id (its
 /// uncommitted writes are visible to itself). `Snapshot` is the
 /// *visibility handle* threaded through the executor.
+///
+/// A snapshot is registered in the manager's live-snapshot registry for
+/// its whole lifetime (clones share one registration), which is what holds
+/// the GC low-watermark down: vacuum never reclaims a version some live
+/// snapshot — an autocommit statement, an open transaction, a pinned
+/// parallel-CO stream — could still read.
 #[derive(Clone)]
 pub struct Snapshot {
     mgr: Arc<TxnManager>,
@@ -174,6 +273,8 @@ pub struct Snapshot {
     pub seq: u64,
     /// The observing transaction (`FROZEN` when reading outside one).
     pub txn: TxnId,
+    /// Shared live-registry registration (see [`LiveGuard`]).
+    _live: Arc<LiveGuard>,
 }
 
 impl std::fmt::Debug for Snapshot {

@@ -1,5 +1,5 @@
 //! An interactive XNF shell: type SQL or `OUT OF … TAKE …` statements
-//! terminated by `;`. Dot-commands: `.help`, `.tables`, `.views`,
+//! terminated by `;` (including `VACUUM`). Dot-commands: `.help`, `.tables`, `.views`,
 //! `.schema TABLE`, `.explain QUERY;`, `.co QUERY;` (fetch into a cache and
 //! print the instance graphs), `.quit`.
 //!
@@ -59,6 +59,7 @@ fn dot_command(db: &Database, cmd: &str) -> bool {
                  .explain QUERY;    show the physical plan\n\
                  .co QUERY;         fetch a CO and print its instance graphs\n\
                  .cache             show plan-cache statistics\n\
+                 .gc                show garbage-collection statistics\n\
                  .quit              leave"
             );
         }
@@ -106,6 +107,21 @@ fn dot_command(db: &Database, cmd: &str) -> bool {
                 s.compiles,
                 s.invalidations,
                 s.evictions
+            );
+        }
+        ".gc" => {
+            let g = db.gc_stats();
+            println!(
+                "gc: {} runs, {} versions reclaimed, {} frozen, \
+                 {} stamps pruned, {} pages compacted; stamp table now {}, \
+                 live snapshots {}",
+                g.vacuum_runs,
+                g.versions_reclaimed,
+                g.versions_frozen,
+                g.stamps_pruned,
+                g.pages_compacted,
+                db.catalog().txns().stamp_count(),
+                db.catalog().txns().live_snapshot_count()
             );
         }
         ".co" => match parts.next() {

@@ -9,7 +9,11 @@
 //!   wins) — never as corruption or deadlock;
 //! - after the storm, incremental materialized-view maintenance (applied
 //!   per committed transaction under the maintenance lock) leaves exactly
-//!   the contents a full `REFRESH` recomputes.
+//!   the contents a full `REFRESH` recomputes;
+//! - all of the above hold with MVCC garbage collection running: readers
+//!   interleave explicit `VACUUM` statements and the opportunistic
+//!   post-commit vacuum fires throughout (`tests/gc_soak.rs` adds the
+//!   dedicated boundedness soak).
 //!
 //! The default-profile tests keep thread counts and iteration budgets
 //! small; the heavyweight variant is `#[ignore]`d in debug builds and run
@@ -142,6 +146,13 @@ fn run_storm(db: &Arc<Database>, writers: usize, readers: usize, iters: usize, s
                 if n % 11 == 0 {
                     let co = session.database().fetch_co(&co_query).unwrap();
                     assert!(!co.workspace.components.is_empty());
+                }
+
+                // Interleave explicit garbage collection: vacuum must never
+                // disturb any of the invariants asserted above (it also
+                // runs opportunistically under the writers' commits).
+                if n % 13 == 0 {
+                    session.execute("VACUUM", &[]).unwrap();
                 }
             }
         }

@@ -8,17 +8,35 @@ use xnf_fixtures::{build_paper_db_with, PaperScale, DEPS_ARC};
 
 const EXPLAIN_MD: &str = include_str!("../docs/EXPLAIN.md");
 
-/// Operator names from the markdown table: lines shaped `| \`Name\` | ... |`.
-fn documented_operators() -> Vec<String> {
-    let mut ops = Vec::new();
+/// Backtick-quoted names from markdown table rows (`| \`Name\` | ... |`)
+/// inside the section starting at `heading`.
+fn documented_table_names(heading: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut in_section = false;
     for line in EXPLAIN_MD.lines() {
+        if line.starts_with("## ") {
+            in_section = line.trim_start_matches("## ").starts_with(heading);
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
         let Some(rest) = line.strip_prefix("| `") else {
             continue;
         };
         let Some(end) = rest.find('`') else { continue };
-        let name = &rest[..end];
-        ops.push(name.to_string());
+        names.push(rest[..end].to_string());
     }
+    assert!(
+        !names.is_empty(),
+        "table under '## {heading}' went missing from docs/EXPLAIN.md"
+    );
+    names
+}
+
+/// Operator names from the markdown operator table.
+fn documented_operators() -> Vec<String> {
+    let ops = documented_table_names("Operators");
     assert!(
         ops.len() >= 15,
         "operator table went missing from docs/EXPLAIN.md (found {ops:?})"
@@ -148,5 +166,31 @@ fn exec_stats_surface_snapshot_and_visibility_skips() {
     assert!(
         after.stats.rows_skipped_visibility > 0,
         "superseded versions should be counted as visibility skips"
+    );
+}
+
+/// docs/EXPLAIN.md § VACUUM documents the report stream's columns; the
+/// real statement must produce exactly those, in order, and surface its
+/// totals through the documented `ExecStats` fields.
+#[test]
+fn vacuum_report_columns_match_docs() {
+    let documented = documented_table_names("VACUUM");
+
+    let db = build_paper_db_with(PaperScale::default(), DbConfig::default());
+    db.execute("UPDATE EMP SET sal = sal + 1.0 WHERE eno = 1")
+        .unwrap();
+    let result = db.execute("VACUUM").unwrap().try_rows().unwrap();
+    let stream = result.try_table().unwrap();
+    assert_eq!(
+        stream.columns, documented,
+        "docs/EXPLAIN.md § VACUUM columns diverged from the real output"
+    );
+    assert!(
+        result.stats.gc_versions_reclaimed >= 1,
+        "the superseded EMP version should have been reclaimed"
+    );
+    assert!(
+        result.stats.gc_stamps_pruned >= 1,
+        "the update's commit stamp should have been pruned"
     );
 }
