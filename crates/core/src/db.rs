@@ -10,6 +10,7 @@
 //! committed (with materialized-view maintenance) when the statement
 //! finishes.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -26,8 +27,9 @@ use xnf_sql::{
     TypeName, ViewBody, XnfQuery,
 };
 use xnf_storage::{
-    BufferPool, Catalog, Column, DataType, DiskManager, GcStats, Schema, Snapshot, Tuple, TxnId,
-    VacuumReport, Value, ViewKind,
+    recover, BufferPool, Catalog, CheckpointSnap, Column, DataType, DiskManager, GcStats,
+    RecoveryReport, Schema, Snapshot, Tuple, TxnId, VacuumReport, Value, ViewKind, Wal, WalStats,
+    PAGE_SIZE,
 };
 
 use crate::error::{Result, XnfError};
@@ -192,10 +194,29 @@ impl<'a> WriteScope<'a> {
 }
 
 /// Configuration for a database instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DbConfig {
-    /// Buffer pool capacity in pages.
+    /// Buffer pool capacity in pages (used when [`DbConfig::buffer_budget`]
+    /// is zero).
     pub buffer_pages: usize,
+    /// Buffer pool memory budget in **bytes**; when non-zero it overrides
+    /// `buffer_pages` (`budget / PAGE_SIZE` frames, minimum 8). Pages beyond
+    /// the budget are evicted — written back through the WAL-before-data
+    /// choke point — and re-read on demand.
+    pub buffer_budget: usize,
+    /// Durable home of the database: `Some(dir)` opens (or creates)
+    /// `pages.db` + `wal.log` in `dir` and replays the log on open; `None`
+    /// keeps everything in memory with no logging.
+    pub data_dir: Option<PathBuf>,
+    /// Fsync the log on commit/checkpoint? `true` survives machine crashes;
+    /// `false` still writes the log to the OS on every commit (surviving
+    /// process kills) but trades machine-crash durability for speed.
+    pub wal_fsync: bool,
+    /// Fuzzy-checkpoint trigger: once this many log bytes accumulate past
+    /// the last checkpoint, the next commit writes one (bounding restart
+    /// redo work). `0` disables automatic checkpoints
+    /// ([`Database::checkpoint`] still works).
+    pub checkpoint_interval: u64,
     /// Rewrite options applied at compile time.
     pub rewrite: RewriteOptions,
     /// Planner options.
@@ -215,6 +236,10 @@ impl Default for DbConfig {
     fn default() -> Self {
         DbConfig {
             buffer_pages: 1024,
+            buffer_budget: 0,
+            data_dir: None,
+            wal_fsync: true,
+            checkpoint_interval: 4 << 20,
             rewrite: RewriteOptions::default(),
             plan: PlanOptions::default(),
             plan_cache_capacity: 128,
@@ -269,6 +294,9 @@ pub struct Database {
     /// Materialized-view maintenance plans, cached per catalog generation
     /// (DDL invalidates them together with the plan cache).
     matview_plans: Mutex<Option<(u64, MaintPlans)>>,
+    /// What restart recovery did when this instance was opened from disk
+    /// (`None` for in-memory databases and fresh files).
+    recovery: Option<RecoveryReport>,
 }
 
 /// Shared, generation-tagged set of matview maintenance plans.
@@ -280,16 +308,117 @@ impl Database {
         Self::with_config(DbConfig::default())
     }
 
+    /// Create a database from `config`. With [`DbConfig::data_dir`] set this
+    /// delegates to [`Database::open_with_config`] and panics on I/O or
+    /// recovery failure; call `open_with_config` directly to handle errors.
     pub fn with_config(config: DbConfig) -> Self {
+        if config.data_dir.is_some() {
+            return Self::open_with_config(config).expect("failed to open durable database");
+        }
         let disk = Arc::new(DiskManager::new());
-        let pool = Arc::new(BufferPool::new(disk, config.buffer_pages));
+        let pool = Arc::new(BufferPool::new(disk, Self::frame_budget(&config)));
+        let plan_cache = Mutex::new(PlanCache::new(config.plan_cache_capacity));
         Database {
             catalog: Arc::new(Catalog::new(pool)),
             config,
             maintenance: Mutex::new(()),
-            plan_cache: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
+            plan_cache,
             matview_plans: Mutex::new(None),
+            recovery: None,
         }
+    }
+
+    /// Open (or create) a durable database rooted at `path`, replaying the
+    /// write-ahead log: committed work from past sessions — including ones
+    /// that crashed — is restored; uncommitted work is rolled back.
+    pub fn open(path: impl AsRef<Path>) -> Result<Database> {
+        Self::open_with_config(DbConfig {
+            data_dir: Some(path.as_ref().to_path_buf()),
+            ..DbConfig::default()
+        })
+    }
+
+    /// [`Database::open`] with explicit options ([`DbConfig::data_dir`] must
+    /// be set). The open sequence is: open `pages.db` and `wal.log`, run
+    /// ARIES restart (analysis → redo → undo), rebuild materialized-view
+    /// contents (derived state, never logged), then flush every page and
+    /// rotate the log down to a single fresh checkpoint so the next restart
+    /// starts from here.
+    pub fn open_with_config(config: DbConfig) -> Result<Database> {
+        let Some(dir) = config.data_dir.clone() else {
+            return Err(XnfError::Api(
+                "open_with_config requires DbConfig::data_dir".to_string(),
+            ));
+        };
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| XnfError::Api(format!("create data dir '{}': {e}", dir.display())))?;
+        let disk = Arc::new(DiskManager::open_file(&dir.join("pages.db"))?);
+        let (wal, records) = Wal::open(&dir.join("wal.log"), config.wal_fsync)?;
+        let wal = Arc::new(wal);
+        let pool = Arc::new(BufferPool::with_wal(
+            disk,
+            Self::frame_budget(&config),
+            Arc::clone(&wal),
+        ));
+        let catalog = Arc::new(Catalog::new_logged(pool, Some(Arc::clone(&wal))));
+        let plan_cache = Mutex::new(PlanCache::new(config.plan_cache_capacity));
+        let mut db = Database {
+            catalog,
+            config,
+            maintenance: Mutex::new(()),
+            plan_cache,
+            matview_plans: Mutex::new(None),
+            recovery: None,
+        };
+        // Replay the log. `recover` disables logging for the duration; it
+        // stays off through the rebuild and rotation below so none of this
+        // restart work re-logs itself.
+        db.recovery = Some(recover(&db.catalog, records)?);
+        // Materialized-view contents are derived state: recovery restored
+        // the definitions over empty backing storage, REFRESH recomputes.
+        for name in db.catalog.view_names() {
+            if db.catalog.matview(&name).is_some() {
+                crate::matview::refresh(&db, &name)?;
+            }
+        }
+        // Checkpoint the recovered state and swap in a log containing only
+        // that checkpoint; a crash on either side of the atomic swap leaves
+        // a log that recovers to exactly this state.
+        let (next_table_id, tables, views) = db.catalog.checkpoint_snapshot();
+        let txn = db.catalog.txns().snapshot_state();
+        db.catalog.buffer_pool().flush_all()?;
+        db.catalog.buffer_pool().disk().sync()?;
+        wal.rotate(CheckpointSnap {
+            redo_lsn: wal.last_lsn(),
+            next_table_id,
+            txn,
+            tables,
+            views,
+        })?;
+        wal.set_logging(true);
+        Ok(db)
+    }
+
+    /// Buffer-pool frame count from the config: an explicit byte budget
+    /// wins over the frame count (never below 8 frames — the pool needs
+    /// working room for a single scan).
+    fn frame_budget(config: &DbConfig) -> usize {
+        if config.buffer_budget > 0 {
+            (config.buffer_budget / PAGE_SIZE).max(8)
+        } else {
+            config.buffer_pages
+        }
+    }
+
+    /// What restart recovery did when this database was opened from disk
+    /// (`None` for in-memory instances).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Write-ahead-log counters (`None` for in-memory databases).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.catalog.wal().map(|w| w.stats())
     }
 
     /// Maintenance plans for every materialized view, rebuilt when DDL
@@ -334,8 +463,8 @@ impl Database {
         &self.catalog
     }
 
-    pub fn config(&self) -> DbConfig {
-        self.config
+    pub fn config(&self) -> &DbConfig {
+        &self.config
     }
 
     // -- transactions -----------------------------------------------------
@@ -355,13 +484,87 @@ impl Database {
             txn.commit();
             Ok(())
         };
+        // Durability point: the commit record (appended under the stamp
+        // lock inside `txn.commit()`) must reach the log file before the
+        // commit is acknowledged. Group commit batches this flush — and its
+        // fsync — with other sessions committing concurrently.
+        let flushed = match self.catalog.wal() {
+            Some(wal) => wal.flush_for_commit().map_err(XnfError::from),
+            None => Ok(()),
+        };
+        self.maybe_checkpoint();
         // Opportunistic GC: the commit (and its maintenance) may have
         // pushed some heap past the reclaim-pressure threshold; vacuum it
         // now, on the committing thread, outside every lock. The committed
         // transaction's snapshot registration is already gone, so its own
         // garbage is reclaimable immediately (watermark permitting).
         self.maybe_auto_vacuum();
-        maintained
+        maintained.and(flushed)
+    }
+
+    /// Take a fuzzy checkpoint: capture the redo point and catalog state,
+    /// flush every dirty page, then log the checkpoint record — bounding
+    /// how much log the next restart replays. Commits keep running during
+    /// the page flush (the checkpoint is *fuzzy*): anything they change
+    /// after the captured redo point is covered by redo. No-op on
+    /// in-memory databases.
+    pub fn checkpoint(&self) -> Result<()> {
+        if self.catalog.wal().is_none() {
+            return Ok(());
+        }
+        let _m = self.maintenance.lock();
+        self.checkpoint_locked()
+    }
+
+    /// Checkpoint body; caller holds the maintenance lock (so a checkpoint
+    /// never lands in the middle of one transaction's view maintenance).
+    fn checkpoint_locked(&self) -> Result<()> {
+        let Some(wal) = self.catalog.wal() else {
+            return Ok(());
+        };
+        // The redo point comes *before* the state capture and page flush:
+        // anything that changes while the checkpoint is being taken is then
+        // at an LSN past `redo_lsn`, and restart redo reapplies it.
+        let redo_lsn = wal.last_lsn();
+        let (next_table_id, tables, views) = self.catalog.checkpoint_snapshot();
+        let txn = self.catalog.txns().snapshot_state();
+        let pool = self.catalog.buffer_pool();
+        pool.flush_all()?;
+        pool.disk().sync()?;
+        wal.append_checkpoint(CheckpointSnap {
+            redo_lsn,
+            next_table_id,
+            txn,
+            tables,
+            views,
+        })?;
+        Ok(())
+    }
+
+    /// Checkpoint when enough log has accumulated since the last one.
+    /// Contending commits skip (try-lock): one checkpointer is plenty, and
+    /// a commit must never block behind someone else's page flush.
+    fn maybe_checkpoint(&self) {
+        let interval = self.config.checkpoint_interval;
+        if interval == 0 {
+            return;
+        }
+        let Some(wal) = self.catalog.wal() else {
+            return;
+        };
+        if wal.bytes_since_checkpoint() < interval {
+            return;
+        }
+        let Some(_m) = self.maintenance.try_lock() else {
+            return;
+        };
+        // Re-check under the lock: a racing commit may have checkpointed.
+        if wal.bytes_since_checkpoint() < interval {
+            return;
+        }
+        // Checkpoint failure must never fail the commit that triggered it;
+        // the byte counter keeps growing, so the next commit retries.
+        let _ = self.checkpoint_locked();
     }
 
     /// Vacuum every heap whose reclaim pressure reached the configured
@@ -399,7 +602,17 @@ impl Database {
     /// Execute VACUUM and render its report as a result stream (one row
     /// per scanned heap; see docs/EXPLAIN.md § VACUUM for the columns).
     fn run_vacuum(&self, table: Option<&str>) -> Result<QueryResult> {
+        // Vacuum logs its page rewrites (tombstones, freezes); report the
+        // log traffic this run generated.
+        let wal_before = self.wal_stats();
         let report = self.vacuum(table)?;
+        let (wal_bytes_logged, wal_fsyncs) = match (wal_before, self.wal_stats()) {
+            (Some(b), Some(a)) => (
+                a.bytes_logged.saturating_sub(b.bytes_logged),
+                a.fsyncs.saturating_sub(b.fsyncs),
+            ),
+            _ => (0, 0),
+        };
         let rows: Vec<Vec<Value>> = report
             .tables
             .iter()
@@ -419,6 +632,8 @@ impl Database {
             gc_versions_reclaimed: report.versions_reclaimed(),
             gc_versions_frozen: report.versions_frozen(),
             gc_stamps_pruned: report.stamps_pruned,
+            wal_bytes_logged,
+            wal_fsyncs,
             ..ExecStats::default()
         };
         Ok(QueryResult {
@@ -775,9 +990,30 @@ impl Database {
         Ok((qgm, report))
     }
 
-    /// EXPLAIN: the physical plan as text.
+    /// EXPLAIN: the physical plan as text, with this instance's durability
+    /// mode added after the `visibility:` header (the plan itself is
+    /// storage-agnostic; whether commits hit a log is a database property).
     pub fn explain(&self, text: &str) -> Result<String> {
-        Ok(self.compile(text)?.explain())
+        let plan = self.compile(text)?.explain();
+        let vis = "visibility: snapshot (MVCC begin/end stamps)\n";
+        Ok(match plan.find(vis) {
+            Some(i) => {
+                let at = i + vis.len();
+                format!("{}{}{}", &plan[..at], self.durability_line(), &plan[at..])
+            }
+            None => format!("{}{plan}", self.durability_line()),
+        })
+    }
+
+    /// The `durability:` EXPLAIN header for this instance.
+    fn durability_line(&self) -> String {
+        match self.catalog.wal() {
+            Some(_) => format!(
+                "durability: wal (group commit, fsync={})\n",
+                if self.config.wal_fsync { "on" } else { "off" }
+            ),
+            None => "durability: none (in-memory)\n".to_string(),
+        }
     }
 
     pub(crate) fn run_select(&self, s: &Select) -> Result<QueryResult> {

@@ -109,7 +109,9 @@ pub use writeback::{derive_co_schema, write_back, BaseMap, CoSchema, CompMeta, R
 pub use xnf_exec::{ExecStats, QueryResult, RowBatch, StreamResult, DEFAULT_BATCH_SIZE};
 pub use xnf_plan::{PlanOptions, Qep};
 pub use xnf_rewrite::{RewriteOptions, RewriteReport};
-pub use xnf_storage::{DataType, GcStats, TableVacuumReport, VacuumReport, Value};
+pub use xnf_storage::{
+    DataType, GcStats, RecoveryReport, TableVacuumReport, TempDir, VacuumReport, Value, WalStats,
+};
 
 // Compile-time concurrency contract: one `Database` is shared across
 // threads behind an `Arc`, and `Session`s move into worker threads. A

@@ -45,6 +45,12 @@ pub struct ExecStats {
     /// Commit-stamp entries pruned behind the live-snapshot low-watermark
     /// during this run (non-zero only for `VACUUM` statements).
     pub gc_stamps_pruned: u64,
+    /// Write-ahead-log bytes this run appended (zero for pure reads and on
+    /// in-memory databases, which have no log).
+    pub wal_bytes_logged: u64,
+    /// Log fsyncs this run forced (group commit batches many commits into
+    /// one, so this is usually far below the commit count).
+    pub wal_fsyncs: u64,
 }
 
 impl ExecStats {
@@ -66,6 +72,8 @@ impl ExecStats {
         self.gc_versions_reclaimed += other.gc_versions_reclaimed;
         self.gc_versions_frozen += other.gc_versions_frozen;
         self.gc_stamps_pruned += other.gc_stamps_pruned;
+        self.wal_bytes_logged += other.wal_bytes_logged;
+        self.wal_fsyncs += other.wal_fsyncs;
     }
 }
 

@@ -14,6 +14,14 @@
 //! when they hash to the same shard. Pinned frames are never evicted,
 //! which is what makes the resolve-then-lock handoff safe. Eviction is
 //! shard-local (each shard owns `capacity / SHARDS` frames).
+//!
+//! Durability: when the pool carries a [`Wal`] handle, every write-back of
+//! a dirty page — eviction, [`BufferPool::flush_all`], or
+//! [`BufferPool::clear`] — first flushes the log up to the page's
+//! `page_lsn` (**WAL-before-data**): a page image never reaches disk ahead
+//! of the log records that produced it. Heap code appends those records
+//! *inside* `with_page_mut` closures, while the frame is pinned — and
+//! pinned frames are never evicted, so the stamp cannot race the flush.
 
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -22,6 +30,7 @@ use std::sync::Arc;
 use crate::disk::{DiskManager, PageId};
 use crate::error::{Result, StorageError};
 use crate::page::Page;
+use crate::wal::Wal;
 
 /// Buffer pool statistics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +68,7 @@ const MAX_SHARDS: usize = 16;
 /// A bounded page cache in front of the [`DiskManager`].
 pub struct BufferPool {
     disk: Arc<DiskManager>,
+    wal: Option<Arc<Wal>>,
     capacity: usize,
     /// Per-shard frame capacity (`>= 1`).
     shard_capacity: usize,
@@ -68,6 +78,16 @@ pub struct BufferPool {
 impl BufferPool {
     /// Create a pool of `capacity` frames over `disk`.
     pub fn new(disk: Arc<DiskManager>, capacity: usize) -> Self {
+        Self::build(disk, capacity, None)
+    }
+
+    /// Create a pool that enforces WAL-before-data against `wal` on every
+    /// dirty-page write-back.
+    pub fn with_wal(disk: Arc<DiskManager>, capacity: usize, wal: Arc<Wal>) -> Self {
+        Self::build(disk, capacity, Some(wal))
+    }
+
+    fn build(disk: Arc<DiskManager>, capacity: usize, wal: Option<Arc<Wal>>) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         // Tiny pools (tests, experiments) keep one frame per shard so the
         // total stays at the requested capacity and eviction still bites.
@@ -76,6 +96,7 @@ impl BufferPool {
         let shard_count = capacity.min(MAX_SHARDS);
         BufferPool {
             disk,
+            wal,
             capacity,
             shard_capacity: (capacity / shard_count).max(1),
             shards: (0..shard_count)
@@ -89,6 +110,29 @@ impl BufferPool {
                 })
                 .collect(),
         }
+    }
+
+    /// The WAL this pool enforces WAL-before-data against, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Write a dirty page back to disk, flushing the log up to the page's
+    /// LSN first. Every write-back path (eviction, flush, clear) funnels
+    /// through here so the WAL-before-data invariant has a single choke
+    /// point.
+    fn write_back(&self, id: PageId, page: &Page) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.flush_to(page.lsn())?;
+            debug_assert!(
+                wal.durable_lsn() >= page.lsn(),
+                "WAL-before-data violated: page {id} has lsn {} but log is only \
+                 durable to {}",
+                page.lsn(),
+                wal.durable_lsn()
+            );
+        }
+        self.disk.write(id, page)
     }
 
     pub fn capacity(&self) -> usize {
@@ -125,7 +169,7 @@ impl BufferPool {
     /// return its index + content lock.
     fn pin(&self, id: PageId) -> Result<(usize, Arc<RwLock<Frame>>)> {
         let mut inner = self.shard(id).lock();
-        let idx = Self::lookup_or_load(&mut inner, &self.disk, self.shard_capacity, id)?;
+        let idx = self.lookup_or_load(&mut inner, id)?;
         inner.slots[idx].pin_count += 1;
         Ok((idx, Arc::clone(&inner.slots[idx].frame)))
     }
@@ -135,20 +179,21 @@ impl BufferPool {
     }
 
     /// Allocate a brand-new page (on disk and in the pool) and initialize it
-    /// through `init`. Returns the new page id.
-    pub fn new_page<R>(&self, init: impl FnOnce(&mut Page) -> R) -> Result<(PageId, R)> {
+    /// through `init`, which receives the new page's id (so heap code can
+    /// log the allocation and first insert while the frame is pinned).
+    /// Returns the new page id.
+    pub fn new_page<R>(&self, init: impl FnOnce(PageId, &mut Page) -> R) -> Result<(PageId, R)> {
         let id = self.disk.allocate();
         let (idx, frame) = {
             let mut inner = self.shard(id).lock();
-            let idx =
-                Self::grab_frame(&mut inner, &self.disk, self.shard_capacity, id, Page::new())?;
+            let idx = self.grab_frame(&mut inner, id, Page::new())?;
             inner.slots[idx].pin_count += 1;
             (idx, Arc::clone(&inner.slots[idx].frame))
         };
         let r = {
             let mut guard = frame.write();
             guard.dirty = true;
-            init(&mut guard.page)
+            init(id, &mut guard.page)
         };
         self.unpin(id, idx);
         Ok((id, r))
@@ -178,7 +223,8 @@ impl BufferPool {
         Ok(r)
     }
 
-    /// Write all dirty pages back to disk.
+    /// Write all dirty pages back to disk (log-first: each write-back
+    /// flushes the WAL past the page's LSN before touching the disk).
     pub fn flush_all(&self) -> Result<()> {
         for shard in &self.shards {
             let mut inner = shard.lock();
@@ -186,7 +232,7 @@ impl BufferPool {
             for slot in inner.slots.iter() {
                 let mut frame = slot.frame.write();
                 if frame.dirty {
-                    self.disk.write(slot.page_id, &frame.page)?;
+                    self.write_back(slot.page_id, &frame.page)?;
                     frame.dirty = false;
                     writes += 1;
                 }
@@ -207,7 +253,7 @@ impl BufferPool {
             for slot in inner.slots.iter() {
                 let mut frame = slot.frame.write();
                 if frame.dirty {
-                    self.disk.write(slot.page_id, &frame.page)?;
+                    self.write_back(slot.page_id, &frame.page)?;
                     frame.dirty = false;
                 }
             }
@@ -219,12 +265,7 @@ impl BufferPool {
         Ok(())
     }
 
-    fn lookup_or_load(
-        inner: &mut Inner,
-        disk: &DiskManager,
-        capacity: usize,
-        id: PageId,
-    ) -> Result<usize> {
+    fn lookup_or_load(&self, inner: &mut Inner, id: PageId) -> Result<usize> {
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(&idx) = inner.page_table.get(&id) {
@@ -233,19 +274,14 @@ impl BufferPool {
             return Ok(idx);
         }
         inner.stats.misses += 1;
-        let page = disk.read(id)?;
-        Self::grab_frame(inner, disk, capacity, id, page)
+        let page = self.disk.read(id)?;
+        self.grab_frame(inner, id, page)
     }
 
     /// Find a slot for `page` (growing up to capacity, otherwise evicting
     /// the least-recently-used unpinned frame) and install it.
-    fn grab_frame(
-        inner: &mut Inner,
-        disk: &DiskManager,
-        capacity: usize,
-        id: PageId,
-        page: Page,
-    ) -> Result<usize> {
+    fn grab_frame(&self, inner: &mut Inner, id: PageId, page: Page) -> Result<usize> {
+        let capacity = self.shard_capacity;
         inner.tick += 1;
         let tick = inner.tick;
         let idx = if inner.slots.len() < capacity {
@@ -269,7 +305,7 @@ impl BufferPool {
                 // Unpinned ⇒ no in-flight closure holds the frame lock.
                 let old = inner.slots[victim].frame.read();
                 if old.dirty {
-                    disk.write(inner.slots[victim].page_id, &old.page)?;
+                    self.write_back(inner.slots[victim].page_id, &old.page)?;
                     inner.stats.dirty_writebacks += 1;
                 }
             }
@@ -300,7 +336,7 @@ mod tests {
     #[test]
     fn new_page_and_read_back() {
         let bp = pool(4);
-        let (id, slot) = bp.new_page(|p| p.insert(b"x").unwrap()).unwrap();
+        let (id, slot) = bp.new_page(|_, p| p.insert(b"x").unwrap()).unwrap();
         let data = bp.with_page(id, |p| p.get(slot).unwrap().to_vec()).unwrap();
         assert_eq!(data, b"x");
     }
@@ -310,7 +346,7 @@ mod tests {
         let bp = pool(2);
         let mut ids = vec![];
         for i in 0..4u8 {
-            let (id, _) = bp.new_page(|p| p.insert(&[i]).unwrap()).unwrap();
+            let (id, _) = bp.new_page(|_, p| p.insert(&[i]).unwrap()).unwrap();
             ids.push(id);
         }
         // All four pages must still be readable (older ones via disk).
@@ -324,7 +360,7 @@ mod tests {
     #[test]
     fn hits_and_misses_counted() {
         let bp = pool(2);
-        let (id, _) = bp.new_page(|p| p.insert(b"a").unwrap()).unwrap();
+        let (id, _) = bp.new_page(|_, p| p.insert(b"a").unwrap()).unwrap();
         bp.with_page(id, |_| ()).unwrap();
         bp.with_page(id, |_| ()).unwrap();
         let s = bp.stats();
@@ -335,7 +371,7 @@ mod tests {
     #[test]
     fn clear_then_reload_counts_miss() {
         let bp = pool(2);
-        let (id, _) = bp.new_page(|p| p.insert(b"a").unwrap()).unwrap();
+        let (id, _) = bp.new_page(|_, p| p.insert(b"a").unwrap()).unwrap();
         bp.clear().unwrap();
         bp.with_page(id, |p| assert_eq!(p.get(0).unwrap(), b"a"))
             .unwrap();
@@ -345,7 +381,7 @@ mod tests {
     #[test]
     fn parallel_readers_share_pages() {
         let bp = Arc::new(pool(8));
-        let (id, _) = bp.new_page(|p| p.insert(b"shared").unwrap()).unwrap();
+        let (id, _) = bp.new_page(|_, p| p.insert(b"shared").unwrap()).unwrap();
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let bp = Arc::clone(&bp);

@@ -24,6 +24,7 @@ use crate::tuple::{Rid, Tuple};
 use crate::txn::{Snapshot, TxnId, TxnManager, FROZEN};
 use crate::vacuum::{GcStats, GcTotals, TableGc, TableVacuumReport, VacuumReport, VersionCensus};
 use crate::value::Value;
+use crate::wal::{IndexSnap, TableSnap, ViewSnap, Wal, WalRecord};
 
 /// Numeric table identifier.
 pub type TableId = u32;
@@ -60,6 +61,9 @@ pub struct Table {
     /// Garbage-collection state: reclaim pressure, unfrozen-header bound
     /// and the frozen-through stamp (see [`crate::vacuum`]).
     gc: TableGc,
+    /// When set, this table's DDL (index creation) is logged here; heap
+    /// mutations are logged by the heap itself.
+    wal: Option<Arc<Wal>>,
 }
 
 impl Table {
@@ -69,21 +73,48 @@ impl Table {
         schema: Schema,
         pool: Arc<BufferPool>,
         txns: Arc<TxnManager>,
+        wal: Option<Arc<Wal>>,
     ) -> Self {
         // A transaction writing this table necessarily commits after the
         // table exists, so no header can ever reference a stamp at or
         // below the current counter: start frozen-through there.
         let created_seq = txns.current_seq();
+        Self::build(id, name, schema, pool, txns, wal, created_seq)
+    }
+
+    fn build(
+        id: TableId,
+        name: String,
+        schema: Schema,
+        pool: Arc<BufferPool>,
+        txns: Arc<TxnManager>,
+        wal: Option<Arc<Wal>>,
+        created_seq: u64,
+    ) -> Self {
         Table {
             id,
             name,
             schema,
-            heap: HeapFile::create(pool, txns),
+            heap: HeapFile::create_logged(pool, txns, id, wal.clone()),
             write_latch: Mutex::new(()),
             indexes: RwLock::new(Vec::new()),
             stats: RwLock::new(TableStats::default()),
             gc: TableGc::new(created_seq),
+            wal,
         }
+    }
+
+    /// Append a DDL record and force it to stable storage (DDL is rare and
+    /// autocommitted, so it pays its own flush rather than riding group
+    /// commit). No-op when unlogged or while recovery replays.
+    fn log_ddl(wal: &Option<Arc<Wal>>, rec: WalRecord) -> Result<()> {
+        if let Some(wal) = wal {
+            if wal.logging() {
+                wal.append(&rec);
+                wal.flush_all()?;
+            }
+        }
+        Ok(())
     }
 
     /// The transaction manager deciding visibility for this table.
@@ -372,10 +403,54 @@ impl Table {
         if let Some(e) = build_err {
             return Err(e);
         }
+        Self::log_ddl(
+            &self.wal,
+            WalRecord::CreateIndex {
+                table: self.id,
+                index: IndexSnap {
+                    name: def.name.clone(),
+                    columns: def.columns.clone(),
+                    unique: def.unique,
+                },
+            },
+        )?;
         indexes.push(IndexEntry {
             def,
             tree: RwLock::new(tree),
         });
+        Ok(())
+    }
+
+    /// The underlying heap (recovery's redo/undo target).
+    pub(crate) fn heap(&self) -> &HeapFile {
+        &self.heap
+    }
+
+    /// Register an index definition with an empty tree (recovery only; the
+    /// tree is filled by [`Table::rebuild_indexes`] once redo/undo settle
+    /// the heap contents).
+    pub(crate) fn restore_index_def(&self, def: IndexDef) {
+        self.indexes.write().push(IndexEntry {
+            def,
+            tree: RwLock::new(BTreeIndex::new(false)),
+        });
+    }
+
+    /// Rebuild every index tree from the heap (after recovery rewrote the
+    /// pages underneath them). Every stored version gets a posting, as at
+    /// runtime; uniqueness is not re-checked — the log replays only states
+    /// the runtime already validated.
+    pub fn rebuild_indexes(&self) -> Result<()> {
+        let _w = self.write_latch.lock();
+        let indexes = self.indexes.read();
+        for entry in indexes.iter() {
+            let mut tree = BTreeIndex::new(false);
+            self.heap.for_each_version(|rid, _, t| {
+                tree.insert(Table::key_of(&entry.def, &t), rid)?;
+                Ok(true)
+            })?;
+            *entry.tree.write() = tree;
+        }
         Ok(())
     }
 
@@ -579,6 +654,24 @@ pub enum ViewKind {
     Xnf,
 }
 
+impl ViewKind {
+    /// Stable on-log tag (see [`ViewSnap`]).
+    pub fn tag(self) -> u8 {
+        match self {
+            ViewKind::Sql => 0,
+            ViewKind::Xnf => 1,
+        }
+    }
+
+    pub fn from_tag(tag: u8) -> ViewKind {
+        if tag == 1 {
+            ViewKind::Xnf
+        } else {
+            ViewKind::Sql
+        }
+    }
+}
+
 /// A stored view: name + definition text.
 #[derive(Debug, Clone)]
 pub struct ViewDef {
@@ -672,20 +765,36 @@ pub struct Catalog {
     generation: std::sync::atomic::AtomicU64,
     /// Cumulative GC counters across all vacuum runs.
     gc_totals: GcTotals,
+    /// When set, DDL and heap mutations of base tables are logged here.
+    /// Materialized-view backing tables stay unlogged: only their
+    /// definitions hit the log, and recovery rebuilds contents by REFRESH.
+    wal: Option<Arc<Wal>>,
 }
 
 impl Catalog {
     pub fn new(pool: Arc<BufferPool>) -> Self {
+        Self::new_logged(pool, None)
+    }
+
+    /// A catalog whose DDL, base-table mutations and commits are logged to
+    /// `wal` (the durable construction path of `Database::open`).
+    pub fn new_logged(pool: Arc<BufferPool>, wal: Option<Arc<Wal>>) -> Self {
         Catalog {
             pool,
-            txns: Arc::new(TxnManager::new()),
+            txns: Arc::new(TxnManager::new_logged(wal.clone())),
             tables: RwLock::new(HashMap::new()),
             views: RwLock::new(HashMap::new()),
             matviews: RwLock::new(HashMap::new()),
             next_id: Mutex::new(0),
             generation: std::sync::atomic::AtomicU64::new(0),
             gc_totals: GcTotals::default(),
+            wal,
         }
+    }
+
+    /// The WAL this catalog logs to, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     pub fn buffer_pool(&self) -> &Arc<BufferPool> {
@@ -740,18 +849,36 @@ impl Catalog {
             schema,
             Arc::clone(&self.pool),
             Arc::clone(&self.txns),
+            self.wal.clone(),
         ));
+        Table::log_ddl(
+            &self.wal,
+            WalRecord::CreateTable {
+                id,
+                name: t.name.clone(),
+                schema: t.schema.clone(),
+            },
+        )?;
         tables.insert(key, Arc::clone(&t));
         self.bump_generation();
         Ok(t)
     }
 
     pub fn drop_table(&self, name: &str) -> Result<()> {
-        self.tables
-            .write()
-            .remove(&Self::norm(name))
-            .map(|_| self.bump_generation())
-            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        let removed = self.tables.write().remove(&Self::norm(name));
+        match removed {
+            Some(t) => {
+                Table::log_ddl(
+                    &self.wal,
+                    WalRecord::DropTable {
+                        name: t.name.clone(),
+                    },
+                )?;
+                self.bump_generation();
+                Ok(())
+            }
+            None => Err(StorageError::UnknownTable(name.to_string())),
+        }
     }
 
     /// Resolve a name to stored data: a base table, or — falling back — the
@@ -814,7 +941,17 @@ impl Catalog {
 
     /// Register a view definition (text is re-parsed by the front end).
     pub fn create_view(&self, name: &str, kind: ViewKind, text: &str) -> Result<()> {
-        self.register_view(name, kind, text, false)
+        self.register_view(name, kind, text, false)?;
+        Table::log_ddl(
+            &self.wal,
+            WalRecord::CreateView(ViewSnap {
+                name: name.to_string(),
+                kind: kind.tag(),
+                text: text.to_string(),
+                materialized: false,
+                streams: Vec::new(),
+            }),
+        )
     }
 
     fn register_view(
@@ -863,12 +1000,16 @@ impl Catalog {
         *next += 1;
         MatViewStream {
             name: stream.to_string(),
+            // Backing tables are unlogged: their contents are derived (a
+            // REFRESH at restart reconstructs them), so logging every
+            // maintenance write would only double the log volume.
             table: Arc::new(Table::new(
                 id,
                 table_name,
                 schema,
                 Arc::clone(&self.pool),
                 Arc::clone(&self.txns),
+                None,
             )),
         }
     }
@@ -886,6 +1027,16 @@ impl Catalog {
         streams: Vec<(String, Schema)>,
     ) -> Result<Arc<MatView>> {
         self.register_view(name, kind, text, true)?;
+        Table::log_ddl(
+            &self.wal,
+            WalRecord::CreateView(ViewSnap {
+                name: name.to_string(),
+                kind: kind.tag(),
+                text: text.to_string(),
+                materialized: true,
+                streams: streams.clone(),
+            }),
+        )?;
         let single = streams.len() == 1;
         let built: Vec<MatViewStream> = streams
             .into_iter()
@@ -933,8 +1084,9 @@ impl Catalog {
     pub fn drop_view(&self, name: &str) -> Result<()> {
         let removed = self.views.write().remove(&Self::norm(name));
         match removed {
-            Some(_) => {
+            Some(def) => {
                 self.matviews.write().remove(&Self::norm(name));
+                Table::log_ddl(&self.wal, WalRecord::DropView { name: def.name })?;
                 self.bump_generation();
                 Ok(())
             }
@@ -946,6 +1098,163 @@ impl Catalog {
         let mut v: Vec<String> = self.views.read().values().map(|d| d.name.clone()).collect();
         v.sort();
         v
+    }
+
+    // -- durability & recovery ----------------------------------------------
+
+    /// Serializable catalog state for a checkpoint: base tables (schema,
+    /// extent, index definitions) plus view definitions — materialized ones
+    /// with the stream schemas their backing tables are recreated from.
+    /// Backing-table contents are not captured (they are derived state;
+    /// restart REFRESHes them).
+    pub fn checkpoint_snapshot(&self) -> (TableId, Vec<TableSnap>, Vec<ViewSnap>) {
+        let next = *self.next_id.lock();
+        let mut tables: Vec<TableSnap> = self
+            .tables
+            .read()
+            .values()
+            .map(|t| TableSnap {
+                id: t.id,
+                name: t.name.clone(),
+                schema: t.schema.clone(),
+                pages: t.heap.pages(),
+                indexes: t
+                    .index_defs()
+                    .into_iter()
+                    .map(|d| IndexSnap {
+                        name: d.name,
+                        columns: d.columns,
+                        unique: d.unique,
+                    })
+                    .collect(),
+            })
+            .collect();
+        tables.sort_by_key(|t| t.id);
+        let mut views: Vec<ViewSnap> = self
+            .views
+            .read()
+            .values()
+            .map(|d| self.view_snap(d))
+            .collect();
+        views.sort_by(|a, b| a.name.cmp(&b.name));
+        (next, tables, views)
+    }
+
+    fn view_snap(&self, def: &ViewDef) -> ViewSnap {
+        let streams = if def.materialized {
+            self.matview(&def.name)
+                .map(|mv| {
+                    mv.streams()
+                        .iter()
+                        .map(|s| (s.name.clone(), s.table.schema.clone()))
+                        .collect()
+                })
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        ViewSnap {
+            name: def.name.clone(),
+            kind: def.kind.tag(),
+            text: def.text.clone(),
+            materialized: def.materialized,
+            streams,
+        }
+    }
+
+    /// Recreate one base table from a checkpoint snapshot (recovery only):
+    /// forced id, recorded extent, index definitions with empty trees
+    /// (rebuilt after redo/undo), and a GC horizon of zero — recovered
+    /// headers may reference arbitrarily old commit stamps, so the
+    /// frozen-through stamp must be re-earned by a vacuum scan.
+    pub(crate) fn restore_table(&self, snap: TableSnap) {
+        let t = Arc::new(Table::build(
+            snap.id,
+            snap.name.clone(),
+            snap.schema,
+            Arc::clone(&self.pool),
+            Arc::clone(&self.txns),
+            self.wal.clone(),
+            0,
+        ));
+        t.heap.restore_pages(snap.pages);
+        for idx in snap.indexes {
+            t.restore_index_def(IndexDef {
+                name: idx.name,
+                columns: idx.columns,
+                unique: idx.unique,
+            });
+        }
+        self.tables.write().insert(Self::norm(&snap.name), t);
+        self.set_next_table_id(snap.id + 1);
+    }
+
+    /// Base table carrying WAL table id `id`, if present. Matview backing
+    /// tables are not searched: their ids never appear in a log we replay
+    /// (they are unlogged), so redo skips records for unknown ids.
+    pub(crate) fn table_by_id(&self, id: TableId) -> Option<Arc<Table>> {
+        self.tables.read().values().find(|t| t.id == id).cloned()
+    }
+
+    /// Force the table-id allocator to at least `id` (recovery only).
+    pub(crate) fn set_next_table_id(&self, id: TableId) {
+        let mut next = self.next_id.lock();
+        *next = (*next).max(id);
+    }
+
+    /// Redo of [`WalRecord::CreateTable`]: idempotent — a fuzzy checkpoint
+    /// may already have captured the table.
+    pub(crate) fn redo_create_table(&self, id: TableId, name: &str, schema: Schema) {
+        let key = Self::norm(name);
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return;
+        }
+        let t = Arc::new(Table::build(
+            id,
+            name.to_string(),
+            schema,
+            Arc::clone(&self.pool),
+            Arc::clone(&self.txns),
+            self.wal.clone(),
+            0,
+        ));
+        tables.insert(key, t);
+        drop(tables);
+        self.set_next_table_id(id + 1);
+    }
+
+    /// Redo of [`WalRecord::DropTable`] (idempotent).
+    pub(crate) fn redo_drop_table(&self, name: &str) {
+        self.tables.write().remove(&Self::norm(name));
+    }
+
+    /// Redo of [`WalRecord::CreateIndex`] (idempotent; tree stays empty
+    /// until [`Table::rebuild_indexes`]).
+    pub(crate) fn redo_create_index(&self, table: TableId, idx: &IndexSnap) {
+        if let Some(t) = self.table_by_id(table) {
+            if t.index_def(&idx.name).is_none() {
+                t.restore_index_def(IndexDef {
+                    name: idx.name.clone(),
+                    columns: idx.columns.clone(),
+                    unique: idx.unique,
+                });
+            }
+        }
+    }
+
+    /// Redo of [`WalRecord::CreateView`] for a *plain* view (idempotent).
+    /// Materialized views are recreated by recovery after redo, via
+    /// [`Catalog::create_materialized_view`], so their backing tables get
+    /// fresh ids that cannot collide with redone `CreateTable` ids.
+    pub(crate) fn redo_register_view(&self, vs: &ViewSnap) {
+        let _ = self.register_view(&vs.name, ViewKind::from_tag(vs.kind), &vs.text, false);
+    }
+
+    /// Redo of [`WalRecord::DropView`] (idempotent).
+    pub(crate) fn redo_drop_view(&self, name: &str) {
+        self.views.write().remove(&Self::norm(name));
+        self.matviews.write().remove(&Self::norm(name));
     }
 
     // -- garbage collection -------------------------------------------------

@@ -46,6 +46,9 @@ pub enum StorageError {
     WriteConflict {
         table: String,
     },
+    /// An operating-system I/O failure (page file or write-ahead log). The
+    /// message is carried as a string so the error stays `Clone + Eq`.
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -85,6 +88,7 @@ impl fmt::Display for StorageError {
                      concurrent transaction"
                 )
             }
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

@@ -14,16 +14,26 @@
 //! and maintenance code see). Physical `delete`/`update` bypass versioning
 //! and are reserved for unversioned ("frozen") storage such as
 //! materialized-view backing tables and rollback's undo.
+//!
+//! Durability: a heap created with [`HeapFile::create_logged`] appends a
+//! WAL record for every page mutation *inside* the `with_page_mut` closure
+//! (the frame is pinned there, so the page cannot be evicted between the
+//! append and the `page_lsn` stamp), then stamps the page with the
+//! record's LSN. The `redo_*` / `undo_*` methods are the recovery
+//! primitives: idempotent absolute operations, LSN-guarded for redo and
+//! slot-tolerant for undo.
 
 use parking_lot::RwLock;
 use std::sync::Arc;
 
 use crate::buffer::BufferPool;
+use crate::catalog::TableId;
 use crate::disk::PageId;
 use crate::error::{Result, StorageError};
 use crate::page::Page;
 use crate::tuple::{Rid, Tuple};
 use crate::txn::{Snapshot, TxnId, TxnManager, VersionHdr};
+use crate::wal::{Wal, WalRecord};
 
 /// One page's worth of snapshot-visible rows plus the number of tuple
 /// versions the visibility check skipped.
@@ -37,6 +47,10 @@ pub struct HeapFile {
     pages: RwLock<Vec<PageId>>,
     /// Approximate free bytes per page (parallel to `pages`).
     free: RwLock<Vec<u16>>,
+    /// Identity of the owning table in WAL records.
+    table_id: TableId,
+    /// When set, every page mutation is logged (see module docs).
+    wal: Option<Arc<Wal>>,
 }
 
 /// Encode a version header + tuple into one heap record.
@@ -56,13 +70,39 @@ fn decode_record(bytes: &[u8]) -> Result<(VersionHdr, Tuple)> {
 
 impl HeapFile {
     /// Create an empty heap file backed by `pool`, with visibility decided
-    /// through `txns`.
+    /// through `txns`. Mutations are not logged (volatile storage,
+    /// materialized-view backing tables).
     pub fn create(pool: Arc<BufferPool>, txns: Arc<TxnManager>) -> Self {
+        Self::create_logged(pool, txns, 0, None)
+    }
+
+    /// Create an empty heap file whose page mutations are logged to `wal`
+    /// under `table_id` (pass `None` to keep it unlogged).
+    pub fn create_logged(
+        pool: Arc<BufferPool>,
+        txns: Arc<TxnManager>,
+        table_id: TableId,
+        wal: Option<Arc<Wal>>,
+    ) -> Self {
         HeapFile {
             pool,
             txns,
             pages: RwLock::new(Vec::new()),
             free: RwLock::new(Vec::new()),
+            table_id,
+            wal,
+        }
+    }
+
+    /// Append a WAL record for a mutation of `page` and stamp the page
+    /// with the record's LSN. Must be called while the page's frame lock is
+    /// held (inside `with_page_mut` / `new_page` closures).
+    fn log(&self, page: &mut Page, rec: WalRecord) {
+        if let Some(wal) = &self.wal {
+            if wal.logging() {
+                let lsn = wal.append(&rec);
+                page.set_lsn(lsn);
+            }
         }
     }
 
@@ -103,7 +143,20 @@ impl HeapFile {
         if let Some((idx, pid)) = candidate {
             let slot = self.pool.with_page_mut(pid, |p| {
                 let r = if p.fits(record.len()) {
-                    p.insert(&record).map(Some)
+                    match p.insert(&record) {
+                        Ok(slot) => {
+                            self.log(
+                                p,
+                                WalRecord::Install {
+                                    table: self.table_id,
+                                    rid: Rid::new(pid, slot),
+                                    record: record.clone(),
+                                },
+                            );
+                            Ok(Some(slot))
+                        }
+                        Err(e) => Err(e),
+                    }
                 } else {
                     Ok(None)
                 };
@@ -116,7 +169,25 @@ impl HeapFile {
             }
         }
         // Slow path: allocate a new page.
-        let (pid, slot) = self.pool.new_page(|p| p.insert(&record))?;
+        let (pid, slot) = self.pool.new_page(|pid, p| {
+            self.log(
+                p,
+                WalRecord::HeapPage {
+                    table: self.table_id,
+                    page: pid,
+                },
+            );
+            let slot = p.insert(&record)?;
+            self.log(
+                p,
+                WalRecord::Install {
+                    table: self.table_id,
+                    rid: Rid::new(pid, slot),
+                    record: record.clone(),
+                },
+            );
+            Ok::<u16, StorageError>(slot)
+        })?;
         let slot = slot?;
         let free_now = self.pool.with_page(pid, |p| p.free_space() as u16)?;
         self.pages.write().push(pid);
@@ -202,6 +273,14 @@ impl HeapFile {
             if !p.update(rid.slot, &record)? {
                 return Err(StorageError::Corrupt("same-size header update did not fit"));
             }
+            self.log(
+                p,
+                WalRecord::Mark {
+                    xid,
+                    table: self.table_id,
+                    rid,
+                },
+            );
             Ok(tuple)
         })?
     }
@@ -228,6 +307,13 @@ impl HeapFile {
             if !p.update(rid.slot, &record)? {
                 return Err(StorageError::Corrupt("same-size header update did not fit"));
             }
+            self.log(
+                p,
+                WalRecord::Unmark {
+                    table: self.table_id,
+                    rid,
+                },
+            );
             Ok(())
         })?
     }
@@ -238,6 +324,15 @@ impl HeapFile {
         let old = self.get(rid)?;
         let freed = self.pool.with_page_mut(rid.page, |p| {
             let ok = p.delete(rid.slot);
+            if ok {
+                self.log(
+                    p,
+                    WalRecord::Tombstone {
+                        table: self.table_id,
+                        rid,
+                    },
+                );
+            }
             (ok, p.free_space() as u16)
         })?;
         let (ok, _free) = freed;
@@ -257,14 +352,35 @@ impl HeapFile {
     pub fn update(&self, rid: Rid, new: &Tuple) -> Result<(Tuple, Rid)> {
         let (hdr, old) = self.get_versioned(rid)?;
         let record = encode_record(hdr, new);
-        let updated = self
-            .pool
-            .with_page_mut(rid.page, |p| p.update(rid.slot, &record))??;
+        let updated = self.pool.with_page_mut(rid.page, |p| {
+            let updated = p.update(rid.slot, &record)?;
+            if updated {
+                self.log(
+                    p,
+                    WalRecord::Install {
+                        table: self.table_id,
+                        rid,
+                        record: record.clone(),
+                    },
+                );
+            }
+            Ok::<bool, StorageError>(updated)
+        })??;
         if updated {
             return Ok((old, rid));
         }
         // Relocate: delete here, insert elsewhere.
-        self.pool.with_page_mut(rid.page, |p| p.delete(rid.slot))?;
+        self.pool.with_page_mut(rid.page, |p| {
+            if p.delete(rid.slot) {
+                self.log(
+                    p,
+                    WalRecord::Tombstone {
+                        table: self.table_id,
+                        rid,
+                    },
+                );
+            }
+        })?;
         let new_rid = self.insert_version(new, hdr.xmin)?;
         Ok((old, new_rid))
     }
@@ -388,6 +504,158 @@ impl HeapFile {
         Ok(n)
     }
 
+    // -- recovery primitives ------------------------------------------------
+    //
+    // Redo ops are absolute and LSN-guarded: a page whose `page_lsn` is at
+    // or past the record's LSN already reflects it (it was flushed later)
+    // and is skipped; otherwise the page is exactly at the historical state
+    // the record was logged against, so the operation applies verbatim.
+    // Undo ops are slot-tolerant (a runtime rollback may have already
+    // reverted the op before the crash) and never LSN-guarded — they run
+    // after redo, against the reconstructed end-of-log state.
+
+    /// Restore the page list (and a fresh free-space map) from a checkpoint
+    /// snapshot. The free estimates are refreshed by
+    /// [`HeapFile::refresh_free_map`] once redo completes.
+    pub fn restore_pages(&self, pages: Vec<PageId>) {
+        let mut free = self.free.write();
+        let mut my_pages = self.pages.write();
+        free.clear();
+        free.resize(pages.len(), 0);
+        *my_pages = pages;
+    }
+
+    /// Redo of [`WalRecord::HeapPage`]: make sure `pid` is allocated on
+    /// disk and part of this heap's extent. Idempotent.
+    pub fn redo_add_page(&self, pid: PageId) -> Result<()> {
+        self.pool.disk().ensure_allocated(pid)?;
+        let mut pages = self.pages.write();
+        if !pages.contains(&pid) {
+            pages.push(pid);
+            self.free.write().push(0);
+        }
+        Ok(())
+    }
+
+    /// Apply `f` to the page at `rid` unless the page already reflects the
+    /// record (`page_lsn >= lsn`); stamps the page on application. Returns
+    /// whether the record was applied.
+    fn redo_page(
+        &self,
+        pid: PageId,
+        lsn: u64,
+        f: impl FnOnce(&mut Page) -> Result<()>,
+    ) -> Result<bool> {
+        self.pool.with_page_mut(pid, |p| {
+            if p.lsn() >= lsn {
+                return Ok(false);
+            }
+            f(p)?;
+            p.set_lsn(lsn);
+            Ok(true)
+        })?
+    }
+
+    /// Redo of [`WalRecord::Install`].
+    pub fn redo_install(&self, rid: Rid, record: &[u8], lsn: u64) -> Result<bool> {
+        self.redo_page(rid.page, lsn, |p| p.install(rid.slot, record))
+    }
+
+    /// Redo of [`WalRecord::Mark`] (absolute: sets `xmax = xid`).
+    pub fn redo_mark(&self, rid: Rid, xid: TxnId, lsn: u64) -> Result<bool> {
+        self.redo_set_hdr(rid, lsn, |hdr| hdr.xmax = xid)
+    }
+
+    /// Redo of [`WalRecord::Unmark`] (absolute: clears `xmax`).
+    pub fn redo_unmark(&self, rid: Rid, lsn: u64) -> Result<bool> {
+        self.redo_set_hdr(rid, lsn, |hdr| hdr.xmax = 0)
+    }
+
+    /// Redo of [`WalRecord::Freeze`] (absolute: `xmin = FROZEN`).
+    pub fn redo_freeze(&self, rid: Rid, lsn: u64) -> Result<bool> {
+        self.redo_set_hdr(rid, lsn, |hdr| hdr.xmin = crate::txn::FROZEN)
+    }
+
+    fn redo_set_hdr(&self, rid: Rid, lsn: u64, f: impl FnOnce(&mut VersionHdr)) -> Result<bool> {
+        self.redo_page(rid.page, lsn, |p| {
+            let Some(bytes) = p.get(rid.slot) else {
+                // The slot is gone (e.g. a later vacuum reclaim was flushed
+                // but this page image predates the version): nothing to do.
+                return Ok(());
+            };
+            let (mut hdr, tuple) = decode_record(bytes)?;
+            f(&mut hdr);
+            let record = encode_record(hdr, &tuple);
+            if !p.update(rid.slot, &record)? {
+                return Err(StorageError::Corrupt("same-size redo update did not fit"));
+            }
+            Ok(())
+        })
+    }
+
+    /// Redo of [`WalRecord::Tombstone`].
+    pub fn redo_tombstone(&self, rid: Rid, lsn: u64) -> Result<bool> {
+        self.redo_page(rid.page, lsn, |p| {
+            p.delete(rid.slot);
+            Ok(())
+        })
+    }
+
+    /// Undo of a loser's [`WalRecord::Install`]: physically reclaim the
+    /// version — but only if the slot still holds the loser's version
+    /// (`xmin == xid`). A runtime rollback may already have tombstoned it,
+    /// and a *later* insert may then have legally reused the slot for a
+    /// committed row; deleting blindly would destroy that row.
+    pub fn undo_install(&self, rid: Rid, xid: TxnId) -> Result<()> {
+        self.pool.with_page_mut(rid.page, |p| {
+            let Some(bytes) = p.get(rid.slot) else {
+                return Ok(());
+            };
+            let (hdr, _) = decode_record(bytes)?;
+            if hdr.xmin == xid {
+                p.delete(rid.slot);
+            }
+            Ok(())
+        })?
+    }
+
+    /// Undo of a loser's [`WalRecord::Mark`]: clear the delete mark if it
+    /// is still the loser's. Tolerates missing slots and foreign marks.
+    pub fn undo_mark(&self, rid: Rid, xid: TxnId) -> Result<()> {
+        self.pool.with_page_mut(rid.page, |p| {
+            let Some(bytes) = p.get(rid.slot) else {
+                return Ok(());
+            };
+            let (hdr, tuple) = decode_record(bytes)?;
+            if hdr.xmax != xid {
+                return Ok(());
+            }
+            let record = encode_record(
+                VersionHdr {
+                    xmin: hdr.xmin,
+                    xmax: 0,
+                },
+                &tuple,
+            );
+            if !p.update(rid.slot, &record)? {
+                return Err(StorageError::Corrupt("same-size undo update did not fit"));
+            }
+            Ok(())
+        })?
+    }
+
+    /// Recompute the free-space map from the pages themselves (after redo
+    /// and undo rewrote them).
+    pub fn refresh_free_map(&self) -> Result<()> {
+        let pages = self.pages.read().clone();
+        let mut free = Vec::with_capacity(pages.len());
+        for pid in pages {
+            free.push(self.pool.with_page(pid, |p| p.free_space() as u16)?);
+        }
+        *self.free.write() = free;
+        Ok(())
+    }
+
     // -- garbage collection -------------------------------------------------
 
     /// One vacuum pass over this heap against the GC low-watermark (see
@@ -465,7 +733,15 @@ impl HeapFile {
             out.frozen += freeze.len() as u64;
             let new_free = self.pool.with_page_mut(pid, |p| {
                 for (slot, _) in &remove {
-                    p.delete(*slot);
+                    if p.delete(*slot) {
+                        self.log(
+                            p,
+                            WalRecord::Tombstone {
+                                table: self.table_id,
+                                rid: Rid::new(pid, *slot),
+                            },
+                        );
+                    }
                 }
                 for (slot, hdr, tuple) in &freeze {
                     let rec = encode_record(
@@ -480,6 +756,13 @@ impl HeapFile {
                     if !p.update(*slot, &rec)? {
                         return Err(StorageError::Corrupt("same-size freeze did not fit"));
                     }
+                    self.log(
+                        p,
+                        WalRecord::Freeze {
+                            table: self.table_id,
+                            rid: Rid::new(pid, *slot),
+                        },
+                    );
                 }
                 if compact {
                     p.compact();

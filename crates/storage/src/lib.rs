@@ -5,9 +5,11 @@
 //! inherits from Starburst:
 //!
 //! - [`value`] / [`schema`] / [`mod@tuple`]: typed values, schemas, row codec;
-//! - [`page`]: 8 KiB slotted pages;
-//! - [`disk`]: a simulated disk manager with exact I/O accounting;
-//! - [`buffer`]: an LRU buffer pool;
+//! - [`page`]: 8 KiB slotted pages carrying a `page_lsn`;
+//! - [`disk`]: the page store — in-memory for experiments, file-backed for
+//!   durable databases — with exact I/O accounting;
+//! - [`buffer`]: a sharded LRU buffer pool enforcing WAL-before-data at
+//!   eviction;
 //! - [`heap`]: RID-addressed heap files;
 //! - [`index`]: B+-tree secondary indexes (composite keys, range scans);
 //! - [`catalog`]: tables with maintained indexes + view definitions,
@@ -19,7 +21,13 @@
 //!   snapshots (registered live for GC), first-writer-wins write conflicts
 //!   and physical undo;
 //! - [`vacuum`]: MVCC garbage collection — the live-snapshot low-watermark,
-//!   dead-version reclamation, header freezing and commit-stamp pruning.
+//!   dead-version reclamation, header freezing and commit-stamp pruning;
+//! - [`wal`]: the write-ahead log — LSN-stamped physiological records,
+//!   group commit, fuzzy checkpoints;
+//! - [`recovery`]: ARIES-style restart — analysis, redo from the last
+//!   checkpoint, undo of loser transactions;
+//! - [`codec`] / [`tempdir`]: shared binary primitives for the durable
+//!   formats, and self-cleaning directories for file-backed tests.
 //!
 //! The paper treats this layer as given ("transaction, recovery, and
 //! storage management … totally unchanged", Sect. 6); the entry point is
@@ -41,18 +49,22 @@
 
 pub mod buffer;
 pub mod catalog;
+pub mod codec;
 pub mod delta;
 pub mod disk;
 pub mod error;
 pub mod heap;
 pub mod index;
 pub mod page;
+pub mod recovery;
 pub mod schema;
 pub mod stats;
+pub mod tempdir;
 pub mod tuple;
 pub mod txn;
 pub mod vacuum;
 pub mod value;
+pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use catalog::{Catalog, IndexDef, MatView, MatViewStream, Table, TableId, ViewDef, ViewKind};
@@ -62,9 +74,12 @@ pub use error::{Result, StorageError};
 pub use heap::{HeapFile, VisiblePage};
 pub use index::BTreeIndex;
 pub use page::{Page, PAGE_SIZE};
+pub use recovery::{recover, RecoveryReport};
 pub use schema::{Column, Schema};
 pub use stats::{ColumnStats, StatsBuilder, TableStats};
+pub use tempdir::TempDir;
 pub use tuple::{Rid, Tuple};
 pub use txn::{Snapshot, Transaction, TxnId, TxnManager, TxnState, VersionHdr, FROZEN};
 pub use vacuum::{GcStats, TableVacuumReport, VacuumReport, VersionCensus};
 pub use value::{DataType, Value};
+pub use wal::{CheckpointSnap, IndexSnap, TableSnap, TxnSnap, ViewSnap, Wal, WalRecord, WalStats};

@@ -7,7 +7,8 @@
 //! 2..4    free_space_offset: u16   (end of the record area, grows downward)
 //! 4..6    tombstone_count: u16     (deleted directory entries awaiting reuse)
 //! 6..8    reserved
-//! 8..     slot directory: slot_count entries of (offset: u16, len: u16)
+//! 8..16   page_lsn: u64            (LSN of the last logged mutation)
+//! 16..    slot directory: slot_count entries of (offset: u16, len: u16)
 //! ...     free space
 //! ...     record data (packed from the end of the page toward the front)
 //! ```
@@ -19,12 +20,17 @@
 //! come back holding an unrelated tuple, which is why stale RID holders
 //! (index postings collected before a reclaim) must re-verify key and
 //! visibility on dereference (`Table::resolve_posting`).
+//!
+//! `page_lsn` records the WAL position of the last logged mutation to this
+//! page. It travels with the page to disk, so ARIES redo can skip records a
+//! flushed page already reflects, and the buffer pool flushes the log up to
+//! it before eviction (WAL-before-data).
 
 use crate::error::{Result, StorageError};
 
 /// Page size in bytes. 8 KiB, the classic DB page size.
 pub const PAGE_SIZE: usize = 8192;
-const HEADER: usize = 8;
+const HEADER: usize = 16;
 const SLOT_ENTRY: usize = 4;
 const TOMBSTONE: u16 = u16::MAX;
 
@@ -87,6 +93,18 @@ impl Page {
 
     fn set_free_offset(&mut self, v: u16) {
         self.write_u16(2, v);
+    }
+
+    /// LSN of the last logged mutation to this page (0 = never logged).
+    pub fn lsn(&self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.data[8..16]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Stamp the last-mutation LSN (called with the WAL append offset).
+    pub fn set_lsn(&mut self, lsn: u64) {
+        self.data[8..16].copy_from_slice(&lsn.to_le_bytes());
     }
 
     /// Number of tombstoned directory entries (reusable by `insert`).
@@ -249,6 +267,55 @@ impl Page {
         Ok(false)
     }
 
+    /// Install a record at an *exact* slot, regardless of the slot's current
+    /// state — the redo primitive. Recovery replays `Install` log records
+    /// whose slot was chosen at run time, so unlike [`Page::insert`] this
+    /// does not pick a slot: it overwrites a live slot, revives a tombstoned
+    /// one, and extends the directory (padding intermediate slots as
+    /// tombstones) when the slot is beyond `slot_count`. Compacts when
+    /// fragmented. Because redo skips records the page already reflects
+    /// (`page_lsn`), replay sees exactly the historical page states, where
+    /// the record fit by construction.
+    pub fn install(&mut self, slot: u16, record: &[u8]) -> Result<()> {
+        if record.len() > Self::max_record_size() {
+            return Err(StorageError::TupleTooLarge(record.len()));
+        }
+        // Extend the directory up to `slot`, padding with tombstones.
+        while self.slot_count() <= slot {
+            if self.free_space() < SLOT_ENTRY {
+                self.compact();
+                if self.free_space() < SLOT_ENTRY {
+                    return Err(StorageError::Corrupt("install: directory overflow"));
+                }
+            }
+            let next = self.slot_count();
+            self.set_slot(next, TOMBSTONE, 0);
+            self.set_slot_count(next + 1);
+            self.set_tombstones(self.tombstones() + 1);
+        }
+        let (off, _) = self.slot(slot);
+        if off != TOMBSTONE {
+            // Live slot: in-place/grow update (compacts internally).
+            if self.update(slot, record)? {
+                return Ok(());
+            }
+            return Err(StorageError::Corrupt("install: record does not fit"));
+        }
+        // Tombstoned slot: revive it with fresh record space.
+        if self.free_space() < record.len() {
+            self.compact();
+            if self.free_space() < record.len() {
+                return Err(StorageError::Corrupt("install: record does not fit"));
+            }
+        }
+        let new_free = self.free_offset() as usize - record.len();
+        self.data[new_free..new_free + record.len()].copy_from_slice(record);
+        self.set_free_offset(new_free as u16);
+        self.set_slot(slot, new_free as u16, record.len() as u16);
+        self.set_tombstones(self.tombstones() - 1);
+        Ok(())
+    }
+
     /// Reclaim dead record space by repacking live records at the page end.
     /// Slot numbers (and therefore RIDs) are preserved.
     pub fn compact(&mut self) {
@@ -377,6 +444,53 @@ mod tests {
         p.insert(b"persist me").unwrap();
         let q = Page::from_bytes(p.as_bytes()).unwrap();
         assert_eq!(q.get(0).unwrap(), b"persist me");
+    }
+
+    #[test]
+    fn lsn_roundtrips_and_survives_serialization() {
+        let mut p = Page::new();
+        assert_eq!(p.lsn(), 0);
+        p.insert(b"rec").unwrap();
+        p.set_lsn(0xDEAD_BEEF_0042);
+        let q = Page::from_bytes(p.as_bytes()).unwrap();
+        assert_eq!(q.lsn(), 0xDEAD_BEEF_0042);
+        assert_eq!(q.get(0).unwrap(), b"rec");
+    }
+
+    #[test]
+    fn install_overwrites_revives_and_extends() {
+        let mut p = Page::new();
+        let a = p.insert(b"old").unwrap();
+        // Overwrite a live slot (grow).
+        p.install(a, b"replacement").unwrap();
+        assert_eq!(p.get(a).unwrap(), b"replacement");
+        // Revive a tombstoned slot.
+        p.delete(a);
+        p.install(a, b"revived").unwrap();
+        assert_eq!(p.get(a).unwrap(), b"revived");
+        // Extend the directory: slot 5 does not exist yet.
+        p.install(5, b"far").unwrap();
+        assert_eq!(p.get(5).unwrap(), b"far");
+        assert_eq!(p.slot_count(), 6);
+        // Intermediate slots padded as tombstones, reusable by insert.
+        assert!(p.get(3).is_none());
+        let reused = p.insert(b"fill").unwrap();
+        assert!(reused < 5, "insert should reuse a padded tombstone slot");
+    }
+
+    #[test]
+    fn install_compacts_fragmented_page() {
+        let mut p = Page::new();
+        let filler = vec![1u8; 3000];
+        let a = p.insert(&filler).unwrap();
+        let b = p.insert(&filler).unwrap();
+        p.insert(b"keep").unwrap();
+        p.delete(a);
+        p.delete(b);
+        // Dead space dominates; install of a large record must compact.
+        p.install(a, &vec![2u8; 6000]).unwrap();
+        assert_eq!(p.get(a).unwrap().len(), 6000);
+        assert_eq!(p.get(2).unwrap(), b"keep");
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Self-cleaning temporary directories for file-backed tests.
+//!
+//! Every test that opens a durable database gets its own directory under
+//! the system temp root, unique per process and per call, and removed on
+//! drop — so `cargo test -q` stays parallel-safe and leaves no droppings
+//! in the workspace. Crash tests that must *survive* the guard (the parent
+//! re-opens the child's directory) call [`TempDir::keep`].
+
+use std::path::{Path, PathBuf};
+use std::process;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely-named directory deleted when the guard drops.
+pub struct TempDir {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl TempDir {
+    /// Create `<tmp>/xnf-<label>-<pid>-<n>`.
+    pub fn new(label: &str) -> Self {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("xnf-{label}-{}-{n}", process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path, keep: false }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disarm cleanup: the directory outlives the guard (crash-test
+    /// handoff between processes). Returns the path.
+    pub fn keep(mut self) -> PathBuf {
+        self.keep = true;
+        self.path.clone()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let p = a.path().to_path_buf();
+        drop(a);
+        assert!(!p.exists());
+        assert!(b.path().is_dir());
+    }
+
+    #[test]
+    fn keep_disarms_cleanup() {
+        let d = TempDir::new("keep");
+        let p = d.keep();
+        assert!(p.is_dir());
+        std::fs::remove_dir_all(&p).unwrap();
+    }
+}

@@ -28,8 +28,12 @@
 //!   to reclaim and their stamp entries safe to drop once the versions are
 //!   frozen (see [`crate::vacuum`]).
 //!
-//! Durability is out of scope (the disk itself is simulated); isolation is
-//! snapshot isolation, which matches the era's workstation/server usage.
+//! Isolation is snapshot isolation, which matches the era's
+//! workstation/server usage. Durability comes from the write-ahead log
+//! (see [`crate::wal`]): a manager built with [`TxnManager::new_logged`]
+//! appends the `Commit` record *inside* the stamp-table lock, so the log's
+//! commit order equals the stamp order and recovery always restores a
+//! prefix of it.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +44,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::catalog::Table;
 use crate::error::Result;
 use crate::tuple::Rid;
+use crate::wal::{TxnSnap, Wal, WalRecord};
 
 /// Transaction identifier. `FROZEN` (0) marks tuples written outside any
 /// transaction (fixture loads, materialized-view backing storage): they are
@@ -83,6 +88,9 @@ pub struct TxnManager {
     /// under this lock (see the struct docs for why that ordering matters);
     /// clones of a snapshot share one registration via an `Arc` guard.
     live: Mutex<BTreeMap<u64, u64>>,
+    /// When set, commits append their `Commit` record here (under the
+    /// stamp lock, so log order == stamp order).
+    wal: Option<Arc<Wal>>,
 }
 
 impl Default for TxnManager {
@@ -93,11 +101,17 @@ impl Default for TxnManager {
 
 impl TxnManager {
     pub fn new() -> Self {
+        Self::new_logged(None)
+    }
+
+    /// A manager whose commits (and aborts) are logged to `wal`.
+    pub fn new_logged(wal: Option<Arc<Wal>>) -> Self {
         TxnManager {
             next_txn: AtomicU64::new(1),
             commit_seq: AtomicU64::new(0),
             stamps: RwLock::new(HashMap::new()),
             live: Mutex::new(BTreeMap::new()),
+            wal,
         }
     }
 
@@ -110,11 +124,64 @@ impl TxnManager {
     /// stamp is published in the table *before* the commit counter
     /// advances past it.
     pub fn commit(&self, txn: TxnId) -> u64 {
+        self.commit_logged(txn, true)
+    }
+
+    /// [`TxnManager::commit`] with control over logging: read-only
+    /// transactions pass `log = false` so they cost no log record (and no
+    /// commit fsync). Logging happens inside the stamp lock: the WAL's
+    /// commit order is exactly the stamp order, so recovery restores a
+    /// prefix of it.
+    pub fn commit_logged(&self, txn: TxnId, log: bool) -> u64 {
         let mut stamps = self.stamps.write();
         let stamp = self.commit_seq.load(Ordering::Relaxed) + 1;
         stamps.insert(txn, stamp);
+        if log {
+            if let Some(wal) = &self.wal {
+                if wal.logging() {
+                    wal.append(&WalRecord::Commit { xid: txn, stamp });
+                }
+            }
+        }
         self.commit_seq.store(stamp, Ordering::Release);
         stamp
+    }
+
+    /// Append an `Abort` record for `txn` (informational: recovery treats
+    /// every uncommitted transaction as a loser either way, and its undo
+    /// ops tolerate the rollback's already-logged compensations).
+    pub fn log_abort(&self, txn: TxnId) {
+        if let Some(wal) = &self.wal {
+            if wal.logging() {
+                wal.append(&WalRecord::Abort { xid: txn });
+            }
+        }
+    }
+
+    /// The WAL this manager logs commits to, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Serializable state for a checkpoint.
+    pub fn snapshot_state(&self) -> TxnSnap {
+        let stamps = self.stamps.read();
+        TxnSnap {
+            next_txn: self.next_txn.load(Ordering::Acquire),
+            commit_seq: self.commit_seq.load(Ordering::Acquire),
+            stamps: stamps.iter().map(|(k, v)| (*k, *v)).collect(),
+        }
+    }
+
+    /// Restore state at recovery (single-threaded): counters move forward
+    /// only, stamp entries are merged in.
+    pub fn restore(&self, snap: &TxnSnap) {
+        self.next_txn.fetch_max(snap.next_txn, Ordering::AcqRel);
+        self.commit_seq.fetch_max(snap.commit_seq, Ordering::AcqRel);
+        let mut stamps = self.stamps.write();
+        for (txn, stamp) in &snap.stamps {
+            stamps.insert(*txn, *stamp);
+        }
     }
 
     /// The commit stamp of `txn`, or `None` while it is active or aborted.
@@ -434,11 +501,13 @@ impl Transaction {
 
     /// Make all changes durable-to-readers: assign a commit stamp. The
     /// versions are already in place; from this moment every new snapshot
-    /// sees them.
+    /// sees them. Read-only transactions skip the WAL `Commit` record (a
+    /// recovery has nothing to redo or attribute for them).
     pub fn commit(mut self) -> u64 {
+        let wrote = !self.undo.is_empty();
         self.undo.clear();
         self.state = TxnState::Committed;
-        self.mgr.commit(self.id)
+        self.mgr.commit_logged(self.id, wrote)
     }
 
     /// Roll back all logged changes, newest first: physically remove the
@@ -452,6 +521,7 @@ impl Transaction {
     }
 
     fn rollback_in_place(&mut self) -> Result<()> {
+        let wrote = !self.undo.is_empty();
         while let Some(u) = self.undo.pop() {
             match u {
                 Undo::Insert { table, rid } => {
@@ -469,6 +539,9 @@ impl Transaction {
                     table.clear_delete_mark(old_rid, self.id)?;
                 }
             }
+        }
+        if wrote {
+            self.mgr.log_abort(self.id);
         }
         self.state = TxnState::Aborted;
         Ok(())

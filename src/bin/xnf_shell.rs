@@ -1,16 +1,37 @@
 //! An interactive XNF shell: type SQL or `OUT OF … TAKE …` statements
 //! terminated by `;` (including `VACUUM`). Dot-commands: `.help`, `.tables`, `.views`,
 //! `.schema TABLE`, `.explain QUERY;`, `.co QUERY;` (fetch into a cache and
-//! print the instance graphs), `.quit`.
+//! print the instance graphs), `.wal`, `.checkpoint`, `.quit`.
 //!
-//! Run with: `cargo run --bin xnf_shell`
+//! Run with: `cargo run --bin xnf_shell` for an in-memory database, or
+//! `cargo run --bin xnf_shell -- DIR` to open (or create) a durable,
+//! write-ahead-logged database in `DIR` — work committed there survives
+//! restarts, including crashed ones.
 
 use std::io::{BufRead, Write};
 
 use composite_views::{Database, ExecOutcome, QueryResult};
 
 fn main() {
-    let db = Database::new();
+    let db = match std::env::args().nth(1) {
+        Some(dir) => match Database::open(&dir) {
+            Ok(db) => {
+                if let Some(r) = db.recovery_report() {
+                    println!(
+                        "opened '{dir}': {} log records replayed, {} winner txn(s), \
+                         {} loser txn(s) rolled back",
+                        r.records_scanned, r.winners, r.losers
+                    );
+                }
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot open '{dir}': {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Database::new(),
+    };
     println!("xnf shell — composite-object views over relational data");
     println!("type .help for commands; statements end with ';'\n");
 
@@ -60,6 +81,8 @@ fn dot_command(db: &Database, cmd: &str) -> bool {
                  .co QUERY;         fetch a CO and print its instance graphs\n\
                  .cache             show plan-cache statistics\n\
                  .gc                show garbage-collection statistics\n\
+                 .wal               show write-ahead-log statistics\n\
+                 .checkpoint        force a fuzzy checkpoint\n\
                  .quit              leave"
             );
         }
@@ -124,6 +147,33 @@ fn dot_command(db: &Database, cmd: &str) -> bool {
                 db.catalog().txns().live_snapshot_count()
             );
         }
+        ".wal" => match db.wal_stats() {
+            Some(w) => {
+                println!(
+                    "wal: {} records, {} bytes logged, {} flushes, {} fsyncs, \
+                     {} checkpoints",
+                    w.records, w.bytes_logged, w.flushes, w.fsyncs, w.checkpoints
+                );
+                println!(
+                    "     group commit: {} commits in {} batches (mean batch {:.2})",
+                    w.group_commit_commits,
+                    w.group_commit_batches,
+                    w.group_commit_commits as f64 / w.group_commit_batches.max(1) as f64
+                );
+                println!(
+                    "     last_lsn {} durable_lsn {} (lag {} bytes)",
+                    w.last_lsn,
+                    w.durable_lsn,
+                    w.last_lsn - w.durable_lsn
+                );
+            }
+            None => println!("in-memory database: no write-ahead log"),
+        },
+        ".checkpoint" => match db.checkpoint() {
+            Ok(()) if db.wal_stats().is_some() => println!("checkpoint written"),
+            Ok(()) => println!("in-memory database: nothing to checkpoint"),
+            Err(e) => println!("error: {e}"),
+        },
         ".co" => match parts.next() {
             Some(q) => match db.fetch_co(q.trim().trim_end_matches(';')) {
                 Ok(co) => print!("{}", co.workspace.to_text()),

@@ -3,7 +3,7 @@
 //! query. If an operator is renamed or removed, this test fails until the
 //! documentation follows.
 
-use xnf_core::{Database, DbConfig, RewriteOptions};
+use xnf_core::{Database, DbConfig, RewriteOptions, TempDir};
 use xnf_fixtures::{build_paper_db_with, PaperScale, DEPS_ARC};
 
 const EXPLAIN_MD: &str = include_str!("../docs/EXPLAIN.md");
@@ -140,6 +140,41 @@ fn every_documented_operator_is_emitted() {
     assert!(corpus.contains("mode: batch pipeline (batch_size="));
     assert!(corpus.contains("visibility: snapshot (MVCC begin/end stamps)"));
     assert!(corpus.contains("shared cse0:"));
+    assert!(corpus.contains("durability: none (in-memory)"));
+}
+
+/// The other arm of the `durability:` header: a database opened on a data
+/// directory reports its WAL mode (with the configured fsync setting), in
+/// exactly the form docs/EXPLAIN.md documents.
+#[test]
+fn durable_database_reports_wal_durability_header() {
+    let dir = TempDir::new("explain-docs-durable");
+    let db = Database::open_with_config(DbConfig {
+        data_dir: Some(dir.path().to_path_buf()),
+        wal_fsync: false,
+        ..DbConfig::default()
+    })
+    .unwrap();
+    db.execute("CREATE TABLE T (id INT)").unwrap();
+    let plan = db.explain("SELECT * FROM T").unwrap();
+    assert!(
+        plan.contains("durability: wal (group commit, fsync=off)"),
+        "missing/diverged durability header:\n{plan}"
+    );
+    // The header follows the visibility line, as the docs show.
+    let vis = plan.find("visibility:").unwrap();
+    let dur = plan.find("durability:").unwrap();
+    assert!(dur > vis, "durability header should follow visibility");
+
+    // And the documented VACUUM-side stats are real: a pass with work to
+    // do logs its reclaims, so `wal_bytes_logged` is nonzero here.
+    db.execute("INSERT INTO T VALUES (1)").unwrap();
+    db.execute("UPDATE T SET id = 2 WHERE id = 1").unwrap();
+    let result = db.execute("VACUUM").unwrap().try_rows().unwrap();
+    assert!(
+        result.stats.wal_bytes_logged > 0,
+        "vacuum on a durable database must report its WAL traffic"
+    );
 }
 
 /// The runtime side of the visibility header: `ExecStats` reports which

@@ -1,0 +1,314 @@
+//! Crash-recovery tests at the `Database` level: open a durable database,
+//! do work, throw the in-memory state away (or corrupt the log tail), and
+//! assert `Database::open` restores exactly the committed state — tables,
+//! indexes, views, materialized views, and MVCC version chains included.
+//!
+//! Every test gets its own self-cleaning data directory ([`TempDir`]), so
+//! `cargo test` stays parallel-safe and leaves nothing behind.
+
+use std::path::Path;
+
+use xnf_core::{Database, DbConfig, TempDir, Value};
+use xnf_storage::PAGE_SIZE;
+
+/// Durable config with fsync off: commits still write the log to the OS
+/// (surviving the simulated crashes here, which kill the process state,
+/// not the machine), without paying a disk sync per test commit.
+fn config(dir: &Path) -> DbConfig {
+    DbConfig {
+        data_dir: Some(dir.to_path_buf()),
+        wal_fsync: false,
+        ..DbConfig::default()
+    }
+}
+
+fn open(dir: &Path) -> Database {
+    Database::open_with_config(config(dir)).unwrap()
+}
+
+fn int_rows(db: &Database, sql: &str) -> Vec<Vec<i64>> {
+    let mut rows: Vec<Vec<i64>> = db
+        .query(sql)
+        .unwrap()
+        .try_table()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.as_int().unwrap()).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn count(db: &Database, table: &str) -> i64 {
+    db.query(&format!("SELECT COUNT(*) FROM {table}"))
+        .unwrap()
+        .try_table()
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap()
+}
+
+#[test]
+fn reopen_restores_tables_indexes_and_views() {
+    let dir = TempDir::new("recovery-basic");
+    {
+        let db = open(dir.path());
+        db.execute("CREATE TABLE T (id INT NOT NULL, v VARCHAR)")
+            .unwrap();
+        db.execute("CREATE INDEX t_id ON T (id)").unwrap();
+        for i in 0..50 {
+            db.execute(&format!("INSERT INTO T VALUES ({i}, 'v{i}')"))
+                .unwrap();
+        }
+        db.execute("UPDATE T SET v = 'updated' WHERE id = 7")
+            .unwrap();
+        db.execute("DELETE FROM T WHERE id = 9").unwrap();
+        db.execute("CREATE VIEW small AS SELECT id FROM T WHERE id < 5")
+            .unwrap();
+        db.execute("CREATE MATERIALIZED VIEW evens AS SELECT id, v FROM T WHERE id % 2 = 0")
+            .unwrap();
+    }
+
+    let db = open(dir.path());
+    let report = db.recovery_report().expect("durable open recovers");
+    assert!(report.records_scanned > 0, "log was empty on reopen");
+
+    // Base contents: 50 inserts − 1 delete, with the update visible.
+    assert_eq!(count(&db, "T"), 49);
+    let r = db
+        .query("SELECT v FROM T WHERE id = 7")
+        .unwrap()
+        .try_table()
+        .unwrap()
+        .rows
+        .clone();
+    assert_eq!(r, vec![vec![Value::Str("updated".into())]]);
+
+    // The secondary index survived (point lookup goes through it) and
+    // indexes freshly built at restart agree with the heap.
+    assert_eq!(
+        int_rows(&db, "SELECT id FROM T WHERE id = 31"),
+        vec![vec![31]]
+    );
+    assert!(int_rows(&db, "SELECT id FROM T WHERE id = 9").is_empty());
+
+    // Plain view definition survived.
+    assert_eq!(
+        int_rows(&db, "SELECT id FROM small"),
+        vec![vec![0], vec![1], vec![2], vec![3], vec![4]]
+    );
+
+    // Materialized-view contents were rebuilt and match a fresh REFRESH.
+    let before = int_rows(&db, "SELECT id FROM evens");
+    assert_eq!(
+        before.len(),
+        25,
+        "evens: every even id 0..50 (the delete hit an odd id)"
+    );
+    db.execute("REFRESH MATERIALIZED VIEW evens").unwrap();
+    assert_eq!(before, int_rows(&db, "SELECT id FROM evens"));
+
+    // The recovered database accepts and persists new work.
+    db.execute("INSERT INTO T VALUES (100, 'new')").unwrap();
+    assert_eq!(count(&db, "T"), 50);
+}
+
+#[test]
+fn torn_log_tail_recovers_a_committed_prefix_at_every_offset() {
+    let base = TempDir::new("recovery-torn-base");
+    const N: i64 = 12;
+    {
+        let db = open(base.path());
+        db.execute("CREATE TABLE T (id INT NOT NULL)").unwrap();
+        for i in 0..N {
+            db.execute(&format!("INSERT INTO T VALUES ({i})")).unwrap();
+        }
+    }
+    let wal = std::fs::read(base.path().join("wal.log")).unwrap();
+    let pages = std::fs::read(base.path().join("pages.db")).unwrap();
+
+    // Truncate the log at every byte offset across (more than) the final
+    // record and reopen each time: recovery must never fail, and must
+    // produce exactly the rows whose commit records survived — a prefix of
+    // the insert order, growing monotonically with the cut point.
+    let tail = wal.len().min(300);
+    let mut last_k = -1i64;
+    for cut in (wal.len() - tail)..=wal.len() {
+        let scratch = TempDir::new("recovery-torn-cut");
+        std::fs::write(scratch.path().join("pages.db"), &pages).unwrap();
+        std::fs::write(scratch.path().join("wal.log"), &wal[..cut]).unwrap();
+
+        let db = open(scratch.path());
+        let rows = int_rows(&db, "SELECT id FROM T");
+        let k = rows.len() as i64;
+        assert!(k <= N, "cut {cut}: recovered more rows than were committed");
+        let expect: Vec<Vec<i64>> = (0..k).map(|i| vec![i]).collect();
+        assert_eq!(rows, expect, "cut {cut}: not a committed prefix");
+        assert!(k >= last_k, "cut {cut}: longer log recovered less");
+        last_k = k;
+    }
+    assert_eq!(last_k, N, "untruncated log must recover everything");
+}
+
+#[test]
+fn loser_transaction_is_rolled_back_on_restart() {
+    let dir = TempDir::new("recovery-loser");
+    {
+        let db = open(dir.path());
+        db.execute("CREATE TABLE T (id INT NOT NULL, v INT)")
+            .unwrap();
+        db.execute("INSERT INTO T VALUES (1, 10)").unwrap();
+
+        let session = db.session();
+        session.begin().unwrap();
+        session
+            .execute("UPDATE T SET v = 99 WHERE id = 1", &[])
+            .unwrap();
+        session
+            .execute("INSERT INTO T VALUES (2, 20)", &[])
+            .unwrap();
+        // Leak the open transaction: dropping the session would cleanly
+        // roll it back; leaking models a client that dies mid-transaction.
+        std::mem::forget(session);
+
+        // An unrelated commit pushes the log — including the leaked
+        // transaction's records — out to the file.
+        db.execute("INSERT INTO T VALUES (3, 30)").unwrap();
+    }
+
+    let db = open(dir.path());
+    assert!(db.recovery_report().unwrap().losers >= 1);
+    // The loser's insert is gone, its update undone; committed rows stand.
+    assert_eq!(
+        int_rows(&db, "SELECT id, v FROM T"),
+        vec![vec![1, 10], vec![3, 30]]
+    );
+    // The undone write mark is fully cleared: row 1 is writable again.
+    db.execute("UPDATE T SET v = 11 WHERE id = 1").unwrap();
+    assert_eq!(
+        int_rows(&db, "SELECT v FROM T WHERE id = 1"),
+        vec![vec![11]]
+    );
+}
+
+#[test]
+fn committed_but_unvacuumed_version_chain_recovers_to_latest() {
+    let dir = TempDir::new("recovery-chain");
+    {
+        let db = open(dir.path());
+        db.execute("CREATE TABLE T (id INT NOT NULL, v INT)")
+            .unwrap();
+        db.execute("INSERT INTO T VALUES (1, 0)").unwrap();
+        db.execute("INSERT INTO T VALUES (2, 0)").unwrap();
+        // Pile up dead predecessor versions — never vacuumed, so the log
+        // (and the heap) still carry the whole chain at "crash" time.
+        for n in 1..=5 {
+            db.execute(&format!("UPDATE T SET v = {n} WHERE id = 1"))
+                .unwrap();
+        }
+        db.execute("DELETE FROM T WHERE id = 2").unwrap();
+    }
+
+    let db = open(dir.path());
+    // Only the chain heads are visible.
+    assert_eq!(int_rows(&db, "SELECT id, v FROM T"), vec![vec![1, 5]]);
+    // Vacuum reclaims the recovered dead versions without disturbing them,
+    // and the result survives another restart.
+    db.execute("VACUUM T").unwrap();
+    assert_eq!(int_rows(&db, "SELECT id, v FROM T"), vec![vec![1, 5]]);
+    drop(db);
+    let db = open(dir.path());
+    assert_eq!(int_rows(&db, "SELECT id, v FROM T"), vec![vec![1, 5]]);
+}
+
+#[test]
+fn reopening_twice_is_idempotent() {
+    let dir = TempDir::new("recovery-idem");
+    {
+        let db = open(dir.path());
+        db.execute("CREATE TABLE T (id INT NOT NULL, v VARCHAR)")
+            .unwrap();
+        for i in 0..20 {
+            db.execute(&format!("INSERT INTO T VALUES ({i}, 'x{i}')"))
+                .unwrap();
+        }
+    }
+    // First reopen replays the log and rotates it down to a checkpoint;
+    // the second must find that checkpoint and change nothing.
+    let first = {
+        let db = open(dir.path());
+        int_rows(&db, "SELECT id FROM T")
+    };
+    let db = open(dir.path());
+    assert_eq!(first, int_rows(&db, "SELECT id FROM T"));
+    assert_eq!(first.len(), 20);
+}
+
+#[test]
+fn buffer_budget_evicts_under_pressure_and_loses_nothing() {
+    let dir = TempDir::new("recovery-evict");
+    // 8 frames of budget vs. a heap dozens of pages long: inserts force
+    // evictions, each write-back passing the WAL-before-data debug assert
+    // in the buffer pool (this test runs in debug builds).
+    let tiny = DbConfig {
+        buffer_budget: 8 * PAGE_SIZE,
+        ..config(dir.path())
+    };
+    let fat = "x".repeat(400);
+    {
+        let db = Database::open_with_config(tiny.clone()).unwrap();
+        db.execute("CREATE TABLE T (id INT NOT NULL, pad VARCHAR)")
+            .unwrap();
+        for i in 0..500 {
+            db.execute(&format!("INSERT INTO T VALUES ({i}, '{fat}')"))
+                .unwrap();
+        }
+        let stats = db.catalog().buffer_pool().stats();
+        assert!(stats.evictions > 0, "budget never forced an eviction");
+        assert!(stats.dirty_writebacks > 0, "no dirty page was written back");
+        // Reads page everything back in through the same tiny pool.
+        assert_eq!(count(&db, "T"), 500);
+    }
+    let db = Database::open_with_config(tiny).unwrap();
+    assert_eq!(count(&db, "T"), 500);
+    assert_eq!(
+        int_rows(&db, "SELECT id FROM T WHERE id = 499"),
+        vec![vec![499]]
+    );
+}
+
+#[test]
+fn wal_stats_and_explain_report_durability() {
+    // In-memory: no log, and EXPLAIN says so.
+    let mem = Database::new();
+    assert!(mem.wal_stats().is_none());
+    mem.execute("CREATE TABLE T (id INT)").unwrap();
+    assert!(mem
+        .explain("SELECT * FROM T")
+        .unwrap()
+        .contains("durability: none (in-memory)"));
+
+    // Durable: commits append and flush; EXPLAIN reports the fsync mode.
+    let dir = TempDir::new("recovery-stats");
+    let db = open(dir.path());
+    db.execute("CREATE TABLE T (id INT)").unwrap();
+    db.execute("INSERT INTO T VALUES (1)").unwrap();
+    let stats = db.wal_stats().unwrap();
+    assert!(stats.records > 0);
+    assert!(stats.bytes_logged > 0);
+    assert_eq!(
+        stats.durable_lsn, stats.last_lsn,
+        "commit left the log soft"
+    );
+    assert!(db
+        .explain("SELECT * FROM T")
+        .unwrap()
+        .contains("durability: wal (group commit, fsync=off)"));
+
+    // Manual checkpoints work and reset the redo distance.
+    db.checkpoint().unwrap();
+    let after = db.wal_stats().unwrap();
+    assert!(after.checkpoints > stats.checkpoints);
+}
