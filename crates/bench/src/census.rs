@@ -105,6 +105,7 @@ pub fn op_signatures(plan: &PhysPlan, out: &mut Vec<String>) {
     match plan {
         PhysPlan::Values { .. }
         | PhysPlan::SeqScan { .. }
+        | PhysPlan::ParallelSeqScan { .. }
         | PhysPlan::IndexEq { .. }
         | PhysPlan::SharedScan { .. }
         | PhysPlan::MatViewScan { .. } => {}
@@ -113,10 +114,17 @@ pub fn op_signatures(plan: &PhysPlan, out: &mut Vec<String>) {
         | PhysPlan::HashDistinct { input }
         | PhysPlan::Sort { input, .. }
         | PhysPlan::Limit { input, .. }
-        | PhysPlan::HashAggregate { input, .. } => op_signatures(input, out),
+        | PhysPlan::ExchangeGather { input, .. }
+        | PhysPlan::ExchangeHashPartition { input, .. }
+        | PhysPlan::HashAggregate { input, .. }
+        | PhysPlan::ParallelHashAggregate { input, .. } => op_signatures(input, out),
         PhysPlan::HashJoin { left, right, .. } | PhysPlan::NlJoin { left, right, .. } => {
             op_signatures(left, out);
             op_signatures(right, out);
+        }
+        PhysPlan::ParallelHashJoin { probe, build, .. } => {
+            op_signatures(probe, out);
+            op_signatures(build, out);
         }
         PhysPlan::HashSemiJoin { outer, inner, .. } | PhysPlan::NlSemiJoin { outer, inner, .. } => {
             op_signatures(outer, out);

@@ -25,6 +25,16 @@
 //! [`ExecStats::peak_batch_rows`] count the chunks delivered at the
 //! pipeline sinks.
 //!
+//! Queries are **intra-query parallel** when the planner asks for it
+//! (`PlanOptions::dop > 1`): plan subtrees rooted at `ExchangeGather` /
+//! `ParallelHashAggregate` nodes run as morsel-driven parallel regions —
+//! `dop` worker threads pull heap-page morsels from a shared dispenser,
+//! run their own copy of the worker pipeline over a cloned MVCC snapshot,
+//! and the coordinator merges their streams back into serial row order
+//! (see the [`parallel`] module docs). At `dop = 1` (the default on a
+//! single-core host) plans and execution are exactly the serial pipeline
+//! described above.
+//!
 //! Reads are **snapshot-aware**: every run resolves one MVCC
 //! [`Snapshot`](xnf_storage::Snapshot) — either the visibility handle the
 //! caller pinned through [`OuterCtx`] (reads inside an open transaction) or
@@ -35,7 +45,8 @@
 //!
 //! Entry points: [`execute_qep`] / [`execute_qep_with_params`] (all output
 //! streams of a QEP), [`execute_qep_with_visibility`] (pin a snapshot) and
-//! [`execute_qep_parallel`] (one thread per CO stream). Scans of
+//! [`execute_qep_parallel`] (CO output streams dispatched across a worker
+//! pool capped at the QEP's degree of parallelism). Scans of
 //! materialized-view backing tables (`matview scan` nodes) execute exactly
 //! like base-table scans — the catalog resolves the view name to its
 //! backing storage.
@@ -67,6 +78,7 @@ pub mod error;
 pub mod eval;
 pub mod hash;
 pub mod ops;
+pub mod parallel;
 
 pub use batch::{BatchBuilder, RowBatch, DEFAULT_BATCH_SIZE};
 pub use engine::{

@@ -51,6 +51,14 @@ pub struct ExecStats {
     /// Log fsyncs this run forced (group commit batches many commits into
     /// one, so this is usually far below the commit count).
     pub wal_fsyncs: u64,
+    /// Parallel regions (gather / partial-aggregate roots) this run
+    /// executed. Zero for fully serial plans (dop = 1).
+    pub parallel_regions: u64,
+    /// Worker pipelines spawned across all parallel regions of this run.
+    pub parallel_workers: u64,
+    /// Page morsels parallel scans claimed and processed (past-the-end
+    /// probes excluded).
+    pub morsels_dispatched: u64,
 }
 
 impl ExecStats {
@@ -74,6 +82,9 @@ impl ExecStats {
         self.gc_stamps_pruned += other.gc_stamps_pruned;
         self.wal_bytes_logged += other.wal_bytes_logged;
         self.wal_fsyncs += other.wal_fsyncs;
+        self.parallel_regions += other.parallel_regions;
+        self.parallel_workers += other.parallel_workers;
+        self.morsels_dispatched += other.morsels_dispatched;
     }
 }
 
@@ -280,6 +291,44 @@ pub fn build_operator(plan: &PhysPlan) -> Box<dyn Operator> {
             n: *n,
             taken: 0,
         }),
+        PhysPlan::ExchangeGather { input, dop } => Box::new(
+            crate::parallel::ExchangeGatherOp::new((**input).clone(), *dop),
+        ),
+        PhysPlan::ParallelHashAggregate {
+            input,
+            group,
+            aggs,
+            having,
+            output,
+            dop,
+        } => Box::new(crate::parallel::ParallelHashAggregateOp::new(
+            (**input).clone(),
+            group.clone(),
+            aggs.clone(),
+            having.clone(),
+            output.clone(),
+            *dop,
+        )),
+        // Worker-pipeline-only nodes: these execute inside a parallel
+        // region (see `crate::parallel`); reaching one here means the
+        // planner emitted a region body without its root.
+        PhysPlan::ParallelSeqScan { .. }
+        | PhysPlan::ExchangeHashPartition { .. }
+        | PhysPlan::ParallelHashJoin { .. } => Box::new(InvalidPlanOp {
+            msg: "parallel worker operator outside a parallel region",
+        }),
+    }
+}
+
+/// Placeholder for plan nodes that are only valid inside a parallel
+/// region: errors on first pull instead of panicking at build time.
+struct InvalidPlanOp {
+    msg: &'static str,
+}
+
+impl Operator for InvalidPlanOp {
+    fn next_batch(&mut self, _rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        Err(ExecError::Type(self.msg.to_string()))
     }
 }
 
@@ -458,9 +507,9 @@ impl Operator for SharedScanOp {
     }
 }
 
-struct FilterOp {
-    input: Box<dyn Operator>,
-    preds: Vec<PhysExpr>,
+pub(crate) struct FilterOp {
+    pub(crate) input: Box<dyn Operator>,
+    pub(crate) preds: Vec<PhysExpr>,
 }
 
 impl Operator for FilterOp {
@@ -475,9 +524,9 @@ impl Operator for FilterOp {
     }
 }
 
-struct ProjectOp {
-    input: Box<dyn Operator>,
-    exprs: Vec<PhysExpr>,
+pub(crate) struct ProjectOp {
+    pub(crate) input: Box<dyn Operator>,
+    pub(crate) exprs: Vec<PhysExpr>,
 }
 
 impl Operator for ProjectOp {
@@ -494,7 +543,11 @@ impl Operator for ProjectOp {
 }
 
 /// Join keys with SQL semantics: any NULL key never matches.
-fn key_of(exprs: &[PhysExpr], row: &[Value], outer: &OuterCtx) -> Result<Option<Vec<Value>>> {
+pub(crate) fn key_of(
+    exprs: &[PhysExpr],
+    row: &[Value],
+    outer: &OuterCtx,
+) -> Result<Option<Vec<Value>>> {
     let mut key = Vec::with_capacity(exprs.len());
     for e in exprs {
         let v = eval(e, row, outer, &[])?;
@@ -509,7 +562,7 @@ fn key_of(exprs: &[PhysExpr], row: &[Value], outer: &OuterCtx) -> Result<Option<
 /// [`key_of`] into a reusable buffer (probe sides evaluate one key per
 /// input row; reusing the scratch vector avoids a heap allocation per
 /// probe). Returns `false` when any key value is NULL (no match).
-fn key_into(
+pub(crate) fn key_into(
     exprs: &[PhysExpr],
     row: &[Value],
     outer: &OuterCtx,
@@ -813,7 +866,7 @@ impl Operator for SubqueryFilterOp {
 }
 
 /// Aggregate accumulator.
-enum Acc {
+pub(crate) enum Acc {
     Count(i64),
     Sum {
         ints: i64,
@@ -830,7 +883,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(func: AggFunc) -> Acc {
+    pub(crate) fn new(func: AggFunc) -> Acc {
         match func {
             AggFunc::Count => Acc::Count(0),
             AggFunc::Sum => Acc::Sum {
@@ -845,7 +898,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+    pub(crate) fn update(&mut self, v: Option<&Value>) -> Result<()> {
         match self {
             Acc::Count(n) => {
                 // COUNT(*) passes None-as-row-marker via Some(non-null);
@@ -898,6 +951,54 @@ impl Acc {
         Ok(())
     }
 
+    /// Fold another partial accumulator of the same kind into this one
+    /// (parallel partial→final aggregation). COUNT/MIN/MAX and integer SUM
+    /// merge exactly; SUM/AVG over doubles inherit floating-point
+    /// non-associativity (documented in docs/EXPLAIN.md).
+    pub(crate) fn merge(&mut self, other: &Acc) {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += *b,
+            (
+                Acc::Sum {
+                    ints,
+                    doubles,
+                    any_double,
+                    seen,
+                },
+                Acc::Sum {
+                    ints: i2,
+                    doubles: d2,
+                    any_double: a2,
+                    seen: s2,
+                },
+            ) => {
+                *ints += *i2;
+                *doubles += *d2;
+                *any_double |= *a2;
+                *seen |= *s2;
+            }
+            (Acc::Avg { sum, n }, Acc::Avg { sum: s2, n: n2 }) => {
+                *sum += *s2;
+                *n += *n2;
+            }
+            (Acc::Min(m), Acc::Min(o)) => {
+                if let Some(v) = o {
+                    if m.as_ref().map(|cur| v < cur).unwrap_or(true) {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+            (Acc::Max(m), Acc::Max(o)) => {
+                if let Some(v) = o {
+                    if m.as_ref().map(|cur| v > cur).unwrap_or(true) {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+            _ => debug_assert!(false, "merging mismatched accumulators"),
+        }
+    }
+
     fn finish(&self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(*n),
@@ -927,13 +1028,13 @@ impl Acc {
     }
 }
 
-struct GroupState {
-    accs: Vec<Acc>,
-    distinct_seen: Vec<Option<HashSet<Value>>>,
+pub(crate) struct GroupState {
+    pub(crate) accs: Vec<Acc>,
+    pub(crate) distinct_seen: Vec<Option<HashSet<Value>>>,
 }
 
 /// Fold one input row into a group's accumulators.
-fn update_state(
+pub(crate) fn update_state(
     state: &mut GroupState,
     aggs: &[AggSpec],
     row: &[Value],
@@ -962,6 +1063,172 @@ fn update_state(
     Ok(())
 }
 
+/// Fresh accumulator state for one group.
+pub(crate) fn fresh_state(aggs: &[AggSpec]) -> GroupState {
+    GroupState {
+        accs: aggs.iter().map(|a| Acc::new(a.func)).collect(),
+        distinct_seen: aggs
+            .iter()
+            .map(|a| {
+                if a.distinct {
+                    Some(HashSet::new())
+                } else {
+                    None
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Streaming group-by accumulator, shared by the serial
+/// [`HashAggregateOp`] and the parallel partial-aggregation workers
+/// (each worker folds its morsels into one of these; the coordinator
+/// merges the partials with [`merge_group_state`]).
+pub(crate) struct GroupAcc<'p> {
+    group: &'p [PhysExpr],
+    aggs: &'p [AggSpec],
+    groups: FxHashMap<Vec<Value>, GroupState>,
+    /// Grand-total fast path (no GROUP BY): one accumulator state, no
+    /// per-row key construction or hashing.
+    grand: Option<GroupState>,
+    /// When every aggregate is a plain COUNT(*), whole batches fold in as
+    /// a single length addition — the fully vectorized case.
+    all_plain_counts: bool,
+    saw_input: bool,
+}
+
+impl<'p> GroupAcc<'p> {
+    pub(crate) fn new(group: &'p [PhysExpr], aggs: &'p [AggSpec]) -> GroupAcc<'p> {
+        GroupAcc {
+            group,
+            aggs,
+            groups: FxHashMap::default(),
+            grand: if group.is_empty() {
+                Some(fresh_state(aggs))
+            } else {
+                None
+            },
+            all_plain_counts: group.is_empty()
+                && aggs
+                    .iter()
+                    .all(|a| matches!(a.func, AggFunc::Count) && a.arg.is_none() && !a.distinct),
+            saw_input: false,
+        }
+    }
+
+    /// Fold one input batch into the per-group states.
+    pub(crate) fn fold(&mut self, batch: &RowBatch, outer: &OuterCtx) -> Result<()> {
+        self.saw_input = true;
+        if let Some(state) = self.grand.as_mut() {
+            if self.all_plain_counts {
+                for acc in &mut state.accs {
+                    if let Acc::Count(n) = acc {
+                        *n += batch.len() as i64;
+                    }
+                }
+            } else {
+                for row in batch.iter() {
+                    update_state(state, self.aggs, row, outer)?;
+                }
+            }
+        } else {
+            for row in batch.iter() {
+                let mut key = Vec::with_capacity(self.group.len());
+                for g in self.group {
+                    key.push(eval(g, row, outer, &[])?);
+                }
+                let state = match self.groups.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(fresh_state(self.aggs))
+                    }
+                };
+                update_state(state, self.aggs, row, outer)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The accumulated per-group states plus whether any input arrived.
+    pub(crate) fn finish(self) -> (FxHashMap<Vec<Value>, GroupState>, bool) {
+        let mut groups = self.groups;
+        if let Some(state) = self.grand {
+            if self.saw_input {
+                groups.insert(Vec::new(), state);
+            }
+        }
+        (groups, self.saw_input)
+    }
+}
+
+/// Merge a worker's partial group state into the final one. DISTINCT
+/// aggregates union the seen-value sets and rebuild the accumulator from
+/// the union — folding the two partial accumulators directly would
+/// double-count values both workers saw.
+pub(crate) fn merge_group_state(
+    into: &mut GroupState,
+    mut from: GroupState,
+    aggs: &[AggSpec],
+) -> Result<()> {
+    for (i, spec) in aggs.iter().enumerate() {
+        if spec.distinct {
+            let mut merged = into.distinct_seen[i].take().unwrap_or_default();
+            if let Some(theirs) = from.distinct_seen[i].take() {
+                merged.extend(theirs);
+            }
+            let mut acc = Acc::new(spec.func);
+            for v in &merged {
+                acc.update(Some(v))?;
+            }
+            into.accs[i] = acc;
+            into.distinct_seen[i] = Some(merged);
+        } else {
+            into.accs[i].merge(&from.accs[i]);
+        }
+    }
+    Ok(())
+}
+
+/// Final aggregation step shared by the serial and parallel paths: the
+/// empty-input grand-total row (COUNT = 0, SUM = NULL, ...), HAVING over
+/// [group values] with agg slots, the output expressions, and the
+/// deterministic result sort.
+pub(crate) fn finalize_groups(
+    mut groups: FxHashMap<Vec<Value>, GroupState>,
+    saw_input: bool,
+    group_is_empty: bool,
+    aggs: &[AggSpec],
+    having: &[PhysExpr],
+    output: &[PhysExpr],
+    outer: &OuterCtx,
+) -> Result<Vec<Row>> {
+    if groups.is_empty() && group_is_empty && !saw_input {
+        groups.insert(Vec::new(), fresh_state(aggs));
+    }
+    let mut rows = Vec::with_capacity(groups.len());
+    for (key, state) in groups {
+        let agg_vals: Vec<Value> = state.accs.iter().map(|a| a.finish()).collect();
+        let mut ok = true;
+        for h in having {
+            if !truthy(&eval(h, &key, outer, &agg_vals)?) {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let mut out = Vec::with_capacity(output.len());
+        for e in output {
+            out.push(eval(e, &key, outer, &agg_vals)?);
+        }
+        rows.push(out);
+    }
+    // Deterministic order for tests: sort rows by value.
+    rows.sort();
+    Ok(rows)
+}
+
 struct HashAggregateOp {
     input: Box<dyn Operator>,
     group: Vec<PhysExpr>,
@@ -973,101 +1240,23 @@ struct HashAggregateOp {
 }
 
 impl HashAggregateOp {
-    fn fresh_state(&self) -> GroupState {
-        GroupState {
-            accs: self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
-            distinct_seen: self
-                .aggs
-                .iter()
-                .map(|a| {
-                    if a.distinct {
-                        Some(HashSet::new())
-                    } else {
-                        None
-                    }
-                })
-                .collect(),
-        }
-    }
-
     /// Consume the whole input (batch-at-a-time) and compute the grouped
     /// aggregate rows.
     fn materialize(&mut self, rt: &mut Runtime<'_>) -> Result<Vec<Row>> {
-        let mut groups: FxHashMap<Vec<Value>, GroupState> = FxHashMap::default();
-        let mut saw_input = false;
-        if self.group.is_empty() {
-            // Grand-total fast path: one accumulator state, no per-row key
-            // construction or hashing. When every aggregate is a plain
-            // COUNT(*), whole batches fold in as a single length addition —
-            // the fully vectorized case.
-            let mut state = self.fresh_state();
-            let all_plain_counts = self
-                .aggs
-                .iter()
-                .all(|a| matches!(a.func, AggFunc::Count) && a.arg.is_none() && !a.distinct);
-            while let Some(batch) = self.input.next_batch(rt)? {
-                saw_input = true;
-                if all_plain_counts {
-                    for acc in &mut state.accs {
-                        if let Acc::Count(n) = acc {
-                            *n += batch.len() as i64;
-                        }
-                    }
-                } else {
-                    for row in batch.iter() {
-                        update_state(&mut state, &self.aggs, row, &rt.outer)?;
-                    }
-                }
-            }
-            if saw_input {
-                groups.insert(Vec::new(), state);
-            }
-        } else {
-            while let Some(batch) = self.input.next_batch(rt)? {
-                saw_input = true;
-                for row in batch.iter() {
-                    let mut key = Vec::with_capacity(self.group.len());
-                    for g in &self.group {
-                        key.push(eval(g, row, &rt.outer, &[])?);
-                    }
-                    let state = match groups.entry(key) {
-                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(self.fresh_state())
-                        }
-                    };
-                    update_state(state, &self.aggs, row, &rt.outer)?;
-                }
-            }
+        let mut acc = GroupAcc::new(&self.group, &self.aggs);
+        while let Some(batch) = self.input.next_batch(rt)? {
+            acc.fold(&batch, &rt.outer)?;
         }
-        // Grand total for empty input with no GROUP BY: one row of
-        // "empty" aggregates (COUNT = 0, SUM = NULL, ...).
-        if groups.is_empty() && self.group.is_empty() && !saw_input {
-            groups.insert(Vec::new(), self.fresh_state());
-        }
-        let mut rows = Vec::with_capacity(groups.len());
-        for (key, state) in groups {
-            let agg_vals: Vec<Value> = state.accs.iter().map(|a| a.finish()).collect();
-            // HAVING over [group values] with agg slots.
-            let mut ok = true;
-            for h in &self.having {
-                if !truthy(&eval(h, &key, &rt.outer, &agg_vals)?) {
-                    ok = false;
-                    break;
-                }
-            }
-            if !ok {
-                continue;
-            }
-            let mut out = Vec::with_capacity(self.output.len());
-            for e in &self.output {
-                out.push(eval(e, &key, &rt.outer, &agg_vals)?);
-            }
-            rows.push(out);
-        }
-        // Deterministic order for tests: sort rows by value.
-        rows.sort();
-        Ok(rows)
+        let (groups, saw_input) = acc.finish();
+        finalize_groups(
+            groups,
+            saw_input,
+            self.group.is_empty(),
+            &self.aggs,
+            &self.having,
+            &self.output,
+            &rt.outer,
+        )
     }
 }
 

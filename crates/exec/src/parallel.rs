@@ -1,0 +1,634 @@
+//! Morsel-driven parallel region execution.
+//!
+//! A *parallel region* is the subtree under an `ExchangeGather` or
+//! `ParallelHashAggregate` plan node: a worker pipeline of parallel scans,
+//! fused filters/projections and partitioned join probes. Executing a
+//! region:
+//!
+//! 1. **Prepare** (coordinator): walk the pipeline; give every
+//!    `ParallelSeqScan` a shared [`MorselDispenser`] and execute every
+//!    `ParallelHashJoin`'s build side — the coordinator drains the build
+//!    input *in serial row order* and routes each keyed row to one of
+//!    `dop` partition-builder threads (`PartitionedJoinTable`), so each
+//!    partition's bucket insertion order matches the serial build exactly.
+//! 2. **Run** (workers): `dop` threads each instantiate their own copy of
+//!    the pipeline over a cloned MVCC snapshot and pull page morsels from
+//!    the shared dispensers until the table is exhausted.
+//! 3. **Merge** (coordinator): gather regions tag every worker batch with
+//!    the page index it came from and K-way-merge the per-worker streams
+//!    by that tag — dispensers hand out pages in increasing order, so each
+//!    worker's stream is already sorted and the merged output has exactly
+//!    the serial plan's row order. Aggregate regions instead merge the
+//!    workers' partial group tables (partial→final aggregation) and sort
+//!    the finished rows like the serial operator does.
+//!
+//! Worker `ExecStats` fold into the coordinator's via the existing
+//! [`ExecStats::merge`]. Region results are byte-identical to the serial
+//! plan's except for SUM/AVG over doubles, where morsel assignment decides
+//! floating-point addition order (non-associative; see docs/EXPLAIN.md).
+//!
+//! Threads never outlive a region: `Runtime` borrows the catalog, so the
+//! whole region runs to completion inside a [`std::thread::scope`] on the
+//! root's first pull and streams its buffered result afterwards. The
+//! planner keeps streaming `Limit`s serial, so no early-out is lost.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+
+use xnf_plan::{AggSpec, PhysExpr, PhysPlan};
+use xnf_storage::{MorselDispenser, Table, Value};
+
+use crate::batch::RowBatch;
+use crate::error::{ExecError, Result};
+use crate::eval::{filter_batch, CompiledPreds, Row};
+use crate::hash::{FxHashMap, FxHasher};
+use crate::ops::{
+    build_operator, finalize_groups, key_into, key_of, merge_group_state, ExecStats, FilterOp,
+    GroupAcc, GroupState, Operator, ProjectOp, Runtime,
+};
+
+/// Rows per chunk sent to a partition-builder thread.
+const PARTITION_CHUNK: usize = 256;
+/// Bounded channel depth (in batches/chunks) between threads.
+const CHANNEL_DEPTH: usize = 4;
+
+/// Route and probe with the same hash everywhere: `Vec<Value>` hashes like
+/// `[Value]`, so build-side routing and probe-side lookup always agree.
+fn hash_key(key: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// One partition's build map, and one keyed-row chunk in flight to it.
+type PartitionMap = FxHashMap<Vec<Value>, Vec<Row>>;
+type KeyedChunk = Vec<(Vec<Value>, Row)>;
+
+/// The build side of a parallel hash join: `dop` disjoint hash partitions,
+/// each an ordinary key → rows table. Shared read-only by all probe
+/// workers.
+pub(crate) struct PartitionedJoinTable {
+    parts: Vec<PartitionMap>,
+}
+
+impl PartitionedJoinTable {
+    fn get(&self, key: &[Value]) -> Option<&[Row]> {
+        let p = (hash_key(key) as usize) % self.parts.len();
+        self.parts[p].get(key).map(|v| v.as_slice())
+    }
+}
+
+/// Drain the build input on the coordinator (serial row order) and
+/// hash-partition its rows across `dop` builder threads. Each builder owns
+/// one partition map, so insertion order within every bucket equals the
+/// serial [`JoinTable`](crate::ops) build — join match order is preserved.
+fn build_partitioned(
+    rt: &mut Runtime<'_>,
+    input: &PhysPlan,
+    keys: &[PhysExpr],
+    dop: usize,
+) -> Result<PartitionedJoinTable> {
+    let nparts = dop.max(1);
+    let mut op = build_operator(input);
+    let mut feed_err: Option<ExecError> = None;
+    let parts: Vec<PartitionMap> = std::thread::scope(|scope| {
+        let mut txs: Vec<SyncSender<KeyedChunk>> = Vec::with_capacity(nparts);
+        let mut handles = Vec::with_capacity(nparts);
+        for _ in 0..nparts {
+            let (tx, rx) = sync_channel::<KeyedChunk>(CHANNEL_DEPTH);
+            txs.push(tx);
+            handles.push(scope.spawn(move || {
+                let mut map = PartitionMap::default();
+                while let Ok(chunk) = rx.recv() {
+                    for (key, row) in chunk {
+                        map.entry(key).or_default().push(row);
+                    }
+                }
+                map
+            }));
+        }
+        let mut bufs: Vec<KeyedChunk> = (0..nparts).map(|_| Vec::new()).collect();
+        let feed = (|| -> Result<()> {
+            while let Some(batch) = op.next_batch(rt)? {
+                for row in batch {
+                    // NULL keys never match: drop them here, exactly like
+                    // the serial build.
+                    let Some(key) = key_of(keys, &row, &rt.outer)? else {
+                        continue;
+                    };
+                    let p = (hash_key(&key) as usize) % nparts;
+                    bufs[p].push((key, row));
+                    if bufs[p].len() >= PARTITION_CHUNK {
+                        let _ = txs[p].send(std::mem::take(&mut bufs[p]));
+                    }
+                }
+            }
+            for (p, buf) in bufs.iter_mut().enumerate() {
+                if !buf.is_empty() {
+                    let _ = txs[p].send(std::mem::take(buf));
+                }
+            }
+            Ok(())
+        })();
+        feed_err = feed.err();
+        drop(txs);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition builder panicked"))
+            .collect()
+    });
+    match feed_err {
+        Some(e) => Err(e),
+        None => Ok(PartitionedJoinTable { parts }),
+    }
+}
+
+/// Resources a region's workers share, collected by the coordinator before
+/// the workers spawn: one morsel dispenser per parallel scan and one
+/// partitioned build table per parallel join, in plan traversal order
+/// (workers rebuild the identical tree, so the orders agree).
+struct RegionResources {
+    dispensers: Vec<Arc<MorselDispenser>>,
+    tables: Vec<Arc<PartitionedJoinTable>>,
+}
+
+fn prepare_region(rt: &mut Runtime<'_>, pipeline: &PhysPlan) -> Result<RegionResources> {
+    let mut res = RegionResources {
+        dispensers: Vec::new(),
+        tables: Vec::new(),
+    };
+    collect_resources(rt, pipeline, &mut res)?;
+    Ok(res)
+}
+
+fn collect_resources(
+    rt: &mut Runtime<'_>,
+    plan: &PhysPlan,
+    res: &mut RegionResources,
+) -> Result<()> {
+    match plan {
+        PhysPlan::ParallelSeqScan { .. } => {
+            res.dispensers.push(Arc::new(MorselDispenser::new()));
+            Ok(())
+        }
+        PhysPlan::Filter { input, .. } | PhysPlan::Project { input, .. } => {
+            collect_resources(rt, input, res)
+        }
+        PhysPlan::ParallelHashJoin { probe, build, .. } => {
+            // Probe first: traversal order must match the worker builder.
+            collect_resources(rt, probe, res)?;
+            let PhysPlan::ExchangeHashPartition { input, keys, dop } = build.as_ref() else {
+                return Err(ExecError::Type(
+                    "ParallelHashJoin build side must be an ExchangeHashPartition".into(),
+                ));
+            };
+            let table = build_partitioned(rt, input, keys, *dop)?;
+            res.tables.push(Arc::new(table));
+            Ok(())
+        }
+        other => Err(ExecError::Type(format!(
+            "unexpected operator in parallel worker pipeline: {}",
+            other.explain().lines().next().unwrap_or("?")
+        ))),
+    }
+}
+
+/// Per-worker state threaded through [`build_worker_pipeline`].
+struct WorkerCtx<'r> {
+    res: &'r RegionResources,
+    next_dispenser: usize,
+    next_table: usize,
+    /// The page index of the morsel the pipeline's scan is currently
+    /// draining — the gather driver reads it after every root batch to tag
+    /// the batch for the ordered merge. `Rc` because the whole pipeline
+    /// lives on one worker thread.
+    morsel: Rc<Cell<u64>>,
+}
+
+/// Instantiate one worker's copy of a region pipeline.
+fn build_worker_pipeline(plan: &PhysPlan, ctx: &mut WorkerCtx<'_>) -> Result<Box<dyn Operator>> {
+    match plan {
+        PhysPlan::ParallelSeqScan { table, filter } => {
+            let dispenser = Arc::clone(&ctx.res.dispensers[ctx.next_dispenser]);
+            ctx.next_dispenser += 1;
+            Ok(Box::new(ParallelSeqScanOp {
+                table: table.clone(),
+                filter: filter.clone(),
+                dispenser,
+                morsel: Rc::clone(&ctx.morsel),
+                table_ref: None,
+                queue: VecDeque::new(),
+                done: false,
+            }))
+        }
+        PhysPlan::Filter { input, preds } => Ok(Box::new(FilterOp {
+            input: build_worker_pipeline(input, ctx)?,
+            preds: preds.clone(),
+        })),
+        PhysPlan::Project { input, exprs } => Ok(Box::new(ProjectOp {
+            input: build_worker_pipeline(input, ctx)?,
+            exprs: exprs.clone(),
+        })),
+        PhysPlan::ParallelHashJoin {
+            probe,
+            probe_keys,
+            residual,
+            ..
+        } => {
+            let probe_op = build_worker_pipeline(probe, ctx)?;
+            let table = Arc::clone(&ctx.res.tables[ctx.next_table]);
+            ctx.next_table += 1;
+            Ok(Box::new(ParallelProbeOp {
+                probe: probe_op,
+                keys: probe_keys.clone(),
+                residual: residual.clone(),
+                table,
+                queue: VecDeque::new(),
+            }))
+        }
+        other => Err(ExecError::Type(format!(
+            "unexpected operator in parallel worker pipeline: {}",
+            other.explain().lines().next().unwrap_or("?")
+        ))),
+    }
+}
+
+/// Worker-side morsel scan: claims page indices from the shared dispenser
+/// and emits each page's surviving rows as one or more batches. Batches
+/// never span morsels (unlike the serial scan's builder, which coalesces
+/// across pages) — that invariant is what lets the gather stage order
+/// batches by page index.
+struct ParallelSeqScanOp {
+    table: String,
+    filter: Vec<PhysExpr>,
+    dispenser: Arc<MorselDispenser>,
+    morsel: Rc<Cell<u64>>,
+    table_ref: Option<Arc<Table>>,
+    queue: VecDeque<RowBatch>,
+    done: bool,
+}
+
+impl Operator for ParallelSeqScanOp {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        loop {
+            if let Some(batch) = self.queue.pop_front() {
+                return Ok(Some(batch));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            if self.table_ref.is_none() {
+                self.table_ref = Some(rt.catalog.table(&self.table)?);
+            }
+            let t = self.table_ref.as_ref().unwrap().clone();
+            let compiled = CompiledPreds::compile(&self.filter);
+            let idx = self.dispenser.claim();
+            match t.scan_page_snapshot(idx, &rt.snapshot)? {
+                None => self.done = true,
+                Some((page, skipped)) => {
+                    self.morsel.set(idx as u64);
+                    rt.stats.rows_scanned += page.len() as u64;
+                    rt.stats.rows_skipped_visibility += skipped;
+                    rt.stats.morsels_dispatched += 1;
+                    let mut rows: Vec<Row> = Vec::with_capacity(page.len());
+                    for (_, tuple) in page {
+                        if compiled.is_empty() || compiled.matches(&tuple.values, &rt.outer)? {
+                            rows.push(tuple.values);
+                        }
+                    }
+                    while rows.len() > rt.batch_size {
+                        let tail = rows.split_off(rt.batch_size);
+                        self.queue.push_back(RowBatch::from_rows(rows));
+                        rows = tail;
+                    }
+                    if !rows.is_empty() {
+                        self.queue.push_back(RowBatch::from_rows(rows));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Worker-side probe of a [`PartitionedJoinTable`]: hashes each probe
+/// row's key to pick the partition and expands matches in build order.
+/// Output chunks are never coalesced across probe batches, preserving the
+/// batch↔morsel correspondence the gather merge orders by.
+struct ParallelProbeOp {
+    probe: Box<dyn Operator>,
+    keys: Vec<PhysExpr>,
+    residual: Vec<PhysExpr>,
+    table: Arc<PartitionedJoinTable>,
+    queue: VecDeque<RowBatch>,
+}
+
+impl Operator for ParallelProbeOp {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        let mut key = Vec::with_capacity(self.keys.len());
+        loop {
+            if let Some(batch) = self.queue.pop_front() {
+                return Ok(Some(batch));
+            }
+            let Some(pbatch) = self.probe.next_batch(rt)? else {
+                return Ok(None);
+            };
+            let mut out = RowBatch::with_capacity(0, rt.batch_size);
+            for lrow in pbatch.iter() {
+                if !key_into(&self.keys, lrow, &rt.outer, &mut key)? {
+                    continue;
+                }
+                let Some(matches) = self.table.get(&key) else {
+                    continue;
+                };
+                for rrow in matches {
+                    let mut combined = Vec::with_capacity(lrow.len() + rrow.len());
+                    combined.extend(lrow.iter().cloned());
+                    combined.extend(rrow.iter().cloned());
+                    out.push(combined);
+                }
+                if out.len() >= rt.batch_size {
+                    filter_batch(&self.residual, &mut out, &rt.outer)?;
+                    if !out.is_empty() {
+                        self.queue.push_back(out);
+                    }
+                    out = RowBatch::with_capacity(0, rt.batch_size);
+                }
+            }
+            filter_batch(&self.residual, &mut out, &rt.outer)?;
+            if !out.is_empty() {
+                self.queue.push_back(out);
+            }
+        }
+    }
+}
+
+/// A worker-to-coordinator message in a gather region.
+enum WorkerMsg {
+    /// One output batch, tagged with the page index it derives from.
+    Batch(u64, RowBatch),
+    /// Worker finished; its stats fold into the coordinator's.
+    Done(ExecStats),
+    Fail(ExecError),
+}
+
+fn recv_next(
+    rx: &Receiver<WorkerMsg>,
+    stats: &mut ExecStats,
+    err: &mut Option<ExecError>,
+) -> Option<(u64, RowBatch)> {
+    match rx.recv() {
+        Ok(WorkerMsg::Batch(seq, batch)) => Some((seq, batch)),
+        Ok(WorkerMsg::Done(s)) => {
+            stats.merge(&s);
+            None
+        }
+        Ok(WorkerMsg::Fail(e)) => {
+            err.get_or_insert(e);
+            None
+        }
+        Err(_) => None,
+    }
+}
+
+/// A fresh worker runtime: same catalog, shared results, batch size and
+/// parameter/correlation context as the coordinator, with every read
+/// pinned to the coordinator's snapshot (snapshot-correct parallelism).
+fn worker_runtime<'a>(rt: &Runtime<'a>) -> Runtime<'a> {
+    let mut octx = rt.outer.clone();
+    octx.set_visibility(Some(rt.snapshot.clone()));
+    let mut wrt = Runtime::with_ctx(rt.catalog, octx);
+    wrt.shared = rt.shared.clone();
+    wrt.batch_size = rt.batch_size;
+    wrt
+}
+
+/// Run a gather region to completion: `dop` workers over `pipeline`, then
+/// a K-way merge of their seq-tagged streams back into serial row order.
+pub(crate) fn run_gather_region(
+    rt: &mut Runtime<'_>,
+    pipeline: &PhysPlan,
+    dop: usize,
+) -> Result<Vec<RowBatch>> {
+    let dop = dop.max(1);
+    let res = prepare_region(rt, pipeline)?;
+    rt.stats.parallel_regions += 1;
+    rt.stats.parallel_workers += dop as u64;
+
+    let mut merged: Vec<RowBatch> = Vec::new();
+    let mut folded = ExecStats::default();
+    let mut first_err: Option<ExecError> = None;
+    std::thread::scope(|scope| {
+        let mut rxs: Vec<Receiver<WorkerMsg>> = Vec::with_capacity(dop);
+        for _ in 0..dop {
+            let (tx, rx) = sync_channel::<WorkerMsg>(CHANNEL_DEPTH);
+            rxs.push(rx);
+            let res = &res;
+            let mut wrt = worker_runtime(rt);
+            scope.spawn(move || {
+                let morsel = Rc::new(Cell::new(0u64));
+                let run = (|| -> Result<()> {
+                    let mut ctx = WorkerCtx {
+                        res,
+                        next_dispenser: 0,
+                        next_table: 0,
+                        morsel: Rc::clone(&morsel),
+                    };
+                    let mut op = build_worker_pipeline(pipeline, &mut ctx)?;
+                    while let Some(batch) = op.next_batch(&mut wrt)? {
+                        if tx.send(WorkerMsg::Batch(morsel.get(), batch)).is_err() {
+                            break; // Coordinator bailed; stop quietly.
+                        }
+                    }
+                    Ok(())
+                })();
+                let _ = match run {
+                    Ok(()) => tx.send(WorkerMsg::Done(wrt.stats)),
+                    Err(e) => tx.send(WorkerMsg::Fail(e)),
+                };
+            });
+        }
+        // K-way merge by morsel tag. Each worker's stream is sorted (its
+        // dispenser claims only increase), so taking the smallest head
+        // reproduces the serial page order; a page's batches all come from
+        // one worker, in emission order.
+        let mut heads: Vec<Option<(u64, RowBatch)>> = rxs
+            .iter()
+            .map(|rx| recv_next(rx, &mut folded, &mut first_err))
+            .collect();
+        loop {
+            let min = heads
+                .iter()
+                .enumerate()
+                .filter_map(|(w, h)| h.as_ref().map(|(seq, _)| (*seq, w)))
+                .min();
+            let Some((_, w)) = min else { break };
+            let (_, batch) = heads[w].take().unwrap();
+            merged.push(batch);
+            heads[w] = recv_next(&rxs[w], &mut folded, &mut first_err);
+        }
+    });
+    rt.stats.merge(&folded);
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(merged),
+    }
+}
+
+/// Run an aggregate region to completion: `dop` workers fold their morsels
+/// into partial group tables; the coordinator merges the partials (in
+/// worker order) into the final table.
+#[allow(clippy::type_complexity)]
+fn run_agg_region(
+    rt: &mut Runtime<'_>,
+    pipeline: &PhysPlan,
+    group: &[PhysExpr],
+    aggs: &[AggSpec],
+    dop: usize,
+) -> Result<(FxHashMap<Vec<Value>, GroupState>, bool)> {
+    let dop = dop.max(1);
+    let res = prepare_region(rt, pipeline)?;
+    rt.stats.parallel_regions += 1;
+    rt.stats.parallel_workers += dop as u64;
+
+    type Partial = (FxHashMap<Vec<Value>, GroupState>, bool, ExecStats);
+    let partials: Vec<Result<Partial>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..dop)
+            .map(|_| {
+                let res = &res;
+                let mut wrt = worker_runtime(rt);
+                scope.spawn(move || -> Result<Partial> {
+                    let mut ctx = WorkerCtx {
+                        res,
+                        next_dispenser: 0,
+                        next_table: 0,
+                        morsel: Rc::new(Cell::new(0)),
+                    };
+                    let mut op = build_worker_pipeline(pipeline, &mut ctx)?;
+                    let mut acc = GroupAcc::new(group, aggs);
+                    while let Some(batch) = op.next_batch(&mut wrt)? {
+                        acc.fold(&batch, &wrt.outer)?;
+                    }
+                    let (groups, saw_input) = acc.finish();
+                    Ok((groups, saw_input, wrt.stats))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("aggregate worker panicked"))
+            .collect()
+    });
+
+    let mut groups: FxHashMap<Vec<Value>, GroupState> = FxHashMap::default();
+    let mut saw_input = false;
+    for partial in partials {
+        let (worker_groups, worker_saw, stats) = partial?;
+        rt.stats.merge(&stats);
+        saw_input |= worker_saw;
+        for (key, state) in worker_groups {
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    merge_group_state(e.into_mut(), state, aggs)?;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(state);
+                }
+            }
+        }
+    }
+    Ok((groups, saw_input))
+}
+
+/// Region root operator for gather regions: runs the region to completion
+/// on first pull and streams the merged batches.
+pub(crate) struct ExchangeGatherOp {
+    pipeline: PhysPlan,
+    dop: usize,
+    buffered: Option<VecDeque<RowBatch>>,
+}
+
+impl ExchangeGatherOp {
+    pub(crate) fn new(pipeline: PhysPlan, dop: usize) -> ExchangeGatherOp {
+        ExchangeGatherOp {
+            pipeline,
+            dop,
+            buffered: None,
+        }
+    }
+}
+
+impl Operator for ExchangeGatherOp {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        if self.buffered.is_none() {
+            let batches = run_gather_region(rt, &self.pipeline, self.dop)?;
+            self.buffered = Some(batches.into());
+        }
+        Ok(self.buffered.as_mut().unwrap().pop_front())
+    }
+}
+
+/// Region root operator for partial→final parallel aggregation. Merges the
+/// workers' partial tables, then finishes (HAVING, output expressions,
+/// deterministic sort) exactly like the serial `HashAggregateOp`.
+pub(crate) struct ParallelHashAggregateOp {
+    input: PhysPlan,
+    group: Vec<PhysExpr>,
+    aggs: Vec<AggSpec>,
+    having: Vec<PhysExpr>,
+    output: Vec<PhysExpr>,
+    dop: usize,
+    results: Option<Vec<Row>>,
+    idx: usize,
+}
+
+impl ParallelHashAggregateOp {
+    pub(crate) fn new(
+        input: PhysPlan,
+        group: Vec<PhysExpr>,
+        aggs: Vec<AggSpec>,
+        having: Vec<PhysExpr>,
+        output: Vec<PhysExpr>,
+        dop: usize,
+    ) -> ParallelHashAggregateOp {
+        ParallelHashAggregateOp {
+            input,
+            group,
+            aggs,
+            having,
+            output,
+            dop,
+            results: None,
+            idx: 0,
+        }
+    }
+}
+
+impl Operator for ParallelHashAggregateOp {
+    fn next_batch(&mut self, rt: &mut Runtime<'_>) -> Result<Option<RowBatch>> {
+        if self.results.is_none() {
+            let (groups, saw_input) =
+                run_agg_region(rt, &self.input, &self.group, &self.aggs, self.dop)?;
+            self.results = Some(finalize_groups(
+                groups,
+                saw_input,
+                self.group.is_empty(),
+                &self.aggs,
+                &self.having,
+                &self.output,
+                &rt.outer,
+            )?);
+        }
+        let rows = self.results.as_ref().unwrap();
+        if self.idx >= rows.len() {
+            return Ok(None);
+        }
+        let end = (self.idx + rt.batch_size).min(rows.len());
+        let batch = RowBatch::from_rows(rows[self.idx..end].to_vec());
+        self.idx = end;
+        Ok(Some(batch))
+    }
+}

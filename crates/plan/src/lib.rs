@@ -32,6 +32,7 @@
 //! ```
 
 pub mod error;
+mod parallelize;
 pub mod physical;
 pub mod planner;
 
@@ -39,7 +40,7 @@ pub use error::{PlanError, Result};
 pub use physical::{
     AggSpec, PhysExpr, PhysPlan, Qep, QepOutput, SharedId, SortSpec, DEFAULT_BATCH_SIZE,
 };
-pub use planner::{plan_query, PlanOptions};
+pub use planner::{plan_query, PlanOptions, DEFAULT_PARALLEL_MIN_PAGES};
 
 #[cfg(test)]
 mod planner_tests;

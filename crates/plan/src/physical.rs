@@ -266,6 +266,54 @@ pub enum PhysPlan {
         input: Box<PhysPlan>,
         n: u64,
     },
+    /// Morsel-driven parallel scan of a base table (or a materialized
+    /// view's backing table): N workers pull page morsels from a shared
+    /// atomic dispenser and run their copy of the enclosing worker
+    /// pipeline over them. Valid only inside a parallel region rooted at
+    /// [`PhysPlan::ExchangeGather`] or [`PhysPlan::ParallelHashAggregate`].
+    ParallelSeqScan {
+        table: String,
+        filter: Vec<PhysExpr>,
+    },
+    /// Parallel-region root: runs `input` (a worker pipeline of parallel
+    /// scans, filters, projections and parallel join probes) on `dop`
+    /// workers and merges their batch streams in morsel order, so the
+    /// gathered output has exactly the serial plan's row order.
+    ExchangeGather {
+        input: Box<PhysPlan>,
+        dop: usize,
+    },
+    /// Build-side exchange under [`PhysPlan::ParallelHashJoin`]: the
+    /// coordinator drains `input` once (in serial row order) and hash-
+    /// partitions its rows by `keys` into `dop` partition build tables,
+    /// each filled by its own builder thread.
+    ExchangeHashPartition {
+        input: Box<PhysPlan>,
+        keys: Vec<PhysExpr>,
+        dop: usize,
+    },
+    /// Partitioned parallel hash equi-join: the probe side runs inside the
+    /// worker pipeline; each probe row hashes its key to pick the build
+    /// partition. `build` must be an [`PhysPlan::ExchangeHashPartition`].
+    /// Output row = probe ++ build, like [`PhysPlan::HashJoin`].
+    ParallelHashJoin {
+        probe: Box<PhysPlan>,
+        build: Box<PhysPlan>,
+        probe_keys: Vec<PhysExpr>,
+        residual: Vec<PhysExpr>,
+    },
+    /// Parallel-region root for partial→final aggregation: `dop` workers
+    /// fold their morsels into partial per-group accumulator tables; the
+    /// coordinator merges the partials, then applies HAVING and the output
+    /// expressions exactly like [`PhysPlan::HashAggregate`].
+    ParallelHashAggregate {
+        input: Box<PhysPlan>,
+        group: Vec<PhysExpr>,
+        aggs: Vec<AggSpec>,
+        having: Vec<PhysExpr>,
+        output: Vec<PhysExpr>,
+        dop: usize,
+    },
 }
 
 impl PhysPlan {
@@ -420,6 +468,55 @@ impl PhysPlan {
                 let _ = writeln!(out, "{pad}Limit {n}");
                 input.explain_into(depth + 1, out);
             }
+            PhysPlan::ParallelSeqScan { table, filter } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}ParallelSeqScan({table}) filter={}",
+                    fmt_preds(filter)
+                );
+            }
+            PhysPlan::ExchangeGather { input, dop } => {
+                let _ = writeln!(out, "{pad}ExchangeGather(dop={dop}) merge=morsel-order");
+                input.explain_into(depth + 1, out);
+            }
+            PhysPlan::ExchangeHashPartition { input, keys, dop } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}ExchangeHashPartition(dop={dop}) keys={}",
+                    fmt_exprs(keys)
+                );
+                input.explain_into(depth + 1, out);
+            }
+            PhysPlan::ParallelHashJoin {
+                probe,
+                build,
+                probe_keys,
+                residual,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}ParallelHashJoin p={} residual={}",
+                    fmt_exprs(probe_keys),
+                    fmt_preds(residual)
+                );
+                probe.explain_into(depth + 1, out);
+                build.explain_into(depth + 1, out);
+            }
+            PhysPlan::ParallelHashAggregate {
+                input,
+                group,
+                aggs,
+                dop,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}ParallelHashAggregate(dop={dop}) group={} aggs={}",
+                    fmt_exprs(group),
+                    aggs.len()
+                );
+                input.explain_into(depth + 1, out);
+            }
         }
     }
 
@@ -431,15 +528,22 @@ impl PhysPlan {
             | PhysPlan::SeqScan { .. }
             | PhysPlan::IndexEq { .. }
             | PhysPlan::SharedScan { .. }
-            | PhysPlan::MatViewScan { .. } => {}
+            | PhysPlan::MatViewScan { .. }
+            | PhysPlan::ParallelSeqScan { .. } => {}
             PhysPlan::Filter { input, .. }
             | PhysPlan::Project { input, .. }
             | PhysPlan::HashDistinct { input }
             | PhysPlan::Sort { input, .. }
             | PhysPlan::Limit { input, .. }
-            | PhysPlan::HashAggregate { input, .. } => n += input.count_ops(pred),
+            | PhysPlan::HashAggregate { input, .. }
+            | PhysPlan::ExchangeGather { input, .. }
+            | PhysPlan::ExchangeHashPartition { input, .. }
+            | PhysPlan::ParallelHashAggregate { input, .. } => n += input.count_ops(pred),
             PhysPlan::HashJoin { left, right, .. } | PhysPlan::NlJoin { left, right, .. } => {
                 n += left.count_ops(pred) + right.count_ops(pred);
+            }
+            PhysPlan::ParallelHashJoin { probe, build, .. } => {
+                n += probe.count_ops(pred) + build.count_ops(pred);
             }
             PhysPlan::HashSemiJoin { outer, inner, .. }
             | PhysPlan::NlSemiJoin { outer, inner, .. } => {
@@ -483,6 +587,10 @@ pub struct Qep {
     /// Row capacity of the batches the executor streams between operators
     /// (and materialises table queues in).
     pub batch_size: usize,
+    /// Degree of parallelism the plans were compiled for: worker count of
+    /// every parallel region and the cap on concurrent output-stream
+    /// delivery. 1 = fully serial plans (no parallel operators).
+    pub dop: usize,
 }
 
 /// One output stream of a QEP.
@@ -502,6 +610,9 @@ impl Qep {
             "mode: batch pipeline (batch_size={})\n",
             self.batch_size
         ));
+        // Worker count of every parallel region below (and the cap on
+        // concurrent output-stream delivery); 1 = fully serial plans.
+        s.push_str(&format!("dop: {}\n", self.dop));
         // Every scan/index lookup of a run filters tuple versions against
         // one MVCC snapshot (the executor reports which via
         // `ExecStats::snapshot_seq` / `rows_skipped_visibility`).

@@ -36,7 +36,29 @@ pub struct PlanOptions {
     pub share_common_subexpressions: bool,
     /// Row capacity of the executor's streaming batches (clamped to ≥ 1).
     pub batch_size: usize,
+    /// Degree of parallelism: worker count of parallel regions and the cap
+    /// on concurrent output-stream delivery. Defaults to
+    /// `std::thread::available_parallelism()`; 1 compiles today's fully
+    /// serial plans (no parallel operators are ever introduced). Unless
+    /// [`PlanOptions::allow_oversubscribe`] is set, the effective dop is
+    /// clamped to the host's available parallelism — extra workers on an
+    /// already-saturated host only add scheduling overhead.
+    pub dop: usize,
+    /// Minimum heap page count before a scan is worth parallelizing
+    /// (morsel = one page, so tiny tables can't feed several workers).
+    /// Clamped to ≥ 1; point lookups and small fixtures stay serial at the
+    /// default of [`DEFAULT_PARALLEL_MIN_PAGES`].
+    pub parallel_min_pages: usize,
+    /// Permit a `dop` above the host's `available_parallelism()`. Off by
+    /// default so a mis-sized knob degrades gracefully to the core count;
+    /// the equivalence suite turns it on to exercise genuinely parallel
+    /// plans (dop 2/4) even on a single-core host.
+    pub allow_oversubscribe: bool,
 }
+
+/// Default [`PlanOptions::parallel_min_pages`]: below this many heap pages
+/// a parallel scan's spawn/merge overhead outweighs the work.
+pub const DEFAULT_PARALLEL_MIN_PAGES: usize = 8;
 
 impl Default for PlanOptions {
     fn default() -> Self {
@@ -45,6 +67,11 @@ impl Default for PlanOptions {
             optimize_join_order: true,
             share_common_subexpressions: true,
             batch_size: crate::physical::DEFAULT_BATCH_SIZE,
+            dop: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            parallel_min_pages: DEFAULT_PARALLEL_MIN_PAGES,
+            allow_oversubscribe: false,
         }
     }
 }
@@ -104,10 +131,36 @@ pub fn plan_query(catalog: &Catalog, qgm: &Qgm, options: PlanOptions) -> Result<
                 .collect(),
         });
     }
+    let mut shared = p.shared_plans;
+    let mut dop = options.dop.max(1);
+    if !options.allow_oversubscribe {
+        // Clamp to the host: a dop above the core count cannot speed
+        // anything up, it only adds context-switch overhead, so a knob
+        // set for a bigger machine degrades gracefully here.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        dop = dop.min(cores);
+    }
+    // Parallel plan selection runs as a separate bottom-up pass so that
+    // dop = 1 reproduces the serial plans exactly (the pass never runs).
+    if dop > 1 {
+        // The pass reads the dop out of the options it's handed, so feed
+        // it the clamped value.
+        let mut popts = options;
+        popts.dop = dop;
+        for plan in &mut shared {
+            crate::parallelize::parallelize(catalog, plan, &popts);
+        }
+        for o in &mut outputs {
+            crate::parallelize::parallelize(catalog, &mut o.plan, &popts);
+        }
+    }
     Ok(Qep {
-        shared: p.shared_plans,
+        shared,
         outputs,
         batch_size: options.batch_size.max(1),
+        dop,
     })
 }
 

@@ -200,3 +200,168 @@ fn union_plan_dedupes() {
     assert!(explain.contains("UnionAll(2)"), "{explain}");
     assert!(explain.contains("HashDistinct"), "{explain}");
 }
+
+/// A catalog whose EMP/DEPT tables actually hold rows, so the
+/// parallelize pass's live page-count gate opens.
+fn populated_catalog() -> Catalog {
+    let cat = paper_catalog();
+    let emp = cat.table("EMP").unwrap();
+    let dept = cat.table("DEPT").unwrap();
+    for d in 0..10 {
+        dept.insert(&xnf_storage::Tuple::new(vec![
+            xnf_storage::Value::Int(d),
+            xnf_storage::Value::Str(format!("D{d}")),
+            xnf_storage::Value::Str("ARC".into()),
+        ]))
+        .unwrap();
+    }
+    for e in 0..200 {
+        emp.insert(&xnf_storage::Tuple::new(vec![
+            xnf_storage::Value::Int(e),
+            xnf_storage::Value::Str(format!("E{e}")),
+            xnf_storage::Value::Int(e % 10),
+            xnf_storage::Value::Double(100.0 + e as f64),
+        ]))
+        .unwrap();
+    }
+    cat
+}
+
+fn parallel_opts(dop: usize) -> PlanOptions {
+    PlanOptions {
+        dop,
+        parallel_min_pages: 1,
+        // Exercise real dop-2/4 plans even on a single-core test host.
+        allow_oversubscribe: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn dop_one_reproduces_serial_plans_exactly() {
+    let cat = populated_catalog();
+    for sql in [
+        "SELECT ename FROM EMP WHERE sal > 100",
+        "SELECT e.ename, d.dname FROM EMP e, DEPT d WHERE e.edno = d.dno",
+        "SELECT edno, COUNT(*) FROM EMP GROUP BY edno",
+    ] {
+        let serial = plan_sql(&cat, sql, PlanOptions::default());
+        let one = plan_sql(&cat, sql, parallel_opts(1));
+        assert_eq!(serial.explain(), one.explain(), "{sql}");
+        for word in ["Parallel", "Exchange", "Morsel"] {
+            assert!(!one.explain().contains(word), "{sql}: {}", one.explain());
+        }
+        assert!(one.explain().contains("dop: 1\n"), "{}", one.explain());
+    }
+}
+
+#[test]
+fn parallel_scan_plan_shape() {
+    let cat = populated_catalog();
+    let qep = plan_sql(
+        &cat,
+        "SELECT ename FROM EMP WHERE sal > 150",
+        parallel_opts(4),
+    );
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("ExchangeGather(dop=4)"), "{explain}");
+    assert!(explain.contains("ParallelSeqScan(EMP)"), "{explain}");
+    assert!(explain.contains("filter=[(#3 > 150)]"), "{explain}");
+    assert!(qep.explain().contains("dop: 4\n"), "{}", qep.explain());
+}
+
+#[test]
+fn parallel_join_plan_shape() {
+    let cat = populated_catalog();
+    let qep = plan_sql(
+        &cat,
+        "SELECT e.ename, d.dname FROM EMP e, DEPT d WHERE e.edno = d.dno",
+        parallel_opts(4),
+    );
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("ParallelHashJoin"), "{explain}");
+    assert!(
+        explain.contains("ExchangeHashPartition(dop=4)"),
+        "{explain}"
+    );
+    assert!(explain.contains("ExchangeGather(dop=4)"), "{explain}");
+    // No serial HashJoin remains on this single-join query.
+    let serial_joins = qep.outputs[0]
+        .plan
+        .count_ops(&mut |p| matches!(p, PhysPlan::HashJoin { .. }));
+    assert_eq!(serial_joins, 0, "{explain}");
+}
+
+#[test]
+fn parallel_aggregate_plan_shape() {
+    let cat = populated_catalog();
+    let qep = plan_sql(
+        &cat,
+        "SELECT edno, COUNT(*) FROM EMP GROUP BY edno",
+        parallel_opts(4),
+    );
+    let explain = qep.outputs[0].plan.explain();
+    assert!(
+        explain.contains("ParallelHashAggregate(dop=4)"),
+        "{explain}"
+    );
+    assert!(explain.contains("ParallelSeqScan(EMP)"), "{explain}");
+    // The aggregate IS the region root: no gather above or below it.
+    assert!(!explain.contains("ExchangeGather"), "{explain}");
+}
+
+#[test]
+fn small_tables_stay_serial() {
+    let cat = populated_catalog();
+    let opts = PlanOptions {
+        dop: 4,
+        parallel_min_pages: 1_000_000,
+        allow_oversubscribe: true,
+        ..Default::default()
+    };
+    let qep = plan_sql(&cat, "SELECT ename FROM EMP WHERE sal > 100", opts);
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("SeqScan(EMP)"), "{explain}");
+    assert!(!explain.contains("Parallel"), "{explain}");
+}
+
+#[test]
+fn dop_clamps_to_host_cores_unless_oversubscribed() {
+    let cat = populated_catalog();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let opts = PlanOptions {
+        dop: 1024,
+        parallel_min_pages: 1,
+        ..Default::default()
+    };
+    let qep = plan_sql(&cat, "SELECT ename FROM EMP WHERE sal > 100", opts);
+    assert_eq!(qep.dop, cores, "{}", qep.explain());
+
+    // The escape hatch keeps the requested dop verbatim.
+    let qep = plan_sql(
+        &cat,
+        "SELECT ename FROM EMP WHERE sal > 100",
+        parallel_opts(1024),
+    );
+    assert_eq!(qep.dop, 1024, "{}", qep.explain());
+}
+
+#[test]
+fn limit_without_sort_stays_serial_for_early_out() {
+    let cat = populated_catalog();
+    let qep = plan_sql(&cat, "SELECT ename FROM EMP LIMIT 5", parallel_opts(4));
+    let explain = qep.outputs[0].plan.explain();
+    assert!(!explain.contains("Parallel"), "{explain}");
+
+    // But a blocking Sort under the Limit parallelizes its input.
+    let qep = plan_sql(
+        &cat,
+        "SELECT ename, sal FROM EMP ORDER BY sal DESC LIMIT 5",
+        parallel_opts(4),
+    );
+    let explain = qep.outputs[0].plan.explain();
+    assert!(explain.contains("Limit 5"), "{explain}");
+    assert!(explain.contains("ParallelSeqScan(EMP)"), "{explain}");
+}

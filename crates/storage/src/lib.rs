@@ -55,6 +55,7 @@ pub mod disk;
 pub mod error;
 pub mod heap;
 pub mod index;
+pub mod morsel;
 pub mod page;
 pub mod recovery;
 pub mod schema;
@@ -73,6 +74,7 @@ pub use disk::{DiskManager, DiskStats, PageId};
 pub use error::{Result, StorageError};
 pub use heap::{HeapFile, VisiblePage};
 pub use index::BTreeIndex;
+pub use morsel::MorselDispenser;
 pub use page::{Page, PAGE_SIZE};
 pub use recovery::{recover, RecoveryReport};
 pub use schema::{Column, Schema};

@@ -5,6 +5,7 @@
 
 use xnf_core::{Database, DbConfig, RewriteOptions, TempDir};
 use xnf_fixtures::{build_paper_db_with, PaperScale, DEPS_ARC};
+use xnf_plan::PlanOptions;
 
 const EXPLAIN_MD: &str = include_str!("../docs/EXPLAIN.md");
 
@@ -38,7 +39,7 @@ fn documented_table_names(heading: &str) -> Vec<String> {
 fn documented_operators() -> Vec<String> {
     let ops = documented_table_names("Operators");
     assert!(
-        ops.len() >= 15,
+        ops.len() >= 20,
         "operator table went missing from docs/EXPLAIN.md (found {ops:?})"
     );
     ops
@@ -129,6 +130,34 @@ fn every_documented_operator_is_emitted() {
             .unwrap(),
     );
 
+    // The parallel vocabulary needs dop > 1 and the page-count gate open.
+    let parallel = build_paper_db_with(
+        PaperScale {
+            departments: 8,
+            employees_per_dept: 3,
+            ..Default::default()
+        },
+        DbConfig {
+            plan: PlanOptions {
+                dop: 4,
+                parallel_min_pages: 1,
+                allow_oversubscribe: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    for text in [
+        // ExchangeGather + ParallelSeqScan.
+        "SELECT ename FROM EMP WHERE sal > 100",
+        // ParallelHashAggregate + ParallelHashJoin + ExchangeHashPartition.
+        "SELECT edno, COUNT(*) FROM EMP, DEPT WHERE edno = dno GROUP BY edno",
+    ] {
+        let plan = parallel.explain(text).unwrap();
+        assert!(plan.contains("dop: 4\n"), "{plan}");
+        corpus.push_str(&plan);
+    }
+
     for op in documented_operators() {
         assert!(
             corpus.contains(&op),
@@ -138,6 +167,9 @@ fn every_documented_operator_is_emitted() {
     }
     // And the header lines are real too.
     assert!(corpus.contains("mode: batch pipeline (batch_size="));
+    // (The default dop tracks the host's core count, so only the header's
+    // presence is asserted here; the dop=4 corpus above pins an exact value.)
+    assert!(corpus.contains("\ndop: "), "dop header missing");
     assert!(corpus.contains("visibility: snapshot (MVCC begin/end stamps)"));
     assert!(corpus.contains("shared cse0:"));
     assert!(corpus.contains("durability: none (in-memory)"));
