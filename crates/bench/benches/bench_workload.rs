@@ -1,0 +1,46 @@
+//! Criterion wrapper around the workload harness's two drivers.
+//!
+//! The authoritative workload numbers (per-op-class latency percentiles,
+//! oracle verdicts, the committed `BENCH_*.json` trajectory) come from the
+//! `workload` CLI in `crates/workload`; this bench gives the same drivers
+//! a criterion-style wall-clock trend line alongside the other
+//! `bench_*` lanes, at a deliberately small scale. The oracle stays ON —
+//! a perf number from a run that silently returned wrong answers is
+//! worthless.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xnf_workload::{run_tpcc, run_ycsb, TpccConfig, YcsbConfig};
+
+fn bench_ycsb(c: &mut Criterion) {
+    let cfg = YcsbConfig {
+        records: 1_000,
+        ops: 4_000,
+        clients: 4,
+        ..YcsbConfig::default()
+    };
+    c.bench_function("workload/ycsb_4k_ops_4_clients", |b| {
+        b.iter(|| {
+            let run = run_ycsb(&cfg);
+            run.violations.assert_clean("bench ycsb");
+            run.metrics.total_ops()
+        })
+    });
+}
+
+fn bench_tpcc(c: &mut Criterion) {
+    let cfg = TpccConfig {
+        txns: 1_000,
+        clients: 4,
+        ..TpccConfig::default()
+    };
+    c.bench_function("workload/tpcc_1k_txns_4_clients", |b| {
+        b.iter(|| {
+            let run = run_tpcc(&cfg);
+            run.violations.assert_clean("bench tpcc");
+            run.metrics.total_ops()
+        })
+    });
+}
+
+criterion_group!(benches, bench_ycsb, bench_tpcc);
+criterion_main!(benches);

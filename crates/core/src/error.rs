@@ -36,6 +36,22 @@ impl fmt::Display for XnfError {
     }
 }
 
+impl XnfError {
+    /// True when this error is a first-writer-wins MVCC write conflict —
+    /// the one error class concurrent writers are expected to retry.
+    /// Conflicts surface either directly from storage (commit-time
+    /// validation) or wrapped by the executor (in-statement row locking).
+    pub fn is_write_conflict(&self) -> bool {
+        matches!(
+            self,
+            XnfError::Storage(StorageError::WriteConflict { .. })
+                | XnfError::Exec(xnf_exec::ExecError::Storage(
+                    StorageError::WriteConflict { .. }
+                ))
+        )
+    }
+}
+
 impl std::error::Error for XnfError {}
 
 impl From<ParseError> for XnfError {

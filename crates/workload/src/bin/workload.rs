@@ -1,0 +1,331 @@
+//! Workload harness CLI.
+//!
+//! ```text
+//! workload ycsb  [--ops N] [--records N] [--clients N] [--seed N]
+//!                [--dist uniform|zipfian[:THETA]] [--no-oracle]
+//! workload tpcc  [--txns N] [--clients N] [--seed N] [--no-oracle]
+//! workload bench --pr N --title T [--out FILE] [--clients N] [--scale F]
+//! workload gate  [--dir DIR]
+//! workload schema-check [--dir DIR]
+//! ```
+//!
+//! `ycsb` / `tpcc` run one driver and print the latency table; with the
+//! oracle on (default) a non-zero violation count exits 1. `bench` runs
+//! both drivers at the committed reference configuration and writes a
+//! `BENCH_<pr>.json`-shaped report. `gate` replays the perf-regression
+//! gate over every committed `BENCH_*.json`; `schema-check` just parses
+//! them. `--dop` is accepted as an alias of `--clients`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xnf_workload::json::Json;
+use xnf_workload::keys::KeyDist;
+use xnf_workload::{gate_history, load_bench_dir, run_tpcc, run_ycsb, TpccConfig, YcsbConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: workload <ycsb|tpcc|bench|gate|schema-check> [flags]");
+        return ExitCode::FAILURE;
+    };
+    let flags = Flags::parse(&args[1..]);
+    match cmd.as_str() {
+        "ycsb" => cmd_ycsb(&flags),
+        "tpcc" => cmd_tpcc(&flags),
+        "bench" => cmd_bench(&flags),
+        "gate" => cmd_gate(&flags),
+        "schema-check" => cmd_schema_check(&flags),
+        other => {
+            eprintln!("unknown subcommand '{other}'");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal `--key value` / `--flag` parser.
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut pairs = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let key = a.trim_start_matches("--").to_string();
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                _ => None,
+            };
+            pairs.push((key, value));
+        }
+        Flags { pairs }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{key}: {v}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+
+    /// `--clients`, with `--dop` accepted as an alias.
+    fn clients(&self, default: usize) -> usize {
+        match self.get("clients").or_else(|| self.get("dop")) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --clients: {v}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+}
+
+fn cmd_ycsb(flags: &Flags) -> ExitCode {
+    let mut cfg = YcsbConfig::default();
+    cfg.records = flags.num("records", cfg.records);
+    cfg.ops = flags.num("ops", cfg.ops);
+    cfg.clients = flags.clients(cfg.clients);
+    cfg.seed = flags.num("seed", cfg.seed);
+    cfg.oracle = !flags.has("no-oracle");
+    if let Some(d) = flags.get("dist") {
+        cfg.dist = KeyDist::parse(d).unwrap_or_else(|| {
+            eprintln!("invalid --dist '{d}' (want uniform | zipfian[:THETA])");
+            std::process::exit(2);
+        });
+    }
+    let run = run_ycsb(&cfg);
+    print!("{}", run.metrics.render(run.violations.count()));
+    report_violations("ycsb", &run.violations, cfg.oracle)
+}
+
+fn cmd_tpcc(flags: &Flags) -> ExitCode {
+    let mut cfg = TpccConfig::default();
+    cfg.txns = flags.num("txns", cfg.txns);
+    cfg.clients = flags.clients(cfg.clients);
+    cfg.seed = flags.num("seed", cfg.seed);
+    cfg.oracle = !flags.has("no-oracle");
+    let run = run_tpcc(&cfg);
+    print!("{}", run.metrics.render(run.violations.count()));
+    report_violations("tpcc_lite", &run.violations, cfg.oracle)
+}
+
+fn report_violations(
+    driver: &str,
+    violations: &xnf_workload::Violations,
+    oracle: bool,
+) -> ExitCode {
+    if !oracle {
+        return ExitCode::SUCCESS;
+    }
+    if violations.count() > 0 {
+        eprintln!(
+            "{driver}: {} invariant violation(s):\n  {}",
+            violations.count(),
+            violations.samples().join("\n  ")
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("{driver}: oracle clean ({} checks)", violations.checks());
+    ExitCode::SUCCESS
+}
+
+/// The reference configuration committed in BENCH files. `scale`
+/// multiplies op counts (1.0 == the committed reference).
+fn reference_configs(clients: usize, scale: f64) -> (YcsbConfig, TpccConfig) {
+    let scaled = |n: u64| ((n as f64 * scale) as u64).max(1);
+    let ycsb = YcsbConfig {
+        records: 5_000,
+        ops: scaled(40_000),
+        clients,
+        ..YcsbConfig::default()
+    };
+    // Every TPC-C write commit pays the serialized dist_co CO-splice, so
+    // txn counts cost ~13ms each at 4 clients — 5k keeps the reference run
+    // (and the CI lane) around a minute while still making ~50k conflict
+    // retries' worth of contention.
+    let tpcc = TpccConfig {
+        txns: scaled(5_000),
+        clients,
+        ..TpccConfig::default()
+    };
+    (ycsb, tpcc)
+}
+
+fn cmd_bench(flags: &Flags) -> ExitCode {
+    let pr: u64 = flags.num("pr", 0);
+    if pr == 0 {
+        eprintln!("bench requires --pr <number>");
+        return ExitCode::FAILURE;
+    }
+    let title = flags
+        .get("title")
+        .unwrap_or("workload harness reference run")
+        .to_string();
+    let out_path: PathBuf = flags
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{pr}.json")));
+    let clients = flags.clients(4);
+    let scale: f64 = flags.num("scale", 1.0);
+    let (ycsb_cfg, tpcc_cfg) = reference_configs(clients, scale);
+
+    eprintln!(
+        "running ycsb reference ({} ops, {} clients)…",
+        ycsb_cfg.ops, ycsb_cfg.clients
+    );
+    let ycsb = run_ycsb(&ycsb_cfg);
+    eprint!("{}", ycsb.metrics.render(ycsb.violations.count()));
+    eprintln!(
+        "running tpcc_lite reference ({} txns, {} clients)…",
+        tpcc_cfg.txns, tpcc_cfg.clients
+    );
+    let tpcc = run_tpcc(&tpcc_cfg);
+    eprint!("{}", tpcc.metrics.render(tpcc.violations.count()));
+
+    let host = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(hostname_cmd)
+        .unwrap_or_else(|| "unknown".to_string());
+    let date = flags
+        .get("date")
+        .map(str::to_string)
+        .or_else(date_cmd)
+        .unwrap_or_else(|| "unknown".to_string());
+
+    let doc = Json::obj(vec![
+        ("pr", Json::num(pr as f64)),
+        ("title", Json::str(&title)),
+        ("date", Json::str(&date)),
+        ("host", Json::str(&host)),
+        (
+            "workload",
+            Json::obj(vec![
+                ("schema_version", Json::num(1.0)),
+                (
+                    "gate",
+                    Json::obj(vec![("max_regression_pct", Json::num(15.0))]),
+                ),
+                (
+                    "drivers",
+                    Json::Arr(vec![
+                        ycsb.metrics.to_json(
+                            ycsb_cfg.config_json(),
+                            ycsb_cfg.oracle,
+                            ycsb.violations.count(),
+                        ),
+                        tpcc.metrics.to_json(
+                            tpcc_cfg.config_json(),
+                            tpcc_cfg.oracle,
+                            tpcc.violations.count(),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, doc.to_pretty()) {
+        eprintln!("writing {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out_path.display());
+    let clean = ycsb.violations.count() == 0 && tpcc.violations.count() == 0;
+    if !clean {
+        for (name, run_v) in [("ycsb", &ycsb.violations), ("tpcc_lite", &tpcc.violations)] {
+            if run_v.count() > 0 {
+                eprintln!("{name} violations:\n  {}", run_v.samples().join("\n  "));
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn bench_dir(flags: &Flags) -> PathBuf {
+    flags
+        .get("dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn cmd_gate(flags: &Flags) -> ExitCode {
+    let dir = bench_dir(flags);
+    let files = match load_bench_dir(&dir) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed: Vec<_> = files.iter().map(|(_, f)| f.clone()).collect();
+    let outcome = gate_history(&parsed);
+    for line in &outcome.comparisons {
+        println!("  {line}");
+    }
+    if outcome.passed() {
+        println!("gate: PASS ({} comparison(s))", outcome.comparisons.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &outcome.failures {
+            eprintln!("gate: FAIL — {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_schema_check(flags: &Flags) -> ExitCode {
+    let dir = bench_dir(flags);
+    match load_bench_dir(&dir) {
+        Ok(files) => {
+            for (path, f) in &files {
+                println!(
+                    "  {}: pr {} ({}){}",
+                    path.display(),
+                    f.pr,
+                    f.title,
+                    if f.workload.is_some() {
+                        " + workload section"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            println!("schema-check: {} file(s) OK", files.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("schema-check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn hostname_cmd() -> Option<String> {
+    cmd_stdout("hostname", &[])
+}
+
+fn date_cmd() -> Option<String> {
+    cmd_stdout("date", &["+%Y-%m-%d"])
+}
+
+fn cmd_stdout(bin: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(bin).args(args).output().ok()?;
+    let s = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!s.is_empty()).then_some(s)
+}

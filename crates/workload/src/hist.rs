@@ -1,0 +1,196 @@
+//! Log-bucketed latency histograms (HdrHistogram-lite).
+//!
+//! Values are recorded in nanoseconds into buckets whose width grows
+//! geometrically: each power-of-two range is split into `1 << SUB_BITS`
+//! sub-buckets, bounding the relative quantile error at
+//! `1 / (1 << SUB_BITS)` (≈ 3% with 5 sub-bucket bits) across the full
+//! `u64` range. Recording is O(1) with no allocation after construction,
+//! histograms from different worker threads merge by bucket-wise addition,
+//! and quantile extraction walks the cumulative counts once.
+
+/// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per power of two.
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Bucket count covering all of `u64`: values below `SUB_COUNT` map
+/// linearly, every higher power of two contributes `SUB_COUNT` buckets.
+const BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * SUB_COUNT as usize;
+
+/// A fixed-size latency histogram over nanosecond values.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for a value: linear below `SUB_COUNT`, then
+/// (exponent, top `SUB_BITS` mantissa bits).
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = exp - SUB_BITS;
+    let sub = (v >> shift) & (SUB_COUNT - 1);
+    (((exp - SUB_BITS + 1) as u64 * SUB_COUNT) + sub) as usize
+}
+
+/// Representative value (sub-bucket midpoint) for a bucket index.
+fn value_of(bucket: usize) -> u64 {
+    let b = bucket as u64;
+    if b < SUB_COUNT {
+        return b;
+    }
+    let exp = (b / SUB_COUNT - 1) as u32 + SUB_BITS;
+    let sub = b % SUB_COUNT;
+    let shift = exp - SUB_BITS;
+    let low = (SUB_COUNT + sub) << shift;
+    low + (1u64 << shift) / 2
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one nanosecond measurement.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum += ns as u128;
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Fold another histogram into this one (cross-thread aggregation).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum recorded value in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value in nanoseconds.
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (bucket-midpoint resolution,
+    /// clamped to the exact observed min/max).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return value_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: (p50, p95, p99) in microseconds.
+    pub fn percentiles_us(&self) -> (f64, f64, f64) {
+        (
+            self.quantile_ns(0.50) as f64 / 1_000.0,
+            self.quantile_ns(0.95) as f64 / 1_000.0,
+            self.quantile_ns(0.99) as f64 / 1_000.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_round_trip_within_resolution() {
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, u64::MAX / 2] {
+            let rep = value_of(bucket_of(v));
+            let err = rep.abs_diff(v) as f64 / (v.max(1)) as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "v={v} rep={rep} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1_000); // 1µs .. 10ms
+        }
+        let p50 = h.quantile_ns(0.50) as f64;
+        let p99 = h.quantile_ns(0.99) as f64;
+        assert!((p50 / 5_000_000.0 - 1.0).abs() < 0.05, "p50={p50}");
+        assert!((p99 / 9_900_000.0 - 1.0).abs() < 0.05, "p99={p99}");
+        assert_eq!(h.max_ns(), 10_000_000);
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..1000u64 {
+            let target = if v % 2 == 0 { &mut a } else { &mut b };
+            target.record(v * 37);
+            whole.record(v * 37);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile_ns(q), whole.quantile_ns(q));
+        }
+        assert_eq!(a.max_ns(), whole.max_ns());
+    }
+}

@@ -1,0 +1,415 @@
+//! The committed `BENCH_*.json` schema and the CI perf-regression gate.
+//!
+//! Every PR that claims a perf result commits a `BENCH_<pr>.json` at the
+//! repository root. This module pins the shape those files must have so the
+//! regression gate and future re-anchors can rely on it:
+//!
+//! - a **header** every file carries: `pr` (number), `title`, `date`,
+//!   `host` (strings);
+//! - zero or more free-form bench sections (the PR-specific criterion
+//!   numbers — `bench_wal`, `bench_parallel`, …), which must be valid JSON
+//!   but are not otherwise constrained;
+//! - an optional **`workload`** section (PR 8 onward) with a strict shape:
+//!   `schema_version`, a `gate` object, and `drivers[]`, each driver with
+//!   `config`, `ops_per_sec`, `invariant_violations` and per-op-class
+//!   latency percentiles. This section is what the gate compares.
+//!
+//! [`gate_history`] walks the committed trajectory in PR order and fails if
+//! any driver's throughput dropped, or any op class's p99 rose, by more
+//! than the threshold (default 15%) between consecutive files that both
+//! carry a `workload` section.
+
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+
+/// Strict-shape error with the offending path for context.
+fn err(file: &str, msg: impl Into<String>) -> String {
+    format!("{file}: {}", msg.into())
+}
+
+/// Per-op-class latency record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpClassReport {
+    pub class: String,
+    pub count: u64,
+    pub ops_per_sec: f64,
+    pub mean_us: f64,
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+    pub max_us: f64,
+}
+
+/// One driver's run record inside the `workload` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverReport {
+    pub driver: String,
+    pub config: Json,
+    pub oracle: bool,
+    pub elapsed_ms: f64,
+    pub total_ops: u64,
+    pub ops_per_sec: f64,
+    pub conflict_retries: u64,
+    pub invariant_checks: u64,
+    pub invariant_violations: u64,
+    pub op_classes: Vec<OpClassReport>,
+}
+
+/// The strict `workload` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSection {
+    pub schema_version: u64,
+    /// Gate threshold in percent (throughput drop / p99 rise vs the
+    /// previous file).
+    pub max_regression_pct: f64,
+    pub drivers: Vec<DriverReport>,
+}
+
+/// A parsed BENCH file: pinned header + optional workload section + the
+/// full document for free-form sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    pub pr: u64,
+    pub title: String,
+    pub date: String,
+    pub host: String,
+    pub workload: Option<WorkloadSection>,
+    pub raw: Json,
+}
+
+fn get_num(obj: &Json, key: &str, file: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| err(file, format!("missing or non-numeric field '{key}'")))
+}
+
+fn get_u64(obj: &Json, key: &str, file: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err(file, format!("missing or non-integer field '{key}'")))
+}
+
+fn get_str(obj: &Json, key: &str, file: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| err(file, format!("missing or non-string field '{key}'")))
+}
+
+/// Parse and validate one BENCH file.
+pub fn parse_bench_file(text: &str, file: &str) -> Result<BenchFile, String> {
+    let raw = Json::parse(text).map_err(|e| err(file, e))?;
+    if raw.as_obj().is_none() {
+        return Err(err(file, "top level must be an object"));
+    }
+    let pr = get_u64(&raw, "pr", file)?;
+    let title = get_str(&raw, "title", file)?;
+    let date = get_str(&raw, "date", file)?;
+    let host = get_str(&raw, "host", file)?;
+    let workload = match raw.get("workload") {
+        None => None,
+        Some(w) => Some(parse_workload(w, file)?),
+    };
+    Ok(BenchFile {
+        pr,
+        title,
+        date,
+        host,
+        workload,
+        raw,
+    })
+}
+
+fn parse_workload(w: &Json, file: &str) -> Result<WorkloadSection, String> {
+    let schema_version = get_u64(w, "schema_version", file)?;
+    if schema_version != 1 {
+        return Err(err(
+            file,
+            format!("unknown schema_version {schema_version}"),
+        ));
+    }
+    let gate = w
+        .get("gate")
+        .ok_or_else(|| err(file, "workload section missing 'gate'"))?;
+    let max_regression_pct = get_num(gate, "max_regression_pct", file)?;
+    let drivers_json = w
+        .get("drivers")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err(file, "workload section missing 'drivers' array"))?;
+    if drivers_json.is_empty() {
+        return Err(err(file, "workload.drivers must not be empty"));
+    }
+    let mut drivers = Vec::new();
+    for d in drivers_json {
+        drivers.push(parse_driver(d, file)?);
+    }
+    Ok(WorkloadSection {
+        schema_version,
+        max_regression_pct,
+        drivers,
+    })
+}
+
+fn parse_driver(d: &Json, file: &str) -> Result<DriverReport, String> {
+    let driver = get_str(d, "driver", file)?;
+    let ctx = format!("{file} (driver '{driver}')");
+    let op_classes_json = d
+        .get("op_classes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err(&ctx, "missing 'op_classes' array"))?;
+    if op_classes_json.is_empty() {
+        return Err(err(&ctx, "op_classes must not be empty"));
+    }
+    let mut op_classes = Vec::new();
+    for oc in op_classes_json {
+        let class = get_str(oc, "class", &ctx)?;
+        let cctx = format!("{ctx} class '{class}'");
+        op_classes.push(OpClassReport {
+            class,
+            count: get_u64(oc, "count", &cctx)?,
+            ops_per_sec: get_num(oc, "ops_per_sec", &cctx)?,
+            mean_us: get_num(oc, "mean_us", &cctx)?,
+            p50_us: get_num(oc, "p50_us", &cctx)?,
+            p95_us: get_num(oc, "p95_us", &cctx)?,
+            p99_us: get_num(oc, "p99_us", &cctx)?,
+            max_us: get_num(oc, "max_us", &cctx)?,
+        });
+    }
+    Ok(DriverReport {
+        config: d
+            .get("config")
+            .cloned()
+            .ok_or_else(|| err(&ctx, "missing 'config'"))?,
+        oracle: d
+            .get("oracle")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| err(&ctx, "missing boolean 'oracle'"))?,
+        elapsed_ms: get_num(d, "elapsed_ms", &ctx)?,
+        total_ops: get_u64(d, "total_ops", &ctx)?,
+        ops_per_sec: get_num(d, "ops_per_sec", &ctx)?,
+        conflict_retries: get_u64(d, "conflict_retries", &ctx)?,
+        invariant_checks: get_u64(d, "invariant_checks", &ctx)?,
+        invariant_violations: get_u64(d, "invariant_violations", &ctx)?,
+        op_classes,
+        driver,
+    })
+}
+
+/// Find every `BENCH_<n>.json` in `dir`, parse, and return them sorted by
+/// PR number.
+pub fn load_bench_dir(dir: &Path) -> Result<Vec<(PathBuf, BenchFile)>, String> {
+    let mut files = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let parsed = parse_bench_file(&text, name)?;
+            let stem: u64 = name["BENCH_".len()..name.len() - ".json".len()]
+                .parse()
+                .map_err(|_| format!("{name}: file name is not BENCH_<pr>.json"))?;
+            if stem != parsed.pr {
+                return Err(format!(
+                    "{name}: file name PR {stem} != 'pr' field {}",
+                    parsed.pr
+                ));
+            }
+            files.push((path, parsed));
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("no BENCH_*.json files in {}", dir.display()));
+    }
+    files.sort_by_key(|(_, f)| f.pr);
+    Ok(files)
+}
+
+/// The gate's verdict: every comparison it made, plus the failures.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Human-readable log of each comparison performed.
+    pub comparisons: Vec<String>,
+    /// Regressions past the threshold. Empty == gate passes.
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Latency classes with fewer samples than this are too noisy to gate on.
+const GATE_MIN_SAMPLES: u64 = 100;
+
+/// Compare consecutive committed BENCH files (PR order). For each adjacent
+/// pair where **both** carry a `workload` section, each driver present in
+/// both is gated: aggregate throughput must not drop, and no op class's
+/// p99 may rise, by more than the newer file's `gate.max_regression_pct`.
+/// Files without a workload section (PR ≤ 7) anchor nothing and are
+/// reported as skipped.
+pub fn gate_history(files: &[BenchFile]) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    let with_workload: Vec<&BenchFile> = files.iter().filter(|f| f.workload.is_some()).collect();
+    for f in files.iter().filter(|f| f.workload.is_none()) {
+        out.comparisons.push(format!(
+            "BENCH_{}.json: no workload section (pre-harness file) — skipped",
+            f.pr
+        ));
+    }
+    if with_workload.len() < 2 {
+        out.comparisons.push(format!(
+            "{} file(s) with a workload section: nothing to compare yet (baseline established)",
+            with_workload.len()
+        ));
+        return out;
+    }
+    for pair in with_workload.windows(2) {
+        let (prev, cur) = (pair[0], pair[1]);
+        gate_pair(prev, cur, &mut out);
+    }
+    out
+}
+
+/// Gate one (previous, current) pair of workload-bearing BENCH files.
+pub fn gate_pair(prev: &BenchFile, cur: &BenchFile, out: &mut GateOutcome) {
+    let prev_w = prev.workload.as_ref().expect("gate_pair needs workload");
+    let cur_w = cur.workload.as_ref().expect("gate_pair needs workload");
+    let pct = cur_w.max_regression_pct;
+    for cur_d in &cur_w.drivers {
+        let Some(prev_d) = prev_w.drivers.iter().find(|d| d.driver == cur_d.driver) else {
+            out.comparisons.push(format!(
+                "PR {} → {}: driver '{}' is new — skipped",
+                prev.pr, cur.pr, cur_d.driver
+            ));
+            continue;
+        };
+        if cur_d.invariant_violations > 0 {
+            out.failures.push(format!(
+                "PR {}: driver '{}' recorded {} oracle invariant violations",
+                cur.pr, cur_d.driver, cur_d.invariant_violations
+            ));
+        }
+        // Throughput: lower is worse.
+        let drop_pct = 100.0 * (1.0 - cur_d.ops_per_sec / prev_d.ops_per_sec);
+        out.comparisons.push(format!(
+            "PR {} → {}: {} throughput {:.0} → {:.0} ops/s ({:+.1}%)",
+            prev.pr, cur.pr, cur_d.driver, prev_d.ops_per_sec, cur_d.ops_per_sec, -drop_pct
+        ));
+        if drop_pct > pct {
+            out.failures.push(format!(
+                "PR {}: driver '{}' throughput regressed {:.1}% ({:.0} → {:.0} ops/s, threshold {pct}%)",
+                cur.pr, cur_d.driver, drop_pct, prev_d.ops_per_sec, cur_d.ops_per_sec
+            ));
+        }
+        // Per-class p99: higher is worse.
+        for cur_c in &cur_d.op_classes {
+            let Some(prev_c) = prev_d.op_classes.iter().find(|c| c.class == cur_c.class) else {
+                continue;
+            };
+            if prev_c.count < GATE_MIN_SAMPLES || cur_c.count < GATE_MIN_SAMPLES {
+                continue;
+            }
+            let rise_pct = 100.0 * (cur_c.p99_us / prev_c.p99_us - 1.0);
+            out.comparisons.push(format!(
+                "PR {} → {}: {}/{} p99 {:.1} → {:.1} µs ({:+.1}%)",
+                prev.pr, cur.pr, cur_d.driver, cur_c.class, prev_c.p99_us, cur_c.p99_us, rise_pct
+            ));
+            if rise_pct > pct {
+                out.failures.push(format!(
+                    "PR {}: driver '{}' class '{}' p99 regressed {:.1}% ({:.1} → {:.1} µs, threshold {pct}%)",
+                    cur.pr, cur_d.driver, cur_c.class, rise_pct, prev_c.p99_us, cur_c.p99_us
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_workload_file(pr: u64, ops_per_sec: f64, p99_us: f64) -> BenchFile {
+        let text = format!(
+            r#"{{
+  "pr": {pr},
+  "title": "synthetic",
+  "date": "2026-08-08",
+  "host": "test",
+  "workload": {{
+    "schema_version": 1,
+    "gate": {{ "max_regression_pct": 15 }},
+    "drivers": [
+      {{
+        "driver": "ycsb",
+        "config": {{}},
+        "oracle": true,
+        "elapsed_ms": 1000,
+        "total_ops": 10000,
+        "ops_per_sec": {ops_per_sec},
+        "conflict_retries": 3,
+        "invariant_checks": 100,
+        "invariant_violations": 0,
+        "op_classes": [
+          {{ "class": "read", "count": 9000, "ops_per_sec": {ops_per_sec},
+             "mean_us": 10, "p50_us": 9, "p95_us": 20, "p99_us": {p99_us}, "max_us": 500 }}
+        ]
+      }}
+    ]
+  }}
+}}"#
+        );
+        parse_bench_file(&text, &format!("BENCH_{pr}.json")).unwrap()
+    }
+
+    #[test]
+    fn header_fields_are_required() {
+        assert!(parse_bench_file(r#"{"pr": 1}"#, "f").is_err());
+        assert!(parse_bench_file(
+            r#"{"pr": "x", "title": "t", "date": "d", "host": "h"}"#,
+            "f"
+        )
+        .is_err());
+        assert!(
+            parse_bench_file(r#"{"pr": 1, "title": "t", "date": "d", "host": "h"}"#, "f").is_ok()
+        );
+    }
+
+    #[test]
+    fn workload_section_shape_is_strict() {
+        let bad = r#"{"pr": 1, "title": "t", "date": "d", "host": "h",
+                      "workload": {"schema_version": 1}}"#;
+        assert!(parse_bench_file(bad, "f").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fires_past_it() {
+        let prev = minimal_workload_file(8, 10_000.0, 30.0);
+        let ok = minimal_workload_file(9, 9_000.0, 33.0); // -10% / +10%
+        let out = gate_history(&[prev.clone(), ok]);
+        assert!(out.passed(), "failures: {:?}", out.failures);
+
+        let slow = minimal_workload_file(9, 8_000.0, 30.0); // -20% throughput
+        let out = gate_history(&[prev.clone(), slow]);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("throughput regressed 20.0%"));
+
+        let spiky = minimal_workload_file(9, 10_000.0, 40.0); // +33% p99
+        let out = gate_history(&[prev, spiky]);
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("p99 regressed"));
+    }
+
+    #[test]
+    fn pre_harness_files_anchor_nothing() {
+        let legacy =
+            parse_bench_file(r#"{"pr": 6, "title": "t", "date": "d", "host": "h"}"#, "f").unwrap();
+        let first = minimal_workload_file(8, 10_000.0, 30.0);
+        let out = gate_history(&[legacy, first]);
+        assert!(out.passed());
+        assert!(out.comparisons.iter().any(|c| c.contains("baseline")));
+    }
+}

@@ -1,0 +1,865 @@
+//! TPC-C-lite driver: a warehouse / district / customer / orders schema
+//! with multi-statement transfer transactions, hot district rows,
+//! matview-backed order summaries, a materialized district→customer→orders
+//! composite-object view, and deliberate write-conflict pressure.
+//!
+//! **Oracle contract.** The seeded stream pre-decides everything that
+//! affects final state: which transactions run, their amounts, their order
+//! ids (globally unique, allocated at generation time), and which ones
+//! deliberately ROLLBACK. All writes are either *additive* (balance and
+//! ytd deltas, `d_next_o_id + 1`) or *uniquely-keyed inserts*, and
+//! conflicted transactions retry until they commit — so the engine's final
+//! state equals the in-memory model's replay of the committed stream under
+//! any interleaving and any client count, which the quiesce check asserts
+//! table-by-table. Mid-storm, clients continuously assert the
+//! interleaving-independent invariants: the conserved total
+//! `SUM(c_balance) + SUM(o_amount)` under a single snapshot, repeatable
+//! reads and read-your-writes inside transactions (including reading back
+//! a just-inserted order and a just-bumped `d_next_o_id`), and sane
+//! summary-matview contents.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xnf_core::client_server::run_sessions;
+use xnf_core::{Database, Session, Value, XnfError};
+
+use crate::json::Json;
+use crate::keys::{KeyChooser, KeyDist};
+use crate::metrics::{ClassRecorder, DriverMetrics};
+use crate::oracle::{abort_quietly, canon_co, retry_conflicts, rows_of, Violations};
+
+/// The district→customer→orders composite object (the CO-serving shape the
+/// paper's evaluation revolves around), materialized as `dist_co`.
+pub const DIST_CO: &str = "\
+OUT OF xdist AS DISTRICT,
+       xcust AS CUSTOMER,
+       xord AS ORDERS,
+       residency AS (RELATE xdist VIA HOUSES, xcust WHERE xdist.d_id = xcust.c_d_id),
+       purchases AS (RELATE xcust VIA PLACED, xord WHERE xcust.c_id = xord.o_c_id)
+TAKE *";
+
+/// Transaction-mix weights.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccMix {
+    pub transfer: u32,
+    pub new_order: u32,
+    pub order_status: u32,
+    pub summary: u32,
+    pub co_fetch: u32,
+}
+
+impl Default for TpccMix {
+    fn default() -> Self {
+        TpccMix {
+            transfer: 35,
+            new_order: 35,
+            order_status: 15,
+            summary: 10,
+            co_fetch: 5,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    pub warehouses: u64,
+    pub districts_per_w: u64,
+    pub customers_per_d: u64,
+    /// Total transactions across all clients.
+    pub txns: u64,
+    pub clients: usize,
+    pub seed: u64,
+    pub mix: TpccMix,
+    /// Percent of write transactions that deliberately ROLLBACK (decided at
+    /// generation time, so the model can skip them exactly).
+    pub rollback_pct: u32,
+    /// Skew of customer choice (hot customers → hot district rows).
+    pub customer_dist: KeyDist,
+    pub oracle: bool,
+    /// Per-client cadence of the heavier continuous checks.
+    pub check_every: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            warehouses: 2,
+            districts_per_w: 4,
+            customers_per_d: 25,
+            txns: 6_000,
+            clients: 4,
+            seed: 0x0005_EED2,
+            mix: TpccMix::default(),
+            rollback_pct: 5,
+            customer_dist: KeyDist::Zipfian(0.8),
+            oracle: true,
+            check_every: 48,
+        }
+    }
+}
+
+impl TpccConfig {
+    pub fn districts(&self) -> u64 {
+        self.warehouses * self.districts_per_w
+    }
+
+    pub fn customers(&self) -> u64 {
+        self.districts() * self.customers_per_d
+    }
+
+    pub fn config_json(&self) -> Json {
+        Json::obj(vec![
+            ("warehouses", Json::num(self.warehouses as f64)),
+            ("districts_per_w", Json::num(self.districts_per_w as f64)),
+            ("customers_per_d", Json::num(self.customers_per_d as f64)),
+            ("txns", Json::num(self.txns as f64)),
+            ("clients", Json::num(self.clients as f64)),
+            ("seed", Json::num(self.seed as f64)),
+            ("rollback_pct", Json::num(self.rollback_pct as f64)),
+            ("customer_dist", Json::str(self.customer_dist.label())),
+            (
+                "mix",
+                Json::obj(vec![
+                    ("transfer", Json::num(self.mix.transfer as f64)),
+                    ("new_order", Json::num(self.mix.new_order as f64)),
+                    ("order_status", Json::num(self.mix.order_status as f64)),
+                    ("summary", Json::num(self.mix.summary as f64)),
+                    ("co_fetch", Json::num(self.mix.co_fetch as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+const INITIAL_BALANCE: i64 = 1_000;
+const INITIAL_NEXT_O_ID: i64 = 1;
+
+/// One generated transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TpccTxn {
+    /// Move `amount` between two customers and bump the payer's district
+    /// ytd (hot row) — conserves `SUM(c_balance)`.
+    Transfer {
+        from: i64,
+        to: i64,
+        amount: i64,
+        district: i64,
+        rollback: bool,
+    },
+    /// Allocate an order id, insert the order, debit the customer — moves
+    /// `amount` from `c_balance` into `o_amount` (conserving the total).
+    NewOrder {
+        customer: i64,
+        district: i64,
+        warehouse: i64,
+        o_id: i64,
+        amount: i64,
+        rollback: bool,
+    },
+    /// Read-only: customer balance (twice — repeatable read) + their order
+    /// aggregate; at cadence, the conserved-sum snapshot check.
+    OrderStatus { customer: i64 },
+    /// Read the matview-backed per-district order summary.
+    Summary { district: i64 },
+    /// Point CO fetch of one district's customer/orders subtree.
+    CoFetch { district: i64 },
+}
+
+impl TpccTxn {
+    fn rollback(&self) -> bool {
+        match self {
+            TpccTxn::Transfer { rollback, .. } | TpccTxn::NewOrder { rollback, .. } => *rollback,
+            _ => false,
+        }
+    }
+}
+
+/// Generate the full deterministic transaction stream.
+pub fn generate_stream(cfg: &TpccConfig) -> Vec<TpccTxn> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let chooser = KeyChooser::new(cfg.customer_dist, cfg.customers());
+    let m = cfg.mix;
+    let total = m.transfer + m.new_order + m.order_status + m.summary + m.co_fetch;
+    assert!(total > 0, "empty txn mix");
+    let customers = cfg.customers() as i64;
+    let mut next_o_id: i64 = 1;
+    let mut txns = Vec::with_capacity(cfg.txns as usize);
+    for _ in 0..cfg.txns {
+        let roll = rng.gen_range(0..total);
+        let rollback = rng.gen_range(0..100u32) < cfg.rollback_pct;
+        let txn = if roll < m.transfer {
+            let from = chooser.next(&mut rng) as i64;
+            let to = (from + rng.gen_range(1..customers)) % customers;
+            TpccTxn::Transfer {
+                from,
+                to,
+                amount: rng.gen_range(1..50i64),
+                district: from / cfg.customers_per_d as i64,
+                rollback,
+            }
+        } else if roll < m.transfer + m.new_order {
+            let customer = chooser.next(&mut rng) as i64;
+            let district = customer / cfg.customers_per_d as i64;
+            let o_id = next_o_id;
+            next_o_id += 1;
+            TpccTxn::NewOrder {
+                customer,
+                district,
+                warehouse: district / cfg.districts_per_w as i64,
+                o_id,
+                amount: rng.gen_range(1..30i64),
+                rollback,
+            }
+        } else if roll < m.transfer + m.new_order + m.order_status {
+            TpccTxn::OrderStatus {
+                customer: chooser.next(&mut rng) as i64,
+            }
+        } else if roll < m.transfer + m.new_order + m.order_status + m.summary {
+            TpccTxn::Summary {
+                district: rng.gen_range(0..cfg.districts()) as i64,
+            }
+        } else {
+            TpccTxn::CoFetch {
+                district: rng.gen_range(0..cfg.districts()) as i64,
+            }
+        };
+        txns.push(txn);
+    }
+    txns
+}
+
+/// In-memory model of the committed stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TpccModel {
+    /// c_id → c_balance.
+    pub balances: BTreeMap<i64, i64>,
+    /// d_id → (d_ytd, d_next_o_id).
+    pub districts: BTreeMap<i64, (i64, i64)>,
+    /// o_id → (customer, district, warehouse, amount).
+    pub orders: BTreeMap<i64, (i64, i64, i64, i64)>,
+}
+
+impl TpccModel {
+    pub fn load(cfg: &TpccConfig) -> TpccModel {
+        TpccModel {
+            balances: (0..cfg.customers() as i64)
+                .map(|c| (c, INITIAL_BALANCE))
+                .collect(),
+            districts: (0..cfg.districts() as i64)
+                .map(|d| (d, (0, INITIAL_NEXT_O_ID)))
+                .collect(),
+            orders: BTreeMap::new(),
+        }
+    }
+
+    /// Replay one transaction; rollback-flagged ones are skipped exactly as
+    /// the engine rolls them back.
+    pub fn apply(&mut self, txn: &TpccTxn) {
+        if txn.rollback() {
+            return;
+        }
+        match txn {
+            TpccTxn::Transfer {
+                from,
+                to,
+                amount,
+                district,
+                ..
+            } => {
+                *self.balances.get_mut(from).unwrap() -= amount;
+                *self.balances.get_mut(to).unwrap() += amount;
+                self.districts.get_mut(district).unwrap().0 += amount;
+            }
+            TpccTxn::NewOrder {
+                customer,
+                district,
+                warehouse,
+                o_id,
+                amount,
+                ..
+            } => {
+                self.districts.get_mut(district).unwrap().1 += 1;
+                let prev = self
+                    .orders
+                    .insert(*o_id, (*customer, *district, *warehouse, *amount));
+                assert!(prev.is_none(), "stream generated a duplicate order id");
+                *self.balances.get_mut(customer).unwrap() -= amount;
+            }
+            TpccTxn::OrderStatus { .. } | TpccTxn::Summary { .. } | TpccTxn::CoFetch { .. } => {}
+        }
+    }
+
+    pub fn replay(cfg: &TpccConfig, stream: &[TpccTxn]) -> TpccModel {
+        let mut m = TpccModel::load(cfg);
+        for txn in stream {
+            m.apply(txn);
+        }
+        m
+    }
+
+    /// The conserved quantity: money is only ever moved between customer
+    /// balances and order amounts.
+    pub fn conserved_total(cfg: &TpccConfig) -> i64 {
+        cfg.customers() as i64 * INITIAL_BALANCE
+    }
+}
+
+/// Build and load the TPC-C-lite database.
+pub fn build_tpcc_db(cfg: &TpccConfig) -> Database {
+    let db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE WAREHOUSE (w_id INT NOT NULL, w_name VARCHAR(16));
+         CREATE TABLE DISTRICT (d_id INT NOT NULL, d_w_id INT, d_ytd INT, d_next_o_id INT);
+         CREATE TABLE CUSTOMER (c_id INT NOT NULL, c_d_id INT, c_w_id INT, c_balance INT);
+         CREATE TABLE ORDERS (o_id INT NOT NULL, o_c_id INT, o_d_id INT, o_w_id INT, o_amount INT);
+         CREATE INDEX district_id ON DISTRICT (d_id);
+         CREATE INDEX customer_id ON CUSTOMER (c_id);
+         CREATE INDEX customer_district ON CUSTOMER (c_d_id);
+         CREATE INDEX orders_id ON ORDERS (o_id);
+         CREATE INDEX orders_customer ON ORDERS (o_c_id);
+         CREATE INDEX orders_district ON ORDERS (o_d_id);",
+    )
+    .expect("tpcc schema");
+
+    let session = db.session();
+    session.begin().expect("begin load");
+    for w in 0..cfg.warehouses as i64 {
+        session
+            .execute(
+                "INSERT INTO WAREHOUSE VALUES (?, ?)",
+                &[Value::Int(w), Value::Str(format!("wh-{w}"))],
+            )
+            .expect("warehouse");
+    }
+    let mut ins_d = session
+        .prepare("INSERT INTO DISTRICT VALUES (?, ?, ?, ?)")
+        .expect("prepare district");
+    for d in 0..cfg.districts() as i64 {
+        ins_d
+            .execute_with(&[
+                Value::Int(d),
+                Value::Int(d / cfg.districts_per_w as i64),
+                Value::Int(0),
+                Value::Int(INITIAL_NEXT_O_ID),
+            ])
+            .expect("district");
+    }
+    let mut ins_c = session
+        .prepare("INSERT INTO CUSTOMER VALUES (?, ?, ?, ?)")
+        .expect("prepare customer");
+    for c in 0..cfg.customers() as i64 {
+        let d = c / cfg.customers_per_d as i64;
+        ins_c
+            .execute_with(&[
+                Value::Int(c),
+                Value::Int(d),
+                Value::Int(d / cfg.districts_per_w as i64),
+                Value::Int(INITIAL_BALANCE),
+            ])
+            .expect("customer");
+    }
+    session.commit().expect("commit load");
+
+    // Matview-backed order summaries + the materialized CO view, created
+    // post-load and incrementally maintained under the storm.
+    db.execute(
+        "CREATE MATERIALIZED VIEW ord_sum AS \
+         SELECT o_d_id AS d, COUNT(*) AS n, SUM(o_amount) AS total FROM ORDERS GROUP BY o_d_id",
+    )
+    .expect("ord_sum");
+    db.execute(&format!("CREATE MATERIALIZED VIEW dist_co AS {DIST_CO}"))
+        .expect("dist_co");
+    db
+}
+
+pub struct TpccRun {
+    pub metrics: DriverMetrics,
+    pub violations: Arc<Violations>,
+    pub model: TpccModel,
+}
+
+pub fn run_tpcc(cfg: &TpccConfig) -> TpccRun {
+    assert!(cfg.clients > 0, "need at least one client");
+    let db = Arc::new(build_tpcc_db(cfg));
+    let stream = Arc::new(generate_stream(cfg));
+    let violations = Arc::new(Violations::new());
+    let retries_total = AtomicU64::new(0);
+
+    // Replay the stream up front: the quiesce differential needs it, and
+    // the workers use the final per-district order summary as an upper
+    // bound for the continuous matview checks.
+    let model = TpccModel::replay(cfg, &stream);
+    let mut final_summary: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
+    for (_, d, _, a) in model.orders.values() {
+        let e = final_summary.entry(*d).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += a;
+    }
+
+    let start = Instant::now();
+    let recorders = run_sessions(&db, cfg.clients, |client, session| {
+        let mut rec = ClassRecorder::default();
+        let mut retries = 0u64;
+        let mut worker = TpccWorker {
+            cfg,
+            session,
+            violations: &violations,
+            final_summary: &final_summary,
+            last_summary: BTreeMap::new(),
+            seen: 0,
+        };
+        for (index, txn) in stream.iter().enumerate() {
+            if index % cfg.clients != client {
+                continue;
+            }
+            let t0 = Instant::now();
+            let (class, r) = worker.run_txn(txn);
+            rec.record(class, t0.elapsed());
+            retries += r;
+        }
+        retries_total.fetch_add(retries, Ordering::Relaxed);
+        rec
+    });
+    let elapsed = start.elapsed();
+
+    if cfg.oracle {
+        quiesce_check(&db, cfg, &model, &violations);
+    }
+
+    let metrics = DriverMetrics::aggregate(
+        "tpcc_lite",
+        recorders,
+        elapsed,
+        retries_total.load(Ordering::Relaxed),
+        violations.checks(),
+    );
+    TpccRun {
+        metrics,
+        violations,
+        model,
+    }
+}
+
+struct TpccWorker<'a, 'db> {
+    cfg: &'a TpccConfig,
+    session: &'a Session<'db>,
+    violations: &'a Violations,
+    /// Final per-district `(order count, amount sum)` from the replayed
+    /// model — the upper bound any mid-storm `ord_sum` observation may hit.
+    final_summary: &'a BTreeMap<i64, (i64, i64)>,
+    /// This worker's last `ord_sum` observation per district (the summary
+    /// history is append-only, so observations must be monotone).
+    last_summary: BTreeMap<i64, (i64, i64)>,
+    seen: u64,
+}
+
+impl TpccWorker<'_, '_> {
+    fn run_txn(&mut self, txn: &TpccTxn) -> (&'static str, u64) {
+        self.seen += 1;
+        match txn {
+            TpccTxn::Transfer {
+                from,
+                to,
+                amount,
+                district,
+                rollback,
+            } => (
+                "transfer",
+                self.transfer(*from, *to, *amount, *district, *rollback),
+            ),
+            TpccTxn::NewOrder {
+                customer,
+                district,
+                warehouse,
+                o_id,
+                amount,
+                rollback,
+            } => (
+                "new_order",
+                self.new_order(*customer, *district, *warehouse, *o_id, *amount, *rollback),
+            ),
+            TpccTxn::OrderStatus { customer } => ("order_status", self.order_status(*customer)),
+            TpccTxn::Summary { district } => ("summary", self.summary(*district)),
+            TpccTxn::CoFetch { district } => ("co_fetch", self.co_fetch(*district)),
+        }
+    }
+
+    fn transfer(&self, from: i64, to: i64, amount: i64, district: i64, rollback: bool) -> u64 {
+        let session = self.session;
+        let ((), retries) = retry_conflicts(|| {
+            session.begin()?;
+            let body = (|| {
+                session.execute(
+                    "UPDATE CUSTOMER SET c_balance = c_balance - ? WHERE c_id = ?",
+                    &[Value::Int(amount), Value::Int(from)],
+                )?;
+                session.execute(
+                    "UPDATE CUSTOMER SET c_balance = c_balance + ? WHERE c_id = ?",
+                    &[Value::Int(amount), Value::Int(to)],
+                )?;
+                // Hot row: every transfer from this district contends here.
+                session.execute(
+                    "UPDATE DISTRICT SET d_ytd = d_ytd + ? WHERE d_id = ?",
+                    &[Value::Int(amount), Value::Int(district)],
+                )?;
+                Ok::<(), XnfError>(())
+            })();
+            match body {
+                Ok(()) if rollback => session.rollback(),
+                Ok(()) => session.commit(),
+                Err(e) => {
+                    abort_quietly(session);
+                    // A deliberate-rollback txn that conflicted has already
+                    // "happened" (its effects are discarded either way).
+                    if rollback {
+                        Ok(())
+                    } else {
+                        Err(e)
+                    }
+                }
+            }
+        });
+        retries
+    }
+
+    fn new_order(
+        &self,
+        customer: i64,
+        district: i64,
+        warehouse: i64,
+        o_id: i64,
+        amount: i64,
+        rollback: bool,
+    ) -> u64 {
+        let session = self.session;
+        let v = self.violations;
+        let ((), retries) = retry_conflicts(|| {
+            session.begin()?;
+            let body = (|| {
+                let before = read_one_int(
+                    session,
+                    "SELECT d_next_o_id FROM DISTRICT WHERE d_id = ?",
+                    district,
+                )?;
+                session.execute(
+                    "UPDATE DISTRICT SET d_next_o_id = d_next_o_id + 1 WHERE d_id = ?",
+                    &[Value::Int(district)],
+                )?;
+                let after = read_one_int(
+                    session,
+                    "SELECT d_next_o_id FROM DISTRICT WHERE d_id = ?",
+                    district,
+                )?;
+                v.check_eq(after, before + 1, || {
+                    format!("new_order(d{district}): read-your-writes on d_next_o_id")
+                });
+                session.execute(
+                    "INSERT INTO ORDERS VALUES (?, ?, ?, ?, ?)",
+                    &[
+                        Value::Int(o_id),
+                        Value::Int(customer),
+                        Value::Int(district),
+                        Value::Int(warehouse),
+                        Value::Int(amount),
+                    ],
+                )?;
+                session.execute(
+                    "UPDATE CUSTOMER SET c_balance = c_balance - ? WHERE c_id = ?",
+                    &[Value::Int(amount), Value::Int(customer)],
+                )?;
+                // Read-your-writes on the insert: the new order is visible
+                // inside its own transaction.
+                let got =
+                    read_one_int(session, "SELECT o_amount FROM ORDERS WHERE o_id = ?", o_id)?;
+                v.check_eq(got, amount, || {
+                    format!("new_order({o_id}): inserted order not visible in-txn")
+                });
+                Ok::<(), XnfError>(())
+            })();
+            match body {
+                Ok(()) if rollback => session.rollback(),
+                Ok(()) => session.commit(),
+                Err(e) => {
+                    abort_quietly(session);
+                    if rollback {
+                        Ok(())
+                    } else {
+                        Err(e)
+                    }
+                }
+            }
+        });
+        retries
+    }
+
+    fn order_status(&self, customer: i64) -> u64 {
+        let session = self.session;
+        let v = self.violations;
+        session.begin().expect("begin read txn");
+        let b1 = read_one_int(
+            session,
+            "SELECT c_balance FROM CUSTOMER WHERE c_id = ?",
+            customer,
+        )
+        .expect("balance");
+        let agg = session
+            .query(
+                "SELECT COUNT(*), SUM(o_amount) FROM ORDERS WHERE o_c_id = ?",
+                &[Value::Int(customer)],
+            )
+            .expect("order agg");
+        let row = &agg.try_table().expect("one stream").rows[0];
+        let n_orders = row[0].as_int().unwrap();
+        v.check(n_orders >= 0, || "order count negative".to_string());
+        let b2 = read_one_int(
+            session,
+            "SELECT c_balance FROM CUSTOMER WHERE c_id = ?",
+            customer,
+        )
+        .expect("balance again");
+        v.check_eq(b2, b1, || {
+            format!("order_status({customer}): repeatable read on c_balance")
+        });
+        if self.seen.is_multiple_of(self.cfg.check_every) {
+            // Conserved total under one snapshot: every unit of money is in
+            // a customer balance or an order amount.
+            let balances = read_sum(session, "SELECT SUM(c_balance) FROM CUSTOMER").unwrap_or(0);
+            let orders = read_sum(session, "SELECT SUM(o_amount) FROM ORDERS").unwrap_or(0);
+            v.check_eq(
+                balances + orders,
+                TpccModel::conserved_total(self.cfg),
+                || "order_status: conserved balance+orders total broken mid-storm".to_string(),
+            );
+        }
+        session.commit().expect("commit read txn");
+        0
+    }
+
+    fn summary(&mut self, district: i64) -> u64 {
+        let session = self.session;
+        let v = self.violations;
+        session.begin().expect("begin summary txn");
+        let mv = query_opt_pair(
+            session,
+            "SELECT n, total FROM ord_sum WHERE d = ?",
+            district,
+        );
+        let base = {
+            let r = session
+                .query(
+                    "SELECT COUNT(*), SUM(o_amount) FROM ORDERS WHERE o_d_id = ?",
+                    &[Value::Int(district)],
+                )
+                .expect("base agg");
+            let row = &r.try_table().expect("one stream").rows[0];
+            let n = row[0].as_int().unwrap();
+            if n == 0 {
+                None
+            } else {
+                Some((n, row[1].as_int().unwrap()))
+            }
+        };
+        session.commit().expect("commit summary txn");
+        if self.cfg.clients == 1 {
+            // Single client: maintenance of every commit this thread made
+            // completed before the commit call returned, so the matview is
+            // exactly current.
+            v.check_eq(mv, base, || {
+                format!("summary(d{district}): ord_sum matview != base aggregation")
+            });
+        } else if let Some((n, total)) = mv {
+            // Concurrent clients: maintenance writes land outside the base
+            // commit's stamp, so a snapshot can catch the matview behind
+            // *or* ahead of its base tables — an exact comparison is only
+            // meaningful at quiesce. What must hold mid-storm is that any
+            // observed group row is a *complete* state on the district's
+            // append-only summary history: internally consistent (amounts
+            // are ≥ 1 each), never past the stream's final value, and
+            // monotone across this worker's observations.
+            let (fin_n, fin_total) = self.final_summary.get(&district).copied().unwrap_or((0, 0));
+            let (last_n, last_total) = self.last_summary.get(&district).copied().unwrap_or((0, 0));
+            v.check(
+                n >= 1 && total >= n && n <= fin_n && total <= fin_total,
+                || {
+                    format!(
+                        "summary(d{district}): ord_sum ({n}, {total}) is not a valid state \
+                         on the way to final ({fin_n}, {fin_total})"
+                    )
+                },
+            );
+            v.check(n >= last_n && total >= last_total, || {
+                format!(
+                    "summary(d{district}): ord_sum went backwards \
+                     (({last_n}, {last_total}) then ({n}, {total}))"
+                )
+            });
+            self.last_summary.insert(district, (n, total));
+        }
+        0
+    }
+
+    fn co_fetch(&self, district: i64) -> u64 {
+        let session = self.session;
+        let v = self.violations;
+        let co = session
+            .database()
+            .fetch_co_point("dist_co", &Value::Int(district))
+            .expect("co point fetch");
+        let roots = co.workspace.component("xdist").expect("xdist").len();
+        let custs = co.workspace.component("xcust").expect("xcust").len() as u64;
+        if self.cfg.clients == 1 {
+            // Single client: CO maintenance has fully caught up, so the
+            // subtree shape is exact (customers never move between
+            // districts in this workload).
+            v.check_eq((roots, custs), (1, self.cfg.customers_per_d), || {
+                format!("co_fetch(d{district}): wrong (roots, customers) subtree shape")
+            });
+        } else {
+            // Concurrent clients: the splice (cascade-delete + re-extract)
+            // is piecemeal-visible, so a fetch can catch the subtree
+            // partially rebuilt — but never *larger* than its true shape.
+            // Exactness is asserted by the quiesce canon comparison.
+            v.check(roots <= 1 && custs <= self.cfg.customers_per_d, || {
+                format!(
+                    "co_fetch(d{district}): subtree larger than its true shape \
+                     ({roots} roots, {custs} customers)"
+                )
+            });
+        }
+        0
+    }
+}
+
+fn read_one_int(session: &Session<'_>, sql: &str, param: i64) -> Result<i64, XnfError> {
+    let r = session.query(sql, &[Value::Int(param)])?;
+    let rows = &r.try_table().map_err(XnfError::from)?.rows;
+    assert_eq!(rows.len(), 1, "expected one row from `{sql}` ({param})");
+    Ok(rows[0][0].as_int().expect("integer column"))
+}
+
+/// `SUM(...)` over a possibly-empty set: NULL folds to None.
+fn read_sum(session: &Session<'_>, sql: &str) -> Option<i64> {
+    let r = session.query(sql, &[]).expect("sum query");
+    r.try_table().expect("one stream").rows[0][0].as_int().ok()
+}
+
+/// (n, total) from a keyed matview lookup; no row → None.
+fn query_opt_pair(session: &Session<'_>, sql: &str, param: i64) -> Option<(i64, i64)> {
+    let r = session.query(sql, &[Value::Int(param)]).expect("mv query");
+    let binding = r.try_table().expect("one stream");
+    binding
+        .rows
+        .first()
+        .map(|row| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+}
+
+/// Quiesced differential check: every table, the summary matview (against
+/// both the model and a full REFRESH), the conserved total, and the
+/// materialized CO view against on-demand extraction.
+fn quiesce_check(db: &Database, cfg: &TpccConfig, model: &TpccModel, v: &Violations) {
+    let engine = rows_of(db, "SELECT c_id, c_balance FROM CUSTOMER ORDER BY c_id");
+    let mut expect: Vec<Vec<String>> = model
+        .balances
+        .iter()
+        .map(|(c, b)| {
+            vec![
+                format!("{:?}", Value::Int(*c)),
+                format!("{:?}", Value::Int(*b)),
+            ]
+        })
+        .collect();
+    expect.sort();
+    v.check_eq(engine, expect, || {
+        "quiesce: CUSTOMER balances diverged from the replayed model".to_string()
+    });
+
+    let engine = rows_of(
+        db,
+        "SELECT d_id, d_ytd, d_next_o_id FROM DISTRICT ORDER BY d_id",
+    );
+    let mut expect: Vec<Vec<String>> = model
+        .districts
+        .iter()
+        .map(|(d, (ytd, next))| {
+            vec![
+                format!("{:?}", Value::Int(*d)),
+                format!("{:?}", Value::Int(*ytd)),
+                format!("{:?}", Value::Int(*next)),
+            ]
+        })
+        .collect();
+    expect.sort();
+    v.check_eq(engine, expect, || {
+        "quiesce: DISTRICT ytd/next_o_id diverged from the replayed model".to_string()
+    });
+
+    let engine = rows_of(
+        db,
+        "SELECT o_id, o_c_id, o_d_id, o_w_id, o_amount FROM ORDERS ORDER BY o_id",
+    );
+    let mut expect: Vec<Vec<String>> = model
+        .orders
+        .iter()
+        .map(|(o, (c, d, w, a))| {
+            vec![
+                format!("{:?}", Value::Int(*o)),
+                format!("{:?}", Value::Int(*c)),
+                format!("{:?}", Value::Int(*d)),
+                format!("{:?}", Value::Int(*w)),
+                format!("{:?}", Value::Int(*a)),
+            ]
+        })
+        .collect();
+    expect.sort();
+    v.check_eq(engine, expect, || {
+        "quiesce: ORDERS diverged from the replayed model".to_string()
+    });
+
+    // Conserved total on the final state.
+    let balances: i64 = model.balances.values().sum();
+    let orders: i64 = model.orders.values().map(|(_, _, _, a)| a).sum();
+    v.check_eq(balances + orders, TpccModel::conserved_total(cfg), || {
+        "quiesce: model itself broke conservation (harness bug)".to_string()
+    });
+
+    // Summary matview: incremental == model == full REFRESH.
+    let incremental = rows_of(db, "SELECT * FROM ord_sum");
+    let mut per_district: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
+    for (_, d, _, a) in model.orders.values() {
+        let e = per_district.entry(*d).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += a;
+    }
+    let mut expect: Vec<Vec<String>> = per_district
+        .iter()
+        .map(|(d, (n, total))| {
+            vec![
+                format!("{:?}", Value::Int(*d)),
+                format!("{:?}", Value::Int(*n)),
+                format!("{:?}", Value::Int(*total)),
+            ]
+        })
+        .collect();
+    expect.sort();
+    v.check_eq(incremental.clone(), expect, || {
+        "quiesce: ord_sum matview diverged from the model".to_string()
+    });
+    db.execute("REFRESH MATERIALIZED VIEW ord_sum")
+        .expect("refresh");
+    v.check_eq(incremental, rows_of(db, "SELECT * FROM ord_sum"), || {
+        "quiesce: incremental ord_sum != REFRESH recompute".to_string()
+    });
+
+    // Materialized CO view == on-demand extraction.
+    let stored = db.fetch_co("dist_co").expect("stored co");
+    let fresh = db.fetch_co(DIST_CO).expect("on-demand co");
+    v.check_eq(canon_co(&stored), canon_co(&fresh), || {
+        "quiesce: dist_co CO matview != on-demand extraction".to_string()
+    });
+}

@@ -8,6 +8,10 @@
 
 pub use xnf_core::*;
 
+/// The oracle-checked workload harness (YCSB-style and TPC-C-lite drivers,
+/// latency histograms, the `BENCH_*.json` schema and perf-regression gate).
+pub use xnf_workload as workload;
+
 /// The layered crates, re-exported for direct access.
 pub mod layers {
     pub use xnf_exec as exec;

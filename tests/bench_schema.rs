@@ -1,0 +1,115 @@
+//! Every committed `BENCH_*.json` must parse against the pinned schema,
+//! and the perf-regression gate must pass on the committed history while
+//! demonstrably firing on a synthetic >threshold regression.
+
+use composite_views::workload::{gate_history, load_bench_dir, parse_bench_file};
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn every_committed_bench_file_parses() {
+    let files = load_bench_dir(&repo_root()).expect("committed BENCH files must parse");
+    assert!(
+        files.len() >= 3,
+        "expected BENCH_6, BENCH_7 and BENCH_8 at least, found {}",
+        files.len()
+    );
+    // PR order is the gate's comparison order.
+    let prs: Vec<u64> = files.iter().map(|(_, f)| f.pr).collect();
+    let mut sorted = prs.clone();
+    sorted.sort_unstable();
+    assert_eq!(prs, sorted);
+    // From PR 8 on, files carry the strict workload section.
+    for (path, f) in &files {
+        if f.pr >= 8 {
+            let w = f
+                .workload
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: missing workload section", path.display()));
+            for d in &w.drivers {
+                assert!(
+                    d.oracle,
+                    "{}: committed run must be oracle-checked",
+                    d.driver
+                );
+                assert_eq!(
+                    d.invariant_violations, 0,
+                    "{}: committed run recorded violations",
+                    d.driver
+                );
+                assert!(!d.op_classes.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn gate_passes_on_committed_history() {
+    let files = load_bench_dir(&repo_root()).unwrap();
+    let parsed: Vec<_> = files.into_iter().map(|(_, f)| f).collect();
+    let outcome = gate_history(&parsed);
+    assert!(
+        outcome.passed(),
+        "regression gate fails on committed history:\n  {}",
+        outcome.failures.join("\n  ")
+    );
+    assert!(!outcome.comparisons.is_empty());
+}
+
+/// The gate must actually fire: take the committed BENCH_8 as baseline and
+/// synthesize a successor whose throughput dropped and p99 rose past the
+/// threshold.
+#[test]
+fn gate_fires_on_synthetic_regression() {
+    let files = load_bench_dir(&repo_root()).unwrap();
+    let (_, baseline) = files
+        .iter()
+        .find(|(_, f)| f.workload.is_some())
+        .expect("at least one workload-bearing BENCH file");
+
+    let mut doc = baseline.raw.to_pretty();
+    // Degrade every throughput figure by 10x and inflate every p99 by 10x:
+    // unambiguously past any sane threshold.
+    for (field, shrink) in [("ops_per_sec", true), ("p99_us", false)] {
+        let needle = format!("\"{field}\": ");
+        let mut out = String::with_capacity(doc.len());
+        for line in doc.lines() {
+            if let Some(pos) = line.find(&needle) {
+                let (head, tail) = line.split_at(pos + needle.len());
+                let num: String = tail
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                    .collect();
+                let rest = &tail[num.len()..];
+                let v: f64 = num.parse().unwrap();
+                let v = if shrink { v / 10.0 } else { v * 10.0 };
+                out.push_str(&format!("{head}{v}{rest}\n"));
+            } else {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        doc = out;
+    }
+    let mut regressed = parse_bench_file(&doc, "synthetic").unwrap();
+    regressed.pr = baseline.pr + 1;
+
+    let mut out_pass = composite_views::workload::GateOutcome::default();
+    composite_views::workload::schema::gate_pair(baseline, baseline, &mut out_pass);
+    assert!(out_pass.passed(), "identical files must pass the gate");
+
+    let outcome = gate_history(&[baseline.clone(), regressed]);
+    assert!(!outcome.passed(), "gate must fire on a 10x regression");
+    assert!(
+        outcome.failures.iter().any(|f| f.contains("throughput")),
+        "throughput failure missing: {:?}",
+        outcome.failures
+    );
+    assert!(
+        outcome.failures.iter().any(|f| f.contains("p99")),
+        "p99 failure missing: {:?}",
+        outcome.failures
+    );
+}

@@ -103,10 +103,7 @@ fn run_storm(db: &Arc<Database>, writers: usize, readers: usize, iters: usize, s
                     Err(e) => {
                         // First-writer-wins: losing a row race is expected;
                         // anything else is a real failure.
-                        assert!(
-                            e.to_string().contains("write conflict"),
-                            "unexpected writer error: {e}"
-                        );
+                        assert!(e.is_write_conflict(), "unexpected writer error: {e}");
                         conflicts.fetch_add(1, Ordering::Relaxed);
                         session.rollback().unwrap();
                     }

@@ -144,7 +144,7 @@ fn run_vacuum_storm(writers: usize, readers: usize, iters: usize, seed: u64) {
                     Ok(()) => session.commit().unwrap(),
                     Err(e) => {
                         assert!(
-                            e.to_string().contains("write conflict"),
+                            e.is_write_conflict(),
                             "unexpected writer error under vacuum: {e}"
                         );
                         session.rollback().unwrap();

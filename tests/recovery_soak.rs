@@ -86,10 +86,7 @@ fn storm_child() {
             match moved {
                 Ok(()) => session.commit().unwrap(),
                 Err(e) => {
-                    assert!(
-                        e.to_string().contains("write conflict"),
-                        "unexpected writer error: {e}"
-                    );
+                    assert!(e.is_write_conflict(), "unexpected writer error: {e}");
                     session.rollback().unwrap();
                 }
             }
