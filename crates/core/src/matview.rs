@@ -20,7 +20,11 @@
 //!
 //! 1. **direct** — selection/projection of one base table: the delta images
 //!    are filtered, projected and applied row-by-row to the backing table;
-//! 2. **keyed re-extraction** — join views whose equality predicates chain
+//! 2. **grouped aggregation** — `GROUP BY` over one base table with
+//!    `COUNT(*)` / `SUM(int col)` outputs: each delta image adjusts its
+//!    group's stored row in place (insert on first member, delete when the
+//!    count reaches zero), instead of recomputing the whole aggregate;
+//! 3. **keyed re-extraction** — join views whose equality predicates chain
 //!    every leg to an output column (the *partition key*): affected key
 //!    values are computed from the delta, stored rows with those keys are
 //!    deleted (index lookup), and the definition is re-evaluated with a
@@ -28,11 +32,23 @@
 //!    for CO views the affected *root keys* are found by walking the
 //!    relationship predicates (foreign keys and connect tables) from the
 //!    changed row up to the root, then only those subtrees are re-extracted
-//!    and spliced into the stored streams (value-identical shared nodes are
-//!    reused, matching XNF's union-distinct object sharing);
-//! 3. **full recompute** — the fallback for everything else (aggregation,
-//!    DISTINCT, nested views, recursive COs), and what
+//!    and *diffed* against the stored streams — value-identical nodes are
+//!    kept (XNF's union-distinct object sharing), changed nodes are updated
+//!    in place preserving their surrogate, and only genuinely new or
+//!    vanished branches are written;
+//! 4. **full recompute** — the fallback for everything else (non-groupable
+//!    aggregation, DISTINCT, nested views, recursive COs), and what
 //!    `REFRESH MATERIALIZED VIEW` always does.
+//!
+//! Commit-time propagation runs as a two-phase pipeline (see
+//! [`prepare_maintenance`] / [`maintain`]): the committing thread first
+//! coalesces its delta chains and re-extracts affected keyed subtrees
+//! against its own snapshot — *outside* the maintenance lock, in parallel
+//! across root keys — then takes the lock only for the stamp-ordered apply.
+//! A per-view applied-key tracker ([`MaintTracker`]) detects precomputed
+//! keys invalidated by an interposed commit; those few are re-extracted
+//! under the lock, so the apply is always equivalent to serial maintenance
+//! in commit-stamp order.
 //!
 //! All strategies bump the view's freshness epoch
 //! ([`xnf_storage::MatView::epoch`]).
@@ -40,14 +56,15 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use xnf_exec::{eval, truthy, ExecStats, OuterCtx, QueryResult, Row, StreamResult};
+use parking_lot::Mutex;
+use xnf_exec::{eval, truthy, ExecStats, OuterCtx, QueryResult, Row, StreamResult, Visibility};
 use xnf_qgm::OutputKind;
 use xnf_sql::{
-    parse_statement, BinOp, Expr, Literal, Select, SelectItem, Statement, TableRef, ViewBody,
-    XnfDef, XnfQuery, XnfRelationship, XnfTake,
+    parse_statement, AggFunc, BinOp, Expr, Literal, Select, SelectItem, Statement, TableRef,
+    ViewBody, XnfDef, XnfQuery, XnfRelationship, XnfTake,
 };
 use xnf_storage::{
-    Column, DataType, DeltaBatch, MatView, Rid, Schema, Table, Tuple, Value, ViewKind,
+    Column, DataType, DeltaBatch, MatView, Rid, Schema, Snapshot, Table, Tuple, Value, ViewKind,
 };
 
 use crate::cache::Workspace;
@@ -103,6 +120,19 @@ pub(crate) enum SqlStrategy {
         key_expr: Expr,
         /// Backing column holding the key (delete-by-key via `mv_key`).
         key_out: usize,
+    },
+    /// `GROUP BY` over one base table with `COUNT(*)` / `SUM(int col)`
+    /// outputs: each delta image adjusts its group's stored row in place.
+    GroupedAgg {
+        /// Normalized base table name.
+        table: String,
+        /// `(base column, output position)` per grouping column.
+        groups: Vec<(usize, usize)>,
+        /// `(base column or None for COUNT(*), output position)` per
+        /// aggregate output. At least one COUNT(*) tracks group liveness.
+        aggs: Vec<(Option<usize>, usize)>,
+        /// Selection predicate over the base row.
+        filter: Option<Expr>,
     },
     /// Any delta triggers a full recompute.
     Full,
@@ -232,7 +262,8 @@ pub(crate) fn create_materialized(db: &Database, name: &str, body: &ViewBody) ->
     }
 }
 
-/// `REFRESH MATERIALIZED VIEW name`: full recompute of the backing storage.
+/// `REFRESH MATERIALIZED VIEW name`: full recompute of the backing storage,
+/// serialized against commit-time maintenance by the maintenance lock.
 pub(crate) fn refresh(db: &Database, name: &str) -> Result<()> {
     let view = db
         .catalog()
@@ -244,7 +275,12 @@ pub(crate) fn refresh(db: &Database, name: &str) -> Result<()> {
         .iter()
         .find(|p| p.name.eq_ignore_ascii_case(&view.name))
         .ok_or_else(|| XnfError::Api(format!("no maintenance plan for '{name}'")))?;
-    repopulate(db, plan)
+    let _m = db.maintenance_lock().lock();
+    repopulate(db, plan)?;
+    // Invalidate any keyed re-extraction computed before this refresh.
+    db.maint_tracker()
+        .record_full(&plan.name, db.catalog().txns().current_seq());
+    Ok(())
 }
 
 /// Full recompute: fresh backing tables, re-run the definition, rebuild the
@@ -294,8 +330,13 @@ fn fill_sql_backing(db: &Database, name: &str, select: &Select, rows: &[Row]) ->
     for row in rows {
         backing.insert(&Tuple::new(row.clone()))?;
     }
-    if let SqlStrategy::Keyed { key_out, .. } = analyze_sql_strategy(db, select) {
-        ensure_index(&backing, "mv_key", key_out, false)?;
+    match analyze_sql_strategy(db, select) {
+        SqlStrategy::Keyed { key_out, .. } => ensure_index(&backing, "mv_key", key_out, false)?,
+        // Group rows are located through their first grouping output.
+        SqlStrategy::GroupedAgg { groups, .. } => {
+            ensure_index(&backing, "mv_key", groups[0].1, false)?
+        }
+        _ => {}
     }
     backing.analyze()?;
     Ok(())
@@ -581,11 +622,13 @@ fn analyze_sql_strategy(db: &Database, select: &Select) -> SqlStrategy {
     if !subquery_free
         || !select.unions.is_empty()
         || select.limit.is_some()
-        || !select.group_by.is_empty()
         || select.having.is_some()
         || select.distinct
     {
         return SqlStrategy::Full;
+    }
+    if !select.group_by.is_empty() {
+        return analyze_grouped_agg(db, select).unwrap_or(SqlStrategy::Full);
     }
 
     // Selection/projection of one base table?
@@ -757,6 +800,98 @@ fn analyze_sql_strategy(db: &Database, select: &Select) -> SqlStrategy {
     SqlStrategy::Full
 }
 
+/// Does a grouped definition qualify for in-place aggregate maintenance?
+/// Requirements: one base table, no joins/ORDER BY, plain-column GROUP BY,
+/// every output either a grouping column or `COUNT(*)` / `SUM(int col)`,
+/// at least one `COUNT(*)` (it tracks group liveness), and every grouping
+/// column present in the output (so a delta image can locate its group).
+/// `SUM` is restricted to integer columns: integer arithmetic is exactly
+/// invertible, so the maintained value can never drift from a recompute
+/// the way floating-point accumulation order would let it.
+fn analyze_grouped_agg(db: &Database, select: &Select) -> Option<SqlStrategy> {
+    if !select.joins.is_empty() || select.from.len() != 1 || !select.order_by.is_empty() {
+        return None;
+    }
+    let TableRef::Named { name, alias } = &select.from[0] else {
+        return None;
+    };
+    if !db.catalog().has_table(name) {
+        return None;
+    }
+    let table = db.catalog().table(name).ok()?;
+    let binding = alias.clone().unwrap_or_else(|| name.clone());
+    let resolve = |e: &Expr| -> Option<usize> {
+        let Expr::Column { qualifier, name } = e else {
+            return None;
+        };
+        if qualifier
+            .as_deref()
+            .is_some_and(|q| !q.eq_ignore_ascii_case(&binding))
+        {
+            return None;
+        }
+        table.schema.index_of(name)
+    };
+    let mut group_cols: Vec<usize> = Vec::new();
+    for g in &select.group_by {
+        group_cols.push(resolve(g)?);
+    }
+    if group_cols.is_empty() {
+        return None;
+    }
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut aggs: Vec<(Option<usize>, usize)> = Vec::new();
+    let mut has_count = false;
+    for (pos, item) in select.items.iter().enumerate() {
+        let SelectItem::Expr { expr, .. } = item else {
+            return None;
+        };
+        match expr {
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+            } => {
+                has_count = true;
+                aggs.push((None, pos));
+            }
+            Expr::Agg {
+                func: AggFunc::Sum,
+                arg: Some(a),
+                distinct: false,
+            } => {
+                let c = resolve(a)?;
+                if table.schema.column(c).ty != DataType::Int {
+                    return None;
+                }
+                aggs.push((Some(c), pos));
+            }
+            e => {
+                let c = resolve(e)?;
+                if !group_cols.contains(&c) {
+                    return None;
+                }
+                groups.push((c, pos));
+            }
+        }
+    }
+    if !has_count || groups.is_empty() {
+        return None;
+    }
+    if !group_cols
+        .iter()
+        .all(|c| groups.iter().any(|(gc, _)| gc == c))
+    {
+        return None;
+    }
+    Some(SqlStrategy::GroupedAgg {
+        table: name.to_ascii_uppercase(),
+        groups,
+        aggs,
+        filter: select.where_clause.clone(),
+    })
+}
+
 /// Analyze a CO definition; `key` is `Some` when keyed maintenance applies
 /// (binary FK/connect-table relationships over simple components with a
 /// consistent root key, `TAKE *`).
@@ -877,17 +1012,207 @@ fn derive_co_key(info: &XnfInfo) -> Option<CoKey> {
 // delta propagation
 // ---------------------------------------------------------------------------
 
-/// Propagate one statement's delta batch through every dependent
-/// materialized view.
-pub(crate) fn maintain(db: &Database, delta: &DeltaBatch) -> Result<()> {
-    if delta.is_empty() {
-        return Ok(());
+/// Work the maintenance pipeline did for one commit, surfaced through the
+/// `ExecStats` maintenance counters and EXPLAIN's `maintenance:` header.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct MaintCounters {
+    /// CO root keys whose subtrees were diffed and re-spliced.
+    pub roots_respliced: u64,
+    /// Stored nodes kept across a splice — by value-identity sharing or by
+    /// an in-place update preserving the surrogate — instead of being
+    /// deleted and re-inserted.
+    pub nodes_reused: u64,
+}
+
+/// Per-view record of which keys (and full recomputes) were applied at
+/// which commit stamp. [`prepare_maintenance`] runs against the committing
+/// transaction's snapshot *before* the maintenance lock; under the lock,
+/// [`maintain`] consults this tracker to detect precomputed keys
+/// invalidated by a commit that interposed between snapshot registration
+/// and lock acquisition, and re-extracts just those.
+#[derive(Default)]
+pub(crate) struct MaintTracker {
+    views: Mutex<HashMap<String, ViewApplied>>,
+}
+
+#[derive(Default)]
+struct ViewApplied {
+    /// Stamp of the last full recompute (REFRESH or fallback repopulate).
+    last_full: u64,
+    /// Key → stamp of the last commit that re-applied it.
+    keys: HashMap<Value, u64>,
+}
+
+/// Tracked keys per view before pruning against the oldest live snapshot
+/// (a stamp at or below every live snapshot's horizon can never mark a
+/// pending precomputation stale — pending preparations hold their
+/// snapshot registration until applied).
+const MAX_TRACKED_KEYS: usize = 4096;
+
+impl MaintTracker {
+    /// Was `key` (or the whole view) re-applied after `base_seq`, making a
+    /// precomputation pinned to a `base_seq` snapshot stale?
+    fn is_stale(&self, view: &str, key: &Value, base_seq: u64) -> bool {
+        let views = self.views.lock();
+        match views.get(view) {
+            None => false,
+            Some(v) => v.last_full > base_seq || v.keys.get(key).is_some_and(|&s| s > base_seq),
+        }
     }
-    let plans = db.matview_plans()?;
+
+    fn record_keys(&self, view: &str, keys: &[Value], stamp: u64, watermark: u64) {
+        let mut views = self.views.lock();
+        let v = views.entry(view.to_string()).or_default();
+        for k in keys {
+            v.keys.insert(k.clone(), stamp);
+        }
+        if v.keys.len() > MAX_TRACKED_KEYS {
+            v.keys.retain(|_, s| *s > watermark);
+        }
+    }
+
+    fn record_full(&self, view: &str, stamp: u64) {
+        let mut views = self.views.lock();
+        let v = views.entry(view.to_string()).or_default();
+        v.last_full = v.last_full.max(stamp);
+        // The full stamp covers every key (per-key stamps are ≤ it: both
+        // are recorded under the maintenance lock).
+        v.keys.clear();
+    }
+}
+
+/// One view's precomputed keyed re-extraction.
+enum ViewPre {
+    /// CO view: per affected root key, the re-derived subtree.
+    Co(Vec<(Value, SubResult)>),
+    /// Relational keyed view: per affected key, the re-derived rows.
+    Sql(Vec<(Value, Vec<Row>)>),
+}
+
+/// Keyed re-extractions computed against the committing transaction's
+/// snapshot before the maintenance lock is taken — the expensive part of
+/// maintenance, moved off the serialized critical path.
+pub(crate) struct PreMaint {
+    /// Catalog generation the plans were built against; DDL in between
+    /// invalidates everything.
+    generation: u64,
+    /// Commit horizon of the snapshot: precomputations are valid unless a
+    /// later-stamped commit re-applied one of their keys.
+    base_seq: u64,
+    /// Held so the snapshot registration (and with it the tracker's prune
+    /// watermark) cannot pass `base_seq` while this precomputation is
+    /// pending.
+    _snap: Snapshot,
+    views: HashMap<String, ViewPre>,
+}
+
+/// Compute every keyed re-extraction `delta` will need, against the
+/// committing transaction's own snapshot (sees its uncommitted writes plus
+/// everything committed so far). Independent root keys re-extract in
+/// parallel on a dop-capped pool. Returns `None` when there is nothing to
+/// precompute — [`maintain`] then does all work under the lock, exactly as
+/// before. Any error here degrades to that same under-lock path.
+pub(crate) fn prepare_maintenance(db: &Database, delta: &DeltaBatch) -> Option<PreMaint> {
+    let generation = db.catalog().generation();
+    let plans = db.matview_plans().ok()?;
+    if db.catalog().generation() != generation {
+        return None;
+    }
+    let snap = db.catalog().txns().snapshot_for(delta.txn());
+    let base_seq = snap.seq;
+    let dop = db.config().plan.dop.max(1);
+    let mut views = HashMap::new();
     for plan in plans.iter() {
         if !delta.touches_any(plan.deps.iter().map(|s| s.as_str())) {
             continue;
         }
+        match &plan.body {
+            BodyPlan::Xnf(info) if info.key.is_some() => {
+                let Ok(keys) = co_root_keys(db, info, delta, Some(&snap)) else {
+                    continue;
+                };
+                let keys = dedup_values(keys);
+                if keys.is_empty() || keys.iter().any(|k| k.is_null()) {
+                    continue;
+                }
+                let extract = |k: Value| -> Option<(Value, SubResult)> {
+                    extract_subtrees(db, info, std::slice::from_ref(&k), Some(&snap))
+                        .ok()
+                        .map(|sub| (k, sub))
+                };
+                let subs: Vec<(Value, SubResult)> = if keys.len() >= 2 && dop >= 2 {
+                    xnf_exec::parallel::scoped_fanout(keys, dop, extract)
+                        .into_iter()
+                        .flatten()
+                        .collect()
+                } else {
+                    keys.into_iter().filter_map(extract).collect()
+                };
+                if !subs.is_empty() {
+                    views.insert(plan.name.clone(), ViewPre::Co(subs));
+                }
+            }
+            BodyPlan::Sql {
+                select,
+                strategy:
+                    SqlStrategy::Keyed {
+                        sources, key_expr, ..
+                    },
+            } => {
+                let keys = dedup_values(sql_keyed_keys(sources, delta));
+                let mut pre = Vec::with_capacity(keys.len());
+                let mut ok = true;
+                for k in keys {
+                    match run_keyed_select(db, select, key_expr, &k, Some(snap.clone())) {
+                        Ok(rows) => pre.push((k, rows)),
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok && !pre.is_empty() {
+                    views.insert(plan.name.clone(), ViewPre::Sql(pre));
+                }
+            }
+            _ => {}
+        }
+    }
+    if views.is_empty() {
+        return None;
+    }
+    Some(PreMaint {
+        generation,
+        base_seq,
+        _snap: snap,
+        views,
+    })
+}
+
+/// Propagate one commit's (coalesced) delta batch through every dependent
+/// materialized view, stamp-ordered under the maintenance lock. `pre`
+/// carries keyed re-extractions computed against the committing snapshot;
+/// entries invalidated by an interposed commit (per the [`MaintTracker`])
+/// or by DDL are recomputed here, so the apply is always equivalent to
+/// serial maintenance in commit-stamp order.
+pub(crate) fn maintain(
+    db: &Database,
+    delta: &DeltaBatch,
+    pre: Option<&PreMaint>,
+    stamp: u64,
+) -> Result<MaintCounters> {
+    let mut counters = MaintCounters::default();
+    if delta.is_empty() {
+        return Ok(counters);
+    }
+    let plans = db.matview_plans()?;
+    let pre = pre.filter(|p| p.generation == db.catalog().generation());
+    let watermark = db.catalog().txns().oldest_visible_stamp();
+    for plan in plans.iter() {
+        if !delta.touches_any(plan.deps.iter().map(|s| s.as_str())) {
+            continue;
+        }
+        let pre_view = pre.and_then(|p| p.views.get(&plan.name).map(|v| (v, p.base_seq)));
         match &plan.body {
             BodyPlan::Sql {
                 strategy:
@@ -899,6 +1224,16 @@ pub(crate) fn maintain(db: &Database, delta: &DeltaBatch) -> Result<()> {
                 ..
             } => apply_direct(db, plan, table, base_cols, filter.as_ref(), delta)?,
             BodyPlan::Sql {
+                strategy:
+                    SqlStrategy::GroupedAgg {
+                        table,
+                        groups,
+                        aggs,
+                        filter,
+                    },
+                ..
+            } => apply_grouped(db, plan, table, groups, aggs, filter.as_ref(), delta)?,
+            BodyPlan::Sql {
                 select,
                 strategy:
                     SqlStrategy::Keyed {
@@ -906,13 +1241,24 @@ pub(crate) fn maintain(db: &Database, delta: &DeltaBatch) -> Result<()> {
                         key_expr,
                         key_out,
                     },
-            } => apply_sql_keyed(db, plan, select, sources, key_expr, *key_out, delta)?,
-            BodyPlan::Xnf(info) if info.key.is_some() => apply_co_keyed(db, plan, info, delta)?,
+            } => apply_sql_keyed(
+                db, plan, select, sources, key_expr, *key_out, delta, pre_view, stamp, watermark,
+            )?,
+            BodyPlan::Xnf(info) if info.key.is_some() => apply_co_keyed(
+                db,
+                plan,
+                info,
+                delta,
+                pre_view,
+                stamp,
+                watermark,
+                &mut counters,
+            )?,
             _ => repopulate(db, plan)?,
         }
         expect_matview(db, &plan.name)?.bump_epoch();
     }
-    Ok(())
+    Ok(counters)
 }
 
 /// Direct maintenance of a selection/projection view: filter + project the
@@ -971,19 +1317,122 @@ fn apply_direct(
     Ok(())
 }
 
-/// Keyed maintenance of a relational join view: delete stored rows carrying
-/// the affected keys, re-run the definition restricted to each key (the
-/// equality lets the planner use base-table indexes) and insert the result.
-fn apply_sql_keyed(
+/// Grouped-aggregate maintenance: each delta image adjusts its group's
+/// stored row in place (COUNT/SUM arithmetic over before/after images),
+/// inserting on a group's first member and deleting when its count returns
+/// to zero. The in-place [`Table::update`] keeps the row's surrogate rid
+/// and is atomic for readers, so concurrent snapshot scans always see a
+/// complete aggregate row. Anything the exact arithmetic cannot invert
+/// (NULL group keys, non-integer sum inputs, overflow, divergence from the
+/// stored image) falls back to a full recompute.
+fn apply_grouped(
     db: &Database,
     plan: &MaintPlan,
-    select: &Select,
-    sources: &[(String, usize)],
-    key_expr: &Expr,
-    key_out: usize,
+    table: &str,
+    groups: &[(usize, usize)],
+    aggs: &[(Option<usize>, usize)],
+    filter: Option<&Expr>,
     delta: &DeltaBatch,
 ) -> Result<()> {
-    let mut keys: Vec<Value> = Vec::new();
+    let mv = expect_matview(db, &plan.name)?;
+    let backing = mv
+        .stream(&plan.name)
+        .ok_or_else(|| XnfError::Api(format!("missing backing table for '{}'", plan.name)))?;
+    let base = db.catalog().table(table)?;
+    let pred = match filter {
+        Some(f) => Some(crate::db::table_expr(&base.schema, &base.name, f)?),
+        None => None,
+    };
+    let outer = OuterCtx::new();
+    let width = backing.schema.len();
+    let (probe_base, probe_out) = groups[0];
+    let count_out = aggs
+        .iter()
+        .find(|(src, _)| src.is_none())
+        .expect("grouped plans carry COUNT(*)")
+        .1;
+    for d in delta.rows(table) {
+        for (img, sign) in [(d.before(), -1i64), (d.after(), 1i64)] {
+            let Some(t) = img else { continue };
+            match &pred {
+                Some(p) if !truthy(&eval(p, &t.values, &outer, &[])?) => continue,
+                _ => {}
+            }
+            let row = &t.values;
+            let degraded = groups.iter().any(|(c, _)| row[*c].is_null())
+                || aggs
+                    .iter()
+                    .any(|(c, _)| c.is_some_and(|c| !matches!(row[c], Value::Int(_))));
+            if degraded {
+                return repopulate(db, plan);
+            }
+            // Locate the group's stored row (mv_key index on the first
+            // grouping output).
+            let hit = backing
+                .find_by_value(probe_out, &row[probe_base])?
+                .into_iter()
+                .find(|(_, stored)| {
+                    groups
+                        .iter()
+                        .all(|(c, o)| stored.values[*o].total_cmp(&row[*c]).is_eq())
+                });
+            match hit {
+                Some((rid, stored)) => {
+                    let mut vals = stored.values;
+                    for (src, out) in aggs {
+                        let dv = match src {
+                            None => sign,
+                            Some(c) => match row[*c] {
+                                Value::Int(i) => i.wrapping_mul(sign),
+                                _ => unreachable!("checked above"),
+                            },
+                        };
+                        let Value::Int(cur) = vals[*out] else {
+                            return repopulate(db, plan);
+                        };
+                        let Some(next) = cur.checked_add(dv) else {
+                            return repopulate(db, plan);
+                        };
+                        vals[*out] = Value::Int(next);
+                    }
+                    match &vals[count_out] {
+                        // Group count back to zero: the group vanished.
+                        Value::Int(0) => {
+                            backing.delete(rid)?;
+                        }
+                        Value::Int(n) if *n < 0 => {
+                            // More removals than stored members: diverged.
+                            return repopulate(db, plan);
+                        }
+                        _ => {
+                            backing.update(rid, &Tuple::new(vals))?;
+                        }
+                    }
+                }
+                None if sign > 0 => {
+                    let mut vals = vec![Value::Null; width];
+                    for (c, o) in groups {
+                        vals[*o] = row[*c].clone();
+                    }
+                    for (src, out) in aggs {
+                        vals[*out] = match src {
+                            None => Value::Int(1),
+                            Some(c) => row[*c].clone(),
+                        };
+                    }
+                    backing.insert(&Tuple::new(vals))?;
+                }
+                // Removing from a group we never stored: diverged.
+                None => return repopulate(db, plan),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Affected key values of a relational keyed view under `delta`.
+fn sql_keyed_keys(sources: &[(String, usize)], delta: &DeltaBatch) -> Vec<Value> {
+    let mut keys = Vec::new();
     for (table, col) in sources {
         for d in delta.rows(table) {
             for img in [d.before(), d.after()].into_iter().flatten() {
@@ -994,10 +1443,57 @@ fn apply_sql_keyed(
             }
         }
     }
-    let keys = dedup_values(keys);
+    keys
+}
+
+/// Re-run a keyed view's definition restricted to one key value (the
+/// equality lets the planner use base-table indexes), under the given
+/// visibility.
+fn run_keyed_select(
+    db: &Database,
+    select: &Select,
+    key_expr: &Expr,
+    k: &Value,
+    vis: Visibility,
+) -> Result<Vec<Row>> {
+    let mut restricted = select.clone();
+    let conjunct = Expr::eq(key_expr.clone(), Expr::Literal(value_literal(k)));
+    restricted.where_clause = Some(match restricted.where_clause.take() {
+        Some(w) => Expr::and(w, conjunct),
+        None => conjunct,
+    });
+    let result = db.run_select_vis(&restricted, &xnf_exec::Params::default(), vis)?;
+    Ok(result.try_table()?.rows.clone())
+}
+
+/// Keyed maintenance of a relational join view: delete stored rows carrying
+/// the affected keys, then insert each key's re-derived rows — precomputed
+/// against the committing snapshot when still valid, re-run here otherwise.
+#[allow(clippy::too_many_arguments)]
+fn apply_sql_keyed(
+    db: &Database,
+    plan: &MaintPlan,
+    select: &Select,
+    sources: &[(String, usize)],
+    key_expr: &Expr,
+    key_out: usize,
+    delta: &DeltaBatch,
+    pre: Option<(&ViewPre, u64)>,
+    stamp: u64,
+    watermark: u64,
+) -> Result<()> {
+    let keys = dedup_values(sql_keyed_keys(sources, delta));
     if keys.is_empty() {
         return Ok(());
     }
+    let pre_rows: HashMap<&Value, &Vec<Row>> = match pre {
+        Some((ViewPre::Sql(entries), base_seq)) => entries
+            .iter()
+            .filter(|(k, _)| !db.maint_tracker().is_stale(&plan.name, k, base_seq))
+            .map(|(k, rows)| (k, rows))
+            .collect(),
+        _ => HashMap::new(),
+    };
     let mv = expect_matview(db, &plan.name)?;
     let backing = mv
         .stream(&plan.name)
@@ -1012,54 +1508,107 @@ fn apply_sql_keyed(
         for rid in stale {
             backing.delete(rid)?;
         }
-        // Keyed re-extraction.
-        let mut restricted = select.clone();
-        let conjunct = Expr::eq(key_expr.clone(), Expr::Literal(value_literal(k)));
-        restricted.where_clause = Some(match restricted.where_clause.take() {
-            Some(w) => Expr::and(w, conjunct),
-            None => conjunct,
-        });
-        let result = db.run_select(&restricted)?;
-        for row in &result.try_table()?.rows {
+        let recomputed;
+        let rows: &Vec<Row> = match pre_rows.get(k) {
+            Some(rows) => rows,
+            None => {
+                recomputed = run_keyed_select(db, select, key_expr, k, None)?;
+                &recomputed
+            }
+        };
+        for row in rows {
             backing.insert(&Tuple::new(row.clone()))?;
         }
     }
+    db.maint_tracker()
+        .record_keys(&plan.name, &keys, stamp, watermark);
     Ok(())
 }
 
-/// Keyed maintenance of a CO view: walk the delta up to affected root keys,
-/// cascade-delete those subtrees from the stored streams, re-extract only
-/// the affected roots and splice the sub-result back in (sharing
-/// value-identical nodes that survived).
+/// Keyed maintenance of a CO view: walk the delta up to affected root
+/// keys, then diff each affected subtree against the stored streams —
+/// using the subtree precomputed against the committing snapshot when the
+/// tracker says no interposed commit touched that key, re-extracting under
+/// the lock otherwise. The key set itself is always re-derived here, under
+/// the lock, so it matches what serial maintenance would compute.
+#[allow(clippy::too_many_arguments)]
 fn apply_co_keyed(
     db: &Database,
     plan: &MaintPlan,
     info: &XnfInfo,
     delta: &DeltaBatch,
+    pre: Option<(&ViewPre, u64)>,
+    stamp: u64,
+    watermark: u64,
+    counters: &mut MaintCounters,
 ) -> Result<()> {
-    let keys = dedup_values(co_root_keys(db, info, delta)?);
+    let keys = dedup_values(co_root_keys(db, info, delta, None)?);
     if keys.is_empty() {
         return Ok(());
     }
     if keys.iter().any(|k| k.is_null()) {
         // A NULL partition key cannot drive the equality index walks
         // (NULL never matches through sql_eq); recompute instead.
-        return repopulate(db, plan);
+        repopulate(db, plan)?;
+        db.maint_tracker().record_full(&plan.name, stamp);
+        return Ok(());
     }
-    splice(db, plan, info, &keys)
+    counters.roots_respliced += keys.len() as u64;
+    let pre_subs: HashMap<&Value, &SubResult> = match pre {
+        Some((ViewPre::Co(entries), base_seq)) => entries
+            .iter()
+            .filter(|(k, _)| !db.maint_tracker().is_stale(&plan.name, k, base_seq))
+            .map(|(k, sub)| (k, sub))
+            .collect(),
+        _ => HashMap::new(),
+    };
+    let mut fresh_keys: Vec<Value> = Vec::new();
+    for k in &keys {
+        match pre_subs.get(k) {
+            Some(sub) => splice(db, plan, info, std::slice::from_ref(k), sub, counters)?,
+            None => fresh_keys.push(k.clone()),
+        }
+    }
+    if !fresh_keys.is_empty() {
+        let sub = extract_subtrees(db, info, &fresh_keys, None)?;
+        splice(db, plan, info, &fresh_keys, &sub, counters)?;
+    }
+    db.maint_tracker()
+        .record_keys(&plan.name, &keys, stamp, watermark);
+    Ok(())
+}
+
+/// Base-table index probe honoring an optional snapshot: pre-lock
+/// re-extraction pins the committing transaction's snapshot, under-lock
+/// walks read latest-committed.
+fn probe(
+    t: &Arc<Table>,
+    col: usize,
+    v: &Value,
+    vis: Option<&Snapshot>,
+) -> Result<Vec<(Rid, Tuple)>> {
+    Ok(match vis {
+        Some(s) => t.find_by_value_visible(col, v, s)?,
+        None => t.find_by_value(col, v)?,
+    })
 }
 
 /// Affected root-key values of a delta batch: every changed image is walked
 /// up the relationship graph (FK chains and connect tables, via base-table
 /// indexes) to the root partition key.
-fn co_root_keys(db: &Database, info: &XnfInfo, delta: &DeltaBatch) -> Result<Vec<Value>> {
+fn co_root_keys(
+    db: &Database,
+    info: &XnfInfo,
+    delta: &DeltaBatch,
+    vis: Option<&Snapshot>,
+) -> Result<Vec<Value>> {
     let mut keys = Vec::new();
     // Deltas on component base tables.
     for (idx, comp) in info.co.components.iter().enumerate() {
         let Some(base) = &comp.base else { continue };
         for d in delta.rows(&base.table) {
             for img in [d.before(), d.after()].into_iter().flatten() {
-                keys_from_comp_row(db, info, idx, &img.values, &mut keys, 0)?;
+                keys_from_comp_row(db, info, idx, &img.values, vis, &mut keys, 0)?;
             }
         }
     }
@@ -1085,6 +1634,7 @@ fn co_root_keys(db: &Database, info: &XnfInfo, delta: &DeltaBatch) -> Result<Vec
                     parent,
                     *parent_col,
                     img.values[*m_parent_col].clone(),
+                    vis,
                     &mut keys,
                     0,
                 )?;
@@ -1095,11 +1645,13 @@ fn co_root_keys(db: &Database, info: &XnfInfo, delta: &DeltaBatch) -> Result<Vec
 }
 
 /// Root keys reachable from one base row of component `comp`.
+#[allow(clippy::too_many_arguments)]
 fn keys_from_comp_row(
     db: &Database,
     info: &XnfInfo,
     comp: usize,
     row: &[Value],
+    vis: Option<&Snapshot>,
     out: &mut Vec<Value>,
     depth: u32,
 ) -> Result<()> {
@@ -1129,7 +1681,7 @@ fn keys_from_comp_row(
                 ..
             } => {
                 let v = row[base.columns[*child_col]].clone();
-                keys_from_parent_link(db, info, parent, *parent_col, v, out, depth)?;
+                keys_from_parent_link(db, info, parent, *parent_col, v, vis, out, depth)?;
             }
             RelMeta::ConnectTable {
                 table,
@@ -1144,13 +1696,14 @@ fn keys_from_comp_row(
                     continue;
                 }
                 let m = db.catalog().table(table)?;
-                for (_, mrow) in m.find_by_value(*m_child_col, v)? {
+                for (_, mrow) in probe(&m, *m_child_col, v, vis)? {
                     keys_from_parent_link(
                         db,
                         info,
                         parent,
                         *parent_col,
                         mrow.values[*m_parent_col].clone(),
+                        vis,
                         out,
                         depth,
                     )?;
@@ -1164,12 +1717,14 @@ fn keys_from_comp_row(
 
 /// Continue the walk through a parent component linked on cache column
 /// `parent_col` with value `v`.
+#[allow(clippy::too_many_arguments)]
 fn keys_from_parent_link(
     db: &Database,
     info: &XnfInfo,
     parent: usize,
     parent_col: usize,
     v: Value,
+    vis: Option<&Snapshot>,
     out: &mut Vec<Value>,
     depth: u32,
 ) -> Result<()> {
@@ -1186,15 +1741,34 @@ fn keys_from_parent_link(
         .as_ref()
         .expect("keyed components are base-mapped");
     let pt = db.catalog().table(&pbase.table)?;
-    for (_, prow) in pt.find_by_value(pbase.columns[parent_col], &v)? {
-        keys_from_comp_row(db, info, parent, &prow.values, out, depth + 1)?;
+    for (_, prow) in probe(&pt, pbase.columns[parent_col], &v, vis)? {
+        keys_from_comp_row(db, info, parent, &prow.values, vis, out, depth + 1)?;
     }
     Ok(())
 }
 
-/// Cascade-delete the subtrees of the affected roots from the stored
-/// streams, re-extract only those roots, and splice the sub-result in.
-fn splice(db: &Database, plan: &MaintPlan, info: &XnfInfo, keys: &[Value]) -> Result<()> {
+/// Diff the re-extracted subtrees of the affected roots against the stored
+/// streams and apply only the differences. Membership (which stored nodes
+/// belong exclusively to the affected roots) follows the same cascade rule
+/// the old delete-then-rederive path used — a node belongs when its every
+/// connection comes from a member parent — so nodes also reachable from
+/// unaffected roots are never touched. Each re-derived row is then matched
+/// to a member by value (kept exactly as stored), to any other stored node
+/// (XNF object sharing), or written over a vanished member in place,
+/// keeping its surrogate ([`Table::update`] is atomic for readers); only
+/// genuinely new branches insert and only vanished ones delete. Connection
+/// streams diff the same way. Application order — connection deletes, node
+/// deletes, node updates, node inserts, connection inserts — means a
+/// concurrent reader's walk never reaches a subtree larger than its final
+/// shape.
+fn splice(
+    db: &Database,
+    plan: &MaintPlan,
+    info: &XnfInfo,
+    keys: &[Value],
+    sub: &SubResult,
+    counters: &mut MaintCounters,
+) -> Result<()> {
     let key = info.key.as_ref().expect("keyed plan");
     let mv = expect_matview(db, &plan.name)?;
     let stream = |name: &str| -> Result<Arc<Table>> {
@@ -1202,20 +1776,19 @@ fn splice(db: &Database, plan: &MaintPlan, info: &XnfInfo, keys: &[Value]) -> Re
             .ok_or_else(|| XnfError::Api(format!("missing backing stream '{name}'")))
     };
     let ncomps = info.comps.len();
-    let mut deleted: Vec<HashSet<i64>> = vec![HashSet::new(); ncomps];
-    let mut del_rids: Vec<Vec<Rid>> = vec![Vec::new(); ncomps];
 
-    // Phase A: root rows with an affected key.
+    // Membership: surrogate → (rid, stored values sans surrogate), per
+    // component. Phase A: root rows carrying an affected key.
+    let mut members: Vec<HashMap<i64, (Rid, Row)>> = vec![HashMap::new(); ncomps];
     let root_t = stream(&info.comps[key.root])?;
     for k in keys {
         for (rid, row) in root_t.find_by_value(1 + key.root_key_col, k)? {
-            deleted[key.root].insert(row.values[0].as_int()?);
-            del_rids[key.root].push(rid);
+            members[key.root].insert(row.values[0].as_int()?, (rid, row.values[1..].to_vec()));
         }
     }
 
-    // Phase B: cascade in topological order — a node goes when its every
-    // remaining connection comes from a deleted parent.
+    // Phase B: cascade in topological order — a node joins the membership
+    // when its every connection comes from a member parent.
     for c in info.topo() {
         if c == key.root {
             continue;
@@ -1225,11 +1798,11 @@ fn splice(db: &Database, plan: &MaintPlan, info: &XnfInfo, keys: &[Value]) -> Re
             let Some(p) = info.comp_index(&rel.parent) else {
                 continue;
             };
-            if deleted[p].is_empty() {
+            if members[p].is_empty() {
                 continue;
             }
             let conn_t = stream(&rel.name)?;
-            for &ps in &deleted[p] {
+            for &ps in members[p].keys() {
                 for (_, crow) in conn_t.find_by_value(0, &Value::Int(ps))? {
                     candidates.insert(crow.values[1].as_int()?);
                 }
@@ -1237,88 +1810,112 @@ fn splice(db: &Database, plan: &MaintPlan, info: &XnfInfo, keys: &[Value]) -> Re
         }
         let node_t = stream(&info.comps[c])?;
         for s in candidates {
-            if deleted[c].contains(&s) {
+            if members[c].contains_key(&s) {
                 continue;
             }
-            let mut survives = false;
+            let mut shared = false;
             'rels: for (rel, _) in rels_with_child(info, c) {
                 let Some(p) = info.comp_index(&rel.parent) else {
                     continue;
                 };
                 let conn_t = stream(&rel.name)?;
                 for (_, crow) in conn_t.find_by_value(1, &Value::Int(s))? {
-                    if !deleted[p].contains(&crow.values[0].as_int()?) {
-                        survives = true;
+                    if !members[p].contains_key(&crow.values[0].as_int()?) {
+                        shared = true;
                         break 'rels;
                     }
                 }
             }
-            if !survives {
-                deleted[c].insert(s);
-                for (rid, _) in node_t.find_by_value(0, &Value::Int(s))? {
-                    del_rids[c].push(rid);
+            if !shared {
+                for (rid, t) in node_t.find_by_value(0, &Value::Int(s))? {
+                    members[c].insert(s, (rid, t.values[1..].to_vec()));
                 }
             }
         }
     }
 
-    // Phase C: drop connections touching any deleted surrogate, then the
-    // node rows themselves.
-    for rel in &info.rels {
-        let Some(p) = info.comp_index(&rel.parent) else {
-            continue;
-        };
-        let Some(c) = info.comp_index(&rel.children[0]) else {
-            continue;
-        };
-        let conn_t = stream(&rel.name)?;
-        let mut stale: HashSet<Rid> = HashSet::new();
-        for &ps in &deleted[p] {
-            for (rid, _) in conn_t.find_by_value(0, &Value::Int(ps))? {
-                stale.insert(rid);
-            }
-        }
-        for &cs in &deleted[c] {
-            for (rid, _) in conn_t.find_by_value(1, &Value::Int(cs))? {
-                stale.insert(rid);
-            }
-        }
-        for rid in stale {
-            conn_t.delete(rid)?;
-        }
-    }
-    for (c, rids) in del_rids.into_iter().enumerate() {
-        let node_t = stream(&info.comps[c])?;
-        for rid in rids {
-            node_t.delete(rid)?;
-        }
-    }
+    let member_surrs: Vec<HashSet<i64>> = members
+        .iter()
+        .map(|m| m.keys().copied().collect())
+        .collect();
 
-    // Phase D: re-extract only the affected subtrees by walking the
-    // relationship predicates over base-table index paths (no pipeline run,
-    // no full scans), then splice in — reusing value-identical nodes that
-    // survived (object sharing across splices).
-    let sub = extract_subtrees(db, info, keys)?;
-    // Nodes first: local position → surrogate (reused or fresh).
-    let mut surr: Vec<Vec<i64>> = Vec::with_capacity(ncomps);
+    // Match each re-derived row to a surrogate and collect the node-stream
+    // differences (nothing is written yet).
+    let mut assigned: Vec<Vec<i64>> = Vec::with_capacity(ncomps);
+    let mut fresh: Vec<HashSet<i64>> = vec![HashSet::new(); ncomps];
+    let mut node_deletes: Vec<Vec<Rid>> = vec![Vec::new(); ncomps];
+    let mut node_updates: Vec<Vec<(Rid, Tuple)>> = vec![Vec::new(); ncomps];
+    let mut node_inserts: Vec<Vec<Tuple>> = vec![Vec::new(); ncomps];
     for (c, rows) in sub.comp_rows.iter().enumerate() {
         let node_t = stream(&info.comps[c])?;
-        let mut ids = Vec::with_capacity(rows.len());
-        for row in rows {
-            if let Some(existing) = find_node_by_value(&node_t, row)? {
-                ids.push(existing);
+        let mut comp_members = std::mem::take(&mut members[c]);
+        let mut by_value: HashMap<Row, Vec<i64>> = HashMap::new();
+        for (s, (_, row)) in &comp_members {
+            by_value.entry(row.clone()).or_default().push(*s);
+        }
+        let mut ids: Vec<i64> = Vec::with_capacity(rows.len());
+        let mut unmatched: Vec<usize> = Vec::new();
+        for (pos, row) in rows.iter().enumerate() {
+            if let Some(s) = by_value.get_mut(row).and_then(Vec::pop) {
+                // Unchanged member: keep it exactly as stored.
+                comp_members.remove(&s);
+                ids.push(s);
+                counters.nodes_reused += 1;
                 continue;
             }
-            let id = mv.alloc_surrogates(1);
-            let mut values = Vec::with_capacity(row.len() + 1);
-            values.push(Value::Int(id));
-            values.extend(row.iter().cloned());
-            node_t.insert(&Tuple::new(values))?;
-            ids.push(id);
+            if let Some(s) = find_node_by_value(&node_t, row)? {
+                if !member_surrs[c].contains(&s) {
+                    // Object sharing with an unaffected subtree's node.
+                    ids.push(s);
+                    counters.nodes_reused += 1;
+                    continue;
+                }
+            }
+            ids.push(0); // placeholder; every unmatched slot is assigned below
+            unmatched.push(pos);
         }
-        surr.push(ids);
+        // Changed branches: each remaining re-derived row overwrites one
+        // vanished member in place, keeping its surrogate. Which member it
+        // lands on only affects write churn, not correctness — the
+        // connection diff below re-derives every pair from scratch.
+        let mut leftovers: Vec<(i64, Rid)> = comp_members
+            .into_iter()
+            .map(|(s, (rid, _))| (s, rid))
+            .collect();
+        for &pos in &unmatched {
+            let row = &rows[pos];
+            let (s, overwrite) = match leftovers.pop() {
+                Some((s, rid)) => (s, Some(rid)),
+                None => (mv.alloc_surrogates(1), None),
+            };
+            let mut values = Vec::with_capacity(row.len() + 1);
+            values.push(Value::Int(s));
+            values.extend(row.iter().cloned());
+            match overwrite {
+                Some(rid) => {
+                    node_updates[c].push((rid, Tuple::new(values)));
+                    counters.nodes_reused += 1;
+                }
+                None => {
+                    node_inserts[c].push(Tuple::new(values));
+                    fresh[c].insert(s);
+                }
+            }
+            ids[pos] = s;
+        }
+        // Members neither kept nor overwritten have vanished.
+        for (_, rid) in leftovers {
+            node_deletes[c].push(rid);
+        }
+        assigned.push(ids);
     }
-    // Connections: translate to surrogates, skipping duplicates.
+
+    // Connection diff per relationship: stored pairs under a member parent
+    // versus the re-derived pairs. (Member nodes have no other incoming
+    // pairs — that is exactly what Phase B's cascade established — so this
+    // enumeration covers every pair of the old subtrees.)
+    let mut conn_deletes: Vec<Vec<Rid>> = vec![Vec::new(); info.rels.len()];
+    let mut conn_inserts: Vec<Vec<(i64, i64, bool)>> = vec![Vec::new(); info.rels.len()];
     for (ri, rel) in info.rels.iter().enumerate() {
         let conn_t = stream(&rel.name)?;
         let p_idx = info
@@ -1327,16 +1924,66 @@ fn splice(db: &Database, plan: &MaintPlan, info: &XnfInfo, keys: &[Value]) -> Re
         let c_idx = info
             .comp_index(&rel.children[0])
             .ok_or_else(|| XnfError::Api(format!("unknown child '{}'", rel.children[0])))?;
-        for &(ppos, cpos) in &sub.conn_rows[ri] {
-            let p = surr[p_idx][ppos];
-            let c = surr[c_idx][cpos];
-            let exists = conn_t
-                .find_by_value(0, &Value::Int(p))?
-                .iter()
-                .any(|(_, t)| t.values[1].as_int().ok() == Some(c));
-            if !exists {
-                conn_t.insert(&Tuple::new(vec![Value::Int(p), Value::Int(c)]))?;
+        let mut stored: HashMap<(i64, i64), Rid> = HashMap::new();
+        for &ps in &member_surrs[p_idx] {
+            for (rid, crow) in conn_t.find_by_value(0, &Value::Int(ps))? {
+                stored.insert((ps, crow.values[1].as_int()?), rid);
             }
+        }
+        let mut new_pairs: HashSet<(i64, i64)> = HashSet::new();
+        for &(ppos, cpos) in &sub.conn_rows[ri] {
+            new_pairs.insert((assigned[p_idx][ppos], assigned[c_idx][cpos]));
+        }
+        for (pair, rid) in &stored {
+            if !new_pairs.contains(pair) {
+                conn_deletes[ri].push(*rid);
+            }
+        }
+        for (p, cs) in new_pairs {
+            if stored.contains_key(&(p, cs)) {
+                continue;
+            }
+            // A pair under a shared (non-member, non-fresh) parent was not
+            // enumerated into `stored` and may already exist: probe before
+            // inserting.
+            let may_exist = !member_surrs[p_idx].contains(&p) && !fresh[p_idx].contains(&p);
+            conn_inserts[ri].push((p, cs, may_exist));
+        }
+    }
+
+    // Apply the diff: connection deletes, node deletes, in-place node
+    // updates, node inserts, connection inserts.
+    for (ri, rel) in info.rels.iter().enumerate() {
+        let conn_t = stream(&rel.name)?;
+        for rid in conn_deletes[ri].drain(..) {
+            conn_t.delete(rid)?;
+        }
+    }
+    for c in 0..ncomps {
+        let node_t = stream(&info.comps[c])?;
+        for rid in node_deletes[c].drain(..) {
+            node_t.delete(rid)?;
+        }
+        for (rid, tuple) in node_updates[c].drain(..) {
+            node_t.update(rid, &tuple)?;
+        }
+        for tuple in node_inserts[c].drain(..) {
+            node_t.insert(&tuple)?;
+        }
+    }
+    for (ri, rel) in info.rels.iter().enumerate() {
+        let conn_t = stream(&rel.name)?;
+        for (p, cs, may_exist) in conn_inserts[ri].drain(..) {
+            if may_exist {
+                let exists = conn_t
+                    .find_by_value(0, &Value::Int(p))?
+                    .iter()
+                    .any(|(_, t)| t.values[1].as_int().ok() == Some(cs));
+                if exists {
+                    continue;
+                }
+            }
+            conn_t.insert(&Tuple::new(vec![Value::Int(p), Value::Int(cs)]))?;
         }
     }
     Ok(())
@@ -1355,8 +2002,15 @@ struct SubResult {
 /// child-ward through foreign-key / connect-table index paths, evaluating
 /// each component's selection predicate and projection on the way. This is
 /// the keyed re-extraction of incremental maintenance — cost proportional
-/// to the affected subtrees, not to the base tables.
-fn extract_subtrees(db: &Database, info: &XnfInfo, keys: &[Value]) -> Result<SubResult> {
+/// to the affected subtrees, not to the base tables. With `vis` set, every
+/// base-table probe is pinned to that snapshot (the pre-lock pipeline runs
+/// against the committing transaction's own snapshot).
+fn extract_subtrees(
+    db: &Database,
+    info: &XnfInfo,
+    keys: &[Value],
+    vis: Option<&Snapshot>,
+) -> Result<SubResult> {
     let key = info.key.as_ref().expect("keyed plan");
     let ncomps = info.comps.len();
     let mut sub = SubResult {
@@ -1375,27 +2029,24 @@ fn extract_subtrees(db: &Database, info: &XnfInfo, keys: &[Value]) -> Result<Sub
         bases.push((table, base.columns.clone(), filter));
     }
     let outer = OuterCtx::new();
-    // Value-identity dedup per component.
-    let mut seen: Vec<HashMap<String, usize>> = vec![HashMap::new(); ncomps];
-    let push_node = |sub: &mut SubResult,
-                     seen: &mut Vec<HashMap<String, usize>>,
-                     c: usize,
-                     row: Row|
-     -> usize {
-        let k = format!("{row:?}");
-        if let Some(&pos) = seen[c].get(&k) {
-            return pos;
-        }
-        let pos = sub.comp_rows[c].len();
-        sub.comp_rows[c].push(row);
-        seen[c].insert(k, pos);
-        pos
-    };
+    // Value-identity dedup per component (hashed — Value's Hash/Eq follow
+    // `total_cmp`, matching the executor's duplicate elimination).
+    let mut seen: Vec<HashMap<Row, usize>> = vec![HashMap::new(); ncomps];
+    let push_node =
+        |sub: &mut SubResult, seen: &mut Vec<HashMap<Row, usize>>, c: usize, row: Row| -> usize {
+            if let Some(&pos) = seen[c].get(&row) {
+                return pos;
+            }
+            let pos = sub.comp_rows[c].len();
+            sub.comp_rows[c].push(row.clone());
+            seen[c].insert(row, pos);
+            pos
+        };
 
     // Seed the roots.
     let (root_t, root_cols, root_filter) = &bases[key.root];
     for k in keys {
-        for (_, t) in root_t.find_by_value(root_cols[key.root_key_col], k)? {
+        for (_, t) in probe(root_t, root_cols[key.root_key_col], k, vis)? {
             if passes_filter(root_filter, &t.values, &outer)? {
                 let row: Row = root_cols.iter().map(|&i| t.values[i].clone()).collect();
                 push_node(&mut sub, &mut seen, key.root, row);
@@ -1427,7 +2078,7 @@ fn extract_subtrees(db: &Database, info: &XnfInfo, keys: &[Value]) -> Result<Sub
                         if v.is_null() {
                             continue;
                         }
-                        for (_, t) in child_t.find_by_value(child_cols[*child_col], v)? {
+                        for (_, t) in probe(child_t, child_cols[*child_col], v, vis)? {
                             if !passes_filter(child_filter, &t.values, &outer)? {
                                 continue;
                             }
@@ -1452,12 +2103,12 @@ fn extract_subtrees(db: &Database, info: &XnfInfo, keys: &[Value]) -> Result<Sub
                             continue;
                         }
                         let m = db.catalog().table(table)?;
-                        for (_, mrow) in m.find_by_value(*m_parent_col, v)? {
+                        for (_, mrow) in probe(&m, *m_parent_col, v, vis)? {
                             let cv = &mrow.values[*m_child_col];
                             if cv.is_null() {
                                 continue;
                             }
-                            for (_, t) in child_t.find_by_value(child_cols[*child_col], cv)? {
+                            for (_, t) in probe(child_t, child_cols[*child_col], cv, vis)? {
                                 if !passes_filter(child_filter, &t.values, &outer)? {
                                     continue;
                                 }
@@ -1586,10 +2237,15 @@ fn remove_row_by_value(backing: &Arc<Table>, row: &Row, probe_col: usize) -> Res
     }
 }
 
-fn dedup_values(mut vals: Vec<Value>) -> Vec<Value> {
-    vals.sort_by(|a, b| a.total_cmp(b));
-    vals.dedup_by(|a, b| a.total_cmp(b).is_eq());
-    vals
+/// Order-preserving hashed dedup ([`Value`]'s `Hash`/`Eq` follow
+/// `total_cmp`, so e.g. `Int(3)` and `Double(3.0)` collapse exactly as the
+/// index probes treat them) — linear in the per-commit key count instead
+/// of the quadratic scan a naive contains-check would cost.
+fn dedup_values(vals: Vec<Value>) -> Vec<Value> {
+    let mut seen: HashSet<Value> = HashSet::with_capacity(vals.len());
+    vals.into_iter()
+        .filter(|v| seen.insert(v.clone()))
+        .collect()
 }
 
 fn value_literal(v: &Value) -> Literal {

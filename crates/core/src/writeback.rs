@@ -345,7 +345,8 @@ pub fn write_back(db: &Database, ws: &mut Workspace, schema: &CoSchema) -> Resul
 /// [`write_back`] inside a transaction scope: with an open session
 /// transaction the changes join it (isolated until the session commits,
 /// undone by its rollback); otherwise a dedicated transaction wraps the
-/// write-back and commits — with materialized-view maintenance — on
+/// write-back and commits — its deltas flowing through the coalesced,
+/// off-critical-path materialized-view maintenance pipeline — on
 /// success, or rolls back cleanly on conflict/error.
 pub(crate) fn write_back_scoped(
     db: &Database,

@@ -59,6 +59,16 @@ pub struct ExecStats {
     /// Page morsels parallel scans claimed and processed (past-the-end
     /// probes excluded).
     pub morsels_dispatched: u64,
+    /// Composite-object root keys re-extracted by materialized-view
+    /// maintenance (one per root subtree spliced into a view's streams).
+    pub mv_roots_respliced: u64,
+    /// Stored view nodes maintenance kept because they were value-identical
+    /// to (or in-place updatable into) the re-extracted result, instead of
+    /// being deleted and re-derived.
+    pub mv_nodes_reused: u64,
+    /// Wall-clock microseconds spent in commit-time view maintenance
+    /// (precompute + stamp-ordered apply).
+    pub mv_maint_us: u64,
 }
 
 impl ExecStats {
@@ -85,6 +95,9 @@ impl ExecStats {
         self.parallel_regions += other.parallel_regions;
         self.parallel_workers += other.parallel_workers;
         self.morsels_dispatched += other.morsels_dispatched;
+        self.mv_roots_respliced += other.mv_roots_respliced;
+        self.mv_nodes_reused += other.mv_nodes_reused;
+        self.mv_maint_us += other.mv_maint_us;
     }
 }
 

@@ -68,7 +68,11 @@ pub fn build_paper_db(scale: PaperScale) -> Database {
 /// ablations). Generation is deterministic for a fixed seed, so two
 /// databases built from the same scale hold identical data.
 pub fn build_paper_db_with(scale: PaperScale, config: DbConfig) -> Database {
-    let db = Database::with_config(config);
+    let db = if config.data_dir.is_some() {
+        Database::open_with_config(config).expect("open durable paper fixture")
+    } else {
+        Database::with_config(config)
+    };
     db.execute_batch(
         "CREATE TABLE DEPT (dno INT NOT NULL, dname VARCHAR(30), loc VARCHAR(10));
          CREATE TABLE EMP (eno INT NOT NULL, ename VARCHAR(30), edno INT, sal DOUBLE);

@@ -136,6 +136,89 @@ impl DeltaBatch {
             .into_iter()
             .any(|t| self.per_table.contains_key(&t.to_ascii_uppercase()))
     }
+
+    /// Total number of recorded row images across all tables.
+    pub fn len(&self) -> usize {
+        self.per_table.values().map(Vec::len).sum()
+    }
+
+    /// Coalesce per-statement image chains into their net per-commit
+    /// effect: an insert later updated becomes one insert of the final
+    /// image, chained updates fuse into one old→final update, and a row
+    /// inserted (or updated) and then deleted in the same transaction
+    /// cancels (or collapses to one delete of the original image).
+    ///
+    /// Matching is by *value*, which is exactly the granularity the
+    /// maintenance layer applies deltas at (`remove_row_by_value`,
+    /// image-derived root keys): in multiset-of-values algebra,
+    /// `(+v) · (−v +w) = +w` regardless of which physical row carried `v`,
+    /// so fusing the latest pending after-image with the next before-image
+    /// preserves the net delta every strategy observes. Hot rows touched by
+    /// several statements of one transaction are then re-extracted once
+    /// instead of once per statement.
+    pub fn coalesce(self) -> DeltaBatch {
+        let mut out = DeltaBatch::for_txn(self.txn);
+        for (table, rows) in self.per_table {
+            if rows.len() < 2 {
+                out.per_table.insert(table, rows);
+                continue;
+            }
+            // Pending output rows (None = annihilated) plus a map from each
+            // pending row's current after-image to its slot, stacked so a
+            // before-image fuses with the *latest* matching after-image.
+            let mut pending: Vec<Option<DeltaRow>> = Vec::with_capacity(rows.len());
+            let mut by_after: HashMap<Vec<crate::value::Value>, Vec<usize>> = HashMap::new();
+            for row in rows {
+                let fused = row
+                    .before()
+                    .and_then(|b| by_after.get_mut(&b.values))
+                    .and_then(Vec::pop);
+                match fused {
+                    Some(idx) => {
+                        let prev = pending[idx].take().expect("pending slot occupied");
+                        let old = match prev {
+                            DeltaRow::Insert(_) => None,
+                            DeltaRow::Update { old, .. } => Some(old),
+                            DeltaRow::Delete(_) => unreachable!("deletes have no after-image"),
+                        };
+                        let next = match (old, row) {
+                            (None, DeltaRow::Delete(_)) => None,
+                            (None, DeltaRow::Update { new, .. }) => Some(DeltaRow::Insert(new)),
+                            (Some(o), DeltaRow::Delete(_)) => Some(DeltaRow::Delete(o)),
+                            (Some(o), DeltaRow::Update { new, .. }) => {
+                                // A round trip back to the original image is
+                                // a net no-op.
+                                (o.values != new.values).then_some(DeltaRow::Update { old: o, new })
+                            }
+                            (_, DeltaRow::Insert(_)) => {
+                                unreachable!("inserts have no before-image")
+                            }
+                        };
+                        if let Some(n) = next {
+                            if let Some(after) = n.after() {
+                                by_after.entry(after.values.clone()).or_default().push(idx);
+                            }
+                            pending[idx] = Some(n);
+                        }
+                    }
+                    None => {
+                        if let Some(after) = row.after() {
+                            by_after
+                                .entry(after.values.clone())
+                                .or_default()
+                                .push(pending.len());
+                        }
+                        pending.push(Some(row));
+                    }
+                }
+            }
+            let survivors: Vec<DeltaRow> = pending.into_iter().flatten().collect();
+            if !survivors.is_empty() {
+                out.per_table.insert(table, survivors);
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +242,43 @@ mod tests {
         assert!(!d.touches_any(["PROJ"]));
         let old = d.rows("dept")[0].before().unwrap().values[0].clone();
         assert!(matches!(old, Value::Int(3)));
+    }
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|v| Value::Int(*v)).collect())
+    }
+
+    #[test]
+    fn coalesce_fuses_image_chains_to_net_effect() {
+        // insert → update → update collapses to one insert of the final image.
+        let mut d = DeltaBatch::for_txn(9);
+        d.record_insert("emp", t(&[1, 10]));
+        d.record_update("emp", t(&[1, 10]), t(&[1, 20]));
+        d.record_update("emp", t(&[1, 20]), t(&[1, 30]));
+        let c = d.coalesce();
+        assert_eq!(c.txn(), 9);
+        assert_eq!(c.rows("emp").len(), 1);
+        assert!(matches!(&c.rows("emp")[0], DeltaRow::Insert(n) if n.values == t(&[1, 30]).values));
+
+        // insert → delete annihilates; update → delete keeps the original
+        // before-image; unrelated rows survive untouched.
+        let mut d = DeltaBatch::new();
+        d.record_insert("emp", t(&[2, 5]));
+        d.record_delete("emp", t(&[2, 5]));
+        d.record_update("emp", t(&[3, 7]), t(&[3, 8]));
+        d.record_delete("emp", t(&[3, 8]));
+        d.record_insert("emp", t(&[4, 1]));
+        let c = d.coalesce();
+        let rows = c.rows("emp");
+        assert_eq!(rows.len(), 2);
+        assert!(matches!(&rows[0], DeltaRow::Delete(o) if o.values == t(&[3, 7]).values));
+        assert!(matches!(&rows[1], DeltaRow::Insert(n) if n.values == t(&[4, 1]).values));
+
+        // a round trip back to the original image is a net no-op.
+        let mut d = DeltaBatch::new();
+        d.record_update("emp", t(&[5, 1]), t(&[5, 2]));
+        d.record_update("emp", t(&[5, 2]), t(&[5, 1]));
+        assert!(d.coalesce().is_empty());
     }
 
     #[test]

@@ -27,7 +27,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use xnf_core::client_server::run_sessions;
-use xnf_core::{Database, Session, Value, XnfError};
+use xnf_core::{Database, DbConfig, Session, TempDir, Value, XnfError};
 
 use crate::json::Json;
 use crate::keys::{KeyChooser, KeyDist};
@@ -84,6 +84,11 @@ pub struct TpccConfig {
     pub oracle: bool,
     /// Per-client cadence of the heavier continuous checks.
     pub check_every: u64,
+    /// Run against a WAL-backed on-disk database (group commit, fsync
+    /// off) instead of in-memory, so durability costs show up in the
+    /// metrics. Reported under the distinct driver key
+    /// `tpcc_lite_durable` so the regression gate compares like-for-like.
+    pub durable: bool,
 }
 
 impl Default for TpccConfig {
@@ -100,6 +105,7 @@ impl Default for TpccConfig {
             customer_dist: KeyDist::Zipfian(0.8),
             oracle: true,
             check_every: 48,
+            durable: false,
         }
     }
 }
@@ -123,6 +129,7 @@ impl TpccConfig {
             ("seed", Json::num(self.seed as f64)),
             ("rollback_pct", Json::num(self.rollback_pct as f64)),
             ("customer_dist", Json::str(self.customer_dist.label())),
+            ("durable", Json::Bool(self.durable)),
             (
                 "mix",
                 Json::obj(vec![
@@ -310,9 +317,22 @@ impl TpccModel {
     }
 }
 
-/// Build and load the TPC-C-lite database.
-pub fn build_tpcc_db(cfg: &TpccConfig) -> Database {
-    let db = Database::new();
+/// Build and load the TPC-C-lite database. In durable mode the database
+/// lives in a fresh temp data directory (WAL + group commit, fsync off);
+/// the returned guard deletes it when dropped.
+pub fn build_tpcc_db(cfg: &TpccConfig) -> (Database, Option<TempDir>) {
+    let (db, guard) = if cfg.durable {
+        let dir = TempDir::new("tpcc-durable");
+        let db = Database::open_with_config(DbConfig {
+            data_dir: Some(dir.path().to_path_buf()),
+            wal_fsync: false,
+            ..DbConfig::default()
+        })
+        .expect("open durable tpcc database");
+        (db, Some(dir))
+    } else {
+        (Database::new(), None)
+    };
     db.execute_batch(
         "CREATE TABLE WAREHOUSE (w_id INT NOT NULL, w_name VARCHAR(16));
          CREATE TABLE DISTRICT (d_id INT NOT NULL, d_w_id INT, d_ytd INT, d_next_o_id INT);
@@ -375,7 +395,7 @@ pub fn build_tpcc_db(cfg: &TpccConfig) -> Database {
     .expect("ord_sum");
     db.execute(&format!("CREATE MATERIALIZED VIEW dist_co AS {DIST_CO}"))
         .expect("dist_co");
-    db
+    (db, guard)
 }
 
 pub struct TpccRun {
@@ -386,7 +406,8 @@ pub struct TpccRun {
 
 pub fn run_tpcc(cfg: &TpccConfig) -> TpccRun {
     assert!(cfg.clients > 0, "need at least one client");
-    let db = Arc::new(build_tpcc_db(cfg));
+    let (db, _data_dir) = build_tpcc_db(cfg);
+    let db = Arc::new(db);
     let stream = Arc::new(generate_stream(cfg));
     let violations = Arc::new(Violations::new());
     let retries_total = AtomicU64::new(0);
@@ -433,7 +454,11 @@ pub fn run_tpcc(cfg: &TpccConfig) -> TpccRun {
     }
 
     let metrics = DriverMetrics::aggregate(
-        "tpcc_lite",
+        if cfg.durable {
+            "tpcc_lite_durable"
+        } else {
+            "tpcc_lite"
+        },
         recorders,
         elapsed,
         retries_total.load(Ordering::Relaxed),

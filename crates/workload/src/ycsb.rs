@@ -28,8 +28,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use xnf_core::client_server::run_sessions;
-use xnf_core::{Database, Session, Value};
-use xnf_fixtures::{build_paper_db, PaperScale, DEPS_ARC};
+use xnf_core::{Database, DbConfig, Session, TempDir, Value};
+use xnf_fixtures::{build_paper_db_with, PaperScale, DEPS_ARC};
 
 use crate::json::Json;
 use crate::keys::{KeyChooser, KeyDist};
@@ -81,6 +81,11 @@ pub struct YcsbConfig {
     pub check_every: u64,
     /// Scale of the paper-schema fixture backing the CO-fetch class.
     pub paper_departments: usize,
+    /// Run against a WAL-backed on-disk database (group commit, fsync
+    /// off) instead of in-memory, so durability costs show up in the
+    /// metrics. Reported under the distinct driver key `ycsb_durable` so
+    /// the regression gate compares like-for-like.
+    pub durable: bool,
 }
 
 impl Default for YcsbConfig {
@@ -96,6 +101,7 @@ impl Default for YcsbConfig {
             oracle: true,
             check_every: 64,
             paper_departments: 8,
+            durable: false,
         }
     }
 }
@@ -109,6 +115,7 @@ impl YcsbConfig {
             ("seed", Json::num(self.seed as f64)),
             ("distribution", Json::str(self.dist.label())),
             ("scan_len", Json::num(self.scan_len as f64)),
+            ("durable", Json::Bool(self.durable)),
             (
                 "mix",
                 Json::obj(vec![
@@ -305,15 +312,31 @@ impl YcsbModel {
 }
 
 /// Build the YCSB database: paper fixture (CO-fetch class) + USERTABLE +
-/// the materialized views the oracle checks.
-pub fn build_ycsb_db(cfg: &YcsbConfig) -> Database {
-    let db = build_paper_db(PaperScale {
-        departments: cfg.paper_departments,
-        employees_per_dept: 4,
-        projects_per_dept: 2,
-        skills: 12,
-        ..Default::default()
-    });
+/// the materialized views the oracle checks. In durable mode the database
+/// lives in a fresh temp data directory (WAL + group commit, fsync off);
+/// the returned guard deletes it when dropped.
+pub fn build_ycsb_db(cfg: &YcsbConfig) -> (Database, Option<TempDir>) {
+    let (db_cfg, guard) = if cfg.durable {
+        let dir = TempDir::new("ycsb-durable");
+        let db_cfg = DbConfig {
+            data_dir: Some(dir.path().to_path_buf()),
+            wal_fsync: false,
+            ..DbConfig::default()
+        };
+        (db_cfg, Some(dir))
+    } else {
+        (DbConfig::default(), None)
+    };
+    let db = build_paper_db_with(
+        PaperScale {
+            departments: cfg.paper_departments,
+            employees_per_dept: 4,
+            projects_per_dept: 2,
+            skills: 12,
+            ..Default::default()
+        },
+        db_cfg,
+    );
     db.execute("CREATE TABLE USERTABLE (yk INT NOT NULL, f0 INT, f1 INT, payload VARCHAR(64))")
         .expect("usertable");
     db.execute("CREATE INDEX usertable_yk ON USERTABLE (yk)")
@@ -348,7 +371,7 @@ pub fn build_ycsb_db(cfg: &YcsbConfig) -> Database {
     .expect("rich_users");
     db.execute(&format!("CREATE MATERIALIZED VIEW hot_deps AS {DEPS_ARC}"))
         .expect("hot_deps");
-    db
+    (db, guard)
 }
 
 /// Result of one driver run.
@@ -363,7 +386,8 @@ pub struct YcsbRun {
 /// `assert_clean` only when the caller asks).
 pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbRun {
     assert!(cfg.clients > 0, "need at least one client");
-    let db = Arc::new(build_ycsb_db(cfg));
+    let (db, _data_dir) = build_ycsb_db(cfg);
+    let db = Arc::new(db);
     let stream = Arc::new(generate_stream(cfg));
     let violations = Arc::new(Violations::new());
     let retries_total = AtomicU64::new(0);
@@ -401,7 +425,7 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbRun {
     };
 
     let metrics = DriverMetrics::aggregate(
-        "ycsb",
+        if cfg.durable { "ycsb_durable" } else { "ycsb" },
         recorders,
         elapsed,
         retries_total.load(Ordering::Relaxed),

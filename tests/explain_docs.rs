@@ -173,6 +173,65 @@ fn every_documented_operator_is_emitted() {
     assert!(corpus.contains("visibility: snapshot (MVCC begin/end stamps)"));
     assert!(corpus.contains("shared cse0:"));
     assert!(corpus.contains("durability: none (in-memory)"));
+    assert!(
+        corpus.contains(
+            "maintenance: incremental (coalesce, diff splice, parallel re-extract, \
+             stamp-ordered apply); mv_roots_respliced="
+        ),
+        "maintenance header missing"
+    );
+}
+
+/// The `maintenance:` header's counters are real quantities: DML touching
+/// a composite-object matview re-splices the affected root subtrees and
+/// reuses the untouched stored nodes, and both the EXPLAIN header and
+/// `Database::maint_stats()` must move with it.
+#[test]
+fn maintenance_counters_move_with_co_view_dml() {
+    let db = build_paper_db_with(
+        PaperScale {
+            departments: 8,
+            employees_per_dept: 3,
+            skills: 6,
+            skills_per_employee: 2,
+            ..Default::default()
+        },
+        DbConfig::default(),
+    );
+    db.execute(&format!(
+        "CREATE MATERIALIZED VIEW hot_deps AS {}",
+        xnf_fixtures::DEPS_ARC
+    ))
+    .unwrap();
+
+    // Pin a department into the view, then touch one of its employees:
+    // the commit re-splices that department's subtree, reusing every node
+    // the rename did not change.
+    db.execute("UPDATE DEPT SET loc = 'ARC' WHERE dno = 1")
+        .unwrap();
+    let before = db.maint_stats();
+    db.execute("UPDATE EMP SET ename = 'renamed' WHERE edno = 1")
+        .unwrap();
+    let after = db.maint_stats();
+    assert!(
+        after.mv_roots_respliced > before.mv_roots_respliced,
+        "the employee update must re-splice its department's root subtree"
+    );
+    assert!(
+        after.mv_nodes_reused > before.mv_nodes_reused,
+        "the diff splice must reuse the subtree's unchanged nodes"
+    );
+    assert!(after.mv_maint_us > 0, "maintenance time must be accounted");
+
+    // The EXPLAIN header reports exactly these cumulative counters.
+    let plan = db.explain("SELECT 1").unwrap();
+    assert!(
+        plan.contains(&format!(
+            "mv_roots_respliced={} mv_nodes_reused={} mv_maint_us=",
+            after.mv_roots_respliced, after.mv_nodes_reused
+        )),
+        "EXPLAIN maintenance header diverged from maint_stats():\n{plan}"
+    );
 }
 
 /// The other arm of the `durability:` header: a database opened on a data

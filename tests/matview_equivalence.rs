@@ -135,6 +135,7 @@ const PAPER_SQL_VIEW: &str =
     "SELECT d.dno, d.dname, d.loc, e.eno, e.ename, e.sal FROM DEPT d, EMP e \
      WHERE d.dno = e.edno AND d.loc = 'ARC'";
 const PAPER_DIRECT_VIEW: &str = "SELECT eno, ename FROM EMP WHERE sal > 90";
+const PAPER_AGG_VIEW: &str = "SELECT edno, COUNT(*) AS n FROM EMP GROUP BY edno";
 
 /// One randomized DML statement over the paper schema.
 fn paper_dml(rng: &mut StdRng) -> String {
@@ -183,6 +184,10 @@ fn paper_fixture_randomized_stream_all_batch_sizes() {
             "CREATE MATERIALIZED VIEW top_emps AS {PAPER_DIRECT_VIEW}"
         ))
         .unwrap();
+        db.execute(&format!(
+            "CREATE MATERIALIZED VIEW head_count AS {PAPER_AGG_VIEW}"
+        ))
+        .unwrap();
 
         let mut rng = StdRng::seed_from_u64(4242 + bs as u64);
         for step in 0..40 {
@@ -194,6 +199,7 @@ fn paper_fixture_randomized_stream_all_batch_sizes() {
                 assert_co_matches(&db, "hot_deps", DEPS_ARC, &ctx);
                 assert_sql_matches(&db, "arc_people", PAPER_SQL_VIEW, &ctx);
                 assert_sql_matches(&db, "top_emps", PAPER_DIRECT_VIEW, &ctx);
+                assert_sql_matches(&db, "head_count", PAPER_AGG_VIEW, &ctx);
             }
         }
     }
@@ -350,4 +356,92 @@ fn random_fixture_randomized_stream_all_batch_sizes() {
         assert_sql_matches(&db, "direct_r", DIRECT, "final state");
         assert_sql_matches(&db, "joined", KEYED, "final state");
     }
+}
+
+// ---------------------------------------------------------------------------
+// multi-statement transactions under concurrent committers
+// ---------------------------------------------------------------------------
+
+/// Randomized multi-statement transactions racing from several sessions:
+/// each transaction batches 2–5 DML statements (whose per-statement deltas
+/// coalesce into one net batch at COMMIT), some roll back, and commits
+/// interleave so the pre-lock re-extraction phase regularly runs against a
+/// snapshot that other committers have already outrun. Quiesced, every
+/// view — CO keyed splice, SQL keyed, direct, grouped aggregate — must
+/// equal both its definition and a full REFRESH recompute.
+#[test]
+fn multi_statement_txns_under_concurrent_committers_match_refresh() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use xnf_core::client_server::run_sessions;
+
+    let db = std::sync::Arc::new(paper_db(1024));
+    for (name, def) in [
+        ("hot_deps", DEPS_ARC),
+        ("arc_people", PAPER_SQL_VIEW),
+        ("top_emps", PAPER_DIRECT_VIEW),
+        ("head_count", PAPER_AGG_VIEW),
+    ] {
+        db.execute(&format!("CREATE MATERIALIZED VIEW {name} AS {def}"))
+            .unwrap();
+    }
+
+    let commits = AtomicU64::new(0);
+    run_sessions(&db, 4, |i, session| {
+        let mut rng = StdRng::seed_from_u64(0xD1CE ^ (i as u64).wrapping_mul(7919));
+        for _ in 0..12 {
+            let stmts: Vec<String> = (0..rng.gen_range(2..=5))
+                .map(|_| paper_dml(&mut rng))
+                .collect();
+            session.begin().unwrap();
+            let ran: Result<(), xnf_core::XnfError> = stmts
+                .iter()
+                .try_for_each(|s| session.execute(s, &[]).map(|_| ()));
+            match ran {
+                // Exercise rollback: dropped transactions must leave no
+                // trace in any view.
+                Ok(()) if rng.gen_bool(0.2) => session.rollback().unwrap(),
+                Ok(()) => {
+                    session.commit().unwrap();
+                    commits.fetch_add(1, Ordering::Relaxed);
+                }
+                // Row races (first-writer-wins) and unique-key collisions
+                // between racing sessions abort the transaction.
+                Err(_) => session.rollback().unwrap(),
+            }
+        }
+    });
+    assert!(
+        commits.load(Ordering::Relaxed) >= 8,
+        "storm committed too little to mean anything"
+    );
+
+    let ctx = "after concurrent multi-statement transactions";
+    assert_co_matches(&db, "hot_deps", DEPS_ARC, ctx);
+    assert_sql_matches(&db, "arc_people", PAPER_SQL_VIEW, ctx);
+    assert_sql_matches(&db, "top_emps", PAPER_DIRECT_VIEW, ctx);
+    assert_sql_matches(&db, "head_count", PAPER_AGG_VIEW, ctx);
+
+    // Incremental contents == full REFRESH recompute, view by view.
+    for (name, def) in [
+        ("arc_people", PAPER_SQL_VIEW),
+        ("top_emps", PAPER_DIRECT_VIEW),
+        ("head_count", PAPER_AGG_VIEW),
+    ] {
+        let incremental = rows_of(&db, &format!("SELECT * FROM {name}"));
+        db.execute(&format!("REFRESH MATERIALIZED VIEW {name}"))
+            .unwrap();
+        assert_eq!(
+            incremental,
+            rows_of(&db, &format!("SELECT * FROM {name}")),
+            "{name}: incremental maintenance diverged from REFRESH ({ctx})"
+        );
+        assert_sql_matches(&db, name, def, "post-REFRESH");
+    }
+    let stored = canon(&db.fetch_co("hot_deps").unwrap());
+    db.execute("REFRESH MATERIALIZED VIEW hot_deps").unwrap();
+    assert_eq!(
+        stored,
+        canon(&db.fetch_co("hot_deps").unwrap()),
+        "hot_deps: incremental maintenance diverged from REFRESH ({ctx})"
+    );
 }
