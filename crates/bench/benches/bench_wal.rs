@@ -17,6 +17,14 @@
 //! write-write conflict and every iteration commits exactly
 //! `threads × OPS_PER_THREAD` transactions. Automatic checkpoints are
 //! disabled to keep iterations uniform.
+//!
+//! The `wal_doublewrite` group prices torn-page protection instead: same
+//! storm, fsync off, but with a small automatic checkpoint interval so
+//! dirty pages are flushed *during* the run — with the double-write
+//! buffer on vs. off. The delta is the write-amplification cost of
+//! writing every flushed image twice (DW append + fsync, then in place);
+//! the integrity counters printed after each config show how many DW
+//! batches the run actually paid for (BENCH_10.json records the verdict).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -31,10 +39,20 @@ const PER_THREAD_ROWS: i64 = 16;
 const MAX_THREADS: usize = 8;
 
 fn durable_db(dir: &TempDir, fsync: bool) -> Arc<Database> {
+    durable_db_cfg(dir, fsync, true, 0)
+}
+
+fn durable_db_cfg(
+    dir: &TempDir,
+    fsync: bool,
+    doublewrite: bool,
+    checkpoint_interval: u64,
+) -> Arc<Database> {
     let db = Database::open_with_config(DbConfig {
         data_dir: Some(dir.path().to_path_buf()),
         wal_fsync: fsync,
-        checkpoint_interval: 0,
+        doublewrite,
+        checkpoint_interval,
         ..DbConfig::default()
     })
     .unwrap();
@@ -96,5 +114,45 @@ fn bench_wal(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wal);
+/// Write-amplification cost of torn-page protection: the same commit
+/// storm with automatic checkpoints flushing dirty pages mid-run, with
+/// the double-write buffer on vs. off. Commit fsync stays off so the
+/// page-flush path (the only part doublewrite touches) dominates the
+/// difference.
+fn bench_doublewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_doublewrite");
+    group.measurement_time(Duration::from_secs(2));
+
+    for &dw in &[true, false] {
+        let label = if dw {
+            "doublewrite_on"
+        } else {
+            "doublewrite_off"
+        };
+        for &threads in &[1usize, 4] {
+            let dir = TempDir::new("bench-wal-dw");
+            // 64 KiB of log per checkpoint: a handful of automatic fuzzy
+            // checkpoints (and page flushes) per iteration.
+            let db = durable_db_cfg(&dir, false, dw, 64 * 1024);
+            let before = db.integrity_stats();
+            group.bench_function(&format!("{label}/{threads}sessions"), |b| {
+                b.iter(|| black_box(commit_storm(&db, threads)))
+            });
+            let s = db.integrity_stats();
+            println!(
+                "    -> doublewrite={}: {} page writes in {} dw batches, \
+                 {} reads verified, {} torn repairs",
+                if dw { "on" } else { "off" },
+                s.writes - before.writes,
+                s.dw_batches - before.dw_batches,
+                s.pages_verified - before.pages_verified,
+                s.torn_pages_repaired - before.torn_pages_repaired,
+            );
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal, bench_doublewrite);
 criterion_main!(benches);

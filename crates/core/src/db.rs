@@ -28,9 +28,9 @@ use xnf_sql::{
     TypeName, ViewBody, XnfQuery,
 };
 use xnf_storage::{
-    recover, BufferPool, Catalog, CheckpointSnap, Column, DataType, DiskManager, GcStats,
-    RecoveryReport, Schema, Snapshot, Tuple, TxnId, VacuumReport, Value, ViewKind, Wal, WalStats,
-    PAGE_SIZE,
+    recover, BufferPool, Catalog, CheckpointSnap, Column, DataType, DiskManager, DiskStats,
+    GcStats, RecoveryReport, Schema, Snapshot, Tuple, TxnId, VacuumReport, Value, ViewKind, Wal,
+    WalStats, PAGE_SIZE,
 };
 
 use crate::error::{Result, XnfError};
@@ -218,6 +218,14 @@ pub struct DbConfig {
     /// redo work). `0` disables automatic checkpoints
     /// ([`Database::checkpoint`] still works).
     pub checkpoint_interval: u64,
+    /// Torn-page protection for file-backed stores: write-backs run the
+    /// double-write protocol (append + fsync to `doublewrite.db` before
+    /// the in-place write to `pages.db`), and a page torn by a crash is
+    /// restored from its durable DW copy at the next open. Page trailer
+    /// checksums are always on for file-backed stores; turning this off
+    /// keeps detection (reads fail typed on a torn page) but drops repair.
+    /// Ignored for in-memory databases.
+    pub doublewrite: bool,
     /// Rewrite options applied at compile time.
     pub rewrite: RewriteOptions,
     /// Planner options.
@@ -241,6 +249,7 @@ impl Default for DbConfig {
             data_dir: None,
             wal_fsync: true,
             checkpoint_interval: 4 << 20,
+            doublewrite: true,
             rewrite: RewriteOptions::default(),
             plan: PlanOptions::default(),
             plan_cache_capacity: 128,
@@ -423,7 +432,13 @@ impl Database {
         };
         std::fs::create_dir_all(&dir)
             .map_err(|e| XnfError::Api(format!("create data dir '{}': {e}", dir.display())))?;
-        let disk = Arc::new(DiskManager::open_file(&dir.join("pages.db"))?);
+        // Double-write open replays any batch a crash left behind,
+        // repairing torn in-place pages before recovery reads them.
+        let disk = Arc::new(if config.doublewrite {
+            DiskManager::open_file_dw(&dir.join("pages.db"), &dir.join("doublewrite.db"))?
+        } else {
+            DiskManager::open_file(&dir.join("pages.db"))?
+        });
         let (wal, records) = Wal::open(&dir.join("wal.log"), config.wal_fsync)?;
         let wal = Arc::new(wal);
         let pool = Arc::new(BufferPool::with_wal(
@@ -495,6 +510,14 @@ impl Database {
     /// Write-ahead-log counters (`None` for in-memory databases).
     pub fn wal_stats(&self) -> Option<WalStats> {
         self.catalog.wal().map(|w| w.stats())
+    }
+
+    /// Page-integrity counters of the underlying disk: checksum-verified
+    /// reads, torn pages repaired from the double-write buffer, and DW
+    /// batches fsynced ahead of in-place writes. EXPLAIN's `durability:`
+    /// header surfaces them; ExecStats carries the same fields.
+    pub fn integrity_stats(&self) -> DiskStats {
+        self.catalog.buffer_pool().disk().stats()
     }
 
     /// Maintenance plans for every materialized view, rebuilt when DDL
@@ -1137,10 +1160,22 @@ impl Database {
     /// The `durability:` EXPLAIN header for this instance.
     fn durability_line(&self) -> String {
         match self.catalog.wal() {
-            Some(_) => format!(
-                "durability: wal (group commit, fsync={})\n",
-                if self.config.wal_fsync { "on" } else { "off" }
-            ),
+            Some(_) => {
+                let s = self.integrity_stats();
+                format!(
+                    "durability: wal (group commit, fsync={}, doublewrite={}); \
+                     pages_verified={} torn_pages_repaired={} dw_batches={}\n",
+                    if self.config.wal_fsync { "on" } else { "off" },
+                    if self.catalog.buffer_pool().disk().doublewrite_enabled() {
+                        "on"
+                    } else {
+                        "off"
+                    },
+                    s.pages_verified,
+                    s.torn_pages_repaired,
+                    s.dw_batches
+                )
+            }
             None => "durability: none (in-memory)\n".to_string(),
         }
     }

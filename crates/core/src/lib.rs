@@ -110,7 +110,8 @@ pub use xnf_exec::{ExecStats, QueryResult, RowBatch, StreamResult, DEFAULT_BATCH
 pub use xnf_plan::{PlanOptions, Qep};
 pub use xnf_rewrite::{RewriteOptions, RewriteReport};
 pub use xnf_storage::{
-    DataType, GcStats, RecoveryReport, TableVacuumReport, TempDir, VacuumReport, Value, WalStats,
+    DataType, DiskStats, FaultPlan, GcStats, RecoveryReport, StorageError, TableVacuumReport,
+    TempDir, VacuumReport, Value, WalStats,
 };
 
 // Compile-time concurrency contract: one `Database` is shared across

@@ -223,22 +223,48 @@ impl BufferPool {
         Ok(r)
     }
 
-    /// Write all dirty pages back to disk (log-first: each write-back
-    /// flushes the WAL past the page's LSN before touching the disk).
+    /// Write all dirty pages back to disk, one batch per shard (log-first:
+    /// the WAL is flushed past the highest dirty LSN before any page
+    /// touches the disk).
     pub fn flush_all(&self) -> Result<()> {
         for shard in &self.shards {
             let mut inner = shard.lock();
-            let mut writes = 0;
-            for slot in inner.slots.iter() {
-                let mut frame = slot.frame.write();
-                if frame.dirty {
-                    self.write_back(slot.page_id, &frame.page)?;
-                    frame.dirty = false;
-                    writes += 1;
-                }
-            }
-            inner.stats.dirty_writebacks += writes;
+            self.flush_shard(&mut inner)?;
         }
+        Ok(())
+    }
+
+    /// Flush one shard's dirty frames as a single disk batch: write guards
+    /// for every dirty frame are collected first, the WAL is flushed past
+    /// the highest page LSN among them, then the whole set goes through one
+    /// [`DiskManager::write_batch`] — with double-write enabled that is one
+    /// DW append + fsync for the shard instead of one per page. Dirty flags
+    /// drop only after the batch succeeds, so a failed flush leaves every
+    /// page queued for retry.
+    fn flush_shard(&self, inner: &mut Inner) -> Result<()> {
+        let mut guards = Vec::new();
+        for slot in inner.slots.iter() {
+            let frame = slot.frame.write();
+            if frame.dirty {
+                guards.push((slot.page_id, frame));
+            }
+        }
+        if guards.is_empty() {
+            return Ok(());
+        }
+        if let Some(wal) = &self.wal {
+            let max_lsn = guards.iter().map(|(_, g)| g.page.lsn()).max().unwrap_or(0);
+            wal.flush_to(max_lsn)?;
+            debug_assert!(wal.durable_lsn() >= max_lsn, "WAL-before-data violated");
+        }
+        let batch: Vec<(PageId, &Page)> = guards.iter().map(|(id, g)| (*id, &g.page)).collect();
+        self.disk.write_batch(&batch)?;
+        drop(batch);
+        let writes = guards.len() as u64;
+        for (_, mut g) in guards {
+            g.dirty = false;
+        }
+        inner.stats.dirty_writebacks += writes;
         Ok(())
     }
 
@@ -250,13 +276,7 @@ impl BufferPool {
         for shard in &self.shards {
             let mut inner = shard.lock();
             let any_pinned = inner.slots.iter().any(|s| s.pin_count > 0);
-            for slot in inner.slots.iter() {
-                let mut frame = slot.frame.write();
-                if frame.dirty {
-                    self.write_back(slot.page_id, &frame.page)?;
-                    frame.dirty = false;
-                }
-            }
+            self.flush_shard(&mut inner)?;
             if !any_pinned {
                 inner.slots.clear();
                 inner.page_table.clear();

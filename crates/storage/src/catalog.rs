@@ -928,6 +928,24 @@ impl Catalog {
         self.tables.read().contains_key(&Self::norm(name))
     }
 
+    /// Every page id reachable from a heap extent: base tables plus
+    /// materialized-view backing tables. Recovery reconciles the page file
+    /// against this set to find (and reclaim) stranded allocations.
+    pub fn live_page_extents(&self) -> Vec<crate::disk::PageId> {
+        let mut pages: Vec<crate::disk::PageId> = self
+            .tables
+            .read()
+            .values()
+            .flat_map(|t| t.heap.pages())
+            .collect();
+        for mv in self.matviews.read().values() {
+            for s in mv.streams() {
+                pages.extend(s.table.heap.pages());
+            }
+        }
+        pages
+    }
+
     pub fn table_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self
             .tables

@@ -49,6 +49,12 @@ pub enum StorageError {
     /// An operating-system I/O failure (page file or write-ahead log). The
     /// message is carried as a string so the error stays `Clone + Eq`.
     Io(String),
+    /// A page read failed its trailer checksum: a crash landed inside the
+    /// 8 KiB write and left a torn (half-old, half-new) image that the
+    /// double-write buffer could not repair. Never served as data.
+    TornPage {
+        page: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -89,6 +95,13 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
+            StorageError::TornPage { page } => {
+                write!(
+                    f,
+                    "torn page {page}: trailer checksum mismatch and no valid \
+                     double-write copy to restore from"
+                )
+            }
         }
     }
 }

@@ -70,12 +70,12 @@ pub mod wal;
 pub use buffer::{BufferPool, BufferStats};
 pub use catalog::{Catalog, IndexDef, MatView, MatViewStream, Table, TableId, ViewDef, ViewKind};
 pub use delta::{DeltaBatch, DeltaRow};
-pub use disk::{DiskManager, DiskStats, PageId};
+pub use disk::{DiskManager, DiskStats, FaultPlan, PageId};
 pub use error::{Result, StorageError};
 pub use heap::{HeapFile, VisiblePage};
 pub use index::BTreeIndex;
 pub use morsel::MorselDispenser;
-pub use page::{Page, PAGE_SIZE};
+pub use page::{stamp_trailer, trailer_matches, Page, PAGE_SIZE, PAGE_TRAILER};
 pub use recovery::{recover, RecoveryReport};
 pub use schema::{Column, Schema};
 pub use stats::{ColumnStats, StatsBuilder, TableStats};

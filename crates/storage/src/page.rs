@@ -34,6 +34,42 @@ const HEADER: usize = 16;
 const SLOT_ENTRY: usize = 4;
 const TOMBSTONE: u16 = u16::MAX;
 
+/// Size of the torn-page trailer reserved at the end of every page:
+/// an LSN echo (8 bytes) followed by a CRC32 (4 bytes) over everything
+/// before the checksum field. The record area packs down to
+/// `PAGE_SIZE - PAGE_TRAILER`, so the trailer is never clobbered by data.
+pub const PAGE_TRAILER: usize = 12;
+const TRAILER_LSN: usize = PAGE_SIZE - PAGE_TRAILER;
+const TRAILER_CRC: usize = PAGE_SIZE - 4;
+
+/// Stamp the trailer of a raw page image: echo the page's header LSN and
+/// write the CRC32 of everything before the checksum field. Called by the
+/// file-backed [`crate::disk::DiskManager`] on every write-back.
+pub fn stamp_trailer(buf: &mut [u8; PAGE_SIZE]) {
+    let lsn = buf[8..16].to_vec();
+    buf[TRAILER_LSN..TRAILER_LSN + 8].copy_from_slice(&lsn);
+    let crc = crate::codec::crc32(&buf[..TRAILER_CRC]);
+    buf[TRAILER_CRC..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Verify the trailer of a raw page image. An all-zero image is accepted:
+/// it is a freshly allocated page that was extended (`set_len`) but never
+/// written back, which is a legitimate old-image state.
+pub fn trailer_matches(buf: &[u8; PAGE_SIZE]) -> bool {
+    let stored = u32::from_le_bytes([
+        buf[TRAILER_CRC],
+        buf[TRAILER_CRC + 1],
+        buf[TRAILER_CRC + 2],
+        buf[TRAILER_CRC + 3],
+    ]);
+    if crate::codec::crc32(&buf[..TRAILER_CRC]) == stored
+        && buf[TRAILER_LSN..TRAILER_LSN + 8] == buf[8..16]
+    {
+        return true;
+    }
+    buf.iter().all(|&b| b == 0)
+}
+
 /// A fixed-size slotted page.
 #[derive(Clone)]
 pub struct Page {
@@ -53,7 +89,7 @@ impl Page {
             data: Box::new([0u8; PAGE_SIZE]),
         };
         p.set_slot_count(0);
-        p.set_free_offset(PAGE_SIZE as u16);
+        p.set_free_offset((PAGE_SIZE - PAGE_TRAILER) as u16);
         p
     }
 
@@ -135,7 +171,7 @@ impl Page {
 
     /// Maximum record payload a fresh page can hold.
     pub fn max_record_size() -> usize {
-        PAGE_SIZE - HEADER - SLOT_ENTRY
+        PAGE_SIZE - PAGE_TRAILER - HEADER - SLOT_ENTRY
     }
 
     /// Can a record of `len` bytes be inserted without compaction?
@@ -170,7 +206,7 @@ impl Page {
                 (off != TOMBSTONE).then_some(len as usize)
             })
             .sum();
-        (PAGE_SIZE - self.free_offset() as usize).saturating_sub(live)
+        (PAGE_SIZE - PAGE_TRAILER - self.free_offset() as usize).saturating_sub(live)
     }
 
     /// Insert a record, returning its slot number. Reuses the lowest
@@ -327,7 +363,7 @@ impl Page {
                 live.push((i, self.data[off as usize..(off + len) as usize].to_vec()));
             }
         }
-        let mut free = PAGE_SIZE;
+        let mut free = PAGE_SIZE - PAGE_TRAILER;
         for (slot, rec) in live {
             free -= rec.len();
             self.data[free..free + rec.len()].copy_from_slice(&rec);
@@ -491,6 +527,45 @@ mod tests {
         p.install(a, &vec![2u8; 6000]).unwrap();
         assert_eq!(p.get(a).unwrap().len(), 6000);
         assert_eq!(p.get(2).unwrap(), b"keep");
+    }
+
+    #[test]
+    fn trailer_stamp_and_verify_roundtrip() {
+        let mut p = Page::new();
+        p.insert(b"checksummed").unwrap();
+        p.set_lsn(42);
+        let mut buf = [0u8; PAGE_SIZE];
+        buf.copy_from_slice(p.as_bytes());
+        stamp_trailer(&mut buf);
+        assert!(trailer_matches(&buf));
+        // A torn write (any corrupted byte) must fail verification.
+        buf[100] ^= 0xFF;
+        assert!(!trailer_matches(&buf));
+        buf[100] ^= 0xFF;
+        assert!(trailer_matches(&buf));
+        // Corrupting the trailer itself fails too.
+        buf[PAGE_SIZE - 1] ^= 0x01;
+        assert!(!trailer_matches(&buf));
+    }
+
+    #[test]
+    fn all_zero_page_passes_trailer_check() {
+        // A page extended by set_len but never written reads back zeroed;
+        // that is a legitimate never-written state, not a torn page.
+        let buf = [0u8; PAGE_SIZE];
+        assert!(trailer_matches(&buf));
+    }
+
+    #[test]
+    fn records_never_reach_the_trailer() {
+        let mut p = Page::new();
+        let rec = [3u8; 256];
+        while p.fits(rec.len()) {
+            p.insert(&rec).unwrap();
+        }
+        p.compact();
+        assert!(p.free_offset() as usize <= PAGE_SIZE - PAGE_TRAILER);
+        assert_eq!(&p.as_bytes()[PAGE_SIZE - PAGE_TRAILER..], &[0u8; 12][..]);
     }
 
     #[test]

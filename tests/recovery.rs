@@ -279,6 +279,154 @@ fn buffer_budget_evicts_under_pressure_and_loses_nothing() {
     );
 }
 
+/// Flip one byte in every field the page trailer protects — header, header
+/// LSN, record area, each LSN-echo byte, each CRC byte — and reopen. With
+/// an empty double-write buffer (clean shutdown) there is nothing to
+/// restore from, so the open must fail with the typed torn-page error at
+/// every offset: the corrupt page is never served.
+#[test]
+fn flipped_byte_in_any_trailer_field_fails_loudly_without_a_dw_copy() {
+    let base = TempDir::new("recovery-flip-base");
+    {
+        let db = open(base.path());
+        db.execute("CREATE TABLE T (id INT NOT NULL)").unwrap();
+        for i in 0..8 {
+            db.execute(&format!("INSERT INTO T VALUES ({i})")).unwrap();
+        }
+        db.checkpoint().unwrap(); // stamped images on disk, DW truncated
+    }
+    let pages = std::fs::read(base.path().join("pages.db")).unwrap();
+    let wal = std::fs::read(base.path().join("wal.log")).unwrap();
+    assert!(pages.len() >= PAGE_SIZE, "checkpoint left no page image");
+
+    // Offsets into page 0: two header bytes (slot count, first LSN byte),
+    // the middle of the record area, then the whole 12-byte trailer.
+    let mut offsets: Vec<usize> = vec![0, 8, PAGE_SIZE / 2];
+    offsets.extend(PAGE_SIZE - 12..PAGE_SIZE);
+    for off in offsets {
+        let scratch = TempDir::new("recovery-flip");
+        let mut corrupt = pages.clone();
+        corrupt[off] ^= 0xFF;
+        std::fs::write(scratch.path().join("pages.db"), &corrupt).unwrap();
+        std::fs::write(scratch.path().join("wal.log"), &wal).unwrap();
+
+        let err = match Database::open_with_config(config(scratch.path())) {
+            Ok(_) => panic!("byte {off}: open served a checksum-corrupt page"),
+            Err(e) => e,
+        };
+        assert!(
+            err.to_string().contains("torn page"),
+            "byte {off}: expected the typed torn-page error, got: {err}"
+        );
+    }
+}
+
+/// Hand-build the doublewrite buffer a crash would leave behind — a valid
+/// `[page_id][stamped image]` entry whose in-place copy is mangled — and
+/// prove the open-time restore path end to end: the first open repairs
+/// from DW and serves the data; the second open (DW truncated by the
+/// repair) finds a clean page file and repairs nothing. Reopening is
+/// idempotent.
+#[test]
+fn hand_built_dw_entry_repairs_corruption_and_reopen_is_idempotent() {
+    let dir = TempDir::new("recovery-dw-repair");
+    {
+        let db = open(dir.path());
+        db.execute("CREATE TABLE T (id INT NOT NULL)").unwrap();
+        for i in 0..8 {
+            db.execute(&format!("INSERT INTO T VALUES ({i})")).unwrap();
+        }
+        db.checkpoint().unwrap();
+    }
+    let pages_path = dir.path().join("pages.db");
+    let pristine = std::fs::read(&pages_path).unwrap();
+
+    // The crash shape: DW batch durable, in-place write torn halfway.
+    let mut dw = Vec::with_capacity(8 + PAGE_SIZE);
+    dw.extend_from_slice(&0u64.to_le_bytes());
+    dw.extend_from_slice(&pristine[..PAGE_SIZE]);
+    std::fs::write(dir.path().join("doublewrite.db"), &dw).unwrap();
+    let mut corrupt = pristine.clone();
+    for b in &mut corrupt[PAGE_SIZE / 2..PAGE_SIZE] {
+        *b = 0xAA;
+    }
+    std::fs::write(&pages_path, &corrupt).unwrap();
+
+    let expect: Vec<Vec<i64>> = (0..8).map(|i| vec![i]).collect();
+    let first = {
+        let db = open(dir.path());
+        let report = db.recovery_report().unwrap();
+        assert!(
+            report.torn_pages_repaired >= 1,
+            "DW copy was not used to repair: {report:?}"
+        );
+        int_rows(&db, "SELECT id FROM T")
+    };
+    assert_eq!(first, expect);
+
+    let db = open(dir.path());
+    assert_eq!(
+        db.recovery_report().unwrap().torn_pages_repaired,
+        0,
+        "second open found leftover repair work"
+    );
+    assert_eq!(first, int_rows(&db, "SELECT id FROM T"));
+    assert_eq!(
+        std::fs::metadata(dir.path().join("doublewrite.db"))
+            .unwrap()
+            .len(),
+        0,
+        "repair must truncate the DW buffer it consumed"
+    );
+}
+
+/// A crash between `ensure_allocated` extending the page file and the
+/// `HeapPage` record reaching the log strands the new pages: no table
+/// reaches them, no record replays them. Recovery reconciles the file
+/// length against logged extents and returns the strays to the free map,
+/// so later growth reuses them instead of leaking file space forever.
+#[test]
+fn stranded_pages_are_reclaimed_and_reused_after_recovery() {
+    let dir = TempDir::new("recovery-stranded");
+    {
+        let db = open(dir.path());
+        db.execute("CREATE TABLE T (id INT NOT NULL)").unwrap();
+        db.execute("INSERT INTO T VALUES (0)").unwrap();
+        db.checkpoint().unwrap();
+    }
+    // Model the crash: the file grew by two pages the log never heard of
+    // (extension zero-fills, so the strays are all-zero and readable).
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.path().join("pages.db"))
+        .unwrap();
+    f.write_all(&vec![0u8; 2 * PAGE_SIZE]).unwrap();
+    drop(f);
+
+    let db = open(dir.path());
+    let report = db.recovery_report().unwrap();
+    assert!(
+        report.pages_reclaimed >= 2,
+        "stranded pages were not reconciled: {report:?}"
+    );
+    let disk = db.catalog().buffer_pool().disk();
+    assert!(disk.free_page_count() >= 2);
+    let before = disk.page_count();
+
+    // Enough inserts to force heap growth: the new heap pages must come
+    // from the reclaimed strays, not extend the file.
+    for i in 1..=600 {
+        db.execute(&format!("INSERT INTO T VALUES ({i})")).unwrap();
+    }
+    assert_eq!(count(&db, "T"), 601);
+    assert!(
+        disk.page_count() <= before,
+        "heap growth extended the file past {before} pages instead of \
+         reusing the reclaimed ones"
+    );
+}
+
 #[test]
 fn wal_stats_and_explain_report_durability() {
     // In-memory: no log, and EXPLAIN says so.
@@ -305,7 +453,7 @@ fn wal_stats_and_explain_report_durability() {
     assert!(db
         .explain("SELECT * FROM T")
         .unwrap()
-        .contains("durability: wal (group commit, fsync=off)"));
+        .contains("durability: wal (group commit, fsync=off, doublewrite=on)"));
 
     // Manual checkpoints work and reset the redo distance.
     db.checkpoint().unwrap();

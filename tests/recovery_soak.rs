@@ -24,15 +24,17 @@ const INITIAL_BALANCE: i64 = 100;
 const ENV_DIR: &str = "RECOVERY_SOAK_DIR";
 
 /// Soak config: fsync off (kill -9 leaves OS-buffered writes intact; the
-/// machine survives) and automatic checkpoints off — the storm's crash
-/// surface is then the log tail alone, never a half-written 8 KiB page
-/// (torn-page protection, e.g. double-write buffering, is future work;
-/// see docs/DURABILITY.md).
+/// machine survives) and a deliberately *small* automatic checkpoint
+/// interval, so the storm takes fuzzy checkpoints — and flushes dirty
+/// pages — while being killed. A SIGKILL landing inside an 8 KiB page
+/// write is exactly the torn-page shape the checksummed trailer +
+/// double-write buffer (docs/DURABILITY.md) exist to survive, so the soak
+/// keeps that surface live instead of avoiding it.
 fn soak_config(dir: &Path) -> DbConfig {
     DbConfig {
         data_dir: Some(dir.to_path_buf()),
         wal_fsync: false,
-        checkpoint_interval: 0,
+        checkpoint_interval: 256 * 1024,
         ..DbConfig::default()
     }
 }
